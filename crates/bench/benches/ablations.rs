@@ -1,0 +1,86 @@
+//! Ablations of the design choices DESIGN.md calls out: texture cache,
+//! new-warp FIFO depth, launch block size, and the spawn bank-conflict
+//! model. Each bench runs a short render under the ablated configuration;
+//! the IPC deltas are what matter (printed once per run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmk_core::DmkConfig;
+use raytrace::scenes::{self, SceneScale};
+use rt_kernels::render::RenderSetup;
+use simt_sim::{Gpu, GpuConfig, RunSummary};
+use std::hint::black_box;
+
+fn run_with(cfg: GpuConfig, dynamic: bool, block: u32) -> RunSummary {
+    let scene = scenes::conference(SceneScale::Tiny);
+    let mut gpu = Gpu::new(cfg);
+    let setup = RenderSetup::upload(&mut gpu, &scene, 32, 32);
+    if dynamic {
+        setup.launch_ukernel(&mut gpu, block);
+    } else {
+        setup.launch_traditional(&mut gpu, block);
+    }
+    gpu.run(30_000)
+}
+
+fn bench_texture_cache_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_texture_cache");
+    g.sample_size(10);
+    g.bench_function("with_cache", |b| {
+        b.iter(|| black_box(run_with(GpuConfig::fx5800(), false, 64)))
+    });
+    g.bench_function("without_cache", |b| {
+        let mut cfg = GpuConfig::fx5800();
+        cfg.mem.tex_cache_bytes = 0;
+        b.iter(|| black_box(run_with(cfg.clone(), false, 64)))
+    });
+    g.finish();
+}
+
+fn bench_fifo_depth_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_fifo_depth");
+    g.sample_size(10);
+    for depth in [4usize, 32, 256] {
+        g.bench_function(format!("fifo_{depth}"), |b| {
+            let dmk = DmkConfig {
+                fifo_capacity: depth,
+                ..DmkConfig::paper()
+            };
+            let cfg = GpuConfig::fx5800_dmk(dmk);
+            b.iter(|| black_box(run_with(cfg.clone(), true, 64)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_block_size_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_block_size");
+    g.sample_size(10);
+    for block in [32u32, 64, 128] {
+        g.bench_function(format!("block_{block}"), |b| {
+            b.iter(|| black_box(run_with(GpuConfig::fx5800(), false, block)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_spawn_conflicts_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_spawn_conflicts");
+    g.sample_size(10);
+    for conflicts in [false, true] {
+        g.bench_function(format!("conflicts_{conflicts}"), |b| {
+            let mut cfg = GpuConfig::fx5800_dmk(DmkConfig::paper());
+            cfg.mem.spawn_bank_conflicts = conflicts;
+            b.iter(|| black_box(run_with(cfg.clone(), true, 64)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_texture_cache_ablation,
+    bench_fifo_depth_ablation,
+    bench_block_size_ablation,
+    bench_spawn_conflicts_ablation
+);
+criterion_main!(ablations);

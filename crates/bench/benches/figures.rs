@@ -1,0 +1,92 @@
+//! Criterion benchmarks regenerating the paper's figures.
+//!
+//! Figure regeneration runs the cycle-level simulator, so these benches
+//! use the reduced test scale with small sample counts; `repro <fig>
+//! --scale paper` produces the recorded numbers in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::runner::Scale;
+use experiments::{fig10, fig2, fig3, fig7, fig8, fig9};
+use std::hint::black_box;
+
+fn scale() -> Scale {
+    Scale::test()
+}
+
+fn bench_fig2_single_warp(c: &mut Criterion) {
+    c.bench_function("fig2_single_warp_loop", |b| {
+        b.iter(|| {
+            let f = fig2::run();
+            assert!(f.efficiency > 0.0);
+            black_box(f)
+        })
+    });
+}
+
+fn bench_fig3_traditional_divergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_traditional_divergence");
+    g.sample_size(10);
+    g.bench_function("conference", |b| {
+        b.iter(|| black_box(fig3::run(scale())))
+    });
+    g.finish();
+}
+
+fn bench_fig7_dynamic_divergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_dynamic_divergence");
+    g.sample_size(10);
+    g.bench_function("conference", |b| {
+        b.iter(|| {
+            let f = fig7::run(scale());
+            assert!(f.dynamic.mean_active_lanes >= f.traditional.mean_active_lanes);
+            black_box(f)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig8_performance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_perf");
+    g.sample_size(10);
+    g.bench_function("all_scenes", |b| {
+        b.iter(|| {
+            let f = fig8::run(scale());
+            assert_eq!(f.points.len(), 9);
+            black_box(f)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig9_bank_conflicts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_bank_conflicts");
+    g.sample_size(10);
+    g.bench_function("conference", |b| {
+        b.iter(|| black_box(fig9::run(scale())))
+    });
+    g.finish();
+}
+
+fn bench_fig10_branching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_branching");
+    g.sample_size(10);
+    g.bench_function("vs_mimd", |b| {
+        b.iter(|| {
+            let f = fig10::run(scale());
+            assert_eq!(f.points.len(), 5);
+            black_box(f)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig2_single_warp,
+    bench_fig3_traditional_divergence,
+    bench_fig7_dynamic_divergence,
+    bench_fig8_performance,
+    bench_fig9_bank_conflicts,
+    bench_fig10_branching
+);
+criterion_main!(figures);

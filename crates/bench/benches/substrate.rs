@@ -1,0 +1,107 @@
+//! Microbenchmarks of the substrates: assembler throughput, kd-tree build
+//! and traversal, warp-formation hardware, memory coalescing, and raw
+//! simulator cycle rate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dmk_core::{DmkConfig, WarpFormation};
+use raytrace::scenes::{self, SceneScale};
+use raytrace::KdTree;
+use rt_kernels::render::build_rays;
+use simt_mem::coalesce_segments;
+use std::hint::black_box;
+
+fn bench_assembler(c: &mut Criterion) {
+    let src = rt_kernels::ukernel::source();
+    let mut g = c.benchmark_group("assembler");
+    g.throughput(Throughput::Bytes(src.len() as u64));
+    g.bench_function("ukernel_program", |b| {
+        b.iter(|| black_box(simt_isa::assemble(&src).expect("assembles")))
+    });
+    g.finish();
+}
+
+fn bench_kdtree_build(c: &mut Criterion) {
+    let scene = scenes::conference(SceneScale::Small);
+    let mut g = c.benchmark_group("kdtree");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(scene.triangles.len() as u64));
+    g.bench_function("build_small_conference", |b| {
+        b.iter(|| black_box(KdTree::build(&scene.triangles)))
+    });
+    g.finish();
+}
+
+fn bench_host_traversal(c: &mut Criterion) {
+    let scene = scenes::conference(SceneScale::Small);
+    let tree = KdTree::build(&scene.triangles);
+    let rays = build_rays(&scene, 64, 64);
+    let mut g = c.benchmark_group("traversal");
+    g.throughput(Throughput::Elements(rays.len() as u64));
+    g.bench_function("host_trace_64x64", |b| {
+        b.iter(|| {
+            let hits: usize = rays.iter().filter_map(|r| tree.intersect(r)).count();
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn bench_warp_formation(c: &mut Criterion) {
+    let cfg = DmkConfig::paper();
+    let mut g = c.benchmark_group("warp_formation");
+    g.throughput(Throughput::Elements(32));
+    g.bench_function("spawn_full_warp", |b| {
+        let mut wf = WarpFormation::new(&cfg);
+        b.iter(|| {
+            let out = wf.spawn(10, 32).expect("spawn");
+            if let Some(w) = wf.pop_ready() {
+                wf.release_block(w.base_addr);
+            }
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
+fn bench_coalescing(c: &mut Criterion) {
+    let coalesced: Vec<u32> = (0..32).map(|i| i * 4).collect();
+    let scattered: Vec<u32> = (0..32).map(|i| i * 4096).collect();
+    let mut g = c.benchmark_group("coalescing");
+    g.bench_function("coherent_warp", |b| {
+        b.iter(|| black_box(coalesce_segments(&coalesced, 4, 32)))
+    });
+    g.bench_function("scattered_warp", |b| {
+        b.iter(|| black_box(coalesce_segments(&scattered, 4, 32)))
+    });
+    g.finish();
+}
+
+fn bench_simulator_cycle_rate(c: &mut Criterion) {
+    use rt_kernels::render::RenderSetup;
+    use simt_sim::{Gpu, GpuConfig};
+    let scene = scenes::conference(SceneScale::Tiny);
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    let cycles = 20_000u64;
+    g.throughput(Throughput::Elements(cycles));
+    g.bench_function("cycles_per_second_pdom", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::fx5800());
+            let setup = RenderSetup::upload(&mut gpu, &scene, 32, 32);
+            setup.launch_traditional(&mut gpu, 64);
+            black_box(gpu.run(cycles))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrate,
+    bench_assembler,
+    bench_kdtree_build,
+    bench_host_traversal,
+    bench_warp_formation,
+    bench_coalescing,
+    bench_simulator_cycle_rate
+);
+criterion_main!(substrate);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks regenerating the paper's tables.
+//!
+//! Each bench measures the cost of producing one table and, as a side
+//! effect, sanity-checks its invariants; the recorded paper-scale numbers
+//! live in EXPERIMENTS.md (regenerate with `repro <table> --scale paper`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::runner::Scale;
+use experiments::{table1, table2, table3, table4};
+use std::hint::black_box;
+
+fn bench_table1_config(c: &mut Criterion) {
+    c.bench_function("table1_config", |b| {
+        b.iter(|| {
+            let t = table1::run();
+            assert_eq!(t.processor_cores, 30);
+            assert_eq!(t.warp_size, 32);
+            black_box(t)
+        })
+    });
+}
+
+fn bench_table2_resources(c: &mut Criterion) {
+    c.bench_function("table2_resources", |b| {
+        b.iter(|| {
+            let t = table2::run();
+            assert_eq!(t.ukernel.spawn_bytes, 48);
+            black_box(t)
+        })
+    });
+}
+
+fn bench_table3_scenes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_scenes");
+    g.sample_size(10);
+    g.bench_function("build_trees", |b| {
+        b.iter(|| {
+            let t = table3::run(Scale::test());
+            assert_eq!(t.rows.len(), 3);
+            black_box(t)
+        })
+    });
+    g.finish();
+}
+
+fn bench_table4_bandwidth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_bandwidth");
+    g.sample_size(10);
+    g.bench_function("frame_analytics", |b| {
+        b.iter(|| {
+            let t = table4::run(Scale::test());
+            assert!(t.mean_total_increase() > 1.0);
+            black_box(t)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    tables,
+    bench_table1_config,
+    bench_table2_resources,
+    bench_table3_scenes,
+    bench_table4_bandwidth
+);
+criterion_main!(tables);

@@ -1,0 +1,1 @@
+//! Criterion benchmark harness (bench targets live in `benches/`).

@@ -1,0 +1,565 @@
+//! Automatic μ-kernel extraction — the paper's §IX "compiler to ease
+//! implementation" direction.
+//!
+//! [`extract_loop`] mechanically performs the transformation the paper's
+//! authors did by hand at the PTX level (§VI-A): given a kernel containing
+//! a data-dependent loop, it
+//!
+//! 1. finds the loop (header label + unique guarded back-edge),
+//! 2. computes the registers live across the loop boundary
+//!    ([`simt_isa::Liveness`]),
+//! 3. splits the program into three parts — prologue, loop body, epilogue —
+//!    each a μ-kernel connected by `spawn`, with generated state
+//!    save/restore code through spawn memory.
+//!
+//! The generated program computes exactly what the original does (the
+//! tests verify this differentially on the simulator) but executes each
+//! loop iteration as a freshly-regrouped warp.
+//!
+//! ## Supported shape
+//!
+//! ```text
+//! <prologue: straight-line or internally-branching code>
+//! header:
+//!     <body: may branch within itself, may conditionally exit to `after`>
+//!     @p bra header          ; the unique, guarded back-edge
+//! after:                     ; single exit target = back-edge fallthrough
+//!     <epilogue>
+//! ```
+//!
+//! Rejected (with a precise [`ExtractError`]): multiple back-edges,
+//! unguarded back-edges (infinite loops), branches entering the loop from
+//! outside, predicates live across the split, state exceeding the spawn
+//! record budget, or no spare registers for the state pointer.
+
+use simt_isa::{
+    EntryPoint, Instr, Instruction, Liveness, Program, Reg, Space, Special, Width,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Options for [`extract_loop`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExtractOptions {
+    /// Maximum state-record size in bytes (the spawn-memory record; the
+    /// paper uses 48).
+    pub state_budget_bytes: u32,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions {
+            state_budget_bytes: 48,
+        }
+    }
+}
+
+/// Why extraction failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// The loop label does not exist.
+    NoSuchLabel(String),
+    /// No backward branch targets the label.
+    NotALoop,
+    /// More than one back-edge targets the header.
+    MultipleBackEdges,
+    /// The back-edge is unguarded — the loop never exits.
+    UnguardedBackEdge,
+    /// A branch enters the loop from outside (not a natural loop).
+    IrreducibleEntry {
+        /// PC of the offending branch.
+        from: usize,
+    },
+    /// A branch leaves the loop to somewhere other than the single exit
+    /// target (the back-edge fallthrough).
+    UnsupportedExit {
+        /// PC of the offending branch.
+        from: usize,
+        /// Its target.
+        to: usize,
+    },
+    /// A predicate register is live across the split boundary.
+    LivePredicate,
+    /// The live register set needs more bytes than the budget.
+    StateTooLarge {
+        /// Bytes required.
+        needed: u32,
+        /// Budget allowed.
+        budget: u32,
+    },
+    /// No spare register is available for the state pointer.
+    NoSpareRegister,
+    /// An existing `spawn` targets the loop region.
+    SpawnIntoLoop,
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::NoSuchLabel(l) => write!(f, "no such label `{l}`"),
+            ExtractError::NotALoop => write!(f, "label is not a loop header"),
+            ExtractError::MultipleBackEdges => write!(f, "loop has multiple back-edges"),
+            ExtractError::UnguardedBackEdge => write!(f, "back-edge is unguarded (infinite loop)"),
+            ExtractError::IrreducibleEntry { from } => {
+                write!(f, "branch at pc {from} enters the loop from outside")
+            }
+            ExtractError::UnsupportedExit { from, to } => {
+                write!(f, "branch at pc {from} leaves the loop to pc {to} (not the single exit)")
+            }
+            ExtractError::LivePredicate => {
+                write!(f, "a predicate register is live across the loop boundary")
+            }
+            ExtractError::StateTooLarge { needed, budget } => {
+                write!(f, "live state needs {needed} bytes, budget is {budget}")
+            }
+            ExtractError::NoSpareRegister => write!(f, "no spare register for the state pointer"),
+            ExtractError::SpawnIntoLoop => write!(f, "an existing spawn targets the loop region"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// Performs the μ-kernel extraction. Returns a new program whose entry
+/// points are the original ones plus `uk_<label>_loop` and
+/// `uk_<label>_exit`.
+///
+/// # Errors
+///
+/// See [`ExtractError`] for every rejected shape.
+pub fn extract_loop(
+    program: &Program,
+    loop_label: &str,
+    opts: ExtractOptions,
+) -> Result<Program, ExtractError> {
+    let header = program
+        .label(loop_label)
+        .ok_or_else(|| ExtractError::NoSuchLabel(loop_label.to_string()))?;
+    let n = program.len();
+
+    // --- find the unique back-edge ---
+    let mut back_edges: Vec<usize> = Vec::new();
+    for (pc, i) in program.instrs().iter().enumerate() {
+        if let Instr::Bra { target } = i.op {
+            if target == header && pc >= header {
+                back_edges.push(pc);
+            }
+        }
+    }
+    if back_edges.is_empty() {
+        return Err(ExtractError::NotALoop);
+    }
+    if back_edges.len() > 1 {
+        return Err(ExtractError::MultipleBackEdges);
+    }
+    let back = back_edges[0];
+    let back_instr = program.fetch(back);
+    if back_instr.guard.is_none() {
+        return Err(ExtractError::UnguardedBackEdge);
+    }
+    let exit_target = back + 1; // single supported exit: fallthrough
+
+    // --- structural checks ---
+    for (pc, i) in program.instrs().iter().enumerate() {
+        match i.op {
+            Instr::Bra { target } => {
+                let from_in = (header..=back).contains(&pc);
+                let to_in = (header..=back).contains(&target);
+                if !from_in && to_in && target != header {
+                    return Err(ExtractError::IrreducibleEntry { from: pc });
+                }
+                if !from_in && to_in && target == header && pc < header {
+                    // Prologue may only *fall through* into the header.
+                    return Err(ExtractError::IrreducibleEntry { from: pc });
+                }
+                if from_in && !to_in && pc != back && target != exit_target {
+                    return Err(ExtractError::UnsupportedExit { from: pc, to: target });
+                }
+            }
+            Instr::Spawn { target, .. } => {
+                if (header..=back).contains(&target) {
+                    return Err(ExtractError::SpawnIntoLoop);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // --- liveness across the boundaries ---
+    let live = Liveness::compute(program);
+    let at_header = live.live_in(header);
+    let at_exit = if exit_target < n {
+        live.live_in(exit_target)
+    } else {
+        Default::default()
+    };
+    if at_header.preds != 0 || at_exit.preds != 0 {
+        return Err(ExtractError::LivePredicate);
+    }
+    let carried: Vec<u8> = {
+        let mask = at_header.regs | at_exit.regs;
+        (0..64u8).filter(|r| mask & (1 << r) != 0).collect()
+    };
+    let needed = carried.len() as u32 * 4;
+    if needed > opts.state_budget_bytes {
+        return Err(ExtractError::StateTooLarge {
+            needed,
+            budget: opts.state_budget_bytes,
+        });
+    }
+    // State pointer register: first register above everything used.
+    let max_used = program.resource_usage().registers as u8;
+    if max_used >= 63 {
+        return Err(ExtractError::NoSpareRegister);
+    }
+    let rp = Reg(max_used);
+
+    // --- code generation ---
+    // Shorthand constructors.
+    let un = Instruction::new;
+    let save = |out: &mut Vec<Instruction>| {
+        for (slot, &r) in carried.iter().enumerate() {
+            out.push(un(Instr::St {
+                space: Space::Spawn,
+                a: Reg(r),
+                addr: rp,
+                offset: (slot * 4) as i32,
+                width: Width::W1,
+            }));
+        }
+    };
+    let restore = |out: &mut Vec<Instruction>| {
+        out.push(un(Instr::ReadSpecial {
+            d: rp,
+            s: Special::SpawnMem,
+        }));
+        out.push(un(Instr::Ld {
+            space: Space::Spawn,
+            d: rp,
+            addr: rp,
+            offset: 0,
+            width: Width::W1,
+        }));
+        for (slot, &r) in carried.iter().enumerate() {
+            out.push(un(Instr::Ld {
+                space: Space::Spawn,
+                d: Reg(r),
+                addr: rp,
+                offset: (slot * 4) as i32,
+                width: Width::W1,
+            }));
+        }
+    };
+
+    // The new program is assembled region by region; branch targets are
+    // fixed up afterwards through `old2new` plus symbolic slots for the
+    // generated labels.
+    let mut out: Vec<Instruction> = Vec::with_capacity(n + 32 + 4 * carried.len());
+    let mut old2new = vec![usize::MAX; n];
+    // Symbolic fixups: (position in `out`, kind).
+    #[derive(Clone, Copy, PartialEq)]
+    enum Fix {
+        Old(usize),
+        LoopEntry,
+        ExitEntry,
+        SpawnSelfBlock,
+        ExitTrampoline,
+    }
+    let mut fixes: Vec<(usize, Fix)> = Vec::new();
+    let emit = |out: &mut Vec<Instruction>, fixes: &mut Vec<(usize, Fix)>, i: Instruction| {
+        // Record target fixups for control instructions.
+        match i.op {
+            Instr::Bra { target } => fixes.push((out.len(), Fix::Old(target))),
+            Instr::Spawn { target, .. } => fixes.push((out.len(), Fix::Old(target))),
+            _ => {}
+        }
+        out.push(i);
+    };
+
+    // -- prologue [0, header): original code, then save+spawn k_loop --
+    for pc in 0..header {
+        old2new[pc] = out.len();
+        emit(&mut out, &mut fixes, *program.fetch(pc));
+    }
+    // Launch threads address their state record directly (§IV-A1).
+    out.push(un(Instr::ReadSpecial {
+        d: rp,
+        s: Special::SpawnMem,
+    }));
+    save(&mut out);
+    fixes.push((out.len(), Fix::LoopEntry));
+    out.push(un(Instr::Spawn { target: 0, ptr: rp }));
+    out.push(un(Instr::Exit));
+
+    // -- k_loop --
+    let loop_entry = out.len();
+    restore(&mut out);
+    for pc in header..back {
+        old2new[pc] = out.len();
+        let i = *program.fetch(pc);
+        // Redirect early exits (branches to the single exit target) to the
+        // exit trampoline.
+        if let Instr::Bra { target } = i.op {
+            if target == exit_target {
+                fixes.push((out.len(), Fix::ExitTrampoline));
+                out.push(Instruction {
+                    guard: i.guard,
+                    op: Instr::Bra { target: 0 },
+                });
+                continue;
+            }
+        }
+        emit(&mut out, &mut fixes, i);
+    }
+    // The back-edge: continue looping via a self-spawn, else fall to exit.
+    old2new[back] = out.len();
+    fixes.push((out.len(), Fix::SpawnSelfBlock));
+    out.push(Instruction {
+        guard: back_instr.guard,
+        op: Instr::Bra { target: 0 },
+    });
+    // Exit trampoline: save + spawn k_exit.
+    let exit_trampoline = out.len();
+    save(&mut out);
+    fixes.push((out.len(), Fix::ExitEntry));
+    out.push(un(Instr::Spawn { target: 0, ptr: rp }));
+    out.push(un(Instr::Exit));
+    // Self-spawn block: save + spawn k_loop.
+    let spawn_self_block = out.len();
+    save(&mut out);
+    fixes.push((out.len(), Fix::LoopEntry));
+    out.push(un(Instr::Spawn { target: 0, ptr: rp }));
+    out.push(un(Instr::Exit));
+
+    // -- k_exit: epilogue [exit_target, n) --
+    let exit_entry = out.len();
+    restore(&mut out);
+    for pc in exit_target..n {
+        old2new[pc] = out.len();
+        emit(&mut out, &mut fixes, *program.fetch(pc));
+    }
+
+    // -- fix up targets --
+    for (pos, fix) in fixes {
+        let new_target = match fix {
+            Fix::Old(t) => {
+                let mapped = old2new[t];
+                assert!(mapped != usize::MAX, "target {t} not emitted");
+                mapped
+            }
+            Fix::LoopEntry => loop_entry,
+            Fix::ExitEntry => exit_entry,
+            Fix::SpawnSelfBlock => spawn_self_block,
+            Fix::ExitTrampoline => exit_trampoline,
+        };
+        out[pos].op = match out[pos].op {
+            Instr::Bra { .. } => Instr::Bra { target: new_target },
+            Instr::Spawn { ptr, .. } => Instr::Spawn {
+                target: new_target,
+                ptr,
+            },
+            _ => unreachable!("only control instructions get fixups"),
+        };
+    }
+
+    // -- labels and entry points --
+    let mut labels: BTreeMap<String, usize> = BTreeMap::new();
+    for (name, &pc) in program.labels() {
+        if old2new[pc] != usize::MAX {
+            labels.insert(name.clone(), old2new[pc]);
+        }
+    }
+    let loop_name = format!("uk_{loop_label}_loop");
+    let exit_name = format!("uk_{loop_label}_exit");
+    labels.insert(loop_name.clone(), loop_entry);
+    labels.insert(exit_name.clone(), exit_entry);
+    let mut entries: Vec<EntryPoint> = program
+        .entry_points()
+        .iter()
+        .filter(|e| old2new[e.pc] != usize::MAX)
+        .map(|e| EntryPoint {
+            name: e.name.clone(),
+            pc: old2new[e.pc],
+        })
+        .collect();
+    entries.push(EntryPoint {
+        name: loop_name,
+        pc: loop_entry,
+    });
+    entries.push(EntryPoint {
+        name: exit_name,
+        pc: exit_entry,
+    });
+
+    let mut resources = program.resource_usage();
+    resources.spawn_state_bytes = resources.spawn_state_bytes.max(needed);
+
+    Ok(Program::new(
+        format!("{}+uk[{loop_label}]", program.name()),
+        out,
+        labels,
+        entries,
+        resources,
+    )
+    .expect("generated program validates"))
+}
+
+/// Convenience check: does the program look extractable at `loop_label`?
+pub fn can_extract(program: &Program, loop_label: &str) -> bool {
+    extract_loop(program, loop_label, ExtractOptions::default()).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_isa::assemble;
+
+    fn sum_loop() -> Program {
+        assemble(
+            r#"
+            .kernel main
+            main:
+                mov.u32 r1, %tid
+                and.b32 r2, r1, 7
+                add.s32 r2, r2, 1
+                mov.u32 r3, 0
+            loop:
+                add.s32 r3, r3, r2
+                sub.s32 r2, r2, 1
+                setp.gt.s32 p0, r2, 0
+                @p0 bra loop
+                mul.lo.s32 r4, r1, 4
+                st.global.u32 [r4+0], r3
+                exit
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn extraction_produces_three_entry_points_and_spawns() {
+        let p = extract_loop(&sum_loop(), "loop", ExtractOptions::default()).unwrap();
+        let names: Vec<&str> = p.entry_points().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["main", "uk_loop_loop", "uk_loop_exit"]);
+        assert_eq!(p.spawn_targets().len(), 2, "loop + exit targets");
+        // No backward branches survive: the loop became spawns.
+        for (pc, i) in p.instrs().iter().enumerate() {
+            if let Instr::Bra { target } = i.op {
+                assert!(target > pc, "backward branch at {pc} -> {target} remains");
+            }
+        }
+        assert_eq!(p.resource_usage().spawn_state_bytes, 3 * 4, "r1, r2, r3 carried");
+    }
+
+    #[test]
+    fn rejects_non_loops_and_missing_labels() {
+        let p = assemble("a:\nnop\nexit").unwrap();
+        assert_eq!(
+            extract_loop(&p, "b", ExtractOptions::default()),
+            Err(ExtractError::NoSuchLabel("b".into()))
+        );
+        assert_eq!(
+            extract_loop(&p, "a", ExtractOptions::default()),
+            Err(ExtractError::NotALoop)
+        );
+    }
+
+    #[test]
+    fn rejects_unguarded_back_edge() {
+        let p = assemble("spin:\nnop\nbra spin").unwrap();
+        assert_eq!(
+            extract_loop(&p, "spin", ExtractOptions::default()),
+            Err(ExtractError::UnguardedBackEdge)
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_state() {
+        let p = sum_loop();
+        let err = extract_loop(
+            &p,
+            "loop",
+            ExtractOptions {
+                state_budget_bytes: 8,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ExtractError::StateTooLarge {
+                needed: 12,
+                budget: 8
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_live_predicate_across_boundary() {
+        // p1 is set before the loop and used after it.
+        let p = assemble(
+            r#"
+            setp.eq.s32 p1, r1, 0
+            mov.u32 r2, 4
+            loop:
+            sub.s32 r2, r2, 1
+            setp.gt.s32 p0, r2, 0
+            @p0 bra loop
+            @p1 mov.u32 r3, 1
+            st.global.u32 [r3+0], r3
+            exit
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            extract_loop(&p, "loop", ExtractOptions::default()),
+            Err(ExtractError::LivePredicate)
+        );
+    }
+
+    #[test]
+    fn rejects_multi_exit_loops() {
+        let p = assemble(
+            r#"
+            mov.u32 r2, 4
+            loop:
+            sub.s32 r2, r2, 1
+            setp.eq.s32 p1, r2, 2
+            @p1 bra far_exit
+            setp.gt.s32 p0, r2, 0
+            @p0 bra loop
+            nop
+            far_exit:
+            exit
+            "#,
+        )
+        .unwrap();
+        assert!(matches!(
+            extract_loop(&p, "loop", ExtractOptions::default()),
+            Err(ExtractError::UnsupportedExit { .. })
+        ));
+    }
+
+    #[test]
+    fn early_exit_to_fallthrough_is_supported() {
+        // A guarded break targeting exactly the loop's fallthrough.
+        let p = assemble(
+            r#"
+            mov.u32 r2, 9
+            mov.u32 r3, 0
+            loop:
+            add.s32 r3, r3, 1
+            setp.eq.s32 p1, r3, 3
+            @p1 bra after
+            sub.s32 r2, r2, 1
+            setp.gt.s32 p0, r2, 0
+            @p0 bra loop
+            after:
+            st.global.u32 [r3+0], r3
+            exit
+            "#,
+        )
+        .unwrap();
+        let out = extract_loop(&p, "loop", ExtractOptions::default()).unwrap();
+        assert_eq!(out.spawn_targets().len(), 2);
+    }
+}

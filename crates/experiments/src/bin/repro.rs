@@ -1,0 +1,90 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <artifact> [--scale paper|quick|test] [--json]
+//!
+//! artifacts: table1 table2 table3 table4 fig2 fig3 fig7 fig8 fig9 fig10 all
+//! ```
+
+use experiments::runner::Scale;
+use experiments::{ablation, fig10, fig2, fig3, fig7, fig8, fig9, table1, table2, table3, table4};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <table1|table2|table3|table4|fig2|fig3|fig7|fig8|fig9|fig10|all> \
+         [--scale paper|quick|test] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+fn emit<T: std::fmt::Display + serde::Serialize>(artifact: &str, value: &T, json: bool) {
+    if json {
+        println!(
+            "{}",
+            serde_json::json!({ "artifact": artifact, "data": value })
+        );
+    } else {
+        println!("{value}");
+        println!();
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let artifact = args[0].as_str();
+    let mut scale = Scale::quick();
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let Some(s) = args.get(i).and_then(|s| Scale::parse(s)) else {
+                    return usage();
+                };
+                scale = s;
+            }
+            "--json" => json = true,
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    let run_one = |name: &str| -> bool {
+        match name {
+            "table1" => emit("table1", &table1::run(), json),
+            "table2" => emit("table2", &table2::run(), json),
+            "table3" => emit("table3", &table3::run(scale), json),
+            "table4" => emit("table4", &table4::run(scale), json),
+            "fig2" => emit("fig2", &fig2::run(), json),
+            "fig3" => emit("fig3", &fig3::run(scale), json),
+            "fig7" => emit("fig7", &fig7::run(scale), json),
+            "fig8" => emit("fig8", &fig8::run(scale), json),
+            "fig9" => emit("fig9", &fig9::run(scale), json),
+            "fig10" => emit("fig10", &fig10::run(scale), json),
+            "ablation" => emit("ablation", &ablation::run(scale), json),
+            "shadow" => emit("shadow", &experiments::shadow::run(scale), json),
+            _ => return false,
+        }
+        true
+    };
+
+    if artifact == "all" {
+        for name in [
+            "table1", "table2", "table3", "table4", "fig2", "fig3", "fig7", "fig8", "fig9",
+            "fig10", "ablation", "shadow",
+        ] {
+            eprintln!("== {name} ==");
+            run_one(name);
+        }
+        ExitCode::SUCCESS
+    } else if run_one(artifact) {
+        ExitCode::SUCCESS
+    } else {
+        usage()
+    }
+}

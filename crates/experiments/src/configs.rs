@@ -1,0 +1,106 @@
+//! The machine variants compared in the paper's evaluation.
+
+use dmk_core::DmkConfig;
+use simt_sim::{Gpu, GpuConfig};
+use std::fmt;
+
+/// One evaluated machine configuration (paper §VI/§VII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Traditional kernel, PDOM branching, block scheduling — the
+    /// "traditional SIMT hardware" baseline (FX5800 behaviour).
+    PdomBlock,
+    /// Traditional kernel, PDOM branching, warp-granular scheduling.
+    PdomWarp,
+    /// Traditional kernel, PDOM, warp scheduling, ideal memory (Fig. 10).
+    PdomWarpIdeal,
+    /// Dynamic μ-kernels, no spawn-memory bank conflicts (Figs. 7/8/10).
+    Dynamic,
+    /// Dynamic μ-kernels with spawn-memory bank conflicts (Fig. 9).
+    DynamicConflicts,
+    /// Dynamic μ-kernels with ideal memory (Fig. 10 "potential").
+    DynamicIdeal,
+}
+
+impl Variant {
+    /// All variants, in presentation order.
+    pub const ALL: [Variant; 6] = [
+        Variant::PdomBlock,
+        Variant::PdomWarp,
+        Variant::PdomWarpIdeal,
+        Variant::Dynamic,
+        Variant::DynamicConflicts,
+        Variant::DynamicIdeal,
+    ];
+
+    /// Whether this variant runs the μ-kernel program.
+    pub fn is_dynamic(self) -> bool {
+        matches!(
+            self,
+            Variant::Dynamic | Variant::DynamicConflicts | Variant::DynamicIdeal
+        )
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Variant::PdomBlock => "PDOM Block",
+            Variant::PdomWarp => "PDOM Warp",
+            Variant::PdomWarpIdeal => "PDOM Warp (ideal mem)",
+            Variant::Dynamic => "Dynamic",
+            Variant::DynamicConflicts => "Dynamic (bank conflicts)",
+            Variant::DynamicIdeal => "Dynamic (ideal mem)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Builds the simulated GPU for a variant (paper Table I machine).
+pub fn gpu_for(variant: Variant) -> Gpu {
+    let mut cfg = match variant {
+        Variant::PdomBlock => GpuConfig::fx5800(),
+        Variant::PdomWarp | Variant::PdomWarpIdeal => GpuConfig::fx5800_warp_sched(),
+        Variant::Dynamic | Variant::DynamicConflicts | Variant::DynamicIdeal => {
+            GpuConfig::fx5800_dmk(DmkConfig::paper())
+        }
+    };
+    match variant {
+        Variant::PdomWarpIdeal | Variant::DynamicIdeal => cfg.mem.ideal = true,
+        Variant::DynamicConflicts => cfg.mem.spawn_bank_conflicts = true,
+        _ => {}
+    }
+    Gpu::new(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_sim::SchedulingModel;
+
+    #[test]
+    fn variants_configure_expected_machines() {
+        let g = gpu_for(Variant::PdomBlock);
+        assert_eq!(g.config().scheduling, SchedulingModel::Block);
+        assert!(g.config().dmk.is_none());
+
+        let g = gpu_for(Variant::PdomWarp);
+        assert_eq!(g.config().scheduling, SchedulingModel::Warp);
+
+        let g = gpu_for(Variant::Dynamic);
+        assert!(g.config().dmk.is_some());
+        assert!(!g.config().mem.spawn_bank_conflicts);
+
+        let g = gpu_for(Variant::DynamicConflicts);
+        assert!(g.config().mem.spawn_bank_conflicts);
+
+        let g = gpu_for(Variant::DynamicIdeal);
+        assert!(g.config().mem.ideal);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(Variant::PdomBlock.to_string(), "PDOM Block");
+        assert_eq!(Variant::Dynamic.to_string(), "Dynamic");
+    }
+}

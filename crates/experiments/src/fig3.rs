@@ -1,0 +1,103 @@
+//! Fig. 3 — divergence breakdown for warps using traditional SIMT
+//! branching (conference benchmark).
+//!
+//! The shared machinery ([`DivergenceFigure`], [`divergence_figure`]) is
+//! also used by Figs. 7 and 9, which run the same measurement on the
+//! dynamic μ-kernel machine without/with spawn-memory bank conflicts.
+
+use crate::configs::Variant;
+use crate::runner::{RenderRun, Scale};
+use raytrace::scenes;
+use serde::Serialize;
+use std::fmt;
+
+/// An AerialVision-style divergence breakdown over time.
+#[derive(Debug, Clone, Serialize)]
+pub struct DivergenceFigure {
+    /// Which figure/variant this is.
+    pub variant: String,
+    /// Bucket labels (`idle`, `W1:4` … `W29:32`).
+    pub labels: Vec<String>,
+    /// Per-window issue counts by bucket.
+    pub windows: Vec<Vec<u64>>,
+    /// Window width in cycles.
+    pub window_cycles: u64,
+    /// Average committed thread-instructions per cycle over the run.
+    pub ipc: f64,
+    /// Mean active lanes per issue.
+    pub mean_active_lanes: f64,
+    /// Rays finished within the simulated window.
+    pub rays_completed: u64,
+}
+
+/// Runs `variant` on the conference benchmark and extracts the breakdown.
+pub fn divergence_figure(variant: Variant, scale: Scale) -> DivergenceFigure {
+    let scene = scenes::conference(scale.scene);
+    let run = RenderRun::execute(&scene, variant, scale);
+    let d = &run.summary.stats.divergence;
+    DivergenceFigure {
+        variant: variant.to_string(),
+        labels: d.labels(),
+        windows: d.windows().iter().map(|w| w.to_vec()).collect(),
+        window_cycles: d.window(),
+        ipc: run.ipc(),
+        mean_active_lanes: d.mean_active_lanes(),
+        rays_completed: run.summary.stats.lineages_completed,
+    }
+}
+
+/// Fig. 3: the traditional-branching breakdown.
+pub fn run(scale: Scale) -> DivergenceFigure {
+    divergence_figure(Variant::PdomWarp, scale)
+}
+
+impl fmt::Display for DivergenceFigure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Divergence breakdown over time — {} (conference benchmark)",
+            self.variant
+        )?;
+        write!(f, "  {:<10}", "cycles")?;
+        for l in &self.labels {
+            write!(f, " {l:>8}")?;
+        }
+        writeln!(f)?;
+        for (i, w) in self.windows.iter().enumerate() {
+            write!(f, "  {:<10}", format!("{}k", (i as u64 + 1) * self.window_cycles / 1000))?;
+            for v in w {
+                write!(f, " {v:>8}")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "  average IPC:        {:.0}", self.ipc)?;
+        writeln!(f, "  mean active lanes:  {:.1} / 32", self.mean_active_lanes)?;
+        write!(f, "  rays completed:     {}", self.rays_completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traditional_breakdown_shows_divergence() {
+        let fig = run(Scale::test());
+        assert!(!fig.windows.is_empty());
+        assert!(fig.ipc > 0.0);
+        // Some issues must fall below full occupancy.
+        let partial: u64 = fig
+            .windows
+            .iter()
+            .flat_map(|w| w[1..w.len() - 1].iter())
+            .sum();
+        assert!(partial > 0, "expected partially-occupied issues");
+    }
+
+    #[test]
+    fn labels_match_window_width() {
+        let fig = run(Scale::test());
+        assert_eq!(fig.labels.len(), fig.windows[0].len());
+        assert_eq!(fig.labels[0], "idle");
+    }
+}

@@ -1,0 +1,46 @@
+//! # experiments — regenerating every table and figure of the paper
+//!
+//! One runner per artifact of Steffen & Zambreno's evaluation (§VI–VII).
+//! Each runner returns a serializable result and implements `Display`,
+//! printing the same rows/series the paper reports. The `repro` binary
+//! dispatches them from the command line; the `bench` crate wraps them in
+//! Criterion benchmarks.
+//!
+//! | runner | paper artifact |
+//! |--------|----------------|
+//! | [`table1::run`] | Table I — simulator configuration |
+//! | [`table2::run`] | Table II — per-thread resource requirements |
+//! | [`table3::run`] | Table III — benchmark scenes + tree parameters |
+//! | [`table4::run`] | Table IV — memory bandwidth per frame |
+//! | [`fig2::run`]   | Fig. 2 — PDOM efficiency of a single looping warp |
+//! | [`fig3::run`]   | Fig. 3 — divergence breakdown, traditional |
+//! | [`fig7::run`]   | Fig. 7 — divergence breakdown, μ-kernels |
+//! | [`fig8::run`]   | Fig. 8 — rays/s across scenes and schedulers |
+//! | [`fig9::run`]   | Fig. 9 — μ-kernels with spawn-memory bank conflicts |
+//! | [`fig10::run`]  | Fig. 10 — branching performance vs MIMD theoretical |
+//! | [`ablation::run`] | §IX branch-instead-of-spawn ablation (beyond the paper) |
+//! | [`shadow::run`] | shadow-ray pass study (beyond the paper) |
+//!
+//! All runners take a [`Scale`] so tests can run them at toy sizes while
+//! the recorded numbers use [`Scale::paper`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod configs;
+pub mod fig10;
+pub mod fig2;
+pub mod fig3;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod runner;
+pub mod shadow;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+pub use configs::{gpu_for, Variant};
+pub use runner::{RenderRun, Scale};

@@ -1,0 +1,162 @@
+//! Shared run machinery: scales and the standard render-run wrapper.
+
+use crate::configs::{gpu_for, Variant};
+use raytrace::scenes::{Scene, SceneScale};
+use rt_kernels::render::RenderSetup;
+use serde::{Deserialize, Serialize};
+use simt_sim::RunSummary;
+
+/// Experiment scale: resolution, simulated-cycle budget, scene size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Square image resolution (the paper uses 256).
+    pub resolution: u32,
+    /// Simulated cycles (the paper simulates the first 300k).
+    pub cycles: u64,
+    /// Scene triangle-count scale.
+    #[serde(skip, default = "default_scene_scale")]
+    pub scene: SceneScale,
+    /// Threads per block for the launch (paper: 64 = two warps).
+    pub threads_per_block: u32,
+}
+
+fn default_scene_scale() -> SceneScale {
+    SceneScale::Small
+}
+
+impl Scale {
+    /// The paper's measurement scale: 256×256 over the first 300k cycles.
+    pub fn paper() -> Self {
+        Scale {
+            resolution: 256,
+            cycles: 300_000,
+            scene: SceneScale::Full,
+            threads_per_block: 64,
+        }
+    }
+
+    /// A reduced scale for quick runs.
+    pub fn quick() -> Self {
+        Scale {
+            resolution: 64,
+            cycles: 60_000,
+            scene: SceneScale::Small,
+            threads_per_block: 64,
+        }
+    }
+
+    /// A toy scale for unit tests.
+    pub fn test() -> Self {
+        Scale {
+            resolution: 16,
+            cycles: 20_000,
+            scene: SceneScale::Tiny,
+            threads_per_block: 32,
+        }
+    }
+
+    /// Parses `paper`/`quick`/`test`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "paper" => Some(Scale::paper()),
+            "quick" => Some(Scale::quick()),
+            "test" => Some(Scale::test()),
+            _ => None,
+        }
+    }
+}
+
+/// The result of one standard render run.
+#[derive(Debug)]
+pub struct RenderRun {
+    /// Scene name.
+    pub scene: &'static str,
+    /// Variant executed.
+    pub variant: Variant,
+    /// Full simulator summary (whole run, including warm-up).
+    pub summary: RunSummary,
+    /// Shader clock used for rays/s conversion.
+    pub clock_ghz: f64,
+    /// Rays completed during the steady-state half of the window.
+    pub steady_rays: u64,
+    /// Cycles in the steady-state window.
+    pub steady_cycles: u64,
+}
+
+impl RenderRun {
+    /// Runs `variant` over `scene` at `scale` for the configured cycle
+    /// budget.
+    ///
+    /// Rays/second is measured over the second half of the window — the
+    /// paper observes that behaviour is steady over the 150k–300k-cycle
+    /// range, so this skips the pipeline-fill transient at frame start.
+    pub fn execute(scene: &Scene, variant: Variant, scale: Scale) -> RenderRun {
+        let mut gpu = gpu_for(variant);
+        let setup = RenderSetup::upload(&mut gpu, scene, scale.resolution, scale.resolution);
+        if variant.is_dynamic() {
+            setup.launch_ukernel(&mut gpu, scale.threads_per_block);
+        } else {
+            setup.launch_traditional(&mut gpu, scale.threads_per_block);
+        }
+        gpu.run(scale.cycles);
+        let warm_cycle = gpu.now();
+        let warm_rays = gpu.stats().lineages_completed;
+        let summary = gpu.run(scale.cycles);
+        let end_cycle = summary.stats.cycles;
+        let (steady_rays, steady_cycles) = if end_cycle > warm_cycle {
+            (
+                summary.stats.lineages_completed - warm_rays,
+                end_cycle - warm_cycle,
+            )
+        } else {
+            // The whole frame finished during warm-up (tiny scales).
+            (summary.stats.lineages_completed, end_cycle.max(1))
+        };
+        RenderRun {
+            scene: scene.name,
+            variant,
+            clock_ghz: gpu.config().clock_ghz,
+            summary,
+            steady_rays,
+            steady_cycles,
+        }
+    }
+
+    /// Committed thread-instructions per cycle (whole run).
+    pub fn ipc(&self) -> f64 {
+        self.summary.stats.ipc()
+    }
+
+    /// Million rays per second at the configured clock, measured over the
+    /// steady-state window.
+    pub fn mrays_per_second(&self) -> f64 {
+        if self.steady_cycles == 0 {
+            return 0.0;
+        }
+        self.steady_rays as f64 / (self.steady_cycles as f64 / (self.clock_ghz * 1e9)) / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raytrace::scenes;
+
+    #[test]
+    fn scales_parse() {
+        assert_eq!(Scale::parse("paper"), Some(Scale::paper()));
+        assert_eq!(Scale::parse("quick"), Some(Scale::quick()));
+        assert_eq!(Scale::parse("test"), Some(Scale::test()));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn render_run_executes_both_kernel_families() {
+        let scene = scenes::conference(SceneScale::Tiny);
+        let scale = Scale::test();
+        let pdom = RenderRun::execute(&scene, Variant::PdomWarp, scale);
+        assert!(pdom.summary.stats.thread_instructions > 0);
+        let dmk = RenderRun::execute(&scene, Variant::Dynamic, scale);
+        assert!(dmk.summary.stats.threads_spawned > 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Table I — configuration used for simulation.
+
+use dmk_core::DmkConfig;
+use serde::Serialize;
+use simt_sim::GpuConfig;
+use std::fmt;
+
+/// The regenerated Table I.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    /// Processor cores (SMs).
+    pub processor_cores: usize,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Stream processors per SM.
+    pub sps_per_sm: u32,
+    /// Threads per processor core.
+    pub threads_per_core: u32,
+    /// Thread blocks per processor core.
+    pub blocks_per_core: u32,
+    /// Registers per processor core.
+    pub registers_per_core: u32,
+    /// On-chip memory per processor core (bytes).
+    pub on_chip_bytes: u32,
+    /// Spawn LUT size per processor core (bytes).
+    pub spawn_lut_bytes: u32,
+    /// Memory modules.
+    pub memory_modules: usize,
+    /// Bandwidth per memory module (bytes/DRAM-cycle).
+    pub bytes_per_cycle: u32,
+}
+
+/// Builds the table from the canonical machine configuration.
+pub fn run() -> Table1 {
+    let cfg = GpuConfig::fx5800_dmk(DmkConfig::paper());
+    let dmk = cfg.dmk.as_ref().expect("dmk configured");
+    Table1 {
+        processor_cores: cfg.num_sms,
+        warp_size: cfg.warp_size,
+        sps_per_sm: cfg.sps_per_sm,
+        threads_per_core: cfg.max_threads_per_sm,
+        blocks_per_core: cfg.max_blocks_per_sm,
+        registers_per_core: cfg.registers_per_sm,
+        on_chip_bytes: cfg.shared_mem_per_sm,
+        spawn_lut_bytes: dmk.lut_bytes(),
+        memory_modules: cfg.mem.num_modules,
+        bytes_per_cycle: cfg.mem.bytes_per_cycle,
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table I — configuration used for simulation")?;
+        writeln!(f, "  Processor Cores                 {}", self.processor_cores)?;
+        writeln!(f, "  Warp Size                       {}", self.warp_size)?;
+        writeln!(f, "  Stream Processors per Warp      {}", self.sps_per_sm)?;
+        writeln!(f, "  Threads / Processor Core        {}", self.threads_per_core)?;
+        writeln!(f, "  Thread Blocks / Processor Core  {}", self.blocks_per_core)?;
+        writeln!(f, "  Registers / Processor Core      {}", self.registers_per_core)?;
+        writeln!(f, "  On-chip Memory / Processor Core {} KB", self.on_chip_bytes / 1024)?;
+        writeln!(f, "  Spawn LUT Size / Processor Core {} Bytes (≤ 1024 budget)", self.spawn_lut_bytes)?;
+        writeln!(f, "  Memory Modules                  {}", self.memory_modules)?;
+        write!(f, "  Bandwidth per Memory Module     {} Bytes/Cycle", self.bytes_per_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table_1() {
+        let t = run();
+        assert_eq!(t.processor_cores, 30);
+        assert_eq!(t.warp_size, 32);
+        assert_eq!(t.sps_per_sm, 8);
+        assert_eq!(t.threads_per_core, 1024);
+        assert_eq!(t.blocks_per_core, 8);
+        assert_eq!(t.registers_per_core, 16384);
+        assert_eq!(t.on_chip_bytes, 64 * 1024);
+        assert!(t.spawn_lut_bytes <= 1024);
+        assert_eq!(t.memory_modules, 8);
+        assert_eq!(t.bytes_per_cycle, 8);
+    }
+
+    #[test]
+    fn display_contains_every_row() {
+        let s = run().to_string();
+        for key in ["Processor Cores", "Warp Size", "Spawn LUT", "Memory Modules"] {
+            assert!(s.contains(key), "missing {key}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Table II — kernel processor resource requirements per thread.
+//!
+//! The "μ-kernel minimum" column reports the cheapest *individual*
+//! μ-kernel (registers reachable from its entry alone): the resources a
+//! scheduler could charge if it tracked per-μ-kernel requirements instead
+//! of the maximum (the trade-off the paper discusses in §IV-D).
+
+use serde::Serialize;
+use simt_isa::{Instr, Program};
+use std::fmt;
+
+/// One column of Table II.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ResourceColumn {
+    /// Registers per thread.
+    pub registers: u32,
+    /// Shared-memory bytes.
+    pub shared_bytes: u32,
+    /// Global-memory bytes.
+    pub global_bytes: u32,
+    /// Constant-memory bytes.
+    pub const_bytes: u32,
+    /// Spawn-memory bytes.
+    pub spawn_bytes: u32,
+}
+
+/// The regenerated Table II.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2 {
+    /// Traditional kernel.
+    pub traditional: ResourceColumn,
+    /// μ-kernel program (maximum across μ-kernels — what the scheduler
+    /// charges).
+    pub ukernel: ResourceColumn,
+    /// Cheapest single μ-kernel.
+    pub ukernel_minimum: ResourceColumn,
+}
+
+/// Registers used by code reachable from `entry_pc` following branches and
+/// fall-through (not `spawn`, which starts a fresh context).
+pub fn registers_reachable_from(program: &Program, entry_pc: usize) -> u32 {
+    let n = program.len();
+    let mut seen = vec![false; n];
+    let mut stack = vec![entry_pc];
+    let mut max_reg = 0u32;
+    while let Some(pc) = stack.pop() {
+        if pc >= n || seen[pc] {
+            continue;
+        }
+        seen[pc] = true;
+        let i = program.fetch(pc);
+        for r in i.reads().into_iter().chain(i.writes()) {
+            max_reg = max_reg.max(u32::from(r.0) + 1);
+        }
+        match i.op {
+            Instr::Bra { target } => {
+                stack.push(target);
+                if i.guard.is_some() {
+                    stack.push(pc + 1);
+                }
+            }
+            Instr::Exit => {
+                if i.guard.is_some() {
+                    stack.push(pc + 1);
+                }
+            }
+            _ => stack.push(pc + 1),
+        }
+    }
+    max_reg
+}
+
+fn column(program: &Program, registers: u32) -> ResourceColumn {
+    let r = program.resource_usage();
+    ResourceColumn {
+        registers,
+        shared_bytes: r.shared_bytes,
+        global_bytes: r.global_bytes,
+        const_bytes: r.const_bytes,
+        spawn_bytes: r.spawn_state_bytes,
+    }
+}
+
+/// Builds the table from the two benchmark kernels.
+pub fn run() -> Table2 {
+    let trad = rt_kernels::traditional::program();
+    let uk = rt_kernels::ukernel::program();
+    let min_regs = uk
+        .entry_points()
+        .iter()
+        .map(|e| registers_reachable_from(&uk, e.pc))
+        .min()
+        .unwrap_or(0);
+    Table2 {
+        traditional: column(&trad, trad.resource_usage().registers),
+        ukernel: column(&uk, uk.resource_usage().registers),
+        ukernel_minimum: column(&uk, min_regs),
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table II — kernel processor resource requirements per thread")?;
+        writeln!(
+            f,
+            "  {:<16} {:>12} {:>12} {:>18}",
+            "Resource", "Traditional", "μ-kernel", "μ-kernel Minimum"
+        )?;
+        let rows = [
+            (
+                "Registers",
+                self.traditional.registers,
+                self.ukernel.registers,
+                self.ukernel_minimum.registers,
+            ),
+            (
+                "Shared Memory",
+                self.traditional.shared_bytes,
+                self.ukernel.shared_bytes,
+                self.ukernel_minimum.shared_bytes,
+            ),
+            (
+                "Global Memory",
+                self.traditional.global_bytes,
+                self.ukernel.global_bytes,
+                self.ukernel_minimum.global_bytes,
+            ),
+            (
+                "Constant Memory",
+                self.traditional.const_bytes,
+                self.ukernel.const_bytes,
+                self.ukernel_minimum.const_bytes,
+            ),
+            (
+                "Spawn Memory",
+                self.traditional.spawn_bytes,
+                self.ukernel.spawn_bytes,
+                self.ukernel_minimum.spawn_bytes,
+            ),
+        ];
+        for (name, a, b, c) in rows {
+            writeln!(f, "  {name:<16} {a:>12} {b:>12} {c:>18}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape_matches_paper() {
+        let t = run();
+        // Spawn memory: 0 for traditional, 48 for μ-kernels (Table II).
+        assert_eq!(t.traditional.spawn_bytes, 0);
+        assert_eq!(t.ukernel.spawn_bytes, 48);
+        // The cheapest μ-kernel needs no more than the whole program.
+        assert!(t.ukernel_minimum.registers <= t.ukernel.registers);
+        assert!(t.ukernel_minimum.registers > 0);
+        // Register budgets stay within the architectural file.
+        assert!(t.traditional.registers <= 64);
+        assert!(t.ukernel.registers <= 64);
+    }
+
+    #[test]
+    fn reachability_ignores_spawn_edges() {
+        let p = simt_isa::assemble(
+            r#"
+            .kernel main
+            .kernel child
+            main:
+                mov.u32 r1, 0
+                spawn $child, r1
+                exit
+            child:
+                mov.u32 r40, 0
+                exit
+            "#,
+        )
+        .unwrap();
+        // From main: r1 only (spawn target not followed).
+        assert_eq!(registers_reachable_from(&p, 0), 2);
+        // From child: r40.
+        assert_eq!(registers_reachable_from(&p, 3), 41);
+    }
+
+    #[test]
+    fn display_has_all_rows() {
+        let s = run().to_string();
+        for key in ["Registers", "Shared", "Global", "Constant", "Spawn"] {
+            assert!(s.contains(key), "missing {key}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Table III — benchmark scenes with object count and tree parameters.
+
+use crate::runner::Scale;
+use raytrace::{scenes, KdTree};
+use serde::Serialize;
+use std::fmt;
+
+/// One scene row.
+#[derive(Debug, Clone, Serialize)]
+pub struct SceneRow {
+    /// Scene name.
+    pub name: &'static str,
+    /// Triangle count (after dropping degenerates).
+    pub triangles: u32,
+    /// kd-tree nodes.
+    pub nodes: u32,
+    /// kd-tree leaves.
+    pub leaves: u32,
+    /// Maximum leaf depth.
+    pub max_depth: u32,
+    /// Average triangle references per leaf.
+    pub avg_tris_per_leaf: f64,
+    /// Total triangle references (duplication across leaves).
+    pub tri_refs: u32,
+}
+
+/// The regenerated Table III.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3 {
+    /// One row per benchmark scene, in the paper's order.
+    pub rows: Vec<SceneRow>,
+}
+
+/// Builds the table at the given scale.
+pub fn run(scale: Scale) -> Table3 {
+    let rows = scenes::all(scale.scene)
+        .into_iter()
+        .map(|s| {
+            let tree = KdTree::build(&s.triangles);
+            let st = tree.stats();
+            SceneRow {
+                name: s.name,
+                triangles: st.triangles,
+                nodes: st.nodes,
+                leaves: st.leaves,
+                max_depth: st.max_depth,
+                avg_tris_per_leaf: st.avg_tris_per_leaf,
+                tri_refs: st.tri_refs,
+            }
+        })
+        .collect();
+    Table3 { rows }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table III — benchmark scenes and kd-tree parameters")?;
+        writeln!(
+            f,
+            "  {:<12} {:>10} {:>8} {:>8} {:>9} {:>14} {:>9}",
+            "scene", "triangles", "nodes", "leaves", "max depth", "avg tris/leaf", "tri refs"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<12} {:>10} {:>8} {:>8} {:>9} {:>14.1} {:>9}",
+                r.name, r.triangles, r.nodes, r.leaves, r.max_depth, r.avg_tris_per_leaf, r.tri_refs
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_scenes_in_paper_order() {
+        let t = run(Scale::test());
+        let names: Vec<&str> = t.rows.iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["fairyforest", "atrium", "conference"]);
+    }
+
+    #[test]
+    fn rows_are_internally_consistent() {
+        for r in run(Scale::test()).rows {
+            assert!(r.triangles > 0, "{}", r.name);
+            assert!(r.nodes >= r.leaves);
+            assert!(r.tri_refs >= r.triangles || r.leaves == 1);
+            assert!(r.avg_tris_per_leaf > 0.0);
+            assert!(r.max_depth <= 24);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Disassembly: `Display` implementations for instructions and programs.
+
+use crate::instr::{AluOp, CmpOp, Instr, Instruction, Space, Width};
+use crate::program::Program;
+use std::fmt;
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Space::Global => "global",
+            Space::Shared => "shared",
+            Space::Local => "local",
+            Space::Const => "const",
+            Space::Spawn => "spawn",
+        };
+        f.write_str(s)
+    }
+}
+
+fn alu_mnemonic(op: AluOp) -> &'static str {
+    match op {
+        AluOp::IAdd => "add.s32",
+        AluOp::ISub => "sub.s32",
+        AluOp::IMul => "mul.lo.s32",
+        AluOp::IMad => "mad.lo.s32",
+        AluOp::IMin => "min.s32",
+        AluOp::IMax => "max.s32",
+        AluOp::IDiv => "div.s32",
+        AluOp::IRem => "rem.s32",
+        AluOp::And => "and.b32",
+        AluOp::Or => "or.b32",
+        AluOp::Xor => "xor.b32",
+        AluOp::Not => "not.b32",
+        AluOp::Shl => "shl.b32",
+        AluOp::ShrU => "shr.u32",
+        AluOp::ShrS => "shr.s32",
+        AluOp::FAdd => "add.f32",
+        AluOp::FSub => "sub.f32",
+        AluOp::FMul => "mul.f32",
+        AluOp::FDiv => "div.f32",
+        AluOp::FMin => "min.f32",
+        AluOp::FMax => "max.f32",
+        AluOp::FFma => "fma.f32",
+        AluOp::FSqrt => "sqrt.f32",
+        AluOp::FRcp => "rcp.f32",
+        AluOp::FAbs => "abs.f32",
+        AluOp::FNeg => "neg.f32",
+        AluOp::FFloor => "floor.f32",
+        AluOp::I2F => "cvt.f32.s32",
+        AluOp::F2I => "cvt.s32.f32",
+        AluOp::U2F => "cvt.f32.u32",
+        AluOp::F2U => "cvt.u32.f32",
+    }
+}
+
+fn cmp_mnemonic(cmp: CmpOp) -> &'static str {
+    match cmp {
+        CmpOp::EqS => "setp.eq.s32",
+        CmpOp::NeS => "setp.ne.s32",
+        CmpOp::LtS => "setp.lt.s32",
+        CmpOp::LeS => "setp.le.s32",
+        CmpOp::GtS => "setp.gt.s32",
+        CmpOp::GeS => "setp.ge.s32",
+        CmpOp::LtU => "setp.lt.u32",
+        CmpOp::LeU => "setp.le.u32",
+        CmpOp::GtU => "setp.gt.u32",
+        CmpOp::GeU => "setp.ge.u32",
+        CmpOp::EqF => "setp.eq.f32",
+        CmpOp::NeF => "setp.ne.f32",
+        CmpOp::LtF => "setp.lt.f32",
+        CmpOp::LeF => "setp.le.f32",
+        CmpOp::GtF => "setp.gt.f32",
+        CmpOp::GeF => "setp.ge.f32",
+    }
+}
+
+fn width_suffix(w: Width) -> &'static str {
+    match w {
+        Width::W1 => "u32",
+        Width::V4 => "v4",
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Alu { op, d, a, b, c } => {
+                if op.is_unary() {
+                    write!(f, "{} {d}, {a}", alu_mnemonic(*op))
+                } else if op.is_ternary() {
+                    write!(f, "{} {d}, {a}, {b}, {c}", alu_mnemonic(*op))
+                } else {
+                    write!(f, "{} {d}, {a}, {b}", alu_mnemonic(*op))
+                }
+            }
+            Instr::Setp { cmp, p, a, b } => write!(f, "{} {p}, {a}, {b}", cmp_mnemonic(*cmp)),
+            Instr::Selp { d, a, b, p } => write!(f, "selp.b32 {d}, {a}, {b}, {p}"),
+            Instr::Mov { d, a } => write!(f, "mov.b32 {d}, {a}"),
+            Instr::ReadSpecial { d, s } => write!(f, "mov.u32 {d}, {s}"),
+            Instr::Ld {
+                space,
+                d,
+                addr,
+                offset,
+                width,
+            } => write!(f, "ld.{space}.{} {d}, [{addr}{offset:+}]", width_suffix(*width)),
+            Instr::St {
+                space,
+                a,
+                addr,
+                offset,
+                width,
+            } => write!(f, "st.{space}.{} [{addr}{offset:+}], {a}", width_suffix(*width)),
+            Instr::Bra { target } => write!(f, "bra {target}"),
+            Instr::Exit => f.write_str("exit"),
+            Instr::Spawn { target, ptr } => write!(f, "spawn {target}, {ptr}"),
+            Instr::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(g) = self.guard {
+            if g.negate {
+                write!(f, "@!{} ", g.pred)?;
+            } else {
+                write!(f, "@{} ", g.pred)?;
+            }
+        }
+        write!(f, "{}", self.op)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; program `{}` ({} instructions)", self.name(), self.len())?;
+        // Reverse label map for annotation.
+        for (pc, i) in self.instrs().iter().enumerate() {
+            for (name, &lpc) in self.labels() {
+                if lpc == pc {
+                    writeln!(f, "{name}:")?;
+                }
+            }
+            writeln!(f, "  {pc:4}: {i}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::reg::{Operand, Pred, Reg};
+
+    #[test]
+    fn instruction_display_is_nonempty() {
+        let i = Instruction::guarded(
+            Pred(0),
+            true,
+            Instr::Alu {
+                op: AluOp::FAdd,
+                d: Reg(1),
+                a: Operand::Reg(Reg(2)),
+                b: Operand::imm_f32(1.0),
+                c: Operand::Imm(0),
+            },
+        );
+        let s = i.to_string();
+        assert!(s.starts_with("@!p0 add.f32 r1, r2"), "{s}");
+    }
+
+    #[test]
+    fn program_display_contains_labels() {
+        let p = assemble("start:\nnop\nbra start").unwrap();
+        let s = p.to_string();
+        assert!(s.contains("start:"), "{s}");
+        assert!(s.contains("bra 0"), "{s}");
+    }
+
+    #[test]
+    fn memory_display_roundtrip_shape() {
+        let p = assemble("ld.spawn.v4 r4, [r2+16]\nexit").unwrap();
+        assert_eq!(p.instrs()[0].to_string(), "ld.spawn.v4 r4, [r2+16]");
+        let p = assemble("st.global.u32 [r2-4], r1\nexit").unwrap();
+        assert_eq!(p.instrs()[0].to_string(), "st.global.u32 [r2-4], r1");
+    }
+}

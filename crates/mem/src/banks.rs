@@ -1,0 +1,163 @@
+//! On-chip banked memories (shared memory and spawn memory).
+//!
+//! An on-chip scratchpad is divided into word-interleaved banks; a warp
+//! access completes in one pass unless multiple lanes touch *different
+//! words in the same bank*, in which case the conflicting passes serialize
+//! (paper §VII: "serialization of all conflicting bank memory operations to
+//! the spawn memory space").
+
+use serde::{Deserialize, Serialize};
+
+/// Computes the bank-conflict degree of a warp access: the maximum number
+/// of distinct words mapped to any single bank (≥ 1 for a non-empty
+/// access). Broadcasts (lanes reading the *same* word) do not conflict.
+///
+/// `addresses` are byte addresses; words are 4 bytes, banks interleave by
+/// word.
+///
+/// # Panics
+///
+/// Panics if `banks` is zero.
+pub fn conflict_degree(addresses: &[u32], banks: usize) -> u32 {
+    assert!(banks > 0, "bank count must be positive");
+    if addresses.is_empty() {
+        return 0;
+    }
+    // Distinct words per bank.
+    let mut per_bank: Vec<Vec<u32>> = vec![Vec::new(); banks];
+    for &a in addresses {
+        let word = a / 4;
+        let bank = (word as usize) % banks;
+        if !per_bank[bank].contains(&word) {
+            per_bank[bank].push(word);
+        }
+    }
+    per_bank.iter().map(|v| v.len() as u32).max().unwrap_or(0).max(1)
+}
+
+/// An on-chip word-addressed scratchpad with banking metadata.
+///
+/// One instance backs each SM's shared memory; the spawn-memory space
+/// (managed by `dmk-core`) wraps another instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OnChipMemory {
+    words: Vec<u32>,
+    banks: usize,
+}
+
+impl OnChipMemory {
+    /// Creates a scratchpad of `bytes` capacity with `banks` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    pub fn new(bytes: u32, banks: usize) -> Self {
+        assert!(banks > 0, "bank count must be positive");
+        OnChipMemory {
+            words: vec![0; (bytes as usize).div_ceil(4)],
+            banks,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u32 {
+        (self.words.len() * 4) as u32
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Reads the word at byte address `addr` (wraps modulo capacity, like
+    /// real scratchpads whose address decoders ignore high bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned access.
+    pub fn read(&self, addr: u32) -> u32 {
+        assert!(addr.is_multiple_of(4), "unaligned on-chip read at {addr:#x}");
+        let n = self.words.len();
+        self.words[(addr as usize / 4) % n]
+    }
+
+    /// Writes the word at byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned access.
+    pub fn write(&mut self, addr: u32, value: u32) {
+        assert!(addr.is_multiple_of(4), "unaligned on-chip write at {addr:#x}");
+        let n = self.words.len();
+        self.words[(addr as usize / 4) % n] = value;
+    }
+
+    /// Conflict degree of a warp access to this memory.
+    pub fn conflict_degree(&self, addresses: &[u32]) -> u32 {
+        conflict_degree(addresses, self.banks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conflict_free_stride_one() {
+        // 16 lanes, consecutive words, 16 banks: one word per bank.
+        let addrs: Vec<u32> = (0..16).map(|i| i * 4).collect();
+        assert_eq!(conflict_degree(&addrs, 16), 1);
+    }
+
+    #[test]
+    fn worst_case_same_bank() {
+        // Stride of 16 words on 16 banks: all lanes hit bank 0.
+        let addrs: Vec<u32> = (0..8).map(|i| i * 16 * 4).collect();
+        assert_eq!(conflict_degree(&addrs, 16), 8);
+    }
+
+    #[test]
+    fn broadcast_does_not_conflict() {
+        let addrs = vec![128; 32];
+        assert_eq!(conflict_degree(&addrs, 16), 1);
+    }
+
+    #[test]
+    fn stride_two_halves_throughput() {
+        let addrs: Vec<u32> = (0..16).map(|i| i * 8).collect(); // stride 2 words
+        assert_eq!(conflict_degree(&addrs, 16), 2);
+    }
+
+    #[test]
+    fn empty_access_has_zero_degree() {
+        assert_eq!(conflict_degree(&[], 16), 0);
+    }
+
+    #[test]
+    fn onchip_read_write() {
+        let mut m = OnChipMemory::new(64 * 1024, 16);
+        assert_eq!(m.capacity_bytes(), 64 * 1024);
+        m.write(100 * 4, 7);
+        assert_eq!(m.read(100 * 4), 7);
+    }
+
+    proptest! {
+        #[test]
+        fn degree_bounds(addrs in proptest::collection::vec(0u32..65_536, 1..32), banks in 1usize..33) {
+            let aligned: Vec<u32> = addrs.iter().map(|a| a & !3).collect();
+            let d = conflict_degree(&aligned, banks);
+            prop_assert!(d >= 1);
+            prop_assert!(d as usize <= aligned.len());
+        }
+
+        #[test]
+        fn single_bank_degree_is_distinct_words(addrs in proptest::collection::vec(0u32..4096, 1..32)) {
+            let aligned: Vec<u32> = addrs.iter().map(|a| a & !3).collect();
+            let mut words: Vec<u32> = aligned.iter().map(|a| a / 4).collect();
+            words.sort_unstable();
+            words.dedup();
+            prop_assert_eq!(conflict_degree(&aligned, 1), words.len() as u32);
+        }
+    }
+}

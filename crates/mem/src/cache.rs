@@ -1,0 +1,157 @@
+//! Per-SM read-only (texture) cache.
+//!
+//! The paper's benchmark (Radius-CUDA) binds the kd-tree, triangle
+//! references and triangle data to CUDA *textures*; on the simulated
+//! GT200-class machine those reads flow through per-SM texture caches,
+//! which exist independently of the L1/L2 data caches that Table I
+//! disables. Without this cache the scene working set saturates the 64
+//! B/cycle DRAM system and the machine becomes bandwidth-bound, which
+//! contradicts the paper's (memory-insensitive, branch-bound) baseline —
+//! see Fig. 10, where PDOM gains nothing from an ideal memory system.
+//!
+//! The model is a classic set-associative, LRU, read-only cache. The host
+//! marks cacheable regions (the "texture bindings"); everything else
+//! (rays, results, traversal stacks) bypasses.
+
+use serde::{Deserialize, Serialize};
+
+/// A set-associative read-only cache model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReadOnlyCache {
+    line_bytes: u32,
+    sets: usize,
+    ways: usize,
+    /// Per set: resident line addresses, most-recently-used first.
+    tags: Vec<Vec<u64>>,
+    /// Hits observed.
+    pub hits: u64,
+    /// Misses observed.
+    pub misses: u64,
+}
+
+impl ReadOnlyCache {
+    /// Creates a cache of `capacity_bytes` with `line_bytes` lines and
+    /// `ways`-way associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, capacity not a
+    /// multiple of `line_bytes * ways`, or non-power-of-two line size).
+    pub fn new(capacity_bytes: u32, line_bytes: u32, ways: usize) -> Self {
+        assert!(line_bytes.is_power_of_two() && line_bytes > 0);
+        assert!(ways > 0);
+        let lines = capacity_bytes / line_bytes;
+        assert!(lines as usize >= ways && lines.is_multiple_of(ways as u32),
+            "capacity must hold a whole number of sets");
+        let sets = (lines as usize) / ways;
+        ReadOnlyCache {
+            line_bytes,
+            sets,
+            ways,
+            tags: vec![Vec::new(); sets],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Looks up the line containing `addr`, filling it on a miss.
+    /// Returns `true` on a hit.
+    pub fn access(&mut self, addr: u32) -> bool {
+        let line = u64::from(addr / self.line_bytes);
+        let set = (line as usize) % self.sets;
+        let ways = self.ways;
+        let entries = &mut self.tags[set];
+        if let Some(pos) = entries.iter().position(|&t| t == line) {
+            let t = entries.remove(pos);
+            entries.insert(0, t);
+            self.hits += 1;
+            return true;
+        }
+        entries.insert(0, line);
+        if entries.len() > ways {
+            entries.pop();
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        self.tags.iter_mut().for_each(Vec::clear);
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = ReadOnlyCache::new(1024, 64, 4);
+        assert!(!c.access(100));
+        assert!(c.access(100));
+        assert!(c.access(96), "same 64 B line");
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn capacity_eviction_is_lru() {
+        // 4 lines total, fully associative (1 set × 4 ways).
+        let mut c = ReadOnlyCache::new(256, 64, 4);
+        for i in 0..4u32 {
+            assert!(!c.access(i * 64));
+        }
+        // Touch line 0 to make it MRU, then insert a 5th line.
+        assert!(c.access(0));
+        assert!(!c.access(4 * 64));
+        // Line 1 (LRU) was evicted; line 0 survives.
+        assert!(c.access(0));
+        assert!(!c.access(64));
+    }
+
+    #[test]
+    fn sets_partition_addresses() {
+        // 2 sets × 1 way of 64 B: lines alternate sets.
+        let mut c = ReadOnlyCache::new(128, 64, 1);
+        assert!(!c.access(0)); // set 0
+        assert!(!c.access(64)); // set 1
+        assert!(c.access(0), "set 1 fill must not evict set 0");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = ReadOnlyCache::new(1024, 64, 4);
+        c.access(0);
+        c.access(0);
+        c.reset();
+        assert_eq!(c.hits + c.misses, 0);
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn hit_rate_tracks() {
+        let mut c = ReadOnlyCache::new(1024, 64, 4);
+        assert_eq!(c.hit_rate(), 0.0);
+        c.access(0);
+        c.access(0);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-9);
+    }
+}

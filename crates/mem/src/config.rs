@@ -1,0 +1,127 @@
+//! Memory-system configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the memory subsystem.
+///
+/// [`MemConfig::fx5800`] reproduces paper Table I: 8 memory modules at
+/// 8 bytes/cycle, no L1/L2 caching.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Number of off-chip memory modules (DRAM channels).
+    pub num_modules: usize,
+    /// Peak bandwidth per module, bytes per cycle.
+    pub bytes_per_cycle: u32,
+    /// Fixed DRAM access latency in cycles (row access + interconnect).
+    pub dram_latency: u32,
+    /// DRAM-to-shader clock ratio: the modules move `bytes_per_cycle`
+    /// bytes per *DRAM* cycle (FX5800: ~1.6 GHz effective GDDR3 vs the
+    /// 1.3 GHz shader clock → 1.23, giving the card's real 78 B per
+    /// shader cycle).
+    pub dram_clock_ratio: f64,
+    /// Coalescing granularity in bytes (one transaction per touched segment).
+    pub segment_bytes: u32,
+    /// Number of banks in each on-chip scratchpad (shared/spawn).
+    pub shared_banks: usize,
+    /// Pipeline latency of an on-chip access in cycles.
+    pub shared_latency: u32,
+    /// Model bank conflicts on the spawn-memory space.
+    ///
+    /// The paper first evaluates with conflicts eliminated ("future
+    /// programming models or compiler optimization", §VII / Fig. 7) and then
+    /// with conflicts enabled (Fig. 9).
+    pub spawn_bank_conflicts: bool,
+    /// Ideal memory: every access completes next cycle and consumes no
+    /// bandwidth (paper Fig. 10 "theoretical" configurations).
+    pub ideal: bool,
+    /// Per-SM read-only (texture) cache capacity in bytes; 0 disables.
+    ///
+    /// The benchmark binds scene data to textures; GT200-class texture
+    /// caches exist independently of the L1/L2 data caches Table I
+    /// disables.
+    pub tex_cache_bytes: u32,
+    /// Texture-cache line size in bytes.
+    pub tex_line_bytes: u32,
+    /// Texture-cache associativity.
+    pub tex_ways: usize,
+    /// Texture-cache hit latency in cycles.
+    pub tex_hit_latency: u32,
+}
+
+impl MemConfig {
+    /// The paper's simulated configuration (Table I): 8 modules ×
+    /// 8 bytes/cycle, 16-bank on-chip memory, no caches.
+    ///
+    /// Transactions are 32 bytes — the GT200 generation's small-transaction
+    /// granularity for scattered access — so a fully divergent warp pays
+    /// 32× the bandwidth of a broadcast, not 64×.
+    pub fn fx5800() -> Self {
+        MemConfig {
+            num_modules: 8,
+            bytes_per_cycle: 8,
+            dram_latency: 200,
+            dram_clock_ratio: 1.23,
+            segment_bytes: 32,
+            shared_banks: 16,
+            shared_latency: 10,
+            spawn_bank_conflicts: false,
+            ideal: false,
+            tex_cache_bytes: 32 * 1024,
+            tex_line_bytes: 32,
+            tex_ways: 4,
+            tex_hit_latency: 12,
+        }
+    }
+
+    /// Ideal-memory variant of this configuration.
+    pub fn with_ideal(mut self, ideal: bool) -> Self {
+        self.ideal = ideal;
+        self
+    }
+
+    /// Enables/disables spawn-memory bank-conflict modeling.
+    pub fn with_spawn_bank_conflicts(mut self, enabled: bool) -> Self {
+        self.spawn_bank_conflicts = enabled;
+        self
+    }
+
+    /// Shader cycles a module needs to transfer one coalesced segment
+    /// (fractional: the modules run at the DRAM clock).
+    pub fn segment_service_cycles(&self) -> f64 {
+        f64::from(self.segment_bytes)
+            / (f64::from(self.bytes_per_cycle) * self.dram_clock_ratio)
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::fx5800()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fx5800_matches_table_1() {
+        let c = MemConfig::fx5800();
+        assert_eq!(c.num_modules, 8);
+        assert_eq!(c.bytes_per_cycle, 8);
+        assert!(!c.ideal);
+    }
+
+    #[test]
+    fn segment_service_cycles() {
+        let c = MemConfig::fx5800();
+        // 32 B / (8 B per DRAM cycle * 1.23) ≈ 3.25 shader cycles.
+        assert!((c.segment_service_cycles() - 3.252).abs() < 0.01);
+    }
+
+    #[test]
+    fn builder_style_toggles() {
+        let c = MemConfig::fx5800().with_ideal(true).with_spawn_bank_conflicts(true);
+        assert!(c.ideal);
+        assert!(c.spawn_bank_conflicts);
+    }
+}

@@ -1,0 +1,48 @@
+//! # simt-mem — GPU memory-subsystem model
+//!
+//! Functional backing stores plus a first-order timing model for the memory
+//! hierarchy of the simulated machine (paper Table I):
+//!
+//! * **off-chip device memory** (`global`, `local`, `const` spaces) served by
+//!   8 memory modules at 8 bytes/cycle each, accessed through warp-level
+//!   coalescing into 64-byte segments, with per-module queueing delay;
+//! * **on-chip scratchpads** (`shared` and the paper's new `spawn` space),
+//!   banked, with conflict serialization;
+//! * an **ideal memory** mode (zero latency) used for the paper's Fig. 10
+//!   theoretical-branching study;
+//! * byte-accurate **traffic accounting** per address space (paper Table IV).
+//!
+//! Functional state and timing are deliberately separated: the simulator
+//! performs functional reads/writes at issue and then parks the warp until
+//! the cycle returned by the timing model.
+//!
+//! ## Example
+//!
+//! ```
+//! use simt_mem::{MemConfig, MemorySystem};
+//! use simt_isa::Space;
+//!
+//! let mut mem = MemorySystem::new(MemConfig::fx5800());
+//! let buf = mem.alloc_global(64, "scratch");
+//! mem.write_u32(Space::Global, buf, 42);
+//! assert_eq!(mem.read_u32(Space::Global, buf), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backing;
+mod cache;
+mod banks;
+mod coalesce;
+mod config;
+mod system;
+mod traffic;
+
+pub use backing::{LocalStore, WordStore};
+pub use cache::ReadOnlyCache;
+pub use banks::{conflict_degree, OnChipMemory};
+pub use coalesce::{coalesce_segments, CoalesceResult};
+pub use config::MemConfig;
+pub use system::{MemorySystem, WarpAccess};
+pub use traffic::{SpaceTraffic, TrafficStats};

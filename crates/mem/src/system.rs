@@ -1,0 +1,425 @@
+//! The combined functional + timing memory system.
+
+use crate::backing::{LocalStore, WordStore};
+use crate::banks::conflict_degree;
+use crate::coalesce::coalesce_segments;
+use crate::config::MemConfig;
+use crate::traffic::TrafficStats;
+use simt_isa::Space;
+
+/// One warp-level memory access presented to the timing model.
+///
+/// `addresses` contains the byte address of every *active* lane (inactive
+/// lanes make no request). For the `local` space, addresses must already be
+/// physical (translated per thread via [`MemorySystem::local_physical`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpAccess {
+    /// Address space accessed.
+    pub space: Space,
+    /// `true` for stores.
+    pub is_store: bool,
+    /// Bytes moved per lane (4 for scalar, 16 for `v4`).
+    pub bytes_per_lane: u32,
+    /// Byte addresses of the active lanes.
+    pub addresses: Vec<u32>,
+}
+
+/// The chip-wide memory system: functional backing for the off-chip spaces
+/// plus the timing model for all spaces.
+///
+/// On-chip backing data (shared/spawn contents) is owned per-SM by the
+/// simulator; this type still provides their *timing* (latency and bank
+/// conflicts) so that all memory timing lives in one place.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    config: MemConfig,
+    global: WordStore,
+    constant: WordStore,
+    local: LocalStore,
+    /// (Fractional) cycle at which each off-chip module becomes free.
+    module_free: Vec<f64>,
+    traffic: TrafficStats,
+    /// Global-memory regions marked cacheable by per-SM read-only caches
+    /// ("texture bindings").
+    read_only_regions: Vec<(u32, u32)>,
+}
+
+impl MemorySystem {
+    /// Creates a memory system with empty contents.
+    pub fn new(config: MemConfig) -> Self {
+        let modules = config.num_modules;
+        MemorySystem {
+            config,
+            global: WordStore::new(),
+            constant: WordStore::new(),
+            local: LocalStore::new(0),
+            module_free: vec![0.0; modules],
+            traffic: TrafficStats::new(),
+            read_only_regions: Vec::new(),
+        }
+    }
+
+    /// Marks `[base, base+bytes)` of global memory as read-only/cacheable
+    /// (the host-side equivalent of binding a texture).
+    pub fn mark_read_only(&mut self, base: u32, bytes: u32) {
+        self.read_only_regions.push((base, bytes));
+    }
+
+    /// Whether a global address falls inside a read-only (texture) region.
+    pub fn is_read_only(&self, addr: u32) -> bool {
+        self.read_only_regions
+            .iter()
+            .any(|&(b, n)| addr >= b && addr < b.saturating_add(n))
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Allocates a labeled region of global memory; returns the base address.
+    pub fn alloc_global(&mut self, bytes: u32, label: &str) -> u32 {
+        self.global.alloc(bytes, label)
+    }
+
+    /// Allocates a labeled region of constant memory; returns the base address.
+    pub fn alloc_const(&mut self, bytes: u32, label: &str) -> u32 {
+        self.constant.alloc(bytes, label)
+    }
+
+    /// Gives every thread `stride_bytes` of private local memory.
+    pub fn configure_local(&mut self, stride_bytes: u32) {
+        self.local = LocalStore::new(stride_bytes);
+    }
+
+    /// Translates a per-thread local byte offset to a physical address used
+    /// for coalescing/timing.
+    pub fn local_physical(&self, tid: u32, addr: u32) -> u32 {
+        tid.wrapping_mul(self.local.stride_bytes()) + addr
+    }
+
+    /// Functional word read from an off-chip space.
+    ///
+    /// # Panics
+    ///
+    /// Panics for on-chip spaces (their contents are owned per-SM) and for
+    /// `local` (use [`MemorySystem::read_local`]).
+    pub fn read_u32(&self, space: Space, addr: u32) -> u32 {
+        match space {
+            Space::Global => self.global.read(addr),
+            Space::Const => self.constant.read(addr),
+            _ => panic!("functional {space} reads are not served by MemorySystem"),
+        }
+    }
+
+    /// Functional word write to an off-chip space.
+    ///
+    /// # Panics
+    ///
+    /// Panics for on-chip spaces, `local`, and `const` (read-only from
+    /// device code; use [`MemorySystem::alloc_const`] +
+    /// [`MemorySystem::host_write_const`] from the host side).
+    pub fn write_u32(&mut self, space: Space, addr: u32, value: u32) {
+        match space {
+            Space::Global => self.global.write(addr, value),
+            Space::Const => panic!("constant memory is read-only from device code"),
+            _ => panic!("functional {space} writes are not served by MemorySystem"),
+        }
+    }
+
+    /// Host-side write to constant memory (kernel launch setup).
+    pub fn host_write_const(&mut self, addr: u32, value: u32) {
+        self.constant.write(addr, value);
+    }
+
+    /// Host-side bulk write to global memory.
+    pub fn host_write_global(&mut self, addr: u32, values: &[u32]) {
+        self.global.write_words(addr, values);
+    }
+
+    /// Host-side bulk read from global memory.
+    pub fn host_read_global(&self, addr: u32, words: usize) -> Vec<u32> {
+        self.global.read_words(addr, words)
+    }
+
+    /// Functional read of thread `tid`'s local memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds or unaligned access.
+    pub fn read_local(&self, tid: u32, addr: u32) -> u32 {
+        self.local.read(tid, addr)
+    }
+
+    /// Functional write of thread `tid`'s local memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds or unaligned access.
+    pub fn write_local(&mut self, tid: u32, addr: u32, value: u32) {
+        self.local.write(tid, addr, value)
+    }
+
+    /// Times one warp access starting at cycle `now`; returns the cycle at
+    /// which the data is available (loads) or retired (stores), and records
+    /// traffic.
+    ///
+    /// Off-chip spaces coalesce into segments and queue on the 8 memory
+    /// modules; on-chip spaces pay the pipeline latency plus bank-conflict
+    /// serialization. In ideal mode every access completes next cycle.
+    pub fn access(&mut self, now: u64, req: &WarpAccess) -> u64 {
+        if req.addresses.is_empty() {
+            return now + 1;
+        }
+        let requested = req.addresses.len() as u64 * u64::from(req.bytes_per_lane);
+        // Constant memory is served by the (always-present) constant cache:
+        // broadcast reads at near-register latency, no DRAM bandwidth.
+        if req.space == Space::Const {
+            self.traffic.record(req.space, req.is_store, requested, 0);
+            if self.config.ideal {
+                return now + 1;
+            }
+            return now + u64::from(self.config.tex_hit_latency.max(1));
+        }
+        if req.space.is_on_chip() {
+            let mut port = now; // un-tracked port: no cross-access contention
+            return self.access_onchip(now, req, &mut port).0;
+        }
+
+        // Off-chip: coalesce, then queue segments on modules.
+        let result = coalesce_segments(&req.addresses, req.bytes_per_lane, self.config.segment_bytes);
+        self.traffic
+            .record(req.space, req.is_store, requested, result.transactions() as u64);
+        if self.config.ideal {
+            return now + 1;
+        }
+        let service = self.config.segment_service_cycles();
+        let mut ready = now + 1;
+        for seg in &result.segments {
+            let module = ((seg / self.config.segment_bytes) as usize) % self.config.num_modules;
+            let start = (now as f64).max(self.module_free[module]);
+            self.module_free[module] = start + service;
+            let done = (start + service).ceil() as u64 + u64::from(self.config.dram_latency);
+            ready = ready.max(done);
+        }
+        ready
+    }
+
+    /// Times one **on-chip** warp access (shared or spawn space) against a
+    /// caller-owned port: `port_free` is the cycle at which that SM's
+    /// load-store port becomes free. Bank-conflict serialization occupies
+    /// the port for one pass per conflicting word set, so conflicting
+    /// accesses also delay *other* warps on the same SM — the pipeline
+    /// stalls the paper observes in Fig. 9.
+    ///
+    /// `v4` accesses are expanded to word granularity before computing the
+    /// conflict degree (each lane touches four consecutive banks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space is not on-chip.
+    pub fn access_onchip(
+        &mut self,
+        now: u64,
+        req: &WarpAccess,
+        port_free: &mut u64,
+    ) -> (u64, u32) {
+        assert!(req.space.is_on_chip(), "access_onchip expects shared/spawn");
+        if req.addresses.is_empty() {
+            return (now + 1, 1);
+        }
+        let requested = req.addresses.len() as u64 * u64::from(req.bytes_per_lane);
+        let model_conflicts = req.space != Space::Spawn || self.config.spawn_bank_conflicts;
+        let degree = if model_conflicts {
+            let words_per_lane = (req.bytes_per_lane / 4).max(1);
+            let mut words: Vec<u32> =
+                Vec::with_capacity(req.addresses.len() * words_per_lane as usize);
+            for &a in &req.addresses {
+                for wd in 0..words_per_lane {
+                    words.push(a + 4 * wd);
+                }
+            }
+            conflict_degree(&words, self.config.shared_banks)
+        } else {
+            1
+        };
+        self.traffic.record(req.space, req.is_store, requested, 0);
+        if degree > 1 {
+            self.traffic.record_conflicts(req.space, u64::from(degree - 1));
+        }
+        if self.config.ideal {
+            return (now + 1, 1);
+        }
+        let start = now.max(*port_free);
+        *port_free = start + u64::from(degree);
+        (start + u64::from(degree) + u64::from(self.config.shared_latency), degree)
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Resets timing state (module queues) and traffic, keeping contents.
+    pub fn reset_timing(&mut self) {
+        self.module_free.iter_mut().for_each(|m| *m = 0.0);
+        self.traffic = TrafficStats::new();
+    }
+
+    /// Bytes of global memory allocated so far.
+    pub fn global_allocated(&self) -> u32 {
+        self.global.allocated_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coalesced_warp(base: u32) -> WarpAccess {
+        WarpAccess {
+            space: Space::Global,
+            is_store: false,
+            bytes_per_lane: 4,
+            addresses: (0..32).map(|i| base + i * 4).collect(),
+        }
+    }
+
+    #[test]
+    fn functional_global_roundtrip() {
+        let mut m = MemorySystem::new(MemConfig::fx5800());
+        let a = m.alloc_global(16, "t");
+        m.write_u32(Space::Global, a + 4, 9);
+        assert_eq!(m.read_u32(Space::Global, a + 4), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn device_const_write_panics() {
+        let mut m = MemorySystem::new(MemConfig::fx5800());
+        m.write_u32(Space::Const, 0, 1);
+    }
+
+    #[test]
+    fn coalesced_access_is_fast_scattered_is_slow() {
+        let mut m = MemorySystem::new(MemConfig::fx5800());
+        let t_coalesced = m.access(0, &coalesced_warp(0));
+        m.reset_timing();
+        let scattered = WarpAccess {
+            space: Space::Global,
+            is_store: false,
+            bytes_per_lane: 4,
+            addresses: (0..32).map(|i| i * 4096).collect(),
+        };
+        let t_scattered = m.access(0, &scattered);
+        assert!(
+            t_scattered > t_coalesced,
+            "scattered {t_scattered} <= coalesced {t_coalesced}"
+        );
+    }
+
+    #[test]
+    fn module_queueing_backs_up() {
+        let mut m = MemorySystem::new(MemConfig::fx5800());
+        // Same segment repeatedly: same module, so queueing accrues.
+        let a = WarpAccess {
+            space: Space::Global,
+            is_store: false,
+            bytes_per_lane: 4,
+            addresses: vec![0; 1].into_iter().collect(),
+        };
+        let t1 = m.access(0, &a);
+        let t2 = m.access(0, &a);
+        assert!(t2 > t1, "second access must queue behind the first");
+    }
+
+    #[test]
+    fn ideal_memory_is_single_cycle() {
+        let mut m = MemorySystem::new(MemConfig::fx5800().with_ideal(true));
+        assert_eq!(m.access(10, &coalesced_warp(0)), 11);
+        let spawn = WarpAccess {
+            space: Space::Spawn,
+            is_store: true,
+            bytes_per_lane: 16,
+            addresses: (0..32).map(|i| i * 64).collect(),
+        };
+        assert_eq!(m.access(10, &spawn), 11);
+    }
+
+    #[test]
+    fn spawn_conflicts_toggle() {
+        // Stride of 16 words on 16 banks: degree 8 for 8 lanes.
+        let addrs: Vec<u32> = (0..8).map(|i| i * 64).collect();
+        let req = WarpAccess {
+            space: Space::Spawn,
+            is_store: false,
+            bytes_per_lane: 4,
+            addresses: addrs,
+        };
+        let mut without = MemorySystem::new(MemConfig::fx5800().with_spawn_bank_conflicts(false));
+        let mut with = MemorySystem::new(MemConfig::fx5800().with_spawn_bank_conflicts(true));
+        let t_without = without.access(0, &req);
+        let t_with = with.access(0, &req);
+        assert!(t_with > t_without);
+        assert_eq!(with.traffic().space(Space::Spawn).bank_conflict_passes, 7);
+        assert_eq!(without.traffic().space(Space::Spawn).bank_conflict_passes, 0);
+    }
+
+    #[test]
+    fn shared_conflicts_always_modeled() {
+        let addrs: Vec<u32> = (0..8).map(|i| i * 64).collect();
+        let req = WarpAccess {
+            space: Space::Shared,
+            is_store: false,
+            bytes_per_lane: 4,
+            addresses: addrs,
+        };
+        let mut m = MemorySystem::new(MemConfig::fx5800().with_spawn_bank_conflicts(false));
+        let base = u64::from(m.config().shared_latency);
+        // Degree 8: the access occupies the port for 8 passes.
+        assert_eq!(m.access(0, &req), base + 8);
+    }
+
+    #[test]
+    fn traffic_recorded_per_space() {
+        let mut m = MemorySystem::new(MemConfig::fx5800());
+        m.access(0, &coalesced_warp(0));
+        let g = m.traffic().space(Space::Global);
+        assert_eq!(g.bytes_read, 128);
+        assert_eq!(g.transactions, 4); // 128 B over 32 B segments
+        assert_eq!(g.accesses, 1);
+    }
+
+    #[test]
+    fn local_translation_and_storage() {
+        let mut m = MemorySystem::new(MemConfig::fx5800());
+        m.configure_local(388);
+        m.write_local(3, 8, 77);
+        assert_eq!(m.read_local(3, 8), 77);
+        assert_eq!(m.read_local(2, 8), 0);
+        assert_eq!(m.local_physical(1, 4), 388 + 4 + 0 /* stride rounded to 388 */);
+    }
+
+    #[test]
+    fn empty_access_is_noop() {
+        let mut m = MemorySystem::new(MemConfig::fx5800());
+        let req = WarpAccess {
+            space: Space::Global,
+            is_store: false,
+            bytes_per_lane: 4,
+            addresses: Vec::new(),
+        };
+        assert_eq!(m.access(5, &req), 6);
+        assert_eq!(m.traffic().space(Space::Global).accesses, 0);
+    }
+
+    #[test]
+    fn reset_timing_clears_queues_and_traffic() {
+        let mut m = MemorySystem::new(MemConfig::fx5800());
+        let t1 = m.access(0, &coalesced_warp(0));
+        m.reset_timing();
+        let t2 = m.access(0, &coalesced_warp(0));
+        assert_eq!(t1, t2);
+        assert_eq!(m.traffic().space(Space::Global).accesses, 1);
+    }
+}

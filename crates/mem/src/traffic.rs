@@ -1,0 +1,164 @@
+//! Traffic accounting per address space (regenerates paper Table IV).
+
+use serde::{Deserialize, Serialize};
+use simt_isa::Space;
+use std::fmt;
+
+/// Byte and transaction counters for one address space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpaceTraffic {
+    /// Bytes requested by loads.
+    pub bytes_read: u64,
+    /// Bytes requested by stores.
+    pub bytes_written: u64,
+    /// Coalesced transactions issued to memory modules (off-chip spaces).
+    pub transactions: u64,
+    /// Warp-level accesses.
+    pub accesses: u64,
+    /// Extra serialization passes caused by bank conflicts (on-chip spaces).
+    pub bank_conflict_passes: u64,
+}
+
+impl SpaceTraffic {
+    /// Total bytes moved (read + written).
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+/// Traffic statistics for all address spaces.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    global: SpaceTraffic,
+    shared: SpaceTraffic,
+    local: SpaceTraffic,
+    constant: SpaceTraffic,
+    spawn: SpaceTraffic,
+}
+
+impl TrafficStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters for `space`.
+    pub fn space(&self, space: Space) -> &SpaceTraffic {
+        match space {
+            Space::Global => &self.global,
+            Space::Shared => &self.shared,
+            Space::Local => &self.local,
+            Space::Const => &self.constant,
+            Space::Spawn => &self.spawn,
+        }
+    }
+
+    /// Mutable counters for `space`.
+    pub fn space_mut(&mut self, space: Space) -> &mut SpaceTraffic {
+        match space {
+            Space::Global => &mut self.global,
+            Space::Shared => &mut self.shared,
+            Space::Local => &mut self.local,
+            Space::Const => &mut self.constant,
+            Space::Spawn => &mut self.spawn,
+        }
+    }
+
+    /// Records one warp access.
+    pub fn record(&mut self, space: Space, is_store: bool, bytes: u64, transactions: u64) {
+        let t = self.space_mut(space);
+        t.accesses += 1;
+        t.transactions += transactions;
+        if is_store {
+            t.bytes_written += bytes;
+        } else {
+            t.bytes_read += bytes;
+        }
+    }
+
+    /// Records bank-conflict serialization passes.
+    pub fn record_conflicts(&mut self, space: Space, extra_passes: u64) {
+        self.space_mut(space).bank_conflict_passes += extra_passes;
+    }
+
+    /// Total bytes read across all spaces.
+    pub fn bytes_read(&self) -> u64 {
+        Space::ALL.iter().map(|s| self.space(*s).bytes_read).sum()
+    }
+
+    /// Total bytes written across all spaces.
+    pub fn bytes_written(&self) -> u64 {
+        Space::ALL.iter().map(|s| self.space(*s).bytes_written).sum()
+    }
+
+    /// Merges another statistics object into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for s in Space::ALL {
+            let dst = self.space_mut(s);
+            let src = other.space(s);
+            dst.bytes_read += src.bytes_read;
+            dst.bytes_written += src.bytes_written;
+            dst.transactions += src.transactions;
+            dst.accesses += src.accesses;
+            dst.bank_conflict_passes += src.bank_conflict_passes;
+        }
+    }
+}
+
+impl fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<8} {:>14} {:>14} {:>12} {:>10}", "space", "read B", "written B", "txns", "conflicts")?;
+        for s in Space::ALL {
+            let t = self.space(s);
+            writeln!(
+                f,
+                "{:<8} {:>14} {:>14} {:>12} {:>10}",
+                s.to_string(),
+                t.bytes_read,
+                t.bytes_written,
+                t.transactions,
+                t.bank_conflict_passes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut t = TrafficStats::new();
+        t.record(Space::Global, false, 128, 2);
+        t.record(Space::Global, true, 64, 1);
+        t.record(Space::Spawn, false, 48, 0);
+        assert_eq!(t.space(Space::Global).bytes_read, 128);
+        assert_eq!(t.space(Space::Global).bytes_written, 64);
+        assert_eq!(t.space(Space::Global).transactions, 3);
+        assert_eq!(t.space(Space::Global).accesses, 2);
+        assert_eq!(t.bytes_read(), 176);
+        assert_eq!(t.bytes_written(), 64);
+    }
+
+    #[test]
+    fn merge_sums_all_spaces() {
+        let mut a = TrafficStats::new();
+        a.record(Space::Shared, false, 4, 0);
+        let mut b = TrafficStats::new();
+        b.record(Space::Shared, false, 8, 0);
+        b.record_conflicts(Space::Spawn, 3);
+        a.merge(&b);
+        assert_eq!(a.space(Space::Shared).bytes_read, 12);
+        assert_eq!(a.space(Space::Spawn).bank_conflict_passes, 3);
+    }
+
+    #[test]
+    fn display_lists_every_space() {
+        let s = TrafficStats::new().to_string();
+        for name in ["global", "shared", "local", "const", "spawn"] {
+            assert!(s.contains(name), "missing {name} in {s}");
+        }
+    }
+}

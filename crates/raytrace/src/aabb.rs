@@ -1,0 +1,189 @@
+//! Axis-aligned bounding boxes.
+
+use crate::vec3::Vec3;
+use crate::Ray;
+
+/// An axis-aligned bounding box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// The empty box (inverted bounds; union identity).
+    pub const EMPTY: Aabb = Aabb {
+        min: Vec3 {
+            x: f32::INFINITY,
+            y: f32::INFINITY,
+            z: f32::INFINITY,
+        },
+        max: Vec3 {
+            x: f32::NEG_INFINITY,
+            y: f32::NEG_INFINITY,
+            z: f32::NEG_INFINITY,
+        },
+    };
+
+    /// Builds a box from corners.
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        Aabb { min, max }
+    }
+
+    /// Grows the box to contain `p`.
+    pub fn grow(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Union of two boxes.
+    pub fn union(self, o: Aabb) -> Aabb {
+        Aabb {
+            min: self.min.min(o.min),
+            max: self.max.max(o.max),
+        }
+    }
+
+    /// Whether the box contains no space.
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Box extent along each axis.
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Surface area (SAH metric).
+    pub fn surface_area(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let e = self.extent();
+        2.0 * (e.x * e.y + e.y * e.z + e.z * e.x)
+    }
+
+    /// Index of the longest axis.
+    pub fn longest_axis(&self) -> usize {
+        self.extent().dominant_axis()
+    }
+
+    /// Slab test: the parametric interval where `ray` overlaps the box,
+    /// clipped to `[ray.tmin, ray.tmax]`, or `None` when it misses.
+    pub fn intersect(&self, ray: &Ray) -> Option<(f32, f32)> {
+        let mut t0 = ray.tmin;
+        let mut t1 = ray.tmax;
+        for axis in 0..3 {
+            let inv = 1.0 / ray.dir[axis];
+            let mut near = (self.min[axis] - ray.origin[axis]) * inv;
+            let mut far = (self.max[axis] - ray.origin[axis]) * inv;
+            if inv < 0.0 {
+                std::mem::swap(&mut near, &mut far);
+            }
+            t0 = t0.max(near);
+            t1 = t1.min(far);
+            if t0 > t1 {
+                return None;
+            }
+        }
+        Some((t0, t1))
+    }
+}
+
+impl Default for Aabb {
+    fn default() -> Self {
+        Aabb::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit_box() -> Aabb {
+        Aabb::new(Vec3::ZERO, Vec3::splat(1.0))
+    }
+
+    #[test]
+    fn ray_through_box_hits() {
+        let r = Ray::new(Vec3::new(-1.0, 0.5, 0.5), Vec3::new(1.0, 0.0, 0.0));
+        let (t0, t1) = unit_box().intersect(&r).unwrap();
+        assert!((t0 - 1.0).abs() < 1e-6);
+        assert!((t1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ray_missing_box() {
+        let r = Ray::new(Vec3::new(-1.0, 2.0, 0.5), Vec3::new(1.0, 0.0, 0.0));
+        assert!(unit_box().intersect(&r).is_none());
+    }
+
+    #[test]
+    fn ray_starting_inside() {
+        let r = Ray::new(Vec3::splat(0.5), Vec3::new(0.0, 0.0, 1.0));
+        let (t0, t1) = unit_box().intersect(&r).unwrap();
+        assert!((t0 - r.tmin).abs() < 1e-6);
+        assert!((t1 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_direction_swaps_slabs() {
+        let r = Ray::new(Vec3::new(2.0, 0.5, 0.5), Vec3::new(-1.0, 0.0, 0.0));
+        let (t0, t1) = unit_box().intersect(&r).unwrap();
+        assert!((t0 - 1.0).abs() < 1e-6);
+        assert!((t1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_box_properties() {
+        let e = Aabb::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.surface_area(), 0.0);
+        let u = e.union(unit_box());
+        assert_eq!(u, unit_box());
+    }
+
+    #[test]
+    fn grow_and_union() {
+        let mut b = Aabb::EMPTY;
+        b.grow(Vec3::new(1.0, 2.0, 3.0));
+        b.grow(Vec3::new(-1.0, 0.0, 6.0));
+        assert_eq!(b.min, Vec3::new(-1.0, 0.0, 3.0));
+        assert_eq!(b.max, Vec3::new(1.0, 2.0, 6.0));
+        assert_eq!(b.longest_axis(), 2);
+    }
+
+    #[test]
+    fn surface_area_of_unit_box() {
+        assert!((unit_box().surface_area() - 6.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn interval_is_ordered_and_clipped(
+            ox in -5.0f32..5.0, oy in -5.0f32..5.0, oz in -5.0f32..5.0,
+            dx in -1.0f32..1.0, dy in -1.0f32..1.0, dz in -1.0f32..1.0,
+        ) {
+            prop_assume!(dx.abs() > 1e-3 && dy.abs() > 1e-3 && dz.abs() > 1e-3);
+            let r = Ray::new(Vec3::new(ox, oy, oz), Vec3::new(dx, dy, dz));
+            if let Some((t0, t1)) = unit_box().intersect(&r) {
+                prop_assert!(t0 <= t1);
+                prop_assert!(t0 >= r.tmin);
+                prop_assert!(t1 <= r.tmax);
+                // Midpoint of the interval lies inside the (slightly padded) box.
+                let p = r.at((t0 + t1) * 0.5);
+                for i in 0..3 {
+                    prop_assert!(p[i] >= -1e-3 && p[i] <= 1.0 + 1e-3);
+                }
+            }
+        }
+    }
+}

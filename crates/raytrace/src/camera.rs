@@ -1,0 +1,139 @@
+//! Pinhole camera generating primary rays.
+
+use crate::aabb::Aabb;
+use crate::vec3::Vec3;
+use crate::Ray;
+
+/// A pinhole camera rasterizing `width × height` pixels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    origin: Vec3,
+    lower_left: Vec3,
+    horizontal: Vec3,
+    vertical: Vec3,
+    width: u32,
+    height: u32,
+}
+
+impl Camera {
+    /// Creates a camera at `origin` looking at `target` with vertical field
+    /// of view `vfov_deg` degrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width`/`height` are zero or origin equals target.
+    pub fn new(origin: Vec3, target: Vec3, vfov_deg: f32, width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        let forward = (target - origin).normalized();
+        let world_up = if forward.y.abs() > 0.99 {
+            Vec3::new(1.0, 0.0, 0.0)
+        } else {
+            Vec3::new(0.0, 1.0, 0.0)
+        };
+        let right = forward.cross(world_up).normalized();
+        let up = right.cross(forward);
+        let aspect = width as f32 / height as f32;
+        let half_h = (vfov_deg.to_radians() / 2.0).tan();
+        let half_w = half_h * aspect;
+        let horizontal = right * (2.0 * half_w);
+        let vertical = up * (2.0 * half_h);
+        let lower_left = forward - right * half_w - up * half_h;
+        Camera {
+            origin,
+            lower_left,
+            horizontal,
+            vertical,
+            width,
+            height,
+        }
+    }
+
+    /// Positions a camera automatically so the whole `bounds` is in view —
+    /// the standard viewpoint for the benchmark scenes.
+    pub fn looking_at(bounds: Aabb, width: u32, height: u32) -> Self {
+        let center = bounds.center();
+        let radius = bounds.extent().length() * 0.5;
+        let dir = Vec3::new(0.6, 0.35, 0.7).normalized();
+        let origin = center + dir * (radius * 2.2).max(1e-3);
+        Camera::new(origin, center, 55.0, width, height)
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Camera position.
+    pub fn origin(&self) -> Vec3 {
+        self.origin
+    }
+
+    /// Primary ray through the center of pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when the pixel lies outside the image.
+    pub fn primary_ray(&self, x: u32, y: u32) -> Ray {
+        debug_assert!(x < self.width && y < self.height, "pixel out of image");
+        let u = (x as f32 + 0.5) / self.width as f32;
+        let v = (y as f32 + 0.5) / self.height as f32;
+        let dir = self.lower_left + self.horizontal * u + self.vertical * v;
+        Ray::new(self.origin, dir.normalized())
+    }
+
+    /// Primary ray for a flat pixel index (`y * width + x`).
+    pub fn primary_ray_indexed(&self, pixel: u32) -> Ray {
+        self.primary_ray(pixel % self.width, pixel / self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rays_originate_at_camera() {
+        let c = Camera::new(Vec3::new(0.0, 0.0, -5.0), Vec3::ZERO, 60.0, 8, 8);
+        for p in 0..64 {
+            let r = c.primary_ray_indexed(p);
+            assert_eq!(r.origin, Vec3::new(0.0, 0.0, -5.0));
+            assert!((r.dir.length() - 1.0).abs() < 1e-5, "normalized");
+        }
+    }
+
+    #[test]
+    fn center_pixel_points_at_target() {
+        let c = Camera::new(Vec3::new(0.0, 0.0, -5.0), Vec3::ZERO, 60.0, 101, 101);
+        let r = c.primary_ray(50, 50);
+        // Should point along +z.
+        assert!(r.dir.z > 0.99, "dir {:?}", r.dir);
+    }
+
+    #[test]
+    fn corner_rays_diverge() {
+        let c = Camera::new(Vec3::new(0.0, 0.0, -5.0), Vec3::ZERO, 60.0, 64, 64);
+        let a = c.primary_ray(0, 0);
+        let b = c.primary_ray(63, 63);
+        assert!(a.dir.dot(b.dir) < 0.999, "corners must differ");
+    }
+
+    #[test]
+    fn looking_at_sees_the_box() {
+        let bounds = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        let c = Camera::looking_at(bounds, 16, 16);
+        let r = c.primary_ray(8, 8);
+        assert!(bounds.intersect(&r).is_some(), "center ray must enter the bounds");
+    }
+
+    #[test]
+    fn straight_down_view_is_stable() {
+        let c = Camera::new(Vec3::new(0.0, 10.0, 0.0), Vec3::ZERO, 60.0, 4, 4);
+        let r = c.primary_ray(2, 2);
+        assert!(r.dir.y < -0.9);
+    }
+}

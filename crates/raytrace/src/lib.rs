@@ -1,0 +1,77 @@
+//! # raytrace — the ray-tracing substrate
+//!
+//! Everything the paper's benchmark application (Radius-CUDA, a kd-tree ray
+//! tracer) needs, rebuilt from scratch:
+//!
+//! * [`Vec3`], [`Ray`], [`Aabb`] — 3D math;
+//! * [`Triangle`] and [`WaldTriangle`] — Wald's projection-based
+//!   ray-triangle intersection with its 48-byte precomputed record
+//!   (paper §VI-A cites Wald's PhD algorithm);
+//! * [`KdTree`] — a surface-area-heuristic kd-tree builder with host-side
+//!   traversal ([`KdTree::intersect`]) used as the correctness oracle and
+//!   by the Table IV bandwidth analytics ([`KdTree::intersect_counted`]);
+//! * [`Camera`] — pinhole primary-ray generation;
+//! * [`scenes`] — procedural stand-ins for the paper's three benchmark
+//!   scenes (fairyforest / atrium / conference), seeded and deterministic,
+//!   each preserving the object-distribution character Table III describes.
+//!
+//! ## Example
+//!
+//! ```
+//! use raytrace::{scenes, Camera, KdTree};
+//!
+//! let scene = scenes::conference(scenes::SceneScale::Tiny);
+//! let tree = KdTree::build(&scene.triangles);
+//! let cam = Camera::looking_at(scene.bounds(), 16, 16);
+//! let hits = (0..16 * 16)
+//!     .filter(|&p| tree.intersect(&cam.primary_ray(p % 16, p / 16)).is_some())
+//!     .count();
+//! assert!(hits > 0, "camera must see the scene");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aabb;
+mod camera;
+mod kdtree;
+pub mod scenes;
+mod tri;
+mod vec3;
+
+pub use aabb::Aabb;
+pub use camera::Camera;
+pub use kdtree::{KdNode, KdTree, TraversalCounts, TreeStats};
+pub use scenes::Scene;
+pub use tri::{Hit, Triangle, WaldTriangle, WALD_TRI_BYTES};
+pub use vec3::Vec3;
+
+/// A ray with parametric interval `[tmin, tmax]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Origin point.
+    pub origin: Vec3,
+    /// Direction (not required to be normalized).
+    pub dir: Vec3,
+    /// Minimum accepted hit parameter.
+    pub tmin: f32,
+    /// Maximum accepted hit parameter.
+    pub tmax: f32,
+}
+
+impl Ray {
+    /// Creates a ray over `[1e-4, f32::MAX]`.
+    pub fn new(origin: Vec3, dir: Vec3) -> Self {
+        Ray {
+            origin,
+            dir,
+            tmin: 1e-4,
+            tmax: f32::MAX,
+        }
+    }
+
+    /// The point at parameter `t`.
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}

@@ -1,0 +1,211 @@
+//! Minimal 3-component f32 vector.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub};
+
+/// A 3D vector of `f32` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector.
+    pub fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// A vector with all components equal to `v`.
+    pub fn splat(v: f32) -> Self {
+        Vec3::new(v, v, v)
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in this direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on the zero vector.
+    pub fn normalized(self) -> Vec3 {
+        let l = self.length();
+        debug_assert!(l > 0.0, "cannot normalize the zero vector");
+        self / l
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Index of the component with the largest absolute value.
+    pub fn dominant_axis(self) -> usize {
+        let a = [self.x.abs(), self.y.abs(), self.z.abs()];
+        if a[0] >= a[1] && a[0] >= a[2] {
+            0
+        } else if a[1] >= a[2] {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f32;
+
+    fn index(&self, i: usize) -> &f32 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f32) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    fn div(self, s: f32) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_algebra() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(a.dot(b), 32.0);
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn normalize_gives_unit_length() {
+        let v = Vec3::new(3.0, 4.0, 0.0).normalized();
+        assert!((v.length() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dominant_axis_selection() {
+        assert_eq!(Vec3::new(-5.0, 1.0, 2.0).dominant_axis(), 0);
+        assert_eq!(Vec3::new(0.0, -3.0, 2.0).dominant_axis(), 1);
+        assert_eq!(Vec3::new(0.0, 1.0, -2.0).dominant_axis(), 2);
+    }
+
+    #[test]
+    fn indexing() {
+        let v = Vec3::new(7.0, 8.0, 9.0);
+        assert_eq!(v[0], 7.0);
+        assert_eq!(v[1], 8.0);
+        assert_eq!(v[2], 9.0);
+    }
+
+    fn small_vec() -> impl Strategy<Value = Vec3> {
+        (-100.0f32..100.0, -100.0f32..100.0, -100.0f32..100.0)
+            .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    }
+
+    proptest! {
+        #[test]
+        fn cross_orthogonal_to_inputs(a in small_vec(), b in small_vec()) {
+            let c = a.cross(b);
+            let scale = (a.length() * b.length()).max(1.0);
+            prop_assert!((c.dot(a) / (scale * scale.max(1.0))).abs() < 1e-3);
+            prop_assert!((c.dot(b) / (scale * scale.max(1.0))).abs() < 1e-3);
+        }
+
+        #[test]
+        fn min_max_bracket(a in small_vec(), b in small_vec()) {
+            let lo = a.min(b);
+            let hi = a.max(b);
+            for i in 0..3 {
+                prop_assert!(lo[i] <= hi[i]);
+            }
+        }
+    }
+}

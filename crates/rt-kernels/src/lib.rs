@@ -1,0 +1,49 @@
+//! # rt-kernels — the benchmark device kernels
+//!
+//! The two CUDA kernels of the paper's evaluation (§VI-A), re-authored in
+//! the `simt-isa` assembly language (the paper itself instruments at the
+//! PTX level, so this is the same abstraction):
+//!
+//! * [`traditional`] — the Example 1 kernel: a kd-tree ray tracer with the
+//!   three nested data-dependent loops (outer restart loop, tree
+//!   down-traversal loop, leaf object-test loop) executed under PDOM;
+//! * [`ukernel`] — the dynamic μ-kernel decomposition of §V: the loops are
+//!   removed and replaced by four μ-kernels (`main` → `k_traverse` →
+//!   `k_intersect` → `k_pop`) connected by `spawn`, carrying a 48-byte
+//!   state record through spawn memory with three 4-wide vector accesses
+//!   per save/restore, exactly as the paper describes.
+//!
+//! [`layout`] serializes a [`raytrace::KdTree`] plus a set of camera rays
+//! into the simulator's device memory and reads results back;
+//! [`render`] wires everything together (build scene → upload → launch →
+//! verify against the host tracer).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layout;
+pub mod render;
+pub mod traditional;
+pub mod ukernel;
+
+mod tri_test;
+
+/// Bytes of per-thread global memory reserved for the traversal stack
+/// (paper Table II: 384 bytes, 24 entries × 16 bytes).
+pub const STACK_BYTES_PER_RAY: u32 = 384;
+
+/// Bytes of one serialized ray record (origin, tmin, direction, tmax).
+pub const RAY_RECORD_BYTES: u32 = 32;
+
+/// Bytes of one result record (hit t, triangle id).
+pub const RESULT_RECORD_BYTES: u32 = 8;
+
+/// Bytes of one serialized kd-tree node.
+pub const NODE_RECORD_BYTES: u32 = 16;
+
+/// Sentinel triangle id meaning "no hit".
+pub const MISS: u32 = 0xffff_ffff;
+
+/// Bytes of the μ-kernel state record (paper §VI-A: 48 bytes, three
+/// 4-wide vector accesses).
+pub const STATE_BYTES: u32 = 48;

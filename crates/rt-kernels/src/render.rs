@@ -1,0 +1,359 @@
+//! End-to-end render wiring: scene → device memory → launch → verify.
+
+use crate::layout::DeviceScene;
+use crate::{traditional, ukernel};
+use raytrace::{Camera, Hit, KdTree, Ray, Scene};
+use simt_sim::{Gpu, Launch};
+
+/// Camera rays for a `width × height` render of `scene`, row-major,
+/// using the scene's benchmark viewpoint and **clipped to the scene
+/// bounds** (standard ray setup: without clipping, `tmax = ∞` forces the
+/// kd-traversal to push both children at every split).
+pub fn build_rays(scene: &Scene, width: u32, height: u32) -> Vec<Ray> {
+    let cam = Camera::new(
+        scene.view.origin,
+        scene.view.target,
+        scene.view.vfov_deg,
+        width,
+        height,
+    );
+    let bounds = scene.bounds();
+    (0..width * height)
+        .map(|p| {
+            let mut r = cam.primary_ray_indexed(p);
+            match bounds.intersect(&r) {
+                Some((t0, t1)) => {
+                    r.tmin = t0.max(1e-4);
+                    r.tmax = t1 + 1e-3;
+                }
+                None => {
+                    // The ray never enters the scene: degenerate interval.
+                    r.tmin = 1e-4;
+                    r.tmax = 1e-4;
+                }
+            }
+            r
+        })
+        .collect()
+}
+
+/// Builds shadow rays toward a point light from the primary-pass hits
+/// (paper §III-A's first motivating use of ray tracing): for each hit
+/// pixel, a ray from the surface point to the light, bounded by the light
+/// distance; misses get a degenerate interval so their threads retire
+/// immediately.
+///
+/// Shadow rays are far less coherent than primaries — neighbouring pixels
+/// on different surfaces aim at the light from different origins — which
+/// makes this the more divergent second pass the paper's introduction
+/// describes.
+pub fn shadow_rays(
+    primary: &[Ray],
+    results: &[Option<Hit>],
+    light: raytrace::Vec3,
+) -> Vec<Ray> {
+    assert_eq!(primary.len(), results.len(), "one result per primary ray");
+    primary
+        .iter()
+        .zip(results)
+        .map(|(ray, hit)| match hit {
+            Some(h) => {
+                let p = ray.at(h.t);
+                let to_light = light - p;
+                let dist = to_light.length();
+                let dir = to_light / dist.max(1e-6);
+                let mut r = Ray::new(p + dir * 1e-3, dir);
+                r.tmin = 1e-3;
+                r.tmax = dist - 1e-3;
+                r
+            }
+            None => {
+                // No surface: nothing to shadow; degenerate interval.
+                let mut r = *ray;
+                r.tmin = 1e-4;
+                r.tmax = 1e-4;
+                r
+            }
+        })
+        .collect()
+}
+
+/// A scene prepared for simulation.
+#[derive(Debug)]
+pub struct RenderSetup {
+    /// The kd-tree (host copy, for reference tracing).
+    pub tree: KdTree,
+    /// The primary rays, row-major.
+    pub rays: Vec<Ray>,
+    /// Device addresses after upload.
+    pub dev: DeviceScene,
+}
+
+impl RenderSetup {
+    /// Builds the tree, generates rays, and uploads both into `gpu`.
+    pub fn upload(gpu: &mut Gpu, scene: &Scene, width: u32, height: u32) -> RenderSetup {
+        let tree = KdTree::build(&scene.triangles);
+        let rays = build_rays(scene, width, height);
+        let dev = DeviceScene::upload(&tree, &rays, gpu.mem_mut());
+        RenderSetup { tree, rays, dev }
+    }
+
+    /// Traces all rays on the host (the correctness oracle).
+    pub fn host_reference(&self) -> Vec<Option<Hit>> {
+        self.rays.iter().map(|r| self.tree.intersect(r)).collect()
+    }
+
+    /// Launches the traditional kernel (one thread per ray).
+    pub fn launch_traditional(&self, gpu: &mut Gpu, threads_per_block: u32) {
+        gpu.launch(Launch {
+            program: traditional::program(),
+            entry: "main".into(),
+            num_threads: self.dev.num_rays,
+            threads_per_block,
+        });
+    }
+
+    /// Launches the μ-kernel version (requires DMK hardware).
+    pub fn launch_ukernel(&self, gpu: &mut Gpu, threads_per_block: u32) {
+        gpu.launch(Launch {
+            program: ukernel::program(),
+            entry: "main".into(),
+            num_threads: self.dev.num_rays,
+            threads_per_block,
+        });
+    }
+
+    /// Reads device results back.
+    pub fn device_results(&self, gpu: &Gpu) -> Vec<Option<Hit>> {
+        self.dev.read_results(gpu.mem())
+    }
+
+    /// Prepares and launches a **shadow pass** toward `light`, using the
+    /// primary results already in device memory. Returns the new pass's
+    /// device handle (read results from it after `gpu.run`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the primary pass has not completed.
+    pub fn launch_shadow_pass(
+        &self,
+        gpu: &mut Gpu,
+        light: raytrace::Vec3,
+        dynamic: bool,
+        threads_per_block: u32,
+    ) -> crate::layout::DeviceScene {
+        let primary_results = self.device_results(gpu);
+        let rays = shadow_rays(&self.rays, &primary_results, light);
+        let dev2 = self.dev.upload_rays(&rays, gpu.mem_mut());
+        gpu.launch(Launch {
+            program: if dynamic {
+                ukernel::program()
+            } else {
+                traditional::program()
+            },
+            entry: "main".into(),
+            num_threads: dev2.num_rays,
+            threads_per_block,
+        });
+        dev2
+    }
+}
+
+/// Outcome of comparing device results against the host oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MatchReport {
+    /// Rays compared.
+    pub total: usize,
+    /// Rays whose hit/miss status and (for hits) parameter agree.
+    pub matches: usize,
+    /// Disagreements.
+    pub mismatches: usize,
+}
+
+impl MatchReport {
+    /// Fraction of rays that agree.
+    pub fn match_rate(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.matches as f64 / self.total as f64
+        }
+    }
+}
+
+/// Compares device results to the host oracle. A hit matches when both
+/// agree on hit/miss and the hit parameters differ by < 0.1 % (different
+/// but equivalent float orderings during traversal).
+pub fn compare(host: &[Option<Hit>], device: &[Option<Hit>]) -> MatchReport {
+    assert_eq!(host.len(), device.len(), "result lengths must agree");
+    let mut r = MatchReport {
+        total: host.len(),
+        ..MatchReport::default()
+    };
+    for (h, d) in host.iter().zip(device) {
+        let ok = match (h, d) {
+            (Some(a), Some(b)) => (a.t - b.t).abs() / a.t.abs().max(1.0) < 1e-3,
+            (None, None) => true,
+            _ => false,
+        };
+        if ok {
+            r.matches += 1;
+        } else {
+            r.mismatches += 1;
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmk_core::DmkConfig;
+    use raytrace::scenes::{self, SceneScale};
+    use simt_sim::{GpuConfig, RunOutcome};
+
+    fn tiny_gpu(dmk: bool) -> Gpu {
+        let mut cfg = GpuConfig::tiny();
+        cfg.max_threads_per_sm = 64;
+        cfg.registers_per_sm = 64 * 40;
+        if dmk {
+            cfg.dmk = Some(DmkConfig {
+                warp_size: cfg.warp_size,
+                threads_per_sm: cfg.max_threads_per_sm,
+                state_bytes: 48,
+                num_ukernels: 4,
+                fifo_capacity: 64,
+            });
+        }
+        Gpu::new(cfg)
+    }
+
+    #[test]
+    fn traditional_kernel_matches_host_reference() {
+        let scene = scenes::conference(SceneScale::Tiny);
+        let mut gpu = tiny_gpu(false);
+        let setup = RenderSetup::upload(&mut gpu, &scene, 8, 8);
+        setup.launch_traditional(&mut gpu, 8);
+        let summary = gpu.run(50_000_000);
+        assert_eq!(summary.outcome, RunOutcome::Completed);
+        let host = setup.host_reference();
+        let device = setup.device_results(&gpu);
+        let report = compare(&host, &device);
+        assert!(
+            report.match_rate() > 0.99,
+            "match rate {} ({} mismatches of {})",
+            report.match_rate(),
+            report.mismatches,
+            report.total
+        );
+        // Make sure the image is non-trivial.
+        let hits = host.iter().flatten().count();
+        assert!(hits > 5, "camera should see geometry, hits={hits}");
+    }
+
+    #[test]
+    fn ukernel_matches_host_reference() {
+        let scene = scenes::conference(SceneScale::Tiny);
+        let mut gpu = tiny_gpu(true);
+        let setup = RenderSetup::upload(&mut gpu, &scene, 8, 8);
+        setup.launch_ukernel(&mut gpu, 8);
+        let summary = gpu.run(100_000_000);
+        assert_eq!(summary.outcome, RunOutcome::Completed);
+        let host = setup.host_reference();
+        let device = setup.device_results(&gpu);
+        let report = compare(&host, &device);
+        assert!(
+            report.match_rate() > 0.99,
+            "match rate {} ({} mismatches of {})",
+            report.match_rate(),
+            report.mismatches,
+            report.total
+        );
+        assert!(summary.stats.threads_spawned > 0, "μ-kernels must spawn");
+        assert_eq!(
+            summary.stats.lineages_completed,
+            u64::from(setup.dev.num_rays),
+            "every ray's lineage must finish"
+        );
+    }
+
+    #[test]
+    fn both_kernels_produce_identical_images() {
+        let scene = scenes::fairyforest(SceneScale::Tiny);
+
+        let mut gpu_t = tiny_gpu(false);
+        let setup_t = RenderSetup::upload(&mut gpu_t, &scene, 8, 8);
+        setup_t.launch_traditional(&mut gpu_t, 8);
+        assert_eq!(gpu_t.run(50_000_000).outcome, RunOutcome::Completed);
+        let img_t = setup_t.device_results(&gpu_t);
+
+        let mut gpu_u = tiny_gpu(true);
+        let setup_u = RenderSetup::upload(&mut gpu_u, &scene, 8, 8);
+        setup_u.launch_ukernel(&mut gpu_u, 8);
+        assert_eq!(gpu_u.run(100_000_000).outcome, RunOutcome::Completed);
+        let img_u = setup_u.device_results(&gpu_u);
+
+        let report = compare(&img_t, &img_u);
+        assert_eq!(report.mismatches, 0, "kernels disagree: {report:?}");
+    }
+
+    #[test]
+    fn shadow_pass_matches_host_occlusion_test() {
+        let scene = scenes::conference(SceneScale::Tiny);
+        let light = raytrace::Vec3::new(0.0, 4.5, 0.0); // under the ceiling
+        for dynamic in [false, true] {
+            let mut gpu = tiny_gpu(dynamic);
+            let setup = RenderSetup::upload(&mut gpu, &scene, 8, 8);
+            if dynamic {
+                setup.launch_ukernel(&mut gpu, 8);
+            } else {
+                setup.launch_traditional(&mut gpu, 8);
+            }
+            assert_eq!(gpu.run(100_000_000).outcome, RunOutcome::Completed);
+            let dev2 = setup.launch_shadow_pass(&mut gpu, light, dynamic, 8);
+            assert_eq!(gpu.run(100_000_000).outcome, RunOutcome::Completed);
+            let device_shadow = dev2.read_results(gpu.mem());
+
+            // Host oracle: trace the same shadow rays.
+            let primary = setup.host_reference();
+            let rays = shadow_rays(&setup.rays, &primary, light);
+            let mut mismatches = 0;
+            for (i, r) in rays.iter().enumerate() {
+                let host_occluded = setup.tree.intersect(r).is_some();
+                let dev_occluded = device_shadow[i].is_some();
+                if host_occluded != dev_occluded {
+                    mismatches += 1;
+                }
+            }
+            assert!(
+                mismatches <= 1,
+                "dynamic={dynamic}: {mismatches} shadow mismatches of {}",
+                rays.len()
+            );
+            // The scene must actually cast some shadows and some light.
+            let occluded = device_shadow.iter().flatten().count();
+            assert!(occluded > 0, "no shadows at all");
+            assert!(occluded < rays.len(), "everything in shadow");
+        }
+    }
+
+    #[test]
+    fn shadow_rays_are_degenerate_for_primary_misses() {
+        let primary = vec![Ray::new(
+            raytrace::Vec3::ZERO,
+            raytrace::Vec3::new(1.0, 0.0, 0.0),
+        )];
+        let rays = shadow_rays(&primary, &[None], raytrace::Vec3::new(0.0, 10.0, 0.0));
+        assert_eq!(rays[0].tmin, rays[0].tmax);
+    }
+
+    #[test]
+    fn compare_flags_disagreements() {
+        let a = vec![Some(Hit { t: 1.0, tri: 0 }), None];
+        let b = vec![Some(Hit { t: 2.0, tri: 0 }), None];
+        let r = compare(&a, &b);
+        assert_eq!(r.matches, 1);
+        assert_eq!(r.mismatches, 1);
+        assert!((r.match_rate() - 0.5).abs() < 1e-9);
+    }
+}

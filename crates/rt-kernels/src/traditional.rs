@@ -1,0 +1,222 @@
+//! The traditional (Example 1) ray-tracing kernel.
+//!
+//! One thread per ray, three nested data-dependent loops under PDOM:
+//!
+//! 1. the outer *restart* loop popping the traversal stack;
+//! 2. the *down-traversal* loop walking inner nodes to a leaf;
+//! 3. the *object-test* loop intersecting the leaf's triangles.
+//!
+//! Per-ray trip counts differ (tree depth, objects per leaf, leaves per
+//! ray), which is precisely the divergence source the paper quantifies in
+//! Fig. 3.
+//!
+//! ## Register map
+//!
+//! | regs | contents |
+//! |------|----------|
+//! | r0   | zero (constant-memory base) |
+//! | r1   | ray id |
+//! | r2   | address scratch |
+//! | r3–r6 | ray origin x/y/z, ray tmin |
+//! | r7–r10 | ray direction x/y/z, ray tmax |
+//! | r11/r12 | best hit t / id |
+//! | r13/r14 | current node / stack pointer (entries) |
+//! | r15–r18 | stack base, node base, tri-ref base, Wald base |
+//! | r19/r20 | current segment tmin / tmax |
+//! | r21–r24 | `v4` scratch (node words, stack entries, Wald rows) |
+//! | r25–r32 | test scratch, triangle ref, leaf cursor/count |
+
+use crate::tri_test::{emit_tri_test, TriTestRegs};
+use simt_isa::{assemble_named, Program};
+
+/// Assembles the traditional kernel.
+///
+/// # Panics
+///
+/// Panics only if the embedded assembly fails to assemble (a build-time
+/// invariant covered by tests).
+pub fn program() -> Program {
+    assemble_named("rt-traditional", &source()).expect("traditional kernel assembles")
+}
+
+/// The kernel's assembly source (exposed for inspection/disassembly).
+pub fn source() -> String {
+    let tri = emit_tri_test(
+        &TriTestRegs {
+            ox: 3,
+            oy: 4,
+            oz: 5,
+            dx: 7,
+            dy: 8,
+            dz: 9,
+            best_t: 11,
+            best_id: 12,
+            tri_ref: 30,
+            wald_addr: 2,
+            w: 21,
+            t: 25,
+            hu: 26,
+            hv: 27,
+            x: 28,
+            y: 29,
+        },
+        "tri_next",
+    );
+    format!(
+        r#"
+.kernel main
+.global 424          ; per-ray stack (384) + ray record (32) + result (8)
+.const 28
+
+main:
+    mov.u32 r0, 0
+    mov.u32 r1, %tid
+    ld.const.u32 r2, [r0+24]          ; number of rays
+    setp.ge.u32 p0, r1, r2
+    @p0 exit
+    ld.const.u32 r16, [r0+0]          ; kd-node base
+    ld.const.u32 r17, [r0+4]          ; tri-ref base
+    ld.const.u32 r18, [r0+8]          ; Wald base
+    ld.const.u32 r2, [r0+12]          ; ray base
+    mad.lo.s32 r2, r1, 32, r2
+    ld.global.v4 r3, [r2+0]           ; ox oy oz tmin
+    ld.global.v4 r7, [r2+16]          ; dx dy dz tmax
+    ld.const.u32 r15, [r0+20]         ; stack base (entries interleaved by ray)
+    mov.b32 r11, r10                  ; best_t = ray tmax
+    mov.s32 r12, -1                   ; best_id = miss
+    mov.u32 r13, 0                    ; node = root
+    mov.u32 r14, 0                    ; sp = 0
+    mov.b32 r19, r6                   ; tmin_cur
+    mov.b32 r20, r10                  ; tmax_cur
+
+down_loop:                            ; -- Example 1 line 2: find a leaf --
+    mad.lo.s32 r2, r13, 16, r16
+    ld.global.v4 r21, [r2+0]          ; tag split/first left/count right
+    setp.eq.s32 p2, r21, 3
+    @p2 bra leaf
+    setp.eq.s32 p0, r21, 0
+    setp.eq.s32 p1, r21, 1
+    selp.b32 r25, r4, r5, p1
+    selp.b32 r25, r3, r25, p0         ; origin[axis]
+    selp.b32 r26, r8, r9, p1
+    selp.b32 r26, r7, r26, p0         ; dir[axis]
+    setp.lt.f32 p2, r25, r22          ; origin on left side?
+    sub.f32 r27, r22, r25
+    rcp.f32 r26, r26
+    mul.f32 r25, r27, r26             ; t = (split - o)/d
+    selp.b32 r26, r23, r24, p2        ; near child
+    selp.b32 r27, r24, r23, p2        ; far child
+    setp.lt.f32 p2, r25, r20
+    @!p2 bra go_near                  ; plane beyond segment (or NaN)
+    setp.ge.f32 p2, r25, 0.0
+    @!p2 bra go_near                  ; plane behind the ray
+    setp.gt.f32 p2, r25, r19
+    @!p2 bra go_far                   ; plane before segment
+    ; both sides: push far (Example 1 lines 3-5), continue near
+    ; entry address = base + (sp*nrays + rayid)*16 (interleaved so the
+    ; lockstep pushes of a coherent warp coalesce, like CUDA local memory)
+    ld.const.u32 r2, [r0+24]
+    mul.lo.s32 r2, r2, r14
+    add.s32 r2, r2, r1
+    shl.b32 r2, r2, 4
+    add.s32 r2, r2, r15
+    mov.b32 r21, r27
+    mov.b32 r22, r25
+    mov.b32 r23, r20
+    mov.u32 r24, 0
+    st.global.v4 [r2+0], r21
+    add.s32 r14, r14, 1
+    mov.b32 r20, r25                  ; tmax_cur = t
+    mov.b32 r13, r26
+    bra down_loop
+go_near:
+    mov.b32 r13, r26
+    bra down_loop
+go_far:
+    mov.b32 r13, r27
+    mov.b32 r19, r25                  ; tmin_cur = t
+    bra down_loop
+
+leaf:                                 ; -- Example 1 lines 8-10 --
+    mov.b32 r31, r22                  ; cursor = first
+    mov.b32 r32, r23                  ; remaining = count
+tri_loop:
+    setp.le.s32 p2, r32, 0
+    @p2 bra after_leaf
+    mad.lo.s32 r2, r31, 4, r17
+    ld.global.u32 r30, [r2+0]         ; triangle reference
+    mad.lo.s32 r2, r30, 48, r18       ; Wald record address
+{tri}
+tri_next:
+    add.s32 r31, r31, 1
+    sub.s32 r32, r32, 1
+    bra tri_loop
+
+after_leaf:
+    setp.le.f32 p2, r11, r20          ; closest hit inside this segment?
+    @p2 bra finish
+    setp.eq.s32 p2, r14, 0            ; stack empty?
+    @p2 bra finish
+    sub.s32 r14, r14, 1               ; -- Example 1 line 11: pop --
+    ld.const.u32 r2, [r0+24]
+    mul.lo.s32 r2, r2, r14
+    add.s32 r2, r2, r1
+    shl.b32 r2, r2, 4
+    add.s32 r2, r2, r15
+    ld.global.v4 r21, [r2+0]          ; node t tmax pad
+    mov.b32 r13, r21
+    mov.b32 r19, r22
+    mov.b32 r20, r23
+    bra down_loop
+
+finish:
+    ld.const.u32 r2, [r0+16]          ; result base
+    mad.lo.s32 r2, r1, 8, r2
+    st.global.u32 [r2+0], r11
+    st.global.u32 [r2+4], r12
+    exit
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_with_expected_shape() {
+        let p = program();
+        assert_eq!(p.entry("main").unwrap().pc, 0);
+        assert!(p.spawn_sites().is_empty(), "traditional kernel never spawns");
+        let r = p.resource_usage();
+        assert!(r.registers >= 20 && r.registers <= 40, "registers {}", r.registers);
+        assert_eq!(r.global_bytes, 424);
+        assert_eq!(r.const_bytes, 28);
+        assert_eq!(r.spawn_state_bytes, 0);
+    }
+
+    #[test]
+    fn has_three_loop_back_edges() {
+        // down_loop, tri_loop and the outer restart re-enter down_loop.
+        let p = program();
+        let down = p.label("down_loop").unwrap();
+        let tri = p.label("tri_loop").unwrap();
+        let back_edges = p
+            .instrs()
+            .iter()
+            .enumerate()
+            .filter(|(pc, i)| match i.op {
+                simt_isa::Instr::Bra { target } => target <= *pc && (target == down || target == tri),
+                _ => false,
+            })
+            .count();
+        assert!(back_edges >= 3, "expected >= 3 loop back-edges, got {back_edges}");
+    }
+
+    #[test]
+    fn reconvergence_analysis_covers_all_branches() {
+        // Building the PDOM table must succeed (every branch analyzable).
+        let p = program();
+        let _ = simt_isa::ReconvergenceTable::build(&p);
+    }
+}

@@ -1,0 +1,344 @@
+//! The dynamic μ-kernel decomposition of the ray tracer (paper §V).
+//!
+//! The three loops of the traditional kernel are removed; each loop
+//! iteration becomes one spawned thread executing one of four μ-kernels:
+//!
+//! * `main` — launch kernel: loads the ray, builds the 48-byte state
+//!   record in spawn memory, spawns `k_traverse`, exits;
+//! * `k_traverse` — one down-traversal step (one kd-node); spawns itself
+//!   while inner nodes remain, `k_intersect` at a non-empty leaf,
+//!   `k_pop` at an empty one;
+//! * `k_intersect` — one ray-triangle test; spawns itself while leaf
+//!   objects remain, else `k_pop`;
+//! * `k_pop` — early-exit check + stack pop; spawns `k_traverse` to
+//!   continue, or writes the result and exits **without spawning**,
+//!   completing the ray's lineage.
+//!
+//! Every μ-kernel follows the paper's Example 2 template: restore state
+//! with a pointer load plus three `v4` spawn-memory loads, do one step of
+//! work, save state with three `v4` stores, `spawn`, `exit`. This is the
+//! paper's *naïve* variant — state is moved on every iteration.
+//!
+//! ## 48-byte state record (12 words)
+//!
+//! | word | contents |
+//! |------|----------|
+//! | 0–2  | ray origin |
+//! | 3–5  | ray direction |
+//! | 6/7  | best hit t / id |
+//! | 8    | current node, or `(remaining << 24) \| cursor` inside a leaf |
+//! | 9    | `(ray id << 8) \| stack pointer` |
+//! | 10/11| current segment tmin / tmax |
+//!
+//! ## Register map (all μ-kernels)
+//!
+//! r0 zero · r2 state pointer · r3 address scratch ·
+//! r4–r7 = words 0–3 · r8–r11 = words 4–7 · r12–r15 = words 8–11 ·
+//! r16/r17 bases/cursor · r18/r19 ray id/sp · r20–r23 `v4` scratch ·
+//! r24–r30 test scratch.
+
+use crate::tri_test::{emit_tri_test, TriTestRegs};
+use simt_isa::{assemble_named, Program};
+
+/// Names of the spawnable μ-kernels, in ascending PC order.
+pub const UKERNEL_NAMES: [&str; 3] = ["k_traverse", "k_intersect", "k_pop"];
+
+/// Assembles the μ-kernel program.
+///
+/// # Panics
+///
+/// Panics only if the embedded assembly fails to assemble (a build-time
+/// invariant covered by tests).
+pub fn program() -> Program {
+    assemble_named("rt-ukernel", &source()).expect("ukernel program assembles")
+}
+
+/// Shared state-restore prelude for dynamically created threads: the
+/// `%spawnmem` register points at the warp-formation slot holding the
+/// state pointer (paper Fig. 6).
+fn restore() -> &'static str {
+    r#"
+    mov.u32 r0, 0
+    mov.u32 r2, %spawnmem
+    ld.spawn.u32 r2, [r2+0]           ; state pointer
+    ld.spawn.v4 r4, [r2+0]
+    ld.spawn.v4 r8, [r2+16]
+    ld.spawn.v4 r12, [r2+32]
+"#
+}
+
+/// Shared state-save epilogue; `target` is the μ-kernel to spawn.
+fn save_and_spawn(target: &str) -> String {
+    format!(
+        r#"
+    st.spawn.v4 [r2+0], r4
+    st.spawn.v4 [r2+16], r8
+    st.spawn.v4 [r2+32], r12
+    spawn ${target}, r2
+    exit
+"#
+    )
+}
+
+/// The program's assembly source (exposed for inspection/disassembly).
+pub fn source() -> String {
+    let tri = emit_tri_test(
+        &TriTestRegs {
+            ox: 4,
+            oy: 5,
+            oz: 6,
+            dx: 7,
+            dy: 8,
+            dz: 9,
+            best_t: 10,
+            best_id: 11,
+            tri_ref: 29,
+            wald_addr: 3,
+            w: 20,
+            t: 24,
+            hu: 25,
+            hv: 26,
+            x: 27,
+            y: 28,
+        },
+        "i_next",
+    );
+    let restore = restore();
+    let save_traverse = save_and_spawn("k_traverse");
+    let save_intersect = save_and_spawn("k_intersect");
+    let save_pop = save_and_spawn("k_pop");
+    format!(
+        r#"
+.kernel main
+.kernel k_traverse
+.kernel k_intersect
+.kernel k_pop
+.global 424          ; per-ray stack (384) + ray record (32) + result (8)
+.const 28
+.spawnstate 48
+
+; ============================ launch kernel ============================
+main:
+    mov.u32 r0, 0
+    mov.u32 r18, %tid
+    ld.const.u32 r3, [r0+24]          ; number of rays
+    setp.ge.u32 p0, r18, r3
+    @p0 exit
+    ld.const.u32 r3, [r0+12]          ; ray base
+    mad.lo.s32 r3, r18, 32, r3
+    ld.global.v4 r4, [r3+0]           ; ox oy oz tmin
+    ld.global.v4 r8, [r3+16]          ; dx dy dz tmax
+    ; shuffle into the state layout
+    mov.b32 r14, r7                   ; tmin_cur = ray tmin
+    mov.b32 r7, r8                    ; dx
+    mov.b32 r8, r9                    ; dy
+    mov.b32 r9, r10                   ; dz
+    mov.b32 r15, r11                  ; tmax_cur = ray tmax
+    mov.b32 r10, r11                  ; best_t = ray tmax
+    mov.s32 r11, -1                   ; best_id = miss
+    mov.u32 r12, 0                    ; node = root
+    shl.b32 r13, r18, 8               ; (ray id << 8) | sp=0
+    mov.u32 r2, %spawnmem             ; launch threads: state record direct
+{save_traverse}
+
+; ======================= one down-traversal step =======================
+k_traverse:
+{restore}
+    ld.const.u32 r16, [r0+0]          ; kd-node base
+    mad.lo.s32 r3, r12, 16, r16
+    ld.global.v4 r20, [r3+0]          ; tag split/first left/count right
+    setp.eq.s32 p2, r20, 3
+    @p2 bra t_leaf
+    setp.eq.s32 p0, r20, 0
+    setp.eq.s32 p1, r20, 1
+    selp.b32 r24, r5, r6, p1
+    selp.b32 r24, r4, r24, p0         ; origin[axis]
+    selp.b32 r25, r8, r9, p1
+    selp.b32 r25, r7, r25, p0         ; dir[axis]
+    setp.lt.f32 p2, r24, r21
+    sub.f32 r26, r21, r24
+    rcp.f32 r25, r25
+    mul.f32 r24, r26, r25             ; t = (split - o)/d
+    selp.b32 r30, r22, r23, p2        ; near child
+    selp.b32 r29, r23, r22, p2        ; far child
+    setp.lt.f32 p2, r24, r15
+    @!p2 bra t_near
+    setp.ge.f32 p2, r24, 0.0
+    @!p2 bra t_near
+    setp.gt.f32 p2, r24, r14
+    @!p2 bra t_far
+    ; both sides: push far on the per-ray global stack
+    shr.u32 r18, r13, 8               ; ray id
+    and.b32 r19, r13, 255             ; sp
+    ; entry address = base + (sp*nrays + rayid)*16 (ray-interleaved)
+    ld.const.u32 r3, [r0+24]
+    mul.lo.s32 r3, r3, r19
+    add.s32 r3, r3, r18
+    shl.b32 r3, r3, 4
+    ld.const.u32 r16, [r0+20]
+    add.s32 r3, r3, r16
+    mov.b32 r20, r29
+    mov.b32 r21, r24
+    mov.b32 r22, r15
+    mov.u32 r23, 0
+    st.global.v4 [r3+0], r20
+    add.s32 r19, r19, 1
+    shl.b32 r13, r18, 8
+    or.b32 r13, r13, r19              ; repack
+    mov.b32 r15, r24                  ; tmax_cur = t
+    mov.b32 r12, r30
+    bra t_save
+t_near:
+    mov.b32 r12, r30
+    bra t_save
+t_far:
+    mov.b32 r12, r29
+    mov.b32 r14, r24                  ; tmin_cur = t
+t_save:
+{save_traverse_again}
+t_leaf:
+    setp.eq.s32 p2, r22, 0
+    @p2 bra t_empty
+    shl.b32 r12, r22, 24              ; (count << 24) | first
+    or.b32 r12, r12, r21
+{save_intersect}
+t_empty:
+{save_pop}
+
+; ======================== one ray-triangle test ========================
+k_intersect:
+{restore}
+    and.b32 r17, r12, 0xffffff        ; cursor
+    shr.u32 r30, r12, 24              ; remaining
+    ld.const.u32 r16, [r0+4]          ; tri-ref base
+    mad.lo.s32 r3, r17, 4, r16
+    ld.global.u32 r29, [r3+0]         ; triangle reference
+    ld.const.u32 r16, [r0+8]          ; Wald base
+    mad.lo.s32 r3, r29, 48, r16
+{tri}
+i_next:
+    sub.s32 r30, r30, 1
+    setp.le.s32 p2, r30, 0
+    @p2 bra i_done
+    add.s32 r17, r17, 1
+    shl.b32 r12, r30, 24
+    or.b32 r12, r12, r17
+{save_intersect_again}
+i_done:
+{save_pop_again}
+
+; ==================== early exit + stack pop ====================
+k_pop:
+{restore}
+    setp.le.f32 p2, r10, r15          ; closest hit inside this segment?
+    @p2 bra p_finish
+    and.b32 r19, r13, 255             ; sp
+    setp.eq.s32 p2, r19, 0
+    @p2 bra p_finish
+    shr.u32 r18, r13, 8               ; ray id
+    sub.s32 r19, r19, 1
+    ld.const.u32 r3, [r0+24]
+    mul.lo.s32 r3, r3, r19
+    add.s32 r3, r3, r18
+    shl.b32 r3, r3, 4
+    ld.const.u32 r16, [r0+20]
+    add.s32 r3, r3, r16
+    ld.global.v4 r20, [r3+0]          ; node t tmax pad
+    mov.b32 r12, r20
+    mov.b32 r14, r21
+    mov.b32 r15, r22
+    shl.b32 r13, r18, 8
+    or.b32 r13, r13, r19
+{save_traverse_final}
+p_finish:
+    shr.u32 r18, r13, 8
+    ld.const.u32 r3, [r0+16]          ; result base
+    mad.lo.s32 r3, r18, 8, r3
+    st.global.u32 [r3+0], r10
+    st.global.u32 [r3+4], r11
+    exit                               ; no spawn: the ray's lineage ends
+"#,
+        save_traverse = save_traverse,
+        save_traverse_again = save_traverse,
+        save_traverse_final = save_traverse,
+        save_intersect = save_intersect,
+        save_intersect_again = save_intersect,
+        save_pop = save_pop,
+        save_pop_again = save_pop,
+        restore = restore,
+        tri = tri,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_with_four_entry_points() {
+        let p = program();
+        let names: Vec<&str> = p.entry_points().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["main", "k_traverse", "k_intersect", "k_pop"]);
+    }
+
+    #[test]
+    fn spawn_targets_are_exactly_the_ukernels() {
+        let p = program();
+        let targets = p.spawn_targets();
+        let expected: Vec<usize> = UKERNEL_NAMES
+            .iter()
+            .map(|n| p.entry(n).unwrap().pc)
+            .collect();
+        let mut expected_sorted = expected.clone();
+        expected_sorted.sort_unstable();
+        assert_eq!(targets, expected_sorted);
+    }
+
+    #[test]
+    fn resources_match_paper_shape() {
+        let p = program();
+        let r = p.resource_usage();
+        assert_eq!(r.spawn_state_bytes, 48, "48-byte state record (Table II)");
+        assert!(r.registers <= 40, "registers {}", r.registers);
+    }
+
+    #[test]
+    fn no_loop_back_edges_remain() {
+        // The μ-kernel program must contain no backward branches: every
+        // loop became a spawn.
+        let p = program();
+        for (pc, i) in p.instrs().iter().enumerate() {
+            if let simt_isa::Instr::Bra { target } = i.op {
+                assert!(target > pc, "backward branch at pc {pc} -> {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_ukernel_saves_state_with_three_v4_stores() {
+        // Paper §VI-A: three 4-wide vector ops per state save.
+        let p = program();
+        let v4_spawn_stores = p
+            .instrs()
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i.op,
+                    simt_isa::Instr::St {
+                        space: simt_isa::Space::Spawn,
+                        width: simt_isa::Width::V4,
+                        ..
+                    }
+                )
+            })
+            .count();
+        // 7 save sites (main, traverse×3, intersect×2, pop×1) × 3 stores.
+        assert_eq!(v4_spawn_stores, 7 * 3);
+    }
+
+    #[test]
+    fn reconvergence_analysis_succeeds() {
+        let p = program();
+        let _ = simt_isa::ReconvergenceTable::build(&p);
+    }
+}

@@ -1,0 +1,602 @@
+//! The whole chip: SM array, launch dispatcher, and the cycle loop.
+
+use crate::config::{GpuConfig, SchedulingModel};
+use crate::sm::{ExecCtx, Sm};
+use crate::stats::SimStats;
+use dmk_core::DmkStats;
+use simt_isa::{Program, ReconvergenceTable};
+use simt_mem::{MemorySystem, TrafficStats};
+use std::collections::VecDeque;
+
+/// A kernel launch request.
+#[derive(Debug, Clone)]
+pub struct Launch {
+    /// The program to run (contains the launch kernel and any μ-kernels).
+    pub program: Program,
+    /// Name of the launch entry point (a `.kernel`).
+    pub entry: String,
+    /// Number of launch-time threads.
+    pub num_threads: u32,
+    /// Threads per block (must be a multiple of the warp size).
+    pub threads_per_block: u32,
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every thread retired and no spawned work remains.
+    Completed,
+    /// The cycle budget was exhausted first (the paper simulates only the
+    /// first 300k cycles).
+    CycleLimit,
+}
+
+/// Result of a run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Why the run stopped.
+    pub outcome: RunOutcome,
+    /// Aggregate simulation statistics.
+    pub stats: SimStats,
+    /// Memory traffic by address space.
+    pub traffic: TrafficStats,
+    /// Aggregated dynamic μ-kernel statistics (zeroed when disabled).
+    pub dmk: DmkStats,
+}
+
+#[derive(Debug)]
+struct PendingBlock {
+    id: usize,
+    next_tid: u32,
+    end_tid: u32,
+}
+
+#[derive(Debug)]
+struct ActiveLaunch {
+    program: Program,
+    rtab: ReconvergenceTable,
+    entry_pc: usize,
+    regs_per_thread: u32,
+    ntid: u32,
+    blocks: VecDeque<PendingBlock>,
+    /// Next id handed to a dynamically created thread.
+    next_dynamic_tid: u32,
+}
+
+/// The simulated GPU.
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    mem: MemorySystem,
+    sms: Vec<Sm>,
+    launch: Option<ActiveLaunch>,
+    stats: SimStats,
+    now: u64,
+    rr_sm: usize,
+}
+
+impl Gpu {
+    /// Builds a GPU for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`GpuConfig::validate`]).
+    pub fn new(cfg: GpuConfig) -> Self {
+        cfg.validate();
+        let sms = (0..cfg.num_sms).map(|i| Sm::new(i, &cfg)).collect();
+        let stats = SimStats::new(cfg.divergence_window, cfg.warp_size);
+        let mem = MemorySystem::new(cfg.mem.clone());
+        Gpu {
+            cfg,
+            mem,
+            sms,
+            launch: None,
+            stats,
+            now: 0,
+            rr_sm: 0,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Host access to device memory (scene upload, result readback).
+    pub fn mem_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// Read-only access to device memory.
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// The SM array (diagnostics).
+    pub fn sms(&self) -> &[Sm] {
+        &self.sms
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Current simulated cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Registers a kernel launch. Threads are dispatched to SMs over the
+    /// following cycles as resources allow.
+    ///
+    /// Sequential launches are supported (e.g. a primary-ray pass followed
+    /// by a shadow-ray pass): a new launch may be registered once the
+    /// previous one has fully drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry point does not exist, the block size is not a
+    /// positive multiple of the warp size, the previous launch has not
+    /// finished, or the program spawns but the machine has no μ-kernel
+    /// hardware.
+    pub fn launch(&mut self, launch: Launch) {
+        if self.launch.is_some() {
+            assert!(self.is_done(), "the previous launch is still active");
+            self.launch = None;
+        }
+        assert!(
+            launch.threads_per_block > 0 && launch.threads_per_block.is_multiple_of(self.cfg.warp_size),
+            "block size must be a positive multiple of the warp size"
+        );
+        let entry_pc = launch
+            .program
+            .entry(&launch.entry)
+            .unwrap_or_else(|| panic!("entry point `{}` not found", launch.entry))
+            .pc;
+        if !launch.program.spawn_sites().is_empty() {
+            assert!(
+                self.cfg.dmk.is_some(),
+                "program uses `spawn` but dynamic μ-kernel hardware is disabled"
+            );
+        }
+        let rtab = ReconvergenceTable::build(&launch.program);
+        let res = launch.program.resource_usage();
+        self.mem.configure_local(res.local_bytes);
+        let mut blocks = VecDeque::new();
+        let mut tid = 0u32;
+        let mut id = 0usize;
+        while tid < launch.num_threads {
+            let end = (tid + launch.threads_per_block).min(launch.num_threads);
+            blocks.push_back(PendingBlock {
+                id,
+                next_tid: tid,
+                end_tid: end,
+            });
+            tid = end;
+            id += 1;
+        }
+        self.launch = Some(ActiveLaunch {
+            rtab,
+            entry_pc,
+            regs_per_thread: res.registers.max(1),
+            ntid: launch.num_threads,
+            blocks,
+            next_dynamic_tid: launch.num_threads,
+            program: launch.program,
+        });
+    }
+
+    fn dispatch_for_sm(
+        sm: &mut Sm,
+        launch: &mut ActiveLaunch,
+        cfg: &GpuConfig,
+        stats: &mut SimStats,
+    ) {
+        let ctx = ExecCtx {
+            program: &launch.program,
+            rtab: &launch.rtab,
+            regs_per_thread: launch.regs_per_thread,
+            ntid: launch.ntid,
+        };
+        // 1. Dynamic warps have scheduling priority (§IV-D).
+        sm.drain_dynamic(&mut launch.next_dynamic_tid, &ctx);
+
+        // 2. Launch-time work.
+        match cfg.scheduling {
+            SchedulingModel::Block => {
+                while let Some(front) = launch.blocks.front() {
+                    let block_threads = front.end_tid - front.next_tid;
+                    if !sm.fits_block(block_threads, launch.regs_per_thread, true) {
+                        break;
+                    }
+                    let mut block = launch.blocks.pop_front().expect("front exists");
+                    while block.next_tid < block.end_tid {
+                        let n = cfg.warp_size.min(block.end_tid - block.next_tid);
+                        let tids: Vec<u32> = (block.next_tid..block.next_tid + n).collect();
+                        sm.admit_launch_warp(&tids, launch.entry_pc, Some(block.id), &ctx, stats);
+                        block.next_tid += n;
+                    }
+                }
+            }
+            SchedulingModel::Warp => {
+                while let Some(front) = launch.blocks.front_mut() {
+                    let n = cfg.warp_size.min(front.end_tid - front.next_tid);
+                    if n == 0 {
+                        launch.blocks.pop_front();
+                        continue;
+                    }
+                    if !sm.fits_warp(n, launch.regs_per_thread, true) {
+                        break;
+                    }
+                    let tids: Vec<u32> = (front.next_tid..front.next_tid + n).collect();
+                    sm.admit_launch_warp(&tids, launch.entry_pc, None, &ctx, stats);
+                    front.next_tid += n;
+                    if front.next_tid == front.end_tid {
+                        launch.blocks.pop_front();
+                    }
+                }
+            }
+        }
+
+        // 3. End-of-application: force partial warps out when this SM can
+        //    never receive more work (§IV-D).
+        if launch.blocks.is_empty() && !sm.has_live_warps() {
+            if let Some(f) = sm.formation() {
+                if f.fifo_len() == 0 && f.partial_threads() > 0 {
+                    sm.force_out_partials(&mut launch.next_dynamic_tid, &ctx);
+                }
+            }
+        }
+    }
+
+    /// Whether all work has drained.
+    fn is_done(&mut self) -> bool {
+        let Some(launch) = &self.launch else { return true };
+        if !launch.blocks.is_empty() {
+            return false;
+        }
+        for sm in &mut self.sms {
+            if sm.has_live_warps() {
+                return false;
+            }
+            if let Some(f) = sm.formation() {
+                if !f.is_idle() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until completion or for at most `max_cycles` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine deadlocks (no forward progress for a long
+    /// stretch while work remains) — a simulator self-check.
+    pub fn run(&mut self, max_cycles: u64) -> RunSummary {
+        let start = self.now;
+        let mut last_progress = self.now;
+        let mut last_retired = self.stats.threads_retired;
+        let mut outcome = RunOutcome::Completed;
+        loop {
+            if self.is_done() {
+                break;
+            }
+            if self.now - start >= max_cycles {
+                outcome = RunOutcome::CycleLimit;
+                break;
+            }
+            let mut launch = self.launch.take().expect("active launch");
+            // Rotate dispatch priority so SM 0 is not structurally favored.
+            let n = self.sms.len();
+            for k in 0..n {
+                let i = (self.rr_sm + k) % n;
+                Self::dispatch_for_sm(&mut self.sms[i], &mut launch, &self.cfg, &mut self.stats);
+            }
+            let ctx = ExecCtx {
+                program: &launch.program,
+                rtab: &launch.rtab,
+                regs_per_thread: launch.regs_per_thread,
+                ntid: launch.ntid,
+            };
+            for sm in &mut self.sms {
+                sm.step(self.now, &ctx, &mut self.mem, &mut self.stats);
+                sm.reap_finished(&ctx);
+            }
+            self.launch = Some(launch);
+            self.rr_sm = (self.rr_sm + 1) % n.max(1);
+            self.now += 1;
+            self.stats.cycles = self.now;
+
+            if self.stats.threads_retired != last_retired {
+                last_retired = self.stats.threads_retired;
+                last_progress = self.now;
+            }
+            assert!(
+                self.now - last_progress < 2_000_000,
+                "simulator deadlock: no thread retired for 2M cycles at cycle {}",
+                self.now
+            );
+        }
+        self.stats.cycles = self.now;
+        let mut dmk = DmkStats::default();
+        for sm in &self.sms {
+            if let Some(f) = sm.formation() {
+                let s = f.stats();
+                dmk.spawn_instructions += s.spawn_instructions;
+                dmk.threads_spawned += s.threads_spawned;
+                dmk.warps_completed += s.warps_completed;
+                dmk.partial_warps_forced += s.partial_warps_forced;
+                dmk.partial_threads_forced += s.partial_threads_forced;
+                dmk.max_fifo_depth = dmk.max_fifo_depth.max(s.max_fifo_depth);
+                dmk.max_blocks_in_use = dmk.max_blocks_in_use.max(s.max_blocks_in_use);
+                dmk.spawn_stalls += s.spawn_stalls;
+            }
+        }
+        RunSummary {
+            outcome,
+            stats: self.stats.clone(),
+            traffic: self.mem.traffic().clone(),
+            dmk,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmk_core::DmkConfig;
+    use simt_isa::assemble_named;
+    use simt_mem::MemConfig;
+
+    fn tiny_dmk() -> DmkConfig {
+        DmkConfig {
+            warp_size: 4,
+            threads_per_sm: 32,
+            state_bytes: 16,
+            num_ukernels: 4,
+            fifo_capacity: 32,
+        }
+    }
+
+    /// tid*2 written to global[tid*4].
+    const DOUBLE_SRC: &str = r#"
+        .kernel main
+        main:
+            mov.u32 r1, %tid
+            mul.lo.s32 r2, r1, 2
+            mul.lo.s32 r3, r1, 4
+            st.global.u32 [r3+0], r2
+            exit
+    "#;
+
+    fn run_simple(cfg: GpuConfig, threads: u32) -> (Gpu, RunSummary) {
+        let program = assemble_named("double", DOUBLE_SRC).unwrap();
+        let mut gpu = Gpu::new(cfg);
+        gpu.mem_mut().alloc_global(threads * 4, "out");
+        gpu.launch(Launch {
+            program,
+            entry: "main".into(),
+            num_threads: threads,
+            threads_per_block: 8,
+        });
+        let summary = gpu.run(1_000_000);
+        (gpu, summary)
+    }
+
+    #[test]
+    fn straight_line_kernel_computes_correctly() {
+        let (gpu, summary) = run_simple(GpuConfig::tiny(), 64);
+        assert_eq!(summary.outcome, RunOutcome::Completed);
+        assert_eq!(summary.stats.threads_launched, 64);
+        assert_eq!(summary.stats.threads_retired, 64);
+        assert_eq!(summary.stats.lineages_completed, 64);
+        for tid in 0..64u32 {
+            assert_eq!(gpu.mem().read_u32(simt_isa::Space::Global, tid * 4), tid * 2);
+        }
+    }
+
+    #[test]
+    fn block_scheduling_also_completes() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.scheduling = SchedulingModel::Block;
+        let (_, summary) = run_simple(cfg, 64);
+        assert_eq!(summary.outcome, RunOutcome::Completed);
+        assert_eq!(summary.stats.threads_retired, 64);
+    }
+
+    #[test]
+    fn divergent_loop_executes_correct_trip_counts() {
+        // Each thread loops tid%4+1 times, accumulating into global memory.
+        let src = r#"
+            .kernel main
+            main:
+                mov.u32 r1, %tid
+                and.b32 r2, r1, 3
+                add.s32 r2, r2, 1     ; trips = tid%4 + 1
+                mov.u32 r3, 0         ; acc
+            loop:
+                add.s32 r3, r3, 1
+                sub.s32 r2, r2, 1
+                setp.gt.s32 p0, r2, 0
+                @p0 bra loop
+                mul.lo.s32 r4, r1, 4
+                st.global.u32 [r4+0], r3
+                exit
+        "#;
+        let program = assemble_named("loopy", src).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::tiny());
+        gpu.mem_mut().alloc_global(32 * 4, "out");
+        gpu.launch(Launch {
+            program,
+            entry: "main".into(),
+            num_threads: 32,
+            threads_per_block: 8,
+        });
+        let summary = gpu.run(1_000_000);
+        assert_eq!(summary.outcome, RunOutcome::Completed);
+        for tid in 0..32u32 {
+            assert_eq!(
+                gpu.mem().read_u32(simt_isa::Space::Global, tid * 4),
+                tid % 4 + 1,
+                "thread {tid}"
+            );
+        }
+        // The loop diverges, so some issues must have had < 4 active lanes.
+        let w: u64 = summary
+            .stats
+            .divergence
+            .windows()
+            .iter()
+            .map(|b| b[1..4].iter().sum::<u64>())
+            .sum();
+        assert!(w > 0, "expected divergent issues");
+    }
+
+    #[test]
+    fn spawn_chain_continues_lineage() {
+        // Launch threads save tid to their state record and spawn `child`;
+        // child loads the state and writes tid*3 to global memory.
+        let src = r#"
+            .kernel main
+            .kernel child
+            .spawnstate 16
+            main:
+                mov.u32 r1, %tid
+                mov.u32 r2, %spawnmem     ; launch: state address directly
+                st.spawn.u32 [r2+0], r1
+                spawn $child, r2
+                exit
+            child:
+                mov.u32 r2, %spawnmem     ; dynamic: formation slot
+                ld.spawn.u32 r2, [r2+0]   ; -> state pointer
+                ld.spawn.u32 r1, [r2+0]   ; restore tid
+                mul.lo.s32 r3, r1, 3
+                mul.lo.s32 r4, r1, 4
+                st.global.u32 [r4+0], r3
+                exit
+        "#;
+        let program = assemble_named("spawny", src).unwrap();
+        let mut cfg = GpuConfig::tiny();
+        cfg.dmk = Some(tiny_dmk());
+        let mut gpu = Gpu::new(cfg);
+        gpu.mem_mut().alloc_global(64 * 4, "out");
+        gpu.launch(Launch {
+            program,
+            entry: "main".into(),
+            num_threads: 64,
+            threads_per_block: 8,
+        });
+        let summary = gpu.run(2_000_000);
+        assert_eq!(summary.outcome, RunOutcome::Completed);
+        for tid in 0..64u32 {
+            assert_eq!(
+                gpu.mem().read_u32(simt_isa::Space::Global, tid * 4),
+                tid * 3,
+                "thread {tid}"
+            );
+        }
+        // Every launch thread spawned exactly one child.
+        assert_eq!(summary.stats.threads_spawned, 64);
+        assert_eq!(summary.stats.threads_retired, 128);
+        // A lineage completes only at the child.
+        assert_eq!(summary.stats.lineages_completed, 64);
+        assert_eq!(summary.dmk.threads_spawned, 64);
+        assert!(summary.dmk.warps_completed + summary.dmk.partial_warps_forced > 0);
+    }
+
+    #[test]
+    fn spawn_without_dmk_hardware_is_rejected() {
+        let src = r#"
+            .kernel main
+            .kernel child
+            main:
+                spawn $child, r1
+                exit
+            child:
+                exit
+        "#;
+        let program = assemble_named("bad", src).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::tiny());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            gpu.launch(Launch {
+                program,
+                entry: "main".into(),
+                num_threads: 4,
+                threads_per_block: 4,
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cycle_limit_stops_early() {
+        let (_, summary) = {
+            let program = assemble_named("double", DOUBLE_SRC).unwrap();
+            let mut gpu = Gpu::new(GpuConfig::tiny());
+            gpu.mem_mut().alloc_global(1024 * 4, "out");
+            gpu.launch(Launch {
+                program,
+                entry: "main".into(),
+                num_threads: 1024,
+                threads_per_block: 8,
+            });
+            let s = gpu.run(10);
+            (gpu, s)
+        };
+        assert_eq!(summary.outcome, RunOutcome::CycleLimit);
+        assert_eq!(summary.stats.cycles, 10);
+    }
+
+    #[test]
+    fn ideal_memory_is_faster() {
+        // A load-dependent chain so memory latency is actually on the
+        // critical path (stores alone are fire-and-forget).
+        let src = r#"
+            .kernel main
+            main:
+                mov.u32 r1, %tid
+                mul.lo.s32 r2, r1, 4
+                ld.global.u32 r3, [r2+0]
+                add.s32 r3, r3, 1
+                st.global.u32 [r2+0], r3
+                ld.global.u32 r4, [r2+0]
+                add.s32 r4, r4, 1
+                st.global.u32 [r2+0], r4
+                exit
+        "#;
+        let run = |ideal: bool| {
+            let mut cfg = GpuConfig::tiny();
+            cfg.mem = MemConfig::fx5800().with_ideal(ideal);
+            let program = assemble_named("chain", src).unwrap();
+            let mut gpu = Gpu::new(cfg);
+            gpu.mem_mut().alloc_global(256 * 4, "buf");
+            gpu.launch(Launch {
+                program,
+                entry: "main".into(),
+                num_threads: 256,
+                threads_per_block: 8,
+            });
+            gpu.run(10_000_000)
+        };
+        let slow = run(false);
+        let fast = run(true);
+        assert!(
+            fast.stats.cycles < slow.stats.cycles,
+            "ideal {} !< real {}",
+            fast.stats.cycles,
+            slow.stats.cycles
+        );
+    }
+
+    #[test]
+    fn ipc_counts_thread_instructions() {
+        let (_, summary) = run_simple(GpuConfig::tiny(), 64);
+        // 5 instructions per thread.
+        assert_eq!(summary.stats.thread_instructions, 64 * 5);
+        assert!(summary.stats.ipc() > 0.0);
+    }
+}

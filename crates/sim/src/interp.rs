@@ -1,0 +1,331 @@
+//! Functional single-thread interpreter.
+//!
+//! Runs one thread's instruction stream to completion against the
+//! functional memory image, with no timing. Used as a correctness oracle
+//! for the cycle-level pipeline, to count per-thread dynamic instructions
+//! for the MIMD-theoretical model (paper Fig. 10), and by the bandwidth
+//! analytics behind Table IV.
+
+use crate::thread::ThreadCtx;
+use simt_isa::{eval_alu, eval_cmp, Instr, Program, Reg, Space};
+use simt_mem::MemorySystem;
+use std::fmt;
+
+/// Why interpretation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The thread executed `spawn`, which has no meaning for a lone
+    /// functional thread (the paper's MIMD/PDOM baselines run the
+    /// traditional, spawn-free kernel).
+    SpawnUnsupported {
+        /// PC of the spawn instruction.
+        pc: usize,
+    },
+    /// The instruction budget was exhausted (runaway loop guard).
+    Runaway {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::SpawnUnsupported { pc } => {
+                write!(f, "spawn at pc {pc} is not supported by the functional interpreter")
+            }
+            InterpError::Runaway { budget } => {
+                write!(f, "thread exceeded the {budget}-instruction budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Result of interpreting one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InterpResult {
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Load instructions executed.
+    pub loads: u64,
+    /// Store instructions executed.
+    pub stores: u64,
+    /// Bytes read (all spaces).
+    pub bytes_read: u64,
+    /// Bytes written (all spaces).
+    pub bytes_written: u64,
+}
+
+/// A functional interpreter bound to a program and memory image.
+#[derive(Debug)]
+pub struct ThreadInterp<'a> {
+    program: &'a Program,
+    /// Per-thread scratch standing in for shared memory (functional only).
+    shared_scratch: Vec<u32>,
+    /// Instruction budget per thread.
+    pub budget: u64,
+    /// `%ntid` value reported to the thread.
+    pub ntid: u32,
+}
+
+impl<'a> ThreadInterp<'a> {
+    /// Creates an interpreter for `program`.
+    pub fn new(program: &'a Program, ntid: u32) -> Self {
+        ThreadInterp {
+            program,
+            shared_scratch: vec![0; 4096],
+            budget: 50_000_000,
+            ntid,
+        }
+    }
+
+    /// Runs thread `tid` from `entry_pc` to `exit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::SpawnUnsupported`] on `spawn` and
+    /// [`InterpError::Runaway`] if the budget is exceeded.
+    pub fn run_thread(
+        &mut self,
+        tid: u32,
+        entry_pc: usize,
+        mem: &mut MemorySystem,
+    ) -> Result<InterpResult, InterpError> {
+        let mut t = ThreadCtx::new(tid, self.program.resource_usage().registers.max(1));
+        let mut pc = entry_pc;
+        let mut res = InterpResult::default();
+        loop {
+            if res.instructions >= self.budget {
+                return Err(InterpError::Runaway { budget: self.budget });
+            }
+            let instr = self.program.fetch(pc);
+            res.instructions += 1;
+            let pass = match instr.guard {
+                None => true,
+                Some(g) => t.pred(g.pred) != g.negate,
+            };
+            match instr.op {
+                Instr::Alu { op, d, a, b, c } => {
+                    if pass {
+                        let v = eval_alu(op, t.operand(a), t.operand(b), t.operand(c));
+                        t.set_reg(d, v);
+                    }
+                    pc += 1;
+                }
+                Instr::Setp { cmp, p, a, b } => {
+                    if pass {
+                        let v = eval_cmp(cmp, t.operand(a), t.operand(b));
+                        t.set_pred(p, v);
+                    }
+                    pc += 1;
+                }
+                Instr::Selp { d, a, b, p } => {
+                    if pass {
+                        let v = if t.pred(p) { t.operand(a) } else { t.operand(b) };
+                        t.set_reg(d, v);
+                    }
+                    pc += 1;
+                }
+                Instr::Mov { d, a } => {
+                    if pass {
+                        let v = t.operand(a);
+                        t.set_reg(d, v);
+                    }
+                    pc += 1;
+                }
+                Instr::ReadSpecial { d, s } => {
+                    if pass {
+                        let v = t.special(s, 0, 0, 0, self.ntid);
+                        t.set_reg(d, v);
+                    }
+                    pc += 1;
+                }
+                Instr::Ld {
+                    space,
+                    d,
+                    addr,
+                    offset,
+                    width,
+                } => {
+                    if pass {
+                        let base = t.reg(addr).wrapping_add(offset as u32);
+                        for i in 0..width.regs() as u32 {
+                            let a = base + 4 * i;
+                            let v = match space {
+                                Space::Global | Space::Const => mem.read_u32(space, a),
+                                Space::Local => mem.read_local(tid, a),
+                                Space::Shared | Space::Spawn => {
+                                    self.shared_scratch[(a as usize / 4) % self.shared_scratch.len()]
+                                }
+                            };
+                            t.set_reg(Reg(d.0 + i as u8), v);
+                        }
+                        res.loads += 1;
+                        res.bytes_read += u64::from(width.bytes());
+                    }
+                    pc += 1;
+                }
+                Instr::St {
+                    space,
+                    a,
+                    addr,
+                    offset,
+                    width,
+                } => {
+                    if pass {
+                        let base = t.reg(addr).wrapping_add(offset as u32);
+                        for i in 0..width.regs() as u32 {
+                            let ad = base + 4 * i;
+                            let v = t.reg(Reg(a.0 + i as u8));
+                            match space {
+                                Space::Global => mem.write_u32(space, ad, v),
+                                Space::Const => panic!("store to constant memory"),
+                                Space::Local => mem.write_local(tid, ad, v),
+                                Space::Shared | Space::Spawn => {
+                                    let n = self.shared_scratch.len();
+                                    self.shared_scratch[(ad as usize / 4) % n] = v;
+                                }
+                            }
+                        }
+                        res.stores += 1;
+                        res.bytes_written += u64::from(width.bytes());
+                    }
+                    pc += 1;
+                }
+                Instr::Bra { target } => {
+                    pc = if pass { target } else { pc + 1 };
+                }
+                Instr::Exit => {
+                    if pass {
+                        return Ok(res);
+                    }
+                    pc += 1;
+                }
+                Instr::Spawn { .. } => return Err(InterpError::SpawnUnsupported { pc }),
+                Instr::Nop => pc += 1,
+            }
+        }
+    }
+}
+
+/// Convenience wrapper: interprets a single thread of `program`.
+///
+/// # Errors
+///
+/// See [`ThreadInterp::run_thread`].
+pub fn interpret_thread(
+    program: &Program,
+    tid: u32,
+    entry_pc: usize,
+    ntid: u32,
+    mem: &mut MemorySystem,
+) -> Result<InterpResult, InterpError> {
+    ThreadInterp::new(program, ntid).run_thread(tid, entry_pc, mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_isa::assemble;
+    use simt_mem::MemConfig;
+
+    #[test]
+    fn loop_trip_count_matches() {
+        let p = assemble(
+            r#"
+            mov.u32 r1, %tid
+            and.b32 r2, r1, 7
+            add.s32 r2, r2, 1
+            mov.u32 r3, 0
+            loop:
+            add.s32 r3, r3, 1
+            sub.s32 r2, r2, 1
+            setp.gt.s32 p0, r2, 0
+            @p0 bra loop
+            mul.lo.s32 r4, r1, 4
+            st.global.u32 [r4+0], r3
+            exit
+            "#,
+        )
+        .unwrap();
+        let mut mem = MemorySystem::new(MemConfig::fx5800());
+        mem.alloc_global(64, "out");
+        for tid in 0..16 {
+            let r = interpret_thread(&p, tid, 0, 16, &mut mem).unwrap();
+            assert!(r.instructions > 0);
+            assert_eq!(r.stores, 1);
+            assert_eq!(mem.read_u32(Space::Global, tid * 4), tid % 8 + 1);
+        }
+    }
+
+    #[test]
+    fn instruction_counts_depend_on_data() {
+        let p = assemble(
+            r#"
+            mov.u32 r1, %tid
+            add.s32 r2, r1, 1
+            loop:
+            sub.s32 r2, r2, 1
+            setp.gt.s32 p0, r2, 0
+            @p0 bra loop
+            exit
+            "#,
+        )
+        .unwrap();
+        let mut mem = MemorySystem::new(MemConfig::fx5800());
+        let short = interpret_thread(&p, 0, 0, 8, &mut mem).unwrap();
+        let long = interpret_thread(&p, 7, 0, 8, &mut mem).unwrap();
+        assert!(long.instructions > short.instructions);
+    }
+
+    #[test]
+    fn spawn_is_rejected() {
+        let p = assemble(
+            r#"
+            .kernel main
+            .kernel child
+            main:
+                spawn $child, r1
+                exit
+            child:
+                exit
+            "#,
+        )
+        .unwrap();
+        let mut mem = MemorySystem::new(MemConfig::fx5800());
+        let err = interpret_thread(&p, 0, 0, 1, &mut mem).unwrap_err();
+        assert_eq!(err, InterpError::SpawnUnsupported { pc: 0 });
+    }
+
+    #[test]
+    fn runaway_guard_fires() {
+        let p = assemble("spin:\nbra spin").unwrap();
+        let mut mem = MemorySystem::new(MemConfig::fx5800());
+        let mut interp = ThreadInterp::new(&p, 1);
+        interp.budget = 1000;
+        let err = interp.run_thread(0, 0, &mut mem).unwrap_err();
+        assert_eq!(err, InterpError::Runaway { budget: 1000 });
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let p = assemble(
+            r#"
+            mov.u32 r1, 0
+            ld.global.v4 r4, [r1+0]
+            st.global.u32 [r1+64], r4
+            exit
+            "#,
+        )
+        .unwrap();
+        let mut mem = MemorySystem::new(MemConfig::fx5800());
+        mem.alloc_global(128, "buf");
+        let r = interpret_thread(&p, 0, 0, 1, &mut mem).unwrap();
+        assert_eq!(r.bytes_read, 16);
+        assert_eq!(r.bytes_written, 4);
+        assert_eq!(r.loads, 1);
+        assert_eq!(r.stores, 1);
+    }
+}

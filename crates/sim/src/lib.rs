@@ -1,0 +1,78 @@
+//! # simt-sim — cycle-level SIMT streaming-multiprocessor simulator
+//!
+//! A GPGPU-Sim-style simulator of a wide SIMT machine configured like the
+//! NVIDIA Quadro FX5800 of paper Table I: 30 SMs, 32-thread warps, 1024
+//! threads/SM, a banked off-chip memory system (from [`simt_mem`]), PDOM
+//! branch reconvergence, and — when enabled — the dynamic μ-kernel
+//! hardware of [`dmk_core`].
+//!
+//! The timing model is first-order and matches the paper's reporting
+//! conventions:
+//!
+//! * each SM issues at most **one warp-instruction per cycle** (the
+//!   FX5800's 8 SPs iterate a 32-thread warp over 4 beats — one 32-wide
+//!   issue slot per cycle);
+//! * **IPC counts committed thread-instructions**, so the chip maximum is
+//!   `30 SMs × 32 lanes = 960`;
+//! * memory instructions park the warp until the [`simt_mem`] timing model
+//!   releases it; other warps hide the latency;
+//! * branch divergence is handled by a per-warp PDOM reconvergence stack
+//!   using immediate post-dominators precomputed by [`simt_isa`].
+//!
+//! Two launch-scheduling models are provided (paper §VI): **block
+//! scheduling** (whole thread blocks, FX5800 behaviour) and **thread/warp
+//! scheduling** (individual warps, required by dynamic μ-kernels).
+//!
+//! The crate also contains a functional single-thread interpreter used as
+//! a correctness oracle and to drive the MIMD-theoretical model of paper
+//! Fig. 10.
+//!
+//! ## Example
+//!
+//! ```
+//! use simt_sim::{Gpu, GpuConfig, Launch, RunOutcome};
+//!
+//! let program = simt_isa::assemble(
+//!     r#"
+//!     .kernel main
+//!     main:
+//!         mov.u32 r1, %tid
+//!         mul.lo.s32 r2, r1, 4
+//!         st.global.u32 [r2+0], r1
+//!         exit
+//!     "#,
+//! )?;
+//! let mut gpu = Gpu::new(GpuConfig::tiny());
+//! gpu.mem_mut().alloc_global(64, "out");
+//! gpu.launch(Launch {
+//!     program,
+//!     entry: "main".into(),
+//!     num_threads: 16,
+//!     threads_per_block: 8,
+//! });
+//! let summary = gpu.run(1_000_000);
+//! assert_eq!(summary.outcome, RunOutcome::Completed);
+//! assert_eq!(gpu.mem().read_u32(simt_isa::Space::Global, 12), 3);
+//! # Ok::<(), simt_isa::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod gpu;
+mod interp;
+mod mimd;
+mod sm;
+mod stats;
+mod thread;
+mod warp;
+
+pub use config::{GpuConfig, SchedulingModel, SpawnPolicy};
+pub use gpu::{Gpu, Launch, RunOutcome, RunSummary};
+pub use interp::{interpret_thread, InterpError, InterpResult, ThreadInterp};
+pub use mimd::{mimd_theoretical, MimdReport};
+pub use sm::Sm;
+pub use stats::{DivergenceTimeline, SimStats, OCCUPANCY_BUCKETS};
+pub use thread::ThreadCtx;
+pub use warp::{StackEntry, Warp, WarpState};

@@ -1,0 +1,812 @@
+//! One streaming multiprocessor: warp pool, issue logic, PDOM branching,
+//! the spawn datapath, and per-SM resource accounting.
+
+use crate::config::{GpuConfig, SpawnPolicy};
+use crate::stats::SimStats;
+use crate::thread::ThreadCtx;
+use crate::warp::Warp;
+use dmk_core::{CompletedWarp, SpawnError, SpawnMemoryLayout, WarpFormation};
+use simt_isa::{Instr, Program, ReconvergenceTable, Space, Width};
+use simt_mem::{MemorySystem, OnChipMemory, ReadOnlyCache, WarpAccess};
+use std::collections::HashMap;
+
+/// Execution context shared by all SMs for the current launch.
+#[derive(Debug)]
+pub(crate) struct ExecCtx<'a> {
+    pub program: &'a Program,
+    pub rtab: &'a ReconvergenceTable,
+    /// Registers per thread charged against the SM register file. Per the
+    /// paper (§IV-D) dynamic warps are charged the *maximum* across
+    /// μ-kernels, which for a single combined program is its register count.
+    pub regs_per_thread: u32,
+    /// Total launch threads (`%ntid`).
+    pub ntid: u32,
+}
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    id: usize,
+    warp_size: u32,
+    max_threads: u32,
+    max_blocks: u32,
+    max_regs: u32,
+    long_op_latency: u32,
+    warps: Vec<Warp>,
+    next_warp_id: usize,
+    rr: usize,
+    shared: OnChipMemory,
+    spawn_mem: Option<OnChipMemory>,
+    formation: Option<WarpFormation>,
+    threads_used: u32,
+    regs_used: u32,
+    /// Live warps per resident block (block scheduling).
+    blocks: HashMap<usize, u32>,
+    /// Free spawn-memory state records (dmk only).
+    free_state_slots: Vec<u32>,
+    /// Per-SM read-only (texture) cache for bound scene data.
+    tex: Option<ReadOnlyCache>,
+    tex_hit_latency: u32,
+    spawn_policy: SpawnPolicy,
+    /// Cycle at which this SM's on-chip load-store port is next free
+    /// (bank-conflict serialization occupies it).
+    lsu_free: u64,
+    /// Cycle until which the issue port is blocked by bank-conflict
+    /// instruction replays (GT200-style: a conflicting access re-issues
+    /// once per extra pass, stealing issue slots from every warp).
+    issue_blocked_until: u64,
+}
+
+impl Sm {
+    /// Creates an SM for the given machine configuration.
+    pub fn new(id: usize, cfg: &GpuConfig) -> Self {
+        let (spawn_mem, formation, free_state_slots) = match &cfg.dmk {
+            Some(d) => {
+                let layout = SpawnMemoryLayout::new(d);
+                let mem = OnChipMemory::new(layout.total_bytes(), cfg.mem.shared_banks);
+                let slots = (0..d.threads_per_sm)
+                    .rev()
+                    .map(|i| layout.launch_state_addr(i))
+                    .collect();
+                (Some(mem), Some(WarpFormation::new(d)), slots)
+            }
+            None => (None, None, Vec::new()),
+        };
+        Sm {
+            id,
+            warp_size: cfg.warp_size,
+            max_threads: cfg.max_threads_per_sm,
+            max_blocks: cfg.max_blocks_per_sm,
+            max_regs: cfg.registers_per_sm,
+            long_op_latency: cfg.long_op_latency,
+            warps: Vec::new(),
+            next_warp_id: 0,
+            rr: 0,
+            shared: OnChipMemory::new(cfg.shared_mem_per_sm, cfg.mem.shared_banks),
+            spawn_mem,
+            formation,
+            threads_used: 0,
+            regs_used: 0,
+            blocks: HashMap::new(),
+            free_state_slots,
+            tex: (cfg.mem.tex_cache_bytes > 0).then(|| {
+                ReadOnlyCache::new(cfg.mem.tex_cache_bytes, cfg.mem.tex_line_bytes, cfg.mem.tex_ways)
+            }),
+            tex_hit_latency: cfg.mem.tex_hit_latency,
+            spawn_policy: cfg.spawn_policy,
+            lsu_free: 0,
+            issue_blocked_until: 0,
+        }
+    }
+
+    /// Texture-cache (hits, misses) so far, if a cache is configured.
+    pub fn tex_stats(&self) -> Option<(u64, u64)> {
+        self.tex.as_ref().map(|c| (c.hits, c.misses))
+    }
+
+    /// SM index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Resident warps.
+    pub fn warp_count(&self) -> usize {
+        self.warps.len()
+    }
+
+    /// Resident threads.
+    pub fn threads_used(&self) -> u32 {
+        self.threads_used
+    }
+
+    /// The warp-formation unit, if dynamic μ-kernels are enabled.
+    pub fn formation(&self) -> Option<&WarpFormation> {
+        self.formation.as_ref()
+    }
+
+    /// Whether a warp of `threads` lanes fits the SM right now.
+    pub fn fits_warp(&self, threads: u32, regs_per_thread: u32, needs_state_slots: bool) -> bool {
+        if self.threads_used + threads > self.max_threads {
+            return false;
+        }
+        if self.regs_used + threads * regs_per_thread > self.max_regs {
+            return false;
+        }
+        if needs_state_slots && self.formation.is_some() && (self.free_state_slots.len() as u32) < threads
+        {
+            return false;
+        }
+        true
+    }
+
+    /// Whether a whole block of `block_threads` fits (block scheduling).
+    pub fn fits_block(&self, block_threads: u32, regs_per_thread: u32, needs_state_slots: bool) -> bool {
+        if self.blocks.len() as u32 >= self.max_blocks {
+            return false;
+        }
+        if self.threads_used + block_threads > self.max_threads {
+            return false;
+        }
+        if self.regs_used + block_threads * regs_per_thread > self.max_regs {
+            return false;
+        }
+        if needs_state_slots
+            && self.formation.is_some()
+            && (self.free_state_slots.len() as u32) < block_threads
+        {
+            return false;
+        }
+        true
+    }
+
+    /// Admits a launch-time warp whose threads have ids `tids`, starting at
+    /// `entry_pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if resources were not checked first.
+    pub(crate) fn admit_launch_warp(
+        &mut self,
+        tids: &[u32],
+        entry_pc: usize,
+        block_id: Option<usize>,
+        ctx: &ExecCtx<'_>,
+        stats: &mut SimStats,
+    ) {
+        assert!(self.fits_warp(tids.len() as u32, ctx.regs_per_thread, true));
+        let mut threads = Vec::with_capacity(tids.len());
+        for &tid in tids {
+            let mut t = ThreadCtx::new(tid, ctx.regs_per_thread);
+            if self.formation.is_some() {
+                let slot = self
+                    .free_state_slots
+                    .pop()
+                    .expect("state slots checked in fits_warp");
+                // Launch threads address their state record directly
+                // (paper §IV-A1).
+                t.spawn_mem_addr = slot;
+                t.state_slot = Some(slot);
+            }
+            threads.push(t);
+        }
+        let n = threads.len() as u32;
+        let mut w = Warp::new(self.next_warp_id, self.warp_size, entry_pc, threads);
+        self.next_warp_id += 1;
+        w.block_id = block_id;
+        if let Some(b) = block_id {
+            *self.blocks.entry(b).or_insert(0) += 1;
+        }
+        self.threads_used += n;
+        self.regs_used += n * ctx.regs_per_thread;
+        stats.threads_launched += u64::from(n);
+        self.warps.push(w);
+    }
+
+    /// Admits a dynamically created warp popped from the new-warp FIFO.
+    ///
+    /// Reads each lane's state pointer from the formation block (hardware:
+    /// computed from the LUT address minus the lane id, §IV-D) and sets
+    /// `%spawnmem` to the lane's formation-slot address (Fig. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if resources were not checked first or DMK is disabled.
+    pub(crate) fn admit_dynamic_warp(
+        &mut self,
+        cw: CompletedWarp,
+        next_tid: &mut u32,
+        ctx: &ExecCtx<'_>,
+    ) {
+        assert!(self.fits_warp(cw.count, ctx.regs_per_thread, false));
+        let spawn_mem = self.spawn_mem.as_ref().expect("dmk enabled");
+        let mut threads = Vec::with_capacity(cw.count as usize);
+        for lane in 0..cw.count {
+            let slot_addr = cw.base_addr + 4 * lane;
+            let state_ptr = spawn_mem.read(slot_addr);
+            let mut t = ThreadCtx::new(*next_tid, ctx.regs_per_thread);
+            *next_tid += 1;
+            t.spawn_mem_addr = slot_addr;
+            t.state_slot = Some(state_ptr);
+            threads.push(t);
+        }
+        let n = cw.count;
+        let mut w = Warp::new(self.next_warp_id, self.warp_size, cw.pc, threads);
+        self.next_warp_id += 1;
+        w.is_dynamic = true;
+        w.formation_block = Some(cw.base_addr);
+        self.threads_used += n;
+        self.regs_used += n * ctx.regs_per_thread;
+        self.warps.push(w);
+    }
+
+    /// Pops finished warps, releasing their resources. Returns the number
+    /// of warps retired.
+    pub(crate) fn reap_finished(&mut self, ctx: &ExecCtx<'_>) -> usize {
+        let mut reaped = 0;
+        let mut i = 0;
+        while i < self.warps.len() {
+            if self.warps[i].is_finished() {
+                let w = self.warps.remove(i);
+                let n = w.population();
+                self.threads_used -= n;
+                self.regs_used -= n * ctx.regs_per_thread;
+                if let Some(b) = w.block_id {
+                    let left = self.blocks.get_mut(&b).expect("block tracked");
+                    *left -= 1;
+                    if *left == 0 {
+                        self.blocks.remove(&b);
+                    }
+                }
+                if let (Some(base), Some(f)) = (w.formation_block, self.formation.as_mut()) {
+                    f.release_block(base);
+                }
+                if let (Some(base), Some(f)) = (w.elision_block, self.formation.as_mut()) {
+                    f.release_block(base);
+                }
+                reaped += 1;
+            } else {
+                i += 1;
+            }
+        }
+        if self.rr >= self.warps.len() {
+            self.rr = 0;
+        }
+        reaped
+    }
+
+    /// Whether any resident warp still has lanes to run.
+    pub(crate) fn has_live_warps(&mut self) -> bool {
+        self.warps.iter_mut().any(|w| !w.is_finished())
+    }
+
+    /// Drains ready dynamic warps from the FIFO into the warp pool, with
+    /// priority over launch work (paper §IV-D). Returns warps admitted.
+    pub(crate) fn drain_dynamic(&mut self, next_tid: &mut u32, ctx: &ExecCtx<'_>) -> usize {
+        let mut admitted = 0;
+        loop {
+            let Some(f) = self.formation.as_mut() else { break };
+            let Some(&cw) = f.peek_ready() else { break };
+            if !self.fits_warp(cw.count, ctx.regs_per_thread, false) {
+                break;
+            }
+            let cw = self.formation.as_mut().expect("checked").pop_ready().expect("peeked");
+            self.admit_dynamic_warp(cw, next_tid, ctx);
+            admitted += 1;
+        }
+        admitted
+    }
+
+    /// Forces partial warps out of the formation pool when nothing else is
+    /// schedulable (paper §IV-D). Returns warps admitted.
+    pub(crate) fn force_out_partials(&mut self, next_tid: &mut u32, ctx: &ExecCtx<'_>) -> usize {
+        let mut admitted = 0;
+        loop {
+            let Some(f) = self.formation.as_mut() else { break };
+            if f.partial_threads() == 0 {
+                break;
+            }
+            // Peek the candidate size via the LUT before committing.
+            let count = f
+                .lut()
+                .partial_lines()
+                .first()
+                .map(|l| l.count)
+                .unwrap_or(0);
+            if count == 0 || !self.fits_warp(count, ctx.regs_per_thread, false) {
+                break;
+            }
+            let cw = self
+                .formation
+                .as_mut()
+                .expect("checked")
+                .force_out_partial()
+                .expect("partials present");
+            self.admit_dynamic_warp(cw, next_tid, ctx);
+            admitted += 1;
+        }
+        admitted
+    }
+
+    /// Issues at most one warp-instruction. Returns `true` if something
+    /// issued (or productively stalled), `false` on an idle cycle.
+    pub(crate) fn step(
+        &mut self,
+        now: u64,
+        ctx: &ExecCtx<'_>,
+        mem: &mut MemorySystem,
+        stats: &mut SimStats,
+    ) -> bool {
+        if now < self.issue_blocked_until {
+            // Issue port consumed by bank-conflict replays.
+            stats.idle_sm_cycles += 1;
+            stats.divergence.record_idle(now);
+            return false;
+        }
+        let n = self.warps.len();
+        if n == 0 {
+            stats.idle_sm_cycles += 1;
+            stats.divergence.record_idle(now);
+            return false;
+        }
+        for k in 0..n {
+            let idx = (self.rr + k) % n;
+            if self.warps[idx].ready_at > now {
+                continue;
+            }
+            let Some(entry) = self.warps[idx].current() else {
+                continue;
+            };
+            self.rr = (idx + 1) % n;
+            self.exec_warp_instruction(idx, entry.pc, entry.mask, now, ctx, mem, stats);
+            return true;
+        }
+        stats.idle_sm_cycles += 1;
+        stats.divergence.record_idle(now);
+        false
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_warp_instruction(
+        &mut self,
+        widx: usize,
+        pc: usize,
+        mask: u64,
+        now: u64,
+        ctx: &ExecCtx<'_>,
+        mem: &mut MemorySystem,
+        stats: &mut SimStats,
+    ) {
+        let instr = *ctx.program.fetch(pc);
+        // Guard-pass mask over the PDOM-active lanes.
+        let mut pass = 0u64;
+        {
+            let w = &self.warps[widx];
+            for lane in 0..self.warp_size as usize {
+                if mask & (1 << lane) == 0 {
+                    continue;
+                }
+                let Some(t) = w.lanes[lane].as_ref() else { continue };
+                let ok = match instr.guard {
+                    None => true,
+                    Some(g) => t.pred(g.pred) != g.negate,
+                };
+                if ok {
+                    pass |= 1 << lane;
+                }
+            }
+        }
+
+        // A stalled spawn consumes the issue slot without committing.
+        if let Instr::Spawn { target, ptr } = instr.op {
+            // §IX optimization: when every live lane of the warp executes
+            // this same spawn, branch the warp to the μ-kernel in place
+            // instead of creating threads. Each lane's state pointer is
+            // still published through a (resident) spawn-memory scratch
+            // block so the μ-kernel's restore sequence works unchanged.
+            if self.spawn_policy == SpawnPolicy::OnDivergence {
+                let live: u64 = {
+                    let w = &self.warps[widx];
+                    let mut m = 0u64;
+                    for (i, lane) in w.lanes.iter().enumerate() {
+                        if lane.as_ref().is_some_and(|t| !t.exited) {
+                            m |= 1 << i;
+                        }
+                    }
+                    m
+                };
+                if pass == live && pass != 0 {
+                    if self.warps[widx].elision_block.is_none() {
+                        self.warps[widx].elision_block =
+                            self.formation.as_mut().and_then(|f| f.try_alloc_block());
+                    }
+                    if let Some(block) = self.warps[widx].elision_block {
+                        let spawn_mem = self.spawn_mem.as_mut().expect("dmk enabled");
+                        let mut slots = Vec::with_capacity(pass.count_ones() as usize);
+                        let mut idx = 0u32;
+                        for lane in 0..self.warp_size as usize {
+                            if pass & (1 << lane) == 0 {
+                                continue;
+                            }
+                            let slot = block + 4 * idx;
+                            idx += 1;
+                            let t = self.warps[widx].lanes[lane].as_mut().expect("populated");
+                            spawn_mem.write(slot, t.reg(ptr));
+                            t.spawn_mem_addr = slot;
+                            slots.push(slot);
+                        }
+                        let (_, degree) = mem.access_onchip(
+                            now,
+                            &WarpAccess {
+                                space: Space::Spawn,
+                                is_store: true,
+                                bytes_per_lane: 4,
+                                addresses: slots,
+                            },
+                            &mut self.lsu_free,
+                        );
+                        self.block_issue_for_replays(now, degree);
+                        stats.spawn_elisions += 1;
+                        self.commit(widx, pc, mask, now, now + 1, stats);
+                        self.warps[widx].set_pc(target);
+                        return;
+                    }
+                    // No scratch block available: fall through to a real
+                    // spawn, which applies its own back-pressure.
+                }
+            }
+            let n_active = pass.count_ones();
+            let outcome = match self.formation.as_mut() {
+                Some(f) => f.spawn(target, n_active),
+                None => panic!("spawn executed on a machine without dynamic μ-kernel hardware"),
+            };
+            match outcome {
+                Ok(out) => {
+                    // Store each spawning lane's state pointer into its
+                    // formation slot (the §IV-C memory transaction).
+                    let spawn_mem = self.spawn_mem.as_mut().expect("dmk enabled");
+                    let mut slot_iter = out.thread_slots.iter();
+                    for lane in 0..self.warp_size as usize {
+                        if pass & (1 << lane) == 0 {
+                            continue;
+                        }
+                        let slot = *slot_iter.next().expect("one slot per spawning lane");
+                        let t = self.warps[widx].lanes[lane].as_mut().expect("populated");
+                        spawn_mem.write(slot, t.reg(ptr));
+                        t.spawned_child = true;
+                    }
+                    stats.threads_spawned += u64::from(n_active);
+                    // The metadata write is a store: charged, not waited on.
+                    let (_, degree) = mem.access_onchip(
+                        now,
+                        &WarpAccess {
+                            space: Space::Spawn,
+                            is_store: true,
+                            bytes_per_lane: 4,
+                            addresses: out.thread_slots,
+                        },
+                        &mut self.lsu_free,
+                    );
+                    self.block_issue_for_replays(now, degree);
+                    self.commit(widx, pc, mask, now, now + 1, stats);
+                    self.warps[widx].set_pc(pc + 1);
+                }
+                Err(SpawnError::LutFull) => {
+                    panic!("program uses more μ-kernels than the spawn LUT supports")
+                }
+                Err(_) => {
+                    // Transient back-pressure: retry shortly, no commit.
+                    stats.spawn_stall_cycles += 1;
+                    self.warps[widx].ready_at = now + 4;
+                }
+            }
+            return;
+        }
+
+        match instr.op {
+            Instr::Alu { op, d, a, b, c } => {
+                let mut latency = 1;
+                if matches!(
+                    op,
+                    simt_isa::AluOp::FDiv
+                        | simt_isa::AluOp::FSqrt
+                        | simt_isa::AluOp::FRcp
+                        | simt_isa::AluOp::IDiv
+                        | simt_isa::AluOp::IRem
+                ) {
+                    latency = self.long_op_latency;
+                }
+                self.for_each_pass_lane(widx, pass, |t| {
+                    let r = simt_isa::eval_alu(op, t.operand(a), t.operand(b), t.operand(c));
+                    t.set_reg(d, r);
+                });
+                self.commit(widx, pc, mask, now, now + u64::from(latency), stats);
+                self.warps[widx].set_pc(pc + 1);
+            }
+            Instr::Setp { cmp, p, a, b } => {
+                self.for_each_pass_lane(widx, pass, |t| {
+                    let r = simt_isa::eval_cmp(cmp, t.operand(a), t.operand(b));
+                    t.set_pred(p, r);
+                });
+                self.commit(widx, pc, mask, now, now + 1, stats);
+                self.warps[widx].set_pc(pc + 1);
+            }
+            Instr::Selp { d, a, b, p } => {
+                self.for_each_pass_lane(widx, pass, |t| {
+                    let v = if t.pred(p) { t.operand(a) } else { t.operand(b) };
+                    t.set_reg(d, v);
+                });
+                self.commit(widx, pc, mask, now, now + 1, stats);
+                self.warps[widx].set_pc(pc + 1);
+            }
+            Instr::Mov { d, a } => {
+                self.for_each_pass_lane(widx, pass, |t| {
+                    let v = t.operand(a);
+                    t.set_reg(d, v);
+                });
+                self.commit(widx, pc, mask, now, now + 1, stats);
+                self.warps[widx].set_pc(pc + 1);
+            }
+            Instr::ReadSpecial { d, s } => {
+                let (sm_id, ntid) = (self.id as u32, ctx.ntid);
+                let wid = self.warps[widx].id as u32;
+                for lane in 0..self.warp_size as usize {
+                    if pass & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let t = self.warps[widx].lanes[lane].as_mut().expect("populated");
+                    let v = t.special(s, lane as u32, wid, sm_id, ntid);
+                    t.set_reg(d, v);
+                }
+                self.commit(widx, pc, mask, now, now + 1, stats);
+                self.warps[widx].set_pc(pc + 1);
+            }
+            Instr::Nop => {
+                self.commit(widx, pc, mask, now, now + 1, stats);
+                self.warps[widx].set_pc(pc + 1);
+            }
+            Instr::Ld {
+                space,
+                d,
+                addr,
+                offset,
+                width,
+            } => {
+                let ready = self.exec_memory(widx, pass, space, d, addr, offset, width, false, now, mem);
+                self.commit(widx, pc, mask, now, ready, stats);
+                self.warps[widx].set_pc(pc + 1);
+            }
+            Instr::St {
+                space,
+                a,
+                addr,
+                offset,
+                width,
+            } => {
+                // Stores are fire-and-forget: bandwidth/queueing is charged
+                // by the timing model, but the warp does not wait for the
+                // write to land.
+                let _ = self.exec_memory(widx, pass, space, a, addr, offset, width, true, now, mem);
+                self.commit(widx, pc, mask, now, now + 1, stats);
+                self.warps[widx].set_pc(pc + 1);
+            }
+            Instr::Bra { target } => {
+                let taken = pass;
+                let not_taken = mask & !pass;
+                self.commit(widx, pc, mask, now, now + 1, stats);
+                let w = &mut self.warps[widx];
+                if not_taken == 0 {
+                    w.set_pc(target);
+                } else if taken == 0 {
+                    w.set_pc(pc + 1);
+                } else {
+                    let rpc = ctx.rtab.reconvergence_pc(pc);
+                    w.diverge(taken, not_taken, target, pc + 1, rpc);
+                }
+            }
+            Instr::Exit => {
+                self.commit(widx, pc, mask, now, now + 1, stats);
+                // Advance the entry first so non-exiting lanes continue.
+                self.warps[widx].set_pc(pc + 1);
+                self.retire_lanes(widx, pass, stats);
+            }
+            Instr::Spawn { .. } => unreachable!("handled above"),
+        }
+    }
+
+    /// Marks lanes retired, updating lineage accounting and recycling
+    /// spawn-memory state slots.
+    fn retire_lanes(&mut self, widx: usize, lanes: u64, stats: &mut SimStats) {
+        for lane in 0..self.warp_size as usize {
+            if lanes & (1 << lane) == 0 {
+                continue;
+            }
+            let t = self.warps[widx].lanes[lane].as_mut().expect("populated");
+            stats.threads_retired += 1;
+            if !t.spawned_child {
+                stats.lineages_completed += 1;
+                if let Some(slot) = t.state_slot.take() {
+                    self.free_state_slots.push(slot);
+                }
+            }
+        }
+        self.warps[widx].exit_lanes(lanes);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_memory(
+        &mut self,
+        widx: usize,
+        pass: u64,
+        space: Space,
+        reg: simt_isa::Reg,
+        addr_reg: simt_isa::Reg,
+        offset: i32,
+        width: Width,
+        is_store: bool,
+        now: u64,
+        mem: &mut MemorySystem,
+    ) -> u64 {
+        let nwords = width.regs() as u32;
+        let mut addresses: Vec<u32> = Vec::with_capacity(pass.count_ones() as usize);
+        for lane in 0..self.warp_size as usize {
+            if pass & (1 << lane) == 0 {
+                continue;
+            }
+            let (tid, base) = {
+                let t = self.warps[widx].lanes[lane].as_ref().expect("populated");
+                (t.tid, t.reg(addr_reg).wrapping_add(offset as u32))
+            };
+            // Functional transfer word by word. Borrows of the lane and of
+            // the memories are kept short so the arms stay disjoint.
+            for i in 0..nwords {
+                let a = base + 4 * i;
+                let r = simt_isa::Reg(reg.0 + i as u8);
+                if is_store {
+                    let v = self.warps[widx].lanes[lane].as_ref().expect("populated").reg(r);
+                    match space {
+                        Space::Global => mem.write_u32(Space::Global, a, v),
+                        Space::Const => panic!("store to constant memory"),
+                        Space::Local => mem.write_local(tid, a, v),
+                        Space::Shared => self.shared.write(a, v),
+                        Space::Spawn => self.spawn_mem.as_mut().expect("dmk enabled").write(a, v),
+                    }
+                } else {
+                    let v = match space {
+                        Space::Global => mem.read_u32(Space::Global, a),
+                        Space::Const => mem.read_u32(Space::Const, a),
+                        Space::Local => mem.read_local(tid, a),
+                        Space::Shared => self.shared.read(a),
+                        Space::Spawn => self.spawn_mem.as_ref().expect("dmk enabled").read(a),
+                    };
+                    self.warps[widx].lanes[lane].as_mut().expect("populated").set_reg(r, v);
+                }
+            }
+            // Timing address: local uses the per-thread physical mapping.
+            let timing_addr = if space == Space::Local {
+                mem.local_physical(tid, base)
+            } else {
+                base
+            };
+            addresses.push(timing_addr);
+        }
+        // A dynamic warp's first spawn-space load consumes its formation
+        // metadata; the block can be recycled afterwards.
+        if space == Space::Spawn && !is_store {
+            if let Some(base) = self.warps[widx].formation_block.take() {
+                if let Some(f) = self.formation.as_mut() {
+                    f.release_block(base);
+                }
+            }
+        }
+        // Texture-bound global loads go through the per-SM read-only cache.
+        if !is_store && space == Space::Global && !mem.config().ideal {
+            if let Some(tex) = self.tex.as_mut() {
+                let line = tex.line_bytes();
+                let mut miss_lines: Vec<u32> = Vec::new();
+                let mut uncached: Vec<u32> = Vec::new();
+                for &a in &addresses {
+                    if mem.is_read_only(a) {
+                        let first = a & !(line - 1);
+                        let last = (a + width.bytes() - 1) & !(line - 1);
+                        let mut l = first;
+                        loop {
+                            if !tex.access(l) {
+                                miss_lines.push(l);
+                            }
+                            if l >= last {
+                                break;
+                            }
+                            l += line;
+                        }
+                    } else {
+                        uncached.push(a);
+                    }
+                }
+                let mut ready = now + u64::from(self.tex_hit_latency);
+                if !miss_lines.is_empty() {
+                    ready = ready.max(mem.access(
+                        now,
+                        &WarpAccess {
+                            space: Space::Global,
+                            is_store: false,
+                            bytes_per_lane: line,
+                            addresses: miss_lines,
+                        },
+                    ));
+                }
+                if !uncached.is_empty() {
+                    ready = ready.max(mem.access(
+                        now,
+                        &WarpAccess {
+                            space: Space::Global,
+                            is_store: false,
+                            bytes_per_lane: width.bytes(),
+                            addresses: uncached,
+                        },
+                    ));
+                }
+                return ready;
+            }
+        }
+        let req = WarpAccess {
+            space,
+            is_store,
+            bytes_per_lane: width.bytes(),
+            addresses,
+        };
+        if space.is_on_chip() {
+            let (ready, degree) = mem.access_onchip(now, &req, &mut self.lsu_free);
+            self.block_issue_for_replays(now, degree);
+            ready
+        } else {
+            mem.access(now, &req)
+        }
+    }
+
+    /// Bank-conflict replays steal issue slots: a degree-`d` access
+    /// re-issues `d - 1` times, blocking the SM's issue port meanwhile.
+    fn block_issue_for_replays(&mut self, now: u64, degree: u32) {
+        if degree > 1 {
+            let start = now.max(self.issue_blocked_until);
+            self.issue_blocked_until = start + u64::from(degree - 1);
+        }
+    }
+
+    fn for_each_pass_lane(&mut self, widx: usize, pass: u64, mut f: impl FnMut(&mut ThreadCtx)) {
+        for lane in 0..self.warp_size as usize {
+            if pass & (1 << lane) == 0 {
+                continue;
+            }
+            let t = self.warps[widx].lanes[lane].as_mut().expect("populated lane");
+            f(t);
+        }
+    }
+
+    /// Records statistics for one committed warp-instruction.
+    fn commit(&mut self, widx: usize, _pc: usize, mask: u64, now: u64, ready: u64, stats: &mut SimStats) {
+        let active = mask.count_ones();
+        stats.warp_issues += 1;
+        stats.thread_instructions += u64::from(active);
+        stats.divergence.record_issue(now, active);
+        let w = &mut self.warps[widx];
+        w.ready_at = ready.max(now + 1);
+        for lane in 0..self.warp_size as usize {
+            if mask & (1 << lane) == 0 {
+                continue;
+            }
+            if let Some(t) = w.lanes[lane].as_mut() {
+                t.instructions += 1;
+            }
+        }
+    }
+
+    /// Test/diagnostic access to shared memory contents.
+    pub fn shared_mem(&self) -> &OnChipMemory {
+        &self.shared
+    }
+
+    /// Test/diagnostic access to spawn memory contents.
+    pub fn spawn_mem(&self) -> Option<&OnChipMemory> {
+        self.spawn_mem.as_ref()
+    }
+}

@@ -1,0 +1,318 @@
+//! Simulation statistics: IPC, divergence timelines, completion counters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of warp-occupancy buckets in divergence breakdowns.
+///
+/// Bucket 0 counts *idle* SM-cycles (no warp issued); buckets `1..=8`
+/// count issues with `4(b-1)+1 ..= 4b` active lanes — the paper's
+/// `W1:4 .. W29:32` categories of Figs. 3/7/9.
+pub const OCCUPANCY_BUCKETS: usize = 9;
+
+/// Divergence breakdown over time: per window, how many SM-cycles issued a
+/// warp with each occupancy level (the data behind paper Figs. 3, 7, 9).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DivergenceTimeline {
+    window: u64,
+    warp_size: u32,
+    counts: Vec<[u64; OCCUPANCY_BUCKETS]>,
+}
+
+impl DivergenceTimeline {
+    /// Creates a timeline with `window`-cycle buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64, warp_size: u32) -> Self {
+        assert!(window > 0, "window must be positive");
+        DivergenceTimeline {
+            window,
+            warp_size,
+            counts: Vec::new(),
+        }
+    }
+
+    fn bucket_for(&self, active_lanes: u32) -> usize {
+        if active_lanes == 0 {
+            return 0;
+        }
+        // Scale to the paper's 4-lane-wide buckets regardless of warp size.
+        let per_bucket = (self.warp_size as usize).div_ceil(OCCUPANCY_BUCKETS - 1).max(1);
+        (((active_lanes as usize) - 1) / per_bucket + 1).min(OCCUPANCY_BUCKETS - 1)
+    }
+
+    fn slot(&mut self, cycle: u64) -> &mut [u64; OCCUPANCY_BUCKETS] {
+        let idx = (cycle / self.window) as usize;
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, [0; OCCUPANCY_BUCKETS]);
+        }
+        &mut self.counts[idx]
+    }
+
+    /// Records one SM-cycle that issued a warp with `active_lanes` lanes.
+    pub fn record_issue(&mut self, cycle: u64, active_lanes: u32) {
+        let b = self.bucket_for(active_lanes);
+        self.slot(cycle)[b] += 1;
+    }
+
+    /// Records one idle SM-cycle (no warp ready).
+    pub fn record_idle(&mut self, cycle: u64) {
+        self.slot(cycle)[0] += 1;
+    }
+
+    /// The window width in cycles.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Raw per-window counts (`[idle, W1:4, W5:8, …]`).
+    pub fn windows(&self) -> &[[u64; OCCUPANCY_BUCKETS]] {
+        &self.counts
+    }
+
+    /// Bucket labels matching [`DivergenceTimeline::windows`] columns.
+    pub fn labels(&self) -> Vec<String> {
+        let per_bucket = (self.warp_size as usize).div_ceil(OCCUPANCY_BUCKETS - 1).max(1);
+        let mut v = vec!["idle".to_string()];
+        for b in 1..OCCUPANCY_BUCKETS {
+            let lo = (b - 1) * per_bucket + 1;
+            let hi = (b * per_bucket).min(self.warp_size as usize);
+            v.push(format!("W{lo}:{hi}"));
+        }
+        v
+    }
+
+    /// Renders the timeline as AerialVision-style CSV: one row per window,
+    /// one column per occupancy bucket.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cycle_end");
+        for l in self.labels() {
+            out.push(',');
+            out.push_str(&l);
+        }
+        out.push('\n');
+        for (i, w) in self.counts.iter().enumerate() {
+            out.push_str(&((i as u64 + 1) * self.window).to_string());
+            for v in w {
+                out.push(',');
+                out.push_str(&v.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Average active lanes per *issue* over the whole run (idle excluded).
+    pub fn mean_active_lanes(&self) -> f64 {
+        let per_bucket = (self.warp_size as usize).div_ceil(OCCUPANCY_BUCKETS - 1).max(1);
+        let mut issues = 0u64;
+        let mut weighted = 0f64;
+        for w in &self.counts {
+            for (b, &n) in w.iter().enumerate().skip(1) {
+                issues += n;
+                // Midpoint of the bucket's lane range.
+                let lo = ((b - 1) * per_bucket + 1) as f64;
+                let hi = ((b * per_bucket).min(self.warp_size as usize)) as f64;
+                weighted += n as f64 * (lo + hi) / 2.0;
+            }
+        }
+        if issues == 0 {
+            0.0
+        } else {
+            weighted / issues as f64
+        }
+    }
+}
+
+/// Aggregate counters for one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Committed thread-instructions (the paper's IPC numerator).
+    pub thread_instructions: u64,
+    /// Warp-instructions issued.
+    pub warp_issues: u64,
+    /// SM-cycles with no warp ready to issue.
+    pub idle_sm_cycles: u64,
+    /// Launch-time threads created.
+    pub threads_launched: u64,
+    /// Dynamically spawned threads.
+    pub threads_spawned: u64,
+    /// Threads retired (launch + dynamic).
+    pub threads_retired: u64,
+    /// Lineages completed: a thread retired without spawning a child. For
+    /// the ray-tracing kernels this equals *rays completed* under both the
+    /// traditional and the μ-kernel formulation.
+    pub lineages_completed: u64,
+    /// Spawn instructions that had to retry due to back-pressure.
+    pub spawn_stall_cycles: u64,
+    /// Spawns elided into in-place branches (`SpawnPolicy::OnDivergence`).
+    pub spawn_elisions: u64,
+    /// Divergence breakdown over time.
+    pub divergence: DivergenceTimeline,
+}
+
+impl SimStats {
+    /// Creates zeroed statistics.
+    pub fn new(divergence_window: u64, warp_size: u32) -> Self {
+        SimStats {
+            cycles: 0,
+            thread_instructions: 0,
+            warp_issues: 0,
+            idle_sm_cycles: 0,
+            threads_launched: 0,
+            threads_spawned: 0,
+            threads_retired: 0,
+            lineages_completed: 0,
+            spawn_stall_cycles: 0,
+            spawn_elisions: 0,
+            divergence: DivergenceTimeline::new(divergence_window, warp_size),
+        }
+    }
+
+    /// Committed thread-instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.thread_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// SIMT efficiency: committed thread-instructions over issued warp
+    /// slots (`warp_issues × warp_size`).
+    pub fn simt_efficiency(&self, warp_size: u32) -> f64 {
+        if self.warp_issues == 0 {
+            0.0
+        } else {
+            self.thread_instructions as f64 / (self.warp_issues as f64 * f64::from(warp_size))
+        }
+    }
+
+    /// Completed lineages (≙ rays) per second at `clock_ghz`.
+    pub fn rays_per_second(&self, clock_ghz: f64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.lineages_completed as f64 / (self.cycles as f64 / (clock_ghz * 1e9))
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles:               {}", self.cycles)?;
+        writeln!(f, "thread instructions:  {}", self.thread_instructions)?;
+        writeln!(f, "IPC:                  {:.1}", self.ipc())?;
+        writeln!(f, "warp issues:          {}", self.warp_issues)?;
+        writeln!(f, "idle SM-cycles:       {}", self.idle_sm_cycles)?;
+        writeln!(f, "threads launched:     {}", self.threads_launched)?;
+        writeln!(f, "threads spawned:      {}", self.threads_spawned)?;
+        writeln!(f, "threads retired:      {}", self.threads_retired)?;
+        writeln!(f, "lineages completed:   {}", self.lineages_completed)?;
+        writeln!(f, "spawn stall cycles:   {}", self.spawn_stall_cycles)?;
+        write!(f, "spawn elisions:       {}", self.spawn_elisions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_paper_categories() {
+        let t = DivergenceTimeline::new(100, 32);
+        assert_eq!(
+            t.labels(),
+            vec!["idle", "W1:4", "W5:8", "W9:12", "W13:16", "W17:20", "W21:24", "W25:28", "W29:32"]
+        );
+    }
+
+    #[test]
+    fn bucket_assignment_boundaries() {
+        let mut t = DivergenceTimeline::new(100, 32);
+        t.record_issue(0, 1);
+        t.record_issue(0, 4);
+        t.record_issue(0, 5);
+        t.record_issue(0, 32);
+        t.record_idle(0);
+        let w = t.windows()[0];
+        assert_eq!(w[0], 1, "idle");
+        assert_eq!(w[1], 2, "W1:4");
+        assert_eq!(w[2], 1, "W5:8");
+        assert_eq!(w[8], 1, "W29:32");
+    }
+
+    #[test]
+    fn windows_split_by_cycle() {
+        let mut t = DivergenceTimeline::new(10, 32);
+        t.record_issue(5, 32);
+        t.record_issue(15, 32);
+        t.record_issue(25, 32);
+        assert_eq!(t.windows().len(), 3);
+        assert_eq!(t.windows()[1][8], 1);
+    }
+
+    #[test]
+    fn mean_active_lanes_weighted() {
+        let mut t = DivergenceTimeline::new(10, 32);
+        t.record_issue(0, 32); // bucket midpoint 30.5
+        t.record_issue(0, 2); // bucket midpoint 2.5
+        t.record_idle(0); // excluded
+        assert!((t.mean_active_lanes() - 16.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ipc_and_efficiency() {
+        let mut s = SimStats::new(100, 32);
+        s.cycles = 100;
+        s.thread_instructions = 1600;
+        s.warp_issues = 100;
+        assert!((s.ipc() - 16.0).abs() < 1e-9);
+        assert!((s.simt_efficiency(32) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rays_per_second_uses_clock() {
+        let mut s = SimStats::new(100, 32);
+        s.cycles = 1_000_000;
+        s.lineages_completed = 1000;
+        // 1000 rays in 1M cycles at 1 GHz = 1M rays/s.
+        assert!((s.rays_per_second(1.0) - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let s = SimStats::new(100, 32);
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.simt_efficiency(32), 0.0);
+        assert_eq!(s.rays_per_second(1.3), 0.0);
+        assert_eq!(DivergenceTimeline::new(10, 32).mean_active_lanes(), 0.0);
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let mut t = DivergenceTimeline::new(10, 32);
+        t.record_issue(0, 32);
+        t.record_idle(12);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "{csv}");
+        assert!(lines[0].starts_with("cycle_end,idle,W1:4"));
+        assert!(lines[1].starts_with("10,0,"));
+        assert!(lines[1].ends_with(",1"), "{csv}");
+        assert!(lines[2].starts_with("20,1,"));
+    }
+
+    #[test]
+    fn tiny_warp_bucket_scaling() {
+        // warp_size 4: per_bucket = 1, buckets W1:1..W4:4 then clamp.
+        let mut t = DivergenceTimeline::new(10, 4);
+        t.record_issue(0, 4);
+        let w = t.windows()[0];
+        assert_eq!(w[4], 1);
+    }
+}

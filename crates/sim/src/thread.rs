@@ -1,0 +1,146 @@
+//! Per-thread (lane) execution context.
+
+use simt_isa::{Operand, Pred, Reg, Special};
+
+/// Architectural state of one thread: registers, predicates and the
+/// special registers the paper's programming model exposes.
+#[derive(Debug, Clone)]
+pub struct ThreadCtx {
+    /// Global thread id (unique across the launch, including dynamically
+    /// created threads).
+    pub tid: u32,
+    /// General-purpose register file (sized to the program's requirement).
+    regs: Vec<u32>,
+    /// Predicate registers, one bit each.
+    preds: u8,
+    /// The `%spawnmem` special register (paper §IV-A1).
+    pub spawn_mem_addr: u32,
+    /// The spawn-memory *state record* this thread's lineage owns; freed
+    /// when the thread exits without having spawned a child.
+    pub state_slot: Option<u32>,
+    /// Whether this thread has spawned a child (its lineage continues).
+    pub spawned_child: bool,
+    /// Whether the thread has retired.
+    pub exited: bool,
+    /// Dynamic instruction count executed by this thread.
+    pub instructions: u64,
+}
+
+impl ThreadCtx {
+    /// Creates a fresh thread with `num_regs` zeroed registers.
+    pub fn new(tid: u32, num_regs: u32) -> Self {
+        ThreadCtx {
+            tid,
+            regs: vec![0; num_regs as usize],
+            preds: 0,
+            spawn_mem_addr: 0,
+            state_slot: None,
+            spawned_child: false,
+            exited: false,
+            instructions: 0,
+        }
+    }
+
+    /// Reads register `r` (unwritten registers read 0 even beyond the
+    /// allocated file, for robustness).
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs.get(r.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Writes register `r`, growing the file if the program under-declared.
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        let i = r.0 as usize;
+        if self.regs.len() <= i {
+            self.regs.resize(i + 1, 0);
+        }
+        self.regs[i] = v;
+    }
+
+    /// Reads predicate `p`.
+    pub fn pred(&self, p: Pred) -> bool {
+        (self.preds >> p.0) & 1 == 1
+    }
+
+    /// Writes predicate `p`.
+    pub fn set_pred(&mut self, p: Pred, v: bool) {
+        if v {
+            self.preds |= 1 << p.0;
+        } else {
+            self.preds &= !(1 << p.0);
+        }
+    }
+
+    /// Evaluates an operand against this context.
+    pub fn operand(&self, o: Operand) -> u32 {
+        match o {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(v) => v,
+        }
+    }
+
+    /// Evaluates a special register given the lane's machine coordinates.
+    pub fn special(&self, s: Special, lane: u32, warp_id: u32, sm_id: u32, ntid: u32) -> u32 {
+        match s {
+            Special::Tid => self.tid,
+            Special::LaneId => lane,
+            Special::WarpId => warp_id,
+            Special::SmId => sm_id,
+            Special::NTid => ntid,
+            Special::SpawnMem => self.spawn_mem_addr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_default_to_zero() {
+        let t = ThreadCtx::new(7, 4);
+        assert_eq!(t.reg(Reg(2)), 0);
+        assert_eq!(t.reg(Reg(60)), 0, "beyond file also reads zero");
+    }
+
+    #[test]
+    fn register_roundtrip_and_growth() {
+        let mut t = ThreadCtx::new(0, 2);
+        t.set_reg(Reg(1), 5);
+        assert_eq!(t.reg(Reg(1)), 5);
+        t.set_reg(Reg(10), 9);
+        assert_eq!(t.reg(Reg(10)), 9);
+    }
+
+    #[test]
+    fn predicates_are_independent_bits() {
+        let mut t = ThreadCtx::new(0, 1);
+        t.set_pred(Pred(0), true);
+        t.set_pred(Pred(3), true);
+        assert!(t.pred(Pred(0)));
+        assert!(!t.pred(Pred(1)));
+        assert!(t.pred(Pred(3)));
+        t.set_pred(Pred(0), false);
+        assert!(!t.pred(Pred(0)));
+        assert!(t.pred(Pred(3)));
+    }
+
+    #[test]
+    fn specials_resolve() {
+        let mut t = ThreadCtx::new(42, 1);
+        t.spawn_mem_addr = 0x100;
+        assert_eq!(t.special(Special::Tid, 3, 2, 1, 960), 42);
+        assert_eq!(t.special(Special::LaneId, 3, 2, 1, 960), 3);
+        assert_eq!(t.special(Special::WarpId, 3, 2, 1, 960), 2);
+        assert_eq!(t.special(Special::SmId, 3, 2, 1, 960), 1);
+        assert_eq!(t.special(Special::NTid, 3, 2, 1, 960), 960);
+        assert_eq!(t.special(Special::SpawnMem, 3, 2, 1, 960), 0x100);
+    }
+
+    #[test]
+    fn operand_evaluation() {
+        let mut t = ThreadCtx::new(0, 4);
+        t.set_reg(Reg(2), 77);
+        assert_eq!(t.operand(Operand::Reg(Reg(2))), 77);
+        assert_eq!(t.operand(Operand::Imm(5)), 5);
+    }
+}

@@ -1,0 +1,420 @@
+//! Warps and the PDOM reconvergence stack.
+
+use crate::thread::ThreadCtx;
+use simt_isa::RECONVERGE_AT_EXIT;
+
+/// One entry of the PDOM reconvergence stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackEntry {
+    /// Next PC for the lanes of this entry.
+    pub pc: usize,
+    /// Lane mask (bit `i` = lane `i` participates).
+    pub mask: u64,
+    /// PC at which this entry pops (merges into the entry below), or
+    /// [`RECONVERGE_AT_EXIT`].
+    pub rpc: usize,
+}
+
+/// Lifecycle state of a warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpState {
+    /// Has lanes left to run.
+    Active,
+    /// All lanes retired; resources can be reclaimed.
+    Finished,
+}
+
+/// A warp: up to `warp_size` threads executing in lockstep under a PDOM
+/// reconvergence stack.
+#[derive(Debug, Clone)]
+pub struct Warp {
+    /// Warp id within its SM.
+    pub id: usize,
+    /// Machine warp width.
+    pub warp_size: u32,
+    /// Per-lane thread contexts (`None` for unpopulated lanes of partial
+    /// warps).
+    pub lanes: Vec<Option<ThreadCtx>>,
+    stack: Vec<StackEntry>,
+    /// Earliest cycle at which this warp may issue again.
+    pub ready_at: u64,
+    /// Thread block this warp belongs to (launch warps under block
+    /// scheduling).
+    pub block_id: Option<usize>,
+    /// Formation block to release once the warp consumed its metadata
+    /// (dynamically created warps only).
+    pub formation_block: Option<u32>,
+    /// Scratch block held for branch-instead-of-spawn elisions
+    /// (`SpawnPolicy::OnDivergence`); released when the warp retires.
+    pub elision_block: Option<u32>,
+    /// Whether this warp was created by the warp-formation unit.
+    pub is_dynamic: bool,
+}
+
+impl Warp {
+    /// Creates a warp whose populated lanes start at `entry_pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more threads than `warp_size` are supplied or no thread is.
+    pub fn new(id: usize, warp_size: u32, entry_pc: usize, threads: Vec<ThreadCtx>) -> Self {
+        assert!(!threads.is_empty(), "a warp needs at least one thread");
+        assert!(
+            threads.len() <= warp_size as usize,
+            "warp of {} exceeds width {warp_size}",
+            threads.len()
+        );
+        let mut lanes: Vec<Option<ThreadCtx>> = threads.into_iter().map(Some).collect();
+        lanes.resize_with(warp_size as usize, || None);
+        let mask = if lanes.iter().filter(|l| l.is_some()).count() == 64 {
+            u64::MAX
+        } else {
+            lanes
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.is_some())
+                .fold(0u64, |m, (i, _)| m | (1 << i))
+        };
+        Warp {
+            id,
+            warp_size,
+            lanes,
+            stack: vec![StackEntry {
+                pc: entry_pc,
+                mask,
+                rpc: RECONVERGE_AT_EXIT,
+            }],
+            ready_at: 0,
+            block_id: None,
+            formation_block: None,
+            elision_block: None,
+            is_dynamic: false,
+        }
+    }
+
+    /// Number of populated lanes (exited or not).
+    pub fn population(&self) -> u32 {
+        self.lanes.iter().filter(|l| l.is_some()).count() as u32
+    }
+
+    /// Pops exhausted/reconverged stack entries; returns the live top.
+    fn sync_stack(&mut self) -> Option<&StackEntry> {
+        while let Some(top) = self.stack.last() {
+            if top.mask == 0 || top.pc == top.rpc {
+                self.stack.pop();
+            } else {
+                break;
+            }
+        }
+        self.stack.last()
+    }
+
+    /// The entry that will issue next, after stack maintenance.
+    pub fn current(&mut self) -> Option<StackEntry> {
+        self.sync_stack().copied()
+    }
+
+    /// Whether all lanes have retired.
+    pub fn is_finished(&mut self) -> bool {
+        self.sync_stack().is_none()
+    }
+
+    /// Lifecycle state (convenience over [`Warp::is_finished`]).
+    pub fn state(&mut self) -> WarpState {
+        if self.is_finished() {
+            WarpState::Finished
+        } else {
+            WarpState::Active
+        }
+    }
+
+    /// Number of active lanes at the current top of stack.
+    pub fn active_lanes(&mut self) -> u32 {
+        self.current().map_or(0, |e| e.mask.count_ones())
+    }
+
+    /// Advances the top entry to `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty (the warp already finished).
+    pub fn set_pc(&mut self, pc: usize) {
+        self.sync_stack();
+        self.stack.last_mut().expect("set_pc on finished warp").pc = pc;
+    }
+
+    /// Applies a divergent branch outcome at the current top entry.
+    ///
+    /// `taken` and `not_taken` partition the entry's mask; `rpc` is the
+    /// branch's immediate post-dominator. Pushes the not-taken side first
+    /// so the taken side executes first (order does not affect
+    /// correctness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks do not partition the current entry's mask.
+    pub fn diverge(
+        &mut self,
+        taken: u64,
+        not_taken: u64,
+        target: usize,
+        fallthrough: usize,
+        rpc: usize,
+    ) {
+        self.sync_stack();
+        let top = *self.stack.last().expect("diverge on finished warp");
+        assert_eq!(taken | not_taken, top.mask, "divergence masks must partition");
+        assert_eq!(taken & not_taken, 0, "divergence masks must be disjoint");
+        if rpc == RECONVERGE_AT_EXIT {
+            // No rejoin point before exit: both sides inherit the parent's
+            // reconvergence PC and the parent entry is consumed.
+            let parent_rpc = top.rpc;
+            self.stack.pop();
+            self.stack.push(StackEntry {
+                pc: fallthrough,
+                mask: not_taken,
+                rpc: parent_rpc,
+            });
+            self.stack.push(StackEntry {
+                pc: target,
+                mask: taken,
+                rpc: parent_rpc,
+            });
+        } else {
+            // Parent becomes the reconvergence entry.
+            self.stack.last_mut().expect("checked").pc = rpc;
+            self.stack.push(StackEntry {
+                pc: fallthrough,
+                mask: not_taken,
+                rpc,
+            });
+            self.stack.push(StackEntry {
+                pc: target,
+                mask: taken,
+                rpc,
+            });
+        }
+    }
+
+    /// Retires the lanes in `mask`: marks their threads exited and removes
+    /// them from every stack entry.
+    pub fn exit_lanes(&mut self, mask: u64) {
+        for (i, lane) in self.lanes.iter_mut().enumerate() {
+            if mask & (1 << i) != 0 {
+                if let Some(t) = lane {
+                    t.exited = true;
+                }
+            }
+        }
+        for e in &mut self.stack {
+            e.mask &= !mask;
+        }
+    }
+
+    /// Current stack depth (diagnostics).
+    pub fn stack_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Iterates over populated, not-yet-exited threads.
+    pub fn live_threads(&self) -> impl Iterator<Item = &ThreadCtx> {
+        self.lanes
+            .iter()
+            .filter_map(|l| l.as_ref())
+            .filter(|t| !t.exited)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warp4(pc: usize) -> Warp {
+        let threads = (0..4).map(|i| ThreadCtx::new(i, 8)).collect();
+        Warp::new(0, 4, pc, threads)
+    }
+
+    #[test]
+    fn fresh_warp_has_full_mask() {
+        let mut w = warp4(5);
+        let e = w.current().unwrap();
+        assert_eq!(e.pc, 5);
+        assert_eq!(e.mask, 0b1111);
+        assert_eq!(e.rpc, RECONVERGE_AT_EXIT);
+        assert_eq!(w.active_lanes(), 4);
+    }
+
+    #[test]
+    fn partial_warp_mask_covers_population() {
+        let threads = (0..2).map(|i| ThreadCtx::new(i, 8)).collect();
+        let mut w = Warp::new(0, 4, 0, threads);
+        assert_eq!(w.current().unwrap().mask, 0b0011);
+        assert_eq!(w.population(), 2);
+    }
+
+    #[test]
+    fn diverge_executes_taken_side_first_then_reconverges() {
+        let mut w = warp4(1);
+        // Branch at pc 1 to target 10, fallthrough 2, reconverging at 20.
+        w.diverge(0b0011, 0b1100, 10, 2, 20);
+        let e = w.current().unwrap();
+        assert_eq!((e.pc, e.mask), (10, 0b0011));
+        // Taken side reaches the reconvergence point.
+        w.set_pc(20);
+        let e = w.current().unwrap();
+        assert_eq!((e.pc, e.mask), (2, 0b1100), "not-taken side runs next");
+        w.set_pc(20);
+        let e = w.current().unwrap();
+        assert_eq!((e.pc, e.mask), (20, 0b1111), "full mask restored at rpc");
+    }
+
+    #[test]
+    fn diverge_at_exit_sentinel_splits_without_reconvergence_entry() {
+        let mut w = warp4(0);
+        let depth0 = w.stack_depth();
+        w.diverge(0b0001, 0b1110, 7, 1, RECONVERGE_AT_EXIT);
+        assert_eq!(w.stack_depth(), depth0 + 1, "parent consumed, two pushed");
+        // Exit the taken side; the not-taken side takes over.
+        w.exit_lanes(0b0001);
+        let e = w.current().unwrap();
+        assert_eq!((e.pc, e.mask), (1, 0b1110));
+        w.exit_lanes(0b1110);
+        assert!(w.is_finished());
+    }
+
+    #[test]
+    fn exit_removes_lanes_from_nested_entries() {
+        let mut w = warp4(0);
+        w.diverge(0b0011, 0b1100, 10, 1, 20);
+        // Lane 0 exits while inside the taken side.
+        w.exit_lanes(0b0001);
+        let e = w.current().unwrap();
+        assert_eq!(e.mask, 0b0010);
+        w.set_pc(20); // taken side done
+        w.set_pc(20); // not-taken side done
+        let e = w.current().unwrap();
+        assert_eq!(e.mask, 0b1110, "reconverged without the exited lane");
+    }
+
+    #[test]
+    fn all_lanes_exiting_finishes_warp() {
+        let mut w = warp4(0);
+        assert_eq!(w.state(), WarpState::Active);
+        w.exit_lanes(0b1111);
+        assert_eq!(w.state(), WarpState::Finished);
+        assert_eq!(w.active_lanes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn bad_divergence_masks_panic() {
+        let mut w = warp4(0);
+        w.diverge(0b0001, 0b0010, 1, 2, 3);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A random PDOM exercise: repeatedly either diverge the top
+        /// entry, advance it to its reconvergence point, or exit random
+        /// lanes. Invariants: the active mask never contains exited or
+        /// unpopulated lanes, and exiting everything finishes the warp.
+        #[derive(Debug, Clone)]
+        enum Action {
+            Diverge { split: u64, rpc_offset: usize },
+            Reconverge,
+            Exit { lanes: u64 },
+        }
+
+        fn arb_action() -> impl Strategy<Value = Action> {
+            prop_oneof![
+                (any::<u64>(), 1usize..50).prop_map(|(split, rpc_offset)| Action::Diverge {
+                    split,
+                    rpc_offset
+                }),
+                Just(Action::Reconverge),
+                any::<u64>().prop_map(|lanes| Action::Exit { lanes }),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn pdom_stack_invariants_hold(actions in proptest::collection::vec(arb_action(), 1..40)) {
+                let threads = (0..8).map(|i| ThreadCtx::new(i, 4)).collect();
+                let mut w = Warp::new(0, 8, 100, threads);
+                let populated = 0xFFu64;
+                let mut next_rpc = 1000usize;
+                for a in actions {
+                    let Some(top) = w.current() else { break };
+                    // Invariant: active lanes are populated and alive.
+                    let alive: u64 = w
+                        .lanes
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, l)| l.as_ref().is_some_and(|t| !t.exited))
+                        .fold(0, |m, (i, _)| m | (1 << i));
+                    prop_assert_eq!(top.mask & !populated, 0);
+                    prop_assert_eq!(top.mask & !alive, 0, "active lane already exited");
+                    match a {
+                        Action::Diverge { split, rpc_offset } => {
+                            let taken = top.mask & split;
+                            let not_taken = top.mask & !split;
+                            if taken == 0 || not_taken == 0 {
+                                continue;
+                            }
+                            next_rpc += rpc_offset;
+                            w.diverge(taken, not_taken, top.pc + 1, top.pc + 2, next_rpc);
+                        }
+                        Action::Reconverge => {
+                            if top.rpc != simt_isa::RECONVERGE_AT_EXIT {
+                                w.set_pc(top.rpc);
+                            }
+                        }
+                        Action::Exit { lanes } => {
+                            w.exit_lanes(lanes & top.mask);
+                        }
+                    }
+                }
+                // Drain: exit everything; the warp must finish.
+                w.exit_lanes(populated);
+                prop_assert!(w.is_finished());
+                prop_assert_eq!(w.active_lanes(), 0);
+            }
+
+            #[test]
+            fn full_reconvergence_restores_union_mask(split in 1u64..255) {
+                let threads = (0..8).map(|i| ThreadCtx::new(i, 4)).collect();
+                let mut w = Warp::new(0, 8, 0, threads);
+                let taken = split & 0xFF;
+                let not_taken = 0xFF & !split;
+                prop_assume!(taken != 0 && not_taken != 0);
+                w.diverge(taken, not_taken, 10, 1, 20);
+                // Run both sides to the reconvergence point.
+                w.set_pc(20);
+                w.set_pc(20);
+                let top = w.current().unwrap();
+                prop_assert_eq!(top.mask, 0xFF);
+                prop_assert_eq!(top.pc, 20);
+            }
+        }
+    }
+
+    #[test]
+    fn nested_divergence_unwinds_in_order() {
+        let mut w = warp4(0);
+        w.diverge(0b0011, 0b1100, 10, 1, 20); // outer
+        w.diverge(0b0001, 0b0010, 12, 11, 15); // inner, within taken side
+        let e = w.current().unwrap();
+        assert_eq!((e.pc, e.mask), (12, 0b0001));
+        w.set_pc(15);
+        let e = w.current().unwrap();
+        assert_eq!((e.pc, e.mask), (11, 0b0010));
+        w.set_pc(15);
+        let e = w.current().unwrap();
+        assert_eq!((e.pc, e.mask), (15, 0b0011), "inner reconverged");
+        w.set_pc(20);
+        let e = w.current().unwrap();
+        assert_eq!((e.pc, e.mask), (1, 0b1100), "outer not-taken side");
+    }
+}

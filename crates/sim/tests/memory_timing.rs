@@ -1,0 +1,147 @@
+//! Timing-model behaviour visible at the pipeline level: texture-cache
+//! hits, constant-cache broadcasts, stack coalescing, and sequential
+//! launches.
+
+use simt_isa::assemble_named;
+use simt_sim::{Gpu, GpuConfig, Launch, RunOutcome};
+
+fn run_src(src: &str, threads: u32, mark_read_only: Option<(u32, u32)>) -> u64 {
+    let program = assemble_named("t", src).unwrap();
+    let mut gpu = Gpu::new(GpuConfig::tiny());
+    gpu.mem_mut().alloc_global(1 << 16, "buf");
+    if let Some((base, len)) = mark_read_only {
+        gpu.mem_mut().mark_read_only(base, len);
+    }
+    gpu.launch(Launch {
+        program,
+        entry: "main".into(),
+        num_threads: threads,
+        threads_per_block: 8,
+    });
+    let s = gpu.run(10_000_000);
+    assert_eq!(s.outcome, RunOutcome::Completed);
+    s.stats.cycles
+}
+
+/// Every thread reads the same global word many times.
+const REREAD_SRC: &str = r#"
+    .kernel main
+    main:
+        mov.u32 r1, 16
+        mov.u32 r2, 0
+    loop:
+        ld.global.u32 r3, [r2+0]
+        sub.s32 r1, r1, 1
+        setp.gt.s32 p0, r1, 0
+        @p0 bra loop
+        exit
+"#;
+
+#[test]
+fn texture_cache_accelerates_rereads() {
+    let cached = run_src(REREAD_SRC, 32, Some((0, 4096)));
+    let uncached = run_src(REREAD_SRC, 32, None);
+    assert!(
+        cached < uncached,
+        "cached {cached} cycles !< uncached {uncached}"
+    );
+}
+
+#[test]
+fn constant_cache_makes_const_loads_cheap() {
+    let const_src = r#"
+        .kernel main
+        main:
+            mov.u32 r1, 16
+            mov.u32 r2, 0
+        loop:
+            ld.const.u32 r3, [r2+0]
+            sub.s32 r1, r1, 1
+            setp.gt.s32 p0, r1, 0
+            @p0 bra loop
+            exit
+    "#;
+    let const_cycles = run_src(const_src, 32, None);
+    let global_cycles = run_src(REREAD_SRC, 32, None);
+    assert!(
+        const_cycles < global_cycles,
+        "const {const_cycles} !< uncached global {global_cycles}"
+    );
+}
+
+#[test]
+fn sequential_launches_share_memory_state() {
+    // Launch 1 writes, launch 2 increments the same buffer.
+    let write_src = r#"
+        .kernel main
+        main:
+            mov.u32 r1, %tid
+            mul.lo.s32 r2, r1, 4
+            add.s32 r3, r1, 100
+            st.global.u32 [r2+0], r3
+            exit
+    "#;
+    let incr_src = r#"
+        .kernel main
+        main:
+            mov.u32 r1, %tid
+            mul.lo.s32 r2, r1, 4
+            ld.global.u32 r3, [r2+0]
+            add.s32 r3, r3, 1
+            st.global.u32 [r2+0], r3
+            exit
+    "#;
+    let mut gpu = Gpu::new(GpuConfig::tiny());
+    gpu.mem_mut().alloc_global(64 * 4, "buf");
+    gpu.launch(Launch {
+        program: assemble_named("w", write_src).unwrap(),
+        entry: "main".into(),
+        num_threads: 64,
+        threads_per_block: 8,
+    });
+    assert_eq!(gpu.run(1_000_000).outcome, RunOutcome::Completed);
+    gpu.launch(Launch {
+        program: assemble_named("i", incr_src).unwrap(),
+        entry: "main".into(),
+        num_threads: 64,
+        threads_per_block: 8,
+    });
+    assert_eq!(gpu.run(1_000_000).outcome, RunOutcome::Completed);
+    for t in 0..64u32 {
+        assert_eq!(
+            gpu.mem().read_u32(simt_isa::Space::Global, t * 4),
+            t + 101,
+            "thread {t}"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "still active")]
+fn relaunch_before_completion_is_rejected() {
+    let spin = r#"
+        .kernel main
+        main:
+            mov.u32 r1, 1000
+        loop:
+            sub.s32 r1, r1, 1
+            setp.gt.s32 p0, r1, 0
+            @p0 bra loop
+            exit
+    "#;
+    let mut gpu = Gpu::new(GpuConfig::tiny());
+    let p = assemble_named("spin", spin).unwrap();
+    gpu.launch(Launch {
+        program: p.clone(),
+        entry: "main".into(),
+        num_threads: 64,
+        threads_per_block: 8,
+    });
+    gpu.run(10); // far from done
+    gpu.launch(Launch {
+        program: p,
+        entry: "main".into(),
+        num_threads: 64,
+        threads_per_block: 8,
+    });
+}

@@ -1,0 +1,122 @@
+//! Scheduling-model tests: block vs warp dispatch, resource-limited
+//! occupancy, and block-slot accounting (paper §VI).
+
+use simt_isa::assemble_named;
+use simt_sim::{Gpu, GpuConfig, Launch, RunOutcome, SchedulingModel};
+
+/// A kernel that spins for a while so occupancy can be observed.
+const SPIN_SRC: &str = r#"
+    .kernel main
+    main:
+        mov.u32 r1, 40
+    loop:
+        sub.s32 r1, r1, 1
+        setp.gt.s32 p0, r1, 0
+        @p0 bra loop
+        exit
+"#;
+
+fn launch_spin(mut cfg: GpuConfig, threads: u32, block: u32) -> Gpu {
+    cfg.num_sms = 1;
+    let mut gpu = Gpu::new(cfg);
+    gpu.launch(Launch {
+        program: assemble_named("spin", SPIN_SRC).unwrap(),
+        entry: "main".into(),
+        num_threads: threads,
+        threads_per_block: block,
+    });
+    // One cycle so the dispatcher fills the SM.
+    gpu.run(1);
+    gpu
+}
+
+#[test]
+fn block_scheduling_is_limited_by_block_slots() {
+    let mut cfg = GpuConfig::tiny();
+    cfg.scheduling = SchedulingModel::Block;
+    cfg.max_blocks_per_sm = 2;
+    cfg.max_threads_per_sm = 1024;
+    cfg.registers_per_sm = 1 << 20;
+    // Blocks of 8 threads; only 2 blocks may be resident -> 16 threads.
+    let gpu = launch_spin(cfg, 256, 8);
+    assert_eq!(gpu.sms()[0].threads_used(), 16);
+}
+
+#[test]
+fn warp_scheduling_ignores_block_slots() {
+    let mut cfg = GpuConfig::tiny();
+    cfg.scheduling = SchedulingModel::Warp;
+    cfg.max_blocks_per_sm = 2;
+    cfg.max_threads_per_sm = 64;
+    cfg.registers_per_sm = 1 << 20;
+    // Warp scheduling fills to the thread limit regardless of block count.
+    let gpu = launch_spin(cfg, 256, 8);
+    assert_eq!(gpu.sms()[0].threads_used(), 64);
+}
+
+#[test]
+fn register_file_bounds_occupancy() {
+    let mut cfg = GpuConfig::tiny();
+    cfg.scheduling = SchedulingModel::Warp;
+    cfg.max_threads_per_sm = 1024;
+    // The spin kernel uses 2 registers (r0..r1); allow only 40 registers:
+    // 40 / 2 = 20 threads -> 5 warps of 4.
+    cfg.registers_per_sm = 40;
+    let gpu = launch_spin(cfg, 256, 8);
+    assert_eq!(gpu.sms()[0].threads_used(), 20);
+}
+
+#[test]
+fn block_resources_release_when_the_whole_block_finishes() {
+    let mut cfg = GpuConfig::tiny();
+    cfg.scheduling = SchedulingModel::Block;
+    cfg.max_blocks_per_sm = 1;
+    cfg.num_sms = 1;
+    let mut gpu = Gpu::new(cfg);
+    gpu.launch(Launch {
+        program: assemble_named("spin", SPIN_SRC).unwrap(),
+        entry: "main".into(),
+        num_threads: 64,
+        threads_per_block: 8,
+    });
+    // With a single block slot, blocks run one after another but the whole
+    // launch must still complete.
+    let summary = gpu.run(10_000_000);
+    assert_eq!(summary.outcome, RunOutcome::Completed);
+    assert_eq!(summary.stats.threads_retired, 64);
+}
+
+#[test]
+fn whole_grid_completes_under_both_models() {
+    for model in [SchedulingModel::Block, SchedulingModel::Warp] {
+        let mut cfg = GpuConfig::tiny();
+        cfg.scheduling = model;
+        let mut gpu = Gpu::new(cfg);
+        gpu.launch(Launch {
+            program: assemble_named("spin", SPIN_SRC).unwrap(),
+            entry: "main".into(),
+            num_threads: 1000,
+            threads_per_block: 8,
+        });
+        let summary = gpu.run(50_000_000);
+        assert_eq!(summary.outcome, RunOutcome::Completed, "{model}");
+        assert_eq!(summary.stats.threads_retired, 1000, "{model}");
+    }
+}
+
+#[test]
+fn oversized_final_block_is_handled() {
+    // 13 threads with 8-thread blocks: a full block plus a ragged one.
+    let mut cfg = GpuConfig::tiny();
+    cfg.scheduling = SchedulingModel::Block;
+    let mut gpu = Gpu::new(cfg);
+    gpu.launch(Launch {
+        program: assemble_named("spin", SPIN_SRC).unwrap(),
+        entry: "main".into(),
+        num_threads: 13,
+        threads_per_block: 8,
+    });
+    let summary = gpu.run(1_000_000);
+    assert_eq!(summary.outcome, RunOutcome::Completed);
+    assert_eq!(summary.stats.threads_launched, 13);
+}

@@ -1,0 +1,151 @@
+//! Write your own dynamic μ-kernel program against the public API.
+//!
+//! This example implements an iterative computation — the Collatz (3n+1)
+//! trajectory length — two ways on the simulated GPU:
+//!
+//! 1. a traditional data-dependent loop under PDOM, and
+//! 2. a μ-kernel decomposition where every loop iteration is a spawned
+//!    thread, regrouped into dense warps by the warp-formation hardware.
+//!
+//! It demonstrates the paper's programming model (Example 2): save state
+//! to spawn memory, `spawn` the next μ-kernel, `exit`; the first μ-kernel
+//! load retrieves the parent's state pointer.
+//!
+//! ```sh
+//! cargo run --release --example custom_ukernel
+//! ```
+
+use usimt::dmk::DmkConfig;
+use usimt::isa::assemble_named;
+use usimt::sim::{Gpu, GpuConfig, Launch};
+
+const N: u32 = 4096;
+
+/// Traditional: loop until n == 1, counting steps.
+const LOOP_SRC: &str = r#"
+.kernel main
+main:
+    mov.u32 r1, %tid
+    add.s32 r2, r1, 3        ; n = tid + 3
+    mov.u32 r3, 0            ; steps
+loop:
+    setp.le.u32 p0, r2, 1
+    @p0 bra done
+    and.b32 r4, r2, 1
+    setp.eq.s32 p1, r4, 0
+    shr.u32 r5, r2, 1        ; n/2
+    mul.lo.s32 r6, r2, 3
+    add.s32 r6, r6, 1        ; 3n+1
+    selp.b32 r2, r5, r6, p1
+    add.s32 r3, r3, 1
+    bra loop
+done:
+    mul.lo.s32 r4, r1, 4
+    st.global.u32 [r4+0], r3
+    exit
+"#;
+
+/// μ-kernels: each Collatz step is one spawned thread.
+const UKERNEL_SRC: &str = r#"
+.kernel main
+.kernel k_step
+.spawnstate 16
+main:
+    mov.u32 r1, %tid
+    add.s32 r2, r1, 3        ; n
+    mov.u32 r3, 0            ; steps
+    mov.u32 r7, %spawnmem    ; launch threads: state record directly
+    st.spawn.u32 [r7+0], r1
+    st.spawn.u32 [r7+4], r2
+    st.spawn.u32 [r7+8], r3
+    spawn $k_step, r7
+    exit
+k_step:
+    mov.u32 r7, %spawnmem
+    ld.spawn.u32 r7, [r7+0]  ; state pointer
+    ld.spawn.u32 r1, [r7+0]
+    ld.spawn.u32 r2, [r7+4]
+    ld.spawn.u32 r3, [r7+8]
+    setp.le.u32 p0, r2, 1
+    @p0 bra finish
+    and.b32 r4, r2, 1
+    setp.eq.s32 p1, r4, 0
+    shr.u32 r5, r2, 1
+    mul.lo.s32 r6, r2, 3
+    add.s32 r6, r6, 1
+    selp.b32 r2, r5, r6, p1
+    add.s32 r3, r3, 1
+    st.spawn.u32 [r7+0], r1
+    st.spawn.u32 [r7+4], r2
+    st.spawn.u32 [r7+8], r3
+    spawn $k_step, r7
+    exit
+finish:
+    mul.lo.s32 r4, r1, 4
+    st.global.u32 [r4+0], r3
+    exit
+"#;
+
+fn collatz_len(mut n: u64) -> u32 {
+    let mut steps = 0;
+    while n > 1 {
+        n = if n % 2 == 0 { n / 2 } else { 3 * n + 1 };
+        steps += 1;
+    }
+    steps
+}
+
+fn main() {
+    // Traditional loop on the PDOM baseline.
+    let mut gpu = Gpu::new(GpuConfig::fx5800());
+    gpu.mem_mut().alloc_global(N * 4, "out");
+    gpu.launch(Launch {
+        program: assemble_named("collatz-loop", LOOP_SRC).expect("assembles"),
+        entry: "main".into(),
+        num_threads: N,
+        threads_per_block: 64,
+    });
+    let s1 = gpu.run(100_000_000);
+    for tid in (0..N).step_by(117) {
+        let got = gpu.mem().read_u32(usimt::isa::Space::Global, tid * 4);
+        assert_eq!(got, collatz_len(u64::from(tid) + 3), "tid {tid}");
+    }
+    println!(
+        "loop version:     {:>9} cycles, IPC {:>5.0}, efficiency {:>4.1}%",
+        s1.stats.cycles,
+        s1.stats.ipc(),
+        s1.stats.simt_efficiency(32) * 100.0
+    );
+
+    // μ-kernel version on the dynamic machine.
+    let dmk = DmkConfig {
+        state_bytes: 16,
+        num_ukernels: 2,
+        ..DmkConfig::paper()
+    };
+    let mut gpu = Gpu::new(GpuConfig::fx5800_dmk(dmk));
+    gpu.mem_mut().alloc_global(N * 4, "out");
+    gpu.launch(Launch {
+        program: assemble_named("collatz-ukernel", UKERNEL_SRC).expect("assembles"),
+        entry: "main".into(),
+        num_threads: N,
+        threads_per_block: 64,
+    });
+    let s2 = gpu.run(100_000_000);
+    for tid in (0..N).step_by(117) {
+        let got = gpu.mem().read_u32(usimt::isa::Space::Global, tid * 4);
+        assert_eq!(got, collatz_len(u64::from(tid) + 3), "tid {tid}");
+    }
+    println!(
+        "μ-kernel version: {:>9} cycles, IPC {:>5.0}, efficiency {:>4.1}%, {} spawns",
+        s2.stats.cycles,
+        s2.stats.ipc(),
+        s2.stats.simt_efficiency(32) * 100.0,
+        s2.stats.threads_spawned
+    );
+    println!(
+        "SIMT efficiency: {:.1}% -> {:.1}%",
+        s1.stats.simt_efficiency(32) * 100.0,
+        s2.stats.simt_efficiency(32) * 100.0
+    );
+}

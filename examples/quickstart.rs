@@ -1,0 +1,56 @@
+//! Quickstart: render a scene on the simulated GPU with both kernels and
+//! verify the images against the host ray tracer.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use usimt::dmk::DmkConfig;
+use usimt::kernels::render::{compare, RenderSetup};
+use usimt::raytrace::scenes::{self, SceneScale};
+use usimt::sim::{Gpu, GpuConfig};
+
+fn main() {
+    // A small conference-room scene and an 32x32 image keep this quick.
+    let scene = scenes::conference(SceneScale::Tiny);
+    let (w, h) = (32, 32);
+
+    // --- 1. Traditional kernel on the baseline PDOM machine ------------
+    let mut gpu = Gpu::new(GpuConfig::fx5800());
+    let setup = RenderSetup::upload(&mut gpu, &scene, w, h);
+    setup.launch_traditional(&mut gpu, 64);
+    let baseline = gpu.run(50_000_000);
+    let image_pdom = setup.device_results(&gpu);
+    println!(
+        "traditional: {} cycles, IPC {:.0}, SIMT efficiency {:.0}%",
+        baseline.stats.cycles,
+        baseline.stats.ipc(),
+        baseline.stats.simt_efficiency(32) * 100.0
+    );
+
+    // --- 2. The same render with dynamic μ-kernels ---------------------
+    let mut gpu = Gpu::new(GpuConfig::fx5800_dmk(DmkConfig::paper()));
+    let setup = RenderSetup::upload(&mut gpu, &scene, w, h);
+    setup.launch_ukernel(&mut gpu, 64);
+    let dynamic = gpu.run(50_000_000);
+    let image_dmk = setup.device_results(&gpu);
+    println!(
+        "dynamic:     {} cycles, IPC {:.0}, SIMT efficiency {:.0}%, {} threads spawned",
+        dynamic.stats.cycles,
+        dynamic.stats.ipc(),
+        dynamic.stats.simt_efficiency(32) * 100.0,
+        dynamic.stats.threads_spawned
+    );
+
+    // --- 3. Verify both against the host reference tracer --------------
+    let host = setup.host_reference();
+    let r1 = compare(&host, &image_pdom);
+    let r2 = compare(&host, &image_dmk);
+    println!(
+        "image check: traditional {:.1}% match, dynamic {:.1}% match",
+        r1.match_rate() * 100.0,
+        r2.match_rate() * 100.0
+    );
+    assert!(r1.match_rate() > 0.99 && r2.match_rate() > 0.99);
+    println!("ok: both kernels reproduce the reference image");
+}

@@ -1,0 +1,116 @@
+//! Whitted-style multi-bounce rendering: primary rays, then one or more
+//! specular reflection passes, each a fresh launch over the same scene —
+//! the second motivating use of ray tracing in the paper's §III-A.
+//!
+//! Reflection rays take the incoherence of shadow rays one step further:
+//! each bounce scatters origins *and* directions, so later passes are the
+//! most divergent work the machine sees.
+//!
+//! ```sh
+//! cargo run --release --example reflections [pdom|dynamic] [bounces]
+//! ```
+
+use usimt::dmk::DmkConfig;
+use usimt::kernels::render::RenderSetup;
+use usimt::raytrace::scenes::{self, SceneScale};
+use usimt::raytrace::{Ray, Vec3};
+use usimt::sim::{Gpu, GpuConfig, Launch};
+
+/// Specular-reflection rays from the previous pass's hits.
+fn reflection_rays(
+    rays: &[Ray],
+    results: &[Option<usimt::raytrace::Hit>],
+    tree: &usimt::raytrace::KdTree,
+) -> Vec<Ray> {
+    rays.iter()
+        .zip(results)
+        .map(|(ray, hit)| match hit {
+            Some(h) => {
+                let p = ray.at(h.t);
+                let tri = &tree.wald_triangles()[h.tri as usize];
+                // Reconstruct the geometric normal from the Wald record's
+                // plane equation (n has component 1 along axis k).
+                let k = tri.k as usize;
+                let mut n = [0.0f32; 3];
+                n[k] = 1.0;
+                n[(k + 1) % 3] = tri.n_u;
+                n[(k + 2) % 3] = tri.n_v;
+                let mut normal = Vec3::new(n[0], n[1], n[2]).normalized();
+                if normal.dot(ray.dir) > 0.0 {
+                    normal = -normal;
+                }
+                let dir = ray.dir - normal * (2.0 * ray.dir.dot(normal));
+                let mut r = Ray::new(p + dir * 1e-3, dir);
+                r.tmin = 1e-3;
+                r
+            }
+            None => {
+                let mut r = *ray;
+                r.tmin = 1e-4;
+                r.tmax = 1e-4;
+                r
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("dynamic");
+    let bounces: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let dynamic = mode == "dynamic";
+
+    let scene = scenes::atrium(SceneScale::Small);
+    let (w, h) = (64u32, 64u32);
+    let mut gpu = if dynamic {
+        Gpu::new(GpuConfig::fx5800_dmk(DmkConfig::paper()))
+    } else {
+        Gpu::new(GpuConfig::fx5800())
+    };
+    let setup = RenderSetup::upload(&mut gpu, &scene, w, h);
+    if dynamic {
+        setup.launch_ukernel(&mut gpu, 64);
+    } else {
+        setup.launch_traditional(&mut gpu, 64);
+    }
+    let s = gpu.run(u64::MAX / 4);
+    println!(
+        "pass 0 (primary, {mode}): {} cycles, IPC {:.0}",
+        s.stats.cycles,
+        s.stats.ipc()
+    );
+    let mut prev_cycles = s.stats.cycles;
+    let mut prev_instr = s.stats.thread_instructions;
+
+    let mut rays = setup.rays.clone();
+    let mut results = setup.device_results(&gpu);
+    for bounce in 1..=bounces {
+        rays = reflection_rays(&rays, &results, &setup.tree);
+        let hits_in = results.iter().flatten().count();
+        if hits_in == 0 {
+            println!("pass {bounce}: no surfaces left to bounce from");
+            break;
+        }
+        let dev = setup.dev.upload_rays(&rays, gpu.mem_mut());
+        gpu.launch(Launch {
+            program: if dynamic {
+                usimt::kernels::ukernel::program()
+            } else {
+                usimt::kernels::traditional::program()
+            },
+            entry: "main".into(),
+            num_threads: dev.num_rays,
+            threads_per_block: 64,
+        });
+        let s = gpu.run(u64::MAX / 4);
+        let cycles = s.stats.cycles - prev_cycles;
+        let ipc = (s.stats.thread_instructions - prev_instr) as f64 / cycles.max(1) as f64;
+        prev_cycles = s.stats.cycles;
+        prev_instr = s.stats.thread_instructions;
+        results = dev.read_results(gpu.mem());
+        let hits_out = results.iter().flatten().count();
+        println!(
+            "pass {bounce} (reflection): {cycles} cycles, IPC {ipc:.0}, {hits_in} rays in -> {hits_out} hits"
+        );
+    }
+}

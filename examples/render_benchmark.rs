@@ -1,0 +1,67 @@
+//! Render one of the paper's benchmark scenes and write a PGM depth image
+//! produced by the simulated GPU, plus the run statistics.
+//!
+//! ```sh
+//! cargo run --release --example render_benchmark -- conference dynamic out.pgm
+//! cargo run --release --example render_benchmark -- fairyforest pdom out.pgm
+//! ```
+
+use std::io::Write;
+use usimt::dmk::DmkConfig;
+use usimt::kernels::render::RenderSetup;
+use usimt::raytrace::scenes::{self, SceneScale};
+use usimt::sim::{Gpu, GpuConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scene_name = args.first().map(String::as_str).unwrap_or("conference");
+    let mode = args.get(1).map(String::as_str).unwrap_or("dynamic");
+    let out_path = args.get(2).map(String::as_str).unwrap_or("render.pgm");
+
+    let scene = scenes::by_name(scene_name, SceneScale::Small)
+        .unwrap_or_else(|| panic!("unknown scene `{scene_name}` (fairyforest|atrium|conference)"));
+    let (w, h) = (128u32, 128u32);
+
+    let mut gpu = match mode {
+        "dynamic" => Gpu::new(GpuConfig::fx5800_dmk(DmkConfig::paper())),
+        "pdom" => Gpu::new(GpuConfig::fx5800()),
+        other => panic!("unknown mode `{other}` (pdom|dynamic)"),
+    };
+    let setup = RenderSetup::upload(&mut gpu, &scene, w, h);
+    if mode == "dynamic" {
+        setup.launch_ukernel(&mut gpu, 64);
+    } else {
+        setup.launch_traditional(&mut gpu, 64);
+    }
+    let summary = gpu.run(500_000_000);
+    println!(
+        "{scene_name}/{mode}: {} cycles, IPC {:.0}, {} rays, eff {:.0}%",
+        summary.stats.cycles,
+        summary.stats.ipc(),
+        summary.stats.lineages_completed,
+        summary.stats.simt_efficiency(32) * 100.0
+    );
+
+    // Depth-map the hit parameters into a PGM.
+    let results = setup.device_results(&gpu);
+    let ts: Vec<f32> = results.iter().flatten().map(|hit| hit.t).collect();
+    let (lo, hi) = ts.iter().fold((f32::MAX, f32::MIN), |(lo, hi), &t| {
+        (lo.min(t), hi.max(t))
+    });
+    let mut pgm = format!("P2\n{w} {h}\n255\n");
+    for y in (0..h).rev() {
+        for x in 0..w {
+            let px = (y * w + x) as usize;
+            let v = match results[px] {
+                Some(hit) if hi > lo => 230 - ((hit.t - lo) / (hi - lo) * 200.0) as i32,
+                Some(_) => 230,
+                None => 16,
+            };
+            pgm.push_str(&format!("{v} "));
+        }
+        pgm.push('\n');
+    }
+    let mut f = std::fs::File::create(out_path).expect("create output file");
+    f.write_all(pgm.as_bytes()).expect("write image");
+    println!("wrote {out_path}");
+}

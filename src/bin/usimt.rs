@@ -1,0 +1,183 @@
+//! `usimt` — assemble and run kernels on the simulated SIMT machine.
+//!
+//! ```text
+//! usimt asm <file.s>                       # assemble, print listing + resources
+//! usimt run <file.s> [options]             # run on the simulator
+//! usimt extract <file.s> <loop-label>      # auto-split a loop into μ-kernels
+//!
+//! run options:
+//!   --threads N        launch threads (default 64)
+//!   --block N          threads per block (default 64; multiple of 32)
+//!   --entry NAME       entry kernel (default "main")
+//!   --cycles N         cycle budget (default 100000000)
+//!   --dmk              enable dynamic μ-kernel hardware
+//!   --state-bytes N    spawn state record size (with --dmk, default 48)
+//!   --alloc-global N   pre-allocate N bytes of global memory at address 0
+//!   --dump-global A N  after the run, print N words from global address A
+//!   --csv FILE         write the divergence timeline as CSV
+//! ```
+
+use std::process::ExitCode;
+use usimt::dmk::DmkConfig;
+use usimt::sim::{Gpu, GpuConfig, Launch};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: usimt <asm|run|extract> <file.s> [options] (see source header)");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match usimt::isa::assemble_named(path, &src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("assembly error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd.as_str() {
+        "asm" => {
+            println!("{program}");
+            let r = program.resource_usage();
+            println!("registers: {}", r.registers);
+            println!("encoded size: {} bytes", usimt::isa::encoded_bytes(&program));
+            println!("entry points: {:?}", program.entry_points());
+            println!("spawn sites: {:?}", program.spawn_sites());
+            ExitCode::SUCCESS
+        }
+        "extract" => {
+            let Some(label) = args.get(2) else {
+                eprintln!("usage: usimt extract <file.s> <loop-label>");
+                return ExitCode::from(2);
+            };
+            match usimt::dmk::extract_loop(&program, label, usimt::dmk::ExtractOptions::default())
+            {
+                Ok(p) => {
+                    println!("{p}");
+                    println!(
+                        "state record: {} bytes; entry points: {:?}",
+                        p.resource_usage().spawn_state_bytes,
+                        p.entry_points().iter().map(|e| &e.name).collect::<Vec<_>>()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("extraction failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "run" => {
+            let mut threads = 64u32;
+            let mut block = 64u32;
+            let mut entry = "main".to_string();
+            let mut cycles = 100_000_000u64;
+            let mut dmk = false;
+            let mut state_bytes = 48u32;
+            let mut alloc_global = 0u32;
+            let mut dump: Option<(u32, u32)> = None;
+            let mut csv: Option<String> = None;
+            let mut i = 2;
+            let parse = |s: Option<&String>| s.and_then(|v| v.parse::<u64>().ok());
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--threads" => {
+                        i += 1;
+                        threads = parse(args.get(i)).unwrap_or(64) as u32;
+                    }
+                    "--block" => {
+                        i += 1;
+                        block = parse(args.get(i)).unwrap_or(64) as u32;
+                    }
+                    "--entry" => {
+                        i += 1;
+                        entry = args.get(i).cloned().unwrap_or_else(|| "main".into());
+                    }
+                    "--cycles" => {
+                        i += 1;
+                        cycles = parse(args.get(i)).unwrap_or(100_000_000);
+                    }
+                    "--dmk" => dmk = true,
+                    "--state-bytes" => {
+                        i += 1;
+                        state_bytes = parse(args.get(i)).unwrap_or(48) as u32;
+                    }
+                    "--alloc-global" => {
+                        i += 1;
+                        alloc_global = parse(args.get(i)).unwrap_or(0) as u32;
+                    }
+                    "--dump-global" => {
+                        let a = parse(args.get(i + 1)).unwrap_or(0) as u32;
+                        let n = parse(args.get(i + 2)).unwrap_or(0) as u32;
+                        dump = Some((a, n));
+                        i += 2;
+                    }
+                    "--csv" => {
+                        i += 1;
+                        csv = args.get(i).cloned();
+                    }
+                    other => {
+                        eprintln!("unknown option {other}");
+                        return usage();
+                    }
+                }
+                i += 1;
+            }
+
+            let cfg = if dmk {
+                let d = DmkConfig {
+                    state_bytes,
+                    num_ukernels: (program.spawn_targets().len() as u32 + 1).max(2),
+                    ..DmkConfig::paper()
+                };
+                GpuConfig::fx5800_dmk(d)
+            } else {
+                GpuConfig::fx5800()
+            };
+            let mut gpu = Gpu::new(cfg);
+            if alloc_global > 0 {
+                gpu.mem_mut().alloc_global(alloc_global, "cli");
+            }
+            gpu.launch(Launch {
+                program,
+                entry,
+                num_threads: threads,
+                threads_per_block: block,
+            });
+            let summary = gpu.run(cycles);
+            println!("outcome: {:?}", summary.outcome);
+            println!("{}", summary.stats);
+            println!("-- memory traffic --\n{}", summary.traffic);
+            if let Some((addr, n)) = dump {
+                println!("-- global[{addr:#x}..] --");
+                for w in 0..n {
+                    let a = addr + w * 4;
+                    println!(
+                        "  {a:#010x}: {:#010x}",
+                        gpu.mem().read_u32(usimt::isa::Space::Global, a)
+                    );
+                }
+            }
+            if let Some(path) = csv {
+                if let Err(e) = std::fs::write(&path, summary.stats.divergence.to_csv()) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote divergence timeline to {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

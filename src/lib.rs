@@ -1,0 +1,27 @@
+//! # usimt — Dynamic μ-Kernels for SIMT Processors
+//!
+//! Umbrella crate re-exporting the full reproduction of Steffen & Zambreno,
+//! *"Improving SIMT Efficiency of Global Rendering Algorithms with
+//! Architectural Support for Dynamic Micro-Kernels"* (MICRO 2010).
+//!
+//! Downstream users typically depend on this crate and use:
+//!
+//! * [`isa`] — the PTX-like instruction set, assembler and CFG analyses;
+//! * [`mem`] — the banked GPU memory-subsystem model;
+//! * [`dmk`] — the paper's contribution: spawn LUT, warp formation, spawn memory;
+//! * [`sim`] — the cycle-level SIMT simulator (PDOM, block/warp scheduling, MIMD);
+//! * [`raytrace`] — the ray-tracing substrate (kd-tree, Wald test, scenes);
+//! * [`kernels`] — the two benchmark device kernels and scene serialization;
+//! * [`experiments`] — runners regenerating each paper table/figure.
+//!
+//! See `examples/quickstart.rs` for a end-to-end render on the simulator.
+
+#![forbid(unsafe_code)]
+
+pub use dmk_core as dmk;
+pub use experiments;
+pub use raytrace;
+pub use rt_kernels as kernels;
+pub use simt_isa as isa;
+pub use simt_mem as mem;
+pub use simt_sim as sim;

@@ -1,0 +1,55 @@
+//! The whole stack must be deterministic: identical runs produce identical
+//! statistics, traffic, and images.
+
+use usimt::dmk::DmkConfig;
+use usimt::kernels::render::RenderSetup;
+use usimt::raytrace::scenes::{self, SceneScale};
+use usimt::sim::{Gpu, GpuConfig, RunSummary};
+
+fn run_once(dynamic: bool) -> (RunSummary, Vec<Option<usimt::raytrace::Hit>>) {
+    let scene = scenes::fairyforest(SceneScale::Tiny);
+    let mut gpu = if dynamic {
+        Gpu::new(GpuConfig::fx5800_dmk(DmkConfig::paper()))
+    } else {
+        Gpu::new(GpuConfig::fx5800())
+    };
+    let setup = RenderSetup::upload(&mut gpu, &scene, 16, 16);
+    if dynamic {
+        setup.launch_ukernel(&mut gpu, 32);
+    } else {
+        setup.launch_traditional(&mut gpu, 32);
+    }
+    let s = gpu.run(100_000_000);
+    let img = setup.device_results(&gpu);
+    (s, img)
+}
+
+#[test]
+fn pdom_runs_are_bit_identical() {
+    let (a, img_a) = run_once(false);
+    let (b, img_b) = run_once(false);
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.thread_instructions, b.stats.thread_instructions);
+    assert_eq!(a.stats.warp_issues, b.stats.warp_issues);
+    assert_eq!(a.traffic, b.traffic);
+    assert_eq!(img_a, img_b);
+}
+
+#[test]
+fn dynamic_runs_are_bit_identical() {
+    let (a, img_a) = run_once(true);
+    let (b, img_b) = run_once(true);
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.threads_spawned, b.stats.threads_spawned);
+    assert_eq!(a.dmk, b.dmk);
+    assert_eq!(img_a, img_b);
+}
+
+#[test]
+fn scene_generation_is_deterministic_across_calls() {
+    let a = scenes::conference(SceneScale::Small);
+    let b = scenes::conference(SceneScale::Small);
+    assert_eq!(a.triangles.len(), b.triangles.len());
+    assert_eq!(a.triangles.first(), b.triangles.first());
+    assert_eq!(a.triangles.last(), b.triangles.last());
+}

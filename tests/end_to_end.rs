@@ -1,0 +1,83 @@
+//! End-to-end correctness: both device kernels must reproduce the host
+//! ray tracer's image on every benchmark scene.
+
+use usimt::dmk::DmkConfig;
+use usimt::kernels::render::{compare, RenderSetup};
+use usimt::raytrace::scenes::{self, SceneScale};
+use usimt::sim::{Gpu, GpuConfig, RunOutcome};
+
+fn gpu(dynamic: bool) -> Gpu {
+    if dynamic {
+        Gpu::new(GpuConfig::fx5800_dmk(DmkConfig::paper()))
+    } else {
+        Gpu::new(GpuConfig::fx5800())
+    }
+}
+
+fn render(scene_name: &str, dynamic: bool) -> (Vec<Option<usimt::raytrace::Hit>>, Vec<Option<usimt::raytrace::Hit>>) {
+    let scene = scenes::by_name(scene_name, SceneScale::Tiny).expect("scene exists");
+    let mut g = gpu(dynamic);
+    let setup = RenderSetup::upload(&mut g, &scene, 16, 16);
+    if dynamic {
+        setup.launch_ukernel(&mut g, 32);
+    } else {
+        setup.launch_traditional(&mut g, 32);
+    }
+    let summary = g.run(100_000_000);
+    assert_eq!(summary.outcome, RunOutcome::Completed, "{scene_name} dynamic={dynamic}");
+    (setup.host_reference(), setup.device_results(&g))
+}
+
+#[test]
+fn traditional_matches_host_on_all_scenes() {
+    for name in ["fairyforest", "atrium", "conference"] {
+        let (host, device) = render(name, false);
+        let r = compare(&host, &device);
+        assert!(
+            r.match_rate() > 0.99,
+            "{name}: {} mismatches of {}",
+            r.mismatches,
+            r.total
+        );
+    }
+}
+
+#[test]
+fn ukernel_matches_host_on_all_scenes() {
+    for name in ["fairyforest", "atrium", "conference"] {
+        let (host, device) = render(name, true);
+        let r = compare(&host, &device);
+        assert!(
+            r.match_rate() > 0.99,
+            "{name}: {} mismatches of {}",
+            r.mismatches,
+            r.total
+        );
+    }
+}
+
+#[test]
+fn kernels_agree_with_each_other_exactly() {
+    for name in ["fairyforest", "conference"] {
+        let (_, img_trad) = render(name, false);
+        let (_, img_dmk) = render(name, true);
+        let r = compare(&img_trad, &img_dmk);
+        assert_eq!(r.mismatches, 0, "{name}: kernels disagree");
+    }
+}
+
+#[test]
+fn every_ray_lineage_completes_under_dynamic_execution() {
+    let scene = scenes::conference(SceneScale::Tiny);
+    let mut g = gpu(true);
+    let setup = RenderSetup::upload(&mut g, &scene, 16, 16);
+    setup.launch_ukernel(&mut g, 32);
+    let summary = g.run(100_000_000);
+    assert_eq!(summary.outcome, RunOutcome::Completed);
+    assert_eq!(summary.stats.lineages_completed, 256);
+    assert_eq!(
+        summary.stats.threads_retired,
+        summary.stats.threads_launched + summary.stats.threads_spawned,
+        "every launched and spawned thread must retire"
+    );
+}

@@ -1,0 +1,229 @@
+//! Cross-crate tests of the dynamic μ-kernel machinery under stress:
+//! partial-warp force-out, state-slot recycling, deep spawn chains, and
+//! resource accounting.
+
+use usimt::dmk::DmkConfig;
+use usimt::isa::assemble_named;
+use usimt::sim::{Gpu, GpuConfig, Launch, RunOutcome};
+
+fn dmk_gpu(state_bytes: u32, num_ukernels: u32) -> Gpu {
+    let mut cfg = GpuConfig::tiny();
+    cfg.dmk = Some(DmkConfig {
+        warp_size: cfg.warp_size,
+        threads_per_sm: cfg.max_threads_per_sm,
+        state_bytes,
+        num_ukernels,
+        fifo_capacity: 64,
+    });
+    Gpu::new(cfg)
+}
+
+/// Threads spawn a chain of depth `tid % 5`; results record the depth.
+const CHAIN_SRC: &str = r#"
+.kernel main
+.kernel k_step
+.spawnstate 16
+main:
+    mov.u32 r1, %tid
+    and.b32 r2, r1, 3
+    mov.u32 r3, 0
+    mov.u32 r7, %spawnmem
+    st.spawn.u32 [r7+0], r1
+    st.spawn.u32 [r7+4], r2
+    st.spawn.u32 [r7+8], r3
+    spawn $k_step, r7
+    exit
+k_step:
+    mov.u32 r7, %spawnmem
+    ld.spawn.u32 r7, [r7+0]
+    ld.spawn.u32 r1, [r7+0]
+    ld.spawn.u32 r2, [r7+4]
+    ld.spawn.u32 r3, [r7+8]
+    setp.le.s32 p0, r2, 0
+    @p0 bra done
+    sub.s32 r2, r2, 1
+    add.s32 r3, r3, 1
+    st.spawn.u32 [r7+0], r1
+    st.spawn.u32 [r7+4], r2
+    st.spawn.u32 [r7+8], r3
+    spawn $k_step, r7
+    exit
+done:
+    mul.lo.s32 r4, r1, 4
+    st.global.u32 [r4+0], r3
+    exit
+"#;
+
+#[test]
+fn spawn_chains_of_varying_depth_complete_correctly() {
+    let mut gpu = dmk_gpu(16, 2);
+    let n = 64u32;
+    gpu.mem_mut().alloc_global(n * 4, "out");
+    gpu.launch(Launch {
+        program: assemble_named("chain", CHAIN_SRC).unwrap(),
+        entry: "main".into(),
+        num_threads: n,
+        threads_per_block: 8,
+    });
+    let summary = gpu.run(10_000_000);
+    assert_eq!(summary.outcome, RunOutcome::Completed);
+    for tid in 0..n {
+        assert_eq!(
+            gpu.mem().read_u32(usimt::isa::Space::Global, tid * 4),
+            tid & 3,
+            "tid {tid}"
+        );
+    }
+    // Chains: 1 (main) + depth extra spawns... total spawned = sum(1 + tid&3).
+    let expected_spawns: u64 = (0..n).map(|t| 1 + u64::from(t & 3)).sum();
+    assert_eq!(summary.stats.threads_spawned, expected_spawns);
+    assert_eq!(summary.stats.lineages_completed, u64::from(n));
+}
+
+#[test]
+fn partial_warps_are_forced_out_at_the_end() {
+    // Launch a thread count that is NOT a multiple of the warp size times
+    // the μ-kernel fan-in, so the last warps can never fill completely.
+    let mut gpu = dmk_gpu(16, 2);
+    let n = 13u32; // deliberately awkward
+    gpu.mem_mut().alloc_global(64, "out");
+    gpu.launch(Launch {
+        program: assemble_named("chain", CHAIN_SRC).unwrap(),
+        entry: "main".into(),
+        num_threads: n,
+        threads_per_block: 8,
+    });
+    let summary = gpu.run(10_000_000);
+    assert_eq!(summary.outcome, RunOutcome::Completed);
+    assert_eq!(summary.stats.lineages_completed, u64::from(n));
+    assert!(
+        summary.dmk.partial_warps_forced > 0,
+        "odd thread counts must exercise force-out"
+    );
+}
+
+#[test]
+fn state_slots_recycle_when_threads_exceed_sm_capacity() {
+    // 10x more lineages than the two tiny SMs can hold at once: state
+    // slots must be recycled as lineages finish.
+    let mut gpu = dmk_gpu(16, 2);
+    let capacity = gpu.config().num_sms as u32 * gpu.config().max_threads_per_sm;
+    let n = capacity * 10;
+    gpu.mem_mut().alloc_global(n * 4, "out");
+    gpu.launch(Launch {
+        program: assemble_named("chain", CHAIN_SRC).unwrap(),
+        entry: "main".into(),
+        num_threads: n,
+        threads_per_block: 8,
+    });
+    let summary = gpu.run(50_000_000);
+    assert_eq!(summary.outcome, RunOutcome::Completed);
+    assert_eq!(summary.stats.lineages_completed, u64::from(n));
+}
+
+#[test]
+fn resource_accounting_never_exceeds_sm_limits() {
+    let mut gpu = dmk_gpu(16, 2);
+    gpu.mem_mut().alloc_global(4096 * 4, "out");
+    gpu.launch(Launch {
+        program: assemble_named("chain", CHAIN_SRC).unwrap(),
+        entry: "main".into(),
+        num_threads: 1024,
+        threads_per_block: 8,
+    });
+    // Step in chunks and check SM occupancy invariants while running.
+    for _ in 0..50 {
+        let s = gpu.run(1_000);
+        for sm in gpu.sms() {
+            assert!(sm.threads_used() <= gpu.config().max_threads_per_sm);
+        }
+        if s.outcome == RunOutcome::Completed {
+            break;
+        }
+    }
+}
+
+#[test]
+fn lut_overflow_is_a_configuration_panic() {
+    // 3 distinct μ-kernels with a LUT sized for 2 must panic clearly.
+    let src = r#"
+    .kernel main
+    .kernel a
+    .kernel b
+    .kernel c
+    .spawnstate 16
+    main:
+        mov.u32 r7, %spawnmem
+        mov.u32 r1, %tid
+        and.b32 r1, r1, 3
+        setp.eq.s32 p0, r1, 0
+        @p0 spawn $a, r7
+        setp.eq.s32 p1, r1, 1
+        @p1 spawn $b, r7
+        setp.eq.s32 p2, r1, 2
+        @p2 spawn $c, r7
+        exit
+    a:
+        exit
+    b:
+        exit
+    c:
+        exit
+    "#;
+    let mut gpu = dmk_gpu(16, 2);
+    gpu.launch(Launch {
+        program: assemble_named("lut-overflow", src).unwrap(),
+        entry: "main".into(),
+        num_threads: 8,
+        threads_per_block: 8,
+    });
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        gpu.run(1_000_000);
+    }));
+    assert!(r.is_err(), "LUT overflow must be surfaced");
+}
+
+#[test]
+fn spawn_elision_preserves_results_and_fires() {
+    use usimt::sim::SpawnPolicy;
+    // Run the chain kernel under both spawn policies; results must agree
+    // and the elision policy must actually elide (the chain kernel's warps
+    // are fully convergent at their self-spawns early on).
+    let run = |policy: SpawnPolicy| {
+        let mut cfg = GpuConfig::tiny();
+        cfg.spawn_policy = policy;
+        cfg.dmk = Some(DmkConfig {
+            warp_size: cfg.warp_size,
+            threads_per_sm: cfg.max_threads_per_sm,
+            state_bytes: 16,
+            num_ukernels: 2,
+            fifo_capacity: 64,
+        });
+        let mut gpu = Gpu::new(cfg);
+        let n = 64u32;
+        gpu.mem_mut().alloc_global(n * 4, "out");
+        gpu.launch(Launch {
+            program: assemble_named("chain", CHAIN_SRC).unwrap(),
+            entry: "main".into(),
+            num_threads: n,
+            threads_per_block: 8,
+        });
+        let summary = gpu.run(10_000_000);
+        assert_eq!(summary.outcome, RunOutcome::Completed);
+        let results: Vec<u32> = (0..n)
+            .map(|t| gpu.mem().read_u32(usimt::isa::Space::Global, t * 4))
+            .collect();
+        (summary, results)
+    };
+    let (s_naive, r_naive) = run(SpawnPolicy::Always);
+    let (s_elide, r_elide) = run(SpawnPolicy::OnDivergence);
+    assert_eq!(r_naive, r_elide, "elision must not change results");
+    assert_eq!(s_naive.stats.spawn_elisions, 0);
+    assert!(s_elide.stats.spawn_elisions > 0, "elisions must fire");
+    assert!(
+        s_elide.stats.threads_spawned < s_naive.stats.threads_spawned,
+        "elision must reduce thread creation: {} !< {}",
+        s_elide.stats.threads_spawned,
+        s_naive.stats.threads_spawned
+    );
+}

@@ -1,0 +1,117 @@
+//! Differential test of the automatic μ-kernel extractor (§IX): the
+//! transformed program must compute exactly what the original computes,
+//! while executing its loop via spawned, regrouped warps.
+
+use usimt::dmk::{extract_loop, DmkConfig, ExtractOptions};
+use usimt::isa::assemble_named;
+use usimt::sim::{Gpu, GpuConfig, Launch, RunOutcome};
+
+const N: u32 = 128;
+
+/// Per-thread weighted sum with a tid-dependent trip count.
+const SRC: &str = r#"
+.kernel main
+main:
+    mov.u32 r1, %tid
+    mul.lo.s32 r2, r1, 2654435761   ; hash the tid so adjacent lanes
+    shr.u32 r2, r2, 28              ; get very different trip counts
+    add.s32 r2, r2, 1               ; trips = hash(tid) in 1..=16
+    mov.u32 r3, 0            ; acc
+    mov.u32 r5, 3            ; weight
+loop:
+    mad.lo.s32 r3, r2, r5, r3
+    sub.s32 r2, r2, 1
+    setp.gt.s32 p0, r2, 0
+    @p0 bra loop
+    mul.lo.s32 r4, r1, 4
+    st.global.u32 [r4+0], r3
+    exit
+"#;
+
+fn expected(tid: u32) -> u32 {
+    let trips = (tid.wrapping_mul(2654435761) >> 28) + 1;
+    (1..=trips).map(|k| k * 3).sum()
+}
+
+fn run(program: usimt::isa::Program, dmk: bool) -> (Vec<u32>, usimt::sim::RunSummary) {
+    let mut cfg = GpuConfig::tiny();
+    if dmk {
+        cfg.dmk = Some(DmkConfig {
+            warp_size: cfg.warp_size,
+            threads_per_sm: cfg.max_threads_per_sm,
+            state_bytes: 48,
+            num_ukernels: 4,
+            fifo_capacity: 64,
+        });
+    }
+    let mut gpu = Gpu::new(cfg);
+    gpu.mem_mut().alloc_global(N * 4, "out");
+    gpu.launch(Launch {
+        program,
+        entry: "main".into(),
+        num_threads: N,
+        threads_per_block: 8,
+    });
+    let s = gpu.run(50_000_000);
+    assert_eq!(s.outcome, RunOutcome::Completed);
+    let out = (0..N)
+        .map(|t| gpu.mem().read_u32(usimt::isa::Space::Global, t * 4))
+        .collect();
+    (out, s)
+}
+
+#[test]
+fn extracted_program_computes_identical_results() {
+    let original = assemble_named("weighted-sum", SRC).unwrap();
+    let transformed = extract_loop(&original, "loop", ExtractOptions::default()).unwrap();
+
+    let (ref_out, ref_stats) = run(original, false);
+    for (tid, &v) in ref_out.iter().enumerate() {
+        assert_eq!(v, expected(tid as u32), "original wrong at {tid}");
+    }
+
+    let (uk_out, uk_stats) = run(transformed, true);
+    assert_eq!(ref_out, uk_out, "extraction changed results");
+    assert!(uk_stats.stats.threads_spawned > 0, "loop must run via spawns");
+    assert_eq!(
+        uk_stats.stats.lineages_completed,
+        u64::from(N),
+        "one lineage per original thread"
+    );
+    // Sanity: the transformed version regains SIMT efficiency.
+    assert!(
+        uk_stats.stats.simt_efficiency(4) > ref_stats.stats.simt_efficiency(4),
+        "extracted μ-kernels should be more efficient: {:.2} vs {:.2}",
+        uk_stats.stats.simt_efficiency(4),
+        ref_stats.stats.simt_efficiency(4)
+    );
+}
+
+#[test]
+fn extraction_handles_early_exit_loops_end_to_end() {
+    // Break out of the loop when the accumulator crosses a threshold.
+    let src = r#"
+    .kernel main
+    main:
+        mov.u32 r1, %tid
+        and.b32 r2, r1, 7
+        add.s32 r2, r2, 2
+        mov.u32 r3, 0
+    loop:
+        add.s32 r3, r3, r2
+        setp.gt.s32 p1, r3, 10
+        @p1 bra after
+        sub.s32 r2, r2, 1
+        setp.gt.s32 p0, r2, 0
+        @p0 bra loop
+    after:
+        mul.lo.s32 r4, r1, 4
+        st.global.u32 [r4+0], r3
+        exit
+    "#;
+    let original = assemble_named("early-exit", src).unwrap();
+    let transformed = extract_loop(&original, "loop", ExtractOptions::default()).unwrap();
+    let (a, _) = run(original, false);
+    let (b, _) = run(transformed, true);
+    assert_eq!(a, b);
+}
