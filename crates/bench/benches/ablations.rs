@@ -19,7 +19,7 @@ fn run_with(cfg: GpuConfig, dynamic: bool, block: u32) -> RunSummary {
     } else {
         setup.launch_traditional(&mut gpu, block);
     }
-    gpu.run(30_000)
+    gpu.run(30_000).expect("fault-free run")
 }
 
 fn bench_texture_cache_ablation(c: &mut Criterion) {
@@ -40,7 +40,7 @@ fn bench_fifo_depth_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_fifo_depth");
     g.sample_size(10);
     for depth in [4usize, 32, 256] {
-        g.bench_function(format!("fifo_{depth}"), |b| {
+        g.bench_function(&format!("fifo_{depth}"), |b| {
             let dmk = DmkConfig {
                 fifo_capacity: depth,
                 ..DmkConfig::paper()
@@ -56,7 +56,7 @@ fn bench_block_size_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_block_size");
     g.sample_size(10);
     for block in [32u32, 64, 128] {
-        g.bench_function(format!("block_{block}"), |b| {
+        g.bench_function(&format!("block_{block}"), |b| {
             b.iter(|| black_box(run_with(GpuConfig::fx5800(), false, block)))
         });
     }
@@ -67,7 +67,7 @@ fn bench_spawn_conflicts_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_spawn_conflicts");
     g.sample_size(10);
     for conflicts in [false, true] {
-        g.bench_function(format!("conflicts_{conflicts}"), |b| {
+        g.bench_function(&format!("conflicts_{conflicts}"), |b| {
             let mut cfg = GpuConfig::fx5800_dmk(DmkConfig::paper());
             cfg.mem.spawn_bank_conflicts = conflicts;
             b.iter(|| black_box(run_with(cfg.clone(), true, 64)))

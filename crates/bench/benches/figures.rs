@@ -26,9 +26,7 @@ fn bench_fig2_single_warp(c: &mut Criterion) {
 fn bench_fig3_traditional_divergence(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_traditional_divergence");
     g.sample_size(10);
-    g.bench_function("conference", |b| {
-        b.iter(|| black_box(fig3::run(scale())))
-    });
+    g.bench_function("conference", |b| b.iter(|| black_box(fig3::run(scale()))));
     g.finish();
 }
 
@@ -61,9 +59,7 @@ fn bench_fig8_performance(c: &mut Criterion) {
 fn bench_fig9_bank_conflicts(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig9_bank_conflicts");
     g.sample_size(10);
-    g.bench_function("conference", |b| {
-        b.iter(|| black_box(fig9::run(scale())))
-    });
+    g.bench_function("conference", |b| b.iter(|| black_box(fig9::run(scale()))));
     g.finish();
 }
 

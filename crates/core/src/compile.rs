@@ -32,9 +32,7 @@
 //! outside, predicates live across the split, state exceeding the spawn
 //! record budget, or no spare registers for the state pointer.
 
-use simt_isa::{
-    EntryPoint, Instr, Instruction, Liveness, Program, Reg, Space, Special, Width,
-};
+use simt_isa::{EntryPoint, Instr, Instruction, Liveness, Program, Reg, Space, Special, Width};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -104,7 +102,10 @@ impl fmt::Display for ExtractError {
                 write!(f, "branch at pc {from} enters the loop from outside")
             }
             ExtractError::UnsupportedExit { from, to } => {
-                write!(f, "branch at pc {from} leaves the loop to pc {to} (not the single exit)")
+                write!(
+                    f,
+                    "branch at pc {from} leaves the loop to pc {to} (not the single exit)"
+                )
             }
             ExtractError::LivePredicate => {
                 write!(f, "a predicate register is live across the loop boundary")
@@ -127,6 +128,11 @@ impl std::error::Error for ExtractError {}
 /// # Errors
 ///
 /// See [`ExtractError`] for every rejected shape.
+// The codegen loops below index `old2new` by original pc while also
+// fetching by pc — an iterator rewrite would obscure the address math. The
+// final expect is invariant-backed: generated code is structurally valid by
+// construction and the surrounding tests prove it.
+#[allow(clippy::needless_range_loop, clippy::expect_used)]
 pub fn extract_loop(
     program: &Program,
     loop_label: &str,
@@ -173,13 +179,14 @@ pub fn extract_loop(
                     return Err(ExtractError::IrreducibleEntry { from: pc });
                 }
                 if from_in && !to_in && pc != back && target != exit_target {
-                    return Err(ExtractError::UnsupportedExit { from: pc, to: target });
+                    return Err(ExtractError::UnsupportedExit {
+                        from: pc,
+                        to: target,
+                    });
                 }
             }
-            Instr::Spawn { target, .. } => {
-                if (header..=back).contains(&target) {
-                    return Err(ExtractError::SpawnIntoLoop);
-                }
+            Instr::Spawn { target, .. } if (header..=back).contains(&target) => {
+                return Err(ExtractError::SpawnIntoLoop);
             }
             _ => {}
         }
@@ -448,7 +455,11 @@ mod tests {
                 assert!(target > pc, "backward branch at {pc} -> {target} remains");
             }
         }
-        assert_eq!(p.resource_usage().spawn_state_bytes, 3 * 4, "r1, r2, r3 carried");
+        assert_eq!(
+            p.resource_usage().spawn_state_bytes,
+            3 * 4,
+            "r1, r2, r3 carried"
+        );
     }
 
     #[test]

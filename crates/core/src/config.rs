@@ -88,7 +88,10 @@ mod tests {
     #[test]
     fn lut_fits_table_1_budget() {
         let c = DmkConfig::paper();
-        assert!(c.lut_bytes() <= 1024, "LUT must fit the 1 KiB budget of Table I");
+        assert!(
+            c.lut_bytes() <= 1024,
+            "LUT must fit the 1 KiB budget of Table I"
+        );
     }
 
     #[test]

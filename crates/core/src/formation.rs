@@ -37,6 +37,11 @@ pub struct SpawnOutcome {
 }
 
 /// Why a `spawn` could not proceed this cycle.
+///
+/// Deliberately **not** `#[non_exhaustive]`: every consumer must decide,
+/// per variant, whether the condition is a transient stall (retry next
+/// cycle) or a hard fault, so adding a variant here should be a compile
+/// error at each match site until that policy decision is made.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpawnError {
     /// No free warp-formation blocks; retry after warps issue and release
@@ -153,6 +158,9 @@ impl WarpFormation {
     ///
     /// [`SpawnError::FormationFull`]/[`SpawnError::FifoFull`] are transient
     /// stalls; [`SpawnError::LutFull`] is a configuration error.
+    // The commit phase's expects are backed by the transactional capacity
+    // pre-check above them: every allocation was counted before mutating.
+    #[allow(clippy::expect_used)]
     pub fn spawn(&mut self, pc: usize, n_active: u32) -> Result<SpawnOutcome, SpawnError> {
         if n_active == 0 {
             return Ok(SpawnOutcome {
@@ -347,7 +355,11 @@ mod tests {
         assert!(wf.pop_ready().is_none());
         let out = wf.spawn(10, 3).unwrap();
         assert_eq!(out.warps_completed, 1);
-        assert_eq!(wf.partial_threads(), 1, "one thread spills into the next warp");
+        assert_eq!(
+            wf.partial_threads(),
+            1,
+            "one thread spills into the next warp"
+        );
     }
 
     #[test]
@@ -419,13 +431,21 @@ mod tests {
                     stalled = true;
                     break;
                 }
-                Err(e) => panic!("unexpected {e}"),
+                // Exhaustive so a new SpawnError variant forces this test to
+                // state its back-pressure policy explicitly.
+                Err(e @ (SpawnError::FifoFull | SpawnError::LutFull)) => {
+                    panic!("unexpected {e}")
+                }
             }
         }
         assert!(stalled, "must eventually exhaust formation blocks");
         let stalled_partial = wf.partial_threads();
         assert_eq!(before_partial, 0);
-        assert_eq!(stalled_partial % 4, 0, "failed spawn must not partially commit");
+        assert_eq!(
+            stalled_partial % 4,
+            0,
+            "failed spawn must not partially commit"
+        );
         assert!(wf.stats().spawn_stalls >= 1);
         // Releasing a block un-stalls.
         let w = wf.pop_ready().unwrap();
@@ -487,7 +507,9 @@ mod tests {
         let mut wf = WarpFormation::new(&small_cfg());
         // Spawn/drain/release many times; must never exhaust.
         for round in 0..100 {
-            let out = wf.spawn(10, 4).unwrap_or_else(|e| panic!("round {round}: {e}"));
+            let out = wf
+                .spawn(10, 4)
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
             assert_eq!(out.warps_completed, 1);
             let w = wf.pop_ready().unwrap();
             wf.release_block(w.base_addr);

@@ -84,7 +84,10 @@ impl SpawnMemoryLayout {
     ///
     /// Panics when `block` is out of range.
     pub fn block_addr(&self, block: u32) -> u32 {
-        assert!(block < self.formation_blocks, "formation block {block} out of range");
+        assert!(
+            block < self.formation_blocks,
+            "formation block {block} out of range"
+        );
         self.formation_base + block * self.warp_size * 4
     }
 
@@ -95,9 +98,15 @@ impl SpawnMemoryLayout {
     ///
     /// Panics when `addr` is not inside the formation section.
     pub fn block_of_addr(&self, addr: u32) -> u32 {
-        assert!(addr >= self.formation_base, "address {addr:#x} below formation base");
+        assert!(
+            addr >= self.formation_base,
+            "address {addr:#x} below formation base"
+        );
         let b = (addr - self.formation_base) / (self.warp_size * 4);
-        assert!(b < self.formation_blocks, "address {addr:#x} beyond formation area");
+        assert!(
+            b < self.formation_blocks,
+            "address {addr:#x} beyond formation area"
+        );
         b
     }
 
@@ -150,7 +159,10 @@ mod tests {
     #[test]
     fn matches_config_total() {
         let cfg = DmkConfig::paper();
-        assert_eq!(SpawnMemoryLayout::new(&cfg).total_bytes(), cfg.spawn_memory_bytes());
+        assert_eq!(
+            SpawnMemoryLayout::new(&cfg).total_bytes(),
+            cfg.spawn_memory_bytes()
+        );
     }
 
     proptest! {

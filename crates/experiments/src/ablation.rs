@@ -56,7 +56,7 @@ fn run_policy(policy: SpawnPolicy, scale: Scale) -> PolicyRun {
     gpu = simt_sim::Gpu::new(cfg);
     let setup = RenderSetup::upload(&mut gpu, &scene, scale.resolution, scale.resolution);
     setup.launch_ukernel(&mut gpu, scale.threads_per_block);
-    let s = gpu.run(scale.cycles);
+    let s = gpu.run(scale.cycles).expect("fault-free run");
     PolicyRun {
         policy: format!("{policy:?}"),
         ipc: s.stats.ipc(),
@@ -89,7 +89,11 @@ impl fmt::Display for SpawnPolicyAblation {
                 p.policy, p.ipc, p.rays_completed, p.threads_spawned, p.spawn_elisions
             )?;
         }
-        write!(f, "  thread creation reduced by {:.0}%", self.thread_reduction() * 100.0)
+        write!(
+            f,
+            "  thread creation reduced by {:.0}%",
+            self.thread_reduction() * 100.0
+        )
     }
 }
 

@@ -18,11 +18,31 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-fn emit<T: std::fmt::Display + serde::Serialize>(artifact: &str, value: &T, json: bool) {
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn emit<T: std::fmt::Display>(artifact: &str, value: &T, json: bool) {
     if json {
+        // Rendered text as a JSON string; the full serde_json pipeline is
+        // unavailable offline and downstream tooling only greps the text.
         println!(
-            "{}",
-            serde_json::json!({ "artifact": artifact, "data": value })
+            "{{\"artifact\":\"{}\",\"data\":\"{}\"}}",
+            json_escape(artifact),
+            json_escape(&value.to_string())
         );
     } else {
         println!("{value}");

@@ -53,14 +53,8 @@ pub fn run(scale: Scale) -> Fig10 {
     let setup = RenderSetup::upload(&mut gpu, &scene, scale.resolution, scale.resolution);
     let program = rt_kernels::traditional::program();
     let entry = program.entry("main").expect("main entry").pc;
-    let mimd = mimd_theoretical(
-        &program,
-        entry,
-        setup.dev.num_rays,
-        &cfg,
-        gpu.mem_mut(),
-    )
-    .expect("traditional kernel is spawn-free");
+    let mimd = mimd_theoretical(&program, entry, setup.dev.num_rays, &cfg, gpu.mem_mut())
+        .expect("traditional kernel is spawn-free");
 
     let mut points = Vec::new();
     for variant in [
@@ -89,8 +83,15 @@ pub fn run(scale: Scale) -> Fig10 {
 
 impl fmt::Display for Fig10 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 10 — branching performance vs MIMD theoretical (conference)")?;
-        writeln!(f, "  {:<26} {:>8} {:>12}", "configuration", "IPC", "% of MIMD")?;
+        writeln!(
+            f,
+            "Fig. 10 — branching performance vs MIMD theoretical (conference)"
+        )?;
+        writeln!(
+            f,
+            "  {:<26} {:>8} {:>12}",
+            "configuration", "IPC", "% of MIMD"
+        )?;
         for p in &self.points {
             writeln!(
                 f,

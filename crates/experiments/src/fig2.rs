@@ -58,8 +58,9 @@ pub fn run() -> Fig2 {
         entry: "main".into(),
         num_threads: 32,
         threads_per_block: 32,
-    });
-    let summary = gpu.run(100_000);
+    })
+    .expect("launch accepted");
+    let summary = gpu.run(100_000).expect("fault-free run");
     // Rebuild the per-issue lane counts from the 1-cycle windows: with one
     // SM and one warp, each window has at most one issue.
     let lane_trace: Vec<u32> = summary
@@ -84,7 +85,10 @@ pub fn run() -> Fig2 {
 
 impl fmt::Display for Fig2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 2 — PDOM efficiency of one warp in a data-dependent loop")?;
+        writeln!(
+            f,
+            "Fig. 2 — PDOM efficiency of one warp in a data-dependent loop"
+        )?;
         write!(f, "  active lanes per issue: ")?;
         for (i, l) in self.lane_trace.iter().enumerate() {
             if i > 0 {
@@ -94,7 +98,11 @@ impl fmt::Display for Fig2 {
         }
         writeln!(f)?;
         writeln!(f, "  PDOM SIMT efficiency: {:.0}%", self.efficiency * 100.0)?;
-        write!(f, "  MIMD efficiency:      {:.0}%", self.mimd_efficiency * 100.0)
+        write!(
+            f,
+            "  MIMD efficiency:      {:.0}%",
+            self.mimd_efficiency * 100.0
+        )
     }
 }
 

@@ -28,6 +28,8 @@ pub struct DivergenceFigure {
     pub mean_active_lanes: f64,
     /// Rays finished within the simulated window.
     pub rays_completed: u64,
+    /// Fault-model counters; all zeros for a healthy run.
+    pub health: crate::runner::FaultHealth,
 }
 
 /// Runs `variant` on the conference benchmark and extracts the breakdown.
@@ -43,6 +45,7 @@ pub fn divergence_figure(variant: Variant, scale: Scale) -> DivergenceFigure {
         ipc: run.ipc(),
         mean_active_lanes: d.mean_active_lanes(),
         rays_completed: run.summary.stats.lineages_completed,
+        health: run.fault_health(),
     }
 }
 
@@ -64,15 +67,24 @@ impl fmt::Display for DivergenceFigure {
         }
         writeln!(f)?;
         for (i, w) in self.windows.iter().enumerate() {
-            write!(f, "  {:<10}", format!("{}k", (i as u64 + 1) * self.window_cycles / 1000))?;
+            write!(
+                f,
+                "  {:<10}",
+                format!("{}k", (i as u64 + 1) * self.window_cycles / 1000)
+            )?;
             for v in w {
                 write!(f, " {v:>8}")?;
             }
             writeln!(f)?;
         }
         writeln!(f, "  average IPC:        {:.0}", self.ipc)?;
-        writeln!(f, "  mean active lanes:  {:.1} / 32", self.mean_active_lanes)?;
-        write!(f, "  rays completed:     {}", self.rays_completed)
+        writeln!(
+            f,
+            "  mean active lanes:  {:.1} / 32",
+            self.mean_active_lanes
+        )?;
+        writeln!(f, "  rays completed:     {}", self.rays_completed)?;
+        write!(f, "  fault health:       {}", self.health)
     }
 }
 

@@ -69,7 +69,7 @@ mod tests {
     }
 
     #[test]
-    fn ipc_ratio_is_positive(){
+    fn ipc_ratio_is_positive() {
         let fig = run(Scale::test());
         assert!(fig.ipc_ratio() > 0.0);
     }

@@ -56,7 +56,10 @@ impl Fig8 {
         let mut total = 0.0;
         let mut n = 0;
         for s in scenes {
-            if let (Some(d), Some(b)) = (self.value(s, Variant::Dynamic), self.value(s, Variant::PdomBlock)) {
+            if let (Some(d), Some(b)) = (
+                self.value(s, Variant::Dynamic),
+                self.value(s, Variant::PdomBlock),
+            ) {
                 if b > 0.0 {
                     total += d / b;
                     n += 1;

@@ -53,6 +53,7 @@ pub fn run(scale: Scale) -> Fig9 {
         ipc: with_run.ipc(),
         mean_active_lanes: d.mean_active_lanes(),
         rays_completed: with_run.summary.stats.lineages_completed,
+        health: with_run.fault_health(),
     };
     Fig9 {
         with_conflicts,
@@ -65,7 +66,11 @@ pub fn run(scale: Scale) -> Fig9 {
 impl fmt::Display for Fig9 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.with_conflicts)?;
-        writeln!(f, "  spawn-memory conflict passes: {}", self.conflict_passes)?;
+        writeln!(
+            f,
+            "  spawn-memory conflict passes: {}",
+            self.conflict_passes
+        )?;
         writeln!(
             f,
             "  IPC: no-conflicts {:.0}, with conflicts {:.0}, traditional {:.0}",

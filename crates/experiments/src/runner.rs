@@ -5,6 +5,7 @@ use raytrace::scenes::{Scene, SceneScale};
 use rt_kernels::render::RenderSetup;
 use serde::{Deserialize, Serialize};
 use simt_sim::RunSummary;
+use std::fmt;
 
 /// Experiment scale: resolution, simulated-cycle budget, scene size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -20,6 +21,9 @@ pub struct Scale {
     pub threads_per_block: u32,
 }
 
+// Referenced only from the `serde(default = ...)` attribute; the offline
+// serde shim expands derives to nothing, so keep the fn alive explicitly.
+#[allow(dead_code)]
 fn default_scene_scale() -> SceneScale {
     SceneScale::Small
 }
@@ -66,6 +70,44 @@ impl Scale {
     }
 }
 
+/// Fault-model counters for one run. A healthy reproduction run reports
+/// all zeros; anything else means the simulated render misbehaved and the
+/// figures built from it are suspect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultHealth {
+    /// Warp traps recorded (any [`usimt-sim` fault kind](simt_sim::FaultKind)).
+    pub faults: u64,
+    /// Warps discarded under [`simt_sim::FaultPolicy::KillWarp`].
+    pub warps_killed: u64,
+    /// Threads lost to killed warps.
+    pub threads_killed: u64,
+    /// Watchdog deadlock detections.
+    pub watchdog_deadlocks: u64,
+    /// Events forced by a configured [`simt_sim::Injector`].
+    pub injected_events: u64,
+}
+
+impl FaultHealth {
+    /// True when the run completed without any trap, kill, or deadlock.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultHealth::default()
+    }
+}
+
+impl fmt::Display for FaultHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "faults {}, warps killed {}, threads killed {}, watchdog deadlocks {}, injected events {}",
+            self.faults,
+            self.warps_killed,
+            self.threads_killed,
+            self.watchdog_deadlocks,
+            self.injected_events
+        )
+    }
+}
+
 /// The result of one standard render run.
 #[derive(Debug)]
 pub struct RenderRun {
@@ -98,10 +140,10 @@ impl RenderRun {
         } else {
             setup.launch_traditional(&mut gpu, scale.threads_per_block);
         }
-        gpu.run(scale.cycles);
+        gpu.run(scale.cycles).expect("fault-free run");
         let warm_cycle = gpu.now();
         let warm_rays = gpu.stats().lineages_completed;
-        let summary = gpu.run(scale.cycles);
+        let summary = gpu.run(scale.cycles).expect("fault-free run");
         let end_cycle = summary.stats.cycles;
         let (steady_rays, steady_cycles) = if end_cycle > warm_cycle {
             (
@@ -112,13 +154,32 @@ impl RenderRun {
             // The whole frame finished during warm-up (tiny scales).
             (summary.stats.lineages_completed, end_cycle.max(1))
         };
-        RenderRun {
+        let run = RenderRun {
             scene: scene.name,
             variant,
             clock_ghz: gpu.config().clock_ghz,
             summary,
             steady_rays,
             steady_cycles,
+        };
+        let health = run.fault_health();
+        if !health.is_clean() {
+            eprintln!(
+                "warning: {} / {} run was not fault-clean: {health}",
+                run.scene, run.variant
+            );
+        }
+        run
+    }
+
+    /// The run's fault-model counters; a clean reproduction is all zeros.
+    pub fn fault_health(&self) -> FaultHealth {
+        FaultHealth {
+            faults: self.summary.stats.faults,
+            warps_killed: self.summary.stats.warps_killed,
+            threads_killed: self.summary.stats.threads_killed,
+            watchdog_deadlocks: self.summary.stats.watchdog_deadlocks,
+            injected_events: self.summary.stats.injected_events,
         }
     }
 

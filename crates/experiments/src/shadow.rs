@@ -60,13 +60,18 @@ fn run_variant(variant: Variant, scale: Scale) -> ShadowRun {
         setup.launch_traditional(&mut gpu, scale.threads_per_block);
     }
     // Run each pass to completion so the shadow rays are well-defined.
-    let s1 = gpu.run(u64::MAX / 4);
+    let s1 = gpu.run(u64::MAX / 4).expect("fault-free run");
     assert_eq!(s1.outcome, simt_sim::RunOutcome::Completed, "primary pass");
     let primary_instr = s1.stats.thread_instructions;
     let primary_cycles = s1.stats.cycles;
 
-    let dev2 = setup.launch_shadow_pass(&mut gpu, light, variant.is_dynamic(), scale.threads_per_block);
-    let s2 = gpu.run(u64::MAX / 4);
+    let dev2 = setup.launch_shadow_pass(
+        &mut gpu,
+        light,
+        variant.is_dynamic(),
+        scale.threads_per_block,
+    );
+    let s2 = gpu.run(u64::MAX / 4).expect("fault-free run");
     assert_eq!(s2.outcome, simt_sim::RunOutcome::Completed, "shadow pass");
     let shadow_instr = s2.stats.thread_instructions - primary_instr;
     let shadow_cycles = s2.stats.cycles - primary_cycles;
@@ -90,7 +95,10 @@ pub fn run(scale: Scale) -> ShadowStudy {
 
 impl fmt::Display for ShadowStudy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Shadow-pass study (beyond the paper; conference + point light)")?;
+        writeln!(
+            f,
+            "Shadow-pass study (beyond the paper; conference + point light)"
+        )?;
         writeln!(
             f,
             "  {:<12} {:>12} {:>12} {:>12} {:>10}",
@@ -103,7 +111,11 @@ impl fmt::Display for ShadowStudy {
                 r.variant, r.primary_ipc, r.shadow_ipc, r.mean_active_lanes, r.occluded
             )?;
         }
-        write!(f, "  shadow-pass IPC ratio: {:.2}x", self.shadow_ipc_ratio())
+        write!(
+            f,
+            "  shadow-pass IPC ratio: {:.2}x",
+            self.shadow_ipc_ratio()
+        )
     }
 }
 

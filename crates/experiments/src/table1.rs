@@ -51,16 +51,48 @@ pub fn run() -> Table1 {
 impl fmt::Display for Table1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table I — configuration used for simulation")?;
-        writeln!(f, "  Processor Cores                 {}", self.processor_cores)?;
+        writeln!(
+            f,
+            "  Processor Cores                 {}",
+            self.processor_cores
+        )?;
         writeln!(f, "  Warp Size                       {}", self.warp_size)?;
         writeln!(f, "  Stream Processors per Warp      {}", self.sps_per_sm)?;
-        writeln!(f, "  Threads / Processor Core        {}", self.threads_per_core)?;
-        writeln!(f, "  Thread Blocks / Processor Core  {}", self.blocks_per_core)?;
-        writeln!(f, "  Registers / Processor Core      {}", self.registers_per_core)?;
-        writeln!(f, "  On-chip Memory / Processor Core {} KB", self.on_chip_bytes / 1024)?;
-        writeln!(f, "  Spawn LUT Size / Processor Core {} Bytes (≤ 1024 budget)", self.spawn_lut_bytes)?;
-        writeln!(f, "  Memory Modules                  {}", self.memory_modules)?;
-        write!(f, "  Bandwidth per Memory Module     {} Bytes/Cycle", self.bytes_per_cycle)
+        writeln!(
+            f,
+            "  Threads / Processor Core        {}",
+            self.threads_per_core
+        )?;
+        writeln!(
+            f,
+            "  Thread Blocks / Processor Core  {}",
+            self.blocks_per_core
+        )?;
+        writeln!(
+            f,
+            "  Registers / Processor Core      {}",
+            self.registers_per_core
+        )?;
+        writeln!(
+            f,
+            "  On-chip Memory / Processor Core {} KB",
+            self.on_chip_bytes / 1024
+        )?;
+        writeln!(
+            f,
+            "  Spawn LUT Size / Processor Core {} Bytes (≤ 1024 budget)",
+            self.spawn_lut_bytes
+        )?;
+        writeln!(
+            f,
+            "  Memory Modules                  {}",
+            self.memory_modules
+        )?;
+        write!(
+            f,
+            "  Bandwidth per Memory Module     {} Bytes/Cycle",
+            self.bytes_per_cycle
+        )
     }
 }
 
@@ -86,7 +118,12 @@ mod tests {
     #[test]
     fn display_contains_every_row() {
         let s = run().to_string();
-        for key in ["Processor Cores", "Warp Size", "Spawn LUT", "Memory Modules"] {
+        for key in [
+            "Processor Cores",
+            "Warp Size",
+            "Spawn LUT",
+            "Memory Modules",
+        ] {
             assert!(s.contains(key), "missing {key}");
         }
     }

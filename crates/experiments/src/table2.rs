@@ -100,7 +100,10 @@ pub fn run() -> Table2 {
 
 impl fmt::Display for Table2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table II — kernel processor resource requirements per thread")?;
+        writeln!(
+            f,
+            "Table II — kernel processor resource requirements per thread"
+        )?;
         writeln!(
             f,
             "  {:<16} {:>12} {:>12} {:>18}",

@@ -64,7 +64,13 @@ impl fmt::Display for Table3 {
             writeln!(
                 f,
                 "  {:<12} {:>10} {:>8} {:>8} {:>9} {:>14.1} {:>9}",
-                r.name, r.triangles, r.nodes, r.leaves, r.max_depth, r.avg_tris_per_leaf, r.tri_refs
+                r.name,
+                r.triangles,
+                r.nodes,
+                r.leaves,
+                r.max_depth,
+                r.avg_tris_per_leaf,
+                r.tri_refs
             )?;
         }
         Ok(())

@@ -152,8 +152,16 @@ impl fmt::Display for Table4 {
                 mb(r.dynamic_total())
             )?;
         }
-        writeln!(f, "  mean read increase:  {:.1}x (paper: 4.4x)", self.mean_read_increase())?;
-        write!(f, "  mean total increase: {:.1}x (paper: 7.3x)", self.mean_total_increase())
+        writeln!(
+            f,
+            "  mean read increase:  {:.1}x (paper: 4.4x)",
+            self.mean_read_increase()
+        )?;
+        write!(
+            f,
+            "  mean total increase: {:.1}x (paper: 7.3x)",
+            self.mean_total_increase()
+        )
     }
 }
 
@@ -178,7 +186,11 @@ mod tests {
         let t = run(Scale::test());
         // The paper reports 4.4x read / 7.3x total; the shape requirement
         // is a severalfold increase with total > read.
-        assert!(t.mean_read_increase() > 1.5, "read {}", t.mean_read_increase());
+        assert!(
+            t.mean_read_increase() > 1.5,
+            "read {}",
+            t.mean_read_increase()
+        );
         assert!(
             t.mean_total_increase() > t.mean_read_increase(),
             "write amplification must push the total ratio higher"

@@ -130,7 +130,9 @@ fn strip_comment(line: &str) -> &str {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -200,7 +202,13 @@ impl Assembler {
         for p in &self.pending {
             instrs.push(parse_instruction(p.line, &p.text, &self.labels)?);
         }
-        Ok(Program::new(name, instrs, self.labels, self.entries, self.resources)?)
+        Ok(Program::new(
+            name,
+            instrs,
+            self.labels,
+            self.entries,
+            self.resources,
+        )?)
     }
 
     fn directive(&mut self, line: usize, rest: &str) -> Result<(), AsmError> {
@@ -208,10 +216,11 @@ impl Assembler {
         let key = it.next().unwrap_or("");
         let arg = it.next();
         let parse_bytes = |arg: Option<&str>| -> Result<u32, AsmError> {
-            arg.and_then(|a| a.parse::<u32>().ok()).ok_or(AsmError::Parse {
-                line,
-                msg: format!(".{key} expects a byte count"),
-            })
+            arg.and_then(|a| a.parse::<u32>().ok())
+                .ok_or(AsmError::Parse {
+                    line,
+                    msg: format!(".{key} expects a byte count"),
+                })
         };
         match key {
             "kernel" => {
@@ -288,7 +297,10 @@ fn parse_int(tok: &str) -> Option<u32> {
         return u32::from_str_radix(hex, 16).ok();
     }
     if let Some(neg) = tok.strip_prefix('-') {
-        return neg.parse::<u32>().ok().map(|v| (v as i64).wrapping_neg() as u32);
+        return neg
+            .parse::<u32>()
+            .ok()
+            .map(|v| (v as i64).wrapping_neg() as u32);
     }
     tok.parse::<u32>().ok()
 }
@@ -366,7 +378,10 @@ fn parse_space(line: usize, tok: &str) -> Result<Space, AsmError> {
 }
 
 fn split_args(s: &str) -> Vec<&str> {
-    s.split(',').map(str::trim).filter(|t| !t.is_empty()).collect()
+    s.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .collect()
 }
 
 fn alu_for(line: usize, base: &str, parts: &[&str]) -> Result<(AluOp, bool), AsmError> {
@@ -453,10 +468,12 @@ fn parse_instruction(
     // Guard.
     let mut guard = None;
     if let Some(rest) = text.strip_prefix('@') {
-        let (g, rest) = rest.split_once(char::is_whitespace).ok_or(AsmError::Parse {
-            line,
-            msg: "guard without instruction".into(),
-        })?;
+        let (g, rest) = rest
+            .split_once(char::is_whitespace)
+            .ok_or(AsmError::Parse {
+                line,
+                msg: "guard without instruction".into(),
+            })?;
         let (negate, pname) = match g.strip_prefix('!') {
             Some(p) => (true, p),
             None => (false, g),
@@ -477,10 +494,13 @@ fn parse_instruction(
     let parts: Vec<&str> = dotted.collect();
     let resolve = |lbl: &str| -> Result<usize, AsmError> {
         let name = lbl.trim().trim_start_matches('$');
-        labels.get(name).copied().ok_or_else(|| AsmError::UnknownLabel {
-            line,
-            label: name.to_string(),
-        })
+        labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| AsmError::UnknownLabel {
+                line,
+                label: name.to_string(),
+            })
     };
 
     let op = match base {
@@ -568,7 +588,11 @@ fn parse_instruction(
                 });
             }
             let space = parse_space(line, parts[0])?;
-            let width = if parts.contains(&"v4") { Width::V4 } else { Width::W1 };
+            let width = if parts.contains(&"v4") {
+                Width::V4
+            } else {
+                Width::W1
+            };
             let args = split_args(rest);
             if args.len() != 2 {
                 return Err(AsmError::Parse {
@@ -778,7 +802,9 @@ mod tests {
             }
         );
         match p.instrs()[1].op {
-            Instr::Alu { op: AluOp::FAdd, b, .. } => assert_eq!(b, Operand::imm_f32(-2.25)),
+            Instr::Alu {
+                op: AluOp::FAdd, b, ..
+            } => assert_eq!(b, Operand::imm_f32(-2.25)),
             ref other => panic!("unexpected {other:?}"),
         }
     }
@@ -820,9 +846,18 @@ mod tests {
 
     #[test]
     fn errors_on_bad_syntax() {
-        assert!(matches!(assemble("frobnicate r1, r2\nexit"), Err(AsmError::Parse { .. })));
-        assert!(matches!(assemble("add.s32 r1\nexit"), Err(AsmError::Parse { .. })));
-        assert!(matches!(assemble("ld.bogus.u32 r1, [r2+0]\nexit"), Err(AsmError::Parse { .. })));
+        assert!(matches!(
+            assemble("frobnicate r1, r2\nexit"),
+            Err(AsmError::Parse { .. })
+        ));
+        assert!(matches!(
+            assemble("add.s32 r1\nexit"),
+            Err(AsmError::Parse { .. })
+        ));
+        assert!(matches!(
+            assemble("ld.bogus.u32 r1, [r2+0]\nexit"),
+            Err(AsmError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -69,10 +69,9 @@ impl Cfg {
                         leader[pc + 1] = true;
                     }
                 }
-                Instr::Exit
-                    if pc + 1 < n => {
-                        leader[pc + 1] = true;
-                    }
+                Instr::Exit if pc + 1 < n => {
+                    leader[pc + 1] = true;
+                }
                 _ => {}
             }
         }
@@ -80,8 +79,8 @@ impl Cfg {
         let mut blocks = Vec::new();
         let mut block_of_pc = vec![0usize; n];
         let mut start = 0usize;
-        for pc in 0..n {
-            if pc > start && leader[pc] {
+        for (pc, &lead) in leader.iter().enumerate() {
+            if pc > start && lead {
                 blocks.push(BasicBlock { start, end: pc });
                 start = pc;
             }
@@ -90,8 +89,8 @@ impl Cfg {
             blocks.push(BasicBlock { start, end: n });
         }
         for (bi, b) in blocks.iter().enumerate() {
-            for pc in b.start..b.end {
-                block_of_pc[pc] = bi;
+            for slot in &mut block_of_pc[b.start..b.end] {
+                *slot = bi;
             }
         }
         // --- edges ---

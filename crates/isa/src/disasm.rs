@@ -103,14 +103,22 @@ impl fmt::Display for Instr {
                 addr,
                 offset,
                 width,
-            } => write!(f, "ld.{space}.{} {d}, [{addr}{offset:+}]", width_suffix(*width)),
+            } => write!(
+                f,
+                "ld.{space}.{} {d}, [{addr}{offset:+}]",
+                width_suffix(*width)
+            ),
             Instr::St {
                 space,
                 a,
                 addr,
                 offset,
                 width,
-            } => write!(f, "st.{space}.{} [{addr}{offset:+}], {a}", width_suffix(*width)),
+            } => write!(
+                f,
+                "st.{space}.{} [{addr}{offset:+}], {a}",
+                width_suffix(*width)
+            ),
             Instr::Bra { target } => write!(f, "bra {target}"),
             Instr::Exit => f.write_str("exit"),
             Instr::Spawn { target, ptr } => write!(f, "spawn {target}, {ptr}"),
@@ -134,7 +142,12 @@ impl fmt::Display for Instruction {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "; program `{}` ({} instructions)", self.name(), self.len())?;
+        writeln!(
+            f,
+            "; program `{}` ({} instructions)",
+            self.name(),
+            self.len()
+        )?;
         // Reverse label map for annotation.
         for (pc, i) in self.instrs().iter().enumerate() {
             for (name, &lpc) in self.labels() {

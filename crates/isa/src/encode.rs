@@ -148,7 +148,13 @@ const SPECIALS: [Special; 6] = [
     Special::SpawnMem,
 ];
 
-const SPACES: [Space; 5] = [Space::Global, Space::Shared, Space::Local, Space::Const, Space::Spawn];
+const SPACES: [Space; 5] = [
+    Space::Global,
+    Space::Shared,
+    Space::Local,
+    Space::Const,
+    Space::Spawn,
+];
 
 const IMM_MARK: u8 = 0x80;
 /// Marker for a literal zero immediate (does not consume the imm word, so
@@ -158,7 +164,10 @@ const IMM_ZERO: u8 = 0x81;
 fn guard_byte(g: Option<Guard>) -> u8 {
     match g {
         None => 0,
-        Some(Guard { pred, negate: false }) => 0x80 | pred.0,
+        Some(Guard {
+            pred,
+            negate: false,
+        }) => 0x80 | pred.0,
         Some(Guard { pred, negate: true }) => 0xC0 | pred.0,
     }
 }
@@ -287,7 +296,14 @@ pub fn encode(i: &Instruction) -> Result<EncodedInstr, EncodeError> {
                 Width::W1 => 0u8,
                 Width::V4 => 1,
             };
-            words(OP_LD, d.0, sp | wv << 3, g, u32::from(addr.0) << 24, offset as u32)
+            words(
+                OP_LD,
+                d.0,
+                sp | wv << 3,
+                g,
+                u32::from(addr.0) << 24,
+                offset as u32,
+            )
         }
         Instr::St {
             space,
@@ -301,7 +317,14 @@ pub fn encode(i: &Instruction) -> Result<EncodedInstr, EncodeError> {
                 Width::W1 => 0u8,
                 Width::V4 => 1,
             };
-            words(OP_ST, a.0, sp | wv << 3, g, u32::from(addr.0) << 24, offset as u32)
+            words(
+                OP_ST,
+                a.0,
+                sp | wv << 3,
+                g,
+                u32::from(addr.0) << 24,
+                offset as u32,
+            )
         }
         Instr::Bra { target } => words(OP_BRA, 0, 0, g, 0, target as u32),
         Instr::Exit => words(OP_EXIT, 0, 0, g, 0, 0),
@@ -544,11 +567,10 @@ mod tests {
                 }
             }),
             (0u8..64, arb_operand()).prop_map(|(d, a)| Instr::Mov { d: Reg(d), a }),
-            (0u8..64, 0usize..SPECIALS.len())
-                .prop_map(|(d, s)| Instr::ReadSpecial {
-                    d: Reg(d),
-                    s: SPECIALS[s]
-                }),
+            (0u8..64, 0usize..SPECIALS.len()).prop_map(|(d, s)| Instr::ReadSpecial {
+                d: Reg(d),
+                s: SPECIALS[s]
+            }),
             (arb_space(), 0u8..64, 0u8..64, any::<i32>(), any::<bool>()).prop_map(
                 |(space, d, addr, offset, v4)| Instr::Ld {
                     space,

@@ -161,8 +161,14 @@ mod tests {
 
     #[test]
     fn conversions() {
-        assert_eq!(eval_alu(AluOp::I2F, (-3i32) as u32, 0, 0), (-3.0f32).to_bits());
-        assert_eq!(eval_alu(AluOp::F2I, (-3.7f32).to_bits(), 0, 0), (-3i32) as u32);
+        assert_eq!(
+            eval_alu(AluOp::I2F, (-3i32) as u32, 0, 0),
+            (-3.0f32).to_bits()
+        );
+        assert_eq!(
+            eval_alu(AluOp::F2I, (-3.7f32).to_bits(), 0, 0),
+            (-3i32) as u32
+        );
         assert_eq!(eval_alu(AluOp::U2F, 5, 0, 0), 5.0f32.to_bits());
         assert_eq!(eval_alu(AluOp::F2U, 5.9f32.to_bits(), 0, 0), 5);
         assert_eq!(eval_alu(AluOp::F2U, (-1.0f32).to_bits(), 0, 0), 0);
@@ -172,7 +178,10 @@ mod tests {
     #[test]
     fn comparisons() {
         assert!(eval_cmp(CmpOp::LtS, (-1i32) as u32, 0));
-        assert!(!eval_cmp(CmpOp::LtU, (-1i32) as u32, 0), "unsigned -1 is large");
+        assert!(
+            !eval_cmp(CmpOp::LtU, (-1i32) as u32, 0),
+            "unsigned -1 is large"
+        );
         assert!(eval_cmp(CmpOp::GeU, (-1i32) as u32, 0));
         assert!(eval_cmp(CmpOp::LtF, 1.0f32.to_bits(), 2.0f32.to_bits()));
         let nan = f32::NAN.to_bits();

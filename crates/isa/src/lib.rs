@@ -48,12 +48,12 @@ mod program;
 mod reg;
 
 pub use asm::{assemble, assemble_named, AsmError};
+pub use cfg::{BasicBlock, Cfg, ReconvergenceTable, RECONVERGE_AT_EXIT};
+pub use dataflow::{LiveSet, Liveness};
 pub use encode::{
     decode, encode, encode_program, encoded_bytes, DecodeError, EncodeError, EncodedInstr,
     ENCODED_INSTR_BYTES,
 };
-pub use cfg::{BasicBlock, Cfg, ReconvergenceTable, RECONVERGE_AT_EXIT};
-pub use dataflow::{LiveSet, Liveness};
 pub use eval::{eval_alu, eval_cmp};
 pub use instr::{AluOp, CmpOp, Guard, Instr, Instruction, Space, Width};
 pub use program::{EntryPoint, Program, ResourceUsage, ValidateError};

@@ -84,10 +84,16 @@ impl fmt::Display for ValidateError {
                 write!(f, "instruction {pc}: branch target {target} out of range")
             }
             ValidateError::SpawnTargetNotEntry { pc, target } => {
-                write!(f, "instruction {pc}: spawn target {target} is not a .kernel entry point")
+                write!(
+                    f,
+                    "instruction {pc}: spawn target {target} is not a .kernel entry point"
+                )
             }
             ValidateError::RegisterOutOfRange { pc, reg } => {
-                write!(f, "instruction {pc}: register {reg} exceeds the architectural limit")
+                write!(
+                    f,
+                    "instruction {pc}: register {reg} exceeds the architectural limit"
+                )
             }
             ValidateError::Empty => write!(f, "program contains no instructions"),
             ValidateError::FallsOffEnd => {
@@ -144,10 +150,9 @@ impl Program {
         let entry_pcs: Vec<usize> = self.entry_points.iter().map(|e| e.pc).collect();
         for (pc, i) in self.instrs.iter().enumerate() {
             match i.op {
-                Instr::Bra { target }
-                    if target >= self.instrs.len() => {
-                        return Err(ValidateError::TargetOutOfRange { pc, target });
-                    }
+                Instr::Bra { target } if target >= self.instrs.len() => {
+                    return Err(ValidateError::TargetOutOfRange { pc, target });
+                }
                 Instr::Spawn { target, .. } => {
                     if target >= self.instrs.len() {
                         return Err(ValidateError::TargetOutOfRange { pc, target });
@@ -282,39 +287,73 @@ mod tests {
             }),
             exit(),
         ];
-        let p = Program::new("t", instrs, BTreeMap::new(), vec![], ResourceUsage::default())
-            .unwrap();
+        let p = Program::new(
+            "t",
+            instrs,
+            BTreeMap::new(),
+            vec![],
+            ResourceUsage::default(),
+        )
+        .unwrap();
         assert_eq!(p.resource_usage().registers, 8);
     }
 
     #[test]
     fn rejects_empty() {
-        let err = Program::new("t", vec![], BTreeMap::new(), vec![], ResourceUsage::default())
-            .unwrap_err();
+        let err = Program::new(
+            "t",
+            vec![],
+            BTreeMap::new(),
+            vec![],
+            ResourceUsage::default(),
+        )
+        .unwrap_err();
         assert_eq!(err, ValidateError::Empty);
     }
 
     #[test]
     fn rejects_fall_off_end() {
         let instrs = vec![Instruction::new(Instr::Nop)];
-        let err = Program::new("t", instrs, BTreeMap::new(), vec![], ResourceUsage::default())
-            .unwrap_err();
+        let err = Program::new(
+            "t",
+            instrs,
+            BTreeMap::new(),
+            vec![],
+            ResourceUsage::default(),
+        )
+        .unwrap_err();
         assert_eq!(err, ValidateError::FallsOffEnd);
     }
 
     #[test]
     fn guarded_exit_is_not_terminal() {
-        let instrs = vec![Instruction::guarded(crate::reg::Pred(0), false, Instr::Exit)];
-        let err = Program::new("t", instrs, BTreeMap::new(), vec![], ResourceUsage::default())
-            .unwrap_err();
+        let instrs = vec![Instruction::guarded(
+            crate::reg::Pred(0),
+            false,
+            Instr::Exit,
+        )];
+        let err = Program::new(
+            "t",
+            instrs,
+            BTreeMap::new(),
+            vec![],
+            ResourceUsage::default(),
+        )
+        .unwrap_err();
         assert_eq!(err, ValidateError::FallsOffEnd);
     }
 
     #[test]
     fn rejects_out_of_range_branch() {
         let instrs = vec![Instruction::new(Instr::Bra { target: 9 }), exit()];
-        let err = Program::new("t", instrs, BTreeMap::new(), vec![], ResourceUsage::default())
-            .unwrap_err();
+        let err = Program::new(
+            "t",
+            instrs,
+            BTreeMap::new(),
+            vec![],
+            ResourceUsage::default(),
+        )
+        .unwrap_err();
         assert_eq!(err, ValidateError::TargetOutOfRange { pc: 0, target: 9 });
     }
 
@@ -327,8 +366,14 @@ mod tests {
             }),
             exit(),
         ];
-        let err = Program::new("t", instrs, BTreeMap::new(), vec![], ResourceUsage::default())
-            .unwrap_err();
+        let err = Program::new(
+            "t",
+            instrs,
+            BTreeMap::new(),
+            vec![],
+            ResourceUsage::default(),
+        )
+        .unwrap_err();
         assert_eq!(err, ValidateError::SpawnTargetNotEntry { pc: 0, target: 1 });
     }
 
@@ -351,8 +396,14 @@ mod tests {
                 pc: 1,
             },
         ];
-        let p = Program::new("t", instrs, BTreeMap::new(), entries, ResourceUsage::default())
-            .unwrap();
+        let p = Program::new(
+            "t",
+            instrs,
+            BTreeMap::new(),
+            entries,
+            ResourceUsage::default(),
+        )
+        .unwrap();
         assert_eq!(p.spawn_sites(), vec![0]);
         assert_eq!(p.spawn_targets(), vec![1]);
         assert_eq!(p.entry("uk").unwrap().pc, 1);

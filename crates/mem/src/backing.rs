@@ -118,7 +118,10 @@ impl LocalStore {
     }
 
     fn index(&self, tid: u32, addr: u32) -> usize {
-        assert!(addr.is_multiple_of(4), "unaligned local access at {addr:#x}");
+        assert!(
+            addr.is_multiple_of(4),
+            "unaligned local access at {addr:#x}"
+        );
         assert!(
             addr < self.stride_bytes.max(4),
             "local access {addr:#x} exceeds per-thread stride {}",

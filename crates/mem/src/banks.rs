@@ -32,7 +32,12 @@ pub fn conflict_degree(addresses: &[u32], banks: usize) -> u32 {
             per_bank[bank].push(word);
         }
     }
-    per_bank.iter().map(|v| v.len() as u32).max().unwrap_or(0).max(1)
+    per_bank
+        .iter()
+        .map(|v| v.len() as u32)
+        .max()
+        .unwrap_or(0)
+        .max(1)
 }
 
 /// An on-chip word-addressed scratchpad with banking metadata.
@@ -76,7 +81,10 @@ impl OnChipMemory {
     ///
     /// Panics on unaligned access.
     pub fn read(&self, addr: u32) -> u32 {
-        assert!(addr.is_multiple_of(4), "unaligned on-chip read at {addr:#x}");
+        assert!(
+            addr.is_multiple_of(4),
+            "unaligned on-chip read at {addr:#x}"
+        );
         let n = self.words.len();
         self.words[(addr as usize / 4) % n]
     }
@@ -87,7 +95,10 @@ impl OnChipMemory {
     ///
     /// Panics on unaligned access.
     pub fn write(&mut self, addr: u32, value: u32) {
-        assert!(addr.is_multiple_of(4), "unaligned on-chip write at {addr:#x}");
+        assert!(
+            addr.is_multiple_of(4),
+            "unaligned on-chip write at {addr:#x}"
+        );
         let n = self.words.len();
         self.words[(addr as usize / 4) % n] = value;
     }

@@ -41,8 +41,10 @@ impl ReadOnlyCache {
         assert!(line_bytes.is_power_of_two() && line_bytes > 0);
         assert!(ways > 0);
         let lines = capacity_bytes / line_bytes;
-        assert!(lines as usize >= ways && lines.is_multiple_of(ways as u32),
-            "capacity must hold a whole number of sets");
+        assert!(
+            lines as usize >= ways && lines.is_multiple_of(ways as u32),
+            "capacity must hold a whole number of sets"
+        );
         let sets = (lines as usize) / ways;
         ReadOnlyCache {
             line_bytes,

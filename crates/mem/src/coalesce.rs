@@ -37,7 +37,11 @@ impl CoalesceResult {
 /// # Panics
 ///
 /// Panics if `segment_bytes` is zero or not a power of two.
-pub fn coalesce_segments(addresses: &[u32], bytes_per_lane: u32, segment_bytes: u32) -> CoalesceResult {
+pub fn coalesce_segments(
+    addresses: &[u32],
+    bytes_per_lane: u32,
+    segment_bytes: u32,
+) -> CoalesceResult {
     assert!(
         segment_bytes.is_power_of_two(),
         "segment size must be a power of two"

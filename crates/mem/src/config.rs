@@ -88,8 +88,7 @@ impl MemConfig {
     /// Shader cycles a module needs to transfer one coalesced segment
     /// (fractional: the modules run at the DRAM clock).
     pub fn segment_service_cycles(&self) -> f64 {
-        f64::from(self.segment_bytes)
-            / (f64::from(self.bytes_per_cycle) * self.dram_clock_ratio)
+        f64::from(self.segment_bytes) / (f64::from(self.bytes_per_cycle) * self.dram_clock_ratio)
     }
 }
 
@@ -120,7 +119,9 @@ mod tests {
 
     #[test]
     fn builder_style_toggles() {
-        let c = MemConfig::fx5800().with_ideal(true).with_spawn_bank_conflicts(true);
+        let c = MemConfig::fx5800()
+            .with_ideal(true)
+            .with_spawn_bank_conflicts(true);
         assert!(c.ideal);
         assert!(c.spawn_bank_conflicts);
     }

@@ -32,17 +32,17 @@
 #![warn(missing_docs)]
 
 mod backing;
-mod cache;
 mod banks;
+mod cache;
 mod coalesce;
 mod config;
 mod system;
 mod traffic;
 
 pub use backing::{LocalStore, WordStore};
-pub use cache::ReadOnlyCache;
 pub use banks::{conflict_degree, OnChipMemory};
+pub use cache::ReadOnlyCache;
 pub use coalesce::{coalesce_segments, CoalesceResult};
 pub use config::MemConfig;
-pub use system::{MemorySystem, WarpAccess};
+pub use system::{MemFault, MemorySystem, WarpAccess};
 pub use traffic::{SpaceTraffic, TrafficStats};

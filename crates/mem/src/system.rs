@@ -6,6 +6,77 @@ use crate::coalesce::coalesce_segments;
 use crate::config::MemConfig;
 use crate::traffic::TrafficStats;
 use simt_isa::Space;
+use std::fmt;
+
+/// A typed functional-memory fault.
+///
+/// The simulator's SMs use the `try_*` accessors and turn these into warp
+/// traps; the panicking accessors remain for host-side and test code where
+/// an illegal access is a bug in the caller, not in the simulated program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFault {
+    /// Word access whose byte address is not 4-byte aligned.
+    Misaligned {
+        /// Address space accessed.
+        space: Space,
+        /// The offending byte address.
+        addr: u32,
+    },
+    /// Store past the end of the allocated global heap.
+    GlobalStoreOob {
+        /// The offending byte address.
+        addr: u32,
+        /// Bytes of global memory allocated at the time of the access.
+        allocated: u32,
+    },
+    /// Device-side store to read-only constant memory.
+    ConstStore {
+        /// The offending byte address.
+        addr: u32,
+    },
+    /// Local access past the per-thread stride.
+    LocalOob {
+        /// The offending per-thread byte offset.
+        addr: u32,
+        /// The configured per-thread stride in bytes.
+        stride: u32,
+    },
+    /// Access to a space this component does not serve (e.g. a spawn-space
+    /// access on a machine without dynamic μ-kernel hardware).
+    Unmapped {
+        /// The address space that has no backing here.
+        space: Space,
+    },
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemFault::Misaligned { space, addr } => {
+                write!(f, "misaligned {space} access at address {addr:#x}")
+            }
+            MemFault::GlobalStoreOob { addr, allocated } => write!(
+                f,
+                "global store at {addr:#x} past the allocated heap ({allocated:#x} bytes)"
+            ),
+            MemFault::ConstStore { addr } => {
+                write!(
+                    f,
+                    "constant memory is read-only from device code (store at {addr:#x})"
+                )
+            }
+            MemFault::LocalOob { addr, stride } => write!(
+                f,
+                "local access at offset {addr:#x} exceeds the per-thread stride of {stride} bytes"
+            ),
+            MemFault::Unmapped { space } => {
+                write!(f, "no functional backing for {space} memory here")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
 
 /// One warp-level memory access presented to the timing model.
 ///
@@ -98,17 +169,56 @@ impl MemorySystem {
         tid.wrapping_mul(self.local.stride_bytes()) + addr
     }
 
+    /// Checked functional word read from an off-chip space.
+    ///
+    /// Reads past the end of the allocated heap stay lenient and return 0
+    /// (uninitialized DRAM); misalignment and unserved spaces are faults.
+    pub fn try_read_u32(&self, space: Space, addr: u32) -> Result<u32, MemFault> {
+        if !addr.is_multiple_of(4) {
+            return Err(MemFault::Misaligned { space, addr });
+        }
+        match space {
+            Space::Global => Ok(self.global.read(addr)),
+            Space::Const => Ok(self.constant.read(addr)),
+            _ => Err(MemFault::Unmapped { space }),
+        }
+    }
+
+    /// Checked functional word write to an off-chip space.
+    ///
+    /// Global stores must land inside the allocated heap; constant memory
+    /// is read-only from device code.
+    pub fn try_write_u32(&mut self, space: Space, addr: u32, value: u32) -> Result<(), MemFault> {
+        if !addr.is_multiple_of(4) {
+            return Err(MemFault::Misaligned { space, addr });
+        }
+        match space {
+            Space::Global => {
+                // The extent check only applies once the host has carved out
+                // a heap via `alloc_global`; with no allocations the store
+                // lands in unbounded scratch (bare test programs rely on it).
+                let allocated = self.global.allocated_bytes();
+                if allocated > 0 && addr >= allocated {
+                    return Err(MemFault::GlobalStoreOob { addr, allocated });
+                }
+                self.global.write(addr, value);
+                Ok(())
+            }
+            Space::Const => Err(MemFault::ConstStore { addr }),
+            _ => Err(MemFault::Unmapped { space }),
+        }
+    }
+
     /// Functional word read from an off-chip space.
     ///
     /// # Panics
     ///
-    /// Panics for on-chip spaces (their contents are owned per-SM) and for
-    /// `local` (use [`MemorySystem::read_local`]).
+    /// Panics for on-chip spaces (their contents are owned per-SM), for
+    /// `local` (use [`MemorySystem::read_local`]), and on misalignment.
     pub fn read_u32(&self, space: Space, addr: u32) -> u32 {
-        match space {
-            Space::Global => self.global.read(addr),
-            Space::Const => self.constant.read(addr),
-            _ => panic!("functional {space} reads are not served by MemorySystem"),
+        match self.try_read_u32(space, addr) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -120,10 +230,8 @@ impl MemorySystem {
     /// device code; use [`MemorySystem::alloc_const`] +
     /// [`MemorySystem::host_write_const`] from the host side).
     pub fn write_u32(&mut self, space: Space, addr: u32, value: u32) {
-        match space {
-            Space::Global => self.global.write(addr, value),
-            Space::Const => panic!("constant memory is read-only from device code"),
-            _ => panic!("functional {space} writes are not served by MemorySystem"),
+        if let Err(e) = self.try_write_u32(space, addr, value) {
+            panic!("{e}");
         }
     }
 
@@ -140,6 +248,34 @@ impl MemorySystem {
     /// Host-side bulk read from global memory.
     pub fn host_read_global(&self, addr: u32, words: usize) -> Vec<u32> {
         self.global.read_words(addr, words)
+    }
+
+    /// Checks a local access against alignment and the per-thread stride.
+    fn check_local(&self, addr: u32) -> Result<(), MemFault> {
+        if !addr.is_multiple_of(4) {
+            return Err(MemFault::Misaligned {
+                space: Space::Local,
+                addr,
+            });
+        }
+        let stride = self.local.stride_bytes();
+        if addr >= stride.max(4) {
+            return Err(MemFault::LocalOob { addr, stride });
+        }
+        Ok(())
+    }
+
+    /// Checked functional read of thread `tid`'s local memory.
+    pub fn try_read_local(&self, tid: u32, addr: u32) -> Result<u32, MemFault> {
+        self.check_local(addr)?;
+        Ok(self.local.read(tid, addr))
+    }
+
+    /// Checked functional write of thread `tid`'s local memory.
+    pub fn try_write_local(&mut self, tid: u32, addr: u32, value: u32) -> Result<(), MemFault> {
+        self.check_local(addr)?;
+        self.local.write(tid, addr, value);
+        Ok(())
     }
 
     /// Functional read of thread `tid`'s local memory.
@@ -187,9 +323,17 @@ impl MemorySystem {
         }
 
         // Off-chip: coalesce, then queue segments on modules.
-        let result = coalesce_segments(&req.addresses, req.bytes_per_lane, self.config.segment_bytes);
-        self.traffic
-            .record(req.space, req.is_store, requested, result.transactions() as u64);
+        let result = coalesce_segments(
+            &req.addresses,
+            req.bytes_per_lane,
+            self.config.segment_bytes,
+        );
+        self.traffic.record(
+            req.space,
+            req.is_store,
+            requested,
+            result.transactions() as u64,
+        );
         if self.config.ideal {
             return now + 1;
         }
@@ -218,12 +362,7 @@ impl MemorySystem {
     /// # Panics
     ///
     /// Panics if the space is not on-chip.
-    pub fn access_onchip(
-        &mut self,
-        now: u64,
-        req: &WarpAccess,
-        port_free: &mut u64,
-    ) -> (u64, u32) {
+    pub fn access_onchip(&mut self, now: u64, req: &WarpAccess, port_free: &mut u64) -> (u64, u32) {
         assert!(req.space.is_on_chip(), "access_onchip expects shared/spawn");
         if req.addresses.is_empty() {
             return (now + 1, 1);
@@ -245,14 +384,18 @@ impl MemorySystem {
         };
         self.traffic.record(req.space, req.is_store, requested, 0);
         if degree > 1 {
-            self.traffic.record_conflicts(req.space, u64::from(degree - 1));
+            self.traffic
+                .record_conflicts(req.space, u64::from(degree - 1));
         }
         if self.config.ideal {
             return (now + 1, 1);
         }
         let start = now.max(*port_free);
         *port_free = start + u64::from(degree);
-        (start + u64::from(degree) + u64::from(self.config.shared_latency), degree)
+        (
+            start + u64::from(degree) + u64::from(self.config.shared_latency),
+            degree,
+        )
     }
 
     /// Accumulated traffic statistics.
@@ -362,7 +505,10 @@ mod tests {
         let t_with = with.access(0, &req);
         assert!(t_with > t_without);
         assert_eq!(with.traffic().space(Space::Spawn).bank_conflict_passes, 7);
-        assert_eq!(without.traffic().space(Space::Spawn).bank_conflict_passes, 0);
+        assert_eq!(
+            without.traffic().space(Space::Spawn).bank_conflict_passes,
+            0
+        );
     }
 
     #[test]
@@ -397,7 +543,10 @@ mod tests {
         m.write_local(3, 8, 77);
         assert_eq!(m.read_local(3, 8), 77);
         assert_eq!(m.read_local(2, 8), 0);
-        assert_eq!(m.local_physical(1, 4), 388 + 4 + 0 /* stride rounded to 388 */);
+        assert_eq!(
+            m.local_physical(1, 4),
+            388 + 4 /* thread 1's bank, word offset 4 (stride rounds to 388) */
+        );
     }
 
     #[test]

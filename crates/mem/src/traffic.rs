@@ -88,7 +88,10 @@ impl TrafficStats {
 
     /// Total bytes written across all spaces.
     pub fn bytes_written(&self) -> u64 {
-        Space::ALL.iter().map(|s| self.space(*s).bytes_written).sum()
+        Space::ALL
+            .iter()
+            .map(|s| self.space(*s).bytes_written)
+            .sum()
     }
 
     /// Merges another statistics object into this one.
@@ -107,7 +110,11 @@ impl TrafficStats {
 
 impl fmt::Display for TrafficStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<8} {:>14} {:>14} {:>12} {:>10}", "space", "read B", "written B", "txns", "conflicts")?;
+        writeln!(
+            f,
+            "{:<8} {:>14} {:>14} {:>12} {:>10}",
+            "space", "read B", "written B", "txns", "conflicts"
+        )?;
         for s in Space::ALL {
             let t = self.space(s);
             writeln!(

@@ -127,7 +127,10 @@ mod tests {
         let bounds = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
         let c = Camera::looking_at(bounds, 16, 16);
         let r = c.primary_ray(8, 8);
-        assert!(bounds.intersect(&r).is_some(), "center ray must enter the bounds");
+        assert!(
+            bounds.intersect(&r).is_some(),
+            "center ray must enter the bounds"
+        );
     }
 
     #[test]

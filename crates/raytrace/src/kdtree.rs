@@ -159,7 +159,8 @@ impl KdTree {
         let axis = bounds.longest_axis();
         let lo = bounds.min[axis];
         let hi = bounds.max[axis];
-        if !(hi > lo) {
+        // NaN-aware: a degenerate or non-finite extent also becomes a leaf.
+        if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
             return make_leaf(self, tris);
         }
         // Evaluate evenly spaced SAH candidates.
@@ -190,8 +191,7 @@ impl KdTree {
                 1 => Vec3::new(bounds.min.x, split, bounds.min.z),
                 _ => Vec3::new(bounds.min.x, bounds.min.y, split),
             };
-            let cost =
-                1.0 + nl as f32 * lbox.surface_area() + nr as f32 * rbox.surface_area();
+            let cost = 1.0 + nl as f32 * lbox.surface_area() + nr as f32 * rbox.surface_area();
             // Reject useless splits that put everything on both sides.
             if nl == tris.len() && nr == tris.len() {
                 continue;
@@ -420,7 +420,7 @@ mod tests {
         let _ = tris;
         for w in tree.wald_triangles() {
             if let Some(t) = w.intersect(ray) {
-                if best.map_or(true, |b| t < b) {
+                if best.is_none_or(|b| t < b) {
                     best = Some(t);
                 }
             }
@@ -467,7 +467,10 @@ mod tests {
                 (a, b) => panic!("tree {a:?} vs brute {b:?}"),
             }
         }
-        assert!(hits > 20, "expected a reasonable number of hits, got {hits}");
+        assert!(
+            hits > 20,
+            "expected a reasonable number of hits, got {hits}"
+        );
     }
 
     #[test]

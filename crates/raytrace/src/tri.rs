@@ -127,7 +127,6 @@ pub struct WaldTriangle {
 /// Size of one serialized [`WaldTriangle`] record in bytes.
 pub const WALD_TRI_BYTES: u32 = 48;
 
-
 impl WaldTriangle {
     /// Precomputes the record. Returns `None` for degenerate triangles.
     pub fn new(tri: &Triangle) -> Option<Self> {
@@ -187,7 +186,8 @@ impl WaldTriangle {
         if nd.abs() < 1e-12 {
             return None;
         }
-        let t = (self.n_d - ray.origin[k] - self.n_u * ray.origin[u] - self.n_v * ray.origin[v]) / nd;
+        let t =
+            (self.n_d - ray.origin[k] - self.n_u * ray.origin[u] - self.n_v * ray.origin[v]) / nd;
         if !(t >= ray.tmin && t <= ray.tmax) {
             return None;
         }

@@ -140,7 +140,8 @@ impl DeviceScene {
             ];
             mem.host_write_global(rays_base + i as u32 * RAY_RECORD_BYTES, &words);
         }
-        let results_base = mem.alloc_global(rays.len() as u32 * RESULT_RECORD_BYTES, "results-pass2");
+        let results_base =
+            mem.alloc_global(rays.len() as u32 * RESULT_RECORD_BYTES, "results-pass2");
         for i in 0..rays.len() as u32 {
             mem.host_write_global(
                 results_base + i * RESULT_RECORD_BYTES,

@@ -47,11 +47,7 @@ pub fn build_rays(scene: &Scene, width: u32, height: u32) -> Vec<Ray> {
 /// on different surfaces aim at the light from different origins — which
 /// makes this the more divergent second pass the paper's introduction
 /// describes.
-pub fn shadow_rays(
-    primary: &[Ray],
-    results: &[Option<Hit>],
-    light: raytrace::Vec3,
-) -> Vec<Ray> {
+pub fn shadow_rays(primary: &[Ray], results: &[Option<Hit>], light: raytrace::Vec3) -> Vec<Ray> {
     assert_eq!(primary.len(), results.len(), "one result per primary ray");
     primary
         .iter()
@@ -110,7 +106,8 @@ impl RenderSetup {
             entry: "main".into(),
             num_threads: self.dev.num_rays,
             threads_per_block,
-        });
+        })
+        .expect("render kernel launch rejected");
     }
 
     /// Launches the μ-kernel version (requires DMK hardware).
@@ -120,7 +117,8 @@ impl RenderSetup {
             entry: "main".into(),
             num_threads: self.dev.num_rays,
             threads_per_block,
-        });
+        })
+        .expect("render kernel launch rejected");
     }
 
     /// Reads device results back.
@@ -154,7 +152,8 @@ impl RenderSetup {
             entry: "main".into(),
             num_threads: dev2.num_rays,
             threads_per_block,
-        });
+        })
+        .expect("render kernel launch rejected");
         dev2
     }
 }
@@ -234,7 +233,7 @@ mod tests {
         let mut gpu = tiny_gpu(false);
         let setup = RenderSetup::upload(&mut gpu, &scene, 8, 8);
         setup.launch_traditional(&mut gpu, 8);
-        let summary = gpu.run(50_000_000);
+        let summary = gpu.run(50_000_000).expect("fault-free run");
         assert_eq!(summary.outcome, RunOutcome::Completed);
         let host = setup.host_reference();
         let device = setup.device_results(&gpu);
@@ -257,7 +256,7 @@ mod tests {
         let mut gpu = tiny_gpu(true);
         let setup = RenderSetup::upload(&mut gpu, &scene, 8, 8);
         setup.launch_ukernel(&mut gpu, 8);
-        let summary = gpu.run(100_000_000);
+        let summary = gpu.run(100_000_000).expect("fault-free run");
         assert_eq!(summary.outcome, RunOutcome::Completed);
         let host = setup.host_reference();
         let device = setup.device_results(&gpu);
@@ -284,13 +283,19 @@ mod tests {
         let mut gpu_t = tiny_gpu(false);
         let setup_t = RenderSetup::upload(&mut gpu_t, &scene, 8, 8);
         setup_t.launch_traditional(&mut gpu_t, 8);
-        assert_eq!(gpu_t.run(50_000_000).outcome, RunOutcome::Completed);
+        assert_eq!(
+            gpu_t.run(50_000_000).expect("fault-free run").outcome,
+            RunOutcome::Completed
+        );
         let img_t = setup_t.device_results(&gpu_t);
 
         let mut gpu_u = tiny_gpu(true);
         let setup_u = RenderSetup::upload(&mut gpu_u, &scene, 8, 8);
         setup_u.launch_ukernel(&mut gpu_u, 8);
-        assert_eq!(gpu_u.run(100_000_000).outcome, RunOutcome::Completed);
+        assert_eq!(
+            gpu_u.run(100_000_000).expect("fault-free run").outcome,
+            RunOutcome::Completed
+        );
         let img_u = setup_u.device_results(&gpu_u);
 
         let report = compare(&img_t, &img_u);
@@ -300,18 +305,27 @@ mod tests {
     #[test]
     fn shadow_pass_matches_host_occlusion_test() {
         let scene = scenes::conference(SceneScale::Tiny);
-        let light = raytrace::Vec3::new(0.0, 4.5, 0.0); // under the ceiling
+        // Low corner light opposite the camera: at Tiny scale the scene is
+        // sparse, and this position reliably leaves some rays occluded and
+        // some lit (16x16 rays keep the sample dense enough).
+        let light = raytrace::Vec3::new(13.0, 3.5, 8.0);
         for dynamic in [false, true] {
             let mut gpu = tiny_gpu(dynamic);
-            let setup = RenderSetup::upload(&mut gpu, &scene, 8, 8);
+            let setup = RenderSetup::upload(&mut gpu, &scene, 16, 16);
             if dynamic {
                 setup.launch_ukernel(&mut gpu, 8);
             } else {
                 setup.launch_traditional(&mut gpu, 8);
             }
-            assert_eq!(gpu.run(100_000_000).outcome, RunOutcome::Completed);
+            assert_eq!(
+                gpu.run(100_000_000).expect("fault-free run").outcome,
+                RunOutcome::Completed
+            );
             let dev2 = setup.launch_shadow_pass(&mut gpu, light, dynamic, 8);
-            assert_eq!(gpu.run(100_000_000).outcome, RunOutcome::Completed);
+            assert_eq!(
+                gpu.run(100_000_000).expect("fault-free run").outcome,
+                RunOutcome::Completed
+            );
             let device_shadow = dev2.read_results(gpu.mem());
 
             // Host oracle: trace the same shadow rays.

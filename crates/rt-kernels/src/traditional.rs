@@ -187,9 +187,16 @@ mod tests {
     fn assembles_with_expected_shape() {
         let p = program();
         assert_eq!(p.entry("main").unwrap().pc, 0);
-        assert!(p.spawn_sites().is_empty(), "traditional kernel never spawns");
+        assert!(
+            p.spawn_sites().is_empty(),
+            "traditional kernel never spawns"
+        );
         let r = p.resource_usage();
-        assert!(r.registers >= 20 && r.registers <= 40, "registers {}", r.registers);
+        assert!(
+            r.registers >= 20 && r.registers <= 40,
+            "registers {}",
+            r.registers
+        );
         assert_eq!(r.global_bytes, 424);
         assert_eq!(r.const_bytes, 28);
         assert_eq!(r.spawn_state_bytes, 0);
@@ -206,11 +213,16 @@ mod tests {
             .iter()
             .enumerate()
             .filter(|(pc, i)| match i.op {
-                simt_isa::Instr::Bra { target } => target <= *pc && (target == down || target == tri),
+                simt_isa::Instr::Bra { target } => {
+                    target <= *pc && (target == down || target == tri)
+                }
                 _ => false,
             })
             .count();
-        assert!(back_edges >= 3, "expected >= 3 loop back-edges, got {back_edges}");
+        assert!(
+            back_edges >= 3,
+            "expected >= 3 loop back-edges, got {back_edges}"
+        );
     }
 
     #[test]

@@ -240,7 +240,9 @@ mod tests {
             if tri.is_degenerate() {
                 continue;
             }
-            let Some(w) = WaldTriangle::new(&tri) else { continue };
+            let Some(w) = WaldTriangle::new(&tri) else {
+                continue;
+            };
             // Aim at the centroid from a random origin for a solid hit mix.
             let o = p(&mut rng) * 3.0;
             let d = if i % 2 == 0 {

@@ -1,5 +1,6 @@
 //! Machine configuration (paper Table I).
 
+use crate::fault::FaultPolicy;
 use dmk_core::DmkConfig;
 use serde::{Deserialize, Serialize};
 use simt_mem::MemConfig;
@@ -79,6 +80,14 @@ pub struct GpuConfig {
     pub spawn_policy: SpawnPolicy,
     /// Divergence-timeline window size in cycles (statistics granularity).
     pub divergence_window: u64,
+    /// What the chip does when a warp traps (illegal access, exhausted
+    /// spawn LUT, injected fault): abort the run with a typed error, or
+    /// kill the warp and keep going.
+    pub fault_policy: FaultPolicy,
+    /// Watchdog threshold: if no thread retires, spawns, or is killed for
+    /// this many consecutive cycles while work remains, the run stops with
+    /// [`crate::RunOutcome::Deadlock`] and per-SM diagnostics.
+    pub watchdog_cycles: u64,
 }
 
 impl GpuConfig {
@@ -100,6 +109,8 @@ impl GpuConfig {
             dmk: None,
             spawn_policy: SpawnPolicy::Always,
             divergence_window: 25_000,
+            fault_policy: FaultPolicy::Abort,
+            watchdog_cycles: 2_000_000,
         }
     }
 
@@ -139,6 +150,8 @@ impl GpuConfig {
             dmk: None,
             spawn_policy: SpawnPolicy::Always,
             divergence_window: 1_000,
+            fault_policy: FaultPolicy::Abort,
+            watchdog_cycles: 2_000_000,
         }
     }
 
@@ -159,10 +172,20 @@ impl GpuConfig {
     /// Panics when the warp size exceeds 64 lanes (mask width), is zero, or
     /// the DMK warp size disagrees with the machine warp size.
     pub fn validate(&self) {
-        assert!(self.warp_size > 0 && self.warp_size <= 64, "warp size must be 1..=64");
+        assert!(
+            self.warp_size > 0 && self.warp_size <= 64,
+            "warp size must be 1..=64"
+        );
         assert!(self.num_sms > 0, "need at least one SM");
+        assert!(
+            self.watchdog_cycles > 0,
+            "watchdog threshold must be positive"
+        );
         if let Some(d) = &self.dmk {
-            assert_eq!(d.warp_size, self.warp_size, "DMK warp size must match machine");
+            assert_eq!(
+                d.warp_size, self.warp_size,
+                "DMK warp size must match machine"
+            );
             assert_eq!(
                 d.threads_per_sm, self.max_threads_per_sm,
                 "DMK thread capacity must match machine"

@@ -1,6 +1,9 @@
 //! The whole chip: SM array, launch dispatcher, and the cycle loop.
 
 use crate::config::{GpuConfig, SchedulingModel};
+use crate::fault::{
+    DeadlockDiagnostics, Fault, FaultPolicy, InjectedFault, Injector, LaunchError, SimError,
+};
 use crate::sm::{ExecCtx, Sm};
 use crate::stats::SimStats;
 use dmk_core::DmkStats;
@@ -22,13 +25,19 @@ pub struct Launch {
 }
 
 /// Why a run stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunOutcome {
     /// Every thread retired and no spawned work remains.
     Completed,
     /// The cycle budget was exhausted first (the paper simulates only the
     /// first 300k cycles).
     CycleLimit,
+    /// The watchdog fired: work remained but nothing made forward progress
+    /// for [`GpuConfig::watchdog_cycles`] consecutive cycles.
+    Deadlock {
+        /// Per-SM warp states at the moment the watchdog fired.
+        diagnostics: DeadlockDiagnostics,
+    },
 }
 
 /// Result of a run.
@@ -42,6 +51,9 @@ pub struct RunSummary {
     pub traffic: TrafficStats,
     /// Aggregated dynamic μ-kernel statistics (zeroed when disabled).
     pub dmk: DmkStats,
+    /// Every warp trap recorded so far (cumulative across sequential
+    /// launches; empty on a fault-free run).
+    pub faults: Vec<Fault>,
 }
 
 #[derive(Debug)]
@@ -73,6 +85,8 @@ pub struct Gpu {
     stats: SimStats,
     now: u64,
     rr_sm: usize,
+    injector: Option<Injector>,
+    faults: Vec<Fault>,
 }
 
 impl Gpu {
@@ -95,7 +109,20 @@ impl Gpu {
             stats,
             now: 0,
             rr_sm: 0,
+            injector: None,
+            faults: Vec::new(),
         }
+    }
+
+    /// Installs a deterministic fault injector (testing hook). Replaces
+    /// any previously installed injector.
+    pub fn set_injector(&mut self, injector: Injector) {
+        self.injector = Some(injector);
+    }
+
+    /// Every warp trap recorded so far.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
     }
 
     /// The machine configuration.
@@ -135,31 +162,47 @@ impl Gpu {
     /// by a shadow-ray pass): a new launch may be registered once the
     /// previous one has fully drained.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the entry point does not exist, the block size is not a
-    /// positive multiple of the warp size, the previous launch has not
-    /// finished, or the program spawns but the machine has no μ-kernel
-    /// hardware.
-    pub fn launch(&mut self, launch: Launch) {
+    /// Rejects the launch — without touching machine state — when the
+    /// previous launch has not drained, the launch has zero threads, the
+    /// block size is not a positive multiple of the warp size, the entry
+    /// point does not exist, the program spawns without μ-kernel hardware,
+    /// or it spawns more distinct μ-kernels than the LUT has lines.
+    pub fn launch(&mut self, launch: Launch) -> Result<(), LaunchError> {
         if self.launch.is_some() {
-            assert!(self.is_done(), "the previous launch is still active");
+            if !self.is_done() {
+                return Err(LaunchError::LaunchActive);
+            }
             self.launch = None;
         }
-        assert!(
-            launch.threads_per_block > 0 && launch.threads_per_block.is_multiple_of(self.cfg.warp_size),
-            "block size must be a positive multiple of the warp size"
-        );
+        if launch.num_threads == 0 {
+            return Err(LaunchError::NoThreads);
+        }
+        if launch.threads_per_block == 0
+            || !launch.threads_per_block.is_multiple_of(self.cfg.warp_size)
+        {
+            return Err(LaunchError::BadBlockSize {
+                threads_per_block: launch.threads_per_block,
+                warp_size: self.cfg.warp_size,
+            });
+        }
         let entry_pc = launch
             .program
             .entry(&launch.entry)
-            .unwrap_or_else(|| panic!("entry point `{}` not found", launch.entry))
+            .ok_or_else(|| LaunchError::UnknownEntry {
+                entry: launch.entry.clone(),
+            })?
             .pc;
         if !launch.program.spawn_sites().is_empty() {
-            assert!(
-                self.cfg.dmk.is_some(),
-                "program uses `spawn` but dynamic μ-kernel hardware is disabled"
-            );
+            let Some(dmk) = &self.cfg.dmk else {
+                return Err(LaunchError::SpawnHardwareMissing);
+            };
+            let targets = launch.program.spawn_targets().len();
+            let capacity = dmk.num_ukernels as usize;
+            if targets > capacity {
+                return Err(LaunchError::LutCapacityExceeded { targets, capacity });
+            }
         }
         let rtab = ReconvergenceTable::build(&launch.program);
         let res = launch.program.resource_usage();
@@ -186,13 +229,17 @@ impl Gpu {
             next_dynamic_tid: launch.num_threads,
             program: launch.program,
         });
+        Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn dispatch_for_sm(
         sm: &mut Sm,
         launch: &mut ActiveLaunch,
         cfg: &GpuConfig,
         stats: &mut SimStats,
+        injector: Option<&Injector>,
+        now: u64,
     ) {
         let ctx = ExecCtx {
             program: &launch.program,
@@ -203,6 +250,14 @@ impl Gpu {
         // 1. Dynamic warps have scheduling priority (§IV-D).
         sm.drain_dynamic(&mut launch.next_dynamic_tid, &ctx);
 
+        // Injected state-slot exhaustion: pretend the spawn-memory state
+        // records are all taken, starving launch admission this cycle
+        // (first-class back-pressure: blocks simply wait).
+        if injector.is_some_and(|i| i.fires(InjectedFault::StateSlotsExhausted, now)) {
+            stats.injected_events += 1;
+            return;
+        }
+
         // 2. Launch-time work.
         match cfg.scheduling {
             SchedulingModel::Block => {
@@ -211,7 +266,9 @@ impl Gpu {
                     if !sm.fits_block(block_threads, launch.regs_per_thread, true) {
                         break;
                     }
-                    let mut block = launch.blocks.pop_front().expect("front exists");
+                    let Some(mut block) = launch.blocks.pop_front() else {
+                        break;
+                    };
                     while block.next_tid < block.end_tid {
                         let n = cfg.warp_size.min(block.end_tid - block.next_tid);
                         let tids: Vec<u32> = (block.next_tid..block.next_tid + n).collect();
@@ -253,7 +310,9 @@ impl Gpu {
 
     /// Whether all work has drained.
     fn is_done(&mut self) -> bool {
-        let Some(launch) = &self.launch else { return true };
+        let Some(launch) = &self.launch else {
+            return true;
+        };
         if !launch.blocks.is_empty() {
             return false;
         }
@@ -270,31 +329,64 @@ impl Gpu {
         true
     }
 
+    /// A monotone counter that advances whenever the machine makes forward
+    /// progress in the thread-retirement sense (used by the watchdog).
+    fn progress_count(stats: &SimStats) -> u64 {
+        stats.threads_retired + stats.threads_spawned + stats.threads_killed
+    }
+
+    /// Snapshot of every SM for the watchdog's deadlock report.
+    fn deadlock_diagnostics(&mut self) -> DeadlockDiagnostics {
+        DeadlockDiagnostics {
+            cycle: self.now,
+            watchdog_cycles: self.cfg.watchdog_cycles,
+            pending_blocks: self.launch.as_ref().map_or(0, |l| l.blocks.len()),
+            sms: self.sms.iter_mut().map(Sm::snapshot).collect(),
+        }
+    }
+
     /// Runs until completion or for at most `max_cycles` cycles.
     ///
-    /// # Panics
+    /// A warp trap is handled per [`GpuConfig::fault_policy`]: under
+    /// [`FaultPolicy::KillWarp`] the faulting warp is discarded (recorded
+    /// in [`SimStats`] and [`RunSummary::faults`]) and the run continues.
+    /// If no forward progress is made for [`GpuConfig::watchdog_cycles`]
+    /// consecutive cycles while work remains, the run stops with
+    /// [`RunOutcome::Deadlock`] carrying per-SM diagnostics.
     ///
-    /// Panics if the machine deadlocks (no forward progress for a long
-    /// stretch while work remains) — a simulator self-check.
-    pub fn run(&mut self, max_cycles: u64) -> RunSummary {
+    /// # Errors
+    ///
+    /// Under [`FaultPolicy::Abort`], the first warp trap stops the
+    /// simulation with [`SimError::Fault`]. The machine state is left at
+    /// the faulting cycle for inspection.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
         let start = self.now;
         let mut last_progress = self.now;
-        let mut last_retired = self.stats.threads_retired;
-        let mut outcome = RunOutcome::Completed;
-        loop {
+        let mut last_count = Self::progress_count(&self.stats);
+        let outcome = loop {
             if self.is_done() {
-                break;
+                break RunOutcome::Completed;
             }
             if self.now - start >= max_cycles {
-                outcome = RunOutcome::CycleLimit;
-                break;
+                break RunOutcome::CycleLimit;
             }
-            let mut launch = self.launch.take().expect("active launch");
+            // is_done() returned false above, so a launch is active.
+            let Some(mut launch) = self.launch.take() else {
+                break RunOutcome::Completed;
+            };
+            let injector = self.injector.as_ref();
             // Rotate dispatch priority so SM 0 is not structurally favored.
             let n = self.sms.len();
             for k in 0..n {
                 let i = (self.rr_sm + k) % n;
-                Self::dispatch_for_sm(&mut self.sms[i], &mut launch, &self.cfg, &mut self.stats);
+                Self::dispatch_for_sm(
+                    &mut self.sms[i],
+                    &mut launch,
+                    &self.cfg,
+                    &mut self.stats,
+                    injector,
+                    self.now,
+                );
             }
             let ctx = ExecCtx {
                 program: &launch.program,
@@ -302,25 +394,45 @@ impl Gpu {
                 regs_per_thread: launch.regs_per_thread,
                 ntid: launch.ntid,
             };
+            let mut abort: Option<Fault> = None;
             for sm in &mut self.sms {
-                sm.step(self.now, &ctx, &mut self.mem, &mut self.stats);
+                match sm.step(self.now, &ctx, &mut self.mem, &mut self.stats, injector) {
+                    Ok(_) => {}
+                    Err(fault) => {
+                        self.stats.faults += 1;
+                        self.faults.push(fault.clone());
+                        match self.cfg.fault_policy {
+                            FaultPolicy::Abort => abort = Some(fault),
+                            FaultPolicy::KillWarp => sm.kill_warp(fault.warp, &mut self.stats),
+                        }
+                    }
+                }
                 sm.reap_finished(&ctx);
+                if abort.is_some() {
+                    break;
+                }
             }
             self.launch = Some(launch);
+            if let Some(fault) = abort {
+                self.stats.cycles = self.now;
+                return Err(SimError::Fault(fault));
+            }
             self.rr_sm = (self.rr_sm + 1) % n.max(1);
             self.now += 1;
             self.stats.cycles = self.now;
 
-            if self.stats.threads_retired != last_retired {
-                last_retired = self.stats.threads_retired;
+            let count = Self::progress_count(&self.stats);
+            if count != last_count {
+                last_count = count;
                 last_progress = self.now;
             }
-            assert!(
-                self.now - last_progress < 2_000_000,
-                "simulator deadlock: no thread retired for 2M cycles at cycle {}",
-                self.now
-            );
-        }
+            if self.now - last_progress >= self.cfg.watchdog_cycles {
+                self.stats.watchdog_deadlocks += 1;
+                break RunOutcome::Deadlock {
+                    diagnostics: self.deadlock_diagnostics(),
+                };
+            }
+        };
         self.stats.cycles = self.now;
         let mut dmk = DmkStats::default();
         for sm in &self.sms {
@@ -336,12 +448,13 @@ impl Gpu {
                 dmk.spawn_stalls += s.spawn_stalls;
             }
         }
-        RunSummary {
+        Ok(RunSummary {
             outcome,
             stats: self.stats.clone(),
             traffic: self.mem.traffic().clone(),
             dmk,
-        }
+            faults: self.faults.clone(),
+        })
     }
 }
 
@@ -382,8 +495,9 @@ mod tests {
             entry: "main".into(),
             num_threads: threads,
             threads_per_block: 8,
-        });
-        let summary = gpu.run(1_000_000);
+        })
+        .expect("launch accepted");
+        let summary = gpu.run(1_000_000).expect("fault-free");
         (gpu, summary)
     }
 
@@ -395,7 +509,10 @@ mod tests {
         assert_eq!(summary.stats.threads_retired, 64);
         assert_eq!(summary.stats.lineages_completed, 64);
         for tid in 0..64u32 {
-            assert_eq!(gpu.mem().read_u32(simt_isa::Space::Global, tid * 4), tid * 2);
+            assert_eq!(
+                gpu.mem().read_u32(simt_isa::Space::Global, tid * 4),
+                tid * 2
+            );
         }
     }
 
@@ -435,8 +552,9 @@ mod tests {
             entry: "main".into(),
             num_threads: 32,
             threads_per_block: 8,
-        });
-        let summary = gpu.run(1_000_000);
+        })
+        .expect("launch accepted");
+        let summary = gpu.run(1_000_000).expect("fault-free");
         assert_eq!(summary.outcome, RunOutcome::Completed);
         for tid in 0..32u32 {
             assert_eq!(
@@ -489,8 +607,9 @@ mod tests {
             entry: "main".into(),
             num_threads: 64,
             threads_per_block: 8,
-        });
-        let summary = gpu.run(2_000_000);
+        })
+        .expect("launch accepted");
+        let summary = gpu.run(2_000_000).expect("fault-free");
         assert_eq!(summary.outcome, RunOutcome::Completed);
         for tid in 0..64u32 {
             assert_eq!(
@@ -521,15 +640,13 @@ mod tests {
         "#;
         let program = assemble_named("bad", src).unwrap();
         let mut gpu = Gpu::new(GpuConfig::tiny());
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            gpu.launch(Launch {
-                program,
-                entry: "main".into(),
-                num_threads: 4,
-                threads_per_block: 4,
-            });
-        }));
-        assert!(result.is_err());
+        let result = gpu.launch(Launch {
+            program,
+            entry: "main".into(),
+            num_threads: 4,
+            threads_per_block: 4,
+        });
+        assert_eq!(result, Err(crate::fault::LaunchError::SpawnHardwareMissing));
     }
 
     #[test]
@@ -543,8 +660,9 @@ mod tests {
                 entry: "main".into(),
                 num_threads: 1024,
                 threads_per_block: 8,
-            });
-            let s = gpu.run(10);
+            })
+            .expect("launch accepted");
+            let s = gpu.run(10).expect("fault-free");
             (gpu, s)
         };
         assert_eq!(summary.outcome, RunOutcome::CycleLimit);
@@ -579,8 +697,9 @@ mod tests {
                 entry: "main".into(),
                 num_threads: 256,
                 threads_per_block: 8,
-            });
-            gpu.run(10_000_000)
+            })
+            .expect("launch accepted");
+            gpu.run(10_000_000).expect("fault-free")
         };
         let slow = run(false);
         let fast = run(true);

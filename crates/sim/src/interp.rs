@@ -26,16 +26,29 @@ pub enum InterpError {
         /// The budget that was exceeded.
         budget: u64,
     },
+    /// An illegal memory access (the functional analogue of a warp trap).
+    Memory {
+        /// PC of the faulting instruction.
+        pc: usize,
+        /// The underlying memory fault.
+        fault: simt_mem::MemFault,
+    },
 }
 
 impl fmt::Display for InterpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InterpError::SpawnUnsupported { pc } => {
-                write!(f, "spawn at pc {pc} is not supported by the functional interpreter")
+                write!(
+                    f,
+                    "spawn at pc {pc} is not supported by the functional interpreter"
+                )
             }
             InterpError::Runaway { budget } => {
                 write!(f, "thread exceeded the {budget}-instruction budget")
+            }
+            InterpError::Memory { pc, fault } => {
+                write!(f, "memory fault at pc {pc}: {fault}")
             }
         }
     }
@@ -98,7 +111,9 @@ impl<'a> ThreadInterp<'a> {
         let mut res = InterpResult::default();
         loop {
             if res.instructions >= self.budget {
-                return Err(InterpError::Runaway { budget: self.budget });
+                return Err(InterpError::Runaway {
+                    budget: self.budget,
+                });
             }
             let instr = self.program.fetch(pc);
             res.instructions += 1;
@@ -123,7 +138,11 @@ impl<'a> ThreadInterp<'a> {
                 }
                 Instr::Selp { d, a, b, p } => {
                     if pass {
-                        let v = if t.pred(p) { t.operand(a) } else { t.operand(b) };
+                        let v = if t.pred(p) {
+                            t.operand(a)
+                        } else {
+                            t.operand(b)
+                        };
                         t.set_reg(d, v);
                     }
                     pc += 1;
@@ -153,11 +172,15 @@ impl<'a> ThreadInterp<'a> {
                         let base = t.reg(addr).wrapping_add(offset as u32);
                         for i in 0..width.regs() as u32 {
                             let a = base + 4 * i;
+                            let trap = |fault| InterpError::Memory { pc, fault };
                             let v = match space {
-                                Space::Global | Space::Const => mem.read_u32(space, a),
-                                Space::Local => mem.read_local(tid, a),
+                                Space::Global | Space::Const => {
+                                    mem.try_read_u32(space, a).map_err(trap)?
+                                }
+                                Space::Local => mem.try_read_local(tid, a).map_err(trap)?,
                                 Space::Shared | Space::Spawn => {
-                                    self.shared_scratch[(a as usize / 4) % self.shared_scratch.len()]
+                                    self.shared_scratch
+                                        [(a as usize / 4) % self.shared_scratch.len()]
                                 }
                             };
                             t.set_reg(Reg(d.0 + i as u8), v);
@@ -179,10 +202,12 @@ impl<'a> ThreadInterp<'a> {
                         for i in 0..width.regs() as u32 {
                             let ad = base + 4 * i;
                             let v = t.reg(Reg(a.0 + i as u8));
+                            let trap = |fault| InterpError::Memory { pc, fault };
                             match space {
-                                Space::Global => mem.write_u32(space, ad, v),
-                                Space::Const => panic!("store to constant memory"),
-                                Space::Local => mem.write_local(tid, ad, v),
+                                Space::Global | Space::Const => {
+                                    mem.try_write_u32(space, ad, v).map_err(trap)?
+                                }
+                                Space::Local => mem.try_write_local(tid, ad, v).map_err(trap)?,
                                 Space::Shared | Space::Spawn => {
                                     let n = self.shared_scratch.len();
                                     self.shared_scratch[(ad as usize / 4) % n] = v;

@@ -49,17 +49,30 @@
 //!     entry: "main".into(),
 //!     num_threads: 16,
 //!     threads_per_block: 8,
-//! });
-//! let summary = gpu.run(1_000_000);
+//! }).expect("a well-formed launch");
+//! let summary = gpu.run(1_000_000).expect("fault-free program");
 //! assert_eq!(summary.outcome, RunOutcome::Completed);
 //! assert_eq!(gpu.mem().read_u32(simt_isa::Space::Global, 12), 3);
 //! # Ok::<(), simt_isa::AsmError>(())
 //! ```
+//!
+//! ## Fault model
+//!
+//! [`Gpu::launch`] rejects malformed launches with a typed
+//! [`LaunchError`]; runtime misbehaviour (illegal memory accesses,
+//! spawning without μ-kernel hardware, an exhausted spawn LUT) raises a
+//! typed [`Fault`] handled per [`FaultPolicy`] — abort with a
+//! [`SimError`], or kill the faulting warp and keep rendering. A watchdog
+//! turns livelocks into [`RunOutcome::Deadlock`] with per-SM diagnostics,
+//! and the deterministic [`Injector`] can force back-pressure and trap
+//! events at chosen cycles to test the recovery paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod config;
+mod fault;
 mod gpu;
 mod interp;
 mod mimd;
@@ -69,6 +82,10 @@ mod thread;
 mod warp;
 
 pub use config::{GpuConfig, SchedulingModel, SpawnPolicy};
+pub use fault::{
+    DeadlockDiagnostics, Fault, FaultKind, FaultPolicy, InjectedFault, Injector, LaunchError,
+    SimError, SmSnapshot, WarpSnapshot,
+};
 pub use gpu::{Gpu, Launch, RunOutcome, RunSummary};
 pub use interp::{interpret_thread, InterpError, InterpResult, ThreadInterp};
 pub use mimd::{mimd_theoretical, MimdReport};

@@ -2,12 +2,13 @@
 //! the spawn datapath, and per-SM resource accounting.
 
 use crate::config::{GpuConfig, SpawnPolicy};
+use crate::fault::{Fault, FaultKind, InjectedFault, Injector, SmSnapshot, WarpSnapshot};
 use crate::stats::SimStats;
 use crate::thread::ThreadCtx;
 use crate::warp::Warp;
 use dmk_core::{CompletedWarp, SpawnError, SpawnMemoryLayout, WarpFormation};
 use simt_isa::{Instr, Program, ReconvergenceTable, Space, Width};
-use simt_mem::{MemorySystem, OnChipMemory, ReadOnlyCache, WarpAccess};
+use simt_mem::{MemFault, MemorySystem, OnChipMemory, ReadOnlyCache, WarpAccess};
 use std::collections::HashMap;
 
 /// Execution context shared by all SMs for the current launch.
@@ -90,7 +91,11 @@ impl Sm {
             blocks: HashMap::new(),
             free_state_slots,
             tex: (cfg.mem.tex_cache_bytes > 0).then(|| {
-                ReadOnlyCache::new(cfg.mem.tex_cache_bytes, cfg.mem.tex_line_bytes, cfg.mem.tex_ways)
+                ReadOnlyCache::new(
+                    cfg.mem.tex_cache_bytes,
+                    cfg.mem.tex_line_bytes,
+                    cfg.mem.tex_ways,
+                )
             }),
             tex_hit_latency: cfg.mem.tex_hit_latency,
             spawn_policy: cfg.spawn_policy,
@@ -132,7 +137,9 @@ impl Sm {
         if self.regs_used + threads * regs_per_thread > self.max_regs {
             return false;
         }
-        if needs_state_slots && self.formation.is_some() && (self.free_state_slots.len() as u32) < threads
+        if needs_state_slots
+            && self.formation.is_some()
+            && (self.free_state_slots.len() as u32) < threads
         {
             return false;
         }
@@ -140,7 +147,12 @@ impl Sm {
     }
 
     /// Whether a whole block of `block_threads` fits (block scheduling).
-    pub fn fits_block(&self, block_threads: u32, regs_per_thread: u32, needs_state_slots: bool) -> bool {
+    pub fn fits_block(
+        &self,
+        block_threads: u32,
+        regs_per_thread: u32,
+        needs_state_slots: bool,
+    ) -> bool {
         if self.blocks.len() as u32 >= self.max_blocks {
             return false;
         }
@@ -165,6 +177,8 @@ impl Sm {
     /// # Panics
     ///
     /// Panics if resources were not checked first.
+    // Expects are backed by the fits_warp assertion at function entry.
+    #[allow(clippy::expect_used)]
     pub(crate) fn admit_launch_warp(
         &mut self,
         tids: &[u32],
@@ -211,6 +225,8 @@ impl Sm {
     /// # Panics
     ///
     /// Panics if resources were not checked first or DMK is disabled.
+    // Expects are backed by the fits_warp assertion and the DMK-only call sites.
+    #[allow(clippy::expect_used)]
     pub(crate) fn admit_dynamic_warp(
         &mut self,
         cw: CompletedWarp,
@@ -241,6 +257,8 @@ impl Sm {
 
     /// Pops finished warps, releasing their resources. Returns the number
     /// of warps retired.
+    // Block bookkeeping is kept in lockstep with warp admission.
+    #[allow(clippy::expect_used)]
     pub(crate) fn reap_finished(&mut self, ctx: &ExecCtx<'_>) -> usize {
         let mut reaped = 0;
         let mut i = 0;
@@ -283,13 +301,17 @@ impl Sm {
     /// priority over launch work (paper §IV-D). Returns warps admitted.
     pub(crate) fn drain_dynamic(&mut self, next_tid: &mut u32, ctx: &ExecCtx<'_>) -> usize {
         let mut admitted = 0;
-        loop {
-            let Some(f) = self.formation.as_mut() else { break };
-            let Some(&cw) = f.peek_ready() else { break };
+        while let Some(cw) = self
+            .formation
+            .as_ref()
+            .and_then(|f| f.peek_ready().copied())
+        {
             if !self.fits_warp(cw.count, ctx.regs_per_thread, false) {
                 break;
             }
-            let cw = self.formation.as_mut().expect("checked").pop_ready().expect("peeked");
+            if let Some(f) = self.formation.as_mut() {
+                f.pop_ready();
+            }
             self.admit_dynamic_warp(cw, next_tid, ctx);
             admitted += 1;
         }
@@ -301,52 +323,53 @@ impl Sm {
     pub(crate) fn force_out_partials(&mut self, next_tid: &mut u32, ctx: &ExecCtx<'_>) -> usize {
         let mut admitted = 0;
         loop {
-            let Some(f) = self.formation.as_mut() else { break };
-            if f.partial_threads() == 0 {
-                break;
-            }
             // Peek the candidate size via the LUT before committing.
-            let count = f
-                .lut()
-                .partial_lines()
-                .first()
-                .map(|l| l.count)
-                .unwrap_or(0);
+            let count = self.formation.as_ref().map_or(0, |f| {
+                if f.partial_threads() == 0 {
+                    0
+                } else {
+                    f.lut().partial_lines().first().map_or(0, |l| l.count)
+                }
+            });
             if count == 0 || !self.fits_warp(count, ctx.regs_per_thread, false) {
                 break;
             }
-            let cw = self
+            let Some(cw) = self
                 .formation
                 .as_mut()
-                .expect("checked")
-                .force_out_partial()
-                .expect("partials present");
+                .and_then(WarpFormation::force_out_partial)
+            else {
+                break;
+            };
             self.admit_dynamic_warp(cw, next_tid, ctx);
             admitted += 1;
         }
         admitted
     }
 
-    /// Issues at most one warp-instruction. Returns `true` if something
-    /// issued (or productively stalled), `false` on an idle cycle.
+    /// Issues at most one warp-instruction. Returns `Ok(true)` if something
+    /// issued (or productively stalled), `Ok(false)` on an idle cycle, and
+    /// `Err` when the issuing warp trapped (the caller applies the
+    /// configured [`crate::FaultPolicy`]).
     pub(crate) fn step(
         &mut self,
         now: u64,
         ctx: &ExecCtx<'_>,
         mem: &mut MemorySystem,
         stats: &mut SimStats,
-    ) -> bool {
+        injector: Option<&Injector>,
+    ) -> Result<bool, Fault> {
         if now < self.issue_blocked_until {
             // Issue port consumed by bank-conflict replays.
             stats.idle_sm_cycles += 1;
             stats.divergence.record_idle(now);
-            return false;
+            return Ok(false);
         }
         let n = self.warps.len();
         if n == 0 {
             stats.idle_sm_cycles += 1;
             stats.divergence.record_idle(now);
-            return false;
+            return Ok(false);
         }
         for k in 0..n {
             let idx = (self.rr + k) % n;
@@ -357,15 +380,95 @@ impl Sm {
                 continue;
             };
             self.rr = (idx + 1) % n;
-            self.exec_warp_instruction(idx, entry.pc, entry.mask, now, ctx, mem, stats);
-            return true;
+            if let Some(inj) = injector {
+                if inj.fires(InjectedFault::Trap, now) {
+                    stats.injected_events += 1;
+                    return Err(self.fault(FaultKind::Injected, idx, entry.pc, now));
+                }
+            }
+            self.exec_warp_instruction(idx, entry.pc, entry.mask, now, ctx, mem, stats, injector)?;
+            return Ok(true);
         }
         stats.idle_sm_cycles += 1;
         stats.divergence.record_idle(now);
-        false
+        Ok(false)
+    }
+
+    /// Builds a trap record for warp slot `widx`.
+    fn fault(&self, kind: FaultKind, widx: usize, pc: usize, now: u64) -> Fault {
+        Fault {
+            kind,
+            sm: self.id,
+            warp: self.warps[widx].id,
+            pc,
+            cycle: now,
+        }
+    }
+
+    /// Kills warp `warp_id` after a trap under
+    /// [`crate::FaultPolicy::KillWarp`]: its live lanes are discarded
+    /// (counted as killed, not retired) and their spawn-memory state
+    /// records recycled. The emptied warp is released by the next
+    /// [`Sm::reap_finished`] like any finished warp.
+    pub(crate) fn kill_warp(&mut self, warp_id: usize, stats: &mut SimStats) {
+        let Some(widx) = self.warps.iter().position(|w| w.id == warp_id) else {
+            return;
+        };
+        let mut mask = 0u64;
+        for lane in 0..self.warp_size as usize {
+            let slot = {
+                let Some(t) = self.warps[widx].lanes[lane].as_mut() else {
+                    continue;
+                };
+                if t.exited {
+                    continue;
+                }
+                mask |= 1 << lane;
+                // A lane that already spawned a child has handed its state
+                // record to that lineage; only childless lanes give the
+                // slot back here.
+                if t.spawned_child {
+                    None
+                } else {
+                    t.state_slot.take()
+                }
+            };
+            if let Some(s) = slot {
+                self.free_state_slots.push(s);
+            }
+        }
+        stats.warps_killed += 1;
+        stats.threads_killed += u64::from(mask.count_ones());
+        self.warps[widx].exit_lanes(mask);
+    }
+
+    /// Snapshot of this SM's warp state for deadlock diagnostics.
+    pub(crate) fn snapshot(&mut self) -> SmSnapshot {
+        let sm = self.id;
+        let free_state_slots = self.free_state_slots.len();
+        let fifo_depth = self.formation.as_ref().map_or(0, |f| f.fifo_len());
+        let warps = self
+            .warps
+            .iter_mut()
+            .map(|w| WarpSnapshot {
+                warp: w.id,
+                pc: w.current().map(|e| e.pc),
+                live_lanes: w.active_lanes(),
+                ready_at: w.ready_at,
+                is_dynamic: w.is_dynamic,
+            })
+            .collect();
+        SmSnapshot {
+            sm,
+            warps,
+            free_state_slots,
+            fifo_depth,
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
+    // Lane expects are backed by the entry mask: only populated lanes are active.
+    #[allow(clippy::expect_used)]
     fn exec_warp_instruction(
         &mut self,
         widx: usize,
@@ -375,7 +478,8 @@ impl Sm {
         ctx: &ExecCtx<'_>,
         mem: &mut MemorySystem,
         stats: &mut SimStats,
-    ) {
+        injector: Option<&Injector>,
+    ) -> Result<(), Fault> {
         let instr = *ctx.program.fetch(pc);
         // Guard-pass mask over the PDOM-active lanes.
         let mut pass = 0u64;
@@ -385,7 +489,9 @@ impl Sm {
                 if mask & (1 << lane) == 0 {
                     continue;
                 }
-                let Some(t) = w.lanes[lane].as_ref() else { continue };
+                let Some(t) = w.lanes[lane].as_ref() else {
+                    continue;
+                };
                 let ok = match instr.guard {
                     None => true,
                     Some(g) => t.pred(g.pred) != g.negate,
@@ -448,16 +554,28 @@ impl Sm {
                         stats.spawn_elisions += 1;
                         self.commit(widx, pc, mask, now, now + 1, stats);
                         self.warps[widx].set_pc(target);
-                        return;
+                        return Ok(());
                     }
                     // No scratch block available: fall through to a real
                     // spawn, which applies its own back-pressure.
                 }
             }
             let n_active = pass.count_ones();
-            let outcome = match self.formation.as_mut() {
-                Some(f) => f.spawn(target, n_active),
-                None => panic!("spawn executed on a machine without dynamic μ-kernel hardware"),
+            // Injected back-pressure: the FIFO or formation area reports
+            // full even though it is not, exercising the stall-and-retry
+            // recovery path.
+            let injected_stall = injector.is_some_and(|i| {
+                i.fires(InjectedFault::SpawnFifoFull, now)
+                    || i.fires(InjectedFault::FormationFull, now)
+            });
+            let outcome = if injected_stall {
+                stats.injected_events += 1;
+                Err(SpawnError::FifoFull)
+            } else {
+                match self.formation.as_mut() {
+                    Some(f) => f.spawn(target, n_active),
+                    None => return Err(self.fault(FaultKind::SpawnUnsupported, widx, pc, now)),
+                }
             };
             match outcome {
                 Ok(out) => {
@@ -491,15 +609,26 @@ impl Sm {
                     self.warps[widx].set_pc(pc + 1);
                 }
                 Err(SpawnError::LutFull) => {
-                    panic!("program uses more μ-kernels than the spawn LUT supports")
+                    // Permanent: no LUT line will ever free up for this
+                    // target while the program keeps all lines occupied.
+                    let capacity = self.formation.as_ref().map_or(0, |f| f.lut().capacity());
+                    return Err(self.fault(
+                        FaultKind::LutExhausted {
+                            target_pc: target,
+                            capacity,
+                        },
+                        widx,
+                        pc,
+                        now,
+                    ));
                 }
-                Err(_) => {
+                Err(SpawnError::FormationFull) | Err(SpawnError::FifoFull) => {
                     // Transient back-pressure: retry shortly, no commit.
                     stats.spawn_stall_cycles += 1;
                     self.warps[widx].ready_at = now + 4;
                 }
             }
-            return;
+            return Ok(());
         }
 
         match instr.op {
@@ -532,7 +661,11 @@ impl Sm {
             }
             Instr::Selp { d, a, b, p } => {
                 self.for_each_pass_lane(widx, pass, |t| {
-                    let v = if t.pred(p) { t.operand(a) } else { t.operand(b) };
+                    let v = if t.pred(p) {
+                        t.operand(a)
+                    } else {
+                        t.operand(b)
+                    };
                     t.set_reg(d, v);
                 });
                 self.commit(widx, pc, mask, now, now + 1, stats);
@@ -571,7 +704,9 @@ impl Sm {
                 offset,
                 width,
             } => {
-                let ready = self.exec_memory(widx, pass, space, d, addr, offset, width, false, now, mem);
+                let ready = self
+                    .exec_memory(widx, pass, space, d, addr, offset, width, false, now, mem)
+                    .map_err(|m| self.fault(FaultKind::Memory(m), widx, pc, now))?;
                 self.commit(widx, pc, mask, now, ready, stats);
                 self.warps[widx].set_pc(pc + 1);
             }
@@ -585,7 +720,8 @@ impl Sm {
                 // Stores are fire-and-forget: bandwidth/queueing is charged
                 // by the timing model, but the warp does not wait for the
                 // write to land.
-                let _ = self.exec_memory(widx, pass, space, a, addr, offset, width, true, now, mem);
+                self.exec_memory(widx, pass, space, a, addr, offset, width, true, now, mem)
+                    .map_err(|m| self.fault(FaultKind::Memory(m), widx, pc, now))?;
                 self.commit(widx, pc, mask, now, now + 1, stats);
                 self.warps[widx].set_pc(pc + 1);
             }
@@ -611,10 +747,13 @@ impl Sm {
             }
             Instr::Spawn { .. } => unreachable!("handled above"),
         }
+        Ok(())
     }
 
     /// Marks lanes retired, updating lineage accounting and recycling
     /// spawn-memory state slots.
+    // Lane expects are backed by the caller passing live-lane masks only.
+    #[allow(clippy::expect_used)]
     fn retire_lanes(&mut self, widx: usize, lanes: u64, stats: &mut SimStats) {
         for lane in 0..self.warp_size as usize {
             if lanes & (1 << lane) == 0 {
@@ -632,7 +771,13 @@ impl Sm {
         self.warps[widx].exit_lanes(lanes);
     }
 
+    /// Performs the functional transfers for one warp memory instruction
+    /// and charges the timing model. Returns the data-ready cycle, or the
+    /// memory fault the first offending lane trapped on (lanes already
+    /// processed keep their effects, like a hardware imprecise trap).
     #[allow(clippy::too_many_arguments)]
+    // Lane expects are backed by the caller passing live-lane masks only.
+    #[allow(clippy::expect_used)]
     fn exec_memory(
         &mut self,
         widx: usize,
@@ -645,7 +790,7 @@ impl Sm {
         is_store: bool,
         now: u64,
         mem: &mut MemorySystem,
-    ) -> u64 {
+    ) -> Result<u64, MemFault> {
         let nwords = width.regs() as u32;
         let mut addresses: Vec<u32> = Vec::with_capacity(pass.count_ones() as usize);
         for lane in 0..self.warp_size as usize {
@@ -661,24 +806,40 @@ impl Sm {
             for i in 0..nwords {
                 let a = base + 4 * i;
                 let r = simt_isa::Reg(reg.0 + i as u8);
+                // On-chip spaces wrap modulo capacity like the banked
+                // hardware, but misalignment is still a trap, and a
+                // spawn-space access without μ-kernel hardware has no
+                // backing at all.
+                if space.is_on_chip() {
+                    if a % 4 != 0 {
+                        return Err(MemFault::Misaligned { space, addr: a });
+                    }
+                    if space == Space::Spawn && self.spawn_mem.is_none() {
+                        return Err(MemFault::Unmapped { space });
+                    }
+                }
                 if is_store {
-                    let v = self.warps[widx].lanes[lane].as_ref().expect("populated").reg(r);
+                    let v = self.warps[widx].lanes[lane]
+                        .as_ref()
+                        .expect("populated")
+                        .reg(r);
                     match space {
-                        Space::Global => mem.write_u32(Space::Global, a, v),
-                        Space::Const => panic!("store to constant memory"),
-                        Space::Local => mem.write_local(tid, a, v),
+                        Space::Global | Space::Const => mem.try_write_u32(space, a, v)?,
+                        Space::Local => mem.try_write_local(tid, a, v)?,
                         Space::Shared => self.shared.write(a, v),
-                        Space::Spawn => self.spawn_mem.as_mut().expect("dmk enabled").write(a, v),
+                        Space::Spawn => self.spawn_mem.as_mut().expect("checked").write(a, v),
                     }
                 } else {
                     let v = match space {
-                        Space::Global => mem.read_u32(Space::Global, a),
-                        Space::Const => mem.read_u32(Space::Const, a),
-                        Space::Local => mem.read_local(tid, a),
+                        Space::Global | Space::Const => mem.try_read_u32(space, a)?,
+                        Space::Local => mem.try_read_local(tid, a)?,
                         Space::Shared => self.shared.read(a),
-                        Space::Spawn => self.spawn_mem.as_ref().expect("dmk enabled").read(a),
+                        Space::Spawn => self.spawn_mem.as_ref().expect("checked").read(a),
                     };
-                    self.warps[widx].lanes[lane].as_mut().expect("populated").set_reg(r, v);
+                    self.warps[widx].lanes[lane]
+                        .as_mut()
+                        .expect("populated")
+                        .set_reg(r, v);
                 }
             }
             // Timing address: local uses the per-thread physical mapping.
@@ -745,7 +906,7 @@ impl Sm {
                         },
                     ));
                 }
-                return ready;
+                return Ok(ready);
             }
         }
         let req = WarpAccess {
@@ -757,9 +918,9 @@ impl Sm {
         if space.is_on_chip() {
             let (ready, degree) = mem.access_onchip(now, &req, &mut self.lsu_free);
             self.block_issue_for_replays(now, degree);
-            ready
+            Ok(ready)
         } else {
-            mem.access(now, &req)
+            Ok(mem.access(now, &req))
         }
     }
 
@@ -772,18 +933,30 @@ impl Sm {
         }
     }
 
+    // Pass masks are subsets of the populated-lane mask.
+    #[allow(clippy::expect_used)]
     fn for_each_pass_lane(&mut self, widx: usize, pass: u64, mut f: impl FnMut(&mut ThreadCtx)) {
         for lane in 0..self.warp_size as usize {
             if pass & (1 << lane) == 0 {
                 continue;
             }
-            let t = self.warps[widx].lanes[lane].as_mut().expect("populated lane");
+            let t = self.warps[widx].lanes[lane]
+                .as_mut()
+                .expect("populated lane");
             f(t);
         }
     }
 
     /// Records statistics for one committed warp-instruction.
-    fn commit(&mut self, widx: usize, _pc: usize, mask: u64, now: u64, ready: u64, stats: &mut SimStats) {
+    fn commit(
+        &mut self,
+        widx: usize,
+        _pc: usize,
+        mask: u64,
+        now: u64,
+        ready: u64,
+        stats: &mut SimStats,
+    ) {
         let active = mask.count_ones();
         stats.warp_issues += 1;
         stats.thread_instructions += u64::from(active);

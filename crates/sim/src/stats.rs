@@ -39,7 +39,9 @@ impl DivergenceTimeline {
             return 0;
         }
         // Scale to the paper's 4-lane-wide buckets regardless of warp size.
-        let per_bucket = (self.warp_size as usize).div_ceil(OCCUPANCY_BUCKETS - 1).max(1);
+        let per_bucket = (self.warp_size as usize)
+            .div_ceil(OCCUPANCY_BUCKETS - 1)
+            .max(1);
         (((active_lanes as usize) - 1) / per_bucket + 1).min(OCCUPANCY_BUCKETS - 1)
     }
 
@@ -74,7 +76,9 @@ impl DivergenceTimeline {
 
     /// Bucket labels matching [`DivergenceTimeline::windows`] columns.
     pub fn labels(&self) -> Vec<String> {
-        let per_bucket = (self.warp_size as usize).div_ceil(OCCUPANCY_BUCKETS - 1).max(1);
+        let per_bucket = (self.warp_size as usize)
+            .div_ceil(OCCUPANCY_BUCKETS - 1)
+            .max(1);
         let mut v = vec!["idle".to_string()];
         for b in 1..OCCUPANCY_BUCKETS {
             let lo = (b - 1) * per_bucket + 1;
@@ -106,7 +110,9 @@ impl DivergenceTimeline {
 
     /// Average active lanes per *issue* over the whole run (idle excluded).
     pub fn mean_active_lanes(&self) -> f64 {
-        let per_bucket = (self.warp_size as usize).div_ceil(OCCUPANCY_BUCKETS - 1).max(1);
+        let per_bucket = (self.warp_size as usize)
+            .div_ceil(OCCUPANCY_BUCKETS - 1)
+            .max(1);
         let mut issues = 0u64;
         let mut weighted = 0f64;
         for w in &self.counts {
@@ -151,6 +157,18 @@ pub struct SimStats {
     pub spawn_stall_cycles: u64,
     /// Spawns elided into in-place branches (`SpawnPolicy::OnDivergence`).
     pub spawn_elisions: u64,
+    /// Runtime warp traps recorded (illegal accesses, exhausted spawn LUT,
+    /// injected faults) — under both fault policies.
+    pub faults: u64,
+    /// Warps killed under [`crate::FaultPolicy::KillWarp`].
+    pub warps_killed: u64,
+    /// Live threads discarded with killed warps (not counted as retired).
+    pub threads_killed: u64,
+    /// Times the watchdog stopped a run with
+    /// [`crate::RunOutcome::Deadlock`].
+    pub watchdog_deadlocks: u64,
+    /// Back-pressure / trap events forced by [`crate::Injector`].
+    pub injected_events: u64,
     /// Divergence breakdown over time.
     pub divergence: DivergenceTimeline,
 }
@@ -169,6 +187,11 @@ impl SimStats {
             lineages_completed: 0,
             spawn_stall_cycles: 0,
             spawn_elisions: 0,
+            faults: 0,
+            warps_killed: 0,
+            threads_killed: 0,
+            watchdog_deadlocks: 0,
+            injected_events: 0,
             divergence: DivergenceTimeline::new(divergence_window, warp_size),
         }
     }
@@ -214,7 +237,12 @@ impl fmt::Display for SimStats {
         writeln!(f, "threads retired:      {}", self.threads_retired)?;
         writeln!(f, "lineages completed:   {}", self.lineages_completed)?;
         writeln!(f, "spawn stall cycles:   {}", self.spawn_stall_cycles)?;
-        write!(f, "spawn elisions:       {}", self.spawn_elisions)
+        writeln!(f, "spawn elisions:       {}", self.spawn_elisions)?;
+        writeln!(f, "faults:               {}", self.faults)?;
+        writeln!(f, "warps killed:         {}", self.warps_killed)?;
+        writeln!(f, "threads killed:       {}", self.threads_killed)?;
+        writeln!(f, "watchdog deadlocks:   {}", self.watchdog_deadlocks)?;
+        write!(f, "injected events:      {}", self.injected_events)
     }
 }
 

@@ -138,6 +138,8 @@ impl Warp {
     /// # Panics
     ///
     /// Panics if the stack is empty (the warp already finished).
+    // Documented panic contract: callers operate on unfinished warps.
+    #[allow(clippy::expect_used)]
     pub fn set_pc(&mut self, pc: usize) {
         self.sync_stack();
         self.stack.last_mut().expect("set_pc on finished warp").pc = pc;
@@ -153,6 +155,8 @@ impl Warp {
     /// # Panics
     ///
     /// Panics if the masks do not partition the current entry's mask.
+    // Documented panic contract: callers operate on unfinished warps.
+    #[allow(clippy::expect_used)]
     pub fn diverge(
         &mut self,
         taken: u64,
@@ -163,7 +167,11 @@ impl Warp {
     ) {
         self.sync_stack();
         let top = *self.stack.last().expect("diverge on finished warp");
-        assert_eq!(taken | not_taken, top.mask, "divergence masks must partition");
+        assert_eq!(
+            taken | not_taken,
+            top.mask,
+            "divergence masks must partition"
+        );
         assert_eq!(taken & not_taken, 0, "divergence masks must be disjoint");
         if rpc == RECONVERGE_AT_EXIT {
             // No rejoin point before exit: both sides inherit the parent's
@@ -329,10 +337,8 @@ mod tests {
 
         fn arb_action() -> impl Strategy<Value = Action> {
             prop_oneof![
-                (any::<u64>(), 1usize..50).prop_map(|(split, rpc_offset)| Action::Diverge {
-                    split,
-                    rpc_offset
-                }),
+                (any::<u64>(), 1usize..50)
+                    .prop_map(|(split, rpc_offset)| Action::Diverge { split, rpc_offset }),
                 Just(Action::Reconverge),
                 any::<u64>().prop_map(|lanes| Action::Exit { lanes }),
             ]

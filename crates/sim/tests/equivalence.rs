@@ -80,14 +80,15 @@ fn build_program(prologue: &[RandomOp], body: &[RandomOp], guarded: &RandomOp) -
     for op in body {
         s.push_str(&op.emit());
     }
-    s.push_str(
-        "    sub.s32 r7, r7, 1\n    setp.gt.s32 p0, r7, 0\n    @p0 bra loop\n",
-    );
+    s.push_str("    sub.s32 r7, r7, 1\n    setp.gt.s32 p0, r7, 0\n    @p0 bra loop\n");
     // A guarded op depending on a data predicate.
     s.push_str("    and.b32 r8, r2, 1\n    setp.eq.s32 p1, r8, 0\n");
     s.push_str(&format!("@p1 {}", guarded.emit().trim_start()));
     // Store results.
-    s.push_str(&format!("    mul.lo.s32 r9, r1, {}\n", WORDS_PER_THREAD * 4));
+    s.push_str(&format!(
+        "    mul.lo.s32 r9, r1, {}\n",
+        WORDS_PER_THREAD * 4
+    ));
     for (i, r) in (2..6).enumerate() {
         s.push_str(&format!("    st.global.u32 [r9+{}], r{r}\n", i * 4));
     }
@@ -105,8 +106,9 @@ fn run_on_pipeline(src: &str) -> Vec<u32> {
         entry: "main".into(),
         num_threads: N_THREADS,
         threads_per_block: 8,
-    });
-    let summary = gpu.run(50_000_000);
+    })
+    .expect("launch accepted");
+    let summary = gpu.run(50_000_000).expect("fault-free");
     assert_eq!(summary.outcome, simt_sim::RunOutcome::Completed);
     gpu.mem()
         .host_read_global(0, (N_THREADS * WORDS_PER_THREAD) as usize)
@@ -172,8 +174,12 @@ fn divergent_nested_control_flow_matches() {
         entry: "main".into(),
         num_threads: 32,
         threads_per_block: 8,
-    });
-    assert_eq!(gpu.run(10_000_000).outcome, simt_sim::RunOutcome::Completed);
+    })
+    .expect("launch accepted");
+    assert_eq!(
+        gpu.run(10_000_000).expect("fault-free").outcome,
+        simt_sim::RunOutcome::Completed
+    );
 
     let mut mem = MemorySystem::new(MemConfig::fx5800());
     mem.alloc_global(32 * 8, "out");

@@ -3,7 +3,7 @@
 //! launches.
 
 use simt_isa::assemble_named;
-use simt_sim::{Gpu, GpuConfig, Launch, RunOutcome};
+use simt_sim::{Gpu, GpuConfig, Launch, LaunchError, RunOutcome};
 
 fn run_src(src: &str, threads: u32, mark_read_only: Option<(u32, u32)>) -> u64 {
     let program = assemble_named("t", src).unwrap();
@@ -17,8 +17,9 @@ fn run_src(src: &str, threads: u32, mark_read_only: Option<(u32, u32)>) -> u64 {
         entry: "main".into(),
         num_threads: threads,
         threads_per_block: 8,
-    });
-    let s = gpu.run(10_000_000);
+    })
+    .expect("launch accepted");
+    let s = gpu.run(10_000_000).expect("fault-free");
     assert_eq!(s.outcome, RunOutcome::Completed);
     s.stats.cycles
 }
@@ -98,15 +99,23 @@ fn sequential_launches_share_memory_state() {
         entry: "main".into(),
         num_threads: 64,
         threads_per_block: 8,
-    });
-    assert_eq!(gpu.run(1_000_000).outcome, RunOutcome::Completed);
+    })
+    .expect("launch accepted");
+    assert_eq!(
+        gpu.run(1_000_000).expect("fault-free").outcome,
+        RunOutcome::Completed
+    );
     gpu.launch(Launch {
         program: assemble_named("i", incr_src).unwrap(),
         entry: "main".into(),
         num_threads: 64,
         threads_per_block: 8,
-    });
-    assert_eq!(gpu.run(1_000_000).outcome, RunOutcome::Completed);
+    })
+    .expect("launch accepted");
+    assert_eq!(
+        gpu.run(1_000_000).expect("fault-free").outcome,
+        RunOutcome::Completed
+    );
     for t in 0..64u32 {
         assert_eq!(
             gpu.mem().read_u32(simt_isa::Space::Global, t * 4),
@@ -117,7 +126,6 @@ fn sequential_launches_share_memory_state() {
 }
 
 #[test]
-#[should_panic(expected = "still active")]
 fn relaunch_before_completion_is_rejected() {
     let spin = r#"
         .kernel main
@@ -136,12 +144,14 @@ fn relaunch_before_completion_is_rejected() {
         entry: "main".into(),
         num_threads: 64,
         threads_per_block: 8,
-    });
-    gpu.run(10); // far from done
-    gpu.launch(Launch {
+    })
+    .expect("launch accepted");
+    gpu.run(10).expect("fault-free"); // far from done
+    let second = gpu.launch(Launch {
         program: p,
         entry: "main".into(),
         num_threads: 64,
         threads_per_block: 8,
     });
+    assert_eq!(second, Err(LaunchError::LaunchActive));
 }

@@ -24,9 +24,10 @@ fn launch_spin(mut cfg: GpuConfig, threads: u32, block: u32) -> Gpu {
         entry: "main".into(),
         num_threads: threads,
         threads_per_block: block,
-    });
+    })
+    .expect("launch accepted");
     // One cycle so the dispatcher fills the SM.
-    gpu.run(1);
+    gpu.run(1).expect("fault-free");
     gpu
 }
 
@@ -78,10 +79,11 @@ fn block_resources_release_when_the_whole_block_finishes() {
         entry: "main".into(),
         num_threads: 64,
         threads_per_block: 8,
-    });
+    })
+    .expect("launch accepted");
     // With a single block slot, blocks run one after another but the whole
     // launch must still complete.
-    let summary = gpu.run(10_000_000);
+    let summary = gpu.run(10_000_000).expect("fault-free");
     assert_eq!(summary.outcome, RunOutcome::Completed);
     assert_eq!(summary.stats.threads_retired, 64);
 }
@@ -97,8 +99,9 @@ fn whole_grid_completes_under_both_models() {
             entry: "main".into(),
             num_threads: 1000,
             threads_per_block: 8,
-        });
-        let summary = gpu.run(50_000_000);
+        })
+        .expect("launch accepted");
+        let summary = gpu.run(50_000_000).expect("fault-free");
         assert_eq!(summary.outcome, RunOutcome::Completed, "{model}");
         assert_eq!(summary.stats.threads_retired, 1000, "{model}");
     }
@@ -115,8 +118,9 @@ fn oversized_final_block_is_handled() {
         entry: "main".into(),
         num_threads: 13,
         threads_per_block: 8,
-    });
-    let summary = gpu.run(1_000_000);
+    })
+    .expect("launch accepted");
+    let summary = gpu.run(1_000_000).expect("fault-free");
     assert_eq!(summary.outcome, RunOutcome::Completed);
     assert_eq!(summary.stats.threads_launched, 13);
 }

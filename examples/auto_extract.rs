@@ -51,8 +51,9 @@ fn run(program: usimt::isa::Program, dmk: bool, n: u32) -> (Vec<u32>, f64, u64) 
         entry: "main".into(),
         num_threads: n,
         threads_per_block: 64,
-    });
-    let s = gpu.run(500_000_000);
+    })
+    .expect("launch accepted");
+    let s = gpu.run(500_000_000).expect("fault-free run");
     assert_eq!(s.outcome, usimt::sim::RunOutcome::Completed);
     let out = (0..n)
         .map(|t| gpu.mem().read_u32(usimt::isa::Space::Global, t * 4))
@@ -90,7 +91,13 @@ fn main() {
         assert_eq!(ref_out[tid as usize], steps, "tid {tid}");
     }
 
-    println!("PDOM loop:         {ref_cycles:>9} cycles, SIMT efficiency {:.0}%", ref_eff * 100.0);
-    println!("auto-extracted μk: {uk_cycles:>9} cycles, SIMT efficiency {:.0}%", uk_eff * 100.0);
+    println!(
+        "PDOM loop:         {ref_cycles:>9} cycles, SIMT efficiency {:.0}%",
+        ref_eff * 100.0
+    );
+    println!(
+        "auto-extracted μk: {uk_cycles:>9} cycles, SIMT efficiency {:.0}%",
+        uk_eff * 100.0
+    );
     println!("identical results for all {n} threads");
 }

@@ -89,7 +89,11 @@ finish:
 fn collatz_len(mut n: u64) -> u32 {
     let mut steps = 0;
     while n > 1 {
-        n = if n % 2 == 0 { n / 2 } else { 3 * n + 1 };
+        n = if n.is_multiple_of(2) {
+            n / 2
+        } else {
+            3 * n + 1
+        };
         steps += 1;
     }
     steps
@@ -104,8 +108,9 @@ fn main() {
         entry: "main".into(),
         num_threads: N,
         threads_per_block: 64,
-    });
-    let s1 = gpu.run(100_000_000);
+    })
+    .expect("launch accepted");
+    let s1 = gpu.run(100_000_000).expect("fault-free run");
     for tid in (0..N).step_by(117) {
         let got = gpu.mem().read_u32(usimt::isa::Space::Global, tid * 4);
         assert_eq!(got, collatz_len(u64::from(tid) + 3), "tid {tid}");
@@ -130,8 +135,9 @@ fn main() {
         entry: "main".into(),
         num_threads: N,
         threads_per_block: 64,
-    });
-    let s2 = gpu.run(100_000_000);
+    })
+    .expect("launch accepted");
+    let s2 = gpu.run(100_000_000).expect("fault-free run");
     for tid in (0..N).step_by(117) {
         let got = gpu.mem().read_u32(usimt::isa::Space::Global, tid * 4);
         assert_eq!(got, collatz_len(u64::from(tid) + 3), "tid {tid}");

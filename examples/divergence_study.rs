@@ -22,7 +22,11 @@ fn main() {
     let f2 = fig2::run();
     println!("single warp, lane-dependent loop (paper Fig. 2):");
     for (i, lanes) in f2.lane_trace.iter().enumerate() {
-        println!("  issue {i:>3}: {:>2} lanes |{}", lanes, bar(f64::from(*lanes) / 32.0, 32));
+        println!(
+            "  issue {i:>3}: {:>2} lanes |{}",
+            lanes,
+            bar(f64::from(*lanes) / 32.0, 32)
+        );
     }
     println!("  SIMT efficiency: {:.0}%\n", f2.efficiency * 100.0);
 
@@ -43,7 +47,11 @@ fn main() {
                 .enumerate()
                 .map(|(b, &n)| n as f64 * (b as f64 * 4.0 + 2.0))
                 .sum();
-            let mean = if issues == 0 { 0.0 } else { weighted / issues as f64 };
+            let mean = if issues == 0 {
+                0.0
+            } else {
+                weighted / issues as f64
+            };
             println!(
                 "  {:>4}k cycles: mean {:>4.1}/32 active |{}",
                 (wi as u64 + 1) * fig.window_cycles / 1000,
@@ -51,6 +59,9 @@ fn main() {
                 bar(mean / 32.0, 32)
             );
         }
-        println!("  average IPC {:.0}, mean active lanes {:.1}\n", fig.ipc, fig.mean_active_lanes);
+        println!(
+            "  average IPC {:.0}, mean active lanes {:.1}\n",
+            fig.ipc, fig.mean_active_lanes
+        );
     }
 }

@@ -19,7 +19,7 @@ fn main() {
     let mut gpu = Gpu::new(GpuConfig::fx5800());
     let setup = RenderSetup::upload(&mut gpu, &scene, w, h);
     setup.launch_traditional(&mut gpu, 64);
-    let baseline = gpu.run(50_000_000);
+    let baseline = gpu.run(50_000_000).expect("fault-free run");
     let image_pdom = setup.device_results(&gpu);
     println!(
         "traditional: {} cycles, IPC {:.0}, SIMT efficiency {:.0}%",
@@ -32,7 +32,7 @@ fn main() {
     let mut gpu = Gpu::new(GpuConfig::fx5800_dmk(DmkConfig::paper()));
     let setup = RenderSetup::upload(&mut gpu, &scene, w, h);
     setup.launch_ukernel(&mut gpu, 64);
-    let dynamic = gpu.run(50_000_000);
+    let dynamic = gpu.run(50_000_000).expect("fault-free run");
     let image_dmk = setup.device_results(&gpu);
     println!(
         "dynamic:     {} cycles, IPC {:.0}, SIMT efficiency {:.0}%, {} threads spawned",

@@ -73,7 +73,7 @@ fn main() {
     } else {
         setup.launch_traditional(&mut gpu, 64);
     }
-    let s = gpu.run(u64::MAX / 4);
+    let s = gpu.run(u64::MAX / 4).expect("fault-free run");
     println!(
         "pass 0 (primary, {mode}): {} cycles, IPC {:.0}",
         s.stats.cycles,
@@ -101,8 +101,9 @@ fn main() {
             entry: "main".into(),
             num_threads: dev.num_rays,
             threads_per_block: 64,
-        });
-        let s = gpu.run(u64::MAX / 4);
+        })
+        .expect("launch accepted");
+        let s = gpu.run(u64::MAX / 4).expect("fault-free run");
         let cycles = s.stats.cycles - prev_cycles;
         let ipc = (s.stats.thread_instructions - prev_instr) as f64 / cycles.max(1) as f64;
         prev_cycles = s.stats.cycles;

@@ -33,7 +33,7 @@ fn main() {
     } else {
         setup.launch_traditional(&mut gpu, 64);
     }
-    let summary = gpu.run(500_000_000);
+    let summary = gpu.run(500_000_000).expect("fault-free run");
     println!(
         "{scene_name}/{mode}: {} cycles, IPC {:.0}, {} rays, eff {:.0}%",
         summary.stats.cycles,
@@ -45,9 +45,9 @@ fn main() {
     // Depth-map the hit parameters into a PGM.
     let results = setup.device_results(&gpu);
     let ts: Vec<f32> = results.iter().flatten().map(|hit| hit.t).collect();
-    let (lo, hi) = ts.iter().fold((f32::MAX, f32::MIN), |(lo, hi), &t| {
-        (lo.min(t), hi.max(t))
-    });
+    let (lo, hi) = ts
+        .iter()
+        .fold((f32::MAX, f32::MIN), |(lo, hi), &t| (lo.min(t), hi.max(t)));
     let mut pgm = format!("P2\n{w} {h}\n255\n");
     for y in (0..h).rev() {
         for x in 0..w {

@@ -42,7 +42,7 @@ fn main() {
     } else {
         setup.launch_traditional(&mut gpu, 64);
     }
-    let s1 = gpu.run(500_000_000);
+    let s1 = gpu.run(500_000_000).expect("fault-free run");
     let primary = setup.device_results(&gpu);
     println!(
         "primary pass ({mode}): {} cycles, IPC {:.0}, eff {:.0}%",
@@ -54,7 +54,7 @@ fn main() {
     // Pass 2: shadows.
     let cycles_before = gpu.now();
     let dev2 = setup.launch_shadow_pass(&mut gpu, light, dynamic, 64);
-    let s2 = gpu.run(500_000_000);
+    let s2 = gpu.run(500_000_000).expect("fault-free run");
     let shadow = dev2.read_results(gpu.mem());
     println!(
         "shadow pass  ({mode}): {} cycles, cumulative IPC {:.0}, eff {:.0}%",
@@ -69,9 +69,9 @@ fn main() {
         for x in 0..w {
             let px = (y * w + x) as usize;
             let v = match (&primary[px], &shadow[px]) {
-                (None, _) => 10,                  // background
-                (Some(_), Some(_)) => 70,         // surface in shadow
-                (Some(_), None) => 220,           // lit surface
+                (None, _) => 10,          // background
+                (Some(_), Some(_)) => 70, // surface in shadow
+                (Some(_), None) => 220,   // lit surface
             };
             pgm.push_str(&format!("{v} "));
         }

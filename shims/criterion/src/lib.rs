@@ -1,0 +1,125 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! benchmark-harness surface the workspace uses (`Criterion`,
+//! `benchmark_group`, `Bencher::iter`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros). Instead of statistical
+//! sampling it runs each benchmark body a small fixed number of times and
+//! prints the mean wall-clock time — enough for `cargo bench` to compile,
+//! run, and give a ballpark number without the real dependency.
+
+use std::time::Instant;
+
+/// How many times [`Bencher::iter`] runs the body (first run is warm-up).
+const RUNS: u32 = 3;
+
+/// Units for reporting throughput; accepted and echoed, not computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    mean_ns: u128,
+}
+
+impl Bencher {
+    /// Times `body`, storing the mean over a few runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        std::hint::black_box(body()); // warm-up
+        let start = Instant::now();
+        for _ in 0..RUNS {
+            std::hint::black_box(body());
+        }
+        self.mean_ns = start.elapsed().as_nanos() / RUNS as u128;
+    }
+}
+
+fn report(name: &str, mean_ns: u128) {
+    if mean_ns >= 1_000_000 {
+        println!("bench {name:<50} {:>12.3} ms", mean_ns as f64 / 1e6);
+    } else {
+        println!("bench {name:<50} {:>12.3} µs", mean_ns as f64 / 1e3);
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean_ns: 0 };
+        f(&mut b);
+        report(name, b.mean_ns);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does not derive rates.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean_ns: 0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.mean_ns);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Prevents the optimizer from eliding a value (re-export convenience).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function calling each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

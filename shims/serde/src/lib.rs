@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the type and macro
+//! namespaces so `use serde::{Serialize, Deserialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. The traits are
+//! inert markers; the derives (from the local `serde_derive` shim) expand to
+//! nothing. No serialization happens at runtime in this workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+/// Namespace mirror of `serde::de` for code that spells the owned bound.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

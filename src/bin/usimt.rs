@@ -51,7 +51,10 @@ fn main() -> ExitCode {
             println!("{program}");
             let r = program.resource_usage();
             println!("registers: {}", r.registers);
-            println!("encoded size: {} bytes", usimt::isa::encoded_bytes(&program));
+            println!(
+                "encoded size: {} bytes",
+                usimt::isa::encoded_bytes(&program)
+            );
             println!("entry points: {:?}", program.entry_points());
             println!("spawn sites: {:?}", program.spawn_sites());
             ExitCode::SUCCESS
@@ -61,8 +64,7 @@ fn main() -> ExitCode {
                 eprintln!("usage: usimt extract <file.s> <loop-label>");
                 return ExitCode::from(2);
             };
-            match usimt::dmk::extract_loop(&program, label, usimt::dmk::ExtractOptions::default())
-            {
+            match usimt::dmk::extract_loop(&program, label, usimt::dmk::ExtractOptions::default()) {
                 Ok(p) => {
                     println!("{p}");
                     println!(
@@ -149,14 +151,28 @@ fn main() -> ExitCode {
             if alloc_global > 0 {
                 gpu.mem_mut().alloc_global(alloc_global, "cli");
             }
-            gpu.launch(Launch {
+            if let Err(e) = gpu.launch(Launch {
                 program,
                 entry,
                 num_threads: threads,
                 threads_per_block: block,
-            });
-            let summary = gpu.run(cycles);
-            println!("outcome: {:?}", summary.outcome);
+            }) {
+                eprintln!("launch rejected: {e}");
+                std::process::exit(2);
+            }
+            let summary = match gpu.run(cycles) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("simulation fault: {e}");
+                    std::process::exit(3);
+                }
+            };
+            match &summary.outcome {
+                usimt::sim::RunOutcome::Deadlock { diagnostics } => {
+                    println!("outcome: Deadlock\n{diagnostics}");
+                }
+                other => println!("outcome: {other:?}"),
+            }
             println!("{}", summary.stats);
             println!("-- memory traffic --\n{}", summary.traffic);
             if let Some((addr, n)) = dump {

@@ -19,7 +19,7 @@ fn run_once(dynamic: bool) -> (RunSummary, Vec<Option<usimt::raytrace::Hit>>) {
     } else {
         setup.launch_traditional(&mut gpu, 32);
     }
-    let s = gpu.run(100_000_000);
+    let s = gpu.run(100_000_000).expect("fault-free run");
     let img = setup.device_results(&gpu);
     (s, img)
 }

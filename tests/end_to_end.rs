@@ -14,7 +14,13 @@ fn gpu(dynamic: bool) -> Gpu {
     }
 }
 
-fn render(scene_name: &str, dynamic: bool) -> (Vec<Option<usimt::raytrace::Hit>>, Vec<Option<usimt::raytrace::Hit>>) {
+fn render(
+    scene_name: &str,
+    dynamic: bool,
+) -> (
+    Vec<Option<usimt::raytrace::Hit>>,
+    Vec<Option<usimt::raytrace::Hit>>,
+) {
     let scene = scenes::by_name(scene_name, SceneScale::Tiny).expect("scene exists");
     let mut g = gpu(dynamic);
     let setup = RenderSetup::upload(&mut g, &scene, 16, 16);
@@ -23,8 +29,12 @@ fn render(scene_name: &str, dynamic: bool) -> (Vec<Option<usimt::raytrace::Hit>>
     } else {
         setup.launch_traditional(&mut g, 32);
     }
-    let summary = g.run(100_000_000);
-    assert_eq!(summary.outcome, RunOutcome::Completed, "{scene_name} dynamic={dynamic}");
+    let summary = g.run(100_000_000).expect("fault-free run");
+    assert_eq!(
+        summary.outcome,
+        RunOutcome::Completed,
+        "{scene_name} dynamic={dynamic}"
+    );
     (setup.host_reference(), setup.device_results(&g))
 }
 
@@ -72,7 +82,7 @@ fn every_ray_lineage_completes_under_dynamic_execution() {
     let mut g = gpu(true);
     let setup = RenderSetup::upload(&mut g, &scene, 16, 16);
     setup.launch_ukernel(&mut g, 32);
-    let summary = g.run(100_000_000);
+    let summary = g.run(100_000_000).expect("fault-free run");
     assert_eq!(summary.outcome, RunOutcome::Completed);
     assert_eq!(summary.stats.lineages_completed, 256);
     assert_eq!(

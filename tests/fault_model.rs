@@ -1,0 +1,370 @@
+//! The hardware-style fault model end to end: typed launch rejection,
+//! warp traps under both fault policies, the no-forward-progress
+//! watchdog, and deterministic fault injection with recovery.
+//!
+//! Every test asserts on `Err(..)` / `RunOutcome` values — a well-formed
+//! `GpuConfig` plus an arbitrary launch must never panic.
+
+use usimt::dmk::DmkConfig;
+use usimt::isa::{assemble_named, Space};
+use usimt::mem::MemFault;
+use usimt::sim::{
+    FaultKind, FaultPolicy, Gpu, GpuConfig, InjectedFault, Injector, Launch, LaunchError,
+    RunOutcome, SimError,
+};
+
+fn dmk_gpu(num_ukernels: u32) -> Gpu {
+    let mut cfg = GpuConfig::tiny();
+    cfg.dmk = Some(DmkConfig {
+        warp_size: cfg.warp_size,
+        threads_per_sm: cfg.max_threads_per_sm,
+        state_bytes: 16,
+        num_ukernels,
+        fifo_capacity: 64,
+    });
+    Gpu::new(cfg)
+}
+
+fn trivial_program() -> usimt::isa::Program {
+    assemble_named(
+        "trivial",
+        r#"
+        .kernel main
+        main:
+            mov.u32 r1, %tid
+            exit
+        "#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn malformed_launches_are_rejected_with_typed_errors() {
+    let mut gpu = Gpu::new(GpuConfig::tiny());
+
+    let unknown = gpu.launch(Launch {
+        program: trivial_program(),
+        entry: "nonexistent".into(),
+        num_threads: 8,
+        threads_per_block: 4,
+    });
+    assert_eq!(
+        unknown,
+        Err(LaunchError::UnknownEntry {
+            entry: "nonexistent".into()
+        })
+    );
+
+    let zero = gpu.launch(Launch {
+        program: trivial_program(),
+        entry: "main".into(),
+        num_threads: 0,
+        threads_per_block: 4,
+    });
+    assert_eq!(zero, Err(LaunchError::NoThreads));
+
+    // tiny() has 4-lane warps; 6 is not a multiple.
+    let ragged = gpu.launch(Launch {
+        program: trivial_program(),
+        entry: "main".into(),
+        num_threads: 8,
+        threads_per_block: 6,
+    });
+    assert_eq!(
+        ragged,
+        Err(LaunchError::BadBlockSize {
+            threads_per_block: 6,
+            warp_size: 4,
+        })
+    );
+
+    // A rejected launch must leave the machine usable.
+    gpu.launch(Launch {
+        program: trivial_program(),
+        entry: "main".into(),
+        num_threads: 8,
+        threads_per_block: 4,
+    })
+    .expect("well-formed launch accepted after rejections");
+    let s = gpu.run(1_000_000).expect("fault-free");
+    assert_eq!(s.outcome, RunOutcome::Completed);
+}
+
+/// Every thread records its tid in global memory; the low warp then
+/// stores to read-only constant memory, which traps.
+const CONST_STORE_SRC: &str = r#"
+    .kernel main
+    main:
+        mov.u32 r1, %tid
+        mul.lo.s32 r2, r1, 4
+        st.global.u32 [r2+0], r1
+        setp.lt.s32 p0, r1, 4
+        @p0 st.const.u32 [r2+0], r1
+        exit
+"#;
+
+#[test]
+fn const_store_trap_aborts_under_default_policy() {
+    let mut gpu = Gpu::new(GpuConfig::tiny());
+    gpu.mem_mut().alloc_global(64 * 4, "out");
+    gpu.launch(Launch {
+        program: assemble_named("const-store", CONST_STORE_SRC).unwrap(),
+        entry: "main".into(),
+        num_threads: 16,
+        threads_per_block: 8,
+    })
+    .expect("launch accepted");
+    let err = gpu.run(1_000_000).expect_err("const store must trap");
+    let SimError::Fault(fault) = err;
+    match fault.kind {
+        FaultKind::Memory(MemFault::ConstStore { .. }) => {}
+        other => panic!("expected a const-store memory fault, got {other:?}"),
+    }
+    // The abort left the machine at the faulting cycle for inspection.
+    assert_eq!(fault.cycle, gpu.now());
+    assert_eq!(gpu.faults().len(), 1);
+}
+
+#[test]
+fn kill_warp_policy_retires_faulting_warp_and_completes() {
+    let mut cfg = GpuConfig::tiny();
+    cfg.fault_policy = FaultPolicy::KillWarp;
+    let mut gpu = Gpu::new(cfg);
+    gpu.mem_mut().alloc_global(64 * 4, "out");
+    gpu.launch(Launch {
+        program: assemble_named("const-store", CONST_STORE_SRC).unwrap(),
+        entry: "main".into(),
+        num_threads: 16,
+        threads_per_block: 8,
+    })
+    .expect("launch accepted");
+    let s = gpu.run(1_000_000).expect("killed warps are not an error");
+    assert_eq!(s.outcome, RunOutcome::Completed);
+    assert_eq!(s.stats.faults, 1);
+    assert_eq!(s.stats.warps_killed, 1);
+    assert!(s.stats.threads_killed >= 1);
+    assert_eq!(s.faults.len(), 1);
+    assert!(matches!(
+        s.faults[0].kind,
+        FaultKind::Memory(MemFault::ConstStore { .. })
+    ));
+    // Threads outside the killed warp completed their global stores.
+    for tid in 4..16u32 {
+        assert_eq!(gpu.mem().read_u32(Space::Global, tid * 4), tid, "tid {tid}");
+    }
+}
+
+/// A kernel that spins forever: no thread ever retires.
+const LIVELOCK_SRC: &str = r#"
+    .kernel main
+    main:
+        mov.u32 r1, 1
+    loop:
+        setp.gt.s32 p0, r1, 0
+        @p0 bra loop
+        exit
+"#;
+
+#[test]
+fn watchdog_turns_livelock_into_deadlock_outcome() {
+    let mut cfg = GpuConfig::tiny();
+    cfg.watchdog_cycles = 5_000;
+    let mut gpu = Gpu::new(cfg);
+    gpu.launch(Launch {
+        program: assemble_named("livelock", LIVELOCK_SRC).unwrap(),
+        entry: "main".into(),
+        num_threads: 8,
+        threads_per_block: 4,
+    })
+    .expect("launch accepted");
+    let s = gpu
+        .run(u64::MAX / 4)
+        .expect("deadlock is an outcome, not an error");
+    let RunOutcome::Deadlock { diagnostics } = s.outcome else {
+        panic!("expected deadlock, got {:?}", s.outcome);
+    };
+    assert_eq!(s.stats.watchdog_deadlocks, 1);
+    assert_eq!(diagnostics.watchdog_cycles, 5_000);
+    assert_eq!(diagnostics.sms.len(), 2, "tiny() has 2 SMs");
+    let live: u32 = diagnostics
+        .sms
+        .iter()
+        .flat_map(|sm| sm.warps.iter())
+        .map(|w| w.live_lanes)
+        .sum();
+    assert_eq!(live, 8, "all launched threads still spinning");
+    // The diagnostics render a human-readable report.
+    let report = format!("{diagnostics}");
+    assert!(report.contains("no forward progress"), "report: {report}");
+}
+
+#[test]
+fn injected_trap_respects_fault_policy() {
+    let src = r#"
+        .kernel main
+        main:
+            mov.u32 r1, 64
+        loop:
+            sub.s32 r1, r1, 1
+            setp.gt.s32 p0, r1, 0
+            @p0 bra loop
+            exit
+    "#;
+    // Abort: the injected trap surfaces as a typed fault.
+    let mut gpu = Gpu::new(GpuConfig::tiny());
+    gpu.set_injector(Injector::new(7).force(InjectedFault::Trap, 10..11));
+    gpu.launch(Launch {
+        program: assemble_named("spin", src).unwrap(),
+        entry: "main".into(),
+        num_threads: 16,
+        threads_per_block: 8,
+    })
+    .expect("launch accepted");
+    let err = gpu.run(1_000_000).expect_err("injected trap must abort");
+    let SimError::Fault(fault) = err;
+    assert_eq!(fault.kind, FaultKind::Injected);
+    assert_eq!(fault.cycle, 10);
+
+    // KillWarp: the trapped warps die, the rest of the grid completes.
+    let mut cfg = GpuConfig::tiny();
+    cfg.fault_policy = FaultPolicy::KillWarp;
+    let mut gpu = Gpu::new(cfg);
+    gpu.set_injector(Injector::new(7).force(InjectedFault::Trap, 10..11));
+    gpu.launch(Launch {
+        program: assemble_named("spin", src).unwrap(),
+        entry: "main".into(),
+        num_threads: 16,
+        threads_per_block: 8,
+    })
+    .expect("launch accepted");
+    let s = gpu.run(1_000_000).expect("killed warps are not an error");
+    assert_eq!(s.outcome, RunOutcome::Completed);
+    assert!(s.stats.warps_killed >= 1);
+    assert!(s.stats.injected_events >= 1);
+    assert_eq!(
+        s.stats.threads_killed + s.stats.threads_retired,
+        16,
+        "every thread either retired or was killed"
+    );
+}
+
+/// One spawn per thread; the child writes `tid` to global memory.
+const SPAWN_ONCE_SRC: &str = r#"
+.kernel main
+.kernel child
+.spawnstate 16
+main:
+    mov.u32 r1, %tid
+    mov.u32 r7, %spawnmem
+    st.spawn.u32 [r7+0], r1
+    spawn $child, r7
+    exit
+child:
+    mov.u32 r7, %spawnmem
+    ld.spawn.u32 r7, [r7+0]
+    ld.spawn.u32 r1, [r7+0]
+    mul.lo.s32 r2, r1, 4
+    st.global.u32 [r2+0], r1
+    exit
+"#;
+
+#[test]
+fn injector_forced_fifo_full_recovers_and_completes_the_render() {
+    let n = 32u32;
+
+    // Baseline: no injection.
+    let mut gpu = dmk_gpu(2);
+    gpu.mem_mut().alloc_global(n * 4, "out");
+    gpu.launch(Launch {
+        program: assemble_named("spawn-once", SPAWN_ONCE_SRC).unwrap(),
+        entry: "main".into(),
+        num_threads: n,
+        threads_per_block: 8,
+    })
+    .expect("launch accepted");
+    let clean = gpu.run(10_000_000).expect("fault-free");
+    assert_eq!(clean.outcome, RunOutcome::Completed);
+
+    // Forced back-pressure: every spawn in the first 300 cycles sees a
+    // full FIFO and must stall-and-retry instead of panicking.
+    let mut gpu = dmk_gpu(2);
+    gpu.set_injector(Injector::new(42).force(InjectedFault::SpawnFifoFull, 0..300));
+    gpu.mem_mut().alloc_global(n * 4, "out");
+    gpu.launch(Launch {
+        program: assemble_named("spawn-once", SPAWN_ONCE_SRC).unwrap(),
+        entry: "main".into(),
+        num_threads: n,
+        threads_per_block: 8,
+    })
+    .expect("launch accepted");
+    let s = gpu.run(10_000_000).expect("back-pressure is not a fault");
+    assert_eq!(s.outcome, RunOutcome::Completed);
+    assert!(s.stats.injected_events > 0, "injection window must be hit");
+    assert!(
+        s.stats.spawn_stall_cycles > 0,
+        "forced FIFO-full must stall spawns"
+    );
+    assert!(
+        s.stats.cycles > clean.stats.cycles,
+        "recovery costs cycles: {} !> {}",
+        s.stats.cycles,
+        clean.stats.cycles
+    );
+    // The render still produced every result.
+    for tid in 0..n {
+        assert_eq!(gpu.mem().read_u32(Space::Global, tid * 4), tid, "tid {tid}");
+    }
+    assert_eq!(
+        s.stats.faults, 0,
+        "back-pressure is not recorded as a fault"
+    );
+}
+
+#[test]
+fn injected_state_slot_exhaustion_only_delays_the_launch() {
+    let mut gpu = dmk_gpu(2);
+    gpu.set_injector(Injector::new(3).force(InjectedFault::StateSlotsExhausted, 0..200));
+    let n = 16u32;
+    gpu.mem_mut().alloc_global(n * 4, "out");
+    gpu.launch(Launch {
+        program: assemble_named("spawn-once", SPAWN_ONCE_SRC).unwrap(),
+        entry: "main".into(),
+        num_threads: n,
+        threads_per_block: 8,
+    })
+    .expect("launch accepted");
+    let s = gpu.run(10_000_000).expect("starvation is transient");
+    assert_eq!(s.outcome, RunOutcome::Completed);
+    assert!(s.stats.injected_events > 0);
+    assert!(
+        s.stats.cycles >= 200,
+        "admission was starved for the window"
+    );
+    for tid in 0..n {
+        assert_eq!(gpu.mem().read_u32(Space::Global, tid * 4), tid, "tid {tid}");
+    }
+}
+
+#[test]
+fn injector_draws_are_deterministic_across_runs() {
+    let run_once = || {
+        let mut gpu = dmk_gpu(2);
+        gpu.set_injector(Injector::new(99).force_with_probability(
+            InjectedFault::SpawnFifoFull,
+            0..500,
+            0.5,
+        ));
+        gpu.mem_mut().alloc_global(32 * 4, "out");
+        gpu.launch(Launch {
+            program: assemble_named("spawn-once", SPAWN_ONCE_SRC).unwrap(),
+            entry: "main".into(),
+            num_threads: 32,
+            threads_per_block: 8,
+        })
+        .expect("launch accepted");
+        let s = gpu.run(10_000_000).expect("fault-free");
+        assert_eq!(s.outcome, RunOutcome::Completed);
+        (s.stats.cycles, s.stats.injected_events, s.dmk.spawn_stalls)
+    };
+    assert_eq!(run_once(), run_once(), "same seed, same schedule");
+}

@@ -4,7 +4,7 @@
 
 use usimt::dmk::DmkConfig;
 use usimt::isa::assemble_named;
-use usimt::sim::{Gpu, GpuConfig, Launch, RunOutcome};
+use usimt::sim::{Gpu, GpuConfig, Launch, LaunchError, RunOutcome};
 
 fn dmk_gpu(state_bytes: u32, num_ukernels: u32) -> Gpu {
     let mut cfg = GpuConfig::tiny();
@@ -64,8 +64,9 @@ fn spawn_chains_of_varying_depth_complete_correctly() {
         entry: "main".into(),
         num_threads: n,
         threads_per_block: 8,
-    });
-    let summary = gpu.run(10_000_000);
+    })
+    .expect("launch accepted");
+    let summary = gpu.run(10_000_000).expect("fault-free run");
     assert_eq!(summary.outcome, RunOutcome::Completed);
     for tid in 0..n {
         assert_eq!(
@@ -92,8 +93,9 @@ fn partial_warps_are_forced_out_at_the_end() {
         entry: "main".into(),
         num_threads: n,
         threads_per_block: 8,
-    });
-    let summary = gpu.run(10_000_000);
+    })
+    .expect("launch accepted");
+    let summary = gpu.run(10_000_000).expect("fault-free run");
     assert_eq!(summary.outcome, RunOutcome::Completed);
     assert_eq!(summary.stats.lineages_completed, u64::from(n));
     assert!(
@@ -115,8 +117,9 @@ fn state_slots_recycle_when_threads_exceed_sm_capacity() {
         entry: "main".into(),
         num_threads: n,
         threads_per_block: 8,
-    });
-    let summary = gpu.run(50_000_000);
+    })
+    .expect("launch accepted");
+    let summary = gpu.run(50_000_000).expect("fault-free run");
     assert_eq!(summary.outcome, RunOutcome::Completed);
     assert_eq!(summary.stats.lineages_completed, u64::from(n));
 }
@@ -130,10 +133,11 @@ fn resource_accounting_never_exceeds_sm_limits() {
         entry: "main".into(),
         num_threads: 1024,
         threads_per_block: 8,
-    });
+    })
+    .expect("launch accepted");
     // Step in chunks and check SM occupancy invariants while running.
     for _ in 0..50 {
-        let s = gpu.run(1_000);
+        let s = gpu.run(1_000).expect("fault-free run");
         for sm in gpu.sms() {
             assert!(sm.threads_used() <= gpu.config().max_threads_per_sm);
         }
@@ -144,8 +148,9 @@ fn resource_accounting_never_exceeds_sm_limits() {
 }
 
 #[test]
-fn lut_overflow_is_a_configuration_panic() {
-    // 3 distinct μ-kernels with a LUT sized for 2 must panic clearly.
+fn lut_overflow_is_a_typed_launch_error() {
+    // 3 distinct μ-kernels with a LUT sized for 2 must be rejected with a
+    // typed error at launch time, before any cycle is simulated.
     let src = r#"
     .kernel main
     .kernel a
@@ -171,16 +176,19 @@ fn lut_overflow_is_a_configuration_panic() {
         exit
     "#;
     let mut gpu = dmk_gpu(16, 2);
-    gpu.launch(Launch {
+    let result = gpu.launch(Launch {
         program: assemble_named("lut-overflow", src).unwrap(),
         entry: "main".into(),
         num_threads: 8,
         threads_per_block: 8,
     });
-    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        gpu.run(1_000_000);
-    }));
-    assert!(r.is_err(), "LUT overflow must be surfaced");
+    assert_eq!(
+        result,
+        Err(LaunchError::LutCapacityExceeded {
+            targets: 3,
+            capacity: 2,
+        })
+    );
 }
 
 #[test]
@@ -207,8 +215,9 @@ fn spawn_elision_preserves_results_and_fires() {
             entry: "main".into(),
             num_threads: n,
             threads_per_block: 8,
-        });
-        let summary = gpu.run(10_000_000);
+        })
+        .expect("launch accepted");
+        let summary = gpu.run(10_000_000).expect("fault-free run");
         assert_eq!(summary.outcome, RunOutcome::Completed);
         let results: Vec<u32> = (0..n)
             .map(|t| gpu.mem().read_u32(usimt::isa::Space::Global, t * 4))

@@ -51,8 +51,9 @@ fn run(program: usimt::isa::Program, dmk: bool) -> (Vec<u32>, usimt::sim::RunSum
         entry: "main".into(),
         num_threads: N,
         threads_per_block: 8,
-    });
-    let s = gpu.run(50_000_000);
+    })
+    .expect("launch accepted");
+    let s = gpu.run(50_000_000).expect("fault-free run");
     assert_eq!(s.outcome, RunOutcome::Completed);
     let out = (0..N)
         .map(|t| gpu.mem().read_u32(usimt::isa::Space::Global, t * 4))
@@ -72,7 +73,10 @@ fn extracted_program_computes_identical_results() {
 
     let (uk_out, uk_stats) = run(transformed, true);
     assert_eq!(ref_out, uk_out, "extraction changed results");
-    assert!(uk_stats.stats.threads_spawned > 0, "loop must run via spawns");
+    assert!(
+        uk_stats.stats.threads_spawned > 0,
+        "loop must run via spawns"
+    );
     assert_eq!(
         uk_stats.stats.lineages_completed,
         u64::from(N),
