@@ -1,0 +1,136 @@
+//! `bench_sim` — wall-clock benchmark of the two-phase simulator.
+//!
+//! Times a fixed fig-7 run (dynamic μ-kernel render of the conference
+//! scene) at phase-A parallelism 1 and at every host core, then writes
+//! `BENCH_sim.json` with simulated cycles, wall seconds, and simulation
+//! throughput for each run. Simulated results are bit-identical across
+//! the runs — only wall-clock time changes.
+//!
+//! ```text
+//! bench_sim [--scale paper|quick|test] [--out PATH]
+//! ```
+
+use experiments::{gpu_for, Scale, Variant};
+use raytrace::scenes;
+use rt_kernels::render::RenderSetup;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct BenchRun {
+    parallel: usize,
+    cycles: u64,
+    wall_seconds: f64,
+}
+
+impl BenchRun {
+    fn cycles_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.cycles as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One timed fig-7 render. Returns simulated cycles and wall seconds for
+/// the `Gpu::run` call only (scene build and upload are untimed).
+fn run_once(parallel: usize, scale: Scale) -> BenchRun {
+    let mut gpu = gpu_for(Variant::Dynamic);
+    gpu.set_parallelism(parallel);
+    let scene = scenes::conference(scale.scene);
+    let setup = RenderSetup::upload(&mut gpu, &scene, scale.resolution, scale.resolution);
+    setup.launch_ukernel(&mut gpu, scale.threads_per_block);
+    let start = Instant::now();
+    let summary = gpu.run(scale.cycles).expect("fault-free benchmark run");
+    BenchRun {
+        parallel,
+        cycles: summary.stats.cycles,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale_name = "paper".to_string();
+    let mut out = "BENCH_sim.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) if Scale::parse(s).is_some() => scale_name.clone_from(s),
+                    _ => {
+                        eprintln!("usage: bench_sim [--scale paper|quick|test] [--out PATH]");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out.clone_from(p),
+                    None => return ExitCode::from(2),
+                }
+            }
+            _ => {
+                eprintln!("usage: bench_sim [--scale paper|quick|test] [--out PATH]");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let scale = Scale::parse(&scale_name).expect("validated above");
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let mut parallelisms = vec![1];
+    if host_cpus > 1 {
+        parallelisms.push(host_cpus);
+    }
+    let mut runs = Vec::new();
+    for &p in &parallelisms {
+        eprintln!("bench_sim: fig7 conference/dynamic, scale {scale_name}, parallel {p} ...");
+        let r = run_once(p, scale);
+        eprintln!(
+            "  {} simulated cycles in {:.3} s  ({:.0} cycles/s)",
+            r.cycles,
+            r.wall_seconds,
+            r.cycles_per_second()
+        );
+        runs.push(r);
+    }
+    let speedup = match (runs.first(), runs.last()) {
+        (Some(base), Some(top)) if base.wall_seconds > 0.0 && runs.len() > 1 => {
+            base.wall_seconds / top.wall_seconds
+        }
+        _ => 1.0,
+    };
+
+    // Hand-rolled JSON: the offline serde shim has no serializer.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"fig7-conference-dynamic\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"parallel\": {}, \"cycles\": {}, \"wall_seconds\": {:.6}, \
+             \"sim_cycles_per_second\": {:.1}}}{}\n",
+            r.parallel,
+            r.cycles,
+            r.wall_seconds,
+            r.cycles_per_second(),
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup\": {speedup:.3}\n"));
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_sim: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    ExitCode::SUCCESS
+}

@@ -1,10 +1,14 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <artifact> [--scale paper|quick|test] [--json]
+//! repro <artifact> [--scale paper|quick|test] [--json] [--parallel N|ncpu]
 //!
 //! artifacts: table1 table2 table3 table4 fig2 fig3 fig7 fig8 fig9 fig10 all
 //! ```
+//!
+//! `--parallel` sets the simulator's phase-A worker-thread count (`ncpu`
+//! = all host cores). Results are bit-identical at every setting; it
+//! changes wall-clock time only.
 
 use experiments::runner::Scale;
 use experiments::{ablation, fig10, fig2, fig3, fig7, fig8, fig9, table1, table2, table3, table4};
@@ -13,7 +17,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <table1|table2|table3|table4|fig2|fig3|fig7|fig8|fig9|fig10|all> \
-         [--scale paper|quick|test] [--json]"
+         [--scale paper|quick|test] [--json] [--parallel N|ncpu]"
     );
     ExitCode::from(2)
 }
@@ -69,6 +73,20 @@ fn main() -> ExitCode {
                 scale = s;
             }
             "--json" => json = true,
+            "--parallel" => {
+                i += 1;
+                let n = match args.get(i).map(String::as_str) {
+                    Some("ncpu") => std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1),
+                    Some(s) => match s.parse::<usize>() {
+                        Ok(n) if n >= 1 => n,
+                        _ => return usage(),
+                    },
+                    None => return usage(),
+                };
+                experiments::set_parallelism(n);
+            }
             _ => return usage(),
         }
         i += 1;

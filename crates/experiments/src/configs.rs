@@ -3,6 +3,23 @@
 use dmk_core::DmkConfig;
 use simt_sim::{Gpu, GpuConfig};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide phase-A parallelism applied to every GPU built by
+/// [`gpu_for`]. Results are bit-identical at every setting (see
+/// `simt_sim::Gpu::set_parallelism`); this trades wall-clock time only,
+/// so a plain process-global is safe for the experiment drivers.
+static PARALLELISM: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the phase-A worker-thread count used by [`gpu_for`] (clamped ≥ 1).
+pub fn set_parallelism(n: usize) {
+    PARALLELISM.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current phase-A worker-thread count used by [`gpu_for`].
+pub fn parallelism() -> usize {
+    PARALLELISM.load(Ordering::Relaxed)
+}
 
 /// One evaluated machine configuration (paper §VI/§VII).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,7 +87,9 @@ pub fn gpu_for(variant: Variant) -> Gpu {
         Variant::DynamicConflicts => cfg.mem.spawn_bank_conflicts = true,
         _ => {}
     }
-    Gpu::new(cfg)
+    let mut gpu = Gpu::new(cfg);
+    gpu.set_parallelism(parallelism());
+    gpu
 }
 
 #[cfg(test)]

@@ -42,5 +42,5 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 
-pub use configs::{gpu_for, Variant};
+pub use configs::{gpu_for, parallelism, set_parallelism, Variant};
 pub use runner::{RenderRun, Scale};

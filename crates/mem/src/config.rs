@@ -90,6 +90,12 @@ impl MemConfig {
     pub fn segment_service_cycles(&self) -> f64 {
         f64::from(self.segment_bytes) / (f64::from(self.bytes_per_cycle) * self.dram_clock_ratio)
     }
+
+    /// The memory module serving byte address `addr`: segments interleave
+    /// round-robin across modules at `segment_bytes` granularity.
+    pub fn module_of(&self, addr: u32) -> usize {
+        ((addr / self.segment_bytes) as usize) % self.num_modules
+    }
 }
 
 impl Default for MemConfig {

@@ -1,9 +1,16 @@
-//! The combined functional + timing memory system.
+//! The shared memory fabric: functional backing for the off-chip spaces
+//! plus the address-interleaved module timing model.
+//!
+//! In the two-phase simulator pipeline the fabric is the *phase-B* side of
+//! the split: every SM's [`crate::SmMemFrontend`] coalesces and validates
+//! accesses privately during phase A, then the fabric drains the resulting
+//! [`FabricRequest`]s and [`FunctionalOp`]s in deterministic SM-id order.
 
 use crate::backing::{LocalStore, WordStore};
 use crate::banks::conflict_degree;
 use crate::coalesce::coalesce_segments;
 use crate::config::MemConfig;
+use crate::frontend::FabricView;
 use crate::traffic::TrafficStats;
 use simt_isa::Space;
 use std::fmt;
@@ -82,7 +89,7 @@ impl std::error::Error for MemFault {}
 ///
 /// `addresses` contains the byte address of every *active* lane (inactive
 /// lanes make no request). For the `local` space, addresses must already be
-/// physical (translated per thread via [`MemorySystem::local_physical`]).
+/// physical (translated per thread via [`MemoryFabric::local_physical`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WarpAccess {
     /// Address space accessed.
@@ -95,14 +102,105 @@ pub struct WarpAccess {
     pub addresses: Vec<u32>,
 }
 
-/// The chip-wide memory system: functional backing for the off-chip spaces
-/// plus the timing model for all spaces.
+/// A coalesced off-chip request emitted by an SM during phase A, serviced
+/// by the fabric's memory modules during phase B.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricRequest {
+    /// Address space accessed (global or local).
+    pub space: Space,
+    /// `true` for stores (fire-and-forget: the warp does not wait).
+    pub is_store: bool,
+    /// Base addresses of the coalesced segments, sorted ascending.
+    pub segments: Vec<u32>,
+}
+
+/// One deferred functional word transfer, applied by the fabric in phase B.
+///
+/// Loads carry their destination (`lane`, `reg`) so the owning SM can write
+/// the loaded value back into the parked warp; the warp cannot re-issue
+/// before the next cycle, so the late register write is unobservable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FunctionalOp {
+    /// Word load from an off-chip space into a lane register.
+    Load {
+        /// Address space (global, const, or local).
+        space: Space,
+        /// Issuing thread id (local-space bank selection).
+        tid: u32,
+        /// Byte address (per-thread offset for local).
+        addr: u32,
+        /// Destination lane within the warp.
+        lane: usize,
+        /// Destination register.
+        reg: simt_isa::Reg,
+    },
+    /// Word store to an off-chip space.
+    Store {
+        /// Address space (global or local).
+        space: Space,
+        /// Issuing thread id (local-space bank selection).
+        tid: u32,
+        /// Byte address (per-thread offset for local).
+        addr: u32,
+        /// The value stored.
+        value: u32,
+    },
+}
+
+/// Times one on-chip access against a caller-owned port; shared by the
+/// per-SM frontend and the fabric's compatibility path so both report the
+/// exact same latencies and conflict counts.
+pub(crate) fn time_onchip(
+    config: &MemConfig,
+    traffic: &mut TrafficStats,
+    now: u64,
+    req: &WarpAccess,
+    port_free: &mut u64,
+) -> (u64, u32) {
+    assert!(req.space.is_on_chip(), "access_onchip expects shared/spawn");
+    if req.addresses.is_empty() {
+        return (now + 1, 1);
+    }
+    let requested = req.addresses.len() as u64 * u64::from(req.bytes_per_lane);
+    let model_conflicts = req.space != Space::Spawn || config.spawn_bank_conflicts;
+    let degree = if model_conflicts {
+        let words_per_lane = (req.bytes_per_lane / 4).max(1);
+        let mut words: Vec<u32> = Vec::with_capacity(req.addresses.len() * words_per_lane as usize);
+        for &a in &req.addresses {
+            for wd in 0..words_per_lane {
+                words.push(a + 4 * wd);
+            }
+        }
+        conflict_degree(&words, config.shared_banks)
+    } else {
+        1
+    };
+    traffic.record(req.space, req.is_store, requested, 0);
+    if degree > 1 {
+        traffic.record_conflicts(req.space, u64::from(degree - 1));
+    }
+    if config.ideal {
+        return (now + 1, 1);
+    }
+    let start = now.max(*port_free);
+    *port_free = start + u64::from(degree);
+    (
+        start + u64::from(degree) + u64::from(config.shared_latency),
+        degree,
+    )
+}
+
+/// The chip-wide memory fabric: functional backing for the off-chip spaces
+/// plus the shared timing state (the 8 address-interleaved DRAM modules of
+/// paper Table I).
 ///
 /// On-chip backing data (shared/spawn contents) is owned per-SM by the
-/// simulator; this type still provides their *timing* (latency and bank
-/// conflicts) so that all memory timing lives in one place.
+/// simulator, and per-SM timing (caches, coalescing, on-chip ports) lives
+/// in [`crate::SmMemFrontend`]. The fabric is the only cross-SM memory
+/// state, which is what makes the simulator's phase A embarrassingly
+/// parallel.
 #[derive(Debug, Clone)]
-pub struct MemorySystem {
+pub struct MemoryFabric {
     config: MemConfig,
     global: WordStore,
     constant: WordStore,
@@ -115,11 +213,16 @@ pub struct MemorySystem {
     read_only_regions: Vec<(u32, u32)>,
 }
 
-impl MemorySystem {
-    /// Creates a memory system with empty contents.
+/// Compatibility alias: the pre-split name of [`MemoryFabric`]. Host-side
+/// code (scene upload, functional interpreters, tests) is unaffected by
+/// the frontend/fabric split and keeps using this name.
+pub type MemorySystem = MemoryFabric;
+
+impl MemoryFabric {
+    /// Creates a memory fabric with empty contents.
     pub fn new(config: MemConfig) -> Self {
         let modules = config.num_modules;
-        MemorySystem {
+        MemoryFabric {
             config,
             global: WordStore::new(),
             constant: WordStore::new(),
@@ -146,6 +249,20 @@ impl MemorySystem {
     /// The active configuration.
     pub fn config(&self) -> &MemConfig {
         &self.config
+    }
+
+    /// An owned snapshot of the metadata phase-A validation needs. All of
+    /// it is static while a launch runs (allocation, local stride, and
+    /// texture bindings only change from host code between runs), so the
+    /// view stays valid for a whole [`crate::MemoryFabric`] run and can be
+    /// shared freely across SM worker threads.
+    pub fn view(&self) -> FabricView {
+        FabricView::new(
+            self.config.clone(),
+            self.global.allocated_bytes(),
+            self.local.stride_bytes(),
+            self.read_only_regions.clone(),
+        )
     }
 
     /// Allocates a labeled region of global memory; returns the base address.
@@ -214,7 +331,7 @@ impl MemorySystem {
     /// # Panics
     ///
     /// Panics for on-chip spaces (their contents are owned per-SM), for
-    /// `local` (use [`MemorySystem::read_local`]), and on misalignment.
+    /// `local` (use [`MemoryFabric::read_local`]), and on misalignment.
     pub fn read_u32(&self, space: Space, addr: u32) -> u32 {
         match self.try_read_u32(space, addr) {
             Ok(v) => v,
@@ -227,8 +344,8 @@ impl MemorySystem {
     /// # Panics
     ///
     /// Panics for on-chip spaces, `local`, and `const` (read-only from
-    /// device code; use [`MemorySystem::alloc_const`] +
-    /// [`MemorySystem::host_write_const`] from the host side).
+    /// device code; use [`MemoryFabric::alloc_const`] +
+    /// [`MemoryFabric::host_write_const`] from the host side).
     pub fn write_u32(&mut self, space: Space, addr: u32, value: u32) {
         if let Err(e) = self.try_write_u32(space, addr, value) {
             panic!("{e}");
@@ -296,13 +413,72 @@ impl MemorySystem {
         self.local.write(tid, addr, value)
     }
 
+    /// Applies one deferred functional op in phase B. Loads return the
+    /// loaded value for the SM to write back; stores return `None`.
+    ///
+    /// Ops were validated against a [`FabricView`] at issue, so illegal
+    /// accesses cannot reach this point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an op the frontend should have rejected (on-chip space,
+    /// misalignment, store to const).
+    pub fn apply(&mut self, op: &FunctionalOp) -> Option<u32> {
+        match *op {
+            FunctionalOp::Load {
+                space, tid, addr, ..
+            } => Some(match space {
+                Space::Global | Space::Const => self.read_u32(space, addr),
+                Space::Local => self.read_local(tid, addr),
+                _ => panic!("on-chip op deferred to the fabric"),
+            }),
+            FunctionalOp::Store {
+                space,
+                tid,
+                addr,
+                value,
+            } => {
+                match space {
+                    Space::Global => self.write_u32(space, addr, value),
+                    Space::Local => self.write_local(tid, addr, value),
+                    _ => panic!("non-global/local store deferred to the fabric"),
+                }
+                None
+            }
+        }
+    }
+
+    /// Services one coalesced request against the address-interleaved
+    /// memory modules at cycle `now`: each segment queues on its module
+    /// ([`MemConfig::module_of`]) and occupies it for
+    /// [`MemConfig::segment_service_cycles`]. Returns the cycle at which
+    /// the last segment's data is available.
+    ///
+    /// Within a cycle the simulator drains requests in fixed SM-id order,
+    /// so module arbitration is deterministic regardless of how many
+    /// threads ran phase A.
+    pub fn service(&mut self, now: u64, req: &FabricRequest) -> u64 {
+        let service = self.config.segment_service_cycles();
+        let mut ready = now + 1;
+        for &seg in &req.segments {
+            let module = self.config.module_of(seg);
+            let start = (now as f64).max(self.module_free[module]);
+            self.module_free[module] = start + service;
+            let done = (start + service).ceil() as u64 + u64::from(self.config.dram_latency);
+            ready = ready.max(done);
+        }
+        ready
+    }
+
     /// Times one warp access starting at cycle `now`; returns the cycle at
     /// which the data is available (loads) or retired (stores), and records
     /// traffic.
     ///
-    /// Off-chip spaces coalesce into segments and queue on the 8 memory
-    /// modules; on-chip spaces pay the pipeline latency plus bank-conflict
-    /// serialization. In ideal mode every access completes next cycle.
+    /// This is the pre-split single-call path, kept for host-side tools and
+    /// tests; the simulator itself goes through
+    /// [`crate::SmMemFrontend::request_offchip`] + [`MemoryFabric::service`]
+    /// so that only phase B touches the shared module state. Both paths
+    /// produce identical timing.
     pub fn access(&mut self, now: u64, req: &WarpAccess) -> u64 {
         if req.addresses.is_empty() {
             return now + 1;
@@ -337,16 +513,14 @@ impl MemorySystem {
         if self.config.ideal {
             return now + 1;
         }
-        let service = self.config.segment_service_cycles();
-        let mut ready = now + 1;
-        for seg in &result.segments {
-            let module = ((seg / self.config.segment_bytes) as usize) % self.config.num_modules;
-            let start = (now as f64).max(self.module_free[module]);
-            self.module_free[module] = start + service;
-            let done = (start + service).ceil() as u64 + u64::from(self.config.dram_latency);
-            ready = ready.max(done);
-        }
-        ready
+        self.service(
+            now,
+            &FabricRequest {
+                space: req.space,
+                is_store: req.is_store,
+                segments: result.segments,
+            },
+        )
     }
 
     /// Times one **on-chip** warp access (shared or spawn space) against a
@@ -363,42 +537,14 @@ impl MemorySystem {
     ///
     /// Panics if the space is not on-chip.
     pub fn access_onchip(&mut self, now: u64, req: &WarpAccess, port_free: &mut u64) -> (u64, u32) {
-        assert!(req.space.is_on_chip(), "access_onchip expects shared/spawn");
-        if req.addresses.is_empty() {
-            return (now + 1, 1);
-        }
-        let requested = req.addresses.len() as u64 * u64::from(req.bytes_per_lane);
-        let model_conflicts = req.space != Space::Spawn || self.config.spawn_bank_conflicts;
-        let degree = if model_conflicts {
-            let words_per_lane = (req.bytes_per_lane / 4).max(1);
-            let mut words: Vec<u32> =
-                Vec::with_capacity(req.addresses.len() * words_per_lane as usize);
-            for &a in &req.addresses {
-                for wd in 0..words_per_lane {
-                    words.push(a + 4 * wd);
-                }
-            }
-            conflict_degree(&words, self.config.shared_banks)
-        } else {
-            1
-        };
-        self.traffic.record(req.space, req.is_store, requested, 0);
-        if degree > 1 {
-            self.traffic
-                .record_conflicts(req.space, u64::from(degree - 1));
-        }
-        if self.config.ideal {
-            return (now + 1, 1);
-        }
-        let start = now.max(*port_free);
-        *port_free = start + u64::from(degree);
-        (
-            start + u64::from(degree) + u64::from(self.config.shared_latency),
-            degree,
-        )
+        time_onchip(&self.config, &mut self.traffic, now, req, port_free)
     }
 
     /// Accumulated traffic statistics.
+    ///
+    /// In the split pipeline this covers only accesses made through the
+    /// fabric's own compatibility paths; the simulator aggregates per-SM
+    /// frontend traffic on top (see `Gpu::run`'s summary).
     pub fn traffic(&self) -> &TrafficStats {
         &self.traffic
     }
@@ -570,5 +716,79 @@ mod tests {
         let t2 = m.access(0, &coalesced_warp(0));
         assert_eq!(t1, t2);
         assert_eq!(m.traffic().space(Space::Global).accesses, 1);
+    }
+
+    #[test]
+    fn service_matches_access_timing() {
+        // The split request path (frontend coalesce + fabric service) must
+        // time exactly like the single-call compatibility path.
+        let req = WarpAccess {
+            space: Space::Global,
+            is_store: false,
+            bytes_per_lane: 4,
+            addresses: (0..32).map(|i| i * 256).collect(),
+        };
+        let mut direct = MemorySystem::new(MemConfig::fx5800());
+        let t_direct = direct.access(7, &req);
+
+        let mut split = MemorySystem::new(MemConfig::fx5800());
+        let result = coalesce_segments(&req.addresses, req.bytes_per_lane, 32);
+        let t_split = split.service(
+            7,
+            &FabricRequest {
+                space: req.space,
+                is_store: req.is_store,
+                segments: result.segments,
+            },
+        );
+        assert_eq!(t_direct, t_split);
+    }
+
+    #[test]
+    fn apply_performs_deferred_ops() {
+        let mut m = MemorySystem::new(MemConfig::fx5800());
+        m.alloc_global(64, "t");
+        m.configure_local(16);
+        m.apply(&FunctionalOp::Store {
+            space: Space::Global,
+            tid: 0,
+            addr: 8,
+            value: 123,
+        });
+        let v = m.apply(&FunctionalOp::Load {
+            space: Space::Global,
+            tid: 0,
+            addr: 8,
+            lane: 0,
+            reg: simt_isa::Reg(1),
+        });
+        assert_eq!(v, Some(123));
+        m.apply(&FunctionalOp::Store {
+            space: Space::Local,
+            tid: 3,
+            addr: 4,
+            value: 9,
+        });
+        assert_eq!(m.read_local(3, 4), 9);
+    }
+
+    #[test]
+    fn view_snapshots_validation_metadata() {
+        let mut m = MemorySystem::new(MemConfig::fx5800());
+        m.alloc_global(64, "t");
+        m.configure_local(32);
+        m.mark_read_only(0, 16);
+        let v = m.view();
+        assert!(v.is_read_only(4));
+        assert!(!v.is_read_only(20));
+        assert_eq!(v.local_physical(2, 4), m.local_physical(2, 4));
+        assert!(v.check_store(Space::Global, 60).is_ok());
+        assert_eq!(
+            v.check_store(Space::Global, 64),
+            Err(MemFault::GlobalStoreOob {
+                addr: 64,
+                allocated: 64
+            })
+        );
     }
 }

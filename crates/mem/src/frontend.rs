@@ -1,0 +1,380 @@
+//! The per-SM memory frontend and the phase-A validation view.
+//!
+//! In the two-phase pipeline each SM owns an [`SmMemFrontend`]: the
+//! coalescer, the read-only (texture) cache, the on-chip load-store port,
+//! and a private traffic shard. During phase A an SM validates addresses
+//! against an immutable [`FabricView`] and turns off-chip accesses into
+//! [`FabricRequest`](crate::FabricRequest)s; no SM touches shared memory
+//! state until the serial phase B, which is what makes phase A safe to run
+//! on many OS threads with bit-identical results.
+
+use crate::cache::ReadOnlyCache;
+use crate::coalesce::coalesce_segments;
+use crate::config::MemConfig;
+use crate::fabric::{time_onchip, FabricRequest, FunctionalOp, MemFault, WarpAccess};
+use crate::traffic::TrafficStats;
+use simt_isa::Space;
+
+/// An immutable snapshot of the fabric metadata phase-A validation needs.
+///
+/// Everything here is static while a launch runs (heap size, local stride
+/// and texture bindings only change from host code between runs), so one
+/// view can be shared read-only across all SM worker threads.
+#[derive(Debug, Clone)]
+pub struct FabricView {
+    config: MemConfig,
+    global_allocated: u32,
+    local_stride: u32,
+    read_only_regions: Vec<(u32, u32)>,
+}
+
+impl FabricView {
+    /// Creates a view; use [`crate::MemoryFabric::view`] rather than
+    /// calling this directly.
+    pub fn new(
+        config: MemConfig,
+        global_allocated: u32,
+        local_stride: u32,
+        read_only_regions: Vec<(u32, u32)>,
+    ) -> Self {
+        FabricView {
+            config,
+            global_allocated,
+            local_stride,
+            read_only_regions,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Whether a global address falls inside a read-only (texture) region.
+    pub fn is_read_only(&self, addr: u32) -> bool {
+        self.read_only_regions
+            .iter()
+            .any(|&(b, n)| addr >= b && addr < b.saturating_add(n))
+    }
+
+    /// Translates a per-thread local byte offset to a physical address used
+    /// for coalescing/timing.
+    pub fn local_physical(&self, tid: u32, addr: u32) -> u32 {
+        tid.wrapping_mul(self.local_stride) + addr
+    }
+
+    fn check_local(&self, addr: u32) -> Result<(), MemFault> {
+        if addr >= self.local_stride.max(4) {
+            return Err(MemFault::LocalOob {
+                addr,
+                stride: self.local_stride,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates an off-chip word load exactly as
+    /// [`crate::MemoryFabric::try_read_u32`] /
+    /// [`crate::MemoryFabric::try_read_local`] would: same checks, same
+    /// order, so deferring the functional read to phase B cannot change
+    /// which accesses trap.
+    pub fn check_load(&self, space: Space, addr: u32) -> Result<(), MemFault> {
+        if !addr.is_multiple_of(4) {
+            return Err(MemFault::Misaligned { space, addr });
+        }
+        match space {
+            Space::Global | Space::Const => Ok(()),
+            Space::Local => self.check_local(addr),
+            _ => Err(MemFault::Unmapped { space }),
+        }
+    }
+
+    /// Validates an off-chip word store exactly as
+    /// [`crate::MemoryFabric::try_write_u32`] /
+    /// [`crate::MemoryFabric::try_write_local`] would.
+    pub fn check_store(&self, space: Space, addr: u32) -> Result<(), MemFault> {
+        if !addr.is_multiple_of(4) {
+            return Err(MemFault::Misaligned { space, addr });
+        }
+        match space {
+            Space::Global => {
+                if self.global_allocated > 0 && addr >= self.global_allocated {
+                    return Err(MemFault::GlobalStoreOob {
+                        addr,
+                        allocated: self.global_allocated,
+                    });
+                }
+                Ok(())
+            }
+            Space::Const => Err(MemFault::ConstStore { addr }),
+            Space::Local => self.check_local(addr),
+            _ => Err(MemFault::Unmapped { space }),
+        }
+    }
+}
+
+/// One warp's deferred memory work for the cycle: functional ops to apply
+/// and coalesced module requests to service, both in issue order.
+///
+/// Queued per-SM during phase A; the simulator drains all SMs' queues in
+/// SM-id order during phase B.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingAccess {
+    /// The issuing warp's SM-local id.
+    pub warp_id: usize,
+    /// Whether the warp's `ready_at` must be raised to the service
+    /// completion time (loads wait; stores are fire-and-forget).
+    pub wait: bool,
+    /// Deferred functional word transfers, in lane/word issue order.
+    pub ops: Vec<FunctionalOp>,
+    /// Coalesced off-chip requests for the modules.
+    pub requests: Vec<FabricRequest>,
+}
+
+/// The per-SM memory frontend: coalescer, read-only (texture) cache,
+/// on-chip load-store port, and a private traffic shard.
+#[derive(Debug, Clone)]
+pub struct SmMemFrontend {
+    config: MemConfig,
+    traffic: TrafficStats,
+    /// Cycle at which this SM's on-chip load-store port becomes free.
+    lsu_free: u64,
+    tex: Option<ReadOnlyCache>,
+}
+
+impl SmMemFrontend {
+    /// Creates a frontend for one SM, building the read-only cache from the
+    /// configuration (capacity 0 disables it).
+    pub fn new(config: MemConfig) -> Self {
+        let tex = if config.tex_cache_bytes > 0 {
+            Some(ReadOnlyCache::new(
+                config.tex_cache_bytes,
+                config.tex_line_bytes,
+                config.tex_ways,
+            ))
+        } else {
+            None
+        };
+        SmMemFrontend {
+            config,
+            traffic: TrafficStats::new(),
+            lsu_free: 0,
+            tex,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// This SM's traffic shard.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Whether this SM has a read-only (texture) cache.
+    pub fn has_tex(&self) -> bool {
+        self.tex.is_some()
+    }
+
+    /// `(hits, misses)` of the read-only cache, if present.
+    pub fn tex_stats(&self) -> Option<(u64, u64)> {
+        self.tex.as_ref().map(|t| (t.hits, t.misses))
+    }
+
+    /// Times one on-chip (shared/spawn) warp access against this SM's
+    /// load-store port. Returns `(ready_cycle, conflict_degree)`.
+    ///
+    /// On-chip backing data is SM-private, so unlike off-chip accesses the
+    /// functional transfer happens immediately in phase A; only the shared
+    /// fabric is deferred.
+    pub fn access_onchip(&mut self, now: u64, req: &WarpAccess) -> (u64, u32) {
+        let mut port = self.lsu_free;
+        let r = time_onchip(&self.config, &mut self.traffic, now, req, &mut port);
+        self.lsu_free = port;
+        r
+    }
+
+    /// Coalesces one off-chip warp access and records traffic. Returns the
+    /// phase-A completion estimate plus the module request (if any) to hand
+    /// to [`crate::MemoryFabric::service`] in phase B:
+    ///
+    /// * empty access → next cycle, no request, no traffic;
+    /// * `const` → served by the constant cache at hit latency, no request;
+    /// * ideal memory → next cycle, no request (traffic still recorded);
+    /// * otherwise → next cycle as a floor; phase B raises the warp's
+    ///   wake-up to the module completion time.
+    pub fn request_offchip(
+        &mut self,
+        now: u64,
+        space: Space,
+        is_store: bool,
+        bytes_per_lane: u32,
+        addresses: &[u32],
+    ) -> (u64, Option<FabricRequest>) {
+        if addresses.is_empty() {
+            return (now + 1, None);
+        }
+        let requested = addresses.len() as u64 * u64::from(bytes_per_lane);
+        if space == Space::Const {
+            self.traffic.record(space, is_store, requested, 0);
+            if self.config.ideal {
+                return (now + 1, None);
+            }
+            return (now + u64::from(self.config.tex_hit_latency.max(1)), None);
+        }
+        let result = coalesce_segments(addresses, bytes_per_lane, self.config.segment_bytes);
+        self.traffic
+            .record(space, is_store, requested, result.transactions() as u64);
+        if self.config.ideal {
+            return (now + 1, None);
+        }
+        (
+            now + 1,
+            Some(FabricRequest {
+                space,
+                is_store,
+                segments: result.segments,
+            }),
+        )
+    }
+
+    /// Probes the read-only cache for every line a global load touches.
+    /// `addresses` must already be filtered to read-only regions. Returns
+    /// the base addresses of the missing lines (deduplicated in probe
+    /// order); hits cost nothing beyond the hit latency the caller models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this SM has no read-only cache.
+    pub fn tex_probe(&mut self, addresses: &[u32], width_bytes: u32) -> Vec<u32> {
+        let tex = self.tex.as_mut().expect("tex_probe without a cache");
+        let line = tex.line_bytes();
+        let mut miss_lines = Vec::new();
+        for &a in addresses {
+            let first = a & !(line - 1);
+            let last = (a + width_bytes - 1) & !(line - 1);
+            let mut l = first;
+            loop {
+                if !tex.access(l) && !miss_lines.contains(&l) {
+                    miss_lines.push(l);
+                }
+                if l >= last {
+                    break;
+                }
+                l += line;
+            }
+        }
+        miss_lines
+    }
+
+    /// Resets timing state (port, cache contents) and the traffic shard.
+    pub fn reset_timing(&mut self) {
+        self.lsu_free = 0;
+        self.traffic = TrafficStats::new();
+        if let Some(t) = self.tex.as_mut() {
+            t.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::MemoryFabric;
+
+    #[test]
+    fn request_then_service_matches_monolithic_access() {
+        let cfg = MemConfig::fx5800();
+        let addrs: Vec<u32> = (0..32).map(|i| i * 128).collect();
+
+        let mut mono = MemoryFabric::new(cfg.clone());
+        let t_mono = mono.access(
+            3,
+            &WarpAccess {
+                space: Space::Global,
+                is_store: false,
+                bytes_per_lane: 4,
+                addresses: addrs.clone(),
+            },
+        );
+
+        let mut fe = SmMemFrontend::new(cfg.clone());
+        let mut fabric = MemoryFabric::new(cfg);
+        let (floor, req) = fe.request_offchip(3, Space::Global, false, 4, &addrs);
+        let t_split = fabric.service(3, &req.expect("non-ideal global access emits a request"));
+        assert_eq!(t_mono, floor.max(t_split));
+        // Traffic landed in the frontend shard, not the fabric.
+        assert_eq!(fe.traffic().space(Space::Global).accesses, 1);
+        assert_eq!(fabric.traffic().space(Space::Global).accesses, 0);
+    }
+
+    #[test]
+    fn const_and_ideal_emit_no_request() {
+        let mut fe = SmMemFrontend::new(MemConfig::fx5800());
+        let (t, req) = fe.request_offchip(0, Space::Const, false, 4, &[0, 4, 8]);
+        assert!(req.is_none());
+        assert_eq!(t, u64::from(MemConfig::fx5800().tex_hit_latency));
+
+        let mut ideal = SmMemFrontend::new(MemConfig::fx5800().with_ideal(true));
+        let (t, req) = ideal.request_offchip(5, Space::Global, true, 4, &[0]);
+        assert!(req.is_none());
+        assert_eq!(t, 6);
+        assert_eq!(ideal.traffic().space(Space::Global).bytes_written, 4);
+    }
+
+    #[test]
+    fn onchip_port_serializes_conflicting_accesses() {
+        let cfg = MemConfig::fx5800();
+        let mut fe = SmMemFrontend::new(cfg.clone());
+        let conflicted = WarpAccess {
+            space: Space::Shared,
+            is_store: false,
+            bytes_per_lane: 4,
+            addresses: (0..8).map(|i| i * 64).collect(),
+        };
+        let (t1, d1) = fe.access_onchip(0, &conflicted);
+        assert_eq!(d1, 8);
+        assert_eq!(t1, u64::from(cfg.shared_latency) + 8);
+        // A second warp in the same cycle queues behind the port.
+        let (t2, _) = fe.access_onchip(0, &conflicted);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn view_checks_mirror_fabric_checks() {
+        let mut fab = MemoryFabric::new(MemConfig::fx5800());
+        fab.alloc_global(32, "t");
+        fab.configure_local(16);
+        let v = fab.view();
+        for (space, addr) in [(Space::Global, 3u32), (Space::Local, 20), (Space::Spawn, 0)] {
+            assert!(v.check_load(space, addr).is_err(), "{space} {addr}");
+        }
+        assert_eq!(
+            v.check_store(Space::Const, 4),
+            Err(MemFault::ConstStore { addr: 4 })
+        );
+        assert!(v.check_load(Space::Const, 4).is_ok());
+        assert!(v.check_store(Space::Local, 12).is_ok());
+        assert_eq!(
+            v.check_load(Space::Local, 16),
+            fab.try_read_local(0, 16).map(|_| ()),
+        );
+    }
+
+    #[test]
+    fn tex_probe_dedups_lines_and_tracks_hits() {
+        let mut fe = SmMemFrontend::new(MemConfig::fx5800());
+        let line = MemConfig::fx5800().tex_line_bytes;
+        // Two addresses in the same line: one miss.
+        let m = fe.tex_probe(&[0, 4], 4);
+        assert_eq!(m, vec![0]);
+        // Re-probe: hit, no misses.
+        assert!(fe.tex_probe(&[0], 4).is_empty());
+        // A v4 straddling a line boundary touches two lines.
+        let m = fe.tex_probe(&[line - 4], 16);
+        assert_eq!(m.len(), 1, "line 0 already resident: {m:?}");
+        assert_eq!(m[0], line);
+    }
+}

@@ -12,9 +12,12 @@
 //!   theoretical-branching study;
 //! * byte-accurate **traffic accounting** per address space (paper Table IV).
 //!
-//! Functional state and timing are deliberately separated: the simulator
-//! performs functional reads/writes at issue and then parks the warp until
-//! the cycle returned by the timing model.
+//! Functional state and timing are deliberately separated, and the model is
+//! split along the chip's own boundary for the simulator's two-phase cycle:
+//! each SM owns an [`SmMemFrontend`] (coalescer, read-only cache, on-chip
+//! port, traffic shard) it can drive in parallel with other SMs, while the
+//! single shared [`MemoryFabric`] (DRAM modules + off-chip backing) drains
+//! the resulting [`FabricRequest`]s serially in SM-id order.
 //!
 //! ## Example
 //!
@@ -36,7 +39,8 @@ mod banks;
 mod cache;
 mod coalesce;
 mod config;
-mod system;
+mod fabric;
+mod frontend;
 mod traffic;
 
 pub use backing::{LocalStore, WordStore};
@@ -44,5 +48,6 @@ pub use banks::{conflict_degree, OnChipMemory};
 pub use cache::ReadOnlyCache;
 pub use coalesce::{coalesce_segments, CoalesceResult};
 pub use config::MemConfig;
-pub use system::{MemFault, MemorySystem, WarpAccess};
+pub use fabric::{FabricRequest, FunctionalOp, MemFault, MemoryFabric, MemorySystem, WarpAccess};
+pub use frontend::{FabricView, PendingAccess, SmMemFrontend};
 pub use traffic::{SpaceTraffic, TrafficStats};

@@ -1,4 +1,22 @@
-//! The whole chip: SM array, launch dispatcher, and the cycle loop.
+//! The whole chip: SM array, launch dispatcher, and the two-phase cycle
+//! loop.
+//!
+//! Each simulated cycle runs in two phases:
+//!
+//! * **Phase A** — every SM steps against only its own private state
+//!   (warps, on-chip memories, read-only cache, coalescer) plus an
+//!   immutable [`FabricView`] of device-memory metadata, *emitting*
+//!   deferred functional ops and coalesced module requests into its
+//!   private pending queue. No SM can observe another SM in this phase,
+//!   so it is embarrassingly parallel: with [`Gpu::set_parallelism`] the
+//!   SM array is sharded across a pool of OS threads.
+//! * **Phase B** — the shared [`MemoryFabric`](simt_mem::MemoryFabric)
+//!   drains every SM's queue serially in SM-id order, applying the
+//!   functional ops and arbitrating the DRAM modules deterministically.
+//!
+//! Because phase A touches no shared mutable state and phase B always
+//! runs in fixed SM-id order, the simulation is bit-identical at every
+//! parallelism level — the worker threads change wall-clock time only.
 
 use crate::config::{GpuConfig, SchedulingModel};
 use crate::fault::{
@@ -8,8 +26,10 @@ use crate::sm::{ExecCtx, Sm};
 use crate::stats::SimStats;
 use dmk_core::DmkStats;
 use simt_isa::{Program, ReconvergenceTable};
-use simt_mem::{MemorySystem, TrafficStats};
+use simt_mem::{FabricView, MemorySystem, TrafficStats};
 use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::thread;
 
 /// A kernel launch request.
 #[derive(Debug, Clone)]
@@ -87,6 +107,81 @@ pub struct Gpu {
     rr_sm: usize,
     injector: Option<Injector>,
     faults: Vec<Fault>,
+    /// Worker threads used for phase A (1 = step SMs inline).
+    parallel: usize,
+}
+
+/// A pool of phase-A worker threads, alive for the duration of one
+/// [`Gpu::run`]. Each worker owns a job channel; SM chunks are shuttled
+/// to it by value every cycle and handed back with any faults the chunk
+/// raised. Workers exit when the pool (and thus every job sender) drops,
+/// and the enclosing [`thread::scope`] joins them.
+struct WorkerPool {
+    jobs: Vec<mpsc::Sender<(u64, Vec<Sm>)>>,
+    results: mpsc::Receiver<(usize, Vec<Sm>, Vec<Fault>)>,
+}
+
+impl WorkerPool {
+    /// Spawns `nworkers` scoped threads stepping SM chunks against the
+    /// shared read-only execution context.
+    fn spawn<'scope, 'env>(
+        scope: &'scope thread::Scope<'scope, 'env>,
+        nworkers: usize,
+        ctx: &'env ExecCtx<'env>,
+        view: &'env FabricView,
+        injector: Option<&'env Injector>,
+    ) -> Self {
+        let (res_tx, results) = mpsc::channel();
+        let mut jobs = Vec::with_capacity(nworkers);
+        for w in 0..nworkers {
+            let (tx, rx) = mpsc::channel::<(u64, Vec<Sm>)>();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                while let Ok((now, mut chunk)) = rx.recv() {
+                    let mut faults = Vec::new();
+                    for sm in &mut chunk {
+                        if let Err(f) = sm.step(now, ctx, view, injector) {
+                            faults.push(f);
+                        }
+                    }
+                    if res_tx.send((w, chunk, faults)).is_err() {
+                        break;
+                    }
+                }
+            });
+            jobs.push(tx);
+        }
+        WorkerPool { jobs, results }
+    }
+
+    /// Steps every SM once for cycle `now` across the pool. SMs are split
+    /// into contiguous chunks (so chunk→worker assignment is a pure
+    /// function of the SM count) and reassembled in SM-id order, as are
+    /// the faults — results are byte-identical to the inline loop.
+    #[allow(clippy::expect_used)]
+    fn step_all(&self, now: u64, sms: &mut Vec<Sm>) -> Vec<Fault> {
+        let nw = self.jobs.len();
+        let per = sms.len().div_ceil(nw);
+        let mut rest = std::mem::take(sms);
+        for job in &self.jobs {
+            let take = per.min(rest.len());
+            let tail = rest.split_off(take);
+            let chunk = std::mem::replace(&mut rest, tail);
+            job.send((now, chunk)).expect("phase-A worker alive");
+        }
+        let mut slots: Vec<Option<(Vec<Sm>, Vec<Fault>)>> = (0..nw).map(|_| None).collect();
+        for _ in 0..nw {
+            let (w, chunk, faults) = self.results.recv().expect("phase-A worker alive");
+            slots[w] = Some((chunk, faults));
+        }
+        let mut faults = Vec::new();
+        for slot in slots {
+            let (chunk, f) = slot.expect("every worker reports exactly once");
+            sms.extend(chunk);
+            faults.extend(f);
+        }
+        faults
+    }
 }
 
 impl Gpu {
@@ -111,6 +206,7 @@ impl Gpu {
             rr_sm: 0,
             injector: None,
             faults: Vec::new(),
+            parallel: 1,
         }
     }
 
@@ -118,6 +214,18 @@ impl Gpu {
     /// any previously installed injector.
     pub fn set_injector(&mut self, injector: Injector) {
         self.injector = Some(injector);
+    }
+
+    /// Sets the number of phase-A worker threads (clamped to ≥ 1; 1 means
+    /// step SMs inline on the calling thread). Simulation results are
+    /// bit-identical at every setting — this changes wall-clock time only.
+    pub fn set_parallelism(&mut self, n: usize) {
+        self.parallel = n.max(1);
+    }
+
+    /// The configured phase-A parallelism.
+    pub fn parallelism(&self) -> usize {
+        self.parallel
     }
 
     /// Every warp trap recorded so far.
@@ -240,15 +348,10 @@ impl Gpu {
         stats: &mut SimStats,
         injector: Option<&Injector>,
         now: u64,
+        ctx: &ExecCtx<'_>,
     ) {
-        let ctx = ExecCtx {
-            program: &launch.program,
-            rtab: &launch.rtab,
-            regs_per_thread: launch.regs_per_thread,
-            ntid: launch.ntid,
-        };
         // 1. Dynamic warps have scheduling priority (§IV-D).
-        sm.drain_dynamic(&mut launch.next_dynamic_tid, &ctx);
+        sm.drain_dynamic(&mut launch.next_dynamic_tid, ctx);
 
         // Injected state-slot exhaustion: pretend the spawn-memory state
         // records are all taken, starving launch admission this cycle
@@ -272,7 +375,7 @@ impl Gpu {
                     while block.next_tid < block.end_tid {
                         let n = cfg.warp_size.min(block.end_tid - block.next_tid);
                         let tids: Vec<u32> = (block.next_tid..block.next_tid + n).collect();
-                        sm.admit_launch_warp(&tids, launch.entry_pc, Some(block.id), &ctx, stats);
+                        sm.admit_launch_warp(&tids, launch.entry_pc, Some(block.id), ctx);
                         block.next_tid += n;
                     }
                 }
@@ -288,7 +391,7 @@ impl Gpu {
                         break;
                     }
                     let tids: Vec<u32> = (front.next_tid..front.next_tid + n).collect();
-                    sm.admit_launch_warp(&tids, launch.entry_pc, None, &ctx, stats);
+                    sm.admit_launch_warp(&tids, launch.entry_pc, None, ctx);
                     front.next_tid += n;
                     if front.next_tid == front.end_tid {
                         launch.blocks.pop_front();
@@ -302,7 +405,7 @@ impl Gpu {
         if launch.blocks.is_empty() && !sm.has_live_warps() {
             if let Some(f) = sm.formation() {
                 if f.fifo_len() == 0 && f.partial_threads() > 0 {
-                    sm.force_out_partials(&mut launch.next_dynamic_tid, &ctx);
+                    sm.force_out_partials(&mut launch.next_dynamic_tid, ctx);
                 }
             }
         }
@@ -331,8 +434,29 @@ impl Gpu {
 
     /// A monotone counter that advances whenever the machine makes forward
     /// progress in the thread-retirement sense (used by the watchdog).
-    fn progress_count(stats: &SimStats) -> u64 {
-        stats.threads_retired + stats.threads_spawned + stats.threads_killed
+    /// Sums the merged base stats plus every SM's live shard.
+    fn progress_count(&self) -> u64 {
+        let mut count =
+            self.stats.threads_retired + self.stats.threads_spawned + self.stats.threads_killed;
+        for sm in &self.sms {
+            let s = sm.stats();
+            count += s.threads_retired + s.threads_spawned + s.threads_killed;
+        }
+        count
+    }
+
+    /// Merges every SM's statistics shard into the base stats and
+    /// consolidates the cycle count — the single place `stats.cycles` is
+    /// written.
+    fn finish_run(&mut self) {
+        for sm in &mut self.sms {
+            let shard = sm.take_stats(SimStats::new(
+                self.cfg.divergence_window,
+                self.cfg.warp_size,
+            ));
+            self.stats.merge(&shard);
+        }
+        self.stats.cycles = self.now;
     }
 
     /// Snapshot of every SM for the watchdog's deadlock report.
@@ -360,80 +484,38 @@ impl Gpu {
     /// simulation with [`SimError::Fault`]. The machine state is left at
     /// the faulting cycle for inspection.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
-        let start = self.now;
-        let mut last_progress = self.now;
-        let mut last_count = Self::progress_count(&self.stats);
-        let outcome = loop {
-            if self.is_done() {
-                break RunOutcome::Completed;
-            }
-            if self.now - start >= max_cycles {
-                break RunOutcome::CycleLimit;
-            }
-            // is_done() returned false above, so a launch is active.
-            let Some(mut launch) = self.launch.take() else {
-                break RunOutcome::Completed;
-            };
-            let injector = self.injector.as_ref();
-            // Rotate dispatch priority so SM 0 is not structurally favored.
-            let n = self.sms.len();
-            for k in 0..n {
-                let i = (self.rr_sm + k) % n;
-                Self::dispatch_for_sm(
-                    &mut self.sms[i],
-                    &mut launch,
-                    &self.cfg,
-                    &mut self.stats,
-                    injector,
-                    self.now,
-                );
-            }
-            let ctx = ExecCtx {
-                program: &launch.program,
-                rtab: &launch.rtab,
-                regs_per_thread: launch.regs_per_thread,
-                ntid: launch.ntid,
-            };
-            let mut abort: Option<Fault> = None;
-            for sm in &mut self.sms {
-                match sm.step(self.now, &ctx, &mut self.mem, &mut self.stats, injector) {
-                    Ok(_) => {}
-                    Err(fault) => {
-                        self.stats.faults += 1;
-                        self.faults.push(fault.clone());
-                        match self.cfg.fault_policy {
-                            FaultPolicy::Abort => abort = Some(fault),
-                            FaultPolicy::KillWarp => sm.kill_warp(fault.warp, &mut self.stats),
-                        }
-                    }
-                }
-                sm.reap_finished(&ctx);
-                if abort.is_some() {
-                    break;
-                }
-            }
-            self.launch = Some(launch);
-            if let Some(fault) = abort {
-                self.stats.cycles = self.now;
-                return Err(SimError::Fault(fault));
-            }
-            self.rr_sm = (self.rr_sm + 1) % n.max(1);
-            self.now += 1;
-            self.stats.cycles = self.now;
-
-            let count = Self::progress_count(&self.stats);
-            if count != last_count {
-                last_count = count;
-                last_progress = self.now;
-            }
-            if self.now - last_progress >= self.cfg.watchdog_cycles {
-                self.stats.watchdog_deadlocks += 1;
-                break RunOutcome::Deadlock {
-                    diagnostics: self.deadlock_diagnostics(),
+        // Clone the immutable per-launch context out of `self` so worker
+        // threads can borrow it while the cycle loop mutates the rest of
+        // the machine. A `Program` is a few kilobytes; this happens once
+        // per run, not per cycle.
+        let per_launch = self
+            .launch
+            .as_ref()
+            .map(|l| (l.program.clone(), l.rtab.clone(), l.regs_per_thread, l.ntid));
+        let result = match &per_launch {
+            None => Ok(RunOutcome::Completed),
+            Some((program, rtab, regs_per_thread, ntid)) => {
+                let ctx = ExecCtx {
+                    program,
+                    rtab,
+                    regs_per_thread: *regs_per_thread,
+                    ntid: *ntid,
                 };
+                let view = self.mem.view();
+                let injector = self.injector.clone();
+                let nworkers = self.parallel.min(self.sms.len()).max(1);
+                if nworkers <= 1 {
+                    self.run_cycles(max_cycles, &ctx, &view, injector.as_ref(), None)
+                } else {
+                    thread::scope(|s| {
+                        let pool = WorkerPool::spawn(s, nworkers, &ctx, &view, injector.as_ref());
+                        self.run_cycles(max_cycles, &ctx, &view, injector.as_ref(), Some(&pool))
+                    })
+                }
             }
         };
-        self.stats.cycles = self.now;
+        self.finish_run();
+        let outcome = result?;
         let mut dmk = DmkStats::default();
         for sm in &self.sms {
             if let Some(f) = sm.formation() {
@@ -448,13 +530,125 @@ impl Gpu {
                 dmk.spawn_stalls += s.spawn_stalls;
             }
         }
+        let mut traffic = self.mem.traffic().clone();
+        for sm in &self.sms {
+            traffic.merge(sm.traffic());
+        }
         Ok(RunSummary {
             outcome,
             stats: self.stats.clone(),
-            traffic: self.mem.traffic().clone(),
+            traffic,
             dmk,
             faults: self.faults.clone(),
         })
+    }
+
+    /// The cycle loop: dispatch, phase A (possibly across the worker
+    /// pool), fault handling, phase B, watchdog.
+    #[allow(clippy::expect_used)]
+    fn run_cycles(
+        &mut self,
+        max_cycles: u64,
+        ctx: &ExecCtx<'_>,
+        view: &FabricView,
+        injector: Option<&Injector>,
+        pool: Option<&WorkerPool>,
+    ) -> Result<RunOutcome, SimError> {
+        let start = self.now;
+        let mut last_progress = self.now;
+        let mut last_count = self.progress_count();
+        loop {
+            if self.is_done() {
+                return Ok(RunOutcome::Completed);
+            }
+            if self.now - start >= max_cycles {
+                return Ok(RunOutcome::CycleLimit);
+            }
+            // Dispatch is serial, rotated so SM 0 is not structurally
+            // favored for launch work.
+            let n = self.sms.len();
+            {
+                let launch = self.launch.as_mut().expect("is_done saw a launch");
+                for k in 0..n {
+                    let i = (self.rr_sm + k) % n;
+                    Self::dispatch_for_sm(
+                        &mut self.sms[i],
+                        launch,
+                        &self.cfg,
+                        &mut self.stats,
+                        injector,
+                        self.now,
+                        ctx,
+                    );
+                }
+            }
+            // Phase A: every SM steps against private state only, queueing
+            // off-chip work. Faults come back in SM-id order either way.
+            let faults = match pool {
+                Some(pool) => pool.step_all(self.now, &mut self.sms),
+                None => {
+                    let mut faults = Vec::new();
+                    for sm in &mut self.sms {
+                        if let Err(f) = sm.step(self.now, ctx, view, injector) {
+                            faults.push(f);
+                        }
+                    }
+                    faults
+                }
+            };
+            let mut abort: Option<Fault> = None;
+            for fault in faults {
+                match self.cfg.fault_policy {
+                    FaultPolicy::Abort => {
+                        // Record only the first fault in SM order: under the
+                        // serial model later SMs never got to step.
+                        if abort.is_none() {
+                            self.stats.faults += 1;
+                            self.faults.push(fault.clone());
+                            abort = Some(fault);
+                        }
+                    }
+                    FaultPolicy::KillWarp => {
+                        self.stats.faults += 1;
+                        self.faults.push(fault.clone());
+                        self.sms[fault.sm].kill_warp(fault.warp);
+                    }
+                }
+            }
+            // Phase B: the fabric drains pending queues serially in SM-id
+            // order — the only place off-chip functional state mutates.
+            if let Some(fault) = abort {
+                // Commit only SMs at or before the faulting one; under the
+                // serial model the rest never reached memory this cycle.
+                for i in 0..n {
+                    if i <= fault.sm {
+                        self.sms[i].drain_pending(self.now, &mut self.mem);
+                        self.sms[i].reap_finished(ctx);
+                    } else {
+                        self.sms[i].discard_pending();
+                    }
+                }
+                return Err(SimError::Fault(fault));
+            }
+            for sm in &mut self.sms {
+                sm.drain_pending(self.now, &mut self.mem);
+                sm.reap_finished(ctx);
+            }
+            self.rr_sm = (self.rr_sm + 1) % n.max(1);
+            self.now += 1;
+
+            let count = self.progress_count();
+            if count != last_count {
+                last_count = count;
+                last_progress = self.now;
+            }
+            if self.now - last_progress >= self.cfg.watchdog_cycles {
+                self.stats.watchdog_deadlocks += 1;
+                return Ok(RunOutcome::Deadlock {
+                    diagnostics: self.deadlock_diagnostics(),
+                });
+            }
+        }
     }
 }
 
@@ -717,5 +911,80 @@ mod tests {
         // 5 instructions per thread.
         assert_eq!(summary.stats.thread_instructions, 64 * 5);
         assert!(summary.stats.ipc() > 0.0);
+    }
+
+    /// A load/store kernel with divergence, run at several phase-A
+    /// parallelism levels: stats, traffic, and memory contents must be
+    /// bit-identical (the tentpole determinism claim).
+    #[test]
+    fn parallel_execution_is_bit_identical_to_serial() {
+        let src = r#"
+            .kernel main
+            main:
+                mov.u32 r1, %tid
+                mul.lo.s32 r2, r1, 4
+                ld.global.u32 r3, [r2+0]
+                and.b32 r4, r1, 3
+                setp.gt.s32 p0, r4, 1
+                @p0 add.s32 r3, r3, 100
+                add.s32 r3, r3, 1
+                st.global.u32 [r2+0], r3
+                ld.global.u32 r4, [r2+0]
+                st.global.u32 [r2+0], r4
+                exit
+        "#;
+        let run_at = |parallel: usize| {
+            let program = assemble_named("mix", src).unwrap();
+            let mut gpu = Gpu::new(GpuConfig::tiny());
+            gpu.set_parallelism(parallel);
+            gpu.mem_mut().alloc_global(128 * 4, "buf");
+            gpu.launch(Launch {
+                program,
+                entry: "main".into(),
+                num_threads: 128,
+                threads_per_block: 8,
+            })
+            .expect("launch accepted");
+            let summary = gpu.run(1_000_000).expect("fault-free");
+            let words: Vec<u32> = (0..128u32)
+                .map(|t| gpu.mem().read_u32(simt_isa::Space::Global, t * 4))
+                .collect();
+            (summary, words)
+        };
+        let (s1, w1) = run_at(1);
+        for parallel in [2, 4] {
+            let (sp, wp) = run_at(parallel);
+            assert_eq!(s1.stats, sp.stats, "stats diverged at parallel={parallel}");
+            assert_eq!(
+                s1.traffic, sp.traffic,
+                "traffic diverged at parallel={parallel}"
+            );
+            assert_eq!(w1, wp, "memory diverged at parallel={parallel}");
+            assert_eq!(s1.outcome, sp.outcome);
+        }
+    }
+
+    /// Running the same launch twice at the same parallelism is also
+    /// reproducible (no hidden nondeterminism from thread scheduling).
+    #[test]
+    fn repeated_parallel_runs_are_reproducible() {
+        let run_once = || {
+            let program = assemble_named("double", DOUBLE_SRC).unwrap();
+            let mut gpu = Gpu::new(GpuConfig::tiny());
+            gpu.set_parallelism(2);
+            gpu.mem_mut().alloc_global(64 * 4, "out");
+            gpu.launch(Launch {
+                program,
+                entry: "main".into(),
+                num_threads: 64,
+                threads_per_block: 8,
+            })
+            .expect("launch accepted");
+            gpu.run(1_000_000).expect("fault-free")
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.traffic, b.traffic);
     }
 }

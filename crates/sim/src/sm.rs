@@ -8,7 +8,10 @@ use crate::thread::ThreadCtx;
 use crate::warp::Warp;
 use dmk_core::{CompletedWarp, SpawnError, SpawnMemoryLayout, WarpFormation};
 use simt_isa::{Instr, Program, ReconvergenceTable, Space, Width};
-use simt_mem::{MemFault, MemorySystem, OnChipMemory, ReadOnlyCache, WarpAccess};
+use simt_mem::{
+    FabricView, FunctionalOp, MemFault, MemoryFabric, OnChipMemory, PendingAccess, SmMemFrontend,
+    TrafficStats, WarpAccess,
+};
 use std::collections::HashMap;
 
 /// Execution context shared by all SMs for the current launch.
@@ -45,17 +48,20 @@ pub struct Sm {
     blocks: HashMap<usize, u32>,
     /// Free spawn-memory state records (dmk only).
     free_state_slots: Vec<u32>,
-    /// Per-SM read-only (texture) cache for bound scene data.
-    tex: Option<ReadOnlyCache>,
-    tex_hit_latency: u32,
+    /// Per-SM memory frontend: coalescer, read-only (texture) cache,
+    /// on-chip load-store port, and this SM's traffic shard.
+    frontend: SmMemFrontend,
     spawn_policy: SpawnPolicy,
-    /// Cycle at which this SM's on-chip load-store port is next free
-    /// (bank-conflict serialization occupies it).
-    lsu_free: u64,
     /// Cycle until which the issue port is blocked by bank-conflict
     /// instruction replays (GT200-style: a conflicting access re-issues
     /// once per extra pass, stealing issue slots from every warp).
     issue_blocked_until: u64,
+    /// This SM's statistics shard. Phase A runs SMs on separate threads,
+    /// so counters accumulate here and are merged by the GPU at run end.
+    stats: SimStats,
+    /// Off-chip work emitted during phase A, drained by the GPU against
+    /// the shared fabric in SM-id order during phase B.
+    pending: Vec<PendingAccess>,
 }
 
 impl Sm {
@@ -90,23 +96,33 @@ impl Sm {
             regs_used: 0,
             blocks: HashMap::new(),
             free_state_slots,
-            tex: (cfg.mem.tex_cache_bytes > 0).then(|| {
-                ReadOnlyCache::new(
-                    cfg.mem.tex_cache_bytes,
-                    cfg.mem.tex_line_bytes,
-                    cfg.mem.tex_ways,
-                )
-            }),
-            tex_hit_latency: cfg.mem.tex_hit_latency,
+            frontend: SmMemFrontend::new(cfg.mem.clone()),
             spawn_policy: cfg.spawn_policy,
-            lsu_free: 0,
             issue_blocked_until: 0,
+            stats: SimStats::new(cfg.divergence_window, cfg.warp_size),
+            pending: Vec::new(),
         }
     }
 
     /// Texture-cache (hits, misses) so far, if a cache is configured.
     pub fn tex_stats(&self) -> Option<(u64, u64)> {
-        self.tex.as_ref().map(|c| (c.hits, c.misses))
+        self.frontend.tex_stats()
+    }
+
+    /// This SM's statistics shard (counters since the last merge).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Takes this SM's statistics shard, leaving `fresh` (a zeroed shard
+    /// with the right divergence geometry) in its place.
+    pub(crate) fn take_stats(&mut self, fresh: SimStats) -> SimStats {
+        std::mem::replace(&mut self.stats, fresh)
+    }
+
+    /// This SM's traffic shard (cumulative across runs).
+    pub fn traffic(&self) -> &TrafficStats {
+        self.frontend.traffic()
     }
 
     /// SM index.
@@ -185,7 +201,6 @@ impl Sm {
         entry_pc: usize,
         block_id: Option<usize>,
         ctx: &ExecCtx<'_>,
-        stats: &mut SimStats,
     ) {
         assert!(self.fits_warp(tids.len() as u32, ctx.regs_per_thread, true));
         let mut threads = Vec::with_capacity(tids.len());
@@ -212,7 +227,7 @@ impl Sm {
         }
         self.threads_used += n;
         self.regs_used += n * ctx.regs_per_thread;
-        stats.threads_launched += u64::from(n);
+        self.stats.threads_launched += u64::from(n);
         self.warps.push(w);
     }
 
@@ -347,28 +362,31 @@ impl Sm {
         admitted
     }
 
-    /// Issues at most one warp-instruction. Returns `Ok(true)` if something
-    /// issued (or productively stalled), `Ok(false)` on an idle cycle, and
-    /// `Err` when the issuing warp trapped (the caller applies the
-    /// configured [`crate::FaultPolicy`]).
+    /// Phase A: issues at most one warp-instruction against this SM's
+    /// private state, deferring off-chip work into the pending queue.
+    /// Returns `Ok(true)` if something issued (or productively stalled),
+    /// `Ok(false)` on an idle cycle, and `Err` when the issuing warp
+    /// trapped (the caller applies the configured [`crate::FaultPolicy`]).
+    ///
+    /// Takes only `&FabricView` — no shared mutable state — so the GPU may
+    /// run this concurrently for different SMs with bit-identical results.
     pub(crate) fn step(
         &mut self,
         now: u64,
         ctx: &ExecCtx<'_>,
-        mem: &mut MemorySystem,
-        stats: &mut SimStats,
+        view: &FabricView,
         injector: Option<&Injector>,
     ) -> Result<bool, Fault> {
         if now < self.issue_blocked_until {
             // Issue port consumed by bank-conflict replays.
-            stats.idle_sm_cycles += 1;
-            stats.divergence.record_idle(now);
+            self.stats.idle_sm_cycles += 1;
+            self.stats.divergence.record_idle(now);
             return Ok(false);
         }
         let n = self.warps.len();
         if n == 0 {
-            stats.idle_sm_cycles += 1;
-            stats.divergence.record_idle(now);
+            self.stats.idle_sm_cycles += 1;
+            self.stats.divergence.record_idle(now);
             return Ok(false);
         }
         for k in 0..n {
@@ -382,16 +400,55 @@ impl Sm {
             self.rr = (idx + 1) % n;
             if let Some(inj) = injector {
                 if inj.fires(InjectedFault::Trap, now) {
-                    stats.injected_events += 1;
+                    self.stats.injected_events += 1;
                     return Err(self.fault(FaultKind::Injected, idx, entry.pc, now));
                 }
             }
-            self.exec_warp_instruction(idx, entry.pc, entry.mask, now, ctx, mem, stats, injector)?;
+            self.exec_warp_instruction(idx, entry.pc, entry.mask, now, ctx, view, injector)?;
             return Ok(true);
         }
-        stats.idle_sm_cycles += 1;
-        stats.divergence.record_idle(now);
+        self.stats.idle_sm_cycles += 1;
+        self.stats.divergence.record_idle(now);
         Ok(false)
+    }
+
+    /// Phase B: applies this SM's deferred functional transfers and services
+    /// its module requests against the shared fabric. The GPU calls this
+    /// serially in SM-id order, which reproduces exactly the memory
+    /// interleaving of the old fully-serial cycle loop.
+    pub(crate) fn drain_pending(&mut self, now: u64, fabric: &mut MemoryFabric) {
+        for pa in self.pending.drain(..) {
+            for op in &pa.ops {
+                if let Some(v) = fabric.apply(op) {
+                    let FunctionalOp::Load { lane, reg, .. } = op else {
+                        continue;
+                    };
+                    // The warp is parked until at least `now + 1`, so this
+                    // late register write is indistinguishable from the old
+                    // at-issue write.
+                    if let Some(w) = self.warps.iter_mut().find(|w| w.id == pa.warp_id) {
+                        if let Some(t) = w.lanes[*lane].as_mut() {
+                            t.set_reg(*reg, v);
+                        }
+                    }
+                }
+            }
+            let mut ready = now + 1;
+            for req in &pa.requests {
+                ready = ready.max(fabric.service(now, req));
+            }
+            if pa.wait && !pa.requests.is_empty() {
+                if let Some(w) = self.warps.iter_mut().find(|w| w.id == pa.warp_id) {
+                    w.ready_at = w.ready_at.max(ready);
+                }
+            }
+        }
+    }
+
+    /// Drops queued phase-A work without applying it (abort path: SMs past
+    /// the faulting one never reached memory in the serial model).
+    pub(crate) fn discard_pending(&mut self) {
+        self.pending.clear();
     }
 
     /// Builds a trap record for warp slot `widx`.
@@ -410,7 +467,7 @@ impl Sm {
     /// (counted as killed, not retired) and their spawn-memory state
     /// records recycled. The emptied warp is released by the next
     /// [`Sm::reap_finished`] like any finished warp.
-    pub(crate) fn kill_warp(&mut self, warp_id: usize, stats: &mut SimStats) {
+    pub(crate) fn kill_warp(&mut self, warp_id: usize) {
         let Some(widx) = self.warps.iter().position(|w| w.id == warp_id) else {
             return;
         };
@@ -437,8 +494,8 @@ impl Sm {
                 self.free_state_slots.push(s);
             }
         }
-        stats.warps_killed += 1;
-        stats.threads_killed += u64::from(mask.count_ones());
+        self.stats.warps_killed += 1;
+        self.stats.threads_killed += u64::from(mask.count_ones());
         self.warps[widx].exit_lanes(mask);
     }
 
@@ -476,8 +533,7 @@ impl Sm {
         mask: u64,
         now: u64,
         ctx: &ExecCtx<'_>,
-        mem: &mut MemorySystem,
-        stats: &mut SimStats,
+        view: &FabricView,
         injector: Option<&Injector>,
     ) -> Result<(), Fault> {
         let instr = *ctx.program.fetch(pc);
@@ -540,7 +596,7 @@ impl Sm {
                             t.spawn_mem_addr = slot;
                             slots.push(slot);
                         }
-                        let (_, degree) = mem.access_onchip(
+                        let (_, degree) = self.frontend.access_onchip(
                             now,
                             &WarpAccess {
                                 space: Space::Spawn,
@@ -548,11 +604,10 @@ impl Sm {
                                 bytes_per_lane: 4,
                                 addresses: slots,
                             },
-                            &mut self.lsu_free,
                         );
                         self.block_issue_for_replays(now, degree);
-                        stats.spawn_elisions += 1;
-                        self.commit(widx, pc, mask, now, now + 1, stats);
+                        self.stats.spawn_elisions += 1;
+                        self.commit(widx, pc, mask, now, now + 1);
                         self.warps[widx].set_pc(target);
                         return Ok(());
                     }
@@ -569,7 +624,7 @@ impl Sm {
                     || i.fires(InjectedFault::FormationFull, now)
             });
             let outcome = if injected_stall {
-                stats.injected_events += 1;
+                self.stats.injected_events += 1;
                 Err(SpawnError::FifoFull)
             } else {
                 match self.formation.as_mut() {
@@ -592,9 +647,9 @@ impl Sm {
                         spawn_mem.write(slot, t.reg(ptr));
                         t.spawned_child = true;
                     }
-                    stats.threads_spawned += u64::from(n_active);
+                    self.stats.threads_spawned += u64::from(n_active);
                     // The metadata write is a store: charged, not waited on.
-                    let (_, degree) = mem.access_onchip(
+                    let (_, degree) = self.frontend.access_onchip(
                         now,
                         &WarpAccess {
                             space: Space::Spawn,
@@ -602,10 +657,9 @@ impl Sm {
                             bytes_per_lane: 4,
                             addresses: out.thread_slots,
                         },
-                        &mut self.lsu_free,
                     );
                     self.block_issue_for_replays(now, degree);
-                    self.commit(widx, pc, mask, now, now + 1, stats);
+                    self.commit(widx, pc, mask, now, now + 1);
                     self.warps[widx].set_pc(pc + 1);
                 }
                 Err(SpawnError::LutFull) => {
@@ -624,7 +678,7 @@ impl Sm {
                 }
                 Err(SpawnError::FormationFull) | Err(SpawnError::FifoFull) => {
                     // Transient back-pressure: retry shortly, no commit.
-                    stats.spawn_stall_cycles += 1;
+                    self.stats.spawn_stall_cycles += 1;
                     self.warps[widx].ready_at = now + 4;
                 }
             }
@@ -648,7 +702,7 @@ impl Sm {
                     let r = simt_isa::eval_alu(op, t.operand(a), t.operand(b), t.operand(c));
                     t.set_reg(d, r);
                 });
-                self.commit(widx, pc, mask, now, now + u64::from(latency), stats);
+                self.commit(widx, pc, mask, now, now + u64::from(latency));
                 self.warps[widx].set_pc(pc + 1);
             }
             Instr::Setp { cmp, p, a, b } => {
@@ -656,7 +710,7 @@ impl Sm {
                     let r = simt_isa::eval_cmp(cmp, t.operand(a), t.operand(b));
                     t.set_pred(p, r);
                 });
-                self.commit(widx, pc, mask, now, now + 1, stats);
+                self.commit(widx, pc, mask, now, now + 1);
                 self.warps[widx].set_pc(pc + 1);
             }
             Instr::Selp { d, a, b, p } => {
@@ -668,7 +722,7 @@ impl Sm {
                     };
                     t.set_reg(d, v);
                 });
-                self.commit(widx, pc, mask, now, now + 1, stats);
+                self.commit(widx, pc, mask, now, now + 1);
                 self.warps[widx].set_pc(pc + 1);
             }
             Instr::Mov { d, a } => {
@@ -676,7 +730,7 @@ impl Sm {
                     let v = t.operand(a);
                     t.set_reg(d, v);
                 });
-                self.commit(widx, pc, mask, now, now + 1, stats);
+                self.commit(widx, pc, mask, now, now + 1);
                 self.warps[widx].set_pc(pc + 1);
             }
             Instr::ReadSpecial { d, s } => {
@@ -690,11 +744,11 @@ impl Sm {
                     let v = t.special(s, lane as u32, wid, sm_id, ntid);
                     t.set_reg(d, v);
                 }
-                self.commit(widx, pc, mask, now, now + 1, stats);
+                self.commit(widx, pc, mask, now, now + 1);
                 self.warps[widx].set_pc(pc + 1);
             }
             Instr::Nop => {
-                self.commit(widx, pc, mask, now, now + 1, stats);
+                self.commit(widx, pc, mask, now, now + 1);
                 self.warps[widx].set_pc(pc + 1);
             }
             Instr::Ld {
@@ -705,9 +759,9 @@ impl Sm {
                 width,
             } => {
                 let ready = self
-                    .exec_memory(widx, pass, space, d, addr, offset, width, false, now, mem)
+                    .exec_memory(widx, pass, space, d, addr, offset, width, false, now, view)
                     .map_err(|m| self.fault(FaultKind::Memory(m), widx, pc, now))?;
-                self.commit(widx, pc, mask, now, ready, stats);
+                self.commit(widx, pc, mask, now, ready);
                 self.warps[widx].set_pc(pc + 1);
             }
             Instr::St {
@@ -720,15 +774,15 @@ impl Sm {
                 // Stores are fire-and-forget: bandwidth/queueing is charged
                 // by the timing model, but the warp does not wait for the
                 // write to land.
-                self.exec_memory(widx, pass, space, a, addr, offset, width, true, now, mem)
+                self.exec_memory(widx, pass, space, a, addr, offset, width, true, now, view)
                     .map_err(|m| self.fault(FaultKind::Memory(m), widx, pc, now))?;
-                self.commit(widx, pc, mask, now, now + 1, stats);
+                self.commit(widx, pc, mask, now, now + 1);
                 self.warps[widx].set_pc(pc + 1);
             }
             Instr::Bra { target } => {
                 let taken = pass;
                 let not_taken = mask & !pass;
-                self.commit(widx, pc, mask, now, now + 1, stats);
+                self.commit(widx, pc, mask, now, now + 1);
                 let w = &mut self.warps[widx];
                 if not_taken == 0 {
                     w.set_pc(target);
@@ -740,10 +794,10 @@ impl Sm {
                 }
             }
             Instr::Exit => {
-                self.commit(widx, pc, mask, now, now + 1, stats);
+                self.commit(widx, pc, mask, now, now + 1);
                 // Advance the entry first so non-exiting lanes continue.
                 self.warps[widx].set_pc(pc + 1);
-                self.retire_lanes(widx, pass, stats);
+                self.retire_lanes(widx, pass);
             }
             Instr::Spawn { .. } => unreachable!("handled above"),
         }
@@ -754,15 +808,15 @@ impl Sm {
     /// spawn-memory state slots.
     // Lane expects are backed by the caller passing live-lane masks only.
     #[allow(clippy::expect_used)]
-    fn retire_lanes(&mut self, widx: usize, lanes: u64, stats: &mut SimStats) {
+    fn retire_lanes(&mut self, widx: usize, lanes: u64) {
         for lane in 0..self.warp_size as usize {
             if lanes & (1 << lane) == 0 {
                 continue;
             }
             let t = self.warps[widx].lanes[lane].as_mut().expect("populated");
-            stats.threads_retired += 1;
+            self.stats.threads_retired += 1;
             if !t.spawned_child {
-                stats.lineages_completed += 1;
+                self.stats.lineages_completed += 1;
                 if let Some(slot) = t.state_slot.take() {
                     self.free_state_slots.push(slot);
                 }
@@ -771,10 +825,15 @@ impl Sm {
         self.warps[widx].exit_lanes(lanes);
     }
 
-    /// Performs the functional transfers for one warp memory instruction
-    /// and charges the timing model. Returns the data-ready cycle, or the
-    /// memory fault the first offending lane trapped on (lanes already
-    /// processed keep their effects, like a hardware imprecise trap).
+    /// Executes one warp memory instruction in phase A. On-chip accesses
+    /// (shared/spawn) transfer immediately — their backing is SM-private.
+    /// Off-chip accesses are *validated* against the fabric view, then
+    /// deferred as functional ops + coalesced module requests for phase B;
+    /// the returned data-ready cycle is a floor that phase B may raise.
+    ///
+    /// On a fault, lanes already validated keep their effects (imprecise
+    /// trap): their ops are flushed to the pending queue without a timing
+    /// request, exactly as the serial model left partial transfers applied.
     #[allow(clippy::too_many_arguments)]
     // Lane expects are backed by the caller passing live-lane masks only.
     #[allow(clippy::expect_used)]
@@ -789,10 +848,80 @@ impl Sm {
         width: Width,
         is_store: bool,
         now: u64,
-        mem: &mut MemorySystem,
+        view: &FabricView,
     ) -> Result<u64, MemFault> {
         let nwords = width.regs() as u32;
+        let warp_id = self.warps[widx].id;
         let mut addresses: Vec<u32> = Vec::with_capacity(pass.count_ones() as usize);
+
+        if space.is_on_chip() {
+            // On-chip spaces wrap modulo capacity like the banked hardware,
+            // but misalignment is still a trap, and a spawn-space access
+            // without μ-kernel hardware has no backing at all.
+            for lane in 0..self.warp_size as usize {
+                if pass & (1 << lane) == 0 {
+                    continue;
+                }
+                let base = {
+                    let t = self.warps[widx].lanes[lane].as_ref().expect("populated");
+                    t.reg(addr_reg).wrapping_add(offset as u32)
+                };
+                for i in 0..nwords {
+                    let a = base + 4 * i;
+                    let r = simt_isa::Reg(reg.0 + i as u8);
+                    if a % 4 != 0 {
+                        return Err(MemFault::Misaligned { space, addr: a });
+                    }
+                    if space == Space::Spawn && self.spawn_mem.is_none() {
+                        return Err(MemFault::Unmapped { space });
+                    }
+                    if is_store {
+                        let v = self.warps[widx].lanes[lane]
+                            .as_ref()
+                            .expect("populated")
+                            .reg(r);
+                        match space {
+                            Space::Shared => self.shared.write(a, v),
+                            _ => self.spawn_mem.as_mut().expect("checked").write(a, v),
+                        }
+                    } else {
+                        let v = match space {
+                            Space::Shared => self.shared.read(a),
+                            _ => self.spawn_mem.as_ref().expect("checked").read(a),
+                        };
+                        self.warps[widx].lanes[lane]
+                            .as_mut()
+                            .expect("populated")
+                            .set_reg(r, v);
+                    }
+                }
+                addresses.push(base);
+            }
+            // A dynamic warp's first spawn-space load consumes its
+            // formation metadata; the block can be recycled afterwards.
+            if space == Space::Spawn && !is_store {
+                if let Some(base) = self.warps[widx].formation_block.take() {
+                    if let Some(f) = self.formation.as_mut() {
+                        f.release_block(base);
+                    }
+                }
+            }
+            let req = WarpAccess {
+                space,
+                is_store,
+                bytes_per_lane: width.bytes(),
+                addresses,
+            };
+            let (ready, degree) = self.frontend.access_onchip(now, &req);
+            self.block_issue_for_replays(now, degree);
+            return Ok(ready);
+        }
+
+        // Off-chip: validate word by word in lane order (mirroring the
+        // order the serial model performed the transfers in), capturing
+        // deferred ops. Store values are read from the register file *now*,
+        // at issue, so phase B applies exactly what the lane held.
+        let mut ops: Vec<FunctionalOp> = Vec::new();
         for lane in 0..self.warp_size as usize {
             if pass & (1 << lane) == 0 {
                 continue;
@@ -801,127 +930,105 @@ impl Sm {
                 let t = self.warps[widx].lanes[lane].as_ref().expect("populated");
                 (t.tid, t.reg(addr_reg).wrapping_add(offset as u32))
             };
-            // Functional transfer word by word. Borrows of the lane and of
-            // the memories are kept short so the arms stay disjoint.
             for i in 0..nwords {
                 let a = base + 4 * i;
                 let r = simt_isa::Reg(reg.0 + i as u8);
-                // On-chip spaces wrap modulo capacity like the banked
-                // hardware, but misalignment is still a trap, and a
-                // spawn-space access without μ-kernel hardware has no
-                // backing at all.
-                if space.is_on_chip() {
-                    if a % 4 != 0 {
-                        return Err(MemFault::Misaligned { space, addr: a });
+                let checked = if is_store {
+                    view.check_store(space, a)
+                } else {
+                    view.check_load(space, a)
+                };
+                if let Err(fault) = checked {
+                    if !ops.is_empty() {
+                        self.pending.push(PendingAccess {
+                            warp_id,
+                            wait: false,
+                            ops,
+                            requests: Vec::new(),
+                        });
                     }
-                    if space == Space::Spawn && self.spawn_mem.is_none() {
-                        return Err(MemFault::Unmapped { space });
-                    }
+                    return Err(fault);
                 }
                 if is_store {
                     let v = self.warps[widx].lanes[lane]
                         .as_ref()
                         .expect("populated")
                         .reg(r);
-                    match space {
-                        Space::Global | Space::Const => mem.try_write_u32(space, a, v)?,
-                        Space::Local => mem.try_write_local(tid, a, v)?,
-                        Space::Shared => self.shared.write(a, v),
-                        Space::Spawn => self.spawn_mem.as_mut().expect("checked").write(a, v),
-                    }
+                    ops.push(FunctionalOp::Store {
+                        space,
+                        tid,
+                        addr: a,
+                        value: v,
+                    });
                 } else {
-                    let v = match space {
-                        Space::Global | Space::Const => mem.try_read_u32(space, a)?,
-                        Space::Local => mem.try_read_local(tid, a)?,
-                        Space::Shared => self.shared.read(a),
-                        Space::Spawn => self.spawn_mem.as_ref().expect("checked").read(a),
-                    };
-                    self.warps[widx].lanes[lane]
-                        .as_mut()
-                        .expect("populated")
-                        .set_reg(r, v);
+                    ops.push(FunctionalOp::Load {
+                        space,
+                        tid,
+                        addr: a,
+                        lane,
+                        reg: r,
+                    });
                 }
             }
             // Timing address: local uses the per-thread physical mapping.
             let timing_addr = if space == Space::Local {
-                mem.local_physical(tid, base)
+                view.local_physical(tid, base)
             } else {
                 base
             };
             addresses.push(timing_addr);
         }
-        // A dynamic warp's first spawn-space load consumes its formation
-        // metadata; the block can be recycled afterwards.
-        if space == Space::Spawn && !is_store {
-            if let Some(base) = self.warps[widx].formation_block.take() {
-                if let Some(f) = self.formation.as_mut() {
-                    f.release_block(base);
-                }
-            }
-        }
+
         // Texture-bound global loads go through the per-SM read-only cache.
-        if !is_store && space == Space::Global && !mem.config().ideal {
-            if let Some(tex) = self.tex.as_mut() {
-                let line = tex.line_bytes();
-                let mut miss_lines: Vec<u32> = Vec::new();
-                let mut uncached: Vec<u32> = Vec::new();
-                for &a in &addresses {
-                    if mem.is_read_only(a) {
-                        let first = a & !(line - 1);
-                        let last = (a + width.bytes() - 1) & !(line - 1);
-                        let mut l = first;
-                        loop {
-                            if !tex.access(l) {
-                                miss_lines.push(l);
-                            }
-                            if l >= last {
-                                break;
-                            }
-                            l += line;
-                        }
-                    } else {
-                        uncached.push(a);
-                    }
-                }
-                let mut ready = now + u64::from(self.tex_hit_latency);
-                if !miss_lines.is_empty() {
-                    ready = ready.max(mem.access(
-                        now,
-                        &WarpAccess {
-                            space: Space::Global,
-                            is_store: false,
-                            bytes_per_lane: line,
-                            addresses: miss_lines,
-                        },
-                    ));
-                }
-                if !uncached.is_empty() {
-                    ready = ready.max(mem.access(
-                        now,
-                        &WarpAccess {
-                            space: Space::Global,
-                            is_store: false,
-                            bytes_per_lane: width.bytes(),
-                            addresses: uncached,
-                        },
-                    ));
-                }
-                return Ok(ready);
+        if !is_store && space == Space::Global && !view.config().ideal && self.frontend.has_tex() {
+            let (cached, uncached): (Vec<u32>, Vec<u32>) =
+                addresses.iter().partition(|&&a| view.is_read_only(a));
+            let miss_lines = self.frontend.tex_probe(&cached, width.bytes());
+            let line = view.config().tex_line_bytes;
+            let mut ready = now + u64::from(view.config().tex_hit_latency);
+            let mut requests = Vec::new();
+            if !miss_lines.is_empty() {
+                let (floor, req) =
+                    self.frontend
+                        .request_offchip(now, Space::Global, false, line, &miss_lines);
+                ready = ready.max(floor);
+                requests.extend(req);
             }
+            if !uncached.is_empty() {
+                let (floor, req) = self.frontend.request_offchip(
+                    now,
+                    Space::Global,
+                    false,
+                    width.bytes(),
+                    &uncached,
+                );
+                ready = ready.max(floor);
+                requests.extend(req);
+            }
+            if !ops.is_empty() || !requests.is_empty() {
+                self.pending.push(PendingAccess {
+                    warp_id,
+                    wait: true,
+                    ops,
+                    requests,
+                });
+            }
+            return Ok(ready);
         }
-        let req = WarpAccess {
-            space,
-            is_store,
-            bytes_per_lane: width.bytes(),
-            addresses,
-        };
-        if space.is_on_chip() {
-            let (ready, degree) = mem.access_onchip(now, &req, &mut self.lsu_free);
-            self.block_issue_for_replays(now, degree);
-            Ok(ready)
-        } else {
-            Ok(mem.access(now, &req))
+
+        let (ready, request) =
+            self.frontend
+                .request_offchip(now, space, is_store, width.bytes(), &addresses);
+        let requests: Vec<_> = request.into_iter().collect();
+        if !ops.is_empty() || !requests.is_empty() {
+            self.pending.push(PendingAccess {
+                warp_id,
+                wait: !is_store,
+                ops,
+                requests,
+            });
         }
+        Ok(ready)
     }
 
     /// Bank-conflict replays steal issue slots: a degree-`d` access
@@ -948,19 +1055,11 @@ impl Sm {
     }
 
     /// Records statistics for one committed warp-instruction.
-    fn commit(
-        &mut self,
-        widx: usize,
-        _pc: usize,
-        mask: u64,
-        now: u64,
-        ready: u64,
-        stats: &mut SimStats,
-    ) {
+    fn commit(&mut self, widx: usize, _pc: usize, mask: u64, now: u64, ready: u64) {
         let active = mask.count_ones();
-        stats.warp_issues += 1;
-        stats.thread_instructions += u64::from(active);
-        stats.divergence.record_issue(now, active);
+        self.stats.warp_issues += 1;
+        self.stats.thread_instructions += u64::from(active);
+        self.stats.divergence.record_issue(now, active);
         let w = &mut self.warps[widx];
         w.ready_at = ready.max(now + 1);
         for lane in 0..self.warp_size as usize {

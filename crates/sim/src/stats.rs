@@ -108,6 +108,29 @@ impl DivergenceTimeline {
         out
     }
 
+    /// Merges another timeline into this one (element-wise sum of counts).
+    ///
+    /// Shards index windows by *absolute* cycle, so merging per-SM shards
+    /// reproduces exactly the timeline a single serial recorder would have
+    /// built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timelines have different window widths or warp sizes.
+    pub fn merge(&mut self, other: &DivergenceTimeline) {
+        assert_eq!(self.window, other.window, "merging mismatched windows");
+        assert_eq!(self.warp_size, other.warp_size, "merging mismatched warps");
+        if self.counts.len() < other.counts.len() {
+            self.counts
+                .resize(other.counts.len(), [0; OCCUPANCY_BUCKETS]);
+        }
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    }
+
     /// Average active lanes per *issue* over the whole run (idle excluded).
     pub fn mean_active_lanes(&self) -> f64 {
         let per_bucket = (self.warp_size as usize)
@@ -133,7 +156,13 @@ impl DivergenceTimeline {
 }
 
 /// Aggregate counters for one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// During a run each SM accumulates into its own `SimStats` shard (phase A
+/// runs SMs on separate threads, so shared counters would race); the GPU
+/// merges the shards into its base stats with [`SimStats::merge`]. All
+/// counters are sums, so the merge is exact regardless of SM count or
+/// thread count — the basis of the determinism regression tests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Cycles simulated.
     pub cycles: u64,
@@ -194,6 +223,29 @@ impl SimStats {
             injected_events: 0,
             divergence: DivergenceTimeline::new(divergence_window, warp_size),
         }
+    }
+
+    /// Merges a per-SM shard into this aggregate: every counter is summed
+    /// and the divergence timelines are added window-by-window. `cycles`
+    /// is owned by the GPU (set once per run), so shard cycles (always 0)
+    /// add nothing.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles += other.cycles;
+        self.thread_instructions += other.thread_instructions;
+        self.warp_issues += other.warp_issues;
+        self.idle_sm_cycles += other.idle_sm_cycles;
+        self.threads_launched += other.threads_launched;
+        self.threads_spawned += other.threads_spawned;
+        self.threads_retired += other.threads_retired;
+        self.lineages_completed += other.lineages_completed;
+        self.spawn_stall_cycles += other.spawn_stall_cycles;
+        self.spawn_elisions += other.spawn_elisions;
+        self.faults += other.faults;
+        self.warps_killed += other.warps_killed;
+        self.threads_killed += other.threads_killed;
+        self.watchdog_deadlocks += other.watchdog_deadlocks;
+        self.injected_events += other.injected_events;
+        self.divergence.merge(&other.divergence);
     }
 
     /// Committed thread-instructions per cycle.
