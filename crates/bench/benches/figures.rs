@@ -16,7 +16,7 @@ fn scale() -> Scale {
 fn bench_fig2_single_warp(c: &mut Criterion) {
     c.bench_function("fig2_single_warp_loop", |b| {
         b.iter(|| {
-            let f = fig2::run();
+            let f = fig2::run().expect("fig2 kernel assembles");
             assert!(f.efficiency > 0.0);
             black_box(f)
         })

@@ -6,6 +6,10 @@
 //! throughput for each run. Simulated results are bit-identical across
 //! the runs — only wall-clock time changes.
 //!
+//! Also measures checkpoint overhead (`DESIGN.md` §9): snapshot encode,
+//! disk write, and read + restore of a mid-run machine state, so the
+//! cost of `--checkpoint-every` shows up in the recorded numbers.
+//!
 //! ```text
 //! bench_sim [--scale paper|quick|test] [--out PATH]
 //! ```
@@ -13,6 +17,7 @@
 use experiments::{gpu_for, Scale, Variant};
 use raytrace::scenes;
 use rt_kernels::render::RenderSetup;
+use simt_sim::{Gpu, Snapshot};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -46,6 +51,52 @@ fn run_once(parallel: usize, scale: Scale) -> BenchRun {
         parallel,
         cycles: summary.stats.cycles,
         wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+struct CheckpointBench {
+    snapshot_bytes: u64,
+    encode_seconds: f64,
+    write_seconds: f64,
+    restore_seconds: f64,
+}
+
+/// Times checkpointing a mid-run fig-7 machine: snapshot encode, disk
+/// write, and read + restore. The restored machine must land on the same
+/// cycle as the original, otherwise the measurement is meaningless.
+fn bench_checkpoint(scale: Scale) -> CheckpointBench {
+    let mut gpu = gpu_for(Variant::Dynamic);
+    let scene = scenes::conference(scale.scene);
+    let setup = RenderSetup::upload(&mut gpu, &scene, scale.resolution, scale.resolution);
+    setup.launch_ukernel(&mut gpu, scale.threads_per_block);
+    gpu.run(scale.cycles / 2).expect("fault-free benchmark run");
+
+    let t = Instant::now();
+    let snap = gpu.checkpoint().expect("snapshot encodes");
+    let encode_seconds = t.elapsed().as_secs_f64();
+
+    let path = std::env::temp_dir().join(format!("bench-sim-{}.ckpt", std::process::id()));
+    let t = Instant::now();
+    snap.write_to(&path).expect("snapshot writes");
+    let write_seconds = t.elapsed().as_secs_f64();
+    let snapshot_bytes = std::fs::metadata(&path).map_or(0, |m| m.len());
+
+    let t = Instant::now();
+    let back = Snapshot::read_from(&path).expect("snapshot reads back");
+    let restored = Gpu::restore(&back).expect("snapshot restores");
+    let restore_seconds = t.elapsed().as_secs_f64();
+    assert_eq!(
+        restored.now(),
+        gpu.now(),
+        "restore must land on the same cycle"
+    );
+    let _ = std::fs::remove_file(&path);
+
+    CheckpointBench {
+        snapshot_bytes,
+        encode_seconds,
+        write_seconds,
+        restore_seconds,
     }
 }
 
@@ -106,6 +157,13 @@ fn main() -> ExitCode {
         _ => 1.0,
     };
 
+    eprintln!("bench_sim: checkpoint write/restore overhead ...");
+    let ckpt = bench_checkpoint(scale);
+    eprintln!(
+        "  {} snapshot bytes; encode {:.4} s, write {:.4} s, restore {:.4} s",
+        ckpt.snapshot_bytes, ckpt.encode_seconds, ckpt.write_seconds, ckpt.restore_seconds
+    );
+
     // Hand-rolled JSON: the offline serde shim has no serializer.
     let mut json = String::new();
     json.push_str("{\n");
@@ -125,7 +183,12 @@ fn main() -> ExitCode {
         ));
     }
     json.push_str("  ],\n");
-    json.push_str(&format!("  \"speedup\": {speedup:.3}\n"));
+    json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    json.push_str(&format!(
+        "  \"checkpoint\": {{\"snapshot_bytes\": {}, \"encode_seconds\": {:.6}, \
+         \"write_seconds\": {:.6}, \"restore_seconds\": {:.6}}}\n",
+        ckpt.snapshot_bytes, ckpt.encode_seconds, ckpt.write_seconds, ckpt.restore_seconds
+    ));
     json.push_str("}\n");
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("bench_sim: cannot write {out}: {e}");

@@ -5,6 +5,7 @@ use crate::config::DmkConfig;
 use crate::layout::SpawnMemoryLayout;
 use crate::lut::SpawnLut;
 use serde::{Deserialize, Serialize};
+use simt_isa::codec::{CodecError, Decoder, Encoder};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -314,6 +315,75 @@ impl WarpFormation {
     /// Whether any spawned work (queued or partial) remains.
     pub fn is_idle(&self) -> bool {
         self.fifo.is_empty() && self.partial_threads() == 0
+    }
+
+    /// Serializes the unit's mutable state — LUT lines, free-block pool,
+    /// new-warp FIFO, and statistics — for a simulator checkpoint. The
+    /// layout and capacities are configuration, re-derived on restore.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        self.lut.encode_state(enc);
+        enc.put_u32_slice(&self.free_blocks);
+        enc.put_usize(self.fifo.len());
+        for w in &self.fifo {
+            enc.put_usize(w.pc);
+            enc.put_u32(w.base_addr);
+            enc.put_u32(w.count);
+        }
+        enc.put_u64(self.stats.spawn_instructions);
+        enc.put_u64(self.stats.threads_spawned);
+        enc.put_u64(self.stats.warps_completed);
+        enc.put_u64(self.stats.partial_warps_forced);
+        enc.put_u64(self.stats.partial_threads_forced);
+        enc.put_usize(self.stats.max_fifo_depth);
+        enc.put_u32(self.stats.max_blocks_in_use);
+        enc.put_u64(self.stats.spawn_stalls);
+    }
+
+    /// Restores state previously written by
+    /// [`WarpFormation::encode_state`] into a unit built from the same
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated input or when a block index /
+    /// FIFO depth exceeds this unit's configured capacity.
+    pub fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        self.lut.restore_state(dec)?;
+        let free_blocks = dec.take_u32_vec()?;
+        if free_blocks.len() as u32 > self.total_blocks
+            || free_blocks.iter().any(|&b| b >= self.total_blocks)
+        {
+            return Err(CodecError::BadLength {
+                len: free_blocks.len() as u64,
+                remaining: self.total_blocks as usize,
+            });
+        }
+        self.free_blocks = free_blocks;
+        let n = dec.take_len(20)?;
+        if n > self.fifo_capacity {
+            return Err(CodecError::BadLength {
+                len: n as u64,
+                remaining: self.fifo_capacity,
+            });
+        }
+        self.fifo = (0..n)
+            .map(|_| {
+                Ok(CompletedWarp {
+                    pc: dec.take_usize()?,
+                    base_addr: dec.take_u32()?,
+                    count: dec.take_u32()?,
+                })
+            })
+            .collect::<Result<_, CodecError>>()?;
+        self.stats.spawn_instructions = dec.take_u64()?;
+        self.stats.threads_spawned = dec.take_u64()?;
+        self.stats.warps_completed = dec.take_u64()?;
+        self.stats.partial_warps_forced = dec.take_u64()?;
+        self.stats.partial_threads_forced = dec.take_u64()?;
+        self.stats.max_fifo_depth = dec.take_usize()?;
+        self.stats.max_blocks_in_use = dec.take_u32()?;
+        self.stats.spawn_stalls = dec.take_u64()?;
+        Ok(())
     }
 }
 

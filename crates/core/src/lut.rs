@@ -8,6 +8,7 @@
 //! single spawn that overflows the current warp can keep going.
 
 use serde::{Deserialize, Serialize};
+use simt_isa::codec::{CodecError, Decoder, Encoder};
 
 /// One LUT line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -106,6 +107,46 @@ impl SpawnLut {
     /// Iterates over all lines.
     pub fn iter(&self) -> impl Iterator<Item = &LutLine> {
         self.lines.iter()
+    }
+
+    /// Serializes the allocated lines for a simulator checkpoint (the
+    /// capacity is configuration, re-derived on restore).
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_usize(self.lines.len());
+        for l in &self.lines {
+            enc.put_usize(l.pc);
+            enc.put_u32(l.count);
+            enc.put_u32(l.fill_addr);
+            enc.put_u32(l.overflow_addr);
+        }
+    }
+
+    /// Restores lines previously written by [`SpawnLut::encode_state`]
+    /// into a LUT of identical capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated input or when the line count
+    /// exceeds this LUT's capacity.
+    pub fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        let n = dec.take_len(20)?;
+        if n > self.capacity {
+            return Err(CodecError::BadLength {
+                len: n as u64,
+                remaining: self.capacity,
+            });
+        }
+        self.lines = (0..n)
+            .map(|_| {
+                Ok(LutLine {
+                    pc: dec.take_usize()?,
+                    count: dec.take_u32()?,
+                    fill_addr: dec.take_u32()?,
+                    overflow_addr: dec.take_u32()?,
+                })
+            })
+            .collect::<Result<_, CodecError>>()?;
+        Ok(())
     }
 }
 

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! repro <artifact> [--scale paper|quick|test] [--json] [--parallel N|ncpu]
+//!                  [--checkpoint-every N] [--checkpoint-dir D] [--resume]
+//!                  [--max-retries N] [--kill-after-checkpoints N]
 //!
 //! artifacts: table1 table2 table3 table4 fig2 fig3 fig7 fig8 fig9 fig10 all
 //! ```
@@ -9,15 +11,28 @@
 //! `--parallel` sets the simulator's phase-A worker-thread count (`ncpu`
 //! = all host cores). Results are bit-identical at every setting; it
 //! changes wall-clock time only.
+//!
+//! The checkpoint flags drive the supervised runner (`DESIGN.md` §9):
+//! `--checkpoint-every N` snapshots every N simulated cycles,
+//! `--checkpoint-dir D` persists the snapshots to `D/<job>.ckpt`, and
+//! `--resume` restores each job from its last on-disk snapshot before
+//! running — bit-identical to an uninterrupted run. `--max-retries`
+//! bounds fault/deadlock rollback retries per phase.
+//! `--kill-after-checkpoints N` is a deterministic test hook that exits
+//! the process (code 42) after N snapshot writes, so CI can rehearse a
+//! mid-campaign kill without timing races.
 
 use experiments::runner::Scale;
+use experiments::supervisor::{self, Policy};
 use experiments::{ablation, fig10, fig2, fig3, fig7, fig8, fig9, table1, table2, table3, table4};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <table1|table2|table3|table4|fig2|fig3|fig7|fig8|fig9|fig10|all> \
-         [--scale paper|quick|test] [--json] [--parallel N|ncpu]"
+         [--scale paper|quick|test] [--json] [--parallel N|ncpu] \
+         [--checkpoint-every N] [--checkpoint-dir D] [--resume] \
+         [--max-retries N] [--kill-after-checkpoints N]"
     );
     ExitCode::from(2)
 }
@@ -62,9 +77,39 @@ fn main() -> ExitCode {
     let artifact = args[0].as_str();
     let mut scale = Scale::quick();
     let mut json = false;
+    let mut policy = Policy::default();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--checkpoint-every" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n >= 1 => policy.checkpoint_every = n,
+                    _ => return usage(),
+                }
+            }
+            "--checkpoint-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => policy.checkpoint_dir = Some(d.into()),
+                    None => return usage(),
+                }
+            }
+            "--resume" => policy.resume = true,
+            "--max-retries" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u32>().ok()) {
+                    Some(n) => policy.max_retries = n,
+                    None => return usage(),
+                }
+            }
+            "--kill-after-checkpoints" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n >= 1 => policy.kill_after_checkpoints = Some(n),
+                    _ => return usage(),
+                }
+            }
             "--scale" => {
                 i += 1;
                 let Some(s) = args.get(i).and_then(|s| Scale::parse(s)) else {
@@ -91,14 +136,20 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+    supervisor::set_policy(policy);
 
-    let run_one = |name: &str| -> bool {
+    // `None` = unknown artifact; `Some(Err)` = the job itself failed (a
+    // job-level error is reported and the campaign continues).
+    let run_one = |name: &str| -> Option<Result<(), String>> {
         match name {
             "table1" => emit("table1", &table1::run(), json),
             "table2" => emit("table2", &table2::run(), json),
             "table3" => emit("table3", &table3::run(scale), json),
             "table4" => emit("table4", &table4::run(scale), json),
-            "fig2" => emit("fig2", &fig2::run(), json),
+            "fig2" => match fig2::run() {
+                Ok(f) => emit("fig2", &f, json),
+                Err(e) => return Some(Err(format!("kernel assembly failed: {e}"))),
+            },
             "fig3" => emit("fig3", &fig3::run(scale), json),
             "fig7" => emit("fig7", &fig7::run(scale), json),
             "fig8" => emit("fig8", &fig8::run(scale), json),
@@ -106,23 +157,37 @@ fn main() -> ExitCode {
             "fig10" => emit("fig10", &fig10::run(scale), json),
             "ablation" => emit("ablation", &ablation::run(scale), json),
             "shadow" => emit("shadow", &experiments::shadow::run(scale), json),
-            _ => return false,
+            _ => return None,
         }
-        true
+        Some(Ok(()))
     };
 
     if artifact == "all" {
+        let mut failed = 0u32;
         for name in [
             "table1", "table2", "table3", "table4", "fig2", "fig3", "fig7", "fig8", "fig9",
             "fig10", "ablation", "shadow",
         ] {
             eprintln!("== {name} ==");
-            run_one(name);
+            if let Some(Err(e)) = run_one(name) {
+                eprintln!("error: {name}: {e}");
+                failed += 1;
+            }
         }
-        ExitCode::SUCCESS
-    } else if run_one(artifact) {
-        ExitCode::SUCCESS
+        if failed > 0 {
+            eprintln!("error: {failed} job(s) failed");
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
     } else {
-        usage()
+        match run_one(artifact) {
+            Some(Ok(())) => ExitCode::SUCCESS,
+            Some(Err(e)) => {
+                eprintln!("error: {artifact}: {e}");
+                ExitCode::FAILURE
+            }
+            None => usage(),
+        }
     }
 }

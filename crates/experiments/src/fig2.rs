@@ -8,7 +8,7 @@
 //! resulting SIMT efficiency.
 
 use serde::Serialize;
-use simt_isa::assemble_named;
+use simt_isa::{assemble_named, AsmError};
 use simt_sim::{Gpu, GpuConfig, Launch};
 use std::fmt;
 
@@ -45,14 +45,18 @@ pub fn loop_kernel_source() -> &'static str {
 }
 
 /// Runs one 32-thread warp on one SM and records the divergence trace.
-pub fn run() -> Fig2 {
+///
+/// Returns the assembler's typed error if the embedded kernel fails to
+/// assemble, so `repro` can report it as a job-level failure instead of
+/// aborting the campaign.
+pub fn run() -> Result<Fig2, AsmError> {
     let mut cfg = GpuConfig::fx5800_warp_sched();
     cfg.num_sms = 1;
     cfg.mem.ideal = true; // isolate branching behaviour, like the figure
     cfg.divergence_window = 1;
     let mut gpu = Gpu::new(cfg);
     gpu.mem_mut().alloc_global(32 * 4, "out");
-    let program = assemble_named("fig2-loop", loop_kernel_source()).expect("assembles");
+    let program = assemble_named("fig2-loop", loop_kernel_source())?;
     gpu.launch(Launch {
         program,
         entry: "main".into(),
@@ -76,11 +80,11 @@ pub fn run() -> Fig2 {
                 .map(|(b, _)| (b as u32 - 1) * 4 + 4) // bucket upper bound
         })
         .collect();
-    Fig2 {
+    Ok(Fig2 {
         lane_trace,
         efficiency: summary.stats.simt_efficiency(32),
         mimd_efficiency: 1.0,
-    }
+    })
 }
 
 impl fmt::Display for Fig2 {
@@ -112,7 +116,7 @@ mod tests {
 
     #[test]
     fn loop_demo_shows_decaying_occupancy() {
-        let r = run();
+        let r = run().expect("fig2 kernel assembles");
         assert!(!r.lane_trace.is_empty());
         // Starts fully occupied...
         assert_eq!(r.lane_trace[0], 32);
@@ -125,7 +129,7 @@ mod tests {
     #[test]
     fn trace_is_monotone_after_reconvergence_structure() {
         // The loop only sheds lanes, so the minimum over time decreases.
-        let r = run();
+        let r = run().expect("fig2 kernel assembles");
         let min_early: u32 = *r.lane_trace[..r.lane_trace.len() / 2].iter().min().unwrap();
         let min_late: u32 = *r.lane_trace[r.lane_trace.len() / 2..].iter().min().unwrap();
         assert!(min_late <= min_early);

@@ -37,6 +37,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod runner;
 pub mod shadow;
+pub mod supervisor;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -44,3 +45,4 @@ pub mod table4;
 
 pub use configs::{gpu_for, parallelism, set_parallelism, Variant};
 pub use runner::{RenderRun, Scale};
+pub use supervisor::{JobStatus, Policy};

@@ -1,10 +1,12 @@
 //! Shared run machinery: scales and the standard render-run wrapper.
 
-use crate::configs::{gpu_for, Variant};
+use crate::configs::{gpu_for, parallelism, Variant};
+use crate::supervisor::{self, JobStatus};
 use raytrace::scenes::{Scene, SceneScale};
 use rt_kernels::render::RenderSetup;
 use serde::{Deserialize, Serialize};
-use simt_sim::RunSummary;
+use simt_isa::codec::{Decoder, Encoder};
+use simt_sim::{Gpu, RunSummary};
 use std::fmt;
 
 /// Experiment scale: resolution, simulated-cycle budget, scene size.
@@ -108,6 +110,68 @@ impl fmt::Display for FaultHealth {
     }
 }
 
+/// Phase bookkeeping stored in each snapshot's meta section so a resumed
+/// job can rebuild the warm-up/steady-state split of
+/// [`RenderRun::execute`] without re-running the warm-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PhaseMeta {
+    /// 0 = warm-up, 1 = steady-state measurement.
+    phase: u32,
+    /// Absolute end cycle of the current phase.
+    target: u64,
+    /// Cycle at the end of warm-up (meaningful once `phase == 1`).
+    warm_cycle: u64,
+    /// Rays completed at the end of warm-up (meaningful once `phase == 1`).
+    warm_rays: u64,
+}
+
+impl PhaseMeta {
+    fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u32(self.phase);
+        enc.put_u64(self.target);
+        enc.put_u64(self.warm_cycle);
+        enc.put_u64(self.warm_rays);
+        enc.into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Option<PhaseMeta> {
+        let mut dec = Decoder::new(bytes);
+        let meta = PhaseMeta {
+            phase: dec.take_u32().ok()?,
+            target: dec.take_u64().ok()?,
+            warm_cycle: dec.take_u64().ok()?,
+            warm_rays: dec.take_u64().ok()?,
+        };
+        dec.is_finished().then_some(meta)
+    }
+}
+
+/// Rebuilds `(machine, phase bookkeeping)` from the job's on-disk
+/// snapshot when `--resume` is active and the snapshot is usable.
+/// Unusable snapshots are reported and discarded: the job restarts.
+fn resume_state(job: &str) -> Option<(Gpu, PhaseMeta)> {
+    let snap = supervisor::try_resume(job)?;
+    let Some(meta) = PhaseMeta::decode(snap.meta()) else {
+        eprintln!("warning: {job}: snapshot has unusable phase metadata; restarting");
+        return None;
+    };
+    match Gpu::restore(&snap) {
+        Ok(mut gpu) => {
+            gpu.set_parallelism(parallelism());
+            eprintln!(
+                "note: {job}: resuming from checkpoint at cycle {}",
+                gpu.now()
+            );
+            Some((gpu, meta))
+        }
+        Err(e) => {
+            eprintln!("warning: {job}: snapshot restore failed ({e}); restarting");
+            None
+        }
+    }
+}
+
 /// The result of one standard render run.
 #[derive(Debug)]
 pub struct RenderRun {
@@ -123,6 +187,8 @@ pub struct RenderRun {
     pub steady_rays: u64,
     /// Cycles in the steady-state window.
     pub steady_cycles: u64,
+    /// Supervision verdict: completed, resumed `n` times, or gave up.
+    pub status: JobStatus,
 }
 
 impl RenderRun {
@@ -132,18 +198,63 @@ impl RenderRun {
     /// Rays/second is measured over the second half of the window — the
     /// paper observes that behaviour is steady over the 150k–300k-cycle
     /// range, so this skips the pipeline-fill transient at frame start.
+    ///
+    /// Both halves run under the [`supervisor`]: the run is checkpointed
+    /// at the configured interval, rolled back and retried on a fault or
+    /// deadlock, and — with `--resume` — restored from the job's last
+    /// on-disk snapshot, bit-identical to an uninterrupted run.
     pub fn execute(scene: &Scene, variant: Variant, scale: Scale) -> RenderRun {
-        let mut gpu = gpu_for(variant);
-        let setup = RenderSetup::upload(&mut gpu, scene, scale.resolution, scale.resolution);
-        if variant.is_dynamic() {
-            setup.launch_ukernel(&mut gpu, scale.threads_per_block);
-        } else {
-            setup.launch_traditional(&mut gpu, scale.threads_per_block);
+        let job = format!("{}-{:?}-{}", scene.name, variant, scale.resolution);
+        let resumed = resume_state(&job);
+        let mut interventions = u32::from(resumed.is_some());
+        let mut gave_up = false;
+        let (mut gpu, mut meta) = match resumed {
+            Some(state) => state,
+            None => {
+                let mut gpu = gpu_for(variant);
+                let setup =
+                    RenderSetup::upload(&mut gpu, scene, scale.resolution, scale.resolution);
+                if variant.is_dynamic() {
+                    setup.launch_ukernel(&mut gpu, scale.threads_per_block);
+                } else {
+                    setup.launch_traditional(&mut gpu, scale.threads_per_block);
+                }
+                let meta = PhaseMeta {
+                    phase: 0,
+                    target: gpu.now() + scale.cycles,
+                    warm_cycle: 0,
+                    warm_rays: 0,
+                };
+                (gpu, meta)
+            }
+        };
+        if meta.phase == 0 {
+            let warm = supervisor::run_to_target(&mut gpu, meta.target, &job, &meta.encode());
+            interventions += warm.interventions;
+            gave_up |= warm.gave_up;
+            meta = PhaseMeta {
+                phase: 1,
+                target: gpu.now() + scale.cycles,
+                warm_cycle: gpu.now(),
+                warm_rays: gpu.stats().lineages_completed,
+            };
         }
-        gpu.run(scale.cycles).expect("fault-free run");
-        let warm_cycle = gpu.now();
-        let warm_rays = gpu.stats().lineages_completed;
-        let summary = gpu.run(scale.cycles).expect("fault-free run");
+        let (warm_cycle, warm_rays) = (meta.warm_cycle, meta.warm_rays);
+        let steady = supervisor::run_to_target(&mut gpu, meta.target, &job, &meta.encode());
+        interventions += steady.interventions;
+        gave_up |= steady.gave_up;
+        supervisor::clear(&job);
+        let status = if gave_up {
+            JobStatus::GaveUp
+        } else if interventions > 0 {
+            JobStatus::Resumed(interventions)
+        } else {
+            JobStatus::Completed
+        };
+        if supervisor::policy().is_active() || status != JobStatus::Completed {
+            eprintln!("job {job}: {status}");
+        }
+        let summary = steady.summary;
         let end_cycle = summary.stats.cycles;
         let (steady_rays, steady_cycles) = if end_cycle > warm_cycle {
             (
@@ -161,6 +272,7 @@ impl RenderRun {
             summary,
             steady_rays,
             steady_cycles,
+            status,
         };
         let health = run.fault_health();
         if !health.is_clean() {

@@ -1,0 +1,88 @@
+//! End-to-end checkpoint/resume correctness: a render interrupted at an
+//! arbitrary cycle, serialized through the on-disk snapshot format,
+//! restored, and run to the original budget must be **bit-identical** to
+//! an uninterrupted run — statistics, memory traffic, fault log, and the
+//! rendered image — at every phase-A parallelism level.
+
+use experiments::{gpu_for, Variant};
+use raytrace::scenes::{self, SceneScale};
+use rt_kernels::render::RenderSetup;
+use rt_kernels::RESULT_RECORD_BYTES;
+use simt_isa::codec::fnv1a64;
+use simt_sim::{Gpu, Snapshot};
+
+const RESOLUTION: u32 = 16;
+const BUDGET: u64 = 20_000;
+
+fn launch(variant: Variant, setup: &RenderSetup, gpu: &mut Gpu) {
+    if variant.is_dynamic() {
+        setup.launch_ukernel(gpu, 32);
+    } else {
+        setup.launch_traditional(gpu, 32);
+    }
+}
+
+/// FNV-1a hash of the raw result records — the "image" the render wrote.
+fn image_hash(gpu: &Gpu, setup: &RenderSetup) -> u64 {
+    let mut bytes = Vec::with_capacity(setup.dev.num_rays as usize * 8);
+    for i in 0..setup.dev.num_rays {
+        let base = setup.dev.results_base + i * RESULT_RECORD_BYTES;
+        for off in [0, 4] {
+            let word = gpu.mem().read_u32(simt_isa::Space::Global, base + off);
+            bytes.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+    fnv1a64(&bytes)
+}
+
+/// Runs `variant` uninterrupted and interrupted-at-`interrupt_at` (with a
+/// full serialize → deserialize → restore cycle in between) and asserts
+/// the two machines end bit-identical.
+fn assert_resume_matches(variant: Variant, parallel: usize, interrupt_at: u64) {
+    let scene = scenes::conference(SceneScale::Tiny);
+
+    let mut reference = gpu_for(variant);
+    reference.set_parallelism(parallel);
+    let ref_setup = RenderSetup::upload(&mut reference, &scene, RESOLUTION, RESOLUTION);
+    launch(variant, &ref_setup, &mut reference);
+    let want = reference.run(BUDGET).expect("fault-free reference run");
+
+    let mut gpu = gpu_for(variant);
+    gpu.set_parallelism(parallel);
+    let setup = RenderSetup::upload(&mut gpu, &scene, RESOLUTION, RESOLUTION);
+    launch(variant, &setup, &mut gpu);
+    gpu.run(interrupt_at).expect("fault-free partial run");
+    let bytes = gpu.checkpoint().expect("snapshot encodes").to_bytes();
+    drop(gpu); // everything must come back from the serialized bytes
+
+    let snap = Snapshot::from_bytes(&bytes).expect("snapshot frame is valid");
+    let mut restored = Gpu::restore(&snap).expect("snapshot restores");
+    restored.set_parallelism(parallel);
+    let got = restored
+        .run(BUDGET - interrupt_at)
+        .expect("fault-free resumed run");
+
+    let tag = format!("{variant:?} parallel={parallel} interrupt@{interrupt_at}");
+    assert_eq!(got.outcome, want.outcome, "{tag}: outcome");
+    assert_eq!(got.stats, want.stats, "{tag}: stats");
+    assert_eq!(got.traffic, want.traffic, "{tag}: traffic");
+    assert_eq!(got.dmk, want.dmk, "{tag}: dmk stats");
+    assert_eq!(got.faults, want.faults, "{tag}: fault log");
+    assert_eq!(
+        image_hash(&restored, &setup),
+        image_hash(&reference, &ref_setup),
+        "{tag}: image hash"
+    );
+}
+
+#[test]
+fn resume_is_bit_identical_serial() {
+    assert_resume_matches(Variant::Dynamic, 1, 7_301);
+    assert_resume_matches(Variant::PdomWarp, 1, 4_097);
+}
+
+#[test]
+fn resume_is_bit_identical_parallel_4() {
+    assert_resume_matches(Variant::Dynamic, 4, 7_301);
+    assert_resume_matches(Variant::PdomWarp, 4, 4_097);
+}

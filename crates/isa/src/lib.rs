@@ -39,6 +39,7 @@
 
 mod asm;
 mod cfg;
+pub mod codec;
 mod dataflow;
 mod disasm;
 mod encode;

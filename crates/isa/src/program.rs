@@ -211,6 +211,13 @@ impl Program {
         &self.instrs[pc]
     }
 
+    /// Fetches the instruction at `pc`, or `None` when `pc` is outside the
+    /// program. The simulator uses this on its issue path so a wild PC
+    /// becomes a typed fault instead of a process abort.
+    pub fn get(&self, pc: usize) -> Option<&Instruction> {
+        self.instrs.get(pc)
+    }
+
     /// Label table (name → pc).
     pub fn labels(&self) -> &BTreeMap<String, usize> {
         &self.labels

@@ -1,6 +1,7 @@
 //! Functional backing stores: word-addressed memories with bump allocation.
 
 use serde::{Deserialize, Serialize};
+use simt_isa::codec::{CodecError, Decoder, Encoder};
 
 /// A flat, word-addressed memory image with a bump allocator.
 ///
@@ -90,6 +91,34 @@ impl WordStore {
     pub fn read_words(&self, addr: u32, n: usize) -> Vec<u32> {
         (0..n).map(|i| self.read(addr + 4 * i as u32)).collect()
     }
+
+    /// Serializes the complete store (contents, bump pointer, allocation
+    /// table) for a simulator checkpoint.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_u32_slice(&self.words);
+        enc.put_u32(self.next_free);
+        enc.put_usize(self.allocations.len());
+        for (label, base, size) in &self.allocations {
+            enc.put_str(label);
+            enc.put_u32(*base);
+            enc.put_u32(*size);
+        }
+    }
+
+    /// Restores state previously written by [`WordStore::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or malformed input.
+    pub fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        self.words = dec.take_u32_vec()?;
+        self.next_free = dec.take_u32()?;
+        let n = dec.take_len(9)?;
+        self.allocations = (0..n)
+            .map(|_| Ok((dec.take_str()?, dec.take_u32()?, dec.take_u32()?)))
+            .collect::<Result<_, CodecError>>()?;
+        Ok(())
+    }
 }
 
 /// Per-thread local memory (off-chip register spill / scratch).
@@ -153,6 +182,23 @@ impl LocalStore {
             self.words.resize(i + 1, 0);
         }
         self.words[i] = value;
+    }
+
+    /// Serializes the store (stride and contents) for a simulator checkpoint.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_u32(self.stride_bytes);
+        enc.put_u32_slice(&self.words);
+    }
+
+    /// Restores state previously written by [`LocalStore::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or malformed input.
+    pub fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        self.stride_bytes = dec.take_u32()?;
+        self.words = dec.take_u32_vec()?;
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@
 //! the spawn memory space").
 
 use serde::{Deserialize, Serialize};
+use simt_isa::codec::{CodecError, Decoder, Encoder};
 
 /// Computes the bank-conflict degree of a warp access: the maximum number
 /// of distinct words mapped to any single bank (≥ 1 for a non-empty
@@ -106,6 +107,33 @@ impl OnChipMemory {
     /// Conflict degree of a warp access to this memory.
     pub fn conflict_degree(&self, addresses: &[u32]) -> u32 {
         conflict_degree(addresses, self.banks)
+    }
+
+    /// Serializes the scratchpad contents for a simulator checkpoint (the
+    /// bank count is configuration, re-derived on restore).
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_u32_slice(&self.words);
+    }
+
+    /// Restores contents previously written by
+    /// [`OnChipMemory::encode_state`] into a scratchpad of identical
+    /// geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated input or a
+    /// [`CodecError::BadLength`] when the word count disagrees with this
+    /// scratchpad's capacity.
+    pub fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        let words = dec.take_u32_vec()?;
+        if words.len() != self.words.len() {
+            return Err(CodecError::BadLength {
+                len: words.len() as u64,
+                remaining: self.words.len(),
+            });
+        }
+        self.words = words;
+        Ok(())
     }
 }
 

@@ -14,6 +14,7 @@
 //! (rays, results, traversal stacks) bypasses.
 
 use serde::{Deserialize, Serialize};
+use simt_isa::codec::{CodecError, Decoder, Encoder};
 
 /// A set-associative read-only cache model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -97,6 +98,41 @@ impl ReadOnlyCache {
         self.tags.iter_mut().for_each(Vec::clear);
         self.hits = 0;
         self.misses = 0;
+    }
+
+    /// Serializes the cache contents (per-set tag stacks, MRU order
+    /// preserved) and hit/miss counters for a simulator checkpoint.
+    /// Geometry is configuration and is re-derived on restore.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_usize(self.tags.len());
+        for set in &self.tags {
+            enc.put_u64_slice(set);
+        }
+        enc.put_u64(self.hits);
+        enc.put_u64(self.misses);
+    }
+
+    /// Restores state previously written by
+    /// [`ReadOnlyCache::encode_state`] into a cache of identical geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated input or when the set count
+    /// disagrees with this cache's geometry.
+    pub fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        let sets = dec.take_len(8)?;
+        if sets != self.tags.len() {
+            return Err(CodecError::BadLength {
+                len: sets as u64,
+                remaining: self.tags.len(),
+            });
+        }
+        for set in &mut self.tags {
+            *set = dec.take_u64_vec()?;
+        }
+        self.hits = dec.take_u64()?;
+        self.misses = dec.take_u64()?;
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@ use crate::coalesce::coalesce_segments;
 use crate::config::MemConfig;
 use crate::frontend::FabricView;
 use crate::traffic::TrafficStats;
+use simt_isa::codec::{CodecError, Decoder, Encoder};
 use simt_isa::Space;
 use std::fmt;
 
@@ -558,6 +559,57 @@ impl MemoryFabric {
     /// Bytes of global memory allocated so far.
     pub fn global_allocated(&self) -> u32 {
         self.global.allocated_bytes()
+    }
+
+    /// Serializes the fabric's complete mutable state — backing stores,
+    /// per-module timing, traffic, and texture bindings — for a simulator
+    /// checkpoint. Requests never persist across cycles (each
+    /// [`MemoryFabric::service`] call retires immediately, leaving only the
+    /// fractional `module_free` timestamps), so this captures everything.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        self.global.encode_state(enc);
+        self.constant.encode_state(enc);
+        self.local.encode_state(enc);
+        enc.put_usize(self.module_free.len());
+        for &m in &self.module_free {
+            enc.put_f64(m);
+        }
+        self.traffic.encode_state(enc);
+        enc.put_usize(self.read_only_regions.len());
+        for &(base, bytes) in &self.read_only_regions {
+            enc.put_u32(base);
+            enc.put_u32(bytes);
+        }
+    }
+
+    /// Restores state previously written by
+    /// [`MemoryFabric::encode_state`] into a fabric built from the same
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated input or when the module count
+    /// disagrees with this fabric's configuration.
+    pub fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        self.global.restore_state(dec)?;
+        self.constant.restore_state(dec)?;
+        self.local.restore_state(dec)?;
+        let modules = dec.take_len(8)?;
+        if modules != self.module_free.len() {
+            return Err(CodecError::BadLength {
+                len: modules as u64,
+                remaining: self.module_free.len(),
+            });
+        }
+        for m in &mut self.module_free {
+            *m = dec.take_f64()?;
+        }
+        self.traffic.restore_state(dec)?;
+        let regions = dec.take_len(8)?;
+        self.read_only_regions = (0..regions)
+            .map(|_| Ok((dec.take_u32()?, dec.take_u32()?)))
+            .collect::<Result<_, CodecError>>()?;
+        Ok(())
     }
 }
 

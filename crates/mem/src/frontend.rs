@@ -13,6 +13,7 @@ use crate::coalesce::coalesce_segments;
 use crate::config::MemConfig;
 use crate::fabric::{time_onchip, FabricRequest, FunctionalOp, MemFault, WarpAccess};
 use crate::traffic::TrafficStats;
+use simt_isa::codec::{CodecError, Decoder, Encoder};
 use simt_isa::Space;
 
 /// An immutable snapshot of the fabric metadata phase-A validation needs.
@@ -276,6 +277,44 @@ impl SmMemFrontend {
         if let Some(t) = self.tex.as_mut() {
             t.reset();
         }
+    }
+
+    /// Serializes the frontend's mutable state — traffic shard, load-store
+    /// port timestamp, and read-only cache contents — for a simulator
+    /// checkpoint. The configuration (and hence cache geometry) is restored
+    /// separately.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        self.traffic.encode_state(enc);
+        enc.put_u64(self.lsu_free);
+        enc.put_bool(self.tex.is_some());
+        if let Some(t) = &self.tex {
+            t.encode_state(enc);
+        }
+    }
+
+    /// Restores state previously written by
+    /// [`SmMemFrontend::encode_state`] into a frontend built from the same
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated input or when the cache
+    /// presence/geometry disagrees with this frontend's configuration.
+    pub fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        self.traffic.restore_state(dec)?;
+        self.lsu_free = dec.take_u64()?;
+        let has_tex = dec.take_bool()?;
+        match (&mut self.tex, has_tex) {
+            (Some(t), true) => t.restore_state(dec)?,
+            (None, false) => {}
+            _ => {
+                return Err(CodecError::BadTag {
+                    what: "tex cache presence",
+                    tag: u64::from(has_tex),
+                })
+            }
+        }
+        Ok(())
     }
 }
 

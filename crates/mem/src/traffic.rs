@@ -1,6 +1,7 @@
 //! Traffic accounting per address space (regenerates paper Table IV).
 
 use serde::{Deserialize, Serialize};
+use simt_isa::codec::{CodecError, Decoder, Encoder};
 use simt_isa::Space;
 use std::fmt;
 
@@ -92,6 +93,37 @@ impl TrafficStats {
             .iter()
             .map(|s| self.space(*s).bytes_written)
             .sum()
+    }
+
+    /// Serializes every space's counters for a simulator checkpoint, in
+    /// [`Space::ALL`] order.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        for s in Space::ALL {
+            let t = self.space(s);
+            enc.put_u64(t.bytes_read);
+            enc.put_u64(t.bytes_written);
+            enc.put_u64(t.transactions);
+            enc.put_u64(t.accesses);
+            enc.put_u64(t.bank_conflict_passes);
+        }
+    }
+
+    /// Restores counters previously written by
+    /// [`TrafficStats::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated input.
+    pub fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        for s in Space::ALL {
+            let t = self.space_mut(s);
+            t.bytes_read = dec.take_u64()?;
+            t.bytes_written = dec.take_u64()?;
+            t.transactions = dec.take_u64()?;
+            t.accesses = dec.take_u64()?;
+            t.bank_conflict_passes = dec.take_u64()?;
+        }
+        Ok(())
     }
 
     /// Merges another statistics object into this one.

@@ -21,6 +21,8 @@
 //!   spawn-FIFO-full, formation-full, state-slot-exhaustion, and trap
 //!   events inside chosen cycle windows, for testing the recovery paths.
 
+use simt_isa::codec::{CodecError, Decoder, Encoder};
+use simt_isa::Space;
 use simt_mem::MemFault;
 use std::fmt;
 use std::ops::Range;
@@ -43,6 +45,13 @@ pub enum FaultKind {
         /// Number of LUT lines in the configured hardware.
         capacity: usize,
     },
+    /// The warp's PC left the program: an instruction fetch past the last
+    /// instruction (a wild branch, or a control-flow stack corrupted by an
+    /// earlier fault under [`FaultPolicy::KillWarp`]).
+    FetchOutOfRange {
+        /// Number of instructions in the running program.
+        len: usize,
+    },
     /// A trap forced by the [`Injector`] (no architectural cause).
     Injected,
 }
@@ -64,6 +73,12 @@ impl fmt::Display for FaultKind {
                 f,
                 "spawn LUT exhausted: no line for μ-kernel at pc {target_pc} ({capacity} lines)"
             ),
+            FaultKind::FetchOutOfRange { len } => {
+                write!(
+                    f,
+                    "instruction fetch past the end of the program ({len} instructions)"
+                )
+            }
             FaultKind::Injected => write!(f, "fault injected by the test harness"),
         }
     }
@@ -95,6 +110,139 @@ impl fmt::Display for Fault {
 }
 
 impl std::error::Error for Fault {}
+
+fn put_space(enc: &mut Encoder, s: Space) {
+    enc.put_u8(s as u8);
+}
+
+fn take_space(dec: &mut Decoder<'_>) -> Result<Space, CodecError> {
+    let tag = dec.take_u8()?;
+    Space::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(CodecError::BadTag {
+            what: "address space",
+            tag: tag as u64,
+        })
+}
+
+fn put_mem_fault(enc: &mut Encoder, m: &MemFault) {
+    match m {
+        MemFault::Misaligned { space, addr } => {
+            enc.put_u8(0);
+            put_space(enc, *space);
+            enc.put_u32(*addr);
+        }
+        MemFault::GlobalStoreOob { addr, allocated } => {
+            enc.put_u8(1);
+            enc.put_u32(*addr);
+            enc.put_u32(*allocated);
+        }
+        MemFault::ConstStore { addr } => {
+            enc.put_u8(2);
+            enc.put_u32(*addr);
+        }
+        MemFault::LocalOob { addr, stride } => {
+            enc.put_u8(3);
+            enc.put_u32(*addr);
+            enc.put_u32(*stride);
+        }
+        MemFault::Unmapped { space } => {
+            enc.put_u8(4);
+            put_space(enc, *space);
+        }
+    }
+}
+
+fn take_mem_fault(dec: &mut Decoder<'_>) -> Result<MemFault, CodecError> {
+    let tag = dec.take_u8()?;
+    Ok(match tag {
+        0 => MemFault::Misaligned {
+            space: take_space(dec)?,
+            addr: dec.take_u32()?,
+        },
+        1 => MemFault::GlobalStoreOob {
+            addr: dec.take_u32()?,
+            allocated: dec.take_u32()?,
+        },
+        2 => MemFault::ConstStore {
+            addr: dec.take_u32()?,
+        },
+        3 => MemFault::LocalOob {
+            addr: dec.take_u32()?,
+            stride: dec.take_u32()?,
+        },
+        4 => MemFault::Unmapped {
+            space: take_space(dec)?,
+        },
+        _ => {
+            return Err(CodecError::BadTag {
+                what: "memory fault",
+                tag: tag as u64,
+            })
+        }
+    })
+}
+
+impl Fault {
+    /// Serializes the fault (kind + location) for a simulator checkpoint.
+    pub(crate) fn encode_state(&self, enc: &mut Encoder) {
+        match &self.kind {
+            FaultKind::Memory(m) => {
+                enc.put_u8(0);
+                put_mem_fault(enc, m);
+            }
+            FaultKind::SpawnUnsupported => enc.put_u8(1),
+            FaultKind::LutExhausted {
+                target_pc,
+                capacity,
+            } => {
+                enc.put_u8(2);
+                enc.put_usize(*target_pc);
+                enc.put_usize(*capacity);
+            }
+            FaultKind::FetchOutOfRange { len } => {
+                enc.put_u8(3);
+                enc.put_usize(*len);
+            }
+            FaultKind::Injected => enc.put_u8(4),
+        }
+        enc.put_usize(self.sm);
+        enc.put_usize(self.warp);
+        enc.put_usize(self.pc);
+        enc.put_u64(self.cycle);
+    }
+
+    /// Rebuilds a fault written by [`Fault::encode_state`].
+    pub(crate) fn restore_state(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let tag = dec.take_u8()?;
+        let kind = match tag {
+            0 => FaultKind::Memory(take_mem_fault(dec)?),
+            1 => FaultKind::SpawnUnsupported,
+            2 => FaultKind::LutExhausted {
+                target_pc: dec.take_usize()?,
+                capacity: dec.take_usize()?,
+            },
+            3 => FaultKind::FetchOutOfRange {
+                len: dec.take_usize()?,
+            },
+            4 => FaultKind::Injected,
+            _ => {
+                return Err(CodecError::BadTag {
+                    what: "fault kind",
+                    tag: tag as u64,
+                })
+            }
+        };
+        Ok(Fault {
+            kind,
+            sm: dec.take_usize()?,
+            warp: dec.take_usize()?,
+            pc: dec.take_usize()?,
+            cycle: dec.take_u64()?,
+        })
+    }
+}
 
 /// What the chip does when a warp traps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
@@ -341,6 +489,50 @@ impl Injector {
                 && cycle < e.until
                 && (e.probability >= 1.0 || self.draw(what, cycle) < e.probability)
         })
+    }
+
+    /// Serializes the injector (seed + scheduled events) for a simulator
+    /// checkpoint. Firing is a pure function of `(seed, events, cycle)`, so
+    /// this is the injector's complete state.
+    pub(crate) fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_u64(self.seed);
+        enc.put_usize(self.events.len());
+        for e in &self.events {
+            enc.put_u8(e.what as u8);
+            enc.put_u64(e.from);
+            enc.put_u64(e.until);
+            enc.put_f64(e.probability);
+        }
+    }
+
+    /// Rebuilds an injector written by [`Injector::encode_state`].
+    pub(crate) fn restore_state(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let seed = dec.take_u64()?;
+        let n = dec.take_len(25)?;
+        let events = (0..n)
+            .map(|_| {
+                let tag = dec.take_u8()?;
+                let what = match tag {
+                    0 => InjectedFault::SpawnFifoFull,
+                    1 => InjectedFault::FormationFull,
+                    2 => InjectedFault::StateSlotsExhausted,
+                    3 => InjectedFault::Trap,
+                    _ => {
+                        return Err(CodecError::BadTag {
+                            what: "injected fault",
+                            tag: tag as u64,
+                        })
+                    }
+                };
+                Ok(Injection {
+                    what,
+                    from: dec.take_u64()?,
+                    until: dec.take_u64()?,
+                    probability: dec.take_f64()?,
+                })
+            })
+            .collect::<Result<_, CodecError>>()?;
+        Ok(Injector { seed, events })
     }
 
     /// Deterministic uniform draw in `[0, 1)` keyed by seed, event, cycle.

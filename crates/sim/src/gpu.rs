@@ -18,6 +18,7 @@
 //! runs in fixed SM-id order, the simulation is bit-identical at every
 //! parallelism level — the worker threads change wall-clock time only.
 
+use crate::checkpoint::{self, RestoreError, Snapshot};
 use crate::config::{GpuConfig, SchedulingModel};
 use crate::fault::{
     DeadlockDiagnostics, Fault, FaultPolicy, InjectedFault, Injector, LaunchError, SimError,
@@ -25,7 +26,8 @@ use crate::fault::{
 use crate::sm::{ExecCtx, Sm};
 use crate::stats::SimStats;
 use dmk_core::DmkStats;
-use simt_isa::{Program, ReconvergenceTable};
+use simt_isa::codec::{CodecError, Decoder, Encoder};
+use simt_isa::{EncodeError, Program, ReconvergenceTable};
 use simt_mem::{FabricView, MemorySystem, TrafficStats};
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -261,6 +263,128 @@ impl Gpu {
     /// Current simulated cycle.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Captures the complete architectural state of the machine as a
+    /// [`Snapshot`]: configuration, device memory (backing stores and DRAM
+    /// module timing), every SM (warps, thread contexts, formation unit,
+    /// memory frontend, statistics shard), the active launch (program,
+    /// pending blocks, dynamic-tid counter), the fault log, and the fault
+    /// injector.
+    ///
+    /// Checkpoints are only possible between [`Gpu::run`] calls — the
+    /// inter-cycle barrier where no phase-A work is queued and no fabric
+    /// request is in flight — so a machine restored from the snapshot and
+    /// run onward is bit-identical to one that was never interrupted, at
+    /// every phase-A parallelism level.
+    ///
+    /// The phase-A parallelism is a host-side tuning knob, not machine
+    /// state: it is not captured, and a restored machine starts at the
+    /// default (serial) setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EncodeError`] if the loaded program contains an
+    /// instruction the 96-bit ISA codec cannot represent (more than one
+    /// distinct non-zero immediate operand — assembler output never does).
+    pub fn checkpoint(&self) -> Result<Snapshot, EncodeError> {
+        let mut enc = Encoder::new();
+        checkpoint::put_gpu_config(&mut enc, &self.cfg);
+        self.mem.encode_state(&mut enc);
+        for sm in &self.sms {
+            sm.encode_state(&mut enc);
+        }
+        enc.put_bool(self.launch.is_some());
+        if let Some(l) = &self.launch {
+            checkpoint::put_program(&mut enc, &l.program)?;
+            enc.put_usize(l.entry_pc);
+            enc.put_u32(l.regs_per_thread);
+            enc.put_u32(l.ntid);
+            enc.put_usize(l.blocks.len());
+            for b in &l.blocks {
+                enc.put_usize(b.id);
+                enc.put_u32(b.next_tid);
+                enc.put_u32(b.end_tid);
+            }
+            enc.put_u32(l.next_dynamic_tid);
+        }
+        self.stats.encode_state(&mut enc);
+        enc.put_u64(self.now);
+        enc.put_usize(self.rr_sm);
+        enc.put_bool(self.injector.is_some());
+        if let Some(i) = &self.injector {
+            i.encode_state(&mut enc);
+        }
+        enc.put_usize(self.faults.len());
+        for f in &self.faults {
+            f.encode_state(&mut enc);
+        }
+        Ok(Snapshot::from_payload(enc.into_bytes()))
+    }
+
+    /// Rebuilds a machine from a [`Snapshot`] taken by
+    /// [`Gpu::checkpoint`]. The restored machine continues bit-identically
+    /// to the one that was checkpointed. Derived state (reconvergence
+    /// table, fabric view, memory geometry) is recomputed, not stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RestoreError`] when the payload is truncated, carries a
+    /// tag or length inconsistent with the captured configuration, or
+    /// describes a program that fails revalidation. File-level corruption
+    /// is caught earlier, by [`Snapshot::from_bytes`]'s checksum.
+    pub fn restore(snapshot: &Snapshot) -> Result<Gpu, RestoreError> {
+        let mut dec = Decoder::new(snapshot.payload());
+        let cfg = checkpoint::take_gpu_config(&mut dec)?;
+        let mut gpu = Gpu::new(cfg);
+        gpu.mem.restore_state(&mut dec)?;
+        for sm in &mut gpu.sms {
+            sm.restore_state(&mut dec)?;
+        }
+        if dec.take_bool()? {
+            let program = checkpoint::take_program(&mut dec)?;
+            let rtab = ReconvergenceTable::build(&program);
+            let entry_pc = dec.take_usize()?;
+            let regs_per_thread = dec.take_u32()?;
+            let ntid = dec.take_u32()?;
+            let nblocks = dec.take_len(16)?;
+            let blocks = (0..nblocks)
+                .map(|_| {
+                    Ok(PendingBlock {
+                        id: dec.take_usize()?,
+                        next_tid: dec.take_u32()?,
+                        end_tid: dec.take_u32()?,
+                    })
+                })
+                .collect::<Result<VecDeque<_>, CodecError>>()?;
+            let next_dynamic_tid = dec.take_u32()?;
+            gpu.launch = Some(ActiveLaunch {
+                program,
+                rtab,
+                entry_pc,
+                regs_per_thread,
+                ntid,
+                blocks,
+                next_dynamic_tid,
+            });
+        }
+        gpu.stats.restore_state(&mut dec)?;
+        gpu.now = dec.take_u64()?;
+        gpu.rr_sm = dec.take_usize()?;
+        if dec.take_bool()? {
+            gpu.injector = Some(Injector::restore_state(&mut dec)?);
+        }
+        let nfaults = dec.take_len(25)?;
+        gpu.faults = (0..nfaults)
+            .map(|_| Fault::restore_state(&mut dec))
+            .collect::<Result<_, CodecError>>()?;
+        if !dec.is_finished() {
+            return Err(RestoreError::Invalid(format!(
+                "{} trailing payload bytes",
+                dec.remaining()
+            )));
+        }
+        Ok(gpu)
     }
 
     /// Registers a kernel launch. Threads are dispatched to SMs over the
@@ -962,6 +1086,161 @@ mod tests {
             assert_eq!(w1, wp, "memory diverged at parallel={parallel}");
             assert_eq!(s1.outcome, sp.outcome);
         }
+    }
+
+    /// Interrupting a run at an arbitrary cycle, checkpointing, restoring,
+    /// and continuing must be bit-identical to the uninterrupted run —
+    /// stats, traffic, fault log, and memory contents.
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let src = r#"
+            .kernel main
+            main:
+                mov.u32 r1, %tid
+                mul.lo.s32 r2, r1, 4
+                ld.global.u32 r3, [r2+0]
+                and.b32 r4, r1, 3
+                setp.gt.s32 p0, r4, 1
+                @p0 add.s32 r3, r3, 100
+                add.s32 r3, r3, 1
+                st.global.u32 [r2+0], r3
+                exit
+        "#;
+        let fresh = || {
+            let program = assemble_named("mix", src).unwrap();
+            let mut gpu = Gpu::new(GpuConfig::tiny());
+            gpu.mem_mut().alloc_global(128 * 4, "buf");
+            gpu.launch(Launch {
+                program,
+                entry: "main".into(),
+                num_threads: 128,
+                threads_per_block: 8,
+            })
+            .expect("launch accepted");
+            gpu
+        };
+        let words = |gpu: &Gpu| -> Vec<u32> {
+            (0..128u32)
+                .map(|t| gpu.mem().read_u32(simt_isa::Space::Global, t * 4))
+                .collect()
+        };
+        let mut reference = fresh();
+        let ref_summary = reference.run(1_000_000).expect("fault-free");
+        assert_eq!(ref_summary.outcome, RunOutcome::Completed);
+
+        for interrupt_at in [1u64, 7, 40] {
+            let mut gpu = fresh();
+            gpu.run(interrupt_at).expect("fault-free prefix");
+            let bytes = gpu.checkpoint().expect("encodable").to_bytes();
+            let snapshot = Snapshot::from_bytes(&bytes).expect("frame intact");
+            let mut resumed = Gpu::restore(&snapshot).expect("restores");
+            assert_eq!(resumed.now(), gpu.now());
+            let summary = resumed.run(1_000_000).expect("fault-free tail");
+            assert_eq!(
+                summary.stats, ref_summary.stats,
+                "stats diverged after resume at cycle {interrupt_at}"
+            );
+            assert_eq!(
+                summary.traffic, ref_summary.traffic,
+                "traffic diverged after resume at cycle {interrupt_at}"
+            );
+            assert_eq!(summary.outcome, ref_summary.outcome);
+            assert_eq!(
+                words(&resumed),
+                words(&reference),
+                "memory diverged after resume at cycle {interrupt_at}"
+            );
+        }
+    }
+
+    /// Checkpoint/resume also commutes with dynamic μ-kernel state: the
+    /// formation unit, spawn memory, state slots, and dynamic-tid counter
+    /// all survive the round trip.
+    #[test]
+    fn checkpoint_resume_preserves_spawn_state() {
+        let src = r#"
+            .kernel main
+            .kernel child
+            .spawnstate 16
+            main:
+                mov.u32 r1, %tid
+                mov.u32 r2, %spawnmem
+                st.spawn.u32 [r2+0], r1
+                spawn $child, r2
+                exit
+            child:
+                mov.u32 r2, %spawnmem
+                ld.spawn.u32 r2, [r2+0]
+                ld.spawn.u32 r1, [r2+0]
+                mul.lo.s32 r3, r1, 3
+                mul.lo.s32 r4, r1, 4
+                st.global.u32 [r4+0], r3
+                exit
+        "#;
+        let fresh = || {
+            let program = assemble_named("spawny", src).unwrap();
+            let mut cfg = GpuConfig::tiny();
+            cfg.dmk = Some(tiny_dmk());
+            let mut gpu = Gpu::new(cfg);
+            gpu.mem_mut().alloc_global(64 * 4, "out");
+            gpu.launch(Launch {
+                program,
+                entry: "main".into(),
+                num_threads: 64,
+                threads_per_block: 8,
+            })
+            .expect("launch accepted");
+            gpu
+        };
+        let mut reference = fresh();
+        let ref_summary = reference.run(2_000_000).expect("fault-free");
+        assert_eq!(ref_summary.outcome, RunOutcome::Completed);
+
+        // Interrupt mid-spawn-traffic, then every 10 cycles after.
+        for interrupt_at in [5u64, 15, 25, 60] {
+            let mut gpu = fresh();
+            gpu.run(interrupt_at).expect("fault-free prefix");
+            let snapshot = gpu.checkpoint().expect("encodable");
+            let mut resumed = Gpu::restore(&snapshot).expect("restores");
+            let summary = resumed.run(2_000_000).expect("fault-free tail");
+            assert_eq!(
+                summary.stats, ref_summary.stats,
+                "stats diverged after resume at cycle {interrupt_at}"
+            );
+            assert_eq!(summary.dmk, ref_summary.dmk);
+            for tid in 0..64u32 {
+                assert_eq!(
+                    resumed.mem().read_u32(simt_isa::Space::Global, tid * 4),
+                    tid * 3,
+                    "thread {tid} after resume at cycle {interrupt_at}"
+                );
+            }
+        }
+    }
+
+    /// The injector and fault log survive a checkpoint: a restored machine
+    /// replays injected events and keeps the cumulative fault history.
+    #[test]
+    fn checkpoint_preserves_injector_and_fault_log() {
+        let program = assemble_named("double", DOUBLE_SRC).unwrap();
+        let mut cfg = GpuConfig::tiny();
+        cfg.fault_policy = FaultPolicy::KillWarp;
+        let mut gpu = Gpu::new(cfg);
+        gpu.set_injector(Injector::new(3).force(InjectedFault::Trap, 4..6));
+        gpu.mem_mut().alloc_global(64 * 4, "out");
+        gpu.launch(Launch {
+            program,
+            entry: "main".into(),
+            num_threads: 64,
+            threads_per_block: 8,
+        })
+        .expect("launch accepted");
+        gpu.run(5).expect("KillWarp absorbs the trap");
+        let snapshot = gpu.checkpoint().expect("encodable");
+        let resumed = Gpu::restore(&snapshot).expect("restores");
+        assert_eq!(resumed.faults(), gpu.faults());
+        assert!(!resumed.faults().is_empty(), "trap at cycle 4 recorded");
+        assert_eq!(resumed.stats(), gpu.stats());
     }
 
     /// Running the same launch twice at the same parallelism is also

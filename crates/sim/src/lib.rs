@@ -66,11 +66,21 @@
 //! turns livelocks into [`RunOutcome::Deadlock`] with per-SM diagnostics,
 //! and the deterministic [`Injector`] can force back-pressure and trap
 //! events at chosen cycles to test the recovery paths.
+//!
+//! ## Checkpoint/restore
+//!
+//! Between [`Gpu::run`] calls the complete architectural state can be
+//! captured with [`Gpu::checkpoint`] into a versioned, checksummed
+//! [`Snapshot`] (serializable to disk) and rebuilt with [`Gpu::restore`];
+//! the restored machine's continuation is bit-identical to never having
+//! stopped, at every parallelism level. Corrupt or truncated snapshots
+//! are rejected with a typed [`RestoreError`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+mod checkpoint;
 mod config;
 mod fault;
 mod gpu;
@@ -81,6 +91,7 @@ mod stats;
 mod thread;
 mod warp;
 
+pub use checkpoint::{RestoreError, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use config::{GpuConfig, SchedulingModel, SpawnPolicy};
 pub use fault::{
     DeadlockDiagnostics, Fault, FaultKind, FaultPolicy, InjectedFault, Injector, LaunchError,

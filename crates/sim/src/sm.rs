@@ -7,6 +7,7 @@ use crate::stats::SimStats;
 use crate::thread::ThreadCtx;
 use crate::warp::Warp;
 use dmk_core::{CompletedWarp, SpawnError, SpawnMemoryLayout, WarpFormation};
+use simt_isa::codec::{CodecError, Decoder, Encoder};
 use simt_isa::{Instr, Program, ReconvergenceTable, Space, Width};
 use simt_mem::{
     FabricView, FunctionalOp, MemFault, MemoryFabric, OnChipMemory, PendingAccess, SmMemFrontend,
@@ -536,7 +537,18 @@ impl Sm {
         view: &FabricView,
         injector: Option<&Injector>,
     ) -> Result<(), Fault> {
-        let instr = *ctx.program.fetch(pc);
+        // A wild PC (corrupted stack, bad branch surviving KillWarp) traps
+        // instead of aborting the host process.
+        let Some(&instr) = ctx.program.get(pc) else {
+            return Err(self.fault(
+                FaultKind::FetchOutOfRange {
+                    len: ctx.program.len(),
+                },
+                widx,
+                pc,
+                now,
+            ));
+        };
         // Guard-pass mask over the PDOM-active lanes.
         let mut pass = 0u64;
         {
@@ -1070,6 +1082,88 @@ impl Sm {
                 t.instructions += 1;
             }
         }
+    }
+
+    /// Serializes this SM's complete mutable state for a simulator
+    /// checkpoint. Must only be called at the inter-cycle barrier, where
+    /// the phase-A pending queue is drained (it is every cycle).
+    pub(crate) fn encode_state(&self, enc: &mut Encoder) {
+        debug_assert!(
+            self.pending.is_empty(),
+            "checkpoint only at the cycle barrier"
+        );
+        enc.put_usize(self.warps.len());
+        for w in &self.warps {
+            w.encode_state(enc);
+        }
+        enc.put_usize(self.next_warp_id);
+        enc.put_usize(self.rr);
+        self.shared.encode_state(enc);
+        enc.put_bool(self.spawn_mem.is_some());
+        if let Some(m) = &self.spawn_mem {
+            m.encode_state(enc);
+        }
+        enc.put_bool(self.formation.is_some());
+        if let Some(f) = &self.formation {
+            f.encode_state(enc);
+        }
+        enc.put_u32(self.threads_used);
+        enc.put_u32(self.regs_used);
+        let mut blocks: Vec<(usize, u32)> = self.blocks.iter().map(|(&b, &n)| (b, n)).collect();
+        blocks.sort_unstable();
+        enc.put_usize(blocks.len());
+        for (b, n) in blocks {
+            enc.put_usize(b);
+            enc.put_u32(n);
+        }
+        enc.put_u32_slice(&self.free_state_slots);
+        self.frontend.encode_state(enc);
+        enc.put_u64(self.issue_blocked_until);
+        self.stats.encode_state(enc);
+    }
+
+    /// Restores state written by [`Sm::encode_state`] into an SM freshly
+    /// built with [`Sm::new`] from the same configuration.
+    pub(crate) fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        let n = dec.take_len(30)?;
+        self.warps = (0..n)
+            .map(|_| Warp::restore_state(dec))
+            .collect::<Result<_, CodecError>>()?;
+        self.next_warp_id = dec.take_usize()?;
+        self.rr = dec.take_usize()?;
+        self.shared.restore_state(dec)?;
+        let has_spawn_mem = dec.take_bool()?;
+        if has_spawn_mem != self.spawn_mem.is_some() {
+            return Err(CodecError::BadTag {
+                what: "spawn memory presence",
+                tag: has_spawn_mem as u64,
+            });
+        }
+        if let Some(m) = self.spawn_mem.as_mut() {
+            m.restore_state(dec)?;
+        }
+        let has_formation = dec.take_bool()?;
+        if has_formation != self.formation.is_some() {
+            return Err(CodecError::BadTag {
+                what: "formation unit presence",
+                tag: has_formation as u64,
+            });
+        }
+        if let Some(f) = self.formation.as_mut() {
+            f.restore_state(dec)?;
+        }
+        self.threads_used = dec.take_u32()?;
+        self.regs_used = dec.take_u32()?;
+        let nb = dec.take_len(12)?;
+        self.blocks = (0..nb)
+            .map(|_| Ok((dec.take_usize()?, dec.take_u32()?)))
+            .collect::<Result<_, CodecError>>()?;
+        self.free_state_slots = dec.take_u32_vec()?;
+        self.frontend.restore_state(dec)?;
+        self.issue_blocked_until = dec.take_u64()?;
+        self.stats.restore_state(dec)?;
+        self.pending.clear();
+        Ok(())
     }
 
     /// Test/diagnostic access to shared memory contents.

@@ -1,6 +1,7 @@
 //! Simulation statistics: IPC, divergence timelines, completion counters.
 
 use serde::{Deserialize, Serialize};
+use simt_isa::codec::{CodecError, Decoder, Encoder};
 use std::fmt;
 
 /// Number of warp-occupancy buckets in divergence breakdowns.
@@ -131,6 +132,33 @@ impl DivergenceTimeline {
         }
     }
 
+    /// Serializes the timeline's counts for a simulator checkpoint (window
+    /// width and warp size are configuration, re-derived on restore).
+    pub(crate) fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_usize(self.counts.len());
+        for w in &self.counts {
+            for &v in w {
+                enc.put_u64(v);
+            }
+        }
+    }
+
+    /// Restores counts previously written by
+    /// [`DivergenceTimeline::encode_state`].
+    pub(crate) fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        let n = dec.take_len(8 * OCCUPANCY_BUCKETS)?;
+        let mut counts = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut w = [0u64; OCCUPANCY_BUCKETS];
+            for v in &mut w {
+                *v = dec.take_u64()?;
+            }
+            counts.push(w);
+        }
+        self.counts = counts;
+        Ok(())
+    }
+
     /// Average active lanes per *issue* over the whole run (idle excluded).
     pub fn mean_active_lanes(&self) -> f64 {
         let per_bucket = (self.warp_size as usize)
@@ -246,6 +274,49 @@ impl SimStats {
         self.watchdog_deadlocks += other.watchdog_deadlocks;
         self.injected_events += other.injected_events;
         self.divergence.merge(&other.divergence);
+    }
+
+    /// Serializes every counter plus the divergence timeline for a
+    /// simulator checkpoint.
+    pub(crate) fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_u64(self.cycles);
+        enc.put_u64(self.thread_instructions);
+        enc.put_u64(self.warp_issues);
+        enc.put_u64(self.idle_sm_cycles);
+        enc.put_u64(self.threads_launched);
+        enc.put_u64(self.threads_spawned);
+        enc.put_u64(self.threads_retired);
+        enc.put_u64(self.lineages_completed);
+        enc.put_u64(self.spawn_stall_cycles);
+        enc.put_u64(self.spawn_elisions);
+        enc.put_u64(self.faults);
+        enc.put_u64(self.warps_killed);
+        enc.put_u64(self.threads_killed);
+        enc.put_u64(self.watchdog_deadlocks);
+        enc.put_u64(self.injected_events);
+        self.divergence.encode_state(enc);
+    }
+
+    /// Restores counters previously written by
+    /// [`SimStats::encode_state`] into stats built with the same
+    /// divergence geometry.
+    pub(crate) fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        self.cycles = dec.take_u64()?;
+        self.thread_instructions = dec.take_u64()?;
+        self.warp_issues = dec.take_u64()?;
+        self.idle_sm_cycles = dec.take_u64()?;
+        self.threads_launched = dec.take_u64()?;
+        self.threads_spawned = dec.take_u64()?;
+        self.threads_retired = dec.take_u64()?;
+        self.lineages_completed = dec.take_u64()?;
+        self.spawn_stall_cycles = dec.take_u64()?;
+        self.spawn_elisions = dec.take_u64()?;
+        self.faults = dec.take_u64()?;
+        self.warps_killed = dec.take_u64()?;
+        self.threads_killed = dec.take_u64()?;
+        self.watchdog_deadlocks = dec.take_u64()?;
+        self.injected_events = dec.take_u64()?;
+        self.divergence.restore_state(dec)
     }
 
     /// Committed thread-instructions per cycle.

@@ -1,5 +1,6 @@
 //! Per-thread (lane) execution context.
 
+use simt_isa::codec::{CodecError, Decoder, Encoder};
 use simt_isa::{Operand, Pred, Reg, Special};
 
 /// Architectural state of one thread: registers, predicates and the
@@ -88,6 +89,46 @@ impl ThreadCtx {
             Special::NTid => ntid,
             Special::SpawnMem => self.spawn_mem_addr,
         }
+    }
+
+    /// Serializes this thread's complete architectural state for a
+    /// simulator checkpoint.
+    pub(crate) fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_u32(self.tid);
+        enc.put_u32_slice(&self.regs);
+        enc.put_u8(self.preds);
+        enc.put_u32(self.spawn_mem_addr);
+        enc.put_bool(self.state_slot.is_some());
+        if let Some(s) = self.state_slot {
+            enc.put_u32(s);
+        }
+        enc.put_bool(self.spawned_child);
+        enc.put_bool(self.exited);
+        enc.put_u64(self.instructions);
+    }
+
+    /// Rebuilds a thread from bytes written by
+    /// [`ThreadCtx::encode_state`].
+    pub(crate) fn restore_state(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let tid = dec.take_u32()?;
+        let regs = dec.take_u32_vec()?;
+        let preds = dec.take_u8()?;
+        let spawn_mem_addr = dec.take_u32()?;
+        let state_slot = if dec.take_bool()? {
+            Some(dec.take_u32()?)
+        } else {
+            None
+        };
+        Ok(ThreadCtx {
+            tid,
+            regs,
+            preds,
+            spawn_mem_addr,
+            state_slot,
+            spawned_child: dec.take_bool()?,
+            exited: dec.take_bool()?,
+            instructions: dec.take_u64()?,
+        })
     }
 }
 

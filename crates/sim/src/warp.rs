@@ -1,6 +1,7 @@
 //! Warps and the PDOM reconvergence stack.
 
 use crate::thread::ThreadCtx;
+use simt_isa::codec::{CodecError, Decoder, Encoder};
 use simt_isa::RECONVERGE_AT_EXIT;
 
 /// One entry of the PDOM reconvergence stack.
@@ -230,6 +231,92 @@ impl Warp {
             .iter()
             .filter_map(|l| l.as_ref())
             .filter(|t| !t.exited)
+    }
+
+    /// Serializes the warp — lanes, reconvergence stack, timing, and
+    /// book-keeping — for a simulator checkpoint.
+    pub(crate) fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_usize(self.id);
+        enc.put_u32(self.warp_size);
+        enc.put_usize(self.lanes.len());
+        for lane in &self.lanes {
+            enc.put_bool(lane.is_some());
+            if let Some(t) = lane {
+                t.encode_state(enc);
+            }
+        }
+        enc.put_usize(self.stack.len());
+        for e in &self.stack {
+            enc.put_usize(e.pc);
+            enc.put_u64(e.mask);
+            enc.put_usize(e.rpc);
+        }
+        enc.put_u64(self.ready_at);
+        enc.put_bool(self.block_id.is_some());
+        if let Some(b) = self.block_id {
+            enc.put_usize(b);
+        }
+        enc.put_bool(self.formation_block.is_some());
+        if let Some(b) = self.formation_block {
+            enc.put_u32(b);
+        }
+        enc.put_bool(self.elision_block.is_some());
+        if let Some(b) = self.elision_block {
+            enc.put_u32(b);
+        }
+        enc.put_bool(self.is_dynamic);
+    }
+
+    /// Rebuilds a warp from bytes written by [`Warp::encode_state`].
+    pub(crate) fn restore_state(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let id = dec.take_usize()?;
+        let warp_size = dec.take_u32()?;
+        let n_lanes = dec.take_len(1)?;
+        let mut lanes = Vec::with_capacity(n_lanes);
+        for _ in 0..n_lanes {
+            lanes.push(if dec.take_bool()? {
+                Some(ThreadCtx::restore_state(dec)?)
+            } else {
+                None
+            });
+        }
+        let depth = dec.take_len(24)?;
+        let stack = (0..depth)
+            .map(|_| {
+                Ok(StackEntry {
+                    pc: dec.take_usize()?,
+                    mask: dec.take_u64()?,
+                    rpc: dec.take_usize()?,
+                })
+            })
+            .collect::<Result<_, CodecError>>()?;
+        let ready_at = dec.take_u64()?;
+        let block_id = if dec.take_bool()? {
+            Some(dec.take_usize()?)
+        } else {
+            None
+        };
+        let formation_block = if dec.take_bool()? {
+            Some(dec.take_u32()?)
+        } else {
+            None
+        };
+        let elision_block = if dec.take_bool()? {
+            Some(dec.take_u32()?)
+        } else {
+            None
+        };
+        Ok(Warp {
+            id,
+            warp_size,
+            lanes,
+            stack,
+            ready_at,
+            block_id,
+            formation_block,
+            elision_block,
+            is_dynamic: dec.take_bool()?,
+        })
     }
 }
 

@@ -19,7 +19,7 @@ fn bar(frac: f64, width: usize) -> String {
 
 fn main() {
     // --- Part 1: a single warp in a loop (Fig. 2) -----------------------
-    let f2 = fig2::run();
+    let f2 = fig2::run().expect("fig2 kernel assembles");
     println!("single warp, lane-dependent loop (paper Fig. 2):");
     for (i, lanes) in f2.lane_trace.iter().enumerate() {
         println!(
