@@ -12,7 +12,7 @@ use std::hint::black_box;
 
 fn run_with(cfg: GpuConfig, dynamic: bool, block: u32) -> RunSummary {
     let scene = scenes::conference(SceneScale::Tiny);
-    let mut gpu = Gpu::new(cfg);
+    let mut gpu = Gpu::builder(cfg).build();
     let setup = RenderSetup::upload(&mut gpu, &scene, 32, 32);
     if dynamic {
         setup.launch_ukernel(&mut gpu, block);

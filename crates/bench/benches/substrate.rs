@@ -86,7 +86,7 @@ fn bench_simulator_cycle_rate(c: &mut Criterion) {
     g.throughput(Throughput::Elements(cycles));
     g.bench_function("cycles_per_second_pdom", |b| {
         b.iter(|| {
-            let mut gpu = Gpu::new(GpuConfig::fx5800());
+            let mut gpu = Gpu::builder(GpuConfig::fx5800()).build();
             let setup = RenderSetup::upload(&mut gpu, &scene, 32, 32);
             setup.launch_traditional(&mut gpu, 64);
             black_box(gpu.run(cycles))

@@ -10,14 +10,19 @@
 //! disk write, and read + restore of a mid-run machine state, so the
 //! cost of `--checkpoint-every` shows up in the recorded numbers.
 //!
+//! Also measures telemetry overhead (`DESIGN.md` §10): the same run with
+//! telemetry disabled at runtime against one with windowed metrics on,
+//! so the probe cost the experiment drivers pay is a recorded number
+//! (the budget is < 5%).
+//!
 //! ```text
 //! bench_sim [--scale paper|quick|test] [--out PATH]
 //! ```
 
-use experiments::{gpu_for, Scale, Variant};
+use experiments::{gpu_for, gpu_for_with, Scale, Variant};
 use raytrace::scenes;
 use rt_kernels::render::RenderSetup;
-use simt_sim::{Gpu, Snapshot};
+use simt_sim::{Gpu, Snapshot, TelemetrySpec};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -39,9 +44,8 @@ impl BenchRun {
 
 /// One timed fig-7 render. Returns simulated cycles and wall seconds for
 /// the `Gpu::run` call only (scene build and upload are untimed).
-fn run_once(parallel: usize, scale: Scale) -> BenchRun {
-    let mut gpu = gpu_for(Variant::Dynamic);
-    gpu.set_parallelism(parallel);
+fn run_once(parallel: usize, scale: Scale, telemetry: TelemetrySpec) -> BenchRun {
+    let mut gpu = gpu_for_with(Variant::Dynamic, telemetry).with_parallelism(parallel);
     let scene = scenes::conference(scale.scene);
     let setup = RenderSetup::upload(&mut gpu, &scene, scale.resolution, scale.resolution);
     setup.launch_ukernel(&mut gpu, scale.threads_per_block);
@@ -141,7 +145,7 @@ fn main() -> ExitCode {
     let mut runs = Vec::new();
     for &p in &parallelisms {
         eprintln!("bench_sim: fig7 conference/dynamic, scale {scale_name}, parallel {p} ...");
-        let r = run_once(p, scale);
+        let r = run_once(p, scale, TelemetrySpec::metrics());
         eprintln!(
             "  {} simulated cycles in {:.3} s  ({:.0} cycles/s)",
             r.cycles,
@@ -156,6 +160,25 @@ fn main() -> ExitCode {
         }
         _ => 1.0,
     };
+
+    eprintln!("bench_sim: telemetry overhead (runtime-off vs windowed metrics) ...");
+    // Best-of-3 per configuration: single wall-clock shots on a loaded
+    // host swing by more than the effect being measured.
+    let best = |telemetry: fn() -> TelemetrySpec| {
+        (0..3)
+            .map(|_| run_once(1, scale, telemetry()).wall_seconds)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let tel_off = best(TelemetrySpec::off);
+    let tel_on = best(TelemetrySpec::metrics);
+    let tel_overhead_pct = if tel_off > 0.0 {
+        (tel_on / tel_off - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    eprintln!(
+        "  off {tel_off:.3} s, metrics {tel_on:.3} s  ({tel_overhead_pct:+.1}% when enabled)"
+    );
 
     eprintln!("bench_sim: checkpoint write/restore overhead ...");
     let ckpt = bench_checkpoint(scale);
@@ -184,6 +207,10 @@ fn main() -> ExitCode {
     }
     json.push_str("  ],\n");
     json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    json.push_str(&format!(
+        "  \"telemetry\": {{\"off_seconds\": {tel_off:.6}, \"on_seconds\": {tel_on:.6}, \
+         \"enabled_overhead_pct\": {tel_overhead_pct:.2}}},\n",
+    ));
     json.push_str(&format!(
         "  \"checkpoint\": {{\"snapshot_bytes\": {}, \"encode_seconds\": {:.6}, \
          \"write_seconds\": {:.6}, \"restore_seconds\": {:.6}}}\n",

@@ -53,7 +53,7 @@ fn run_policy(policy: SpawnPolicy, scale: Scale) -> PolicyRun {
     let mut gpu = gpu_for(Variant::Dynamic);
     let mut cfg = gpu.config().clone();
     cfg.spawn_policy = policy;
-    gpu = simt_sim::Gpu::new(cfg);
+    gpu = simt_sim::Gpu::builder(cfg).build();
     let setup = RenderSetup::upload(&mut gpu, &scene, scale.resolution, scale.resolution);
     setup.launch_ukernel(&mut gpu, scale.threads_per_block);
     let s = gpu.run(scale.cycles).expect("fault-free run");

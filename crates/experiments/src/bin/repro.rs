@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <artifact> [--scale paper|quick|test] [--json] [--parallel N|ncpu]
+//!                  [--trace] [--metrics-every N]
 //!                  [--checkpoint-every N] [--checkpoint-dir D] [--resume]
 //!                  [--max-retries N] [--kill-after-checkpoints N]
 //!
@@ -11,6 +12,13 @@
 //! `--parallel` sets the simulator's phase-A worker-thread count (`ncpu`
 //! = all host cores). Results are bit-identical at every setting; it
 //! changes wall-clock time only.
+//!
+//! `--trace` turns on the telemetry event rings and writes a Chrome-trace
+//! JSON (`<job>.trace.json`, loadable in Perfetto / `chrome://tracing`)
+//! and a windowed-metrics CSV (`<job>.metrics.csv`) next to each job's
+//! normal output. `--metrics-every N` overrides the metrics window width
+//! in cycles (default: the machine's divergence window). Neither flag
+//! changes any reported number.
 //!
 //! The checkpoint flags drive the supervised runner (`DESIGN.md` §9):
 //! `--checkpoint-every N` snapshots every N simulated cycles,
@@ -31,6 +39,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <table1|table2|table3|table4|fig2|fig3|fig7|fig8|fig9|fig10|all> \
          [--scale paper|quick|test] [--json] [--parallel N|ncpu] \
+         [--trace] [--metrics-every N] \
          [--checkpoint-every N] [--checkpoint-dir D] [--resume] \
          [--max-retries N] [--kill-after-checkpoints N]"
     );
@@ -118,6 +127,14 @@ fn main() -> ExitCode {
                 scale = s;
             }
             "--json" => json = true,
+            "--trace" => experiments::set_trace(true),
+            "--metrics-every" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n >= 1 => experiments::set_metrics_every(n),
+                    _ => return usage(),
+                }
+            }
             "--parallel" => {
                 i += 1;
                 let n = match args.get(i).map(String::as_str) {

@@ -1,15 +1,24 @@
 //! The machine variants compared in the paper's evaluation.
 
 use dmk_core::DmkConfig;
-use simt_sim::{Gpu, GpuConfig};
+use simt_sim::{Gpu, GpuConfig, TelemetrySpec};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Process-wide phase-A parallelism applied to every GPU built by
 /// [`gpu_for`]. Results are bit-identical at every setting (see
-/// `simt_sim::Gpu::set_parallelism`); this trades wall-clock time only,
-/// so a plain process-global is safe for the experiment drivers.
+/// `simt_sim::GpuBuilder::parallelism`); this trades wall-clock time
+/// only, so a plain process-global is safe for the experiment drivers.
 static PARALLELISM: AtomicUsize = AtomicUsize::new(1);
+
+/// Process-wide trace switch (`repro --trace`): machines built by
+/// [`gpu_for`] additionally fill per-SM event rings, and the drivers
+/// write Chrome-trace/metrics-CSV files next to their normal output.
+static TRACE: AtomicBool = AtomicBool::new(false);
+
+/// Process-wide metrics window override in cycles (`repro
+/// --metrics-every N`); 0 means the machine's divergence window.
+static METRICS_EVERY: AtomicU64 = AtomicU64::new(0);
 
 /// Sets the phase-A worker-thread count used by [`gpu_for`] (clamped ≥ 1).
 pub fn set_parallelism(n: usize) {
@@ -19,6 +28,38 @@ pub fn set_parallelism(n: usize) {
 /// The current phase-A worker-thread count used by [`gpu_for`].
 pub fn parallelism() -> usize {
     PARALLELISM.load(Ordering::Relaxed)
+}
+
+/// Enables event tracing on every GPU built by [`gpu_for`].
+pub fn set_trace(on: bool) {
+    TRACE.store(on, Ordering::Relaxed);
+}
+
+/// Whether event tracing is on.
+pub fn trace() -> bool {
+    TRACE.load(Ordering::Relaxed)
+}
+
+/// Overrides the telemetry metrics window (0 = divergence window).
+pub fn set_metrics_every(cycles: u64) {
+    METRICS_EVERY.store(cycles, Ordering::Relaxed);
+}
+
+/// The telemetry metrics-window override (0 = divergence window).
+pub fn metrics_every() -> u64 {
+    METRICS_EVERY.load(Ordering::Relaxed)
+}
+
+/// The telemetry configuration the experiment drivers run with: windowed
+/// metrics always (they cost a few counters and feed the figure
+/// timelines), per-event rings only under `--trace`.
+pub fn telemetry_spec() -> TelemetrySpec {
+    let base = if trace() {
+        TelemetrySpec::trace()
+    } else {
+        TelemetrySpec::metrics()
+    };
+    base.with_window(metrics_every())
 }
 
 /// One evaluated machine configuration (paper §VI/§VII).
@@ -73,8 +114,15 @@ impl fmt::Display for Variant {
     }
 }
 
-/// Builds the simulated GPU for a variant (paper Table I machine).
+/// Builds the simulated GPU for a variant (paper Table I machine), with
+/// the process-wide parallelism and telemetry settings applied.
 pub fn gpu_for(variant: Variant) -> Gpu {
+    gpu_for_with(variant, telemetry_spec())
+}
+
+/// [`gpu_for`] with an explicit telemetry configuration (the benchmark
+/// harness uses this to compare telemetry-off against telemetry-on).
+pub fn gpu_for_with(variant: Variant, telemetry: TelemetrySpec) -> Gpu {
     let mut cfg = match variant {
         Variant::PdomBlock => GpuConfig::fx5800(),
         Variant::PdomWarp | Variant::PdomWarpIdeal => GpuConfig::fx5800_warp_sched(),
@@ -87,9 +135,10 @@ pub fn gpu_for(variant: Variant) -> Gpu {
         Variant::DynamicConflicts => cfg.mem.spawn_bank_conflicts = true,
         _ => {}
     }
-    let mut gpu = Gpu::new(cfg);
-    gpu.set_parallelism(parallelism());
-    gpu
+    Gpu::builder(cfg)
+        .parallelism(parallelism())
+        .telemetry(telemetry)
+        .build()
 }
 
 #[cfg(test)]

@@ -49,7 +49,7 @@ pub fn run(scale: Scale) -> Fig10 {
 
     // MIMD theoretical: run the traditional kernel functionally.
     let cfg = GpuConfig::fx5800_warp_sched();
-    let mut gpu = Gpu::new(cfg.clone());
+    let mut gpu = Gpu::builder(cfg.clone()).build();
     let setup = RenderSetup::upload(&mut gpu, &scene, scale.resolution, scale.resolution);
     let program = rt_kernels::traditional::program();
     let entry = program.entry("main").expect("main entry").pc;

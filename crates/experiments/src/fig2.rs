@@ -54,7 +54,9 @@ pub fn run() -> Result<Fig2, AsmError> {
     cfg.num_sms = 1;
     cfg.mem.ideal = true; // isolate branching behaviour, like the figure
     cfg.divergence_window = 1;
-    let mut gpu = Gpu::new(cfg);
+    let mut gpu = Gpu::builder(cfg)
+        .telemetry(crate::configs::telemetry_spec())
+        .build();
     gpu.mem_mut().alloc_global(32 * 4, "out");
     let program = assemble_named("fig2-loop", loop_kernel_source())?;
     gpu.launch(Launch {
@@ -65,10 +67,16 @@ pub fn run() -> Result<Fig2, AsmError> {
     })
     .expect("launch accepted");
     let summary = gpu.run(100_000).expect("fault-free run");
-    // Rebuild the per-issue lane counts from the 1-cycle windows: with one
-    // SM and one warp, each window has at most one issue.
-    let lane_trace: Vec<u32> = summary
-        .stats
+    let report = gpu.telemetry_report();
+    if crate::configs::trace() {
+        crate::runner::write_trace_artifacts("fig2", &report);
+    }
+    // Rebuild the per-issue lane counts from the telemetry divergence
+    // mirror's 1-cycle windows: with one SM and one warp, each window has
+    // at most one issue. The mirror is bit-identical to
+    // `summary.stats.divergence`, so this is the same trace the figure
+    // always printed.
+    let lane_trace: Vec<u32> = report
         .divergence
         .windows()
         .iter()

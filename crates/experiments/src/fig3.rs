@@ -33,10 +33,14 @@ pub struct DivergenceFigure {
 }
 
 /// Runs `variant` on the conference benchmark and extracts the breakdown.
+///
+/// The timeline comes from the run's telemetry report; its divergence
+/// mirror is defined to be bit-identical to `SimStats::divergence`, so
+/// switching the figures onto telemetry changed no published number.
 pub fn divergence_figure(variant: Variant, scale: Scale) -> DivergenceFigure {
     let scene = scenes::conference(scale.scene);
     let run = RenderRun::execute(&scene, variant, scale);
-    let d = &run.summary.stats.divergence;
+    let d = &run.telemetry.divergence;
     DivergenceFigure {
         variant: variant.to_string(),
         labels: d.labels(),

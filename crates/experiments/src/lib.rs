@@ -43,6 +43,9 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 
-pub use configs::{gpu_for, parallelism, set_parallelism, Variant};
+pub use configs::{
+    gpu_for, gpu_for_with, metrics_every, parallelism, set_metrics_every, set_parallelism,
+    set_trace, telemetry_spec, trace, Variant,
+};
 pub use runner::{RenderRun, Scale};
 pub use supervisor::{JobStatus, Policy};

@@ -1,12 +1,12 @@
 //! Shared run machinery: scales and the standard render-run wrapper.
 
-use crate::configs::{gpu_for, parallelism, Variant};
+use crate::configs::{self, gpu_for, parallelism, Variant};
 use crate::supervisor::{self, JobStatus};
 use raytrace::scenes::{Scene, SceneScale};
 use rt_kernels::render::RenderSetup;
 use serde::{Deserialize, Serialize};
 use simt_isa::codec::{Decoder, Encoder};
-use simt_sim::{Gpu, RunSummary};
+use simt_sim::{ChromeTraceSink, CsvMetricsSink, Gpu, RunSummary, TelemetryReport, TraceSink};
 use std::fmt;
 
 /// Experiment scale: resolution, simulated-cycle budget, scene size.
@@ -157,8 +157,8 @@ fn resume_state(job: &str) -> Option<(Gpu, PhaseMeta)> {
         return None;
     };
     match Gpu::restore(&snap) {
-        Ok(mut gpu) => {
-            gpu.set_parallelism(parallelism());
+        Ok(gpu) => {
+            let gpu = gpu.with_parallelism(parallelism());
             eprintln!(
                 "note: {job}: resuming from checkpoint at cycle {}",
                 gpu.now()
@@ -172,6 +172,23 @@ fn resume_state(job: &str) -> Option<(Gpu, PhaseMeta)> {
     }
 }
 
+/// Writes the Chrome-trace JSON and windowed-metrics CSV for a job next
+/// to the process's normal output (`{job}.trace.json`, `{job}.metrics.csv`).
+/// Called by the drivers when `--trace` is active; failures warn and
+/// continue — trace artifacts must never sink a campaign.
+pub fn write_trace_artifacts(job: &str, report: &TelemetryReport) {
+    for (suffix, rendered) in [
+        ("trace.json", ChromeTraceSink.render(report)),
+        ("metrics.csv", CsvMetricsSink.render(report)),
+    ] {
+        let path = format!("{job}.{suffix}");
+        match std::fs::write(&path, rendered) {
+            Ok(()) => eprintln!("trace: wrote {path}"),
+            Err(e) => eprintln!("warning: {job}: cannot write {path}: {e}"),
+        }
+    }
+}
+
 /// The result of one standard render run.
 #[derive(Debug)]
 pub struct RenderRun {
@@ -181,6 +198,9 @@ pub struct RenderRun {
     pub variant: Variant,
     /// Full simulator summary (whole run, including warm-up).
     pub summary: RunSummary,
+    /// Cumulative telemetry over the whole run (windowed counters, the
+    /// divergence mirror, and — under `--trace` — per-event rings).
+    pub telemetry: TelemetryReport,
     /// Shader clock used for rays/s conversion.
     pub clock_ghz: f64,
     /// Rays completed during the steady-state half of the window.
@@ -254,6 +274,10 @@ impl RenderRun {
         if supervisor::policy().is_active() || status != JobStatus::Completed {
             eprintln!("job {job}: {status}");
         }
+        let telemetry = gpu.telemetry_report();
+        if configs::trace() {
+            write_trace_artifacts(&job, &telemetry);
+        }
         let summary = steady.summary;
         let end_cycle = summary.stats.cycles;
         let (steady_rays, steady_cycles) = if end_cycle > warm_cycle {
@@ -270,6 +294,7 @@ impl RenderRun {
             variant,
             clock_ghz: gpu.config().clock_ghz,
             summary,
+            telemetry,
             steady_rays,
             steady_cycles,
             status,

@@ -23,7 +23,7 @@
 //! to an uninterrupted run (see `DESIGN.md` §9).
 
 use crate::configs::parallelism;
-use simt_sim::{Gpu, RunOutcome, RunSummary, SimError, Snapshot};
+use simt_sim::{Gpu, RunOutcome, RunSummary, Snapshot, SnapshotSink, TraceSink};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -240,9 +240,8 @@ fn rollback(gpu: &mut Gpu, job: &str, last_good: &Option<Snapshot>) -> bool {
         return false;
     };
     match Gpu::restore(snap) {
-        Ok(mut restored) => {
-            restored.set_parallelism(parallelism());
-            *gpu = restored;
+        Ok(restored) => {
+            *gpu = restored.with_parallelism(parallelism());
             true
         }
         Err(e) => {
@@ -319,13 +318,25 @@ pub fn run_to_target(gpu: &mut Gpu, target: u64, job: &str, meta: &[u8]) -> Supe
                             gave_up: false,
                         };
                     }
-                    // Healthy slice boundary: record the new good state.
+                    // Healthy slice boundary: record the new good state
+                    // and, when telemetry is recording, a one-line pulse
+                    // of the machine's vitals.
                     take_snapshot(gpu, job, meta, &pol, &mut last_good);
+                    if gpu.telemetry_enabled() {
+                        eprintln!(
+                            "supervisor: {job}: cycle {}: {}",
+                            gpu.now(),
+                            SnapshotSink.render(&gpu.telemetry_report())
+                        );
+                    }
                     continue;
                 }
                 RunOutcome::Deadlock { .. } => "watchdog deadlock".to_string(),
+                // `RunOutcome` is non-exhaustive: treat anything newer
+                // than this crate as a failed slice and retry.
+                other => format!("unexpected outcome: {other:?}"),
             },
-            Err(SimError::Fault(fault)) => format!("fault: {fault}"),
+            Err(e) => e.to_string(),
         };
         // Roll back to the last good snapshot; when that fails (or the
         // retry budget is spent) the phase gives up, reporting whatever
@@ -358,7 +369,7 @@ mod tests {
     use simt_sim::{FaultPolicy, GpuConfig, InjectedFault, Injector, Launch};
 
     fn small_gpu() -> Gpu {
-        let mut gpu = Gpu::new(GpuConfig::tiny());
+        let mut gpu = Gpu::builder(GpuConfig::tiny()).build();
         gpu.mem_mut().alloc_global(256, "out");
         let program = simt_isa::assemble(
             r#"
@@ -425,7 +436,7 @@ mod tests {
         // figures from the last good snapshot instead of panicking.
         let mut cfg = GpuConfig::tiny();
         cfg.fault_policy = FaultPolicy::Abort;
-        let mut gpu = Gpu::new(cfg);
+        let mut gpu = Gpu::builder(cfg).build();
         gpu.mem_mut().alloc_global(256, "out");
         let program = simt_isa::assemble(
             r#"

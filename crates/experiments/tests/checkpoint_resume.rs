@@ -1,15 +1,16 @@
 //! End-to-end checkpoint/resume correctness: a render interrupted at an
 //! arbitrary cycle, serialized through the on-disk snapshot format,
 //! restored, and run to the original budget must be **bit-identical** to
-//! an uninterrupted run — statistics, memory traffic, fault log, and the
-//! rendered image — at every phase-A parallelism level.
+//! an uninterrupted run — statistics, memory traffic, fault log,
+//! windowed telemetry metrics, and the rendered image — at every phase-A
+//! parallelism level.
 
 use experiments::{gpu_for, Variant};
 use raytrace::scenes::{self, SceneScale};
 use rt_kernels::render::RenderSetup;
 use rt_kernels::RESULT_RECORD_BYTES;
 use simt_isa::codec::fnv1a64;
-use simt_sim::{Gpu, Snapshot};
+use simt_sim::{CsvMetricsSink, Gpu, Snapshot, TraceSink};
 
 const RESOLUTION: u32 = 16;
 const BUDGET: u64 = 20_000;
@@ -41,14 +42,12 @@ fn image_hash(gpu: &Gpu, setup: &RenderSetup) -> u64 {
 fn assert_resume_matches(variant: Variant, parallel: usize, interrupt_at: u64) {
     let scene = scenes::conference(SceneScale::Tiny);
 
-    let mut reference = gpu_for(variant);
-    reference.set_parallelism(parallel);
+    let mut reference = gpu_for(variant).with_parallelism(parallel);
     let ref_setup = RenderSetup::upload(&mut reference, &scene, RESOLUTION, RESOLUTION);
     launch(variant, &ref_setup, &mut reference);
     let want = reference.run(BUDGET).expect("fault-free reference run");
 
-    let mut gpu = gpu_for(variant);
-    gpu.set_parallelism(parallel);
+    let mut gpu = gpu_for(variant).with_parallelism(parallel);
     let setup = RenderSetup::upload(&mut gpu, &scene, RESOLUTION, RESOLUTION);
     launch(variant, &setup, &mut gpu);
     gpu.run(interrupt_at).expect("fault-free partial run");
@@ -56,8 +55,9 @@ fn assert_resume_matches(variant: Variant, parallel: usize, interrupt_at: u64) {
     drop(gpu); // everything must come back from the serialized bytes
 
     let snap = Snapshot::from_bytes(&bytes).expect("snapshot frame is valid");
-    let mut restored = Gpu::restore(&snap).expect("snapshot restores");
-    restored.set_parallelism(parallel);
+    let mut restored = Gpu::restore(&snap)
+        .expect("snapshot restores")
+        .with_parallelism(parallel);
     let got = restored
         .run(BUDGET - interrupt_at)
         .expect("fault-free resumed run");
@@ -72,6 +72,18 @@ fn assert_resume_matches(variant: Variant, parallel: usize, interrupt_at: u64) {
         image_hash(&restored, &setup),
         image_hash(&reference, &ref_setup),
         "{tag}: image hash"
+    );
+    // The windowed telemetry counters ride the snapshot with the rest of
+    // the machine state: a resumed run must render the same metrics CSV
+    // as the uninterrupted reference.
+    assert!(
+        restored.telemetry_enabled(),
+        "{tag}: telemetry config survives restore"
+    );
+    assert_eq!(
+        CsvMetricsSink.render(&restored.telemetry_report()),
+        CsvMetricsSink.render(&reference.telemetry_report()),
+        "{tag}: windowed telemetry metrics"
     );
 }
 

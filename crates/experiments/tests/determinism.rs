@@ -1,13 +1,16 @@
 //! Determinism regression tests for the two-phase pipeline: the same
-//! launch must produce bit-identical statistics, traffic, fault logs, and
-//! output images at every phase-A parallelism level, and across repeated
-//! runs at the same level.
+//! launch must produce bit-identical statistics, traffic, fault logs,
+//! telemetry artifacts, and output images at every phase-A parallelism
+//! level, and across repeated runs at the same level.
 
 use dmk_core::DmkConfig;
-use experiments::{gpu_for, Scale, Variant};
+use experiments::{gpu_for, gpu_for_with, Scale, Variant};
 use raytrace::scenes::{self, SceneScale};
 use rt_kernels::render::RenderSetup;
-use simt_sim::{FaultPolicy, Gpu, GpuConfig, InjectedFault, Injector, RunSummary, SimStats};
+use simt_sim::{
+    ChromeTraceSink, CsvMetricsSink, FaultPolicy, Gpu, GpuConfig, InjectedFault, Injector,
+    RunSummary, SimStats, TelemetrySpec, TraceSink,
+};
 
 /// FNV-1a 64 over the rendered hit buffer (t bits + triangle id per ray).
 fn image_hash(results: &[Option<raytrace::Hit>]) -> u64 {
@@ -40,8 +43,7 @@ struct Frame {
 fn render_at(variant: Variant, parallel: usize) -> Frame {
     let scale = Scale::test();
     let scene = scenes::conference(SceneScale::Tiny);
-    let mut gpu = gpu_for(variant);
-    gpu.set_parallelism(parallel);
+    let mut gpu = gpu_for(variant).with_parallelism(parallel);
     let setup = RenderSetup::upload(&mut gpu, &scene, scale.resolution, scale.resolution);
     if variant.is_dynamic() {
         setup.launch_ukernel(&mut gpu, scale.threads_per_block);
@@ -103,13 +105,14 @@ fn injected_fault_log_is_identical_across_parallelism() {
     let run_at = |parallel: usize| {
         let mut cfg = GpuConfig::fx5800_dmk(DmkConfig::paper());
         cfg.fault_policy = FaultPolicy::KillWarp;
-        let mut gpu = Gpu::new(cfg);
-        gpu.set_parallelism(parallel);
-        gpu.set_injector(Injector::new(7).force_with_probability(
-            InjectedFault::Trap,
-            500..4_000,
-            0.02,
-        ));
+        let mut gpu = Gpu::builder(cfg)
+            .parallelism(parallel)
+            .injector(Injector::new(7).force_with_probability(
+                InjectedFault::Trap,
+                500..4_000,
+                0.02,
+            ))
+            .build();
         let scale = Scale::test();
         let scene = scenes::conference(SceneScale::Tiny);
         let setup = RenderSetup::upload(&mut gpu, &scene, scale.resolution, scale.resolution);
@@ -122,4 +125,52 @@ fn injected_fault_log_is_identical_across_parallelism() {
     assert!(!faults1.is_empty(), "the injector actually trapped warps");
     assert_eq!(faults1, faults4, "fault logs diverged across parallelism");
     assert_eq!(stats1, stats4);
+}
+
+/// One fully traced render: the rendered Chrome-trace JSON, the rendered
+/// metrics CSV, and the `SimStats` divergence CSV for cross-checking.
+fn traced_render_at(parallel: usize) -> (String, String, String) {
+    let scale = Scale::test();
+    let scene = scenes::conference(SceneScale::Tiny);
+    let mut gpu = gpu_for_with(Variant::Dynamic, TelemetrySpec::trace()).with_parallelism(parallel);
+    let setup = RenderSetup::upload(&mut gpu, &scene, scale.resolution, scale.resolution);
+    setup.launch_ukernel(&mut gpu, scale.threads_per_block);
+    gpu.run(1_000_000).expect("fault-free run");
+    let report = gpu.telemetry_report();
+    (
+        ChromeTraceSink.render(&report),
+        CsvMetricsSink.render(&report),
+        gpu.stats().divergence.to_csv(),
+    )
+}
+
+/// Telemetry is produced in per-SM shards during phase A and merged in
+/// SM-id order, so the rendered artifacts — not just the aggregate
+/// statistics — must be byte-identical at every parallelism level.
+#[test]
+fn telemetry_artifacts_are_identical_across_parallelism() {
+    let (trace1, csv1, _) = traced_render_at(1);
+    let (trace4, csv4, _) = traced_render_at(4);
+    assert!(
+        trace1.contains("\"traceEvents\""),
+        "trace JSON looks malformed: {trace1:.120}"
+    );
+    assert_eq!(trace1, trace4, "Chrome trace diverged across parallelism");
+    assert_eq!(csv1, csv4, "metrics CSV diverged across parallelism");
+}
+
+/// The CSV sink's divergence section is defined to be byte-identical to
+/// `SimStats::divergence.to_csv()` — the figures that moved onto the
+/// telemetry pipeline must keep printing exactly the numbers they did
+/// when they scraped `SimStats` directly.
+#[test]
+fn telemetry_csv_divergence_section_matches_sim_stats() {
+    let (_, csv, stats_csv) = traced_render_at(1);
+    let section = CsvMetricsSink::divergence_section(&csv)
+        .expect("metrics CSV has a divergence timeline section");
+    assert_eq!(section, stats_csv, "telemetry divergence != SimStats");
+    assert!(
+        stats_csv.lines().count() > 1,
+        "divergence timeline is non-trivial"
+    );
 }

@@ -208,15 +208,24 @@ pub struct MemoryFabric {
     local: LocalStore,
     /// (Fractional) cycle at which each off-chip module becomes free.
     module_free: Vec<f64>,
+    /// Cumulative (fractional) DRAM cycles each module spent servicing
+    /// segments — the telemetry view of module pressure.
+    module_busy: Vec<f64>,
     traffic: TrafficStats,
     /// Global-memory regions marked cacheable by per-SM read-only caches
     /// ("texture bindings").
     read_only_regions: Vec<(u32, u32)>,
 }
 
-/// Compatibility alias: the pre-split name of [`MemoryFabric`]. Host-side
-/// code (scene upload, functional interpreters, tests) is unaffected by
-/// the frontend/fabric split and keeps using this name.
+/// Compatibility alias: the pre-split name of [`MemoryFabric`].
+///
+/// The split gave each side an explicit name: host-side/functional/phase-B
+/// code talks to the [`MemoryFabric`], per-SM phase-A timing lives in
+/// [`crate::SmMemFrontend`]. Use whichever side you mean; this alias is
+/// kept for one release for downstream code.
+#[deprecated(
+    note = "use `MemoryFabric` (shared fabric / host side) or `SmMemFrontend` (per-SM side)"
+)]
 pub type MemorySystem = MemoryFabric;
 
 impl MemoryFabric {
@@ -229,6 +238,7 @@ impl MemoryFabric {
             constant: WordStore::new(),
             local: LocalStore::new(0),
             module_free: vec![0.0; modules],
+            module_busy: vec![0.0; modules],
             traffic: TrafficStats::new(),
             read_only_regions: Vec::new(),
         }
@@ -465,10 +475,18 @@ impl MemoryFabric {
             let module = self.config.module_of(seg);
             let start = (now as f64).max(self.module_free[module]);
             self.module_free[module] = start + service;
+            self.module_busy[module] += service;
             let done = (start + service).ceil() as u64 + u64::from(self.config.dram_latency);
             ready = ready.max(done);
         }
         ready
+    }
+
+    /// Cumulative (fractional) DRAM cycles each module has spent servicing
+    /// segments, indexed by module id. Telemetry's view of per-module
+    /// pressure; reset together with the timing state.
+    pub fn module_busy(&self) -> &[f64] {
+        &self.module_busy
     }
 
     /// Times one warp access starting at cycle `now`; returns the cycle at
@@ -550,9 +568,11 @@ impl MemoryFabric {
         &self.traffic
     }
 
-    /// Resets timing state (module queues) and traffic, keeping contents.
+    /// Resets timing state (module queues, busy accounting) and traffic,
+    /// keeping contents.
     pub fn reset_timing(&mut self) {
         self.module_free.iter_mut().for_each(|m| *m = 0.0);
+        self.module_busy.iter_mut().for_each(|m| *m = 0.0);
         self.traffic = TrafficStats::new();
     }
 
@@ -572,6 +592,9 @@ impl MemoryFabric {
         self.local.encode_state(enc);
         enc.put_usize(self.module_free.len());
         for &m in &self.module_free {
+            enc.put_f64(m);
+        }
+        for &m in &self.module_busy {
             enc.put_f64(m);
         }
         self.traffic.encode_state(enc);
@@ -604,6 +627,9 @@ impl MemoryFabric {
         for m in &mut self.module_free {
             *m = dec.take_f64()?;
         }
+        for m in &mut self.module_busy {
+            *m = dec.take_f64()?;
+        }
         self.traffic.restore_state(dec)?;
         let regions = dec.take_len(8)?;
         self.read_only_regions = (0..regions)
@@ -628,7 +654,7 @@ mod tests {
 
     #[test]
     fn functional_global_roundtrip() {
-        let mut m = MemorySystem::new(MemConfig::fx5800());
+        let mut m = MemoryFabric::new(MemConfig::fx5800());
         let a = m.alloc_global(16, "t");
         m.write_u32(Space::Global, a + 4, 9);
         assert_eq!(m.read_u32(Space::Global, a + 4), 9);
@@ -637,13 +663,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "read-only")]
     fn device_const_write_panics() {
-        let mut m = MemorySystem::new(MemConfig::fx5800());
+        let mut m = MemoryFabric::new(MemConfig::fx5800());
         m.write_u32(Space::Const, 0, 1);
     }
 
     #[test]
     fn coalesced_access_is_fast_scattered_is_slow() {
-        let mut m = MemorySystem::new(MemConfig::fx5800());
+        let mut m = MemoryFabric::new(MemConfig::fx5800());
         let t_coalesced = m.access(0, &coalesced_warp(0));
         m.reset_timing();
         let scattered = WarpAccess {
@@ -661,7 +687,7 @@ mod tests {
 
     #[test]
     fn module_queueing_backs_up() {
-        let mut m = MemorySystem::new(MemConfig::fx5800());
+        let mut m = MemoryFabric::new(MemConfig::fx5800());
         // Same segment repeatedly: same module, so queueing accrues.
         let a = WarpAccess {
             space: Space::Global,
@@ -676,7 +702,7 @@ mod tests {
 
     #[test]
     fn ideal_memory_is_single_cycle() {
-        let mut m = MemorySystem::new(MemConfig::fx5800().with_ideal(true));
+        let mut m = MemoryFabric::new(MemConfig::fx5800().with_ideal(true));
         assert_eq!(m.access(10, &coalesced_warp(0)), 11);
         let spawn = WarpAccess {
             space: Space::Spawn,
@@ -697,8 +723,8 @@ mod tests {
             bytes_per_lane: 4,
             addresses: addrs,
         };
-        let mut without = MemorySystem::new(MemConfig::fx5800().with_spawn_bank_conflicts(false));
-        let mut with = MemorySystem::new(MemConfig::fx5800().with_spawn_bank_conflicts(true));
+        let mut without = MemoryFabric::new(MemConfig::fx5800().with_spawn_bank_conflicts(false));
+        let mut with = MemoryFabric::new(MemConfig::fx5800().with_spawn_bank_conflicts(true));
         let t_without = without.access(0, &req);
         let t_with = with.access(0, &req);
         assert!(t_with > t_without);
@@ -718,7 +744,7 @@ mod tests {
             bytes_per_lane: 4,
             addresses: addrs,
         };
-        let mut m = MemorySystem::new(MemConfig::fx5800().with_spawn_bank_conflicts(false));
+        let mut m = MemoryFabric::new(MemConfig::fx5800().with_spawn_bank_conflicts(false));
         let base = u64::from(m.config().shared_latency);
         // Degree 8: the access occupies the port for 8 passes.
         assert_eq!(m.access(0, &req), base + 8);
@@ -726,7 +752,7 @@ mod tests {
 
     #[test]
     fn traffic_recorded_per_space() {
-        let mut m = MemorySystem::new(MemConfig::fx5800());
+        let mut m = MemoryFabric::new(MemConfig::fx5800());
         m.access(0, &coalesced_warp(0));
         let g = m.traffic().space(Space::Global);
         assert_eq!(g.bytes_read, 128);
@@ -736,7 +762,7 @@ mod tests {
 
     #[test]
     fn local_translation_and_storage() {
-        let mut m = MemorySystem::new(MemConfig::fx5800());
+        let mut m = MemoryFabric::new(MemConfig::fx5800());
         m.configure_local(388);
         m.write_local(3, 8, 77);
         assert_eq!(m.read_local(3, 8), 77);
@@ -749,7 +775,7 @@ mod tests {
 
     #[test]
     fn empty_access_is_noop() {
-        let mut m = MemorySystem::new(MemConfig::fx5800());
+        let mut m = MemoryFabric::new(MemConfig::fx5800());
         let req = WarpAccess {
             space: Space::Global,
             is_store: false,
@@ -762,7 +788,7 @@ mod tests {
 
     #[test]
     fn reset_timing_clears_queues_and_traffic() {
-        let mut m = MemorySystem::new(MemConfig::fx5800());
+        let mut m = MemoryFabric::new(MemConfig::fx5800());
         let t1 = m.access(0, &coalesced_warp(0));
         m.reset_timing();
         let t2 = m.access(0, &coalesced_warp(0));
@@ -780,10 +806,10 @@ mod tests {
             bytes_per_lane: 4,
             addresses: (0..32).map(|i| i * 256).collect(),
         };
-        let mut direct = MemorySystem::new(MemConfig::fx5800());
+        let mut direct = MemoryFabric::new(MemConfig::fx5800());
         let t_direct = direct.access(7, &req);
 
-        let mut split = MemorySystem::new(MemConfig::fx5800());
+        let mut split = MemoryFabric::new(MemConfig::fx5800());
         let result = coalesce_segments(&req.addresses, req.bytes_per_lane, 32);
         let t_split = split.service(
             7,
@@ -798,7 +824,7 @@ mod tests {
 
     #[test]
     fn apply_performs_deferred_ops() {
-        let mut m = MemorySystem::new(MemConfig::fx5800());
+        let mut m = MemoryFabric::new(MemConfig::fx5800());
         m.alloc_global(64, "t");
         m.configure_local(16);
         m.apply(&FunctionalOp::Store {
@@ -826,7 +852,7 @@ mod tests {
 
     #[test]
     fn view_snapshots_validation_metadata() {
-        let mut m = MemorySystem::new(MemConfig::fx5800());
+        let mut m = MemoryFabric::new(MemConfig::fx5800());
         m.alloc_global(64, "t");
         m.configure_local(32);
         m.mark_read_only(0, 16);

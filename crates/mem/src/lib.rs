@@ -22,10 +22,10 @@
 //! ## Example
 //!
 //! ```
-//! use simt_mem::{MemConfig, MemorySystem};
+//! use simt_mem::{MemConfig, MemoryFabric};
 //! use simt_isa::Space;
 //!
-//! let mut mem = MemorySystem::new(MemConfig::fx5800());
+//! let mut mem = MemoryFabric::new(MemConfig::fx5800());
 //! let buf = mem.alloc_global(64, "scratch");
 //! mem.write_u32(Space::Global, buf, 42);
 //! assert_eq!(mem.read_u32(Space::Global, buf), 42);
@@ -48,6 +48,8 @@ pub use banks::{conflict_degree, OnChipMemory};
 pub use cache::ReadOnlyCache;
 pub use coalesce::{coalesce_segments, CoalesceResult};
 pub use config::MemConfig;
-pub use fabric::{FabricRequest, FunctionalOp, MemFault, MemoryFabric, MemorySystem, WarpAccess};
+#[allow(deprecated)]
+pub use fabric::MemorySystem;
+pub use fabric::{FabricRequest, FunctionalOp, MemFault, MemoryFabric, WarpAccess};
 pub use frontend::{FabricView, PendingAccess, SmMemFrontend};
 pub use traffic::{SpaceTraffic, TrafficStats};

@@ -23,7 +23,7 @@
 
 use crate::{MISS, NODE_RECORD_BYTES, RAY_RECORD_BYTES, RESULT_RECORD_BYTES, STACK_BYTES_PER_RAY};
 use raytrace::{Hit, KdNode, KdTree, Ray};
-use simt_mem::MemorySystem;
+use simt_mem::MemoryFabric;
 
 /// Node-word tag marking a leaf.
 pub const LEAF_TAG: u32 = 3;
@@ -50,7 +50,7 @@ pub struct DeviceScene {
 impl DeviceScene {
     /// Uploads a kd-tree and ray set into `mem` and writes the
     /// constant-memory header. Returns the region addresses.
-    pub fn upload(tree: &KdTree, rays: &[Ray], mem: &mut MemorySystem) -> DeviceScene {
+    pub fn upload(tree: &KdTree, rays: &[Ray], mem: &mut MemoryFabric) -> DeviceScene {
         // --- nodes ---
         let nodes = tree.nodes();
         let nodes_base = mem.alloc_global(nodes.len() as u32 * NODE_RECORD_BYTES, "kd-nodes");
@@ -125,7 +125,7 @@ impl DeviceScene {
     /// triangle arrays, and rewrites the constant header. Used for
     /// multi-pass rendering (e.g. a shadow-ray pass after the primary
     /// pass, paper §III-A).
-    pub fn upload_rays(&self, rays: &[raytrace::Ray], mem: &mut MemorySystem) -> DeviceScene {
+    pub fn upload_rays(&self, rays: &[raytrace::Ray], mem: &mut MemoryFabric) -> DeviceScene {
         let rays_base = mem.alloc_global(rays.len() as u32 * RAY_RECORD_BYTES, "rays-pass2");
         for (i, r) in rays.iter().enumerate() {
             let words = [
@@ -162,7 +162,7 @@ impl DeviceScene {
 
     /// Writes the constant-memory header (done automatically by
     /// [`DeviceScene::upload`]).
-    pub fn write_const_header(&self, mem: &mut MemorySystem) {
+    pub fn write_const_header(&self, mem: &mut MemoryFabric) {
         let base = 0;
         for (i, v) in [
             self.nodes_base,
@@ -181,7 +181,7 @@ impl DeviceScene {
     }
 
     /// Reads back the result buffer as `(t, hit)` pairs, `None` for misses.
-    pub fn read_results(&self, mem: &MemorySystem) -> Vec<Option<Hit>> {
+    pub fn read_results(&self, mem: &MemoryFabric) -> Vec<Option<Hit>> {
         (0..self.num_rays)
             .map(|i| {
                 let base = self.results_base + i * RESULT_RECORD_BYTES;
@@ -208,7 +208,7 @@ mod tests {
         let tree = KdTree::build(&scene.triangles);
         let cam = Camera::looking_at(scene.bounds(), 4, 4);
         let rays: Vec<Ray> = (0..16).map(|p| cam.primary_ray_indexed(p)).collect();
-        let mut mem = MemorySystem::new(MemConfig::fx5800());
+        let mut mem = MemoryFabric::new(MemConfig::fx5800());
         let dev = DeviceScene::upload(&tree, &rays, &mut mem);
 
         // Header.
@@ -236,7 +236,7 @@ mod tests {
     fn wald_records_roundtrip() {
         let scene = scenes::atrium(scenes::SceneScale::Tiny);
         let tree = KdTree::build(&scene.triangles);
-        let mut mem = MemorySystem::new(MemConfig::fx5800());
+        let mut mem = MemoryFabric::new(MemConfig::fx5800());
         let dev = DeviceScene::upload(&tree, &[], &mut mem);
         let w = &tree.wald_triangles()[3];
         let words: Vec<u32> = (0..12)
@@ -250,7 +250,7 @@ mod tests {
         let scene = scenes::fairyforest(scenes::SceneScale::Tiny);
         let tree = KdTree::build(&scene.triangles);
         let rays = vec![Ray::new(raytrace::Vec3::ZERO, raytrace::Vec3::new(1.0, 0.0, 0.0)); 8];
-        let mut mem = MemorySystem::new(MemConfig::fx5800());
+        let mut mem = MemoryFabric::new(MemConfig::fx5800());
         let dev = DeviceScene::upload(&tree, &rays, &mut mem);
         let mut spans = vec![
             (dev.nodes_base, tree.nodes().len() as u32 * 16),

@@ -224,7 +224,7 @@ mod tests {
                 fifo_capacity: 64,
             });
         }
-        Gpu::new(cfg)
+        Gpu::builder(cfg).build()
     }
 
     #[test]

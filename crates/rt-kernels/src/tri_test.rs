@@ -135,7 +135,7 @@ mod tests {
     use super::*;
     use raytrace::{Ray, Triangle, Vec3, WaldTriangle};
     use simt_isa::{assemble_named, Space};
-    use simt_mem::{MemConfig, MemorySystem};
+    use simt_mem::{MemConfig, MemoryFabric};
     use simt_sim::interpret_thread;
 
     /// Drives the snippet standalone: wald record at global 0, ray in
@@ -190,7 +190,7 @@ mod tests {
             test = emit_tri_test(&regs, "miss"),
         );
         let program = assemble_named("tritest", &src).expect("assembles");
-        let mut mem = MemorySystem::new(MemConfig::fx5800());
+        let mut mem = MemoryFabric::new(MemConfig::fx5800());
         mem.alloc_global(2048, "all");
         let w = WaldTriangle::new(tri).expect("non-degenerate");
         mem.host_write_global(0, &w.to_words());

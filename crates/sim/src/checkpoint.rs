@@ -17,7 +17,7 @@
 //! shards are self-consistent. [`crate::Gpu::checkpoint`] enforces this by
 //! construction — it can only be called between [`crate::Gpu::run`] calls.
 //!
-//! # On-disk format (version 1)
+//! # On-disk format (version 2)
 //!
 //! ```text
 //! [0..8)   magic  b"DMKSNAP\0"
@@ -50,10 +50,17 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DMKSNAP\0";
 
 /// Current snapshot format version. Bumped whenever the payload layout
 /// changes; older versions are rejected rather than misread.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version history: 1 — initial format; 2 — per-SM telemetry shards and
+/// per-DRAM-module busy accounting joined the payload.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a snapshot could not be restored.
+///
+/// Marked `#[non_exhaustive]`: new failure modes may be diagnosed in
+/// future format versions, so downstream matches need a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum RestoreError {
     /// The file does not start with [`SNAPSHOT_MAGIC`].
     BadMagic,

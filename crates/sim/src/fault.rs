@@ -28,7 +28,11 @@ use std::fmt;
 use std::ops::Range;
 
 /// What a warp trapped on.
+///
+/// Marked `#[non_exhaustive]`: richer hardware models will trap on new
+/// things, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FaultKind {
     /// An illegal memory access (misaligned, out-of-bounds store, write to
     /// a read-only space, …).
@@ -257,7 +261,11 @@ pub enum FaultPolicy {
 }
 
 /// Why [`crate::Gpu::launch`] rejected a launch request.
+///
+/// Marked `#[non_exhaustive]`: launch validation grows with the machine
+/// model, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum LaunchError {
     /// The previous launch has not fully drained yet.
     LaunchActive,
@@ -315,7 +323,13 @@ impl fmt::Display for LaunchError {
 impl std::error::Error for LaunchError {}
 
 /// A fatal simulation error returned by [`crate::Gpu::run`].
+///
+/// Marked `#[non_exhaustive]`: future machine models may fail fatally for
+/// new reasons, so downstream matches need a wildcard arm. Like
+/// [`LaunchError`] it implements `std::error::Error + Display`, so
+/// callers can format it with `{e}` instead of matching.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// A warp trapped under [`FaultPolicy::Abort`].
     Fault(Fault),

@@ -8,8 +8,8 @@
 //!   immutable [`FabricView`] of device-memory metadata, *emitting*
 //!   deferred functional ops and coalesced module requests into its
 //!   private pending queue. No SM can observe another SM in this phase,
-//!   so it is embarrassingly parallel: with [`Gpu::set_parallelism`] the
-//!   SM array is sharded across a pool of OS threads.
+//!   so it is embarrassingly parallel: with [`GpuBuilder::parallelism`]
+//!   the SM array is sharded across a pool of OS threads.
 //! * **Phase B** — the shared [`MemoryFabric`](simt_mem::MemoryFabric)
 //!   drains every SM's queue serially in SM-id order, applying the
 //!   functional ops and arbitrating the DRAM modules deterministically.
@@ -24,11 +24,12 @@ use crate::fault::{
     DeadlockDiagnostics, Fault, FaultPolicy, InjectedFault, Injector, LaunchError, SimError,
 };
 use crate::sm::{ExecCtx, Sm};
-use crate::stats::SimStats;
+use crate::stats::{DivergenceTimeline, SimStats};
+use crate::telemetry::{TelemetryReport, TelemetrySpec};
 use dmk_core::DmkStats;
 use simt_isa::codec::{CodecError, Decoder, Encoder};
 use simt_isa::{EncodeError, Program, ReconvergenceTable};
-use simt_mem::{FabricView, MemorySystem, TrafficStats};
+use simt_mem::{FabricView, MemoryFabric, TrafficStats};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::thread;
@@ -47,7 +48,11 @@ pub struct Launch {
 }
 
 /// Why a run stopped.
+///
+/// Marked `#[non_exhaustive]`: future hardware models may stop for new
+/// reasons, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RunOutcome {
     /// Every thread retired and no spawned work remains.
     Completed,
@@ -101,7 +106,7 @@ struct ActiveLaunch {
 #[derive(Debug)]
 pub struct Gpu {
     cfg: GpuConfig,
-    mem: MemorySystem,
+    mem: MemoryFabric,
     sms: Vec<Sm>,
     launch: Option<ActiveLaunch>,
     stats: SimStats,
@@ -186,18 +191,104 @@ impl WorkerPool {
     }
 }
 
-impl Gpu {
-    /// Builds a GPU for `cfg`.
+/// Fluent constructor for [`Gpu`]: configuration, phase-A parallelism,
+/// fault policy, fault injection, and telemetry in one facade, so every
+/// caller — experiments, benches, examples, tests — builds the machine
+/// the same way.
+///
+/// ```
+/// use simt_sim::{Gpu, GpuConfig, TelemetrySpec};
+///
+/// let gpu = Gpu::builder(GpuConfig::tiny())
+///     .parallelism(4)
+///     .telemetry(TelemetrySpec::metrics())
+///     .build();
+/// assert_eq!(gpu.parallelism(), 4);
+/// // Recording requires the (default-on) `telemetry` feature.
+/// assert_eq!(gpu.telemetry_enabled(), cfg!(feature = "telemetry"));
+/// ```
+#[derive(Debug)]
+pub struct GpuBuilder {
+    cfg: GpuConfig,
+    parallelism: usize,
+    injector: Option<Injector>,
+    telemetry: TelemetrySpec,
+}
+
+impl GpuBuilder {
+    /// Number of phase-A worker threads (clamped to ≥ 1; 1 = step SMs
+    /// inline). Simulation results are bit-identical at every setting —
+    /// this changes wall-clock time only.
+    pub fn parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
+        self
+    }
+
+    /// What a warp trap does: abort the run or kill the warp and keep
+    /// going. Overrides [`GpuConfig::fault_policy`].
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.cfg.fault_policy = policy;
+        self
+    }
+
+    /// Installs a deterministic fault injector (testing hook).
+    pub fn injector(mut self, injector: Injector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Telemetry configuration (off by default; see
+    /// [`TelemetrySpec`]).
+    pub fn telemetry(mut self, spec: TelemetrySpec) -> Self {
+        self.telemetry = spec;
+        self
+    }
+
+    /// Builds the machine.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is inconsistent (see
     /// [`GpuConfig::validate`]).
+    pub fn build(self) -> Gpu {
+        let mut gpu = Gpu::from_config(self.cfg);
+        gpu.parallel = self.parallelism;
+        gpu.injector = self.injector;
+        if self.telemetry.metrics {
+            gpu.set_telemetry(&self.telemetry);
+        }
+        gpu
+    }
+}
+
+impl Gpu {
+    /// Starts building a GPU for `cfg` — the one construction path. See
+    /// [`GpuBuilder`].
+    pub fn builder(cfg: GpuConfig) -> GpuBuilder {
+        GpuBuilder {
+            cfg,
+            parallelism: 1,
+            injector: None,
+            telemetry: TelemetrySpec::off(),
+        }
+    }
+
+    /// Builds a GPU for `cfg` with every builder knob at its default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`GpuConfig::validate`]).
+    #[deprecated(note = "use `Gpu::builder(cfg).build()`")]
     pub fn new(cfg: GpuConfig) -> Self {
+        Gpu::from_config(cfg)
+    }
+
+    fn from_config(cfg: GpuConfig) -> Self {
         cfg.validate();
         let sms = (0..cfg.num_sms).map(|i| Sm::new(i, &cfg)).collect();
         let stats = SimStats::new(cfg.divergence_window, cfg.warp_size);
-        let mem = MemorySystem::new(cfg.mem.clone());
+        let mem = MemoryFabric::new(cfg.mem.clone());
         Gpu {
             cfg,
             mem,
@@ -221,13 +312,62 @@ impl Gpu {
     /// Sets the number of phase-A worker threads (clamped to ≥ 1; 1 means
     /// step SMs inline on the calling thread). Simulation results are
     /// bit-identical at every setting — this changes wall-clock time only.
+    #[deprecated(note = "use `Gpu::builder(cfg).parallelism(n)` or `Gpu::with_parallelism`")]
     pub fn set_parallelism(&mut self, n: usize) {
         self.parallel = n.max(1);
+    }
+
+    /// Consuming form of the parallelism knob, for machines that were not
+    /// built through [`GpuBuilder`] — typically one rebuilt by
+    /// [`Gpu::restore`], which always starts serial.
+    #[must_use]
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.parallel = n.max(1);
+        self
     }
 
     /// The configured phase-A parallelism.
     pub fn parallelism(&self) -> usize {
         self.parallel
+    }
+
+    /// Reconfigures telemetry, replacing every SM's shard with a fresh
+    /// one (recordings so far are discarded). Prefer setting telemetry
+    /// once, through [`GpuBuilder::telemetry`].
+    pub fn set_telemetry(&mut self, spec: &TelemetrySpec) {
+        for sm in &mut self.sms {
+            sm.set_telemetry(spec, self.cfg.divergence_window, self.cfg.warp_size);
+        }
+    }
+
+    /// Whether telemetry is recording (compiled in *and* enabled at
+    /// runtime).
+    pub fn telemetry_enabled(&self) -> bool {
+        self.sms.first().is_some_and(|sm| sm.telemetry().is_on())
+    }
+
+    /// Merges every SM's telemetry shard — in SM-id order, like the
+    /// statistics shards — into one [`TelemetryReport`], and attaches the
+    /// fabric's per-DRAM-module busy time. Unlike stats, telemetry stays
+    /// resident: the report is cumulative over the machine's lifetime and
+    /// taking it does not reset anything.
+    pub fn telemetry_report(&self) -> TelemetryReport {
+        let metrics_window = self.sms.first().map_or(self.cfg.divergence_window, |sm| {
+            sm.telemetry().metrics_window()
+        });
+        let mut report = TelemetryReport {
+            warp_size: self.cfg.warp_size,
+            metrics_window,
+            divergence: DivergenceTimeline::new(self.cfg.divergence_window, self.cfg.warp_size),
+            windows: Vec::new(),
+            events: Vec::new(),
+            dropped: 0,
+            module_busy: self.mem.module_busy().to_vec(),
+        };
+        for sm in &self.sms {
+            sm.telemetry().merge_into(&mut report);
+        }
+        report
     }
 
     /// Every warp trap recorded so far.
@@ -241,12 +381,12 @@ impl Gpu {
     }
 
     /// Host access to device memory (scene upload, result readback).
-    pub fn mem_mut(&mut self) -> &mut MemorySystem {
+    pub fn mem_mut(&mut self) -> &mut MemoryFabric {
         &mut self.mem
     }
 
     /// Read-only access to device memory.
-    pub fn mem(&self) -> &MemorySystem {
+    pub fn mem(&self) -> &MemoryFabric {
         &self.mem
     }
 
@@ -280,7 +420,11 @@ impl Gpu {
     ///
     /// The phase-A parallelism is a host-side tuning knob, not machine
     /// state: it is not captured, and a restored machine starts at the
-    /// default (serial) setting.
+    /// default (serial) setting — re-apply it with
+    /// [`Gpu::with_parallelism`]. Telemetry *metrics* (windowed counters,
+    /// the divergence mirror, per-warp PDOM depths) are machine state and
+    /// are captured; trace rings are not, so traces restart empty after a
+    /// resume.
     ///
     /// # Errors
     ///
@@ -336,7 +480,7 @@ impl Gpu {
     pub fn restore(snapshot: &Snapshot) -> Result<Gpu, RestoreError> {
         let mut dec = Decoder::new(snapshot.payload());
         let cfg = checkpoint::take_gpu_config(&mut dec)?;
-        let mut gpu = Gpu::new(cfg);
+        let mut gpu = Gpu::from_config(cfg);
         gpu.mem.restore_state(&mut dec)?;
         for sm in &mut gpu.sms {
             sm.restore_state(&mut dec)?;
@@ -475,7 +619,7 @@ impl Gpu {
         ctx: &ExecCtx<'_>,
     ) {
         // 1. Dynamic warps have scheduling priority (§IV-D).
-        sm.drain_dynamic(&mut launch.next_dynamic_tid, ctx);
+        sm.drain_dynamic(&mut launch.next_dynamic_tid, now, ctx);
 
         // Injected state-slot exhaustion: pretend the spawn-memory state
         // records are all taken, starving launch admission this cycle
@@ -499,7 +643,7 @@ impl Gpu {
                     while block.next_tid < block.end_tid {
                         let n = cfg.warp_size.min(block.end_tid - block.next_tid);
                         let tids: Vec<u32> = (block.next_tid..block.next_tid + n).collect();
-                        sm.admit_launch_warp(&tids, launch.entry_pc, Some(block.id), ctx);
+                        sm.admit_launch_warp(&tids, launch.entry_pc, Some(block.id), now, ctx);
                         block.next_tid += n;
                     }
                 }
@@ -515,7 +659,7 @@ impl Gpu {
                         break;
                     }
                     let tids: Vec<u32> = (front.next_tid..front.next_tid + n).collect();
-                    sm.admit_launch_warp(&tids, launch.entry_pc, None, ctx);
+                    sm.admit_launch_warp(&tids, launch.entry_pc, None, now, ctx);
                     front.next_tid += n;
                     if front.next_tid == front.end_tid {
                         launch.blocks.pop_front();
@@ -529,7 +673,7 @@ impl Gpu {
         if launch.blocks.is_empty() && !sm.has_live_warps() {
             if let Some(f) = sm.formation() {
                 if f.fifo_len() == 0 && f.partial_threads() > 0 {
-                    sm.force_out_partials(&mut launch.next_dynamic_tid, ctx);
+                    sm.force_out_partials(&mut launch.next_dynamic_tid, now, ctx);
                 }
             }
         }
@@ -747,16 +891,17 @@ impl Gpu {
                 for i in 0..n {
                     if i <= fault.sm {
                         self.sms[i].drain_pending(self.now, &mut self.mem);
-                        self.sms[i].reap_finished(ctx);
+                        self.sms[i].reap_finished(self.now, ctx);
                     } else {
                         self.sms[i].discard_pending();
                     }
                 }
                 return Err(SimError::Fault(fault));
             }
+            let now = self.now;
             for sm in &mut self.sms {
-                sm.drain_pending(self.now, &mut self.mem);
-                sm.reap_finished(ctx);
+                sm.drain_pending(now, &mut self.mem);
+                sm.reap_finished(now, ctx);
             }
             self.rr_sm = (self.rr_sm + 1) % n.max(1);
             self.now += 1;
@@ -806,7 +951,7 @@ mod tests {
 
     fn run_simple(cfg: GpuConfig, threads: u32) -> (Gpu, RunSummary) {
         let program = assemble_named("double", DOUBLE_SRC).unwrap();
-        let mut gpu = Gpu::new(cfg);
+        let mut gpu = Gpu::builder(cfg).build();
         gpu.mem_mut().alloc_global(threads * 4, "out");
         gpu.launch(Launch {
             program,
@@ -863,7 +1008,7 @@ mod tests {
                 exit
         "#;
         let program = assemble_named("loopy", src).unwrap();
-        let mut gpu = Gpu::new(GpuConfig::tiny());
+        let mut gpu = Gpu::builder(GpuConfig::tiny()).build();
         gpu.mem_mut().alloc_global(32 * 4, "out");
         gpu.launch(Launch {
             program,
@@ -918,7 +1063,7 @@ mod tests {
         let program = assemble_named("spawny", src).unwrap();
         let mut cfg = GpuConfig::tiny();
         cfg.dmk = Some(tiny_dmk());
-        let mut gpu = Gpu::new(cfg);
+        let mut gpu = Gpu::builder(cfg).build();
         gpu.mem_mut().alloc_global(64 * 4, "out");
         gpu.launch(Launch {
             program,
@@ -957,7 +1102,7 @@ mod tests {
                 exit
         "#;
         let program = assemble_named("bad", src).unwrap();
-        let mut gpu = Gpu::new(GpuConfig::tiny());
+        let mut gpu = Gpu::builder(GpuConfig::tiny()).build();
         let result = gpu.launch(Launch {
             program,
             entry: "main".into(),
@@ -971,7 +1116,7 @@ mod tests {
     fn cycle_limit_stops_early() {
         let (_, summary) = {
             let program = assemble_named("double", DOUBLE_SRC).unwrap();
-            let mut gpu = Gpu::new(GpuConfig::tiny());
+            let mut gpu = Gpu::builder(GpuConfig::tiny()).build();
             gpu.mem_mut().alloc_global(1024 * 4, "out");
             gpu.launch(Launch {
                 program,
@@ -1008,7 +1153,7 @@ mod tests {
             let mut cfg = GpuConfig::tiny();
             cfg.mem = MemConfig::fx5800().with_ideal(ideal);
             let program = assemble_named("chain", src).unwrap();
-            let mut gpu = Gpu::new(cfg);
+            let mut gpu = Gpu::builder(cfg).build();
             gpu.mem_mut().alloc_global(256 * 4, "buf");
             gpu.launch(Launch {
                 program,
@@ -1059,8 +1204,9 @@ mod tests {
         "#;
         let run_at = |parallel: usize| {
             let program = assemble_named("mix", src).unwrap();
-            let mut gpu = Gpu::new(GpuConfig::tiny());
-            gpu.set_parallelism(parallel);
+            let mut gpu = Gpu::builder(GpuConfig::tiny())
+                .parallelism(parallel)
+                .build();
             gpu.mem_mut().alloc_global(128 * 4, "buf");
             gpu.launch(Launch {
                 program,
@@ -1108,7 +1254,7 @@ mod tests {
         "#;
         let fresh = || {
             let program = assemble_named("mix", src).unwrap();
-            let mut gpu = Gpu::new(GpuConfig::tiny());
+            let mut gpu = Gpu::builder(GpuConfig::tiny()).build();
             gpu.mem_mut().alloc_global(128 * 4, "buf");
             gpu.launch(Launch {
                 program,
@@ -1181,7 +1327,7 @@ mod tests {
             let program = assemble_named("spawny", src).unwrap();
             let mut cfg = GpuConfig::tiny();
             cfg.dmk = Some(tiny_dmk());
-            let mut gpu = Gpu::new(cfg);
+            let mut gpu = Gpu::builder(cfg).build();
             gpu.mem_mut().alloc_global(64 * 4, "out");
             gpu.launch(Launch {
                 program,
@@ -1225,8 +1371,9 @@ mod tests {
         let program = assemble_named("double", DOUBLE_SRC).unwrap();
         let mut cfg = GpuConfig::tiny();
         cfg.fault_policy = FaultPolicy::KillWarp;
-        let mut gpu = Gpu::new(cfg);
-        gpu.set_injector(Injector::new(3).force(InjectedFault::Trap, 4..6));
+        let mut gpu = Gpu::builder(cfg)
+            .injector(Injector::new(3).force(InjectedFault::Trap, 4..6))
+            .build();
         gpu.mem_mut().alloc_global(64 * 4, "out");
         gpu.launch(Launch {
             program,
@@ -1249,8 +1396,7 @@ mod tests {
     fn repeated_parallel_runs_are_reproducible() {
         let run_once = || {
             let program = assemble_named("double", DOUBLE_SRC).unwrap();
-            let mut gpu = Gpu::new(GpuConfig::tiny());
-            gpu.set_parallelism(2);
+            let mut gpu = Gpu::builder(GpuConfig::tiny()).parallelism(2).build();
             gpu.mem_mut().alloc_global(64 * 4, "out");
             gpu.launch(Launch {
                 program,

@@ -8,7 +8,7 @@
 
 use crate::thread::ThreadCtx;
 use simt_isa::{eval_alu, eval_cmp, Instr, Program, Reg, Space};
-use simt_mem::MemorySystem;
+use simt_mem::MemoryFabric;
 use std::fmt;
 
 /// Why interpretation failed.
@@ -104,7 +104,7 @@ impl<'a> ThreadInterp<'a> {
         &mut self,
         tid: u32,
         entry_pc: usize,
-        mem: &mut MemorySystem,
+        mem: &mut MemoryFabric,
     ) -> Result<InterpResult, InterpError> {
         let mut t = ThreadCtx::new(tid, self.program.resource_usage().registers.max(1));
         let mut pc = entry_pc;
@@ -245,7 +245,7 @@ pub fn interpret_thread(
     tid: u32,
     entry_pc: usize,
     ntid: u32,
-    mem: &mut MemorySystem,
+    mem: &mut MemoryFabric,
 ) -> Result<InterpResult, InterpError> {
     ThreadInterp::new(program, ntid).run_thread(tid, entry_pc, mem)
 }
@@ -275,7 +275,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let mut mem = MemorySystem::new(MemConfig::fx5800());
+        let mut mem = MemoryFabric::new(MemConfig::fx5800());
         mem.alloc_global(64, "out");
         for tid in 0..16 {
             let r = interpret_thread(&p, tid, 0, 16, &mut mem).unwrap();
@@ -299,7 +299,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let mut mem = MemorySystem::new(MemConfig::fx5800());
+        let mut mem = MemoryFabric::new(MemConfig::fx5800());
         let short = interpret_thread(&p, 0, 0, 8, &mut mem).unwrap();
         let long = interpret_thread(&p, 7, 0, 8, &mut mem).unwrap();
         assert!(long.instructions > short.instructions);
@@ -319,7 +319,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let mut mem = MemorySystem::new(MemConfig::fx5800());
+        let mut mem = MemoryFabric::new(MemConfig::fx5800());
         let err = interpret_thread(&p, 0, 0, 1, &mut mem).unwrap_err();
         assert_eq!(err, InterpError::SpawnUnsupported { pc: 0 });
     }
@@ -327,7 +327,7 @@ mod tests {
     #[test]
     fn runaway_guard_fires() {
         let p = assemble("spin:\nbra spin").unwrap();
-        let mut mem = MemorySystem::new(MemConfig::fx5800());
+        let mut mem = MemoryFabric::new(MemConfig::fx5800());
         let mut interp = ThreadInterp::new(&p, 1);
         interp.budget = 1000;
         let err = interp.run_thread(0, 0, &mut mem).unwrap_err();
@@ -345,7 +345,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let mut mem = MemorySystem::new(MemConfig::fx5800());
+        let mut mem = MemoryFabric::new(MemConfig::fx5800());
         mem.alloc_global(128, "buf");
         let r = interpret_thread(&p, 0, 0, 1, &mut mem).unwrap();
         assert_eq!(r.bytes_read, 16);

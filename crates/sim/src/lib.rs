@@ -42,7 +42,7 @@
 //!         exit
 //!     "#,
 //! )?;
-//! let mut gpu = Gpu::new(GpuConfig::tiny());
+//! let mut gpu = Gpu::builder(GpuConfig::tiny()).build();
 //! gpu.mem_mut().alloc_global(64, "out");
 //! gpu.launch(Launch {
 //!     program,
@@ -88,6 +88,7 @@ mod interp;
 mod mimd;
 mod sm;
 mod stats;
+pub mod telemetry;
 mod thread;
 mod warp;
 
@@ -97,10 +98,14 @@ pub use fault::{
     DeadlockDiagnostics, Fault, FaultKind, FaultPolicy, InjectedFault, Injector, LaunchError,
     SimError, SmSnapshot, WarpSnapshot,
 };
-pub use gpu::{Gpu, Launch, RunOutcome, RunSummary};
+pub use gpu::{Gpu, GpuBuilder, Launch, RunOutcome, RunSummary};
 pub use interp::{interpret_thread, InterpError, InterpResult, ThreadInterp};
 pub use mimd::{mimd_theoretical, MimdReport};
 pub use sm::Sm;
 pub use stats::{DivergenceTimeline, SimStats, OCCUPANCY_BUCKETS};
+pub use telemetry::{
+    ChromeTraceSink, CsvMetricsSink, SnapshotSink, TelemetryReport, TelemetrySpec, TraceEvent,
+    TraceEventKind, TraceSink, WindowCounters,
+};
 pub use thread::ThreadCtx;
 pub use warp::{StackEntry, Warp, WarpState};

@@ -9,7 +9,7 @@
 use crate::config::GpuConfig;
 use crate::interp::{InterpError, ThreadInterp};
 use simt_isa::Program;
-use simt_mem::MemorySystem;
+use simt_mem::MemoryFabric;
 
 /// MIMD-theoretical estimate for one kernel over `num_threads` threads.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,7 +49,7 @@ pub fn mimd_theoretical(
     entry_pc: usize,
     num_threads: u32,
     cfg: &GpuConfig,
-    mem: &mut MemorySystem,
+    mem: &mut MemoryFabric,
 ) -> Result<MimdReport, InterpError> {
     let mut interp = ThreadInterp::new(program, num_threads);
     let mut total = 0u64;
@@ -89,7 +89,7 @@ mod tests {
         )
         .unwrap();
         let cfg = GpuConfig::tiny(); // peak = 2 SMs * 4 = 8
-        let mut mem = MemorySystem::new(MemConfig::fx5800());
+        let mut mem = MemoryFabric::new(MemConfig::fx5800());
         let r = mimd_theoretical(&p, 0, 800, &cfg, &mut mem).unwrap();
         assert_eq!(r.total_instructions, 800 * 5);
         assert_eq!(r.longest_thread, 5);
@@ -112,7 +112,7 @@ mod tests {
         )
         .unwrap();
         let cfg = GpuConfig::tiny();
-        let mut mem = MemorySystem::new(MemConfig::fx5800());
+        let mut mem = MemoryFabric::new(MemConfig::fx5800());
         let r = mimd_theoretical(&p, 0, 2, &cfg, &mut mem).unwrap();
         // Thread 1 loops twice: 2 + 3*2 + 1 = 9 instructions.
         assert_eq!(r.longest_thread, 9);
@@ -123,7 +123,7 @@ mod tests {
     fn rays_per_second_scales_with_clock() {
         let p = assemble("nop\nexit").unwrap();
         let cfg = GpuConfig::tiny();
-        let mut mem = MemorySystem::new(MemConfig::fx5800());
+        let mut mem = MemoryFabric::new(MemConfig::fx5800());
         let r = mimd_theoretical(&p, 0, 8, &cfg, &mut mem).unwrap();
         assert!(r.rays_per_second(2.0) > r.rays_per_second(1.0));
     }

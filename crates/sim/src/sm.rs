@@ -4,6 +4,7 @@
 use crate::config::{GpuConfig, SpawnPolicy};
 use crate::fault::{Fault, FaultKind, InjectedFault, Injector, SmSnapshot, WarpSnapshot};
 use crate::stats::SimStats;
+use crate::telemetry::{SmTelemetry, TelemetrySpec};
 use crate::thread::ThreadCtx;
 use crate::warp::Warp;
 use dmk_core::{CompletedWarp, SpawnError, SpawnMemoryLayout, WarpFormation};
@@ -63,6 +64,9 @@ pub struct Sm {
     /// Off-chip work emitted during phase A, drained by the GPU against
     /// the shared fabric in SM-id order during phase B.
     pending: Vec<PendingAccess>,
+    /// This SM's telemetry shard, written like `stats` during phase A and
+    /// merged by the GPU in SM-id order (see [`crate::telemetry`]).
+    telemetry: SmTelemetry,
 }
 
 impl Sm {
@@ -102,7 +106,29 @@ impl Sm {
             issue_blocked_until: 0,
             stats: SimStats::new(cfg.divergence_window, cfg.warp_size),
             pending: Vec::new(),
+            telemetry: SmTelemetry::new(
+                id,
+                &TelemetrySpec::off(),
+                cfg.divergence_window,
+                cfg.warp_size,
+            ),
         }
+    }
+
+    /// Replaces this SM's telemetry shard with a fresh one configured by
+    /// `spec` (recordings restart from zero).
+    pub(crate) fn set_telemetry(
+        &mut self,
+        spec: &TelemetrySpec,
+        divergence_window: u64,
+        warp_size: u32,
+    ) {
+        self.telemetry = SmTelemetry::new(self.id, spec, divergence_window, warp_size);
+    }
+
+    /// This SM's telemetry shard.
+    pub(crate) fn telemetry(&self) -> &SmTelemetry {
+        &self.telemetry
     }
 
     /// Texture-cache (hits, misses) so far, if a cache is configured.
@@ -201,6 +227,7 @@ impl Sm {
         tids: &[u32],
         entry_pc: usize,
         block_id: Option<usize>,
+        now: u64,
         ctx: &ExecCtx<'_>,
     ) {
         assert!(self.fits_warp(tids.len() as u32, ctx.regs_per_thread, true));
@@ -220,7 +247,8 @@ impl Sm {
             threads.push(t);
         }
         let n = threads.len() as u32;
-        let mut w = Warp::new(self.next_warp_id, self.warp_size, entry_pc, threads);
+        let wid = self.next_warp_id;
+        let mut w = Warp::new(wid, self.warp_size, entry_pc, threads);
         self.next_warp_id += 1;
         w.block_id = block_id;
         if let Some(b) = block_id {
@@ -229,6 +257,7 @@ impl Sm {
         self.threads_used += n;
         self.regs_used += n * ctx.regs_per_thread;
         self.stats.threads_launched += u64::from(n);
+        self.telemetry.on_warp_birth(now, wid, false, n);
         self.warps.push(w);
     }
 
@@ -247,6 +276,7 @@ impl Sm {
         &mut self,
         cw: CompletedWarp,
         next_tid: &mut u32,
+        now: u64,
         ctx: &ExecCtx<'_>,
     ) {
         assert!(self.fits_warp(cw.count, ctx.regs_per_thread, false));
@@ -262,12 +292,14 @@ impl Sm {
             threads.push(t);
         }
         let n = cw.count;
-        let mut w = Warp::new(self.next_warp_id, self.warp_size, cw.pc, threads);
+        let wid = self.next_warp_id;
+        let mut w = Warp::new(wid, self.warp_size, cw.pc, threads);
         self.next_warp_id += 1;
         w.is_dynamic = true;
         w.formation_block = Some(cw.base_addr);
         self.threads_used += n;
         self.regs_used += n * ctx.regs_per_thread;
+        self.telemetry.on_warp_birth(now, wid, true, n);
         self.warps.push(w);
     }
 
@@ -275,12 +307,13 @@ impl Sm {
     /// of warps retired.
     // Block bookkeeping is kept in lockstep with warp admission.
     #[allow(clippy::expect_used)]
-    pub(crate) fn reap_finished(&mut self, ctx: &ExecCtx<'_>) -> usize {
+    pub(crate) fn reap_finished(&mut self, now: u64, ctx: &ExecCtx<'_>) -> usize {
         let mut reaped = 0;
         let mut i = 0;
         while i < self.warps.len() {
             if self.warps[i].is_finished() {
                 let w = self.warps.remove(i);
+                self.telemetry.on_warp_retire(now, w.id);
                 let n = w.population();
                 self.threads_used -= n;
                 self.regs_used -= n * ctx.regs_per_thread;
@@ -315,7 +348,12 @@ impl Sm {
 
     /// Drains ready dynamic warps from the FIFO into the warp pool, with
     /// priority over launch work (paper §IV-D). Returns warps admitted.
-    pub(crate) fn drain_dynamic(&mut self, next_tid: &mut u32, ctx: &ExecCtx<'_>) -> usize {
+    pub(crate) fn drain_dynamic(
+        &mut self,
+        next_tid: &mut u32,
+        now: u64,
+        ctx: &ExecCtx<'_>,
+    ) -> usize {
         let mut admitted = 0;
         while let Some(cw) = self
             .formation
@@ -328,7 +366,7 @@ impl Sm {
             if let Some(f) = self.formation.as_mut() {
                 f.pop_ready();
             }
-            self.admit_dynamic_warp(cw, next_tid, ctx);
+            self.admit_dynamic_warp(cw, next_tid, now, ctx);
             admitted += 1;
         }
         admitted
@@ -336,7 +374,12 @@ impl Sm {
 
     /// Forces partial warps out of the formation pool when nothing else is
     /// schedulable (paper §IV-D). Returns warps admitted.
-    pub(crate) fn force_out_partials(&mut self, next_tid: &mut u32, ctx: &ExecCtx<'_>) -> usize {
+    pub(crate) fn force_out_partials(
+        &mut self,
+        next_tid: &mut u32,
+        now: u64,
+        ctx: &ExecCtx<'_>,
+    ) -> usize {
         let mut admitted = 0;
         loop {
             // Peek the candidate size via the LUT before committing.
@@ -357,7 +400,7 @@ impl Sm {
             else {
                 break;
             };
-            self.admit_dynamic_warp(cw, next_tid, ctx);
+            self.admit_dynamic_warp(cw, next_tid, now, ctx);
             admitted += 1;
         }
         admitted
@@ -382,12 +425,14 @@ impl Sm {
             // Issue port consumed by bank-conflict replays.
             self.stats.idle_sm_cycles += 1;
             self.stats.divergence.record_idle(now);
+            self.telemetry.on_idle(now);
             return Ok(false);
         }
         let n = self.warps.len();
         if n == 0 {
             self.stats.idle_sm_cycles += 1;
             self.stats.divergence.record_idle(now);
+            self.telemetry.on_idle(now);
             return Ok(false);
         }
         for k in 0..n {
@@ -410,6 +455,7 @@ impl Sm {
         }
         self.stats.idle_sm_cycles += 1;
         self.stats.divergence.record_idle(now);
+        self.telemetry.on_idle(now);
         Ok(false)
     }
 
@@ -619,6 +665,8 @@ impl Sm {
                         );
                         self.block_issue_for_replays(now, degree);
                         self.stats.spawn_elisions += 1;
+                        let wid = self.warps[widx].id;
+                        self.telemetry.on_spawn_elided(now, wid);
                         self.commit(widx, pc, mask, now, now + 1);
                         self.warps[widx].set_pc(target);
                         return Ok(());
@@ -660,6 +708,8 @@ impl Sm {
                         t.spawned_child = true;
                     }
                     self.stats.threads_spawned += u64::from(n_active);
+                    let wid = self.warps[widx].id;
+                    self.telemetry.on_spawn(now, wid, target, n_active);
                     // The metadata write is a store: charged, not waited on.
                     let (_, degree) = self.frontend.access_onchip(
                         now,
@@ -691,6 +741,8 @@ impl Sm {
                 Err(SpawnError::FormationFull) | Err(SpawnError::FifoFull) => {
                     // Transient back-pressure: retry shortly, no commit.
                     self.stats.spawn_stall_cycles += 1;
+                    let wid = self.warps[widx].id;
+                    self.telemetry.on_spawn_stall(now, wid);
                     self.warps[widx].ready_at = now + 4;
                 }
             }
@@ -1017,6 +1069,21 @@ impl Sm {
                 ready = ready.max(floor);
                 requests.extend(req);
             }
+            if self.telemetry.is_on() {
+                if !cached.is_empty() {
+                    self.telemetry.on_tex(
+                        now,
+                        warp_id,
+                        cached.len() as u32,
+                        miss_lines.len() as u32,
+                    );
+                }
+                if !requests.is_empty() {
+                    let segments = requests.iter().map(|r| r.segments.len() as u32).sum();
+                    self.telemetry
+                        .on_offchip(now, warp_id, addresses.len() as u32, segments);
+                }
+            }
             if !ops.is_empty() || !requests.is_empty() {
                 self.pending.push(PendingAccess {
                     warp_id,
@@ -1032,6 +1099,11 @@ impl Sm {
             self.frontend
                 .request_offchip(now, space, is_store, width.bytes(), &addresses);
         let requests: Vec<_> = request.into_iter().collect();
+        if self.telemetry.is_on() && !requests.is_empty() {
+            let segments = requests.iter().map(|r| r.segments.len() as u32).sum();
+            self.telemetry
+                .on_offchip(now, warp_id, addresses.len() as u32, segments);
+        }
         if !ops.is_empty() || !requests.is_empty() {
             self.pending.push(PendingAccess {
                 warp_id,
@@ -1067,11 +1139,16 @@ impl Sm {
     }
 
     /// Records statistics for one committed warp-instruction.
-    fn commit(&mut self, widx: usize, _pc: usize, mask: u64, now: u64, ready: u64) {
+    fn commit(&mut self, widx: usize, pc: usize, mask: u64, now: u64, ready: u64) {
         let active = mask.count_ones();
         self.stats.warp_issues += 1;
         self.stats.thread_instructions += u64::from(active);
         self.stats.divergence.record_issue(now, active);
+        if self.telemetry.is_on() {
+            let wid = self.warps[widx].id;
+            let depth = self.warps[widx].stack_depth() as u32;
+            self.telemetry.on_issue(now, wid, pc, active, depth);
+        }
         let w = &mut self.warps[widx];
         w.ready_at = ready.max(now + 1);
         for lane in 0..self.warp_size as usize {
@@ -1120,6 +1197,7 @@ impl Sm {
         self.frontend.encode_state(enc);
         enc.put_u64(self.issue_blocked_until);
         self.stats.encode_state(enc);
+        self.telemetry.encode_state(enc);
     }
 
     /// Restores state written by [`Sm::encode_state`] into an SM freshly
@@ -1162,6 +1240,7 @@ impl Sm {
         self.frontend.restore_state(dec)?;
         self.issue_blocked_until = dec.take_u64()?;
         self.stats.restore_state(dec)?;
+        self.telemetry.restore_state(dec)?;
         self.pending.clear();
         Ok(())
     }

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use simt_isa::assemble_named;
-use simt_mem::{MemConfig, MemorySystem};
+use simt_mem::{MemConfig, MemoryFabric};
 use simt_sim::{interpret_thread, Gpu, GpuConfig, Launch};
 
 const N_THREADS: u32 = 16;
@@ -98,7 +98,7 @@ fn build_program(prologue: &[RandomOp], body: &[RandomOp], guarded: &RandomOp) -
 
 fn run_on_pipeline(src: &str) -> Vec<u32> {
     let program = assemble_named("rand-pipeline", src).expect("assembles");
-    let mut gpu = Gpu::new(GpuConfig::tiny());
+    let mut gpu = Gpu::builder(GpuConfig::tiny()).build();
     gpu.mem_mut()
         .alloc_global(N_THREADS * WORDS_PER_THREAD * 4, "out");
     gpu.launch(Launch {
@@ -116,7 +116,7 @@ fn run_on_pipeline(src: &str) -> Vec<u32> {
 
 fn run_on_interpreter(src: &str) -> Vec<u32> {
     let program = assemble_named("rand-interp", src).expect("assembles");
-    let mut mem = MemorySystem::new(MemConfig::fx5800());
+    let mut mem = MemoryFabric::new(MemConfig::fx5800());
     mem.alloc_global(N_THREADS * WORDS_PER_THREAD * 4, "out");
     for tid in 0..N_THREADS {
         interpret_thread(&program, tid, 0, N_THREADS, &mut mem).expect("interprets");
@@ -167,7 +167,7 @@ fn divergent_nested_control_flow_matches() {
             exit
     "#;
     let program = assemble_named("nested", src).unwrap();
-    let mut gpu = Gpu::new(GpuConfig::tiny());
+    let mut gpu = Gpu::builder(GpuConfig::tiny()).build();
     gpu.mem_mut().alloc_global(32 * 8, "out");
     gpu.launch(Launch {
         program: program.clone(),
@@ -181,7 +181,7 @@ fn divergent_nested_control_flow_matches() {
         simt_sim::RunOutcome::Completed
     );
 
-    let mut mem = MemorySystem::new(MemConfig::fx5800());
+    let mut mem = MemoryFabric::new(MemConfig::fx5800());
     mem.alloc_global(32 * 8, "out");
     for tid in 0..32 {
         interpret_thread(&program, tid, 0, 32, &mut mem).unwrap();

@@ -7,7 +7,7 @@ use simt_sim::{Gpu, GpuConfig, Launch, LaunchError, RunOutcome};
 
 fn run_src(src: &str, threads: u32, mark_read_only: Option<(u32, u32)>) -> u64 {
     let program = assemble_named("t", src).unwrap();
-    let mut gpu = Gpu::new(GpuConfig::tiny());
+    let mut gpu = Gpu::builder(GpuConfig::tiny()).build();
     gpu.mem_mut().alloc_global(1 << 16, "buf");
     if let Some((base, len)) = mark_read_only {
         gpu.mem_mut().mark_read_only(base, len);
@@ -92,7 +92,7 @@ fn sequential_launches_share_memory_state() {
             st.global.u32 [r2+0], r3
             exit
     "#;
-    let mut gpu = Gpu::new(GpuConfig::tiny());
+    let mut gpu = Gpu::builder(GpuConfig::tiny()).build();
     gpu.mem_mut().alloc_global(64 * 4, "buf");
     gpu.launch(Launch {
         program: assemble_named("w", write_src).unwrap(),
@@ -137,7 +137,7 @@ fn relaunch_before_completion_is_rejected() {
             @p0 bra loop
             exit
     "#;
-    let mut gpu = Gpu::new(GpuConfig::tiny());
+    let mut gpu = Gpu::builder(GpuConfig::tiny()).build();
     let p = assemble_named("spin", spin).unwrap();
     gpu.launch(Launch {
         program: p.clone(),

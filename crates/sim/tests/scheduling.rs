@@ -18,7 +18,7 @@ const SPIN_SRC: &str = r#"
 
 fn launch_spin(mut cfg: GpuConfig, threads: u32, block: u32) -> Gpu {
     cfg.num_sms = 1;
-    let mut gpu = Gpu::new(cfg);
+    let mut gpu = Gpu::builder(cfg).build();
     gpu.launch(Launch {
         program: assemble_named("spin", SPIN_SRC).unwrap(),
         entry: "main".into(),
@@ -73,7 +73,7 @@ fn block_resources_release_when_the_whole_block_finishes() {
     cfg.scheduling = SchedulingModel::Block;
     cfg.max_blocks_per_sm = 1;
     cfg.num_sms = 1;
-    let mut gpu = Gpu::new(cfg);
+    let mut gpu = Gpu::builder(cfg).build();
     gpu.launch(Launch {
         program: assemble_named("spin", SPIN_SRC).unwrap(),
         entry: "main".into(),
@@ -93,7 +93,7 @@ fn whole_grid_completes_under_both_models() {
     for model in [SchedulingModel::Block, SchedulingModel::Warp] {
         let mut cfg = GpuConfig::tiny();
         cfg.scheduling = model;
-        let mut gpu = Gpu::new(cfg);
+        let mut gpu = Gpu::builder(cfg).build();
         gpu.launch(Launch {
             program: assemble_named("spin", SPIN_SRC).unwrap(),
             entry: "main".into(),
@@ -112,7 +112,7 @@ fn oversized_final_block_is_handled() {
     // 13 threads with 8-thread blocks: a full block plus a ragged one.
     let mut cfg = GpuConfig::tiny();
     cfg.scheduling = SchedulingModel::Block;
-    let mut gpu = Gpu::new(cfg);
+    let mut gpu = Gpu::builder(cfg).build();
     gpu.launch(Launch {
         program: assemble_named("spin", SPIN_SRC).unwrap(),
         entry: "main".into(),

@@ -44,7 +44,7 @@ fn run(program: usimt::isa::Program, dmk: bool, n: u32) -> (Vec<u32>, f64, u64) 
     } else {
         GpuConfig::fx5800()
     };
-    let mut gpu = Gpu::new(cfg);
+    let mut gpu = Gpu::builder(cfg).build();
     gpu.mem_mut().alloc_global(n * 4, "out");
     gpu.launch(Launch {
         program,

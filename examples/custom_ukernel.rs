@@ -101,7 +101,7 @@ fn collatz_len(mut n: u64) -> u32 {
 
 fn main() {
     // Traditional loop on the PDOM baseline.
-    let mut gpu = Gpu::new(GpuConfig::fx5800());
+    let mut gpu = Gpu::builder(GpuConfig::fx5800()).build();
     gpu.mem_mut().alloc_global(N * 4, "out");
     gpu.launch(Launch {
         program: assemble_named("collatz-loop", LOOP_SRC).expect("assembles"),
@@ -128,7 +128,7 @@ fn main() {
         num_ukernels: 2,
         ..DmkConfig::paper()
     };
-    let mut gpu = Gpu::new(GpuConfig::fx5800_dmk(dmk));
+    let mut gpu = Gpu::builder(GpuConfig::fx5800_dmk(dmk)).build();
     gpu.mem_mut().alloc_global(N * 4, "out");
     gpu.launch(Launch {
         program: assemble_named("collatz-ukernel", UKERNEL_SRC).expect("assembles"),

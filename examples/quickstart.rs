@@ -16,7 +16,7 @@ fn main() {
     let (w, h) = (32, 32);
 
     // --- 1. Traditional kernel on the baseline PDOM machine ------------
-    let mut gpu = Gpu::new(GpuConfig::fx5800());
+    let mut gpu = Gpu::builder(GpuConfig::fx5800()).build();
     let setup = RenderSetup::upload(&mut gpu, &scene, w, h);
     setup.launch_traditional(&mut gpu, 64);
     let baseline = gpu.run(50_000_000).expect("fault-free run");
@@ -29,7 +29,7 @@ fn main() {
     );
 
     // --- 2. The same render with dynamic μ-kernels ---------------------
-    let mut gpu = Gpu::new(GpuConfig::fx5800_dmk(DmkConfig::paper()));
+    let mut gpu = Gpu::builder(GpuConfig::fx5800_dmk(DmkConfig::paper())).build();
     let setup = RenderSetup::upload(&mut gpu, &scene, w, h);
     setup.launch_ukernel(&mut gpu, 64);
     let dynamic = gpu.run(50_000_000).expect("fault-free run");

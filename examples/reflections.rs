@@ -63,9 +63,9 @@ fn main() {
     let scene = scenes::atrium(SceneScale::Small);
     let (w, h) = (64u32, 64u32);
     let mut gpu = if dynamic {
-        Gpu::new(GpuConfig::fx5800_dmk(DmkConfig::paper()))
+        Gpu::builder(GpuConfig::fx5800_dmk(DmkConfig::paper())).build()
     } else {
-        Gpu::new(GpuConfig::fx5800())
+        Gpu::builder(GpuConfig::fx5800()).build()
     };
     let setup = RenderSetup::upload(&mut gpu, &scene, w, h);
     if dynamic {

@@ -23,8 +23,8 @@ fn main() {
     let (w, h) = (128u32, 128u32);
 
     let mut gpu = match mode {
-        "dynamic" => Gpu::new(GpuConfig::fx5800_dmk(DmkConfig::paper())),
-        "pdom" => Gpu::new(GpuConfig::fx5800()),
+        "dynamic" => Gpu::builder(GpuConfig::fx5800_dmk(DmkConfig::paper())).build(),
+        "pdom" => Gpu::builder(GpuConfig::fx5800()).build(),
         other => panic!("unknown mode `{other}` (pdom|dynamic)"),
     };
     let setup = RenderSetup::upload(&mut gpu, &scene, w, h);

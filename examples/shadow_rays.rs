@@ -30,9 +30,9 @@ fn main() {
     let (w, h) = (96u32, 96u32);
 
     let mut gpu = if dynamic {
-        Gpu::new(GpuConfig::fx5800_dmk(DmkConfig::paper()))
+        Gpu::builder(GpuConfig::fx5800_dmk(DmkConfig::paper())).build()
     } else {
-        Gpu::new(GpuConfig::fx5800())
+        Gpu::builder(GpuConfig::fx5800()).build()
     };
     let setup = RenderSetup::upload(&mut gpu, &scene, w, h);
 

@@ -147,7 +147,7 @@ fn main() -> ExitCode {
             } else {
                 GpuConfig::fx5800()
             };
-            let mut gpu = Gpu::new(cfg);
+            let mut gpu = Gpu::builder(cfg).build();
             if alloc_global > 0 {
                 gpu.mem_mut().alloc_global(alloc_global, "cli");
             }

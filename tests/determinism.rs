@@ -9,9 +9,9 @@ use usimt::sim::{Gpu, GpuConfig, RunSummary};
 fn run_once(dynamic: bool) -> (RunSummary, Vec<Option<usimt::raytrace::Hit>>) {
     let scene = scenes::fairyforest(SceneScale::Tiny);
     let mut gpu = if dynamic {
-        Gpu::new(GpuConfig::fx5800_dmk(DmkConfig::paper()))
+        Gpu::builder(GpuConfig::fx5800_dmk(DmkConfig::paper())).build()
     } else {
-        Gpu::new(GpuConfig::fx5800())
+        Gpu::builder(GpuConfig::fx5800()).build()
     };
     let setup = RenderSetup::upload(&mut gpu, &scene, 16, 16);
     if dynamic {

@@ -8,9 +8,9 @@ use usimt::sim::{Gpu, GpuConfig, RunOutcome};
 
 fn gpu(dynamic: bool) -> Gpu {
     if dynamic {
-        Gpu::new(GpuConfig::fx5800_dmk(DmkConfig::paper()))
+        Gpu::builder(GpuConfig::fx5800_dmk(DmkConfig::paper())).build()
     } else {
-        Gpu::new(GpuConfig::fx5800())
+        Gpu::builder(GpuConfig::fx5800()).build()
     }
 }
 

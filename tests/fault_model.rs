@@ -22,7 +22,7 @@ fn dmk_gpu(num_ukernels: u32) -> Gpu {
         num_ukernels,
         fifo_capacity: 64,
     });
-    Gpu::new(cfg)
+    Gpu::builder(cfg).build()
 }
 
 fn trivial_program() -> usimt::isa::Program {
@@ -40,7 +40,7 @@ fn trivial_program() -> usimt::isa::Program {
 
 #[test]
 fn malformed_launches_are_rejected_with_typed_errors() {
-    let mut gpu = Gpu::new(GpuConfig::tiny());
+    let mut gpu = Gpu::builder(GpuConfig::tiny()).build();
 
     let unknown = gpu.launch(Launch {
         program: trivial_program(),
@@ -105,7 +105,7 @@ const CONST_STORE_SRC: &str = r#"
 
 #[test]
 fn const_store_trap_aborts_under_default_policy() {
-    let mut gpu = Gpu::new(GpuConfig::tiny());
+    let mut gpu = Gpu::builder(GpuConfig::tiny()).build();
     gpu.mem_mut().alloc_global(64 * 4, "out");
     gpu.launch(Launch {
         program: assemble_named("const-store", CONST_STORE_SRC).unwrap(),
@@ -115,7 +115,9 @@ fn const_store_trap_aborts_under_default_policy() {
     })
     .expect("launch accepted");
     let err = gpu.run(1_000_000).expect_err("const store must trap");
-    let SimError::Fault(fault) = err;
+    let SimError::Fault(fault) = err else {
+        panic!("expected a fault, got {err}");
+    };
     match fault.kind {
         FaultKind::Memory(MemFault::ConstStore { .. }) => {}
         other => panic!("expected a const-store memory fault, got {other:?}"),
@@ -129,7 +131,7 @@ fn const_store_trap_aborts_under_default_policy() {
 fn kill_warp_policy_retires_faulting_warp_and_completes() {
     let mut cfg = GpuConfig::tiny();
     cfg.fault_policy = FaultPolicy::KillWarp;
-    let mut gpu = Gpu::new(cfg);
+    let mut gpu = Gpu::builder(cfg).build();
     gpu.mem_mut().alloc_global(64 * 4, "out");
     gpu.launch(Launch {
         program: assemble_named("const-store", CONST_STORE_SRC).unwrap(),
@@ -169,7 +171,7 @@ const LIVELOCK_SRC: &str = r#"
 fn watchdog_turns_livelock_into_deadlock_outcome() {
     let mut cfg = GpuConfig::tiny();
     cfg.watchdog_cycles = 5_000;
-    let mut gpu = Gpu::new(cfg);
+    let mut gpu = Gpu::builder(cfg).build();
     gpu.launch(Launch {
         program: assemble_named("livelock", LIVELOCK_SRC).unwrap(),
         entry: "main".into(),
@@ -211,7 +213,7 @@ fn injected_trap_respects_fault_policy() {
             exit
     "#;
     // Abort: the injected trap surfaces as a typed fault.
-    let mut gpu = Gpu::new(GpuConfig::tiny());
+    let mut gpu = Gpu::builder(GpuConfig::tiny()).build();
     gpu.set_injector(Injector::new(7).force(InjectedFault::Trap, 10..11));
     gpu.launch(Launch {
         program: assemble_named("spin", src).unwrap(),
@@ -221,14 +223,16 @@ fn injected_trap_respects_fault_policy() {
     })
     .expect("launch accepted");
     let err = gpu.run(1_000_000).expect_err("injected trap must abort");
-    let SimError::Fault(fault) = err;
+    let SimError::Fault(fault) = err else {
+        panic!("expected a fault, got {err}");
+    };
     assert_eq!(fault.kind, FaultKind::Injected);
     assert_eq!(fault.cycle, 10);
 
     // KillWarp: the trapped warps die, the rest of the grid completes.
     let mut cfg = GpuConfig::tiny();
     cfg.fault_policy = FaultPolicy::KillWarp;
-    let mut gpu = Gpu::new(cfg);
+    let mut gpu = Gpu::builder(cfg).build();
     gpu.set_injector(Injector::new(7).force(InjectedFault::Trap, 10..11));
     gpu.launch(Launch {
         program: assemble_named("spin", src).unwrap(),

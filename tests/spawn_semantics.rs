@@ -15,7 +15,7 @@ fn dmk_gpu(state_bytes: u32, num_ukernels: u32) -> Gpu {
         num_ukernels,
         fifo_capacity: 64,
     });
-    Gpu::new(cfg)
+    Gpu::builder(cfg).build()
 }
 
 /// Threads spawn a chain of depth `tid % 5`; results record the depth.
@@ -207,7 +207,7 @@ fn spawn_elision_preserves_results_and_fires() {
             num_ukernels: 2,
             fifo_capacity: 64,
         });
-        let mut gpu = Gpu::new(cfg);
+        let mut gpu = Gpu::builder(cfg).build();
         let n = 64u32;
         gpu.mem_mut().alloc_global(n * 4, "out");
         gpu.launch(Launch {

@@ -44,7 +44,7 @@ fn run(program: usimt::isa::Program, dmk: bool) -> (Vec<u32>, usimt::sim::RunSum
             fifo_capacity: 64,
         });
     }
-    let mut gpu = Gpu::new(cfg);
+    let mut gpu = Gpu::builder(cfg).build();
     gpu.mem_mut().alloc_global(N * 4, "out");
     gpu.launch(Launch {
         program,
