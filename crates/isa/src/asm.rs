@@ -494,13 +494,19 @@ fn parse_instruction(
     let parts: Vec<&str> = dotted.collect();
     let resolve = |lbl: &str| -> Result<usize, AsmError> {
         let name = lbl.trim().trim_start_matches('$');
-        labels
-            .get(name)
-            .copied()
-            .ok_or_else(|| AsmError::UnknownLabel {
-                line,
-                label: name.to_string(),
-            })
+        if let Some(&pc) = labels.get(name) {
+            return Ok(pc);
+        }
+        // Raw numeric targets (as the disassembler prints for anonymous
+        // branch/spawn targets) resolve to the instruction index directly;
+        // `Program::new` still range-checks them.
+        if let Ok(pc) = name.parse::<usize>() {
+            return Ok(pc);
+        }
+        Err(AsmError::UnknownLabel {
+            line,
+            label: name.to_string(),
+        })
     };
 
     let op = match base {

@@ -140,6 +140,70 @@ impl fmt::Display for Instruction {
     }
 }
 
+impl Program {
+    /// Emits assembly source that re-assembles to an equivalent program:
+    /// resource directives, `.kernel` entry declarations, labels, and one
+    /// instruction per line. Anonymous branch/spawn targets (no label at
+    /// the target pc) print numerically and rely on the assembler's
+    /// numeric-target fallback.
+    ///
+    /// Entry points whose name is also a label *elsewhere* in the program
+    /// cannot be expressed in source (the assembler binds `.kernel` to the
+    /// same-named label); the assembler itself never produces such a
+    /// program.
+    pub fn to_source(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let r = self.resource_usage();
+        if r.shared_bytes != 0 {
+            let _ = writeln!(s, ".shared {}", r.shared_bytes);
+        }
+        if r.local_bytes != 0 {
+            let _ = writeln!(s, ".local {}", r.local_bytes);
+        }
+        if r.global_bytes != 0 {
+            let _ = writeln!(s, ".global {}", r.global_bytes);
+        }
+        if r.const_bytes != 0 {
+            let _ = writeln!(s, ".const {}", r.const_bytes);
+        }
+        if r.spawn_state_bytes != 0 {
+            let _ = writeln!(s, ".spawnstate {}", r.spawn_state_bytes);
+        }
+        // Entries with a same-named label bind through the label and can be
+        // declared up front; the rest must sit directly before their pc so
+        // the directive's "next instruction" binding lands correctly.
+        let mut inline_entries: Vec<(usize, &str)> = Vec::new();
+        for e in self.entry_points() {
+            if self.labels().get(&e.name) == Some(&e.pc) {
+                let _ = writeln!(s, ".kernel {}", e.name);
+            } else {
+                inline_entries.push((e.pc, e.name.as_str()));
+            }
+        }
+        for (pc, i) in self.instrs().iter().enumerate() {
+            for &(epc, name) in &inline_entries {
+                if epc == pc {
+                    let _ = writeln!(s, ".kernel {name}");
+                }
+            }
+            for (name, &lpc) in self.labels() {
+                if lpc == pc {
+                    let _ = writeln!(s, "{name}:");
+                }
+            }
+            let _ = writeln!(s, "    {i}");
+        }
+        // Trailing labels (pc == len) re-bind to the same off-end index.
+        for (name, &lpc) in self.labels() {
+            if lpc == self.len() {
+                let _ = writeln!(s, "{name}:");
+            }
+        }
+        s
+    }
+}
+
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

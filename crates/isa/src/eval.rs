@@ -18,9 +18,23 @@ fn b(v: f32) -> u32 {
 
 /// Evaluates an ALU operation over raw 32-bit register values.
 ///
-/// Unary operations ignore `bv`; only `FFma`/`IMad` read `cv`. Integer
-/// division/remainder by zero produce `0` (a deterministic simulator
-/// convention; real PTX leaves this unspecified).
+/// Unary operations ignore `bv`; only `FFma`/`IMad` read `cv`.
+///
+/// Edge-case semantics (the oracle and the pipeline share this function,
+/// so they agree by construction):
+///
+/// * Integer division/remainder by zero produce `0` (a deterministic
+///   simulator convention; real PTX leaves this unspecified), and
+///   `i32::MIN / -1` wraps to `i32::MIN` with remainder `0`.
+/// * Shifts *clamp* like PTX `shl.b32`/`shr.{u,s}32` rather than masking
+///   the amount mod 32: amounts ≥ 32 yield `0` for `shl`/`shr.u32` and
+///   the sign fill (`0` or `0xffff_ffff`) for `shr.s32`.
+/// * `F2I` (`cvt.s32.f32`) saturates: NaN → `0`, values beyond the `i32`
+///   range (incl. ±inf) clamp to `i32::MIN`/`i32::MAX`. `F2U`
+///   (`cvt.u32.f32`) maps NaN and anything below zero to `0` and
+///   saturates at `u32::MAX` (so `-0.5` → `0`, matching
+///   round-toward-zero).
+/// * `FRcp`/`FDiv` follow IEEE-754: `1/±0 → ±inf`, `0/0 → NaN`.
 pub fn eval_alu(op: AluOp, av: u32, bv: u32, cv: u32) -> u32 {
     match op {
         AluOp::IAdd => av.wrapping_add(bv),
@@ -47,9 +61,21 @@ pub fn eval_alu(op: AluOp, av: u32, bv: u32, cv: u32) -> u32 {
         AluOp::Or => av | bv,
         AluOp::Xor => av ^ bv,
         AluOp::Not => !av,
-        AluOp::Shl => av.wrapping_shl(bv),
-        AluOp::ShrU => av.wrapping_shr(bv),
-        AluOp::ShrS => ((av as i32).wrapping_shr(bv)) as u32,
+        AluOp::Shl => {
+            if bv >= 32 {
+                0
+            } else {
+                av << bv
+            }
+        }
+        AluOp::ShrU => {
+            if bv >= 32 {
+                0
+            } else {
+                av >> bv
+            }
+        }
+        AluOp::ShrS => ((av as i32) >> bv.min(31)) as u32,
         AluOp::FAdd => b(f(av) + f(bv)),
         AluOp::FSub => b(f(av) - f(bv)),
         AluOp::FMul => b(f(av) * f(bv)),
@@ -143,6 +169,36 @@ mod tests {
     }
 
     #[test]
+    fn shifts_clamp_at_32_like_ptx() {
+        // PTX `shl.b32`/`shr.u32` produce 0 for amounts >= 32 (no mod-32
+        // masking); `shr.s32` saturates to the sign fill.
+        for amt in [32u32, 33, 255, u32::MAX] {
+            assert_eq!(eval_alu(AluOp::Shl, 0xdead_beef, amt, 0), 0, "shl {amt}");
+            assert_eq!(eval_alu(AluOp::ShrU, 0xdead_beef, amt, 0), 0, "shr.u {amt}");
+            assert_eq!(
+                eval_alu(AluOp::ShrS, 0x8000_0000, amt, 0),
+                0xffff_ffff,
+                "shr.s of negative fills with sign at {amt}"
+            );
+            assert_eq!(
+                eval_alu(AluOp::ShrS, 0x7fff_ffff, amt, 0),
+                0,
+                "shr.s of positive drains to 0 at {amt}"
+            );
+        }
+        // Amounts < 32 still behave normally.
+        assert_eq!(eval_alu(AluOp::Shl, 1, 31, 0), 0x8000_0000);
+        assert_eq!(eval_alu(AluOp::ShrU, 0x8000_0000, 31, 0), 1);
+    }
+
+    #[test]
+    fn division_overflow_wraps() {
+        let min = i32::MIN as u32;
+        assert_eq!(eval_alu(AluOp::IDiv, min, (-1i32) as u32, 0), min);
+        assert_eq!(eval_alu(AluOp::IRem, min, (-1i32) as u32, 0), 0);
+    }
+
+    #[test]
     fn float_ops() {
         let one = 1.0f32.to_bits();
         let two = 2.0f32.to_bits();
@@ -173,6 +229,45 @@ mod tests {
         assert_eq!(eval_alu(AluOp::F2U, 5.9f32.to_bits(), 0, 0), 5);
         assert_eq!(eval_alu(AluOp::F2U, (-1.0f32).to_bits(), 0, 0), 0);
         assert_eq!(eval_alu(AluOp::F2I, f32::NAN.to_bits(), 0, 0), 0);
+    }
+
+    #[test]
+    fn f2i_saturates_out_of_range() {
+        let max = i32::MAX as u32;
+        let min = i32::MIN as u32;
+        assert_eq!(eval_alu(AluOp::F2I, f32::INFINITY.to_bits(), 0, 0), max);
+        assert_eq!(eval_alu(AluOp::F2I, f32::NEG_INFINITY.to_bits(), 0, 0), min);
+        assert_eq!(eval_alu(AluOp::F2I, 3.0e9f32.to_bits(), 0, 0), max);
+        assert_eq!(eval_alu(AluOp::F2I, (-3.0e9f32).to_bits(), 0, 0), min);
+        assert_eq!(eval_alu(AluOp::F2I, f32::MAX.to_bits(), 0, 0), max);
+    }
+
+    #[test]
+    fn f2u_saturates_and_zeroes_negatives() {
+        assert_eq!(eval_alu(AluOp::F2U, f32::NAN.to_bits(), 0, 0), 0);
+        assert_eq!(eval_alu(AluOp::F2U, f32::NEG_INFINITY.to_bits(), 0, 0), 0);
+        assert_eq!(eval_alu(AluOp::F2U, (-0.5f32).to_bits(), 0, 0), 0);
+        assert_eq!(eval_alu(AluOp::F2U, (-0.0f32).to_bits(), 0, 0), 0);
+        assert_eq!(
+            eval_alu(AluOp::F2U, f32::INFINITY.to_bits(), 0, 0),
+            u32::MAX
+        );
+        assert_eq!(eval_alu(AluOp::F2U, 1.0e12f32.to_bits(), 0, 0), u32::MAX);
+    }
+
+    #[test]
+    fn rcp_and_div_at_signed_zero() {
+        let pz = 0.0f32.to_bits();
+        let nz = (-0.0f32).to_bits();
+        assert_eq!(eval_alu(AluOp::FRcp, pz, 0, 0), f32::INFINITY.to_bits());
+        assert_eq!(eval_alu(AluOp::FRcp, nz, 0, 0), f32::NEG_INFINITY.to_bits());
+        assert_eq!(
+            eval_alu(AluOp::FDiv, 1.0f32.to_bits(), nz, 0),
+            f32::NEG_INFINITY.to_bits()
+        );
+        // 0/0 is a NaN (any NaN payload compares unequal to itself).
+        let q = f32::from_bits(eval_alu(AluOp::FDiv, pz, pz, 0));
+        assert!(q.is_nan());
     }
 
     #[test]

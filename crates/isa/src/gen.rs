@@ -1,0 +1,712 @@
+//! Seeded random program generator for differential fuzzing.
+//!
+//! Produces well-formed assembly programs that exercise the whole ISA —
+//! predication, structured control flow with guaranteed-terminating
+//! data-dependent loops, every address space (incl. `v4` vector accesses),
+//! and nested `spawn` chains — while staying *comparable* across machines
+//! that assign machine-specific resources differently (thread ids of
+//! spawned children, `%spawnmem` addresses, SM placement):
+//!
+//! * every thread derives its identity from an inherited *lineage id*
+//!   (the launch `%tid`, passed to children through the spawn-state
+//!   record), never from `%tid`/`%laneid`/`%warpid`/`%smid` in child
+//!   kernels;
+//! * machine-specific addresses (`%spawnmem` values, state pointers) are
+//!   used for spawn-space dataflow only and never stored to compared
+//!   global memory;
+//! * each thread touches only its own `(level, lineage)`-keyed disjoint
+//!   regions of global and shared memory; only the launch kernel touches
+//!   local memory (spawned children have machine-assigned thread ids and
+//!   therefore machine-specific local windows);
+//! * child kernels write every register and predicate before reading it,
+//!   so a `SpawnPolicy::OnDivergence` elision (the parent branching in
+//!   place with its stale register file) is observationally identical to
+//!   a fresh child. This is *checked*, not assumed: [`generate`] runs the
+//!   [`crate::Liveness`] analysis and panics if any entry point has a
+//!   non-empty live-in set, and builds the [`crate::Cfg`] to ensure
+//!   reconvergence analysis accepts the program.
+//!
+//! All randomness is drawn from a SplitMix64 stream seeded by
+//! [`GenConfig::seed`], so a config fully reproduces its program.
+
+use crate::asm::assemble_named;
+use crate::cfg::Cfg;
+use crate::dataflow::Liveness;
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Words in each thread's compared output region.
+pub const OUT_WORDS: u32 = 4;
+/// Words in each thread's private global scratch region.
+pub const SCRATCH_WORDS: u32 = 4;
+/// Words in each thread's private shared-memory region.
+pub const SHARED_WORDS: u32 = 8;
+/// Words of host-initialised constant memory.
+pub const CONST_WORDS: u32 = 16;
+/// Per-thread local-memory bytes (launch kernel only).
+pub const LOCAL_BYTES: u32 = 32;
+/// Spawn-state record bytes (matches the paper's 48-byte record).
+pub const STATE_BYTES: u32 = 48;
+
+/// Knobs controlling one generated program. Every knob is ordered so a
+/// failure can be *shrunk* by monotonically reducing fields (the proptest
+/// shim reports failing inputs but does not shrink them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenConfig {
+    /// PRNG seed; fully determines the program given the other knobs.
+    pub seed: u64,
+    /// Launch threads (lineages), 1..=16.
+    pub ntid: u32,
+    /// Random constructs per kernel body.
+    pub blocks: u32,
+    /// Operations per straight-line block.
+    pub ops_per_block: u32,
+    /// Maximum loop-nest depth (0..=2).
+    pub max_loop_depth: u32,
+    /// Levels of spawned child kernels (0..=2).
+    pub spawn_levels: u32,
+    /// Whether spawns sit behind a data-dependent guard predicate.
+    pub spawn_guarded: bool,
+    /// Emit shared-memory traffic.
+    pub use_shared: bool,
+    /// Emit local-memory traffic (launch kernel only).
+    pub use_local: bool,
+    /// Emit constant-memory reads.
+    pub use_const: bool,
+    /// Emit `v4` vector loads/stores.
+    pub use_v4: bool,
+    /// Include float arithmetic and conversions in the op pool.
+    pub use_float: bool,
+}
+
+impl GenConfig {
+    /// Derives a diverse configuration from a single seed (the fuzzing
+    /// driver's per-iteration entry point).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut r = Rng::new(seed ^ 0x5eed_0f0a_ac1e_c0de_u64);
+        GenConfig {
+            seed,
+            ntid: [1, 2, 4, 7, 8, 12, 16][r.below(7) as usize],
+            blocks: 1 + r.below(4),
+            ops_per_block: 1 + r.below(6),
+            max_loop_depth: r.below(3),
+            spawn_levels: r.below(3),
+            spawn_guarded: r.chance(50),
+            use_shared: r.chance(70),
+            use_local: r.chance(50),
+            use_const: r.chance(60),
+            use_v4: r.chance(50),
+            use_float: r.chance(60),
+        }
+    }
+
+    /// Total `(level, lineage)` output slots.
+    pub fn slots(&self) -> u32 {
+        self.ntid * (self.spawn_levels + 1)
+    }
+
+    /// Bytes of the compared output region at the base of global memory.
+    pub fn out_bytes(&self) -> u32 {
+        self.slots() * OUT_WORDS * 4
+    }
+
+    /// Total global allocation (output region + per-slot scratch).
+    pub fn global_bytes(&self) -> u32 {
+        self.slots() * (OUT_WORDS + SCRATCH_WORDS) * 4
+    }
+
+    /// The deterministic constant-memory image both machines must load.
+    pub fn const_image(&self) -> Vec<u32> {
+        let mut r = Rng::new(self.seed ^ 0xc057_a7b1_e000_1111_u64);
+        (0..CONST_WORDS).map(|_| r.next() as u32).collect()
+    }
+
+    /// Serialises the config as a single `key=value` line (embedded in
+    /// repro-file headers).
+    pub fn to_kv(&self) -> String {
+        format!(
+            "seed={} ntid={} blocks={} ops={} loops={} spawn={} guarded={} \
+             shared={} local={} const={} v4={} float={}",
+            self.seed,
+            self.ntid,
+            self.blocks,
+            self.ops_per_block,
+            self.max_loop_depth,
+            self.spawn_levels,
+            u8::from(self.spawn_guarded),
+            u8::from(self.use_shared),
+            u8::from(self.use_local),
+            u8::from(self.use_const),
+            u8::from(self.use_v4),
+            u8::from(self.use_float),
+        )
+    }
+
+    /// Parses a line produced by [`GenConfig::to_kv`].
+    pub fn from_kv(line: &str) -> Option<Self> {
+        let mut cfg = GenConfig {
+            seed: 0,
+            ntid: 1,
+            blocks: 0,
+            ops_per_block: 1,
+            max_loop_depth: 0,
+            spawn_levels: 0,
+            spawn_guarded: false,
+            use_shared: false,
+            use_local: false,
+            use_const: false,
+            use_v4: false,
+            use_float: false,
+        };
+        for pair in line.split_whitespace() {
+            let (k, v) = pair.split_once('=')?;
+            let n: u64 = v.parse().ok()?;
+            match k {
+                "seed" => cfg.seed = n,
+                "ntid" => cfg.ntid = n as u32,
+                "blocks" => cfg.blocks = n as u32,
+                "ops" => cfg.ops_per_block = n as u32,
+                "loops" => cfg.max_loop_depth = n as u32,
+                "spawn" => cfg.spawn_levels = n as u32,
+                "guarded" => cfg.spawn_guarded = n != 0,
+                "shared" => cfg.use_shared = n != 0,
+                "local" => cfg.use_local = n != 0,
+                "const" => cfg.use_const = n != 0,
+                "v4" => cfg.use_v4 = n != 0,
+                "float" => cfg.use_float = n != 0,
+                _ => return None,
+            }
+        }
+        (cfg.ntid >= 1 && cfg.ntid <= 16 && cfg.spawn_levels <= 2 && cfg.max_loop_depth <= 2)
+            .then_some(cfg)
+    }
+}
+
+/// A generated program plus the source it came from.
+#[derive(Debug, Clone)]
+pub struct GenProgram {
+    /// The assembled, validated program.
+    pub program: Program,
+    /// The assembly source text (repro-file payload).
+    pub source: String,
+    /// The configuration that produced it.
+    pub cfg: GenConfig,
+}
+
+/// SplitMix64: small, fast, deterministic.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (`n` > 0).
+    fn below(&mut self, n: u32) -> u32 {
+        (self.next() % u64::from(n.max(1))) as u32
+    }
+
+    /// True with probability `pct`%.
+    fn chance(&mut self, pct: u32) -> bool {
+        self.below(100) < pct
+    }
+}
+
+// Register allocation (fixed roles keep write-before-read auditable):
+//   r1        lineage id (launch %tid, inherited by children)
+//   r2..r6    data registers (op pool destinations)
+//   r7        address temporary
+//   r8, r9    loop counters (nest depth 0, 1)
+//   r10       %spawnmem
+//   r11       spawn-state record pointer
+//   r12..r15  v4 vector quad
+//   r16       output-region base, r17 scratch base, r18 shared base,
+//   r19       slot id (level * ntid + lineage)
+const DATA_REGS: [u8; 5] = [2, 3, 4, 5, 6];
+
+/// Interesting immediates (div/rem/shift edge cases appear organically).
+const SPECIAL_IMMS: [i32; 10] = [0, 1, -1, 2, 7, 32, 33, 255, i32::MIN, -100];
+
+struct Emitter {
+    cfg: GenConfig,
+    rng: Rng,
+    s: String,
+    labels: u32,
+    preds: u8,
+}
+
+impl Emitter {
+    fn fresh_label(&mut self) -> String {
+        self.labels += 1;
+        format!("L{}", self.labels)
+    }
+
+    /// Cycles p0..p2 (p3 is reserved for the spawn guard).
+    fn fresh_pred(&mut self) -> u8 {
+        let p = self.preds % 3;
+        self.preds = self.preds.wrapping_add(1);
+        p
+    }
+
+    fn data_reg(&mut self) -> u8 {
+        DATA_REGS[self.rng.below(DATA_REGS.len() as u32) as usize]
+    }
+
+    /// A readable register: lineage id or any data register.
+    fn src_reg(&mut self) -> u8 {
+        if self.rng.chance(15) {
+            1
+        } else {
+            self.data_reg()
+        }
+    }
+
+    fn int_imm(&mut self) -> i32 {
+        if self.rng.chance(35) {
+            SPECIAL_IMMS[self.rng.below(SPECIAL_IMMS.len() as u32) as usize]
+        } else {
+            self.rng.below(201) as i32 - 100
+        }
+    }
+
+    fn int_operand(&mut self) -> String {
+        if self.rng.chance(40) {
+            format!("{}", self.int_imm())
+        } else {
+            format!("r{}", self.src_reg())
+        }
+    }
+
+    /// One random ALU/setp/selp/cvt operation writing a data register.
+    fn emit_op(&mut self) {
+        const INT_BIN: [&str; 13] = [
+            "add.s32",
+            "sub.s32",
+            "mul.lo.s32",
+            "and.b32",
+            "or.b32",
+            "xor.b32",
+            "min.s32",
+            "max.s32",
+            "shl.b32",
+            "shr.u32",
+            "shr.s32",
+            "div.s32",
+            "rem.s32",
+        ];
+        const FLT_BIN: [&str; 7] = [
+            "add.f32", "sub.f32", "mul.f32", "div.f32", "min.f32", "max.f32", "fma.f32",
+        ];
+        const FLT_UN: [&str; 5] = ["neg.f32", "abs.f32", "sqrt.f32", "rcp.f32", "floor.f32"];
+        const CVT: [&str; 4] = ["cvt.f32.s32", "cvt.s32.f32", "cvt.f32.u32", "cvt.u32.f32"];
+        let d = self.data_reg();
+        let kind = self.rng.below(if self.cfg.use_float { 100 } else { 55 });
+        match kind {
+            0..=39 => {
+                let m = INT_BIN[self.rng.below(INT_BIN.len() as u32) as usize];
+                let a = self.src_reg();
+                let b = self.int_operand();
+                let _ = writeln!(self.s, "    {m} r{d}, r{a}, {b}");
+            }
+            40..=44 => {
+                let (a, b, c) = (self.src_reg(), self.int_operand(), self.src_reg());
+                let _ = writeln!(self.s, "    mad.lo.s32 r{d}, r{a}, {b}, r{c}");
+            }
+            45..=49 => {
+                let a = self.src_reg();
+                let _ = writeln!(self.s, "    not.b32 r{d}, r{a}");
+            }
+            50..=54 => {
+                // selp on a freshly computed predicate.
+                let p = self.fresh_pred();
+                let (a, b) = (self.src_reg(), self.int_operand());
+                let cmp = ["eq", "ne", "lt", "le", "gt", "ge"][self.rng.below(6) as usize];
+                let _ = writeln!(self.s, "    setp.{cmp}.s32 p{p}, r{a}, {b}");
+                let (x, y) = (self.src_reg(), self.src_reg());
+                let _ = writeln!(self.s, "    selp.b32 r{d}, r{x}, r{y}, p{p}");
+            }
+            55..=79 => {
+                let m = FLT_BIN[self.rng.below(FLT_BIN.len() as u32) as usize];
+                let (a, b) = (self.src_reg(), self.src_reg());
+                if m == "fma.f32" {
+                    let c = self.src_reg();
+                    let _ = writeln!(self.s, "    {m} r{d}, r{a}, r{b}, r{c}");
+                } else {
+                    let _ = writeln!(self.s, "    {m} r{d}, r{a}, r{b}");
+                }
+            }
+            80..=89 => {
+                let m = FLT_UN[self.rng.below(FLT_UN.len() as u32) as usize];
+                let a = self.src_reg();
+                let _ = writeln!(self.s, "    {m} r{d}, r{a}");
+            }
+            _ => {
+                let m = CVT[self.rng.below(CVT.len() as u32) as usize];
+                let a = self.src_reg();
+                let _ = writeln!(self.s, "    {m} r{d}, r{a}");
+            }
+        }
+    }
+
+    /// One structured construct; `depth` is the current loop-nest depth.
+    fn emit_construct(&mut self, depth: u32, level: u32) {
+        match self.rng.below(100) {
+            0..=34 => {
+                for _ in 0..self.cfg.ops_per_block.max(1) {
+                    self.emit_op();
+                }
+            }
+            35..=49 => self.emit_guarded(),
+            50..=64 => self.emit_if_else(depth, level),
+            65..=79 if depth < self.cfg.max_loop_depth => self.emit_loop(depth, level),
+            _ => self.emit_mem_op(level),
+        }
+    }
+
+    /// A data-predicated operation. The predicate is always set by an
+    /// unconditional `setp` immediately before use, and the destination is
+    /// a data register the prologue already defined — so a skipped write
+    /// leaves a machine-identical old value (elision-safe).
+    fn emit_guarded(&mut self) {
+        const GUARDABLE: [&str; 8] = [
+            "add.s32",
+            "sub.s32",
+            "mul.lo.s32",
+            "xor.b32",
+            "min.s32",
+            "max.s32",
+            "shl.b32",
+            "div.s32",
+        ];
+        let p = self.fresh_pred();
+        let (a, b) = (self.src_reg(), self.int_imm());
+        let cmp = ["eq", "ne", "lt", "gt"][self.rng.below(4) as usize];
+        let _ = writeln!(self.s, "    setp.{cmp}.s32 p{p}, r{a}, {b}");
+        let neg = if self.rng.chance(30) { "!" } else { "" };
+        let m = GUARDABLE[self.rng.below(GUARDABLE.len() as u32) as usize];
+        let d = self.data_reg();
+        let x = self.src_reg();
+        let y = self.int_operand();
+        let _ = writeln!(self.s, "    @{neg}p{p} {m} r{d}, r{x}, {y}");
+    }
+
+    fn emit_if_else(&mut self, depth: u32, level: u32) {
+        let p = self.fresh_pred();
+        let (a, b) = (self.src_reg(), self.int_imm());
+        let cmp = ["lt", "ge", "eq", "ne"][self.rng.below(4) as usize];
+        let l_else = self.fresh_label();
+        let l_end = self.fresh_label();
+        let _ = writeln!(self.s, "    setp.{cmp}.s32 p{p}, r{a}, {b}");
+        let _ = writeln!(self.s, "    @!p{p} bra {l_else}");
+        for _ in 0..1 + self.rng.below(2) {
+            self.emit_construct(depth, level);
+        }
+        let _ = writeln!(self.s, "    bra {l_end}");
+        let _ = writeln!(self.s, "{l_else}:");
+        for _ in 0..1 + self.rng.below(2) {
+            self.emit_construct(depth, level);
+        }
+        let _ = writeln!(self.s, "{l_end}:");
+    }
+
+    /// A data-dependent but guaranteed-terminating loop: trip count is
+    /// `(reg & 3) + 1` and the counter register (r8/r9 per nest level) is
+    /// never a destination of body constructs.
+    fn emit_loop(&mut self, depth: u32, level: u32) {
+        let ctr = 8 + depth as u8;
+        let head = self.fresh_label();
+        let p = self.fresh_pred();
+        let seed = self.src_reg();
+        let _ = writeln!(self.s, "    and.b32 r{ctr}, r{seed}, 3");
+        let _ = writeln!(self.s, "    add.s32 r{ctr}, r{ctr}, 1");
+        let _ = writeln!(self.s, "{head}:");
+        for _ in 0..1 + self.rng.below(2) {
+            self.emit_construct(depth + 1, level);
+        }
+        let _ = writeln!(self.s, "    sub.s32 r{ctr}, r{ctr}, 1");
+        let _ = writeln!(self.s, "    setp.gt.s32 p{p}, r{ctr}, 0");
+        let _ = writeln!(self.s, "    @p{p} bra {head}");
+    }
+
+    /// A memory operation in a randomly chosen (enabled) space, confined
+    /// to this thread's disjoint region.
+    fn emit_mem_op(&mut self, level: u32) {
+        let mut kinds: Vec<u32> = vec![0]; // global scratch always available
+        if self.cfg.use_shared {
+            kinds.push(1);
+        }
+        if self.cfg.use_const {
+            kinds.push(2);
+        }
+        if self.cfg.use_local && level == 0 {
+            kinds.push(3);
+        }
+        if self.cfg.use_v4 {
+            kinds.push(4);
+        }
+        let kind = kinds[self.rng.below(kinds.len() as u32) as usize];
+        match kind {
+            0 => self.emit_scratch(17, SCRATCH_WORDS),
+            1 => self.emit_scratch(18, SHARED_WORDS),
+            2 => {
+                // Data-dependent constant read.
+                let mask = (CONST_WORDS - 1) * 4;
+                let (a, d) = (self.src_reg(), self.data_reg());
+                let _ = writeln!(self.s, "    and.b32 r7, r{a}, {mask}");
+                let _ = writeln!(self.s, "    ld.const.u32 r{d}, [r7+0]");
+            }
+            3 => {
+                // Local store + load (per-thread window, base 0).
+                let k = self.rng.below(LOCAL_BYTES / 4) * 4;
+                let (v, d) = (self.src_reg(), self.data_reg());
+                let _ = writeln!(self.s, "    mov.u32 r7, 0");
+                let _ = writeln!(self.s, "    st.local.u32 [r7+{k}], r{v}");
+                let _ = writeln!(self.s, "    ld.local.u32 r{d}, [r7+{k}]");
+            }
+            _ => self.emit_v4(),
+        }
+    }
+
+    /// Store/load through a region base register (`r17` global scratch,
+    /// `r18` shared), with static or data-dependent word index.
+    fn emit_scratch(&mut self, base: u8, words: u32) {
+        let space = if base == 17 { "global" } else { "shared" };
+        let v = self.src_reg();
+        if self.rng.chance(50) {
+            let k = self.rng.below(words) * 4;
+            let _ = writeln!(self.s, "    st.{space}.u32 [r{base}+{k}], r{v}");
+            if self.rng.chance(70) {
+                let d = self.data_reg();
+                let j = self.rng.below(words) * 4;
+                let _ = writeln!(self.s, "    ld.{space}.u32 r{d}, [r{base}+{j}]");
+            }
+        } else {
+            // Data-dependent index, masked word-aligned and in-region.
+            let mask = (words - 1) * 4;
+            let idx = self.src_reg();
+            let _ = writeln!(self.s, "    and.b32 r7, r{idx}, {mask}");
+            let _ = writeln!(self.s, "    add.s32 r7, r7, r{base}");
+            let _ = writeln!(self.s, "    st.{space}.u32 [r7+0], r{v}");
+            let d = self.data_reg();
+            let _ = writeln!(self.s, "    ld.{space}.u32 r{d}, [r7+0]");
+        }
+    }
+
+    /// Vector quad: define r12..r15, store/load them as `v4`.
+    fn emit_v4(&mut self) {
+        let (a, b) = (self.src_reg(), self.src_reg());
+        let _ = writeln!(self.s, "    mov.b32 r12, r{a}");
+        let _ = writeln!(self.s, "    add.s32 r13, r12, 1");
+        let _ = writeln!(self.s, "    xor.b32 r14, r12, r{b}");
+        let _ = writeln!(self.s, "    not.b32 r15, r13");
+        let (space, base) = if self.cfg.use_shared && self.rng.chance(40) {
+            ("shared", 18)
+        } else {
+            ("global", 17)
+        };
+        let _ = writeln!(self.s, "    st.{space}.v4 [r{base}+0], r12");
+        if self.rng.chance(60) {
+            let _ = writeln!(self.s, "    ld.{space}.v4 r12, [r{base}+0]");
+            let d = self.data_reg();
+            let _ = writeln!(self.s, "    add.s32 r{d}, r12, r15");
+        }
+    }
+
+    /// One kernel body: prologue (identity + region bases), random
+    /// constructs, compared output stores, optional spawn, exit.
+    fn emit_kernel(&mut self, level: u32) {
+        let cfg = self.cfg.clone();
+        let name = kernel_name(level);
+        let _ = writeln!(self.s, "{name}:");
+        if level == 0 {
+            let _ = writeln!(self.s, "    mov.u32 r1, %tid");
+            for &r in &DATA_REGS {
+                if self.rng.chance(20) {
+                    let v = self.int_imm();
+                    let _ = writeln!(self.s, "    mov.u32 r{r}, {v}");
+                } else {
+                    let m = self.rng.below(97) + 1;
+                    let a = self.int_imm();
+                    let _ = writeln!(self.s, "    mul.lo.s32 r{r}, r1, {m}");
+                    let _ = writeln!(self.s, "    add.s32 r{r}, r{r}, {a}");
+                }
+            }
+        } else {
+            // Restore inherited state: the formation slot at `%spawnmem`
+            // holds the state-record pointer the parent passed.
+            let _ = writeln!(self.s, "    mov.u32 r10, %spawnmem");
+            let _ = writeln!(self.s, "    ld.spawn r11, [r10+0]");
+            let _ = writeln!(self.s, "    ld.spawn r1, [r11+0]");
+            let _ = writeln!(self.s, "    ld.spawn r2, [r11+4]");
+            let _ = writeln!(self.s, "    ld.spawn r3, [r11+8]");
+            for &r in &DATA_REGS[2..] {
+                let src = [1u8, 2, 3][self.rng.below(3) as usize];
+                let a = self.int_imm();
+                let _ = writeln!(self.s, "    xor.b32 r{r}, r{src}, {a}");
+                let _ = writeln!(self.s, "    add.s32 r{r}, r{r}, r{src}");
+            }
+        }
+        // Region bases from the slot id (level * ntid + lineage).
+        let _ = writeln!(self.s, "    mov.u32 r19, {}", level * cfg.ntid);
+        let _ = writeln!(self.s, "    add.s32 r19, r19, r1");
+        let _ = writeln!(self.s, "    mul.lo.s32 r16, r19, {}", OUT_WORDS * 4);
+        let _ = writeln!(self.s, "    mul.lo.s32 r17, r19, {}", SCRATCH_WORDS * 4);
+        let _ = writeln!(self.s, "    add.s32 r17, r17, {}", cfg.out_bytes());
+        let _ = writeln!(self.s, "    mul.lo.s32 r18, r19, {}", SHARED_WORDS * 4);
+        for _ in 0..cfg.blocks.max(1) {
+            self.emit_construct(0, level);
+        }
+        // Compared output: the final data registers.
+        for (i, &r) in DATA_REGS[..OUT_WORDS as usize].iter().enumerate() {
+            let _ = writeln!(self.s, "    st.global.u32 [r16+{}], r{r}", i * 4);
+        }
+        if level < cfg.spawn_levels {
+            // Save the continuation state and spawn the next level. The
+            // launch kernel owns a full state record at `%spawnmem`;
+            // children re-use the record they inherited (its pointer is in
+            // r11) — the hardware only recycles it when the lineage ends.
+            let state = if level == 0 {
+                let _ = writeln!(self.s, "    mov.u32 r10, %spawnmem");
+                10
+            } else {
+                11
+            };
+            let _ = writeln!(self.s, "    st.spawn [r{state}+0], r1");
+            let _ = writeln!(self.s, "    st.spawn [r{state}+4], r2");
+            let _ = writeln!(self.s, "    st.spawn [r{state}+8], r3");
+            let child = kernel_name(level + 1);
+            if cfg.spawn_guarded {
+                let a = self.src_reg();
+                let cmp = ["ne", "lt", "ge"][self.rng.below(3) as usize];
+                let b = self.int_imm();
+                let _ = writeln!(self.s, "    setp.{cmp}.s32 p3, r{a}, {b}");
+                let _ = writeln!(self.s, "    @p3 spawn ${child}, r{state}");
+            } else {
+                let _ = writeln!(self.s, "    spawn ${child}, r{state}");
+            }
+        }
+        let _ = writeln!(self.s, "    exit");
+    }
+}
+
+fn kernel_name(level: u32) -> String {
+    if level == 0 {
+        "main".to_string()
+    } else {
+        format!("uk{level}")
+    }
+}
+
+/// Generates, assembles, and validates one random program.
+///
+/// # Panics
+///
+/// Panics if the generated source fails to assemble or violates the
+/// well-formedness invariants (empty live-in at every entry point) — a
+/// bug in the generator itself, not in the program under test.
+pub fn generate(cfg: &GenConfig) -> GenProgram {
+    let mut e = Emitter {
+        cfg: cfg.clone(),
+        rng: Rng::new(cfg.seed),
+        s: String::new(),
+        labels: 0,
+        preds: 0,
+    };
+    let _ = writeln!(e.s, ".global {}", cfg.global_bytes());
+    if cfg.use_const {
+        let _ = writeln!(e.s, ".const {}", CONST_WORDS * 4);
+    }
+    if cfg.use_local {
+        let _ = writeln!(e.s, ".local {LOCAL_BYTES}");
+    }
+    if cfg.spawn_levels > 0 {
+        let _ = writeln!(e.s, ".spawnstate {STATE_BYTES}");
+    }
+    for level in 0..=cfg.spawn_levels {
+        let _ = writeln!(e.s, ".kernel {}", kernel_name(level));
+    }
+    for level in 0..=cfg.spawn_levels {
+        e.emit_kernel(level);
+    }
+    let source = e.s;
+    let program = match assemble_named("generated", &source) {
+        Ok(p) => p,
+        Err(err) => panic!("generator produced unassemblable source: {err}\n{source}"),
+    };
+    // Well-formedness: reconvergence analysis must accept the CFG, and no
+    // entry point may read a register or predicate before writing it
+    // (required for OnDivergence elision equivalence).
+    let _cfg = Cfg::build(&program);
+    let live = Liveness::compute(&program);
+    for entry in program.entry_points() {
+        let li = live.live_in(entry.pc);
+        assert!(
+            li.regs == 0 && li.preds == 0,
+            "entry `{}` reads before write (regs {:#x}, preds {:#x})\n{source}",
+            entry.name,
+            li.regs,
+            li.preds,
+        );
+    }
+    GenProgram {
+        program,
+        source,
+        cfg: cfg.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::from_seed(42);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.source, b.source);
+    }
+
+    #[test]
+    fn seeds_produce_diverse_programs() {
+        let a = generate(&GenConfig::from_seed(1));
+        let b = generate(&GenConfig::from_seed(2));
+        assert_ne!(a.source, b.source);
+    }
+
+    #[test]
+    fn spawned_programs_declare_entries() {
+        let mut cfg = GenConfig::from_seed(7);
+        cfg.spawn_levels = 2;
+        let g = generate(&cfg);
+        assert!(g.program.entry("main").is_some());
+        assert!(g.program.entry("uk1").is_some());
+        assert!(g.program.entry("uk2").is_some());
+        assert!(!g.program.spawn_sites().is_empty());
+    }
+
+    #[test]
+    fn kv_round_trip() {
+        for seed in 0..32 {
+            let cfg = GenConfig::from_seed(seed);
+            assert_eq!(GenConfig::from_kv(&cfg.to_kv()), Some(cfg));
+        }
+    }
+
+    #[test]
+    fn corpus_assembles_and_passes_liveness() {
+        // `generate` panics internally on any violation; sweep a corpus.
+        for seed in 0..200 {
+            let _ = generate(&GenConfig::from_seed(seed));
+        }
+    }
+}

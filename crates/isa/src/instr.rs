@@ -33,11 +33,11 @@ pub enum AluOp {
     Xor,
     /// Bitwise not (unary).
     Not,
-    /// Logical shift left (mod 32).
+    /// Logical shift left (amounts ≥ 32 clamp to 0, like PTX `shl.b32`).
     Shl,
-    /// Logical shift right (mod 32).
+    /// Logical shift right (amounts ≥ 32 clamp to 0, like PTX `shr.u32`).
     ShrU,
-    /// Arithmetic shift right (mod 32).
+    /// Arithmetic shift right (amounts ≥ 32 saturate to the sign fill).
     ShrS,
     /// IEEE-754 single add.
     FAdd,

@@ -44,6 +44,7 @@ mod dataflow;
 mod disasm;
 mod encode;
 mod eval;
+pub mod gen;
 mod instr;
 mod program;
 mod reg;
@@ -56,6 +57,7 @@ pub use encode::{
     ENCODED_INSTR_BYTES,
 };
 pub use eval::{eval_alu, eval_cmp};
+pub use gen::{generate, GenConfig, GenProgram};
 pub use instr::{AluOp, CmpOp, Guard, Instr, Instruction, Space, Width};
 pub use program::{EntryPoint, Program, ResourceUsage, ValidateError};
 pub use reg::{Operand, Pred, Reg, Special, MAX_PREDS, MAX_REGS};

@@ -1,0 +1,99 @@
+//! Assembler/disassembler round-trip: `assemble → to_source → assemble`
+//! must reproduce an identical program (instructions, labels, entry
+//! points, resources) over the full generated-program corpus.
+//!
+//! Burned-down bugs pinned here:
+//! * `bra`/`spawn` printed numeric targets the assembler could not
+//!   re-parse (fixed by the numeric-target fallback in `resolve`).
+//! * `Program`'s `Display` dropped `.kernel` and resource directives, so
+//!   spawn programs failed entry-point validation on re-assembly (fixed
+//!   by `Program::to_source`).
+
+use proptest::prelude::*;
+use simt_isa::gen::{generate, GenConfig};
+use simt_isa::{assemble_named, Program};
+
+fn roundtrip(p: &Program) {
+    let src = p.to_source();
+    let again = assemble_named("generated", &src).unwrap_or_else(|e| {
+        panic!("round-trip source failed to assemble: {e}\n{src}");
+    });
+    assert_eq!(p.instrs(), again.instrs(), "instructions differ\n{src}");
+    assert_eq!(p.labels(), again.labels(), "labels differ\n{src}");
+    assert_eq!(
+        p.resource_usage(),
+        again.resource_usage(),
+        "resources differ\n{src}"
+    );
+    let entries = |q: &Program| -> Vec<(String, usize)> {
+        let mut v: Vec<_> = q
+            .entry_points()
+            .iter()
+            .map(|e| (e.name.clone(), e.pc))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(entries(p), entries(&again), "entry points differ\n{src}");
+}
+
+#[test]
+fn generated_corpus_round_trips() {
+    for seed in 0..300 {
+        let g = generate(&GenConfig::from_seed(seed));
+        roundtrip(&g.program);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_programs_round_trip(seed in any::<u64>()) {
+        let g = generate(&GenConfig::from_seed(seed));
+        roundtrip(&g.program);
+    }
+}
+
+#[test]
+fn numeric_branch_targets_assemble() {
+    // Regression: the disassembler prints anonymous targets numerically.
+    let p = assemble_named("n", "start:\nnop\nbra start").unwrap();
+    roundtrip(&p);
+    let direct = assemble_named("n", "nop\nbra 0").unwrap();
+    assert_eq!(p.instrs(), direct.instrs());
+}
+
+#[test]
+fn spawn_programs_round_trip_with_directives() {
+    let src = r#"
+        .spawnstate 48
+        .local 64
+        .kernel main
+        .kernel child
+        main:
+            mov.u32 r1, %spawnmem
+            spawn $child, r1
+            exit
+        child:
+            mov.u32 r2, %spawnmem
+            ld.spawn r3, [r2+0]
+            exit
+    "#;
+    let p = assemble_named("s", src).unwrap();
+    roundtrip(&p);
+}
+
+#[test]
+fn negative_offsets_and_hex_immediates_round_trip() {
+    let src = r#"
+        mov.u32 r1, -2147483648
+        add.s32 r2, r1, 255
+        st.global.u32 [r2-4], r1
+        ld.global.v4 r4, [r2+16]
+        @!p0 xor.b32 r3, r1, 0xdeadbeef
+        exit
+    "#;
+    let p = assemble_named("h", src).unwrap();
+    roundtrip(&p);
+}

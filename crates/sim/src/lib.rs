@@ -86,6 +86,7 @@ mod fault;
 mod gpu;
 mod interp;
 mod mimd;
+pub mod oracle;
 mod sm;
 mod stats;
 pub mod telemetry;
@@ -99,8 +100,9 @@ pub use fault::{
     SimError, SmSnapshot, WarpSnapshot,
 };
 pub use gpu::{Gpu, GpuBuilder, Launch, RunOutcome, RunSummary};
-pub use interp::{interpret_thread, InterpError, InterpResult, ThreadInterp};
+pub use interp::{interpret_thread, InterpError, InterpResult, RefMachine, ThreadInterp};
 pub use mimd::{mimd_theoretical, MimdReport};
+pub use oracle::{run_case, shrink, CaseReport, Mismatch};
 pub use sm::Sm;
 pub use stats::{DivergenceTimeline, SimStats, OCCUPANCY_BUCKETS};
 pub use telemetry::{

@@ -47,6 +47,20 @@ fn arb_op() -> impl Strategy<Value = RandomOp> {
         Just("xor.b32"),
         Just("min.s32"),
         Just("max.s32"),
+        // Clamp-semantics shifts and trapless division (PTX: x/0 = 0,
+        // MIN/-1 wraps) — the operand pool's special immediates hit the
+        // edge amounts.
+        Just("shl.b32"),
+        Just("shr.u32"),
+        Just("shr.s32"),
+        Just("div.s32"),
+        Just("rem.s32"),
+        // Float ops run on raw integer bit patterns; both executors share
+        // IEEE semantics, so even NaN payloads must agree bitwise.
+        Just("add.f32"),
+        Just("mul.f32"),
+        Just("min.f32"),
+        Just("max.f32"),
     ];
     (mnemonics, 2u8..7, 1u8..7, arb_operand()).prop_map(|(mnemonic, dst, a, b)| RandomOp {
         mnemonic,
@@ -60,6 +74,19 @@ fn arb_operand() -> impl Strategy<Value = OperandSpec> {
     prop_oneof![
         (1u8..7).prop_map(OperandSpec::Reg),
         (-100i32..100).prop_map(OperandSpec::Imm),
+        // Edge immediates: zero divisors, MIN/-1 overflow, out-of-range
+        // shift amounts.
+        prop_oneof![
+            Just(0i32),
+            Just(-1),
+            Just(i32::MIN),
+            Just(i32::MAX),
+            Just(31),
+            Just(32),
+            Just(33),
+            Just(255),
+        ]
+        .prop_map(OperandSpec::Imm),
     ]
 }
 
@@ -138,6 +165,47 @@ proptest! {
         let b = run_on_interpreter(&src);
         prop_assert_eq!(a, b, "program:\n{}", src);
     }
+}
+
+#[test]
+fn division_and_shift_edges_match() {
+    // Deterministic exposure of the PTX edge cases the random pool only
+    // hits probabilistically: divide-by-zero, i32::MIN / -1, and shift
+    // amounts of exactly 32/33/255.
+    let src = r#"
+        .kernel main
+        main:
+            mov.u32 r1, %tid
+            mov.u32 r2, -2147483648
+            mov.u32 r3, -1
+            div.s32 r4, r2, r3
+            rem.s32 r5, r2, r3
+            mov.u32 r6, 0
+            div.s32 r6, r1, r6
+            mov.u32 r7, 0
+            rem.s32 r7, r1, r7
+            add.s32 r4, r4, r6
+            add.s32 r5, r5, r7
+            shl.b32 r6, r1, 32
+            shr.u32 r7, r2, 33
+            shr.s32 r8, r2, 255
+            add.s32 r6, r6, r7
+            add.s32 r6, r6, r8
+            mul.lo.s32 r9, r1, 16
+            st.global.u32 [r9+0], r4
+            st.global.u32 [r9+4], r5
+            st.global.u32 [r9+8], r6
+            st.global.u32 [r9+12], r1
+            exit
+    "#;
+    let a = run_on_pipeline(src);
+    let b = run_on_interpreter(src);
+    assert_eq!(a, b);
+    // Spot-check thread 0: MIN/-1 wraps to MIN, x/0 and x%0 are 0,
+    // shifts ≥ 32 clamp (shr.s32 of MIN fills with the sign bit).
+    assert_eq!(a[0], 0x8000_0000);
+    assert_eq!(a[1], 0);
+    assert_eq!(a[2], 0u32.wrapping_add(0).wrapping_add(0xffff_ffff));
 }
 
 #[test]
