@@ -15,6 +15,12 @@
 //! so the probe cost the experiment drivers pay is a recorded number
 //! (the budget is < 5%).
 //!
+//! Also measures campaign-mode throughput (`DESIGN.md` §12): the full
+//! 12-artifact `repro campaign` matrix at test scale with 1 worker
+//! process vs N, plus the warm-cache round trip, so the coordination and
+//! cache overheads are recorded numbers. Skipped (recorded as `null`)
+//! when the `repro` binary is not next to `bench_sim`.
+//!
 //! ```text
 //! bench_sim [--scale paper|quick|test] [--out PATH]
 //! ```
@@ -104,6 +110,62 @@ fn bench_checkpoint(scale: Scale) -> CheckpointBench {
     }
 }
 
+struct CampaignBench {
+    jobs: usize,
+    workers: usize,
+    one_worker_seconds: f64,
+    n_worker_seconds: f64,
+    cache_hit_seconds: f64,
+}
+
+/// Times the full `repro campaign` artifact matrix (always at test
+/// scale — the point is coordination overhead, not simulation time):
+/// cold with 1 worker, cold with N workers, then warm from the result
+/// cache. Returns `None` when the `repro` binary is not installed next
+/// to `bench_sim`.
+fn bench_campaign(host_cpus: usize) -> Option<CampaignBench> {
+    let repro = std::env::current_exe().ok()?.with_file_name("repro");
+    if !repro.exists() {
+        eprintln!(
+            "bench_sim: skipping campaign bench ({} not found)",
+            repro.display()
+        );
+        return None;
+    }
+    let root = std::env::temp_dir().join(format!("bench-sim-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let timed = |workers: usize, dir: &str| -> Option<f64> {
+        let start = Instant::now();
+        let status = std::process::Command::new(&repro)
+            .args(["campaign", "--scale", "test", "--workers"])
+            .arg(workers.to_string())
+            .arg("--campaign-dir")
+            .arg(root.join(dir))
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .ok()?;
+        status.success().then(|| start.elapsed().as_secs_f64())
+    };
+    let workers = host_cpus.clamp(1, 4);
+    let one_worker_seconds = timed(1, "w1")?;
+    let (n_worker_seconds, warm_dir) = if workers > 1 {
+        (timed(workers, "wn")?, "wn")
+    } else {
+        (one_worker_seconds, "w1")
+    };
+    // Same campaign dir again: every job comes back from the cache.
+    let cache_hit_seconds = timed(workers, warm_dir)?;
+    let _ = std::fs::remove_dir_all(&root);
+    Some(CampaignBench {
+        jobs: 12,
+        workers,
+        one_worker_seconds,
+        n_worker_seconds,
+        cache_hit_seconds,
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale_name = "paper".to_string();
@@ -187,6 +249,22 @@ fn main() -> ExitCode {
         ckpt.snapshot_bytes, ckpt.encode_seconds, ckpt.write_seconds, ckpt.restore_seconds
     );
 
+    eprintln!("bench_sim: campaign throughput (12-job matrix, test scale) ...");
+    let campaign = bench_campaign(host_cpus);
+    if let Some(c) = &campaign {
+        eprintln!(
+            "  1 worker {:.3} s ({:.2} jobs/s), {} workers {:.3} s ({:.2} jobs/s), \
+             warm cache {:.3} s ({:.2} jobs/s)",
+            c.one_worker_seconds,
+            c.jobs as f64 / c.one_worker_seconds,
+            c.workers,
+            c.n_worker_seconds,
+            c.jobs as f64 / c.n_worker_seconds,
+            c.cache_hit_seconds,
+            c.jobs as f64 / c.cache_hit_seconds
+        );
+    }
+
     // Hand-rolled JSON: the offline serde shim has no serializer.
     let mut json = String::new();
     json.push_str("{\n");
@@ -213,9 +291,26 @@ fn main() -> ExitCode {
     ));
     json.push_str(&format!(
         "  \"checkpoint\": {{\"snapshot_bytes\": {}, \"encode_seconds\": {:.6}, \
-         \"write_seconds\": {:.6}, \"restore_seconds\": {:.6}}}\n",
+         \"write_seconds\": {:.6}, \"restore_seconds\": {:.6}}},\n",
         ckpt.snapshot_bytes, ckpt.encode_seconds, ckpt.write_seconds, ckpt.restore_seconds
     ));
+    match &campaign {
+        Some(c) => json.push_str(&format!(
+            "  \"campaign\": {{\"scale\": \"test\", \"jobs\": {}, \"workers\": {}, \
+             \"one_worker_seconds\": {:.6}, \"one_worker_jobs_per_second\": {:.3}, \
+             \"n_worker_seconds\": {:.6}, \"n_worker_jobs_per_second\": {:.3}, \
+             \"cache_hit_seconds\": {:.6}, \"cache_hit_jobs_per_second\": {:.3}}}\n",
+            c.jobs,
+            c.workers,
+            c.one_worker_seconds,
+            c.jobs as f64 / c.one_worker_seconds,
+            c.n_worker_seconds,
+            c.jobs as f64 / c.n_worker_seconds,
+            c.cache_hit_seconds,
+            c.jobs as f64 / c.cache_hit_seconds
+        )),
+        None => json.push_str("  \"campaign\": null\n"),
+    }
     json.push_str("}\n");
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("bench_sim: cannot write {out}: {e}");

@@ -6,7 +6,13 @@
 //!                  [--checkpoint-every N] [--checkpoint-dir D] [--resume]
 //!                  [--max-retries N] [--kill-after-checkpoints N]
 //!
-//! artifacts: table1 table2 table3 table4 fig2 fig3 fig7 fig8 fig9 fig10 all
+//! repro campaign   [shared flags above] [--workers N] [--campaign-dir D]
+//!                  [--cache-dir D] [--retries N] [--only a,b,c]
+//!                  [--job-timeout-secs N] [--heartbeat-timeout-secs N]
+//!                  [--chaos-kill-every K] [--seed S]
+//!
+//! artifacts: table1 table2 table3 table4 fig2 fig3 fig7 fig8 fig9 fig10
+//!            ablation shadow all campaign
 //! ```
 //!
 //! `--parallel` sets the simulator's phase-A worker-thread count (`ncpu`
@@ -29,53 +35,36 @@
 //! `--kill-after-checkpoints N` is a deterministic test hook that exits
 //! the process (code 42) after N snapshot writes, so CI can rehearse a
 //! mid-campaign kill without timing races.
+//!
+//! `repro campaign` runs the artifact matrix across `--workers` worker
+//! *processes* with crash supervision, checkpoint resume, a
+//! content-addressed result cache, and deterministic chaos testing
+//! (`DESIGN.md` §12). Its stdout is byte-identical to `repro all` at the
+//! same scale. The internal `__worker` mode is how the coordinator
+//! re-invokes this binary for one job; it is not part of the public
+//! surface.
 
+use experiments::campaign::{self, worker, CampaignConfig};
 use experiments::runner::Scale;
 use experiments::supervisor::{self, Policy};
-use experiments::{ablation, fig10, fig2, fig3, fig7, fig8, fig9, table1, table2, table3, table4};
+use std::io::Write;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|fig2|fig3|fig7|fig8|fig9|fig10|all> \
+        "usage: repro <table1|table2|table3|table4|fig2|fig3|fig7|fig8|fig9|fig10|\
+         ablation|shadow|all|campaign> \
          [--scale paper|quick|test] [--json] [--parallel N|ncpu] \
          [--trace] [--metrics-every N] \
          [--checkpoint-every N] [--checkpoint-dir D] [--resume] \
-         [--max-retries N] [--kill-after-checkpoints N]"
+         [--max-retries N] [--kill-after-checkpoints N]\n\
+         campaign flags: [--workers N] [--campaign-dir D] [--cache-dir D] \
+         [--retries N] [--only a,b,c] [--job-timeout-secs N] \
+         [--heartbeat-timeout-secs N] [--chaos-kill-every K] [--seed S]"
     );
     ExitCode::from(2)
-}
-
-/// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 8);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn emit<T: std::fmt::Display>(artifact: &str, value: &T, json: bool) {
-    if json {
-        // Rendered text as a JSON string; the full serde_json pipeline is
-        // unavailable offline and downstream tooling only greps the text.
-        println!(
-            "{{\"artifact\":\"{}\",\"data\":\"{}\"}}",
-            json_escape(artifact),
-            json_escape(&value.to_string())
-        );
-    } else {
-        println!("{value}");
-        println!();
-    }
 }
 
 fn main() -> ExitCode {
@@ -83,17 +72,52 @@ fn main() -> ExitCode {
     if args.is_empty() {
         return usage();
     }
-    let artifact = args[0].as_str();
+    let (mode, flag_start) = if args[0] == "__worker" {
+        match args.get(1) {
+            Some(_) => (args[0].as_str(), 2),
+            None => return usage(),
+        }
+    } else {
+        (args[0].as_str(), 1)
+    };
     let mut scale = Scale::quick();
+    let mut scale_name = "quick".to_string();
     let mut json = false;
     let mut policy = Policy::default();
-    let mut i = 1;
+    // Shared flags the campaign coordinator forwards verbatim to its
+    // workers (only when explicitly given, so worker defaults stay
+    // authoritative).
+    let mut passthrough: Vec<String> = Vec::new();
+    let mut checkpoint_every_flag: Option<u64> = None;
+    // Campaign flags.
+    let mut workers: usize = 2;
+    let mut campaign_dir: Option<PathBuf> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut retries: u32 = 3;
+    let mut only: Option<Vec<String>> = None;
+    let mut job_timeout_secs: Option<u64> = None;
+    let mut heartbeat_timeout_secs: Option<u64> = None;
+    let mut chaos_kill_every: u64 = 0;
+    let mut chaos_seed: u64 = 0;
+    let mut test_fail_job: Option<String> = None;
+    let mut test_hang_job: Option<String> = None;
+    // Worker flags.
+    let mut worker_out: Option<PathBuf> = None;
+    let mut worker_heartbeat: Option<PathBuf> = None;
+    let mut worker_fingerprint: u64 = 0;
+    let mut worker_test_fail = false;
+    let mut worker_test_hang = false;
+
+    let mut i = flag_start;
     while i < args.len() {
         match args[i].as_str() {
             "--checkpoint-every" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
-                    Some(n) if n >= 1 => policy.checkpoint_every = n,
+                    Some(n) if n >= 1 => {
+                        policy.checkpoint_every = n;
+                        checkpoint_every_flag = Some(n);
+                    }
                     _ => return usage(),
                 }
             }
@@ -108,7 +132,10 @@ fn main() -> ExitCode {
             "--max-retries" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse::<u32>().ok()) {
-                    Some(n) => policy.max_retries = n,
+                    Some(n) => {
+                        policy.max_retries = n;
+                        passthrough.extend(["--max-retries".to_string(), n.to_string()]);
+                    }
                     None => return usage(),
                 }
             }
@@ -119,19 +146,30 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 }
             }
+            "--chaos-abort" => policy.chaos_abort = true,
             "--scale" => {
                 i += 1;
                 let Some(s) = args.get(i).and_then(|s| Scale::parse(s)) else {
                     return usage();
                 };
                 scale = s;
+                scale_name = args[i].clone();
             }
-            "--json" => json = true,
-            "--trace" => experiments::set_trace(true),
+            "--json" => {
+                json = true;
+                passthrough.push("--json".to_string());
+            }
+            "--trace" => {
+                experiments::set_trace(true);
+                passthrough.push("--trace".to_string());
+            }
             "--metrics-every" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
-                    Some(n) if n >= 1 => experiments::set_metrics_every(n),
+                    Some(n) if n >= 1 => {
+                        experiments::set_metrics_every(n);
+                        passthrough.extend(["--metrics-every".to_string(), n.to_string()]);
+                    }
                     _ => return usage(),
                 }
             }
@@ -148,43 +186,221 @@ fn main() -> ExitCode {
                     None => return usage(),
                 };
                 experiments::set_parallelism(n);
+                passthrough.extend(["--parallel".to_string(), n.to_string()]);
             }
+            "--workers" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => workers = n,
+                    _ => return usage(),
+                }
+            }
+            "--campaign-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => campaign_dir = Some(d.into()),
+                    None => return usage(),
+                }
+            }
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => cache_dir = Some(d.into()),
+                    None => return usage(),
+                }
+            }
+            "--retries" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u32>().ok()) {
+                    Some(n) => retries = n,
+                    None => return usage(),
+                }
+            }
+            "--only" => {
+                i += 1;
+                match args.get(i) {
+                    Some(list) => {
+                        only = Some(list.split(',').map(|s| s.trim().to_string()).collect())
+                    }
+                    None => return usage(),
+                }
+            }
+            "--job-timeout-secs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n >= 1 => job_timeout_secs = Some(n),
+                    _ => return usage(),
+                }
+            }
+            "--heartbeat-timeout-secs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n >= 1 => heartbeat_timeout_secs = Some(n),
+                    _ => return usage(),
+                }
+            }
+            "--chaos-kill-every" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n >= 1 => chaos_kill_every = n,
+                    _ => return usage(),
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) => chaos_seed = n,
+                    None => return usage(),
+                }
+            }
+            "--chaos-fail-job" => {
+                i += 1;
+                match args.get(i) {
+                    Some(j) => test_fail_job = Some(j.clone()),
+                    None => return usage(),
+                }
+            }
+            "--chaos-hang-job" => {
+                i += 1;
+                match args.get(i) {
+                    Some(j) => test_hang_job = Some(j.clone()),
+                    None => return usage(),
+                }
+            }
+            "--worker-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => worker_out = Some(p.into()),
+                    None => return usage(),
+                }
+            }
+            "--worker-heartbeat" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => worker_heartbeat = Some(p.into()),
+                    None => return usage(),
+                }
+            }
+            "--worker-fingerprint" => {
+                i += 1;
+                match args.get(i).and_then(|s| u64::from_str_radix(s, 16).ok()) {
+                    Some(fp) => worker_fingerprint = fp,
+                    None => return usage(),
+                }
+            }
+            "--worker-test-fail" => worker_test_fail = true,
+            "--worker-test-hang" => worker_test_hang = true,
             _ => return usage(),
         }
         i += 1;
     }
-    supervisor::set_policy(policy);
+    supervisor::set_policy(policy.clone());
 
-    // `None` = unknown artifact; `Some(Err)` = the job itself failed (a
-    // job-level error is reported and the campaign continues).
-    let run_one = |name: &str| -> Option<Result<(), String>> {
-        match name {
-            "table1" => emit("table1", &table1::run(), json),
-            "table2" => emit("table2", &table2::run(), json),
-            "table3" => emit("table3", &table3::run(scale), json),
-            "table4" => emit("table4", &table4::run(scale), json),
-            "fig2" => match fig2::run() {
-                Ok(f) => emit("fig2", &f, json),
-                Err(e) => return Some(Err(format!("kernel assembly failed: {e}"))),
-            },
-            "fig3" => emit("fig3", &fig3::run(scale), json),
-            "fig7" => emit("fig7", &fig7::run(scale), json),
-            "fig8" => emit("fig8", &fig8::run(scale), json),
-            "fig9" => emit("fig9", &fig9::run(scale), json),
-            "fig10" => emit("fig10", &fig10::run(scale), json),
-            "ablation" => emit("ablation", &ablation::run(scale), json),
-            "shadow" => emit("shadow", &experiments::shadow::run(scale), json),
-            _ => return None,
+    if mode == "__worker" {
+        let Some(out) = worker_out else {
+            eprintln!("error: __worker requires --worker-out");
+            return ExitCode::from(2);
+        };
+        let wargs = worker::WorkerArgs {
+            artifact: args[1].clone(),
+            out,
+            heartbeat: worker_heartbeat,
+            fingerprint: worker_fingerprint,
+            json,
+            test_fail: worker_test_fail,
+            test_hang: worker_test_hang,
+        };
+        return worker::run_worker(&wargs, scale);
+    }
+
+    if mode == "campaign" {
+        let mut cfg = CampaignConfig::new(scale, &scale_name);
+        cfg.json = json;
+        cfg.workers = workers;
+        if let Some(d) = campaign_dir {
+            cfg.cache_dir = d.join("cache");
+            cfg.work_dir = d;
         }
-        Some(Ok(()))
+        if let Some(d) = cache_dir {
+            cfg.cache_dir = d;
+        }
+        if let Some(n) = checkpoint_every_flag {
+            cfg.checkpoint_every = n;
+        }
+        cfg.max_retries = retries;
+        if let Some(s) = job_timeout_secs {
+            cfg.job_timeout = Duration::from_secs(s);
+        }
+        if let Some(s) = heartbeat_timeout_secs {
+            cfg.heartbeat_timeout = Duration::from_secs(s);
+        }
+        if chaos_kill_every > 0 {
+            cfg.chaos = Some(campaign::chaos::Chaos {
+                kill_every: chaos_kill_every,
+                seed: chaos_seed,
+            });
+        }
+        if let Some(list) = only {
+            cfg.artifacts = list;
+        }
+        cfg.passthrough = passthrough;
+        cfg.test_fail_job = test_fail_job;
+        cfg.test_hang_job = test_hang_job;
+        let outcome = match campaign::run(&cfg) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: campaign: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        // Emit completed artifacts in canonical order; stdout is
+        // byte-identical to the serial `repro all` run.
+        let mut stdout = std::io::stdout().lock();
+        for (record, output) in outcome.manifest.jobs.iter().zip(&outcome.outputs) {
+            eprintln!("== {} ==", record.name);
+            match output {
+                Some(bytes) => {
+                    if stdout
+                        .write_all(bytes)
+                        .and_then(|()| stdout.flush())
+                        .is_err()
+                    {
+                        eprintln!("error: campaign: stdout write failed");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                None => eprintln!(
+                    "error: {}: {}",
+                    record.name,
+                    record.error.as_deref().unwrap_or("no result")
+                ),
+            }
+        }
+        eprintln!("{}", outcome.manifest);
+        return if outcome.complete() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    // Serial path: render through the same definition campaign workers
+    // use, so bytes agree by construction.
+    // `None` = unknown artifact; `Some(Err)` = the job itself failed (a
+    // job-level error is reported and the run continues).
+    let run_one = |name: &str| -> Option<Result<(), String>> {
+        match campaign::render_artifact(name, scale, json)? {
+            Ok(rendered) => {
+                print!("{rendered}");
+                Some(Ok(()))
+            }
+            Err(e) => Some(Err(e)),
+        }
     };
 
-    if artifact == "all" {
+    if mode == "all" {
         let mut failed = 0u32;
-        for name in [
-            "table1", "table2", "table3", "table4", "fig2", "fig3", "fig7", "fig8", "fig9",
-            "fig10", "ablation", "shadow",
-        ] {
+        for name in campaign::ARTIFACTS {
             eprintln!("== {name} ==");
             if let Some(Err(e)) = run_one(name) {
                 eprintln!("error: {name}: {e}");
@@ -198,10 +414,10 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
     } else {
-        match run_one(artifact) {
+        match run_one(mode) {
             Some(Ok(())) => ExitCode::SUCCESS,
             Some(Err(e)) => {
-                eprintln!("error: {artifact}: {e}");
+                eprintln!("error: {mode}: {e}");
                 ExitCode::FAILURE
             }
             None => usage(),

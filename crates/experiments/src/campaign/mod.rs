@@ -1,0 +1,628 @@
+//! `repro campaign` — a sharded, crash-tolerant campaign runner.
+//!
+//! The paper's figures come from a matrix of per-scene/per-config
+//! simulation jobs. `repro all` runs that matrix sequentially in one
+//! process; this module fans it across N **worker processes** (the
+//! `repro` binary re-invoked in a single-job `__worker` mode, see
+//! [`worker`]), supervised by a coordinator that:
+//!
+//! - tracks per-worker liveness via heartbeat files and imposes per-job
+//!   wall-clock timeouts, SIGKILLing wedged workers;
+//! - reschedules dead or hung jobs with exponential backoff under a
+//!   bounded retry budget, each retry resuming from the worker's last
+//!   good `.ckpt` through the existing `supervisor::try_resume` path
+//!   instead of restarting from cycle 0;
+//! - serves repeated jobs from a content-addressed result [`cache`]
+//!   keyed by an FNV hash of (program bytes, scene, `GpuConfig`, scale,
+//!   telemetry spec), detecting and quarantining corrupt entries;
+//! - reports every job in a campaign [`manifest`] — a job that exhausts
+//!   its retries is `GaveUp` there while the rest of the matrix
+//!   completes.
+//!
+//! Because each job's simulation is deterministic and checkpoint resume
+//! is bit-identical, a completed campaign's artifact bytes are the same
+//! whether they were computed serially (`repro all`), sharded across
+//! workers, served from the cache, or chaos-tested: the process-level
+//! [`chaos`] mode deterministically kills workers mid-job and the
+//! campaign still converges to identical output. See `DESIGN.md` §12.
+
+pub mod cache;
+pub mod chaos;
+pub mod manifest;
+pub mod worker;
+
+use crate::runner::{run_fingerprint, Scale};
+use crate::{
+    ablation, fig10, fig2, fig3, fig7, fig8, fig9, shadow, table1, table2, table3, table4,
+};
+use chaos::Chaos;
+use manifest::{JobOutcome, JobRecord, Manifest};
+use simt_isa::codec::{fnv1a64, Encoder};
+use std::fmt;
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+/// Every artifact of a full campaign, in canonical presentation order
+/// (the order `repro all` runs them).
+pub const ARTIFACTS: [&str; 12] = [
+    "table1", "table2", "table3", "table4", "fig2", "fig3", "fig7", "fig8", "fig9", "fig10",
+    "ablation", "shadow",
+];
+
+/// Renders one artifact to the exact bytes `repro` prints on stdout for
+/// it — `Display` text plus the trailing blank line, or the one-line
+/// JSON envelope under `--json`. Campaign workers, the serial `repro`
+/// path, and the result cache all share this definition, which is what
+/// makes "byte-identical however computed" checkable.
+///
+/// Returns `None` for an unknown artifact, `Some(Err)` when the job
+/// itself failed (a deterministic job-level error the campaign reports
+/// without retrying).
+pub fn render_artifact(name: &str, scale: Scale, json: bool) -> Option<Result<String, String>> {
+    fn page<T: fmt::Display>(artifact: &str, value: &T, json: bool) -> String {
+        if json {
+            format!(
+                "{{\"artifact\":\"{}\",\"data\":\"{}\"}}\n",
+                manifest::escape(artifact),
+                manifest::escape(&value.to_string())
+            )
+        } else {
+            format!("{value}\n\n")
+        }
+    }
+    let rendered = match name {
+        "table1" => page("table1", &table1::run(), json),
+        "table2" => page("table2", &table2::run(), json),
+        "table3" => page("table3", &table3::run(scale), json),
+        "table4" => page("table4", &table4::run(scale), json),
+        "fig2" => match fig2::run() {
+            Ok(f) => page("fig2", &f, json),
+            Err(e) => return Some(Err(format!("kernel assembly failed: {e}"))),
+        },
+        "fig3" => page("fig3", &fig3::run(scale), json),
+        "fig7" => page("fig7", &fig7::run(scale), json),
+        "fig8" => page("fig8", &fig8::run(scale), json),
+        "fig9" => page("fig9", &fig9::run(scale), json),
+        "fig10" => page("fig10", &fig10::run(scale), json),
+        "ablation" => page("ablation", &ablation::run(scale), json),
+        "shadow" => page("shadow", &shadow::run(scale), json),
+        _ => return None,
+    };
+    Some(Ok(rendered))
+}
+
+/// Identity fingerprint of one campaign job: FNV-1a-64 over the
+/// artifact name, output mode, and the [`run_fingerprint`] of every
+/// (scene × variant) render the matrix can touch at this scale — which
+/// folds in the kernel program bytes, the full `GpuConfig` per variant,
+/// the scene identities, the [`Scale`], and the telemetry spec. Any
+/// change to any of those re-keys every job; the content-addressed
+/// cache can therefore never serve a stale result for them.
+pub fn job_fingerprint(artifact: &str, scale: Scale, json: bool) -> u64 {
+    let mut enc = Encoder::new();
+    enc.put_str("usimt-campaign-fp-v1");
+    enc.put_str(artifact);
+    enc.put_bool(json);
+    for scene in raytrace::scenes::all(scale.scene) {
+        for variant in crate::configs::Variant::ALL {
+            enc.put_u64(run_fingerprint(&scene, variant, scale));
+        }
+    }
+    fnv1a64(&enc.into_bytes())
+}
+
+/// Campaign configuration, built by the `repro campaign` argument
+/// parser (or directly by tests and the benchmark harness).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Experiment scale every job runs at.
+    pub scale: Scale,
+    /// Scale name forwarded to workers (`--scale <name>`).
+    pub scale_name: String,
+    /// Render jobs in `--json` mode.
+    pub json: bool,
+    /// Artifacts to run (validated against [`ARTIFACTS`], executed in
+    /// canonical order).
+    pub artifacts: Vec<String>,
+    /// Worker process count.
+    pub workers: usize,
+    /// Coordinator working directory (result shards, heartbeats,
+    /// checkpoints, manifest).
+    pub work_dir: PathBuf,
+    /// Content-addressed result cache directory.
+    pub cache_dir: PathBuf,
+    /// Binary to re-invoke in `__worker` mode (defaults to this
+    /// process's executable — the coordinator *is* `repro`).
+    pub worker_exe: PathBuf,
+    /// Checkpoint interval forwarded to workers (cycles).
+    pub checkpoint_every: u64,
+    /// Worker-process reschedules allowed per job before `GaveUp`
+    /// (a job gets `max_retries + 1` attempts).
+    pub max_retries: u32,
+    /// Per-job wall-clock timeout; a worker past it is SIGKILLed.
+    pub job_timeout: Duration,
+    /// Heartbeat staleness bound; a worker whose heartbeat file stops
+    /// changing for this long is SIGKILLed as wedged.
+    pub heartbeat_timeout: Duration,
+    /// Base reschedule delay; doubles per consumed attempt.
+    pub backoff_base: Duration,
+    /// Reschedule delay cap.
+    pub backoff_cap: Duration,
+    /// Deterministic process-level chaos (kill rate + seed).
+    pub chaos: Option<Chaos>,
+    /// Extra `repro` flags forwarded verbatim to every worker
+    /// (`--json`, `--parallel`, `--trace`, ...).
+    pub passthrough: Vec<String>,
+    /// Test hook: this job's workers abort on every attempt (drives the
+    /// job to `GaveUp` while the rest of the campaign completes).
+    pub test_fail_job: Option<String>,
+    /// Test hook: this job's first worker wedges without heartbeating
+    /// (drives the coordinator's liveness kill + reschedule path).
+    pub test_hang_job: Option<String>,
+}
+
+impl CampaignConfig {
+    /// A full-matrix campaign at `scale` with production defaults.
+    pub fn new(scale: Scale, scale_name: &str) -> Self {
+        let work_dir = PathBuf::from("campaign");
+        CampaignConfig {
+            scale,
+            scale_name: scale_name.to_string(),
+            json: false,
+            artifacts: ARTIFACTS.iter().map(|s| s.to_string()).collect(),
+            workers: 2,
+            cache_dir: work_dir.join("cache"),
+            work_dir,
+            worker_exe: std::env::current_exe().unwrap_or_else(|_| PathBuf::from("repro")),
+            checkpoint_every: 2000,
+            max_retries: 3,
+            job_timeout: Duration::from_secs(3600),
+            heartbeat_timeout: Duration::from_secs(120),
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+            chaos: None,
+            passthrough: Vec::new(),
+            test_fail_job: None,
+            test_hang_job: None,
+        }
+    }
+}
+
+/// A finished campaign: the manifest plus, parallel to
+/// `manifest.jobs`, each job's output bytes (`None` for `GaveUp` /
+/// `Failed`).
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// Per-job supervision records.
+    pub manifest: Manifest,
+    /// Output bytes per job, in `manifest.jobs` order.
+    pub outputs: Vec<Option<Vec<u8>>>,
+}
+
+impl CampaignOutcome {
+    /// True when every job produced output (nothing gave up or failed).
+    pub fn complete(&self) -> bool {
+        self.manifest.gave_up() == 0 && self.manifest.failed() == 0
+    }
+}
+
+/// Coordinator-side record of one job.
+struct Job {
+    name: String,
+    fingerprint: u64,
+    attempts: u32,
+    kills: u32,
+    timeouts: u32,
+    resumed: bool,
+    quarantined: bool,
+    cache_hit: bool,
+    ready_at: Instant,
+    in_flight: bool,
+    last_failure: Option<String>,
+    done: Option<(JobOutcome, Option<Vec<u8>>, Option<String>)>,
+}
+
+/// One live worker process.
+struct Running {
+    child: Child,
+    job: usize,
+    started: Instant,
+    hb_path: PathBuf,
+    out_path: PathBuf,
+    last_hb: Vec<u8>,
+    last_hb_change: Instant,
+}
+
+/// Human description of a worker exit status.
+fn describe_exit(status: ExitStatus) -> String {
+    match status.code() {
+        Some(code) if code == i32::from(crate::supervisor::KILL_EXIT_CODE) => {
+            format!("kill hook exit {code}")
+        }
+        Some(code) => format!("exit code {code}"),
+        None => "killed by signal".to_string(),
+    }
+}
+
+/// Runs a campaign to completion. Every scheduling decision is logged to
+/// stderr; the returned outcome carries the manifest and the per-job
+/// output bytes in canonical order.
+///
+/// # Errors
+///
+/// Returns `Err` only for campaign-level misconfiguration (unknown
+/// artifact names, unusable work directory, unspawnable worker binary).
+/// Job-level trouble — worker deaths, hangs, corrupt cache entries,
+/// deterministic job errors — is supervised and reported per job in the
+/// manifest instead.
+pub fn run(cfg: &CampaignConfig) -> Result<CampaignOutcome, String> {
+    for name in &cfg.artifacts {
+        if !ARTIFACTS.contains(&name.as_str()) {
+            return Err(format!("unknown artifact: {name}"));
+        }
+    }
+    if cfg.workers == 0 {
+        return Err("campaign needs at least one worker".to_string());
+    }
+    let out_dir = cfg.work_dir.join("out");
+    let hb_dir = cfg.work_dir.join("hb");
+    let ckpt_root = cfg.work_dir.join("ckpt");
+    for d in [&cfg.work_dir, &out_dir, &hb_dir, &ckpt_root, &cfg.cache_dir] {
+        std::fs::create_dir_all(d).map_err(|e| format!("cannot create {}: {e}", d.display()))?;
+    }
+
+    // Canonical order; duplicates collapse.
+    let mut jobs: Vec<Job> = ARTIFACTS
+        .iter()
+        .filter(|a| cfg.artifacts.iter().any(|r| r == *a))
+        .map(|a| Job {
+            name: a.to_string(),
+            fingerprint: job_fingerprint(a, cfg.scale, cfg.json),
+            attempts: 0,
+            kills: 0,
+            timeouts: 0,
+            resumed: false,
+            quarantined: false,
+            cache_hit: false,
+            ready_at: Instant::now(),
+            in_flight: false,
+            last_failure: None,
+            done: None,
+        })
+        .collect();
+
+    // Cache pass: hits complete immediately; corrupt entries are
+    // quarantined and fall through to recomputation.
+    for job in &mut jobs {
+        match cache::probe(&cfg.cache_dir, &job.name, job.fingerprint) {
+            cache::Probe::Hit(output) => {
+                eprintln!("campaign: {}: cache hit", job.name);
+                job.cache_hit = true;
+                job.done = Some((JobOutcome::Cached, Some(output), None));
+            }
+            cache::Probe::Quarantined(_) => {
+                eprintln!(
+                    "campaign: {}: corrupt cache entry quarantined; recomputing",
+                    job.name
+                );
+                job.quarantined = true;
+            }
+            cache::Probe::Miss => {}
+        }
+    }
+
+    let mut running: Vec<Running> = Vec::new();
+    while jobs.iter().any(|j| j.done.is_none()) {
+        // Reap finished workers and police liveness.
+        let mut i = 0;
+        while i < running.len() {
+            let now = Instant::now();
+            let r = &mut running[i];
+            match r.child.try_wait() {
+                Ok(Some(status)) => {
+                    let r = running.swap_remove(i);
+                    let job = &mut jobs[r.job];
+                    job.in_flight = false;
+                    if status.success() {
+                        complete_from_frame(cfg, job, &r.out_path, &ckpt_root);
+                    } else {
+                        worker_died(cfg, job, &describe_exit(status), false);
+                    }
+                }
+                Ok(None) => {
+                    if let Ok(hb) = std::fs::read(&r.hb_path) {
+                        if !hb.is_empty() && hb != r.last_hb {
+                            r.last_hb = hb;
+                            r.last_hb_change = now;
+                        }
+                    }
+                    let reason = if now.duration_since(r.started) > cfg.job_timeout {
+                        Some("wall-clock timeout")
+                    } else if now.duration_since(r.last_hb_change) > cfg.heartbeat_timeout {
+                        Some("stale heartbeat")
+                    } else {
+                        None
+                    };
+                    if let Some(why) = reason {
+                        let mut r = running.swap_remove(i);
+                        let _ = r.child.kill();
+                        let _ = r.child.wait();
+                        let job = &mut jobs[r.job];
+                        job.in_flight = false;
+                        worker_died(cfg, job, &format!("SIGKILL after {why}"), true);
+                    } else {
+                        i += 1;
+                    }
+                }
+                Err(e) => {
+                    let mut r = running.swap_remove(i);
+                    let _ = r.child.kill();
+                    let _ = r.child.wait();
+                    let job = &mut jobs[r.job];
+                    job.in_flight = false;
+                    worker_died(cfg, job, &format!("wait failed: {e}"), false);
+                }
+            }
+        }
+        // Fill free worker slots with ready jobs, canonical order first.
+        while running.len() < cfg.workers {
+            let now = Instant::now();
+            let Some(idx) = jobs
+                .iter()
+                .position(|j| j.done.is_none() && !j.in_flight && j.ready_at <= now)
+            else {
+                break;
+            };
+            let r = spawn_attempt(cfg, &mut jobs[idx], idx, &out_dir, &hb_dir, &ckpt_root)?;
+            jobs[idx].in_flight = true;
+            running.push(r);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let records: Vec<JobRecord> = jobs
+        .iter()
+        .map(|j| {
+            let (outcome, _, error) = j.done.as_ref().expect("loop ran every job to done");
+            JobRecord {
+                name: j.name.clone(),
+                fingerprint: j.fingerprint,
+                outcome: outcome.clone(),
+                attempts: j.attempts,
+                kills: j.kills,
+                timeouts: j.timeouts,
+                resumed_from_checkpoint: j.resumed,
+                cache_hit: j.cache_hit,
+                quarantined: j.quarantined,
+                error: error.clone(),
+            }
+        })
+        .collect();
+    let manifest = Manifest {
+        scale: cfg.scale_name.clone(),
+        workers: cfg.workers,
+        chaos_kill_every: cfg.chaos.map(|c| c.kill_every),
+        seed: cfg.chaos.map(|c| c.seed).unwrap_or(0),
+        jobs: records,
+    };
+    let manifest_path = cfg.work_dir.join("manifest.json");
+    if let Err(e) = simt_sim::write_atomic(&manifest_path, manifest.to_json().as_bytes()) {
+        eprintln!(
+            "warning: campaign: cannot write {}: {e}",
+            manifest_path.display()
+        );
+    } else {
+        eprintln!("campaign: manifest written to {}", manifest_path.display());
+    }
+    let outputs = jobs
+        .into_iter()
+        .map(|j| j.done.expect("loop ran every job to done").1)
+        .collect();
+    Ok(CampaignOutcome { manifest, outputs })
+}
+
+/// Finishes a job from the result frame its worker committed. A frame
+/// that is unreadable, corrupt, or stamped with the wrong identity is
+/// treated as a worker failure (the attempt is retried); a frame
+/// carrying a job-level error finishes the job as `Failed` without
+/// burning retries — the error is deterministic.
+fn complete_from_frame(
+    cfg: &CampaignConfig,
+    job: &mut Job,
+    out_path: &std::path::Path,
+    ckpt_root: &std::path::Path,
+) {
+    let verdict = std::fs::read(out_path)
+        .map_err(|e| format!("result frame unreadable: {e}"))
+        .and_then(|bytes| cache::open_result(&bytes));
+    match verdict {
+        Ok((meta, output)) if meta.artifact == job.name && meta.fingerprint == job.fingerprint => {
+            if meta.ok {
+                if let Err(e) = cache::store(&cfg.cache_dir, &job.name, job.fingerprint, &output) {
+                    eprintln!("warning: campaign: {}: cache store failed: {e}", job.name);
+                }
+                let outcome = if job.attempts > 0 {
+                    JobOutcome::Resumed(job.attempts)
+                } else {
+                    JobOutcome::Completed
+                };
+                eprintln!("campaign: {}: {}", job.name, outcome);
+                job.done = Some((outcome, Some(output), None));
+            } else {
+                eprintln!("campaign: {}: job-level error: {}", job.name, meta.error);
+                job.done = Some((JobOutcome::Failed, None, Some(meta.error)));
+            }
+            let _ = std::fs::remove_dir_all(ckpt_root.join(&job.name));
+        }
+        Ok((meta, _)) => worker_died(
+            cfg,
+            job,
+            &format!(
+                "result frame stamped {}/{:#018x}, expected {}/{:#018x}",
+                meta.artifact, meta.fingerprint, job.name, job.fingerprint
+            ),
+            false,
+        ),
+        Err(e) => worker_died(cfg, job, &format!("exited 0 but {e}"), false),
+    }
+}
+
+/// Consumes one attempt after a worker death/hang: reschedules with
+/// exponential backoff under the retry budget, or finishes the job as
+/// `GaveUp` — the campaign itself keeps going either way.
+fn worker_died(cfg: &CampaignConfig, job: &mut Job, reason: &str, timeout: bool) {
+    job.kills += 1;
+    if timeout {
+        job.timeouts += 1;
+    }
+    job.attempts += 1;
+    job.last_failure = Some(reason.to_string());
+    if job.attempts > cfg.max_retries {
+        let error = format!(
+            "gave up after {} attempt(s); last failure: {reason}",
+            job.attempts
+        );
+        eprintln!("campaign: {}: {error}", job.name);
+        job.done = Some((JobOutcome::GaveUp, None, Some(error)));
+        return;
+    }
+    let backoff = cfg
+        .backoff_base
+        .checked_mul(1u32.checked_shl(job.attempts - 1).unwrap_or(u32::MAX))
+        .unwrap_or(cfg.backoff_cap)
+        .min(cfg.backoff_cap);
+    job.ready_at = Instant::now() + backoff;
+    eprintln!(
+        "campaign: {}: worker died ({reason}); retry {}/{} in {:?}",
+        job.name, job.attempts, cfg.max_retries, backoff
+    );
+}
+
+/// Spawns one worker attempt for `job`, wiring its heartbeat, result
+/// shard, checkpoint directory, chaos plan, and test hooks.
+fn spawn_attempt(
+    cfg: &CampaignConfig,
+    job: &mut Job,
+    idx: usize,
+    out_dir: &std::path::Path,
+    hb_dir: &std::path::Path,
+    ckpt_root: &std::path::Path,
+) -> Result<Running, String> {
+    let out_path = out_dir.join(format!("{}.result", job.name));
+    let hb_path = hb_dir.join(format!("{}.hb", job.name));
+    let ckpt_dir = ckpt_root.join(&job.name);
+    let _ = std::fs::remove_file(&out_path);
+    let _ = std::fs::remove_file(&hb_path);
+    if job.attempts > 0 {
+        // A checkpoint left by the killed attempt means the retry resumes
+        // mid-job instead of restarting from cycle 0.
+        let has_ckpt = std::fs::read_dir(&ckpt_dir)
+            .map(|mut d| d.next().is_some())
+            .unwrap_or(false);
+        if has_ckpt {
+            job.resumed = true;
+            eprintln!(
+                "campaign: {}: attempt {} will resume from checkpoint",
+                job.name,
+                job.attempts + 1
+            );
+        }
+    }
+    let mut cmd = Command::new(&cfg.worker_exe);
+    cmd.arg("__worker")
+        .arg(&job.name)
+        .arg("--worker-out")
+        .arg(&out_path)
+        .arg("--worker-heartbeat")
+        .arg(&hb_path)
+        .arg("--worker-fingerprint")
+        .arg(format!("{:016x}", job.fingerprint))
+        .arg("--checkpoint-every")
+        .arg(cfg.checkpoint_every.to_string())
+        .arg("--checkpoint-dir")
+        .arg(&ckpt_dir)
+        .arg("--resume")
+        .arg("--scale")
+        .arg(&cfg.scale_name)
+        .args(&cfg.passthrough)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null());
+    if let Some(chaos) = cfg.chaos {
+        if let Some(after) = chaos.kill_plan(&job.name, job.attempts, cfg.max_retries) {
+            eprintln!(
+                "campaign: {}: chaos will abort attempt {} after {after} checkpoint write(s)",
+                job.name,
+                job.attempts + 1
+            );
+            cmd.arg("--kill-after-checkpoints")
+                .arg(after.to_string())
+                .arg("--chaos-abort");
+        }
+    }
+    if cfg.test_fail_job.as_deref() == Some(job.name.as_str()) {
+        cmd.arg("--worker-test-fail");
+    }
+    if cfg.test_hang_job.as_deref() == Some(job.name.as_str()) && job.attempts == 0 {
+        cmd.arg("--worker-test-hang");
+    }
+    let child = cmd.spawn().map_err(|e| {
+        format!(
+            "cannot spawn worker {} for {}: {e}",
+            cfg.worker_exe.display(),
+            job.name
+        )
+    })?;
+    eprintln!(
+        "campaign: {}: attempt {} started (worker pid {}, slot {idx})",
+        job.name,
+        job.attempts + 1,
+        child.id()
+    );
+    let now = Instant::now();
+    Ok(Running {
+        child,
+        job: idx,
+        started: now,
+        hb_path,
+        out_path,
+        last_hb: Vec::new(),
+        last_hb_change: now,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_fingerprint_keys_on_artifact_scale_and_mode() {
+        let base = job_fingerprint("fig3", Scale::test(), false);
+        assert_eq!(base, job_fingerprint("fig3", Scale::test(), false));
+        assert_ne!(base, job_fingerprint("fig7", Scale::test(), false));
+        assert_ne!(base, job_fingerprint("fig3", Scale::quick(), false));
+        assert_ne!(base, job_fingerprint("fig3", Scale::test(), true));
+    }
+
+    #[test]
+    fn rendered_artifacts_match_known_set() {
+        // Every canonical artifact renders (at the cheapest scale the
+        // static ones allow); unknown names are rejected.
+        assert!(render_artifact("table1", Scale::test(), false)
+            .expect("known")
+            .is_ok());
+        assert!(render_artifact("nope", Scale::test(), false).is_none());
+        let json = render_artifact("table1", Scale::test(), true)
+            .expect("known")
+            .expect("renders");
+        assert!(json.starts_with("{\"artifact\":\"table1\""));
+        assert!(json.ends_with("\"}\n"));
+    }
+
+    #[test]
+    fn unknown_artifact_fails_fast() {
+        let mut cfg = CampaignConfig::new(Scale::test(), "test");
+        cfg.artifacts = vec!["bogus".to_string()];
+        assert!(run(&cfg).is_err());
+    }
+}

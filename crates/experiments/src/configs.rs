@@ -114,15 +114,10 @@ impl fmt::Display for Variant {
     }
 }
 
-/// Builds the simulated GPU for a variant (paper Table I machine), with
-/// the process-wide parallelism and telemetry settings applied.
-pub fn gpu_for(variant: Variant) -> Gpu {
-    gpu_for_with(variant, telemetry_spec())
-}
-
-/// [`gpu_for`] with an explicit telemetry configuration (the benchmark
-/// harness uses this to compare telemetry-off against telemetry-on).
-pub fn gpu_for_with(variant: Variant, telemetry: TelemetrySpec) -> Gpu {
+/// The machine configuration for a variant (paper Table I machine).
+/// Separated from [`gpu_for`] so job-identity fingerprints can digest
+/// the configuration without building a machine.
+pub fn config_for(variant: Variant) -> GpuConfig {
     let mut cfg = match variant {
         Variant::PdomBlock => GpuConfig::fx5800(),
         Variant::PdomWarp | Variant::PdomWarpIdeal => GpuConfig::fx5800_warp_sched(),
@@ -135,7 +130,19 @@ pub fn gpu_for_with(variant: Variant, telemetry: TelemetrySpec) -> Gpu {
         Variant::DynamicConflicts => cfg.mem.spawn_bank_conflicts = true,
         _ => {}
     }
-    Gpu::builder(cfg)
+    cfg
+}
+
+/// Builds the simulated GPU for a variant (paper Table I machine), with
+/// the process-wide parallelism and telemetry settings applied.
+pub fn gpu_for(variant: Variant) -> Gpu {
+    gpu_for_with(variant, telemetry_spec())
+}
+
+/// [`gpu_for`] with an explicit telemetry configuration (the benchmark
+/// harness uses this to compare telemetry-off against telemetry-on).
+pub fn gpu_for_with(variant: Variant, telemetry: TelemetrySpec) -> Gpu {
+    Gpu::builder(config_for(variant))
         .parallelism(parallelism())
         .telemetry(telemetry)
         .build()

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod campaign;
 pub mod configs;
 pub mod fig10;
 pub mod fig2;
@@ -44,8 +45,8 @@ pub mod table3;
 pub mod table4;
 
 pub use configs::{
-    gpu_for, gpu_for_with, metrics_every, parallelism, set_metrics_every, set_parallelism,
-    set_trace, telemetry_spec, trace, Variant,
+    config_for, gpu_for, gpu_for_with, metrics_every, parallelism, set_metrics_every,
+    set_parallelism, set_trace, telemetry_spec, trace, Variant,
 };
-pub use runner::{RenderRun, Scale};
+pub use runner::{run_fingerprint, RenderRun, Scale};
 pub use supervisor::{JobStatus, Policy};

@@ -5,7 +5,7 @@ use crate::supervisor::{self, JobStatus};
 use raytrace::scenes::{Scene, SceneScale};
 use rt_kernels::render::RenderSetup;
 use serde::{Deserialize, Serialize};
-use simt_isa::codec::{Decoder, Encoder};
+use simt_isa::codec::{fnv1a64, Decoder, Encoder};
 use simt_sim::{ChromeTraceSink, CsvMetricsSink, Gpu, RunSummary, TelemetryReport, TraceSink};
 use std::fmt;
 
@@ -110,11 +110,51 @@ impl fmt::Display for FaultHealth {
     }
 }
 
+/// Deterministic identity of one render-run, for checkpoint/result-cache
+/// keying: FNV-1a-64 over the kernel program bytes, the scene (name and
+/// triangle-count scale), the full [`simt_sim::GpuConfig`], the
+/// [`Scale`], and the active telemetry spec. Two runs share a
+/// fingerprint exactly when they are guaranteed to produce bit-identical
+/// results, so a checkpoint or cached result stamped with a different
+/// fingerprint must never be trusted for this run.
+pub fn run_fingerprint(scene: &Scene, variant: Variant, scale: Scale) -> u64 {
+    let mut enc = Encoder::new();
+    enc.put_str("usimt-run-fp-v1");
+    enc.put_str(scene.name);
+    enc.put_str(&format!("{variant:?}"));
+    enc.put_u32(scale.resolution);
+    enc.put_u64(scale.cycles);
+    enc.put_u32(scale.threads_per_block);
+    enc.put_u8(match scale.scene {
+        SceneScale::Tiny => 0,
+        SceneScale::Small => 1,
+        SceneScale::Full => 2,
+    });
+    let spec = configs::telemetry_spec();
+    enc.put_bool(spec.metrics);
+    enc.put_bool(spec.trace);
+    enc.put_u64(spec.metrics_window);
+    enc.put_u64(simt_sim::config_digest(&configs::config_for(variant)));
+    let program = if variant.is_dynamic() {
+        rt_kernels::ukernel::program()
+    } else {
+        rt_kernels::traditional::program()
+    };
+    let digest = simt_sim::program_digest(&program).expect("embedded kernels encode losslessly");
+    enc.put_u64(digest);
+    fnv1a64(&enc.into_bytes())
+}
+
 /// Phase bookkeeping stored in each snapshot's meta section so a resumed
 /// job can rebuild the warm-up/steady-state split of
-/// [`RenderRun::execute`] without re-running the warm-up.
+/// [`RenderRun::execute`] without re-running the warm-up. The
+/// [`run_fingerprint`] rides along so a resume rejects snapshots taken
+/// by a different job identity (other scene/variant/scale/config or
+/// changed kernel bytes) instead of silently continuing the wrong run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PhaseMeta {
+    /// Identity of the run this snapshot belongs to.
+    fingerprint: u64,
     /// 0 = warm-up, 1 = steady-state measurement.
     phase: u32,
     /// Absolute end cycle of the current phase.
@@ -128,6 +168,7 @@ struct PhaseMeta {
 impl PhaseMeta {
     fn encode(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
+        enc.put_u64(self.fingerprint);
         enc.put_u32(self.phase);
         enc.put_u64(self.target);
         enc.put_u64(self.warm_cycle);
@@ -138,6 +179,7 @@ impl PhaseMeta {
     fn decode(bytes: &[u8]) -> Option<PhaseMeta> {
         let mut dec = Decoder::new(bytes);
         let meta = PhaseMeta {
+            fingerprint: dec.take_u64().ok()?,
             phase: dec.take_u32().ok()?,
             target: dec.take_u64().ok()?,
             warm_cycle: dec.take_u64().ok()?,
@@ -149,13 +191,22 @@ impl PhaseMeta {
 
 /// Rebuilds `(machine, phase bookkeeping)` from the job's on-disk
 /// snapshot when `--resume` is active and the snapshot is usable.
-/// Unusable snapshots are reported and discarded: the job restarts.
-fn resume_state(job: &str) -> Option<(Gpu, PhaseMeta)> {
+/// Unusable snapshots — including one stamped with a different job
+/// fingerprint — are reported and discarded: the job restarts.
+fn resume_state(job: &str, fingerprint: u64) -> Option<(Gpu, PhaseMeta)> {
     let snap = supervisor::try_resume(job)?;
     let Some(meta) = PhaseMeta::decode(snap.meta()) else {
         eprintln!("warning: {job}: snapshot has unusable phase metadata; restarting");
         return None;
     };
+    if meta.fingerprint != fingerprint {
+        eprintln!(
+            "warning: {job}: snapshot belongs to a different job identity \
+             ({:#018x}, expected {:#018x}); restarting",
+            meta.fingerprint, fingerprint
+        );
+        return None;
+    }
     match Gpu::restore(&snap) {
         Ok(gpu) => {
             let gpu = gpu.with_parallelism(parallelism());
@@ -225,7 +276,8 @@ impl RenderRun {
     /// on-disk snapshot, bit-identical to an uninterrupted run.
     pub fn execute(scene: &Scene, variant: Variant, scale: Scale) -> RenderRun {
         let job = format!("{}-{:?}-{}", scene.name, variant, scale.resolution);
-        let resumed = resume_state(&job);
+        let fingerprint = run_fingerprint(scene, variant, scale);
+        let resumed = resume_state(&job, fingerprint);
         let mut interventions = u32::from(resumed.is_some());
         let mut gave_up = false;
         let (mut gpu, mut meta) = match resumed {
@@ -240,6 +292,7 @@ impl RenderRun {
                     setup.launch_traditional(&mut gpu, scale.threads_per_block);
                 }
                 let meta = PhaseMeta {
+                    fingerprint,
                     phase: 0,
                     target: gpu.now() + scale.cycles,
                     warm_cycle: 0,
@@ -253,6 +306,7 @@ impl RenderRun {
             interventions += warm.interventions;
             gave_up |= warm.gave_up;
             meta = PhaseMeta {
+                fingerprint,
                 phase: 1,
                 target: gpu.now() + scale.cycles,
                 warm_cycle: gpu.now(),
@@ -346,6 +400,33 @@ mod tests {
         assert_eq!(Scale::parse("quick"), Some(Scale::quick()));
         assert_eq!(Scale::parse("test"), Some(Scale::test()));
         assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn run_fingerprint_separates_job_identities() {
+        let conference = scenes::conference(SceneScale::Tiny);
+        let atrium = scenes::atrium(SceneScale::Tiny);
+        let base = run_fingerprint(&conference, Variant::Dynamic, Scale::test());
+        assert_eq!(
+            base,
+            run_fingerprint(&conference, Variant::Dynamic, Scale::test()),
+            "fingerprint is deterministic"
+        );
+        assert_ne!(
+            base,
+            run_fingerprint(&atrium, Variant::Dynamic, Scale::test()),
+            "scene must re-key"
+        );
+        assert_ne!(
+            base,
+            run_fingerprint(&conference, Variant::PdomWarp, Scale::test()),
+            "variant (config + program family) must re-key"
+        );
+        assert_ne!(
+            base,
+            run_fingerprint(&conference, Variant::Dynamic, Scale::quick()),
+            "scale must re-key"
+        );
     }
 
     #[test]

@@ -53,6 +53,11 @@ pub struct Policy {
     /// many on-disk snapshot writes, simulating a mid-campaign kill at a
     /// deterministic point.
     pub kill_after_checkpoints: Option<u64>,
+    /// Chaos variant of the kill hook: when set, the hook dies by
+    /// [`std::process::abort`] (an uncatchable, signal-style death)
+    /// instead of the orderly exit-42, so the campaign coordinator's
+    /// worker supervision sees a genuine process kill mid-job.
+    pub chaos_abort: bool,
 }
 
 impl Default for Policy {
@@ -63,6 +68,7 @@ impl Default for Policy {
             resume: false,
             max_retries: 3,
             kill_after_checkpoints: None,
+            chaos_abort: false,
         }
     }
 }
@@ -79,18 +85,24 @@ static POLICY: Mutex<Option<Policy>> = Mutex::new(None);
 /// Count of on-disk snapshot writes, for the kill test hook.
 static DISK_WRITES: AtomicU64 = AtomicU64::new(0);
 
+/// Locks the policy slot, recovering from poison. The policy is plain
+/// data with no invariants spanning the critical section, so a campaign
+/// worker that panicked mid-job while holding the lock must not cascade
+/// into poisoned-lock aborts on every subsequent job in the process.
+fn policy_slot() -> std::sync::MutexGuard<'static, Option<Policy>> {
+    POLICY
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Installs the process-wide supervisor policy.
 pub fn set_policy(policy: Policy) {
-    *POLICY.lock().expect("supervisor policy lock") = Some(policy);
+    *policy_slot() = Some(policy);
 }
 
 /// The current supervisor policy (defaults when none was installed).
 pub fn policy() -> Policy {
-    POLICY
-        .lock()
-        .expect("supervisor policy lock")
-        .clone()
-        .unwrap_or_default()
+    policy_slot().clone().unwrap_or_default()
 }
 
 /// Final supervision status of one job.
@@ -162,10 +174,20 @@ fn persist(job: &str, snap: &Snapshot, pol: &Policy) {
     if let Some(kill_after) = pol.kill_after_checkpoints {
         if written >= kill_after {
             eprintln!(
-                "supervisor: kill hook: exiting after {written} checkpoint write(s) \
+                "supervisor: kill hook: {} after {written} checkpoint write(s) \
                  (last: {})",
+                if pol.chaos_abort {
+                    "aborting"
+                } else {
+                    "exiting"
+                },
                 path.display()
             );
+            if pol.chaos_abort {
+                // Die the way a SIGKILLed worker dies: no unwinding, no
+                // exit code — the parent sees death by signal.
+                std::process::abort();
+            }
             std::process::exit(i32::from(KILL_EXIT_CODE));
         }
     }
@@ -392,6 +414,21 @@ mod tests {
         })
         .expect("launch accepted");
         gpu
+    }
+
+    #[test]
+    fn policy_lock_recovers_from_poison() {
+        // A job that panics while holding the policy lock poisons it;
+        // later jobs in the same campaign worker must keep working.
+        let _ = std::thread::spawn(|| {
+            let _guard = POLICY
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            panic!("deliberate poison");
+        })
+        .join();
+        set_policy(Policy::default());
+        assert_eq!(policy().max_retries, Policy::default().max_retries);
     }
 
     #[test]

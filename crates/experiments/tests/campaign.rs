@@ -1,0 +1,310 @@
+//! End-to-end tests of the `repro campaign` coordinator/worker protocol:
+//! a campaign's stdout must be byte-identical to the serial runs of the
+//! same artifacts whether it was computed by sharded workers, replayed
+//! from the result cache, recomputed after cache corruption, or
+//! chaos-killed mid-job and resumed from checkpoints — and a job that
+//! exhausts its retry budget must be reported `GaveUp` in the manifest
+//! without taking the rest of the campaign down.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const REPRO: &str = env!("CARGO_BIN_EXE_repro");
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("campaign-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("temp dir");
+    d
+}
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(REPRO)
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+/// Serial reference bytes for `artifacts`: each rendered alone at test
+/// scale, stdout concatenated in the given order.
+fn serial_bytes(artifacts: &[&str]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for artifact in artifacts {
+        let out = repro(&[artifact, "--scale", "test"]);
+        assert!(out.status.success(), "serial {artifact} run succeeds");
+        bytes.extend_from_slice(&out.stdout);
+    }
+    bytes
+}
+
+fn manifest(dir: &Path) -> String {
+    std::fs::read_to_string(dir.join("manifest.json")).expect("campaign wrote its manifest")
+}
+
+#[test]
+fn sharded_campaign_matches_serial_and_round_trips_through_cache() {
+    let dir = temp_dir("shard");
+    let dir_s = dir.to_str().expect("utf-8 temp path");
+    let want = serial_bytes(&["table3", "fig3"]);
+
+    // Cold: computed by two worker processes.
+    let cold = repro(&[
+        "campaign",
+        "--scale",
+        "test",
+        "--workers",
+        "2",
+        "--only",
+        "table3,fig3",
+        "--campaign-dir",
+        dir_s,
+    ]);
+    assert!(cold.status.success(), "cold campaign succeeds");
+    assert_eq!(cold.stdout, want, "sharded bytes == serial bytes");
+    let m = manifest(&dir);
+    assert!(
+        m.contains("\"outcome\": \"completed\""),
+        "computed, not cached: {m}"
+    );
+
+    // Warm: served entirely from the content-addressed cache.
+    let warm = repro(&[
+        "campaign",
+        "--scale",
+        "test",
+        "--workers",
+        "2",
+        "--only",
+        "table3,fig3",
+        "--campaign-dir",
+        dir_s,
+    ]);
+    assert!(warm.status.success(), "warm campaign succeeds");
+    assert_eq!(warm.stdout, want, "cached bytes == serial bytes");
+    let m = manifest(&dir);
+    assert_eq!(
+        m.matches("\"outcome\": \"cached\"").count(),
+        2,
+        "both jobs served from cache: {m}"
+    );
+
+    // A different output mode must re-key, not reuse, the cache.
+    let json = repro(&[
+        "campaign",
+        "--scale",
+        "test",
+        "--workers",
+        "2",
+        "--only",
+        "table3",
+        "--campaign-dir",
+        dir_s,
+        "--json",
+    ]);
+    assert!(json.status.success(), "json campaign succeeds");
+    let json_serial = repro(&["table3", "--scale", "test", "--json"]);
+    assert_eq!(
+        json.stdout, json_serial.stdout,
+        "json campaign == json serial"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_entries_are_quarantined_and_recomputed() {
+    let dir = temp_dir("corrupt");
+    let dir_s = dir.to_str().expect("utf-8 temp path");
+    let want = serial_bytes(&["table3"]);
+    let args = [
+        "campaign",
+        "--scale",
+        "test",
+        "--workers",
+        "1",
+        "--only",
+        "table3",
+        "--campaign-dir",
+        dir_s,
+    ];
+    assert!(repro(&args).status.success(), "seed campaign succeeds");
+
+    let cache = dir.join("cache");
+    let entry = std::fs::read_dir(&cache)
+        .expect("cache dir exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "result"))
+        .expect("cache holds the table3 entry");
+
+    // Bit-flip: the checksum must catch it; the entry must be moved
+    // aside (not deleted) and the job recomputed to identical bytes.
+    let mut bytes = std::fs::read(&entry).expect("entry readable");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&entry, &bytes).expect("entry writable");
+    let rerun = repro(&args);
+    assert!(rerun.status.success(), "campaign recovers from bit flip");
+    assert_eq!(rerun.stdout, want, "recomputed bytes == serial bytes");
+    let m = manifest(&dir);
+    assert!(
+        m.contains("\"quarantined\": true"),
+        "quarantine recorded: {m}"
+    );
+    assert!(
+        m.contains("\"outcome\": \"completed\""),
+        "recomputed, not served: {m}"
+    );
+    let quarantined: Vec<_> = std::fs::read_dir(&cache)
+        .expect("cache dir exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "quarantined"))
+        .collect();
+    assert_eq!(quarantined.len(), 1, "corrupt entry kept for post-mortem");
+
+    // Truncation: same contract.
+    let bytes = std::fs::read(&entry).expect("recomputed entry readable");
+    std::fs::write(&entry, &bytes[..bytes.len() - 5]).expect("entry writable");
+    let rerun = repro(&args);
+    assert!(rerun.status.success(), "campaign recovers from truncation");
+    assert_eq!(rerun.stdout, want, "recomputed bytes == serial bytes");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_kills_are_survived_via_checkpoint_resume() {
+    let dir = temp_dir("chaos");
+    let dir_s = dir.to_str().expect("utf-8 temp path");
+    let want = serial_bytes(&["fig9"]);
+
+    // kill-every 1: every attempt under the retry budget is aborted by
+    // the in-worker kill hook after a few checkpoint writes; retries
+    // resume from the dead worker's checkpoint and must still converge
+    // to the serial bytes.
+    let out = repro(&[
+        "campaign",
+        "--scale",
+        "test",
+        "--workers",
+        "1",
+        "--only",
+        "fig9",
+        "--campaign-dir",
+        dir_s,
+        "--chaos-kill-every",
+        "1",
+        "--seed",
+        "7",
+        "--checkpoint-every",
+        "500",
+    ]);
+    assert!(out.status.success(), "chaos campaign converges");
+    assert_eq!(out.stdout, want, "post-chaos bytes == serial bytes");
+    let m = manifest(&dir);
+    assert!(
+        m.contains("\"outcome\": \"resumed\""),
+        "job survived kills: {m}"
+    );
+    assert!(
+        m.contains("\"resumed_from_checkpoint\": true"),
+        "resume recorded: {m}"
+    );
+    assert!(
+        !m.contains("\"kills\": 0,"),
+        "at least one kill observed: {m}"
+    );
+    assert!(
+        m.contains("\"chaos_kill_every\": 1"),
+        "chaos settings recorded: {m}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hung_worker_is_killed_by_liveness_and_rescheduled() {
+    let dir = temp_dir("hang");
+    let dir_s = dir.to_str().expect("utf-8 temp path");
+    let want = serial_bytes(&["table3"]);
+
+    // The first attempt wedges without heartbeating; the coordinator
+    // must SIGKILL it on heartbeat staleness and the retry must finish.
+    let out = repro(&[
+        "campaign",
+        "--scale",
+        "test",
+        "--workers",
+        "1",
+        "--only",
+        "table3",
+        "--campaign-dir",
+        dir_s,
+        "--chaos-hang-job",
+        "table3",
+        "--heartbeat-timeout-secs",
+        "1",
+    ]);
+    assert!(out.status.success(), "campaign recovers from the hang");
+    assert_eq!(out.stdout, want, "post-hang bytes == serial bytes");
+    let m = manifest(&dir);
+    assert!(
+        m.contains("\"timeouts\": 1"),
+        "coordinator kill recorded: {m}"
+    );
+    assert!(
+        m.contains("\"outcome\": \"resumed\""),
+        "rescheduled to done: {m}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_retries_gave_up_without_aborting_the_campaign() {
+    let dir = temp_dir("gaveup");
+    let dir_s = dir.to_str().expect("utf-8 temp path");
+    let want = serial_bytes(&["table3"]);
+
+    // table1's workers abort on every attempt; with --retries 1 it burns
+    // its budget and must be reported GaveUp while table3 completes.
+    let out = repro(&[
+        "campaign",
+        "--scale",
+        "test",
+        "--workers",
+        "2",
+        "--only",
+        "table1,table3",
+        "--campaign-dir",
+        dir_s,
+        "--chaos-fail-job",
+        "table1",
+        "--retries",
+        "1",
+    ]);
+    assert!(
+        !out.status.success(),
+        "a GaveUp job fails the campaign exit code"
+    );
+    assert_eq!(
+        out.stdout, want,
+        "the surviving job's bytes == serial bytes"
+    );
+    let m = manifest(&dir);
+    assert!(
+        m.contains("\"outcome\": \"gave-up\""),
+        "GaveUp recorded: {m}"
+    );
+    assert!(
+        m.contains("\"outcome\": \"completed\""),
+        "other job completed: {m}"
+    );
+    assert!(
+        m.contains("\"gave_up\": 1"),
+        "summary counts the casualty: {m}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -32,6 +32,16 @@
 //! bit-flipped files before any of the payload is interpreted. The `meta`
 //! section carries caller state (the experiment supervisor stores its job
 //! progress there) and is not interpreted by this module.
+//!
+//! The same `magic / version / meta / payload / FNV-1a-64` frame is
+//! exposed generically as [`seal_frame`] / [`open_frame`] so other
+//! durable artifacts (the campaign result cache in
+//! `experiments::campaign`) share one checksummed container and one set
+//! of corruption-rejection tests instead of inventing parallel formats.
+//! [`write_atomic`] is the matching durability primitive: temp-file
+//! write, `fsync`, atomic rename, and (where supported) a directory
+//! `fsync`, so a process killed at any instant can never leave a
+//! torn-but-renamed file behind.
 
 use crate::config::{GpuConfig, SchedulingModel, SpawnPolicy};
 use crate::fault::FaultPolicy;
@@ -160,17 +170,7 @@ impl Snapshot {
 
     /// Serializes the snapshot to the versioned, checksummed file format.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut enc = Encoder::new();
-        enc.put_u32(SNAPSHOT_VERSION);
-        enc.put_bytes(&self.meta);
-        enc.put_bytes(&self.payload);
-        let body = enc.into_bytes();
-        let mut bytes = Vec::with_capacity(SNAPSHOT_MAGIC.len() + body.len() + 8);
-        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
-        bytes.extend_from_slice(&body);
-        let checksum = fnv1a64(&bytes);
-        bytes.extend_from_slice(&checksum.to_le_bytes());
-        bytes
+        seal_frame(&SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &self.meta, &self.payload)
     }
 
     /// Parses a snapshot file, verifying magic, version, and checksum
@@ -181,54 +181,20 @@ impl Snapshot {
     /// Returns a [`RestoreError`] on bad magic, an unsupported version, a
     /// checksum mismatch (truncation, bit flips), or a malformed frame.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, RestoreError> {
-        if bytes.len() < SNAPSHOT_MAGIC.len() || !bytes.starts_with(&SNAPSHOT_MAGIC) {
-            return Err(RestoreError::BadMagic);
-        }
-        let Some(body_len) = bytes.len().checked_sub(8) else {
-            return Err(RestoreError::BadMagic);
-        };
-        if body_len < SNAPSHOT_MAGIC.len() + 4 {
-            return Err(RestoreError::Codec(CodecError::UnexpectedEof {
-                needed: SNAPSHOT_MAGIC.len() + 4 + 8,
-                remaining: bytes.len(),
-            }));
-        }
-        let mut expected = [0u8; 8];
-        expected.copy_from_slice(&bytes[body_len..]);
-        let expected = u64::from_le_bytes(expected);
-        let actual = fnv1a64(&bytes[..body_len]);
-        if expected != actual {
-            return Err(RestoreError::ChecksumMismatch { expected, actual });
-        }
-        let mut dec = Decoder::new(&bytes[SNAPSHOT_MAGIC.len()..body_len]);
-        let version = dec.take_u32()?;
-        if version != SNAPSHOT_VERSION {
-            return Err(RestoreError::UnsupportedVersion(version));
-        }
-        let meta = dec.take_bytes()?;
-        let payload = dec.take_bytes()?;
-        if !dec.is_finished() {
-            return Err(RestoreError::Invalid(format!(
-                "{} trailing bytes after the payload",
-                dec.remaining()
-            )));
-        }
+        let (meta, payload) = open_frame(&SNAPSHOT_MAGIC, SNAPSHOT_VERSION, bytes)?;
         Ok(Snapshot { payload, meta })
     }
 
-    /// Writes the snapshot to `path` atomically: the bytes land in a
-    /// `.tmp` sibling first and are renamed into place, so a crash
-    /// mid-write never leaves a torn file at `path`.
+    /// Writes the snapshot to `path` atomically and durably (temp file,
+    /// `fsync`, rename, directory `fsync` — see [`write_atomic`]), so a
+    /// process killed at any instant can never leave a torn snapshot for
+    /// a later resume to trust.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors from the write or the rename.
+    /// Propagates filesystem errors from the write, syncs, or the rename.
     pub fn write_to(&self, path: &Path) -> io::Result<()> {
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = std::path::PathBuf::from(tmp);
-        fs::write(&tmp, self.to_bytes())?;
-        fs::rename(&tmp, path)
+        write_atomic(path, &self.to_bytes())
     }
 
     /// Reads and verifies a snapshot from `path`.
@@ -240,6 +206,127 @@ impl Snapshot {
     pub fn read_from(path: &Path) -> Result<Self, RestoreError> {
         Self::from_bytes(&fs::read(path)?)
     }
+}
+
+/// Seals `meta` + `payload` into the checksummed snapshot frame under a
+/// caller-chosen 8-byte magic and version. The result is accepted only
+/// by [`open_frame`] with the same magic and version; every truncation
+/// and bit flip is rejected by the trailing FNV-1a-64 checksum.
+pub fn seal_frame(magic: &[u8; 8], version: u32, meta: &[u8], payload: &[u8]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u32(version);
+    enc.put_bytes(meta);
+    enc.put_bytes(payload);
+    let body = enc.into_bytes();
+    let mut bytes = Vec::with_capacity(magic.len() + body.len() + 8);
+    bytes.extend_from_slice(magic);
+    bytes.extend_from_slice(&body);
+    let checksum = fnv1a64(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+/// Opens a frame written by [`seal_frame`], verifying magic, version,
+/// and checksum before interpreting any content, and returns
+/// `(meta, payload)`.
+///
+/// # Errors
+///
+/// Returns a [`RestoreError`] on bad magic, a version other than
+/// `version`, a checksum mismatch (truncation, bit flips), or a
+/// malformed frame.
+pub fn open_frame(
+    magic: &[u8; 8],
+    version: u32,
+    bytes: &[u8],
+) -> Result<(Vec<u8>, Vec<u8>), RestoreError> {
+    if bytes.len() < magic.len() || !bytes.starts_with(magic) {
+        return Err(RestoreError::BadMagic);
+    }
+    let Some(body_len) = bytes.len().checked_sub(8) else {
+        return Err(RestoreError::BadMagic);
+    };
+    if body_len < magic.len() + 4 {
+        return Err(RestoreError::Codec(CodecError::UnexpectedEof {
+            needed: magic.len() + 4 + 8,
+            remaining: bytes.len(),
+        }));
+    }
+    let mut expected = [0u8; 8];
+    expected.copy_from_slice(&bytes[body_len..]);
+    let expected = u64::from_le_bytes(expected);
+    let actual = fnv1a64(&bytes[..body_len]);
+    if expected != actual {
+        return Err(RestoreError::ChecksumMismatch { expected, actual });
+    }
+    let mut dec = Decoder::new(&bytes[magic.len()..body_len]);
+    let got_version = dec.take_u32()?;
+    if got_version != version {
+        return Err(RestoreError::UnsupportedVersion(got_version));
+    }
+    let meta = dec.take_bytes()?;
+    let payload = dec.take_bytes()?;
+    if !dec.is_finished() {
+        return Err(RestoreError::Invalid(format!(
+            "{} trailing bytes after the payload",
+            dec.remaining()
+        )));
+    }
+    Ok((meta, payload))
+}
+
+/// Writes `bytes` to `path` atomically and durably: the bytes land in a
+/// `.tmp` sibling, are `fsync`ed *before* the atomic rename, and the
+/// containing directory is `fsync`ed after it (on Unix). A process
+/// killed at any instant therefore leaves either the old file, no file,
+/// or the complete new file — never a renamed-but-torn one.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write, the data sync, or the
+/// rename. A failed *directory* sync is ignored: the rename itself is
+/// already atomic, and some filesystems refuse directory fsync.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    use std::io::Write as _;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    #[cfg(unix)]
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic FNV-1a-64 digest of a full machine configuration (the
+/// same encoding a snapshot stores). Campaign job identities hash this
+/// so any configuration change — memory timing, scheduling model, fault
+/// policy — lands in a different result-cache key.
+pub fn config_digest(cfg: &GpuConfig) -> u64 {
+    let mut enc = Encoder::new();
+    put_gpu_config(&mut enc, cfg);
+    fnv1a64(&enc.into_bytes())
+}
+
+/// Deterministic FNV-1a-64 digest of a program — instruction words,
+/// labels, entry points, and resource usage, via the snapshot codec.
+///
+/// # Errors
+///
+/// Propagates [`simt_isa::EncodeError`] for a program the lossless ISA
+/// codec cannot represent.
+pub fn program_digest(p: &Program) -> Result<u64, simt_isa::EncodeError> {
+    let mut enc = Encoder::new();
+    put_program(&mut enc, p)?;
+    Ok(fnv1a64(&enc.into_bytes()))
 }
 
 fn put_mem_config(enc: &mut Encoder, m: &MemConfig) {
@@ -534,6 +621,72 @@ mod tests {
             Snapshot::from_bytes(&bytes),
             Err(RestoreError::UnsupportedVersion(v)) if v == SNAPSHOT_VERSION + 1
         ));
+    }
+
+    #[test]
+    fn generic_frame_is_magic_and_version_scoped() {
+        const MAGIC_A: [u8; 8] = *b"DMKRSLT\0";
+        let bytes = seal_frame(&MAGIC_A, 1, b"meta", b"payload");
+        let (meta, payload) = open_frame(&MAGIC_A, 1, &bytes).expect("roundtrip");
+        assert_eq!(meta, b"meta");
+        assert_eq!(payload, b"payload");
+        // A snapshot-magic reader must not accept a result frame, and
+        // vice versa; a version bump must gate too.
+        assert!(matches!(
+            open_frame(&SNAPSHOT_MAGIC, 1, &bytes),
+            Err(RestoreError::BadMagic)
+        ));
+        assert!(matches!(
+            open_frame(&MAGIC_A, 2, &bytes),
+            Err(RestoreError::UnsupportedVersion(1))
+        ));
+    }
+
+    #[test]
+    fn generic_frame_rejects_truncation_and_bit_flips() {
+        const MAGIC: [u8; 8] = *b"DMKRSLT\0";
+        let bytes = seal_frame(&MAGIC, 1, b"job", &[0x5A; 48]);
+        for len in 0..bytes.len() {
+            assert!(
+                open_frame(&MAGIC, 1, &bytes[..len]).is_err(),
+                "truncation to {len} bytes was accepted"
+            );
+        }
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x10;
+            assert!(
+                open_frame(&MAGIC, 1, &corrupt).is_err(),
+                "bit flip at byte {i} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_survives_reread() {
+        let dir = std::env::temp_dir().join(format!("ckpt-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("a.bin");
+        write_atomic(&path, b"first").expect("writes");
+        assert_eq!(std::fs::read(&path).expect("readable"), b"first");
+        write_atomic(&path, b"second").expect("replaces");
+        assert_eq!(std::fs::read(&path).expect("readable"), b"second");
+        // The temp sibling never outlives a successful write.
+        assert!(!dir.join("a.bin.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_digest_tracks_every_knob_it_covers() {
+        let base = GpuConfig::fx5800();
+        let mut mem = base.clone();
+        mem.mem.ideal = true;
+        let mut sched = base.clone();
+        sched.scheduling = SchedulingModel::Warp;
+        let d0 = config_digest(&base);
+        assert_eq!(d0, config_digest(&base.clone()), "digest is deterministic");
+        assert_ne!(d0, config_digest(&mem), "memory change must re-key");
+        assert_ne!(d0, config_digest(&sched), "scheduler change must re-key");
     }
 
     #[test]

@@ -93,7 +93,10 @@ pub mod telemetry;
 mod thread;
 mod warp;
 
-pub use checkpoint::{RestoreError, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use checkpoint::{
+    config_digest, open_frame, program_digest, seal_frame, write_atomic, RestoreError, Snapshot,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use config::{GpuConfig, SchedulingModel, SpawnPolicy};
 pub use fault::{
     DeadlockDiagnostics, Fault, FaultKind, FaultPolicy, InjectedFault, Injector, LaunchError,
