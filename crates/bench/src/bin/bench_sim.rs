@@ -36,6 +36,14 @@ struct BenchRun {
     parallel: usize,
     cycles: u64,
     wall_seconds: f64,
+    /// Idle cycles the event-driven loop jumped over instead of ticking.
+    skipped_cycles: u64,
+    /// Number of skip jumps taken.
+    skip_events: u64,
+    /// Idle SM-cycles (an SM with nothing to issue), summed over SMs.
+    idle_sm_cycles: u64,
+    /// Total SM-cycles simulated (`cycles × num_sms`).
+    sm_cycles: u64,
 }
 
 impl BenchRun {
@@ -61,6 +69,10 @@ fn run_once(parallel: usize, scale: Scale, telemetry: TelemetrySpec) -> BenchRun
         parallel,
         cycles: summary.stats.cycles,
         wall_seconds: start.elapsed().as_secs_f64(),
+        skipped_cycles: gpu.skipped_cycles(),
+        skip_events: gpu.skip_events(),
+        idle_sm_cycles: summary.stats.idle_sm_cycles,
+        sm_cycles: summary.stats.cycles * gpu.config().num_sms as u64,
     }
 }
 
@@ -265,6 +277,31 @@ fn main() -> ExitCode {
         );
     }
 
+    // Where the event-driven speedup comes from: how much of the run was
+    // fully idle (skipped in bulk) vs occupied, from the parallel-1 run
+    // (the simulated numbers are bit-identical across parallelism).
+    if let Some(r) = runs.first() {
+        let skip_fraction = if r.cycles > 0 {
+            r.skipped_cycles as f64 / r.cycles as f64
+        } else {
+            0.0
+        };
+        let occupancy = if r.sm_cycles > 0 {
+            1.0 - r.idle_sm_cycles as f64 / r.sm_cycles as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "bench_sim: event loop: {} of {} cycles skipped ({:.1}% skip fraction, {} jumps), \
+             SM occupancy {:.1}%",
+            r.skipped_cycles,
+            r.cycles,
+            skip_fraction * 100.0,
+            r.skip_events,
+            occupancy * 100.0
+        );
+    }
+
     // Hand-rolled JSON: the offline serde shim has no serializer.
     let mut json = String::new();
     json.push_str("{\n");
@@ -285,6 +322,30 @@ fn main() -> ExitCode {
     }
     json.push_str("  ],\n");
     json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    if let Some(r) = runs.first() {
+        let skip_fraction = if r.cycles > 0 {
+            r.skipped_cycles as f64 / r.cycles as f64
+        } else {
+            0.0
+        };
+        let occupancy = if r.sm_cycles > 0 {
+            1.0 - r.idle_sm_cycles as f64 / r.sm_cycles as f64
+        } else {
+            0.0
+        };
+        json.push_str(&format!(
+            "  \"event_loop\": {{\"cycles\": {}, \"skipped_cycles\": {}, \
+             \"skip_events\": {}, \"skip_fraction\": {:.4}, \
+             \"idle_sm_cycles\": {}, \"sm_cycles\": {}, \"sm_occupancy\": {:.4}}},\n",
+            r.cycles,
+            r.skipped_cycles,
+            r.skip_events,
+            skip_fraction,
+            r.idle_sm_cycles,
+            r.sm_cycles,
+            occupancy
+        ));
+    }
     json.push_str(&format!(
         "  \"telemetry\": {{\"off_seconds\": {tel_off:.6}, \"on_seconds\": {tel_on:.6}, \
          \"enabled_overhead_pct\": {tel_overhead_pct:.2}}},\n",

@@ -1,0 +1,106 @@
+//! Differential tests for the event-driven cycle loop at render scale:
+//! skip-to-next-event scheduling must be observationally invisible. The
+//! same render jobs run with skipping on (the default) and with the
+//! forced tick-every-cycle debug mode, at `--parallel 1` and `4`, and
+//! every artifact — `SimStats`, the rendered metrics CSV, the fault log,
+//! and the output image hash — must be byte-identical.
+
+use experiments::{config_for, Scale, Variant};
+use raytrace::scenes::{self, SceneScale};
+use rt_kernels::render::RenderSetup;
+use simt_sim::{CsvMetricsSink, Gpu, RunSummary, SimStats, TelemetrySpec, TraceSink};
+
+/// FNV-1a 64 over the rendered hit buffer (t bits + triangle id per ray).
+fn image_hash(results: &[Option<raytrace::Hit>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |word: u32| {
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+    };
+    for r in results {
+        match r {
+            Some(hit) => {
+                mix(hit.t.to_bits());
+                mix(hit.tri);
+            }
+            None => mix(u32::MAX),
+        }
+    }
+    h
+}
+
+struct Frame {
+    summary: RunSummary,
+    stats: SimStats,
+    metrics_csv: String,
+    image: u64,
+    skipped_cycles: u64,
+}
+
+fn render(variant: Variant, parallel: usize, force_tick: bool) -> Frame {
+    let scale = Scale::test();
+    let scene = scenes::conference(SceneScale::Tiny);
+    let mut gpu = Gpu::builder(config_for(variant))
+        .parallelism(parallel)
+        .telemetry(TelemetrySpec::metrics())
+        .force_tick(force_tick)
+        .build();
+    let setup = RenderSetup::upload(&mut gpu, &scene, scale.resolution, scale.resolution);
+    if variant.is_dynamic() {
+        setup.launch_ukernel(&mut gpu, scale.threads_per_block);
+    } else {
+        setup.launch_traditional(&mut gpu, scale.threads_per_block);
+    }
+    let summary = gpu.run(1_000_000).expect("fault-free run");
+    Frame {
+        image: image_hash(&setup.device_results(&gpu)),
+        metrics_csv: CsvMetricsSink.render(&gpu.telemetry_report()),
+        stats: gpu.stats().clone(),
+        skipped_cycles: gpu.skipped_cycles(),
+        summary,
+    }
+}
+
+fn assert_frames_identical(tick: &Frame, skip: &Frame, what: &str) {
+    assert_eq!(tick.stats, skip.stats, "{what}: SimStats diverged");
+    assert_eq!(
+        tick.summary.stats, skip.summary.stats,
+        "{what}: summary stats diverged"
+    );
+    assert_eq!(
+        tick.summary.traffic, skip.summary.traffic,
+        "{what}: traffic diverged"
+    );
+    assert_eq!(
+        tick.summary.faults, skip.summary.faults,
+        "{what}: fault log diverged"
+    );
+    assert_eq!(tick.summary.outcome, skip.summary.outcome);
+    assert_eq!(
+        tick.metrics_csv, skip.metrics_csv,
+        "{what}: metrics CSV diverged"
+    );
+    assert_eq!(tick.image, skip.image, "{what}: output image diverged");
+}
+
+#[test]
+fn dynamic_render_matrix_skip_vs_forced_tick() {
+    for parallel in [1usize, 4] {
+        let tick = render(Variant::Dynamic, parallel, true);
+        let skip = render(Variant::Dynamic, parallel, false);
+        assert_frames_identical(&tick, &skip, &format!("dynamic parallel {parallel}"));
+        assert_eq!(tick.skipped_cycles, 0, "force_tick must never skip");
+        assert!(skip.stats.threads_spawned > 0, "render actually spawned");
+    }
+}
+
+#[test]
+fn traditional_render_matrix_skip_vs_forced_tick() {
+    for parallel in [1usize, 4] {
+        let tick = render(Variant::PdomWarp, parallel, true);
+        let skip = render(Variant::PdomWarp, parallel, false);
+        assert_frames_identical(&tick, &skip, &format!("traditional parallel {parallel}"));
+    }
+}

@@ -35,6 +35,7 @@ fn b(v: f32) -> u32 {
 ///   saturates at `u32::MAX` (so `-0.5` → `0`, matching
 ///   round-toward-zero).
 /// * `FRcp`/`FDiv` follow IEEE-754: `1/±0 → ±inf`, `0/0 → NaN`.
+#[inline]
 pub fn eval_alu(op: AluOp, av: u32, bv: u32, cv: u32) -> u32 {
     match op {
         AluOp::IAdd => av.wrapping_add(bv),
@@ -113,6 +114,7 @@ pub fn eval_alu(op: AluOp, av: u32, bv: u32, cv: u32) -> u32 {
 ///
 /// Float comparisons are *ordered*: any comparison with NaN (other than
 /// `NeF`) is false, matching PTX `setp.lt.f32` etc.
+#[inline]
 pub fn eval_cmp(cmp: CmpOp, av: u32, bv: u32) -> bool {
     match cmp {
         CmpOp::EqS => (av as i32) == (bv as i32),

@@ -20,17 +20,64 @@ use simt_isa::codec::{CodecError, Decoder, Encoder};
 ///
 /// Panics if `banks` is zero.
 pub fn conflict_degree(addresses: &[u32], banks: usize) -> u32 {
+    conflict_degree_span(addresses, 1, banks)
+}
+
+/// [`conflict_degree`] over the word *span* each lane touches:
+/// lane `i` accesses words `addresses[i]/4 .. addresses[i]/4 + words_per_lane`.
+/// Equivalent to expanding every span into a flat word list first, without
+/// materializing it.
+///
+/// # Panics
+///
+/// Panics if `banks` is zero.
+pub fn conflict_degree_span(addresses: &[u32], words_per_lane: u32, banks: usize) -> u32 {
     assert!(banks > 0, "bank count must be positive");
-    if addresses.is_empty() {
+    let n = addresses.len() * words_per_lane as usize;
+    if n == 0 {
         return 0;
     }
-    // Distinct words per bank.
+    // The hot path (any real machine: ≤ 64 lanes × a few words, ≤ 64
+    // banks) runs allocation-free: gather the word ids into a stack
+    // buffer, sort to dedup broadcasts, and count distinct words per bank
+    // in a stack histogram. Degree = max distinct words on one bank.
+    if n <= 256 && banks <= 64 {
+        let mut words = [0u32; 256];
+        let mut i = 0;
+        for &a in addresses {
+            // (a + 4*wd) / 4 == a/4 + wd for any byte address `a`.
+            let w0 = a / 4;
+            for wd in 0..words_per_lane {
+                words[i] = w0 + wd;
+                i += 1;
+            }
+        }
+        let words = &mut words[..n];
+        words.sort_unstable();
+        let mut counts = [0u32; 64];
+        let mut max = 1u32;
+        let mut prev = None;
+        for &w in words.iter() {
+            if Some(w) == prev {
+                continue;
+            }
+            prev = Some(w);
+            let bank = (w as usize) % banks;
+            counts[bank] += 1;
+            max = max.max(counts[bank]);
+        }
+        return max;
+    }
+    // Oversized configurations fall back to the straightforward
+    // distinct-words-per-bank accounting.
     let mut per_bank: Vec<Vec<u32>> = vec![Vec::new(); banks];
     for &a in addresses {
-        let word = a / 4;
-        let bank = (word as usize) % banks;
-        if !per_bank[bank].contains(&word) {
-            per_bank[bank].push(word);
+        for wd in 0..words_per_lane {
+            let word = a / 4 + wd;
+            let bank = (word as usize) % banks;
+            if !per_bank[bank].contains(&word) {
+                per_bank[bank].push(word);
+            }
         }
     }
     per_bank
@@ -86,8 +133,20 @@ impl OnChipMemory {
             addr.is_multiple_of(4),
             "unaligned on-chip read at {addr:#x}"
         );
+        self.words[self.wrap(addr as usize / 4)]
+    }
+
+    /// Word-index wraparound. Real capacities are powers of two, where the
+    /// modulo reduces to a mask — worth special-casing because this sits
+    /// under every word of every on-chip access.
+    #[inline]
+    fn wrap(&self, idx: usize) -> usize {
         let n = self.words.len();
-        self.words[(addr as usize / 4) % n]
+        if n.is_power_of_two() {
+            idx & (n - 1)
+        } else {
+            idx % n
+        }
     }
 
     /// Writes the word at byte address `addr`.
@@ -100,8 +159,8 @@ impl OnChipMemory {
             addr.is_multiple_of(4),
             "unaligned on-chip write at {addr:#x}"
         );
-        let n = self.words.len();
-        self.words[(addr as usize / 4) % n] = value;
+        let i = self.wrap(addr as usize / 4);
+        self.words[i] = value;
     }
 
     /// Conflict degree of a warp access to this memory.
@@ -188,6 +247,25 @@ mod tests {
             let d = conflict_degree(&aligned, banks);
             prop_assert!(d >= 1);
             prop_assert!(d as usize <= aligned.len());
+        }
+
+        #[test]
+        fn span_matches_expanded_word_list(
+            addrs in proptest::collection::vec(0u32..65_536, 0..40),
+            wpl in 1u32..5,
+            banks in 1usize..33,
+        ) {
+            let aligned: Vec<u32> = addrs.iter().map(|a| a & !3).collect();
+            let mut words = Vec::new();
+            for &a in &aligned {
+                for wd in 0..wpl {
+                    words.push(a + 4 * wd);
+                }
+            }
+            prop_assert_eq!(
+                conflict_degree_span(&aligned, wpl, banks),
+                conflict_degree(&words, banks)
+            );
         }
 
         #[test]

@@ -7,7 +7,7 @@
 //! [`FabricRequest`]s and [`FunctionalOp`]s in deterministic SM-id order.
 
 use crate::backing::{LocalStore, WordStore};
-use crate::banks::conflict_degree;
+use crate::banks::conflict_degree_span;
 use crate::coalesce::coalesce_segments;
 use crate::config::MemConfig;
 use crate::frontend::FabricView;
@@ -166,13 +166,7 @@ pub(crate) fn time_onchip(
     let model_conflicts = req.space != Space::Spawn || config.spawn_bank_conflicts;
     let degree = if model_conflicts {
         let words_per_lane = (req.bytes_per_lane / 4).max(1);
-        let mut words: Vec<u32> = Vec::with_capacity(req.addresses.len() * words_per_lane as usize);
-        for &a in &req.addresses {
-            for wd in 0..words_per_lane {
-                words.push(a + 4 * wd);
-            }
-        }
-        conflict_degree(&words, config.shared_banks)
+        conflict_degree_span(&req.addresses, words_per_lane, config.shared_banks)
     } else {
         1
     };

@@ -123,6 +123,12 @@ impl FabricView {
 pub struct PendingAccess {
     /// The issuing warp's SM-local id.
     pub warp_id: usize,
+    /// The issuing warp's slot index in the SM's warp pool at issue time.
+    /// Valid for the drain that follows in the same cycle: slots never
+    /// shift between phase A and phase B (admission appends, reaping runs
+    /// after the drain, and kills only clear lanes). Consumers must still
+    /// confirm `warps[slot].id == warp_id` before writing through it.
+    pub slot: usize,
     /// Whether the warp's `ready_at` must be raised to the service
     /// completion time (loads wait; stores are fire-and-forget).
     pub wait: bool,

@@ -44,7 +44,7 @@ mod frontend;
 mod traffic;
 
 pub use backing::{LocalStore, WordStore};
-pub use banks::{conflict_degree, OnChipMemory};
+pub use banks::{conflict_degree, conflict_degree_span, OnChipMemory};
 pub use cache::ReadOnlyCache;
 pub use coalesce::{coalesce_segments, CoalesceResult};
 pub use config::MemConfig;

@@ -62,8 +62,10 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DMKSNAP\0";
 /// changes; older versions are rejected rather than misread.
 ///
 /// Version history: 1 — initial format; 2 — per-SM telemetry shards and
-/// per-DRAM-module busy accounting joined the payload.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// per-DRAM-module busy accounting joined the payload; 3 — per-lane
+/// thread state stored as one struct-of-arrays block per warp
+/// ([`crate::LaneState`]) instead of per-lane option+context records.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Why a snapshot could not be restored.
 ///

@@ -17,6 +17,14 @@
 //! Because phase A touches no shared mutable state and phase B always
 //! runs in fixed SM-id order, the simulation is bit-identical at every
 //! parallelism level — the worker threads change wall-clock time only.
+//!
+//! The loop is **event-driven**: after a cycle in which nothing happened
+//! (no dispatch, no issue, no fault), the machine state is a pure
+//! function of time until the earliest warp wake-up, so `now` jumps
+//! straight to `min(next wake, cycle limit, watchdog deadline)` with the
+//! skipped idle cycles recorded in bulk — byte-identical to ticking
+//! through them (see DESIGN.md §13). [`GpuBuilder::force_tick`] disables
+//! the skip for differential testing.
 
 use crate::checkpoint::{self, RestoreError, Snapshot};
 use crate::config::{GpuConfig, SchedulingModel};
@@ -116,6 +124,13 @@ pub struct Gpu {
     faults: Vec<Fault>,
     /// Worker threads used for phase A (1 = step SMs inline).
     parallel: usize,
+    /// Debug knob: tick every cycle even when the loop could skip ahead.
+    force_tick: bool,
+    /// Idle cycles the event-driven loop skipped over (diagnostic; not
+    /// part of [`SimStats`], not serialized).
+    skipped_cycles: u64,
+    /// Number of skip jumps taken (diagnostic).
+    skip_events: u64,
 }
 
 /// A pool of phase-A worker threads, alive for the duration of one
@@ -123,9 +138,13 @@ pub struct Gpu {
 /// to it by value every cycle and handed back with any faults the chunk
 /// raised. Workers exit when the pool (and thus every job sender) drops,
 /// and the enclosing [`thread::scope`] joins them.
+/// One worker's phase-A report: its SM chunk handed back, the faults the
+/// chunk raised, and how many of its SMs issued an instruction.
+type WorkerReport = (Vec<Sm>, Vec<Fault>, u64);
+
 struct WorkerPool {
     jobs: Vec<mpsc::Sender<(u64, Vec<Sm>)>>,
-    results: mpsc::Receiver<(usize, Vec<Sm>, Vec<Fault>)>,
+    results: mpsc::Receiver<(usize, Vec<Sm>, Vec<Fault>, u64)>,
 }
 
 impl WorkerPool {
@@ -146,12 +165,15 @@ impl WorkerPool {
             scope.spawn(move || {
                 while let Ok((now, mut chunk)) = rx.recv() {
                     let mut faults = Vec::new();
+                    let mut issued = 0u64;
                     for sm in &mut chunk {
-                        if let Err(f) = sm.step(now, ctx, view, injector) {
-                            faults.push(f);
+                        match sm.step(now, ctx, view, injector) {
+                            Ok(true) => issued += 1,
+                            Ok(false) => {}
+                            Err(f) => faults.push(f),
                         }
                     }
-                    if res_tx.send((w, chunk, faults)).is_err() {
+                    if res_tx.send((w, chunk, faults, issued)).is_err() {
                         break;
                     }
                 }
@@ -166,7 +188,7 @@ impl WorkerPool {
     /// function of the SM count) and reassembled in SM-id order, as are
     /// the faults — results are byte-identical to the inline loop.
     #[allow(clippy::expect_used)]
-    fn step_all(&self, now: u64, sms: &mut Vec<Sm>) -> Vec<Fault> {
+    fn step_all(&self, now: u64, sms: &mut Vec<Sm>) -> (Vec<Fault>, u64) {
         let nw = self.jobs.len();
         let per = sms.len().div_ceil(nw);
         let mut rest = std::mem::take(sms);
@@ -176,18 +198,20 @@ impl WorkerPool {
             let chunk = std::mem::replace(&mut rest, tail);
             job.send((now, chunk)).expect("phase-A worker alive");
         }
-        let mut slots: Vec<Option<(Vec<Sm>, Vec<Fault>)>> = (0..nw).map(|_| None).collect();
+        let mut slots: Vec<Option<WorkerReport>> = (0..nw).map(|_| None).collect();
         for _ in 0..nw {
-            let (w, chunk, faults) = self.results.recv().expect("phase-A worker alive");
-            slots[w] = Some((chunk, faults));
+            let (w, chunk, faults, issued) = self.results.recv().expect("phase-A worker alive");
+            slots[w] = Some((chunk, faults, issued));
         }
         let mut faults = Vec::new();
+        let mut issued = 0u64;
         for slot in slots {
-            let (chunk, f) = slot.expect("every worker reports exactly once");
+            let (chunk, f, i) = slot.expect("every worker reports exactly once");
             sms.extend(chunk);
             faults.extend(f);
+            issued += i;
         }
-        faults
+        (faults, issued)
     }
 }
 
@@ -213,6 +237,7 @@ pub struct GpuBuilder {
     parallelism: usize,
     injector: Option<Injector>,
     telemetry: TelemetrySpec,
+    force_tick: bool,
 }
 
 impl GpuBuilder {
@@ -244,6 +269,15 @@ impl GpuBuilder {
         self
     }
 
+    /// Debug knob: force the cycle loop to tick every cycle instead of
+    /// skipping ahead over fully idle spans. Results are byte-identical
+    /// either way (that equivalence is what the differential tests
+    /// assert); forcing ticks only costs wall-clock time.
+    pub fn force_tick(mut self, on: bool) -> Self {
+        self.force_tick = on;
+        self
+    }
+
     /// Builds the machine.
     ///
     /// # Panics
@@ -254,6 +288,7 @@ impl GpuBuilder {
         let mut gpu = Gpu::from_config(self.cfg);
         gpu.parallel = self.parallelism;
         gpu.injector = self.injector;
+        gpu.force_tick = self.force_tick;
         if self.telemetry.metrics {
             gpu.set_telemetry(&self.telemetry);
         }
@@ -270,18 +305,8 @@ impl Gpu {
             parallelism: 1,
             injector: None,
             telemetry: TelemetrySpec::off(),
+            force_tick: false,
         }
-    }
-
-    /// Builds a GPU for `cfg` with every builder knob at its default.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is inconsistent (see
-    /// [`GpuConfig::validate`]).
-    #[deprecated(note = "use `Gpu::builder(cfg).build()`")]
-    pub fn new(cfg: GpuConfig) -> Self {
-        Gpu::from_config(cfg)
     }
 
     fn from_config(cfg: GpuConfig) -> Self {
@@ -300,6 +325,9 @@ impl Gpu {
             injector: None,
             faults: Vec::new(),
             parallel: 1,
+            force_tick: false,
+            skipped_cycles: 0,
+            skip_events: 0,
         }
     }
 
@@ -307,14 +335,6 @@ impl Gpu {
     /// any previously installed injector.
     pub fn set_injector(&mut self, injector: Injector) {
         self.injector = Some(injector);
-    }
-
-    /// Sets the number of phase-A worker threads (clamped to ≥ 1; 1 means
-    /// step SMs inline on the calling thread). Simulation results are
-    /// bit-identical at every setting — this changes wall-clock time only.
-    #[deprecated(note = "use `Gpu::builder(cfg).parallelism(n)` or `Gpu::with_parallelism`")]
-    pub fn set_parallelism(&mut self, n: usize) {
-        self.parallel = n.max(1);
     }
 
     /// Consuming form of the parallelism knob, for machines that were not
@@ -403,6 +423,24 @@ impl Gpu {
     /// Current simulated cycle.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Idle cycles the event-driven loop jumped over instead of ticking
+    /// (cumulative; zero with [`GpuBuilder::force_tick`] or an installed
+    /// injector). Diagnostic only — not part of [`SimStats`].
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    /// Number of skip jumps the event-driven loop took (diagnostic).
+    pub fn skip_events(&self) -> u64 {
+        self.skip_events
+    }
+
+    /// Late load results dropped on warps killed mid-flight, summed over
+    /// SMs (see `Sm::drain_pending`); zero on any fault-free run.
+    pub fn late_write_drops(&self) -> u64 {
+        self.sms.iter().map(Sm::late_write_drops).sum()
     }
 
     /// Captures the complete architectural state of the machine as a
@@ -608,6 +646,9 @@ impl Gpu {
         Ok(())
     }
 
+    /// Returns whether any dispatch-side activity happened (warps
+    /// admitted, partials forced out, or an injected event fired) — the
+    /// event-driven loop must not skip over a cycle that changed state.
     #[allow(clippy::too_many_arguments)]
     fn dispatch_for_sm(
         sm: &mut Sm,
@@ -617,16 +658,16 @@ impl Gpu {
         injector: Option<&Injector>,
         now: u64,
         ctx: &ExecCtx<'_>,
-    ) {
+    ) -> bool {
         // 1. Dynamic warps have scheduling priority (§IV-D).
-        sm.drain_dynamic(&mut launch.next_dynamic_tid, now, ctx);
+        let mut active = sm.drain_dynamic(&mut launch.next_dynamic_tid, now, ctx) > 0;
 
         // Injected state-slot exhaustion: pretend the spawn-memory state
         // records are all taken, starving launch admission this cycle
         // (first-class back-pressure: blocks simply wait).
         if injector.is_some_and(|i| i.fires(InjectedFault::StateSlotsExhausted, now)) {
             stats.injected_events += 1;
-            return;
+            return true;
         }
 
         // 2. Launch-time work.
@@ -645,6 +686,7 @@ impl Gpu {
                         let tids: Vec<u32> = (block.next_tid..block.next_tid + n).collect();
                         sm.admit_launch_warp(&tids, launch.entry_pc, Some(block.id), now, ctx);
                         block.next_tid += n;
+                        active = true;
                     }
                 }
             }
@@ -661,6 +703,7 @@ impl Gpu {
                     let tids: Vec<u32> = (front.next_tid..front.next_tid + n).collect();
                     sm.admit_launch_warp(&tids, launch.entry_pc, None, now, ctx);
                     front.next_tid += n;
+                    active = true;
                     if front.next_tid == front.end_tid {
                         launch.blocks.pop_front();
                     }
@@ -673,10 +716,11 @@ impl Gpu {
         if launch.blocks.is_empty() && !sm.has_live_warps() {
             if let Some(f) = sm.formation() {
                 if f.fifo_len() == 0 && f.partial_threads() > 0 {
-                    sm.force_out_partials(&mut launch.next_dynamic_tid, now, ctx);
+                    active |= sm.force_out_partials(&mut launch.next_dynamic_tid, now, ctx) > 0;
                 }
             }
         }
+        active
     }
 
     /// Whether all work has drained.
@@ -812,7 +856,8 @@ impl Gpu {
     }
 
     /// The cycle loop: dispatch, phase A (possibly across the worker
-    /// pool), fault handling, phase B, watchdog.
+    /// pool), fault handling, phase B, watchdog — and, after a fully idle
+    /// cycle, a jump straight to the next cycle where anything can happen.
     #[allow(clippy::expect_used)]
     fn run_cycles(
         &mut self,
@@ -825,21 +870,47 @@ impl Gpu {
         let start = self.now;
         let mut last_progress = self.now;
         let mut last_count = self.progress_count();
+        // An injector keys events off absolute cycle numbers, so every
+        // cycle must actually tick for `fires(_, now)` to be observed.
+        let can_skip = !self.force_tick && injector.is_none();
+        // Launch-queue generation for the dispatch gate below: bumped
+        // whenever the block queue's observable front `(len, next_tid)`
+        // changes. An SM whose own state is clean *and* which already saw
+        // the current generation would get a provably no-op dispatch call,
+        // so the loop skips it. Both are loop-locals: the first cycle of
+        // every `run_cycles` call dispatches unconditionally.
+        let mut blocks_gen: u64 = 1;
+        let mut dispatch_seen: Vec<u64> = vec![0; self.sms.len()];
         loop {
-            if self.is_done() {
-                return Ok(RunOutcome::Completed);
-            }
-            if self.now - start >= max_cycles {
-                return Ok(RunOutcome::CycleLimit);
+            let done = self.is_done();
+            if done || self.now - start >= max_cycles {
+                return Ok(if done {
+                    RunOutcome::Completed
+                } else {
+                    RunOutcome::CycleLimit
+                });
             }
             // Dispatch is serial, rotated so SM 0 is not structurally
             // favored for launch work.
             let n = self.sms.len();
+            let mut dispatched = false;
             {
                 let launch = self.launch.as_mut().expect("is_done saw a launch");
+                // `dispatch_for_sm` runs to a fixpoint per call and reads
+                // only the block queue's front, the SM's own state, and
+                // the injector. With no injector, an SM that is clean
+                // (`!dispatch_dirty`) and has already seen the current
+                // block-queue generation would therefore get a no-op call
+                // returning `false` — skipping it leaves `dispatched` and
+                // all state exactly as the call would have.
+                let gate = injector.is_none();
                 for k in 0..n {
                     let i = (self.rr_sm + k) % n;
-                    Self::dispatch_for_sm(
+                    if gate && !self.sms[i].dispatch_dirty() && dispatch_seen[i] == blocks_gen {
+                        continue;
+                    }
+                    let before = (launch.blocks.len(), launch.blocks.front().map(|b| b.next_tid));
+                    dispatched |= Self::dispatch_for_sm(
                         &mut self.sms[i],
                         launch,
                         &self.cfg,
@@ -848,22 +919,32 @@ impl Gpu {
                         self.now,
                         ctx,
                     );
+                    let after = (launch.blocks.len(), launch.blocks.front().map(|b| b.next_tid));
+                    if after != before {
+                        blocks_gen = blocks_gen.wrapping_add(1);
+                    }
+                    self.sms[i].clear_dispatch_dirty();
+                    dispatch_seen[i] = blocks_gen;
                 }
             }
             // Phase A: every SM steps against private state only, queueing
             // off-chip work. Faults come back in SM-id order either way.
-            let faults = match pool {
+            let (faults, issued) = match pool {
                 Some(pool) => pool.step_all(self.now, &mut self.sms),
                 None => {
                     let mut faults = Vec::new();
+                    let mut issued = 0u64;
                     for sm in &mut self.sms {
-                        if let Err(f) = sm.step(self.now, ctx, view, injector) {
-                            faults.push(f);
+                        match sm.step(self.now, ctx, view, injector) {
+                            Ok(true) => issued += 1,
+                            Ok(false) => {}
+                            Err(f) => faults.push(f),
                         }
                     }
-                    faults
+                    (faults, issued)
                 }
             };
+            let had_faults = !faults.is_empty();
             let mut abort: Option<Fault> = None;
             for fault in faults {
                 match self.cfg.fault_policy {
@@ -916,6 +997,47 @@ impl Gpu {
                 return Ok(RunOutcome::Deadlock {
                     diagnostics: self.deadlock_diagnostics(),
                 });
+            }
+
+            // Event-driven skip. The cycle just executed was fully idle —
+            // nothing was dispatched, issued, or faulted — so until some
+            // warp's `ready_at` arrives the machine is frozen: dispatch
+            // preconditions can only change when a warp retires, pending
+            // queues drain the same cycle they fill (the fabric retires
+            // requests at service time, so it holds no in-flight state),
+            // and every idle cycle does identical per-SM bookkeeping.
+            // Jump `now` to the earliest of next warp wake-up, the cycle
+            // limit, and the watchdog deadline, recording the idle span
+            // in bulk. Byte-identical to ticking through it (DESIGN.md
+            // §13); `force_tick` disables this for differential testing.
+            if can_skip && !dispatched && issued == 0 && !had_faults {
+                let wake = self
+                    .sms
+                    .iter_mut()
+                    .filter_map(Sm::next_issue_at)
+                    .min()
+                    .unwrap_or(u64::MAX);
+                let target = wake
+                    .max(self.now)
+                    .min(start + max_cycles)
+                    .min(last_progress + self.cfg.watchdog_cycles);
+                if target > self.now {
+                    let k = target - self.now;
+                    let from = self.now;
+                    for sm in &mut self.sms {
+                        sm.record_idle_span(from, k);
+                    }
+                    self.rr_sm = ((self.rr_sm as u64 + k) % n.max(1) as u64) as usize;
+                    self.now = target;
+                    self.skipped_cycles += k;
+                    self.skip_events += 1;
+                    if self.now - last_progress >= self.cfg.watchdog_cycles {
+                        self.stats.watchdog_deadlocks += 1;
+                        return Ok(RunOutcome::Deadlock {
+                            diagnostics: self.deadlock_diagnostics(),
+                        });
+                    }
+                }
             }
         }
     }
@@ -1388,6 +1510,137 @@ mod tests {
         assert_eq!(resumed.faults(), gpu.faults());
         assert!(!resumed.faults().is_empty(), "trap at cycle 4 recorded");
         assert_eq!(resumed.stats(), gpu.stats());
+    }
+
+    /// The event-driven skip must be invisible: a memory-latency kernel
+    /// under the real (non-ideal) fabric parks every warp on loads, the
+    /// loop jumps over the stall spans, and stats, traffic, memory, and
+    /// outcome must be byte-identical to forced per-cycle ticking — at
+    /// several parallelism levels and with a cycle budget that lands in
+    /// the middle of a skipped span.
+    #[test]
+    fn skip_to_next_event_is_bit_identical_to_forced_tick() {
+        let src = r#"
+            .kernel main
+            main:
+                mov.u32 r1, %tid
+                mul.lo.s32 r2, r1, 4
+                ld.global.u32 r3, [r2+0]
+                add.s32 r3, r3, 1
+                st.global.u32 [r2+0], r3
+                ld.global.u32 r4, [r2+0]
+                add.s32 r4, r4, 1
+                st.global.u32 [r2+0], r4
+                exit
+        "#;
+        let run_at = |force_tick: bool, parallel: usize, budget: u64| {
+            let program = assemble_named("chain", src).unwrap();
+            let mut gpu = Gpu::builder(GpuConfig::tiny())
+                .parallelism(parallel)
+                .force_tick(force_tick)
+                .build();
+            gpu.mem_mut().alloc_global(64 * 4, "buf");
+            gpu.launch(Launch {
+                program,
+                entry: "main".into(),
+                num_threads: 64,
+                threads_per_block: 8,
+            })
+            .expect("launch accepted");
+            let summary = gpu.run(budget).expect("fault-free");
+            let words: Vec<u32> = (0..64u32)
+                .map(|t| gpu.mem().read_u32(simt_isa::Space::Global, t * 4))
+                .collect();
+            (summary, words, gpu.skipped_cycles())
+        };
+        for parallel in [1, 2] {
+            for budget in [1_000_000u64, 37] {
+                let (st, wt, ticked_skips) = run_at(true, parallel, budget);
+                let (ss, ws, skipped) = run_at(false, parallel, budget);
+                let what = format!("parallel={parallel} budget={budget}");
+                assert_eq!(st.stats, ss.stats, "stats diverged ({what})");
+                assert_eq!(st.traffic, ss.traffic, "traffic diverged ({what})");
+                assert_eq!(st.outcome, ss.outcome, "outcome diverged ({what})");
+                assert_eq!(wt, ws, "memory diverged ({what})");
+                assert_eq!(ticked_skips, 0, "force_tick must never skip");
+                assert!(skipped > 0, "the loop actually skipped ({what})");
+            }
+        }
+    }
+
+    /// With no warp ever becoming ready (a block that can never fit on
+    /// any SM), the skip has no wake-up to jump to and must land exactly
+    /// on the watchdog deadline — same deadlock cycle and diagnostics as
+    /// ticking through the whole idle wait.
+    #[test]
+    fn skip_reaches_watchdog_deadlock_identically() {
+        let run = |force_tick: bool| {
+            let program = assemble_named("double", DOUBLE_SRC).unwrap();
+            let mut cfg = GpuConfig::tiny();
+            cfg.scheduling = SchedulingModel::Block;
+            cfg.watchdog_cycles = 5_000;
+            let mut gpu = Gpu::builder(cfg).force_tick(force_tick).build();
+            gpu.mem_mut().alloc_global(64 * 4, "out");
+            gpu.launch(Launch {
+                program,
+                entry: "main".into(),
+                num_threads: 64,
+                threads_per_block: 64, // > max_threads_per_sm: never dispatchable
+            })
+            .expect("launch accepted");
+            let summary = gpu.run(1_000_000).expect("no fault");
+            (summary, gpu.skipped_cycles(), gpu.skip_events())
+        };
+        let (tick, ticked_skips, _) = run(true);
+        let (skip, skipped, jumps) = run(false);
+        assert_eq!(ticked_skips, 0);
+        assert!(skipped > 0 && jumps > 0, "the deadlock wait was skipped");
+        assert!(
+            matches!(skip.outcome, RunOutcome::Deadlock { .. }),
+            "expected deadlock, got {:?}",
+            skip.outcome
+        );
+        assert_eq!(tick.outcome, skip.outcome, "diagnostics diverged");
+        assert_eq!(tick.stats, skip.stats);
+    }
+
+    /// A load result arriving for a warp that was killed the same cycle
+    /// (an imprecise trap flushes the pre-fault lanes' ops with
+    /// `wait: false`) must be dropped explicitly — counted, never written
+    /// into a dead lane's register file.
+    #[test]
+    fn killed_warp_load_results_are_dropped() {
+        let src = r#"
+            .kernel main
+            main:
+                mov.u32 r1, %tid
+                mul.lo.s32 r2, r1, 2
+                ld.global.u32 r3, [r2+0]
+                exit
+        "#;
+        let program = assemble_named("oob", src).unwrap();
+        let mut cfg = GpuConfig::tiny();
+        cfg.fault_policy = FaultPolicy::KillWarp;
+        let mut gpu = Gpu::builder(cfg).build();
+        // Lane 0 (tid 0 → address 0) loads cleanly; lane 1 (address 2) is
+        // misaligned and traps the warp after lane 0's load was queued.
+        gpu.mem_mut().alloc_global(16, "out");
+        gpu.launch(Launch {
+            program,
+            entry: "main".into(),
+            num_threads: 4,
+            threads_per_block: 4,
+        })
+        .expect("launch accepted");
+        let summary = gpu.run(1_000_000).expect("KillWarp absorbs the trap");
+        assert_eq!(summary.outcome, RunOutcome::Completed);
+        assert_eq!(summary.stats.faults, 1);
+        assert_eq!(summary.stats.threads_killed, 4);
+        assert_eq!(
+            gpu.late_write_drops(),
+            1,
+            "exactly lane 0's in-flight load was dropped"
+        );
     }
 
     /// Running the same launch twice at the same parallelism is also

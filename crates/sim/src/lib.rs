@@ -87,6 +87,7 @@ mod gpu;
 mod interp;
 mod mimd;
 pub mod oracle;
+mod ready;
 mod sm;
 mod stats;
 pub mod telemetry;
@@ -112,5 +113,5 @@ pub use telemetry::{
     ChromeTraceSink, CsvMetricsSink, SnapshotSink, TelemetryReport, TelemetrySpec, TraceEvent,
     TraceEventKind, TraceSink, WindowCounters,
 };
-pub use thread::ThreadCtx;
+pub use thread::{LaneState, ThreadCtx};
 pub use warp::{StackEntry, Warp, WarpState};

@@ -1,0 +1,179 @@
+//! O(1)-amortized warp wake-up: the per-SM ready set.
+//!
+//! The issue stage used to scan every resident warp every cycle looking
+//! for one with `ready_at <= now`. This module partitions warp slots
+//! instead: slots whose warp can issue *now* live in a bitset (scanned
+//! cyclically from the round-robin cursor, preserving the exact rotation
+//! order of the old scan), and parked slots live in a min-heap keyed by
+//! their wake cycle. Each cycle only the slots that actually wake are
+//! touched.
+//!
+//! Heap entries are lazy: phase B may push a warp's `ready_at` further
+//! out after its entry was enqueued (a memory stall resolving later than
+//! the issue-time floor), so a popped entry is validated against the
+//! warp's current `ready_at` and re-parked if it woke too early. The set
+//! is rebuilt outright whenever warp slots shift (retirement compaction,
+//! checkpoint restore) — rare events compared to cycles.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Ready/parked partition over warp slots of one SM.
+#[derive(Debug, Default)]
+pub(crate) struct ReadySet {
+    /// Bitset over slots that may issue now (one u64 per 64 slots).
+    words: Vec<u64>,
+    /// Parked slots as `(wake_cycle, slot)`, earliest first.
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+}
+
+impl ReadySet {
+    /// Ensures the bitset covers `slots` slots.
+    fn reserve(&mut self, slots: usize) {
+        let words = slots.div_ceil(64).max(1);
+        if self.words.len() < words {
+            self.words.resize(words, 0);
+        }
+    }
+
+    /// Marks `slot` issuable now.
+    pub(crate) fn mark_ready(&mut self, slot: usize) {
+        self.reserve(slot + 1);
+        self.words[slot / 64] |= 1 << (slot % 64);
+    }
+
+    /// Removes `slot` from the ready bitset (does not park it).
+    pub(crate) fn remove(&mut self, slot: usize) {
+        if let Some(w) = self.words.get_mut(slot / 64) {
+            *w &= !(1 << (slot % 64));
+        }
+    }
+
+    /// Parks `slot` until cycle `at`.
+    pub(crate) fn park(&mut self, slot: usize, at: u64) {
+        self.remove(slot);
+        self.heap.push(Reverse((at, slot)));
+    }
+
+    /// Moves every slot whose wake cycle has arrived into the ready
+    /// bitset. `ready_at_of` reports a slot's *current* wake cycle, which
+    /// may be later than the parked key (lazy entries are re-parked).
+    pub(crate) fn wake(&mut self, now: u64, ready_at_of: impl Fn(usize) -> u64) {
+        while let Some(&Reverse((at, slot))) = self.heap.peek() {
+            if at > now {
+                break;
+            }
+            self.heap.pop();
+            let actual = ready_at_of(slot);
+            if actual <= now {
+                self.mark_ready(slot);
+            } else {
+                self.heap.push(Reverse((actual, slot)));
+            }
+        }
+    }
+
+    /// First ready slot at or cyclically after `start`, over `n` slots —
+    /// the same candidate order as a linear `(start + k) % n` scan.
+    pub(crate) fn first_from(&self, start: usize, n: usize) -> Option<usize> {
+        if n == 0 {
+            return None;
+        }
+        let start = start % n;
+        self.scan_range(start, n)
+            .or_else(|| self.scan_range(0, start))
+    }
+
+    /// First ready slot in `[from, to)`.
+    fn scan_range(&self, from: usize, to: usize) -> Option<usize> {
+        if from >= to {
+            return None;
+        }
+        let mut wi = from / 64;
+        let last = (to - 1) / 64;
+        while wi <= last {
+            let &word = self.words.get(wi)?;
+            let mut w = word;
+            if wi == from / 64 {
+                w &= !0u64 << (from % 64);
+            }
+            if wi == last && !to.is_multiple_of(64) {
+                w &= (1u64 << (to % 64)) - 1;
+            }
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+            wi += 1;
+        }
+        None
+    }
+
+    /// Rebuilds the whole partition from `(slot, ready_at)` pairs — used
+    /// after slot indices shift (warp retirement) or a checkpoint restore.
+    pub(crate) fn rebuild(&mut self, now: u64, slots: impl Iterator<Item = (usize, u64)>) {
+        self.words.clear();
+        self.heap.clear();
+        for (slot, ready_at) in slots {
+            if ready_at <= now {
+                self.mark_ready(slot);
+            } else {
+                self.park(slot, ready_at);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_order_matches_linear_scan() {
+        let mut r = ReadySet::default();
+        for s in [0, 2, 5] {
+            r.mark_ready(s);
+        }
+        assert_eq!(r.first_from(0, 6), Some(0));
+        assert_eq!(r.first_from(1, 6), Some(2));
+        assert_eq!(r.first_from(3, 6), Some(5));
+        assert_eq!(r.first_from(6, 6), Some(0), "wraps like (rr + k) % n");
+        r.remove(5);
+        assert_eq!(r.first_from(3, 6), Some(0), "wraparound after removal");
+    }
+
+    #[test]
+    fn parked_slots_wake_at_their_cycle() {
+        let mut r = ReadySet::default();
+        r.mark_ready(1);
+        r.park(1, 10);
+        assert_eq!(r.first_from(0, 4), None);
+        r.wake(9, |_| 10);
+        assert_eq!(r.first_from(0, 4), None);
+        r.wake(10, |_| 10);
+        assert_eq!(r.first_from(0, 4), Some(1));
+    }
+
+    #[test]
+    fn stale_heap_entries_are_reparked() {
+        // Parked until 5, but phase B pushed the warp's ready_at to 8.
+        let mut r = ReadySet::default();
+        r.park(3, 5);
+        r.wake(5, |_| 8);
+        assert_eq!(r.first_from(0, 4), None, "woke too early");
+        r.wake(8, |_| 8);
+        assert_eq!(r.first_from(0, 4), Some(3));
+    }
+
+    #[test]
+    fn scan_crosses_word_boundaries() {
+        let mut r = ReadySet::default();
+        r.mark_ready(70);
+        r.mark_ready(3);
+        assert_eq!(r.first_from(4, 128), Some(70));
+        assert_eq!(r.first_from(71, 128), Some(3));
+        r.rebuild(0, [(65, 0u64), (2, 9)].into_iter());
+        assert_eq!(r.first_from(0, 128), Some(65), "slot 2 parked by rebuild");
+        r.wake(9, |_| 9);
+        assert_eq!(r.first_from(66, 128), Some(2));
+    }
+}

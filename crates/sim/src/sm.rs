@@ -3,6 +3,7 @@
 
 use crate::config::{GpuConfig, SpawnPolicy};
 use crate::fault::{Fault, FaultKind, InjectedFault, Injector, SmSnapshot, WarpSnapshot};
+use crate::ready::ReadySet;
 use crate::stats::SimStats;
 use crate::telemetry::{SmTelemetry, TelemetrySpec};
 use crate::thread::ThreadCtx;
@@ -15,7 +16,6 @@ use simt_mem::{
     TrafficStats, WarpAccess,
 };
 use std::collections::HashMap;
-
 /// Execution context shared by all SMs for the current launch.
 #[derive(Debug)]
 pub(crate) struct ExecCtx<'a> {
@@ -67,6 +67,37 @@ pub struct Sm {
     /// This SM's telemetry shard, written like `stats` during phase A and
     /// merged by the GPU in SM-id order (see [`crate::telemetry`]).
     telemetry: SmTelemetry,
+    /// Ready/parked partition over warp slots: the issue stage wakes and
+    /// scans only warps that can actually issue (see [`crate::ready`]).
+    ready: ReadySet,
+    /// Late load results dropped because the destination warp or lane was
+    /// dead by phase B (killed mid-flight). Diagnostic counter, not part
+    /// of [`SimStats`] and not serialized.
+    late_write_drops: u64,
+    /// A warp may have finished since the last reap. Warps only finish
+    /// through [`Sm::retire_lanes`] / [`Sm::kill_warp`] (the PDOM stack
+    /// empties solely by lane-exit mask clears), so when this is clear the
+    /// per-cycle reap scan is skipped outright. Derived state: not
+    /// serialized, set after restore to force one scan.
+    reap_dirty: bool,
+    /// SM-side state that dispatch admission reads (formation FIFO and
+    /// partials, warp-pool resources, live-warp census) may have changed
+    /// since the last `dispatch_for_sm` call. While clear — and the
+    /// launch-block queue is also unchanged — a dispatch call would be a
+    /// provable no-op returning `false`, so the cycle loop skips it.
+    /// Over-marking is harmless (one wasted call); set conservatively on
+    /// every admission, exit, kill, reap, spawn, and formation-block
+    /// release. Derived state: not serialized, set after restore.
+    dispatch_dirty: bool,
+    /// Pooled op buffers recycled between [`Sm::exec_memory`] and
+    /// [`Sm::drain_pending`], so the per-access `Vec` churn of the load
+    /// path does not hit the allocator in steady state.
+    op_pool: Vec<Vec<FunctionalOp>>,
+    /// Scratch address buffer for [`Sm::exec_memory`] (reused per access).
+    addr_scratch: Vec<u32>,
+    /// Scratch partitions of a texture access (cached / uncached lanes).
+    tex_cached: Vec<u32>,
+    tex_uncached: Vec<u32>,
 }
 
 impl Sm {
@@ -112,6 +143,14 @@ impl Sm {
                 cfg.divergence_window,
                 cfg.warp_size,
             ),
+            ready: ReadySet::default(),
+            late_write_drops: 0,
+            reap_dirty: false,
+            dispatch_dirty: true,
+            op_pool: Vec::new(),
+            addr_scratch: Vec::new(),
+            tex_cached: Vec::new(),
+            tex_uncached: Vec::new(),
         }
     }
 
@@ -258,6 +297,8 @@ impl Sm {
         self.regs_used += n * ctx.regs_per_thread;
         self.stats.threads_launched += u64::from(n);
         self.telemetry.on_warp_birth(now, wid, false, n);
+        self.dispatch_dirty = true;
+        self.ready.mark_ready(self.warps.len());
         self.warps.push(w);
     }
 
@@ -300,6 +341,8 @@ impl Sm {
         self.threads_used += n;
         self.regs_used += n * ctx.regs_per_thread;
         self.telemetry.on_warp_birth(now, wid, true, n);
+        self.dispatch_dirty = true;
+        self.ready.mark_ready(self.warps.len());
         self.warps.push(w);
     }
 
@@ -308,35 +351,58 @@ impl Sm {
     // Block bookkeeping is kept in lockstep with warp admission.
     #[allow(clippy::expect_used)]
     pub(crate) fn reap_finished(&mut self, now: u64, ctx: &ExecCtx<'_>) -> usize {
+        if !self.reap_dirty {
+            return 0;
+        }
+        self.reap_dirty = false;
         let mut reaped = 0;
-        let mut i = 0;
-        while i < self.warps.len() {
+        // Single order-preserving compaction pass: side effects fire in
+        // ascending slot order, exactly like the old remove-in-place loop
+        // but without an O(n) shift per reaped warp. Finished warps are
+        // swapped past the keep cursor (never revisited) and truncated off.
+        let mut keep = 0;
+        for i in 0..self.warps.len() {
             if self.warps[i].is_finished() {
-                let w = self.warps.remove(i);
-                self.telemetry.on_warp_retire(now, w.id);
-                let n = w.population();
+                self.telemetry.on_warp_retire(now, self.warps[i].id);
+                let n = self.warps[i].population();
                 self.threads_used -= n;
                 self.regs_used -= n * ctx.regs_per_thread;
-                if let Some(b) = w.block_id {
+                if let Some(b) = self.warps[i].block_id {
                     let left = self.blocks.get_mut(&b).expect("block tracked");
                     *left -= 1;
                     if *left == 0 {
                         self.blocks.remove(&b);
                     }
                 }
-                if let (Some(base), Some(f)) = (w.formation_block, self.formation.as_mut()) {
-                    f.release_block(base);
+                if let Some(base) = self.warps[i].formation_block.take() {
+                    if let Some(f) = self.formation.as_mut() {
+                        f.release_block(base);
+                    }
                 }
-                if let (Some(base), Some(f)) = (w.elision_block, self.formation.as_mut()) {
-                    f.release_block(base);
+                if let Some(base) = self.warps[i].elision_block.take() {
+                    if let Some(f) = self.formation.as_mut() {
+                        f.release_block(base);
+                    }
                 }
                 reaped += 1;
             } else {
-                i += 1;
+                if keep != i {
+                    self.warps.swap(keep, i);
+                }
+                keep += 1;
             }
         }
+        self.warps.truncate(keep);
         if self.rr >= self.warps.len() {
             self.rr = 0;
+        }
+        if reaped > 0 {
+            self.dispatch_dirty = true;
+            // Slot indices shifted: rebuild the ready/parked partition
+            // from the surviving warps.
+            let warps = &self.warps;
+            self.ready
+                .rebuild(now, warps.iter().enumerate().map(|(i, w)| (i, w.ready_at)));
         }
         reaped
     }
@@ -344,6 +410,18 @@ impl Sm {
     /// Whether any resident warp still has lanes to run.
     pub(crate) fn has_live_warps(&mut self) -> bool {
         self.warps.iter_mut().any(|w| !w.is_finished())
+    }
+
+    /// Whether dispatch-visible SM state may have changed since the last
+    /// [`Sm::clear_dispatch_dirty`] (see the field doc).
+    pub(crate) fn dispatch_dirty(&self) -> bool {
+        self.dispatch_dirty
+    }
+
+    /// Acknowledges a completed dispatch call: until the next mutation
+    /// (or a launch-queue change) dispatch is a provable no-op here.
+    pub(crate) fn clear_dispatch_dirty(&mut self) {
+        self.dispatch_dirty = false;
     }
 
     /// Drains ready dynamic warps from the FIFO into the warp pool, with
@@ -423,24 +501,40 @@ impl Sm {
     ) -> Result<bool, Fault> {
         if now < self.issue_blocked_until {
             // Issue port consumed by bank-conflict replays.
-            self.stats.idle_sm_cycles += 1;
-            self.stats.divergence.record_idle(now);
-            self.telemetry.on_idle(now);
+            self.record_idle(now);
             return Ok(false);
         }
         let n = self.warps.len();
         if n == 0 {
-            self.stats.idle_sm_cycles += 1;
-            self.stats.divergence.record_idle(now);
-            self.telemetry.on_idle(now);
+            self.record_idle(now);
             return Ok(false);
         }
-        for k in 0..n {
-            let idx = (self.rr + k) % n;
-            if self.warps[idx].ready_at > now {
+        // Wake parked warps whose cycle has arrived, then take the first
+        // ready slot in rotation order — the same candidate the old
+        // linear `(rr + k) % n` scan would have picked.
+        {
+            let warps = &self.warps;
+            self.ready.wake(now, |slot| warps[slot].ready_at);
+        }
+        loop {
+            let Some(idx) = self.ready.first_from(self.rr, n) else {
+                self.record_idle(now);
+                return Ok(false);
+            };
+            // Bitset entries are lazy too: commit leaves a warp with a
+            // next-cycle wake in the set (the common case) rather than
+            // round-tripping it through the heap, and phase B may then
+            // push its `ready_at` out. Validate here, exactly like the
+            // heap pop does, and park the stragglers.
+            let at = self.warps[idx].ready_at;
+            if at > now {
+                self.ready.park(idx, at);
                 continue;
             }
             let Some(entry) = self.warps[idx].current() else {
+                // Finished warp not yet reaped: it can never issue again,
+                // drop it from the ready set and keep scanning.
+                self.ready.remove(idx);
                 continue;
             };
             self.rr = (idx + 1) % n;
@@ -453,10 +547,39 @@ impl Sm {
             self.exec_warp_instruction(idx, entry.pc, entry.mask, now, ctx, view, injector)?;
             return Ok(true);
         }
+    }
+
+    /// Records one idle SM-cycle across stats and telemetry.
+    fn record_idle(&mut self, now: u64) {
         self.stats.idle_sm_cycles += 1;
         self.stats.divergence.record_idle(now);
         self.telemetry.on_idle(now);
-        Ok(false)
+    }
+
+    /// Records `count` idle SM-cycles starting at `from` in one bulk
+    /// update — byte-identical to calling the per-cycle path once per
+    /// cycle (the event-driven loop uses this when it skips over a fully
+    /// idle span).
+    pub(crate) fn record_idle_span(&mut self, from: u64, count: u64) {
+        self.stats.idle_sm_cycles += count;
+        self.stats.divergence.record_idle_span(from, count);
+        self.telemetry.on_idle_span(from, count);
+    }
+
+    /// The earliest future cycle at which this SM could issue a
+    /// warp-instruction, or `None` if no resident warp will ever become
+    /// ready (the SM is idle until new work is dispatched to it). Used by
+    /// the event-driven cycle loop to skip over fully idle spans.
+    pub(crate) fn next_issue_at(&mut self) -> Option<u64> {
+        let mut min: Option<u64> = None;
+        for i in 0..self.warps.len() {
+            if self.warps[i].is_finished() {
+                continue;
+            }
+            let at = self.warps[i].ready_at;
+            min = Some(min.map_or(at, |m| m.min(at)));
+        }
+        min.map(|m| m.max(self.issue_blocked_until))
     }
 
     /// Phase B: applies this SM's deferred functional transfers and services
@@ -464,7 +587,16 @@ impl Sm {
     /// serially in SM-id order, which reproduces exactly the memory
     /// interleaving of the old fully-serial cycle loop.
     pub(crate) fn drain_pending(&mut self, now: u64, fabric: &mut MemoryFabric) {
-        for pa in self.pending.drain(..) {
+        for mut pa in self.pending.drain(..) {
+            // Slots are stable between phase A and this drain (see
+            // `PendingAccess::slot`); the id check guards the impossible.
+            let slot = match self.warps.get(pa.slot) {
+                Some(w) if w.id == pa.warp_id => Some(pa.slot),
+                _ => None,
+            };
+            // The live-lane mask is invariant across this access's ops:
+            // nothing in phase B changes lane population or exit state.
+            let live = slot.map_or(0u64, |i| self.warps[i].lanes.live_mask());
             for op in &pa.ops {
                 if let Some(v) = fabric.apply(op) {
                     let FunctionalOp::Load { lane, reg, .. } = op else {
@@ -472,11 +604,15 @@ impl Sm {
                     };
                     // The warp is parked until at least `now + 1`, so this
                     // late register write is indistinguishable from the old
-                    // at-issue write.
-                    if let Some(w) = self.warps.iter_mut().find(|w| w.id == pa.warp_id) {
-                        if let Some(t) = w.lanes[*lane].as_mut() {
-                            t.set_reg(*reg, v);
+                    // at-issue write — unless the warp died between issue
+                    // and phase B (a KillWarp trap this cycle). A result
+                    // for a dead warp or an exited lane is dropped
+                    // explicitly and counted, never applied blindly.
+                    match slot {
+                        Some(i) if (live >> *lane) & 1 == 1 => {
+                            self.warps[i].lanes.set_reg(*lane, *reg, v);
                         }
+                        _ => self.late_write_drops += 1,
                     }
                 }
             }
@@ -485,11 +621,26 @@ impl Sm {
                 ready = ready.max(fabric.service(now, req));
             }
             if pa.wait && !pa.requests.is_empty() {
-                if let Some(w) = self.warps.iter_mut().find(|w| w.id == pa.warp_id) {
+                if let Some(i) = slot {
+                    // Push the wake cycle out; the ready-set entry
+                    // (bitset or heap) is revalidated lazily.
+                    let w = &mut self.warps[i];
                     w.ready_at = w.ready_at.max(ready);
                 }
             }
+            // Recycle the op buffer for the next access instead of
+            // freeing it (bounded pool: one buffer per in-flight access).
+            pa.ops.clear();
+            if self.op_pool.len() < 16 {
+                self.op_pool.push(std::mem::take(&mut pa.ops));
+            }
         }
+    }
+
+    /// Late load results dropped on dead warps/lanes (see
+    /// [`Sm::drain_pending`]); zero on any fault-free run.
+    pub fn late_write_drops(&self) -> u64 {
+        self.late_write_drops
     }
 
     /// Drops queued phase-A work without applying it (abort path: SMs past
@@ -515,35 +666,30 @@ impl Sm {
     /// records recycled. The emptied warp is released by the next
     /// [`Sm::reap_finished`] like any finished warp.
     pub(crate) fn kill_warp(&mut self, warp_id: usize) {
+        // Cold path (traps only): a linear scan beats maintaining an
+        // id→slot map on the hot admission/reap paths.
         let Some(widx) = self.warps.iter().position(|w| w.id == warp_id) else {
             return;
         };
-        let mut mask = 0u64;
-        for lane in 0..self.warp_size as usize {
-            let slot = {
-                let Some(t) = self.warps[widx].lanes[lane].as_mut() else {
-                    continue;
-                };
-                if t.exited {
-                    continue;
+        let mask = self.warps[widx].lanes.live_mask();
+        let mut bits = mask;
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            // A lane that already spawned a child has handed its state
+            // record to that lineage; only childless lanes give the
+            // slot back here.
+            if !self.warps[widx].lanes.spawned_child(lane) {
+                if let Some(s) = self.warps[widx].lanes.take_state_slot(lane) {
+                    self.free_state_slots.push(s);
                 }
-                mask |= 1 << lane;
-                // A lane that already spawned a child has handed its state
-                // record to that lineage; only childless lanes give the
-                // slot back here.
-                if t.spawned_child {
-                    None
-                } else {
-                    t.state_slot.take()
-                }
-            };
-            if let Some(s) = slot {
-                self.free_state_slots.push(s);
             }
         }
         self.stats.warps_killed += 1;
         self.stats.threads_killed += u64::from(mask.count_ones());
         self.warps[widx].exit_lanes(mask);
+        self.reap_dirty = true;
+        self.dispatch_dirty = true;
     }
 
     /// Snapshot of this SM's warp state for deadlock diagnostics.
@@ -596,44 +742,29 @@ impl Sm {
             ));
         };
         // Guard-pass mask over the PDOM-active lanes.
-        let mut pass = 0u64;
-        {
-            let w = &self.warps[widx];
-            for lane in 0..self.warp_size as usize {
-                if mask & (1 << lane) == 0 {
-                    continue;
-                }
-                let Some(t) = w.lanes[lane].as_ref() else {
-                    continue;
-                };
-                let ok = match instr.guard {
-                    None => true,
-                    Some(g) => t.pred(g.pred) != g.negate,
-                };
-                if ok {
-                    pass |= 1 << lane;
-                }
-            }
-        }
+        let lanes = &self.warps[widx].lanes;
+        let active = mask & lanes.populated_mask();
+        let pass = match instr.guard {
+            None => active,
+            Some(g) => active & lanes.guard_mask(g.pred, g.negate),
+        };
 
         // A stalled spawn consumes the issue slot without committing.
         if let Instr::Spawn { target, ptr } = instr.op {
+            // Dispatch-dirty marking: a spawn changes what dispatch sees
+            // only when it *completes* a warp into the formation FIFO
+            // (marked below on `warps_completed > 0`). Partial-line growth
+            // matters to dispatch only via force-out, which requires every
+            // live warp to have exited first — and lane exits mark dirty
+            // themselves. Elision and stall outcomes touch no
+            // dispatch-visible state at all.
             // §IX optimization: when every live lane of the warp executes
             // this same spawn, branch the warp to the μ-kernel in place
             // instead of creating threads. Each lane's state pointer is
             // still published through a (resident) spawn-memory scratch
             // block so the μ-kernel's restore sequence works unchanged.
             if self.spawn_policy == SpawnPolicy::OnDivergence {
-                let live: u64 = {
-                    let w = &self.warps[widx];
-                    let mut m = 0u64;
-                    for (i, lane) in w.lanes.iter().enumerate() {
-                        if lane.as_ref().is_some_and(|t| !t.exited) {
-                            m |= 1 << i;
-                        }
-                    }
-                    m
-                };
+                let live: u64 = self.warps[widx].lanes.live_mask();
                 if pass == live && pass != 0 {
                     if self.warps[widx].elision_block.is_none() {
                         self.warps[widx].elision_block =
@@ -643,15 +774,15 @@ impl Sm {
                         let spawn_mem = self.spawn_mem.as_mut().expect("dmk enabled");
                         let mut slots = Vec::with_capacity(pass.count_ones() as usize);
                         let mut idx = 0u32;
-                        for lane in 0..self.warp_size as usize {
-                            if pass & (1 << lane) == 0 {
-                                continue;
-                            }
+                        let mut bits = pass;
+                        while bits != 0 {
+                            let lane = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
                             let slot = block + 4 * idx;
                             idx += 1;
-                            let t = self.warps[widx].lanes[lane].as_mut().expect("populated");
-                            spawn_mem.write(slot, t.reg(ptr));
-                            t.spawn_mem_addr = slot;
+                            let w = &mut self.warps[widx];
+                            spawn_mem.write(slot, w.lanes.reg(lane, ptr));
+                            w.lanes.set_spawn_mem_addr(lane, slot);
                             slots.push(slot);
                         }
                         let (_, degree) = self.frontend.access_onchip(
@@ -694,18 +825,23 @@ impl Sm {
             };
             match outcome {
                 Ok(out) => {
+                    if out.warps_completed > 0 {
+                        // New FIFO entries: dispatch must get a chance to
+                        // admit them (with priority over launch work).
+                        self.dispatch_dirty = true;
+                    }
                     // Store each spawning lane's state pointer into its
                     // formation slot (the §IV-C memory transaction).
                     let spawn_mem = self.spawn_mem.as_mut().expect("dmk enabled");
                     let mut slot_iter = out.thread_slots.iter();
-                    for lane in 0..self.warp_size as usize {
-                        if pass & (1 << lane) == 0 {
-                            continue;
-                        }
+                    let mut bits = pass;
+                    while bits != 0 {
+                        let lane = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
                         let slot = *slot_iter.next().expect("one slot per spawning lane");
-                        let t = self.warps[widx].lanes[lane].as_mut().expect("populated");
-                        spawn_mem.write(slot, t.reg(ptr));
-                        t.spawned_child = true;
+                        let w = &mut self.warps[widx];
+                        spawn_mem.write(slot, w.lanes.reg(lane, ptr));
+                        w.lanes.set_spawned_child(lane);
                     }
                     self.stats.threads_spawned += u64::from(n_active);
                     let wid = self.warps[widx].id;
@@ -744,6 +880,7 @@ impl Sm {
                     let wid = self.warps[widx].id;
                     self.telemetry.on_spawn_stall(now, wid);
                     self.warps[widx].ready_at = now + 4;
+                    self.ready.park(widx, now + 4);
                 }
             }
             return Ok(());
@@ -762,52 +899,31 @@ impl Sm {
                 ) {
                     latency = self.long_op_latency;
                 }
-                self.for_each_pass_lane(widx, pass, |t| {
-                    let r = simt_isa::eval_alu(op, t.operand(a), t.operand(b), t.operand(c));
-                    t.set_reg(d, r);
-                });
+                self.warps[widx].lanes.alu_warp(pass, op, d, a, b, c);
                 self.commit(widx, pc, mask, now, now + u64::from(latency));
                 self.warps[widx].set_pc(pc + 1);
             }
             Instr::Setp { cmp, p, a, b } => {
-                self.for_each_pass_lane(widx, pass, |t| {
-                    let r = simt_isa::eval_cmp(cmp, t.operand(a), t.operand(b));
-                    t.set_pred(p, r);
-                });
+                self.warps[widx].lanes.setp_warp(pass, cmp, p, a, b);
                 self.commit(widx, pc, mask, now, now + 1);
                 self.warps[widx].set_pc(pc + 1);
             }
             Instr::Selp { d, a, b, p } => {
-                self.for_each_pass_lane(widx, pass, |t| {
-                    let v = if t.pred(p) {
-                        t.operand(a)
-                    } else {
-                        t.operand(b)
-                    };
-                    t.set_reg(d, v);
-                });
+                self.warps[widx].lanes.selp_warp(pass, d, a, b, p);
                 self.commit(widx, pc, mask, now, now + 1);
                 self.warps[widx].set_pc(pc + 1);
             }
             Instr::Mov { d, a } => {
-                self.for_each_pass_lane(widx, pass, |t| {
-                    let v = t.operand(a);
-                    t.set_reg(d, v);
-                });
+                self.warps[widx].lanes.mov_warp(pass, d, a);
                 self.commit(widx, pc, mask, now, now + 1);
                 self.warps[widx].set_pc(pc + 1);
             }
             Instr::ReadSpecial { d, s } => {
                 let (sm_id, ntid) = (self.id as u32, ctx.ntid);
                 let wid = self.warps[widx].id as u32;
-                for lane in 0..self.warp_size as usize {
-                    if pass & (1 << lane) == 0 {
-                        continue;
-                    }
-                    let t = self.warps[widx].lanes[lane].as_mut().expect("populated");
-                    let v = t.special(s, lane as u32, wid, sm_id, ntid);
-                    t.set_reg(d, v);
-                }
+                self.warps[widx]
+                    .lanes
+                    .special_warp(pass, d, s, wid, sm_id, ntid);
                 self.commit(widx, pc, mask, now, now + 1);
                 self.warps[widx].set_pc(pc + 1);
             }
@@ -870,18 +986,20 @@ impl Sm {
 
     /// Marks lanes retired, updating lineage accounting and recycling
     /// spawn-memory state slots.
-    // Lane expects are backed by the caller passing live-lane masks only.
-    #[allow(clippy::expect_used)]
     fn retire_lanes(&mut self, widx: usize, lanes: u64) {
-        for lane in 0..self.warp_size as usize {
-            if lanes & (1 << lane) == 0 {
-                continue;
-            }
-            let t = self.warps[widx].lanes[lane].as_mut().expect("populated");
+        self.reap_dirty = true;
+        // Exits change the live-warp census the end-of-application
+        // force-out condition reads.
+        self.dispatch_dirty = true;
+        let mut bits = lanes & self.warps[widx].lanes.populated_mask();
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
             self.stats.threads_retired += 1;
-            if !t.spawned_child {
+            let w = &mut self.warps[widx];
+            if !w.lanes.spawned_child(lane) {
                 self.stats.lineages_completed += 1;
-                if let Some(slot) = t.state_slot.take() {
+                if let Some(slot) = w.lanes.take_state_slot(lane) {
                     self.free_state_slots.push(slot);
                 }
             }
@@ -916,47 +1034,53 @@ impl Sm {
     ) -> Result<u64, MemFault> {
         let nwords = width.regs() as u32;
         let warp_id = self.warps[widx].id;
-        let mut addresses: Vec<u32> = Vec::with_capacity(pass.count_ones() as usize);
+        let mut addresses = std::mem::take(&mut self.addr_scratch);
+        addresses.clear();
+        addresses.reserve(pass.count_ones() as usize);
 
         if space.is_on_chip() {
             // On-chip spaces wrap modulo capacity like the banked hardware,
             // but misalignment is still a trap, and a spawn-space access
-            // without μ-kernel hardware has no backing at all.
-            for lane in 0..self.warp_size as usize {
-                if pass & (1 << lane) == 0 {
-                    continue;
+            // without μ-kernel hardware has no backing at all. Both checks
+            // hoist out of the word loop: every word of a stride-4 span
+            // shares the base's alignment (so word 0 is always the first
+            // misaligned word), and the spawn backing cannot change
+            // mid-instruction — so once lane checks pass, no word of that
+            // lane can fault, exactly like the per-word order.
+            let spawn_unbacked = space == Space::Spawn && self.spawn_mem.is_none();
+            let Sm {
+                warps,
+                shared,
+                spawn_mem,
+                ..
+            } = self;
+            let lanes = &mut warps[widx].lanes;
+            let mut bits = pass;
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let base = lanes.reg(lane, addr_reg).wrapping_add(offset as u32);
+                if !base.is_multiple_of(4) {
+                    return Err(MemFault::Misaligned { space, addr: base });
                 }
-                let base = {
-                    let t = self.warps[widx].lanes[lane].as_ref().expect("populated");
-                    t.reg(addr_reg).wrapping_add(offset as u32)
-                };
-                for i in 0..nwords {
-                    let a = base + 4 * i;
-                    let r = simt_isa::Reg(reg.0 + i as u8);
-                    if a % 4 != 0 {
-                        return Err(MemFault::Misaligned { space, addr: a });
-                    }
-                    if space == Space::Spawn && self.spawn_mem.is_none() {
-                        return Err(MemFault::Unmapped { space });
-                    }
-                    if is_store {
-                        let v = self.warps[widx].lanes[lane]
-                            .as_ref()
-                            .expect("populated")
-                            .reg(r);
+                if spawn_unbacked {
+                    return Err(MemFault::Unmapped { space });
+                }
+                if is_store {
+                    for i in 0..nwords {
+                        let v = lanes.reg(lane, simt_isa::Reg(reg.0 + i as u8));
                         match space {
-                            Space::Shared => self.shared.write(a, v),
-                            _ => self.spawn_mem.as_mut().expect("checked").write(a, v),
+                            Space::Shared => shared.write(base + 4 * i, v),
+                            _ => spawn_mem.as_mut().expect("checked").write(base + 4 * i, v),
                         }
-                    } else {
+                    }
+                } else {
+                    for i in 0..nwords {
                         let v = match space {
-                            Space::Shared => self.shared.read(a),
-                            _ => self.spawn_mem.as_ref().expect("checked").read(a),
+                            Space::Shared => shared.read(base + 4 * i),
+                            _ => spawn_mem.as_ref().expect("checked").read(base + 4 * i),
                         };
-                        self.warps[widx].lanes[lane]
-                            .as_mut()
-                            .expect("populated")
-                            .set_reg(r, v);
+                        lanes.set_reg(lane, simt_isa::Reg(reg.0 + i as u8), v);
                     }
                 }
                 addresses.push(base);
@@ -967,6 +1091,7 @@ impl Sm {
                 if let Some(base) = self.warps[widx].formation_block.take() {
                     if let Some(f) = self.formation.as_mut() {
                         f.release_block(base);
+                        self.dispatch_dirty = true;
                     }
                 }
             }
@@ -978,6 +1103,7 @@ impl Sm {
             };
             let (ready, degree) = self.frontend.access_onchip(now, &req);
             self.block_issue_for_replays(now, degree);
+            self.addr_scratch = req.addresses;
             return Ok(ready);
         }
 
@@ -985,14 +1111,17 @@ impl Sm {
         // order the serial model performed the transfers in), capturing
         // deferred ops. Store values are read from the register file *now*,
         // at issue, so phase B applies exactly what the lane held.
-        let mut ops: Vec<FunctionalOp> = Vec::new();
-        for lane in 0..self.warp_size as usize {
-            if pass & (1 << lane) == 0 {
-                continue;
-            }
+        let mut ops: Vec<FunctionalOp> = self.op_pool.pop().unwrap_or_default();
+        let mut bits = pass;
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
             let (tid, base) = {
-                let t = self.warps[widx].lanes[lane].as_ref().expect("populated");
-                (t.tid, t.reg(addr_reg).wrapping_add(offset as u32))
+                let lanes = &self.warps[widx].lanes;
+                (
+                    lanes.tid(lane),
+                    lanes.reg(lane, addr_reg).wrapping_add(offset as u32),
+                )
             };
             for i in 0..nwords {
                 let a = base + 4 * i;
@@ -1006,6 +1135,7 @@ impl Sm {
                     if !ops.is_empty() {
                         self.pending.push(PendingAccess {
                             warp_id,
+                            slot: widx,
                             wait: false,
                             ops,
                             requests: Vec::new(),
@@ -1014,10 +1144,7 @@ impl Sm {
                     return Err(fault);
                 }
                 if is_store {
-                    let v = self.warps[widx].lanes[lane]
-                        .as_ref()
-                        .expect("populated")
-                        .reg(r);
+                    let v = self.warps[widx].lanes.reg(lane, r);
                     ops.push(FunctionalOp::Store {
                         space,
                         tid,
@@ -1042,11 +1169,19 @@ impl Sm {
             };
             addresses.push(timing_addr);
         }
-
         // Texture-bound global loads go through the per-SM read-only cache.
         if !is_store && space == Space::Global && !view.config().ideal && self.frontend.has_tex() {
-            let (cached, uncached): (Vec<u32>, Vec<u32>) =
-                addresses.iter().partition(|&&a| view.is_read_only(a));
+            let mut cached = std::mem::take(&mut self.tex_cached);
+            let mut uncached = std::mem::take(&mut self.tex_uncached);
+            cached.clear();
+            uncached.clear();
+            for &a in &addresses {
+                if view.is_read_only(a) {
+                    cached.push(a);
+                } else {
+                    uncached.push(a);
+                }
+            }
             let miss_lines = self.frontend.tex_probe(&cached, width.bytes());
             let line = view.config().tex_line_bytes;
             let mut ready = now + u64::from(view.config().tex_hit_latency);
@@ -1087,11 +1222,17 @@ impl Sm {
             if !ops.is_empty() || !requests.is_empty() {
                 self.pending.push(PendingAccess {
                     warp_id,
+                    slot: widx,
                     wait: true,
                     ops,
                     requests,
                 });
+            } else {
+                self.op_pool.push(ops);
             }
+            self.tex_cached = cached;
+            self.tex_uncached = uncached;
+            self.addr_scratch = addresses;
             return Ok(ready);
         }
 
@@ -1107,11 +1248,15 @@ impl Sm {
         if !ops.is_empty() || !requests.is_empty() {
             self.pending.push(PendingAccess {
                 warp_id,
+                slot: widx,
                 wait: !is_store,
                 ops,
                 requests,
             });
+        } else {
+            self.op_pool.push(ops);
         }
+        self.addr_scratch = addresses;
         Ok(ready)
     }
 
@@ -1121,20 +1266,6 @@ impl Sm {
         if degree > 1 {
             let start = now.max(self.issue_blocked_until);
             self.issue_blocked_until = start + u64::from(degree - 1);
-        }
-    }
-
-    // Pass masks are subsets of the populated-lane mask.
-    #[allow(clippy::expect_used)]
-    fn for_each_pass_lane(&mut self, widx: usize, pass: u64, mut f: impl FnMut(&mut ThreadCtx)) {
-        for lane in 0..self.warp_size as usize {
-            if pass & (1 << lane) == 0 {
-                continue;
-            }
-            let t = self.warps[widx].lanes[lane]
-                .as_mut()
-                .expect("populated lane");
-            f(t);
         }
     }
 
@@ -1151,13 +1282,14 @@ impl Sm {
         }
         let w = &mut self.warps[widx];
         w.ready_at = ready.max(now + 1);
-        for lane in 0..self.warp_size as usize {
-            if mask & (1 << lane) == 0 {
-                continue;
-            }
-            if let Some(t) = w.lanes[lane].as_mut() {
-                t.instructions += 1;
-            }
+        w.lanes.add_instruction(mask);
+        let until = w.ready_at;
+        // Back-to-back ready (the common case): the warp is already in
+        // the ready bitset — leave it there instead of a heap round-trip.
+        // `Sm::step` revalidates `ready_at` before issuing, so a phase-B
+        // wake-up pushed past `now + 1` still parks the warp lazily.
+        if until > now + 1 {
+            self.ready.park(widx, until);
         }
     }
 
@@ -1242,6 +1374,16 @@ impl Sm {
         self.stats.restore_state(dec)?;
         self.telemetry.restore_state(dec)?;
         self.pending.clear();
+        // Derived issue-stage structures are rebuilt, not stored: a warp
+        // parked at cycle 0 wakes on the first post-restore step anyway.
+        let warps = &self.warps;
+        self.ready
+            .rebuild(0, warps.iter().enumerate().map(|(i, w)| (i, w.ready_at)));
+        self.late_write_drops = 0;
+        // Conservative: force one reap scan after restore rather than
+        // prove no restored warp is already finished.
+        self.reap_dirty = true;
+        self.dispatch_dirty = true;
         Ok(())
     }
 

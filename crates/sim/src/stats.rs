@@ -13,12 +13,31 @@ pub const OCCUPANCY_BUCKETS: usize = 9;
 
 /// Divergence breakdown over time: per window, how many SM-cycles issued a
 /// warp with each occupancy level (the data behind paper Figs. 3, 7, 9).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DivergenceTimeline {
     window: u64,
     warp_size: u32,
     counts: Vec<[u64; OCCUPANCY_BUCKETS]>,
+    /// Cached index of the window most recently written (the issue path
+    /// hits the same window millions of times in a row; this avoids a
+    /// 64-bit division per recorded cycle). Pure cache: excluded from
+    /// equality, serialization, and the checkpoint codec.
+    #[serde(skip)]
+    cur_idx: usize,
+    /// First cycle of the cached window.
+    #[serde(skip)]
+    cur_start: u64,
 }
+
+impl PartialEq for DivergenceTimeline {
+    fn eq(&self, other: &Self) -> bool {
+        self.window == other.window
+            && self.warp_size == other.warp_size
+            && self.counts == other.counts
+    }
+}
+
+impl Eq for DivergenceTimeline {}
 
 impl DivergenceTimeline {
     /// Creates a timeline with `window`-cycle buckets.
@@ -32,9 +51,12 @@ impl DivergenceTimeline {
             window,
             warp_size,
             counts: Vec::new(),
+            cur_idx: 0,
+            cur_start: 0,
         }
     }
 
+    #[inline]
     fn bucket_for(&self, active_lanes: u32) -> usize {
         if active_lanes == 0 {
             return 0;
@@ -43,14 +65,29 @@ impl DivergenceTimeline {
         let per_bucket = (self.warp_size as usize)
             .div_ceil(OCCUPANCY_BUCKETS - 1)
             .max(1);
-        (((active_lanes as usize) - 1) / per_bucket + 1).min(OCCUPANCY_BUCKETS - 1)
+        // Common warp sizes give a power-of-two bucket width; shift instead
+        // of dividing by a runtime value on the per-issue path.
+        let scaled = if per_bucket.is_power_of_two() {
+            ((active_lanes as usize) - 1) >> per_bucket.trailing_zeros()
+        } else {
+            ((active_lanes as usize) - 1) / per_bucket
+        };
+        (scaled + 1).min(OCCUPANCY_BUCKETS - 1)
     }
 
+    #[inline]
     fn slot(&mut self, cycle: u64) -> &mut [u64; OCCUPANCY_BUCKETS] {
+        // Fast path: same window as the previous record (a default-reset
+        // cache of `(0, 0)` is itself valid for window 0 once it exists).
+        if cycle.wrapping_sub(self.cur_start) < self.window && self.cur_idx < self.counts.len() {
+            return &mut self.counts[self.cur_idx];
+        }
         let idx = (cycle / self.window) as usize;
         if self.counts.len() <= idx {
             self.counts.resize(idx + 1, [0; OCCUPANCY_BUCKETS]);
         }
+        self.cur_idx = idx;
+        self.cur_start = idx as u64 * self.window;
         &mut self.counts[idx]
     }
 
@@ -63,6 +100,20 @@ impl DivergenceTimeline {
     /// Records one idle SM-cycle (no warp ready).
     pub fn record_idle(&mut self, cycle: u64) {
         self.slot(cycle)[0] += 1;
+    }
+
+    /// Records `count` consecutive idle SM-cycles starting at `from`,
+    /// chunked across window boundaries — identical to calling
+    /// [`DivergenceTimeline::record_idle`] once per cycle.
+    pub fn record_idle_span(&mut self, from: u64, count: u64) {
+        let end = from + count;
+        let mut c = from;
+        while c < end {
+            let win_end = (c / self.window + 1) * self.window;
+            let n = win_end.min(end) - c;
+            self.slot(c)[0] += n;
+            c += n;
+        }
     }
 
     /// The window width in cycles.

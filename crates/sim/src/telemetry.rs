@@ -355,6 +355,10 @@ pub(crate) struct SmTelemetry {
     /// final commit never issues again), which keeps the per-commit hot
     /// path a flat array access instead of a map lookup.
     depths: Vec<u32>,
+    /// Cached `(index, first cycle)` of the window most recently written —
+    /// pure cache, not serialized (see [`DivergenceTimeline`]'s twin).
+    cur_idx: usize,
+    cur_start: u64,
 }
 
 impl SmTelemetry {
@@ -379,6 +383,8 @@ impl SmTelemetry {
             events: VecDeque::new(),
             dropped: 0,
             depths: Vec::new(),
+            cur_idx: 0,
+            cur_start: 0,
         }
     }
 
@@ -394,11 +400,17 @@ impl SmTelemetry {
         cfg!(feature = "telemetry") && self.trace
     }
 
+    #[inline]
     fn slot_idx(&mut self, cycle: u64) -> usize {
+        if cycle.wrapping_sub(self.cur_start) < self.window && self.cur_idx < self.windows.len() {
+            return self.cur_idx;
+        }
         let idx = (cycle / self.window) as usize;
         if self.windows.len() <= idx {
             self.windows.resize(idx + 1, WindowCounters::default());
         }
+        self.cur_idx = idx;
+        self.cur_start = idx as u64 * self.window;
         idx
     }
 
@@ -464,6 +476,15 @@ impl SmTelemetry {
             return;
         }
         self.divergence.record_idle(now);
+    }
+
+    /// `count` consecutive idle SM-cycles starting at `from` — byte-identical
+    /// to `count` individual [`SmTelemetry::on_idle`] calls.
+    pub(crate) fn on_idle_span(&mut self, from: u64, count: u64) {
+        if !self.is_on() {
+            return;
+        }
+        self.divergence.record_idle_span(from, count);
     }
 
     /// A warp was admitted (launch or formation output).

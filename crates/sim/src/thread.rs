@@ -1,7 +1,21 @@
 //! Per-thread (lane) execution context.
 
 use simt_isa::codec::{CodecError, Decoder, Encoder};
-use simt_isa::{Operand, Pred, Reg, Special};
+use simt_isa::{eval_alu, eval_cmp, AluOp, CmpOp, Operand, Pred, Reg, Special};
+
+/// An operand pre-resolved against the warp's register layout, so the
+/// warp-wide execution loops do the operand-kind match and the
+/// register-vs-stride bounds check once per instruction instead of once
+/// per lane.
+#[derive(Clone, Copy)]
+enum Src {
+    /// In-file register: offset within a lane's register block.
+    Idx(usize),
+    /// Immediate value.
+    Imm(u32),
+    /// Register beyond the file: reads 0 (see [`LaneState::reg`]).
+    Zero,
+}
 
 /// Architectural state of one thread: registers, predicates and the
 /// special registers the paper's programming model exposes.
@@ -90,45 +104,583 @@ impl ThreadCtx {
             Special::SpawnMem => self.spawn_mem_addr,
         }
     }
+}
 
-    /// Serializes this thread's complete architectural state for a
-    /// simulator checkpoint.
-    pub(crate) fn encode_state(&self, enc: &mut Encoder) {
-        enc.put_u32(self.tid);
-        enc.put_u32_slice(&self.regs);
-        enc.put_u8(self.preds);
-        enc.put_u32(self.spawn_mem_addr);
-        enc.put_bool(self.state_slot.is_some());
-        if let Some(s) = self.state_slot {
-            enc.put_u32(s);
-        }
-        enc.put_bool(self.spawned_child);
-        enc.put_bool(self.exited);
-        enc.put_u64(self.instructions);
+/// Struct-of-arrays per-lane thread state for one warp.
+///
+/// The hot loops of [`crate::sm::Sm`] — guard-mask evaluation, ALU
+/// execution, address generation — walk the lanes of a warp every issued
+/// instruction. Storing lanes as `Vec<Option<ThreadCtx>>` made every one
+/// of those walks chase an `Option` discriminant and a heap pointer per
+/// lane; here the same state lives in dense parallel arrays indexed by
+/// lane, with populated/exited/spawned lane *sets* kept as bitmasks so
+/// the inner loops iterate set bits instead of testing discriminants.
+///
+/// Registers are a single flat `lanes × stride` array. The stride starts
+/// at the program's declared register count; a write beyond it (programs
+/// may under-declare) re-packs the block to a larger stride for the whole
+/// warp. Reads beyond the stride return 0, exactly like
+/// [`ThreadCtx::reg`] beyond the file.
+#[derive(Debug, Clone)]
+pub struct LaneState {
+    warp_size: u32,
+    regs_stride: u32,
+    /// Lane `i` holds a thread (populated lanes of a partial warp).
+    populated: u64,
+    /// Lane `i`'s thread has retired.
+    exited: u64,
+    /// Lane `i`'s thread has spawned a child (its lineage continues).
+    spawned: u64,
+    /// Lane `i`'s thread owns a spawn-memory state record.
+    has_slot: u64,
+    tid: Vec<u32>,
+    /// Predicate registers stored as bit-planes: `pred_planes[p]` holds
+    /// predicate `p` of every lane, one bit per lane. A guard mask is then
+    /// a single AND against the active mask instead of a per-lane bit
+    /// test. The checkpoint codec still reads/writes one `u8` per lane
+    /// (gathered/scattered at the boundary) so snapshot bytes are
+    /// unchanged.
+    pred_planes: [u64; 8],
+    spawn_mem_addr: Vec<u32>,
+    state_slot: Vec<u32>,
+    instructions: Vec<u64>,
+    /// Flat register file in *register-major* order: register `r` of lane
+    /// `i` lives at `regs[r * warp_size + i]`. A warp-wide operation then
+    /// reads each operand from one contiguous `warp_size`-word plane
+    /// (cache-dense, auto-vectorizable) instead of striding `stride`
+    /// words between lanes, and growing the stride appends fresh planes
+    /// without re-packing. The checkpoint codec still writes lane-major
+    /// bytes (gathered at the boundary) so snapshot bytes are unchanged.
+    regs: Vec<u32>,
+}
+
+impl LaneState {
+    fn bit(lane: usize) -> u64 {
+        1u64 << lane
     }
 
-    /// Rebuilds a thread from bytes written by
-    /// [`ThreadCtx::encode_state`].
-    pub(crate) fn restore_state(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
-        let tid = dec.take_u32()?;
-        let regs = dec.take_u32_vec()?;
-        let preds = dec.take_u8()?;
-        let spawn_mem_addr = dec.take_u32()?;
-        let state_slot = if dec.take_bool()? {
-            Some(dec.take_u32()?)
-        } else {
-            None
+    /// Builds lane state from admission-time thread records. Lanes
+    /// `threads.len()..warp_size` stay unpopulated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more threads than `warp_size` are supplied.
+    pub fn from_threads(warp_size: u32, threads: Vec<ThreadCtx>) -> Self {
+        let n = warp_size as usize;
+        assert!(threads.len() <= n, "more threads than lanes");
+        let regs_stride = threads
+            .iter()
+            .map(|t| t.regs.len() as u32)
+            .max()
+            .unwrap_or(0);
+        let mut s = LaneState {
+            warp_size,
+            regs_stride,
+            populated: 0,
+            exited: 0,
+            spawned: 0,
+            has_slot: 0,
+            tid: vec![0; n],
+            pred_planes: [0; 8],
+            spawn_mem_addr: vec![0; n],
+            state_slot: vec![0; n],
+            instructions: vec![0; n],
+            regs: vec![0; n * regs_stride as usize],
         };
-        Ok(ThreadCtx {
+        for (lane, t) in threads.into_iter().enumerate() {
+            s.populated |= Self::bit(lane);
+            if t.exited {
+                s.exited |= Self::bit(lane);
+            }
+            if t.spawned_child {
+                s.spawned |= Self::bit(lane);
+            }
+            s.tid[lane] = t.tid;
+            s.scatter_preds(lane, t.preds);
+            s.spawn_mem_addr[lane] = t.spawn_mem_addr;
+            if let Some(slot) = t.state_slot {
+                s.has_slot |= Self::bit(lane);
+                s.state_slot[lane] = slot;
+            }
+            s.instructions[lane] = t.instructions;
+            for (r, &v) in t.regs.iter().enumerate() {
+                s.regs[r * n + lane] = v;
+            }
+        }
+        s
+    }
+
+    /// Lanes that hold a thread (exited or not).
+    pub fn populated_mask(&self) -> u64 {
+        self.populated
+    }
+
+    /// Lanes that hold a not-yet-retired thread.
+    pub fn live_mask(&self) -> u64 {
+        self.populated & !self.exited
+    }
+
+    /// Whether lane `lane` holds a thread.
+    pub fn is_populated(&self, lane: usize) -> bool {
+        self.populated & Self::bit(lane) != 0
+    }
+
+    /// Whether lane `lane`'s thread has retired.
+    pub fn is_exited(&self, lane: usize) -> bool {
+        self.exited & Self::bit(lane) != 0
+    }
+
+    /// Marks the lanes in `mask` retired.
+    pub fn exit_lanes(&mut self, mask: u64) {
+        self.exited |= mask & self.populated;
+    }
+
+    /// Whether lane `lane`'s thread has spawned a child.
+    pub fn spawned_child(&self, lane: usize) -> bool {
+        self.spawned & Self::bit(lane) != 0
+    }
+
+    /// Records that lane `lane`'s thread spawned a child.
+    pub fn set_spawned_child(&mut self, lane: usize) {
+        self.spawned |= Self::bit(lane);
+    }
+
+    /// Lane `lane`'s global thread id.
+    pub fn tid(&self, lane: usize) -> u32 {
+        self.tid[lane]
+    }
+
+    /// Lane `lane`'s `%spawnmem` special register.
+    pub fn spawn_mem_addr(&self, lane: usize) -> u32 {
+        self.spawn_mem_addr[lane]
+    }
+
+    /// Sets lane `lane`'s `%spawnmem` special register.
+    pub fn set_spawn_mem_addr(&mut self, lane: usize, addr: u32) {
+        self.spawn_mem_addr[lane] = addr;
+    }
+
+    /// Lane `lane`'s spawn-memory state record, if it still owns one.
+    pub fn state_slot(&self, lane: usize) -> Option<u32> {
+        (self.has_slot & Self::bit(lane) != 0).then(|| self.state_slot[lane])
+    }
+
+    /// Takes lane `lane`'s state record (freeing it is the caller's job).
+    pub fn take_state_slot(&mut self, lane: usize) -> Option<u32> {
+        let slot = self.state_slot(lane);
+        self.has_slot &= !Self::bit(lane);
+        slot
+    }
+
+    /// Dynamic instruction count executed by lane `lane`'s thread.
+    pub fn instructions(&self, lane: usize) -> u64 {
+        self.instructions[lane]
+    }
+
+    /// Charges one executed instruction to every lane in `mask`.
+    pub fn add_instruction(&mut self, mask: u64) {
+        let mut m = mask & self.populated;
+        if m == self.populated && self.populated.count_ones() as usize == self.instructions.len() {
+            // Full warp (the common case): one contiguous pass.
+            for v in &mut self.instructions {
+                *v += 1;
+            }
+            return;
+        }
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.instructions[lane] += 1;
+        }
+    }
+
+    /// Reads register `r` of lane `lane` (beyond the file reads 0, like
+    /// [`ThreadCtx::reg`]).
+    pub fn reg(&self, lane: usize, r: Reg) -> u32 {
+        let i = r.0 as u32;
+        if i >= self.regs_stride {
+            return 0;
+        }
+        self.regs[i as usize * self.warp_size as usize + lane]
+    }
+
+    /// Writes register `r` of lane `lane`, widening the file if the
+    /// program under-declared its register usage.
+    pub fn set_reg(&mut self, lane: usize, r: Reg, v: u32) {
+        let i = r.0 as u32;
+        if i >= self.regs_stride {
+            self.grow_stride(i + 1);
+        }
+        self.regs[i as usize * self.warp_size as usize + lane] = v;
+    }
+
+    /// Widens the register file (rare: only when a program writes a
+    /// register it never declared). Register-major layout makes this an
+    /// append of fresh zeroed planes; existing planes stay in place.
+    fn grow_stride(&mut self, stride: u32) {
+        self.regs
+            .resize(stride as usize * self.warp_size as usize, 0);
+        self.regs_stride = stride;
+    }
+
+    /// Reads predicate `p` of lane `lane`.
+    pub fn pred(&self, lane: usize, p: Pred) -> bool {
+        (self.pred_planes[p.0 as usize] >> lane) & 1 == 1
+    }
+
+    /// Writes predicate `p` of lane `lane`.
+    pub fn set_pred(&mut self, lane: usize, p: Pred, v: bool) {
+        let bit = Self::bit(lane);
+        let plane = &mut self.pred_planes[p.0 as usize];
+        *plane = (*plane & !bit) | (u64::from(v) << lane);
+    }
+
+    /// Lanes whose guard `@p` / `@!p` passes: `pred(lane, p) != negate`
+    /// for every lane at once.
+    pub fn guard_mask(&self, p: Pred, negate: bool) -> u64 {
+        let plane = self.pred_planes[p.0 as usize];
+        if negate {
+            !plane
+        } else {
+            plane
+        }
+    }
+
+    /// Gathers lane `lane`'s predicates into the packed per-thread byte
+    /// the checkpoint codec (and `ThreadCtx`) uses.
+    fn gather_preds(&self, lane: usize) -> u8 {
+        let mut byte = 0u8;
+        for (p, plane) in self.pred_planes.iter().enumerate() {
+            byte |= (((plane >> lane) & 1) as u8) << p;
+        }
+        byte
+    }
+
+    /// Scatters a packed per-thread predicate byte into the bit-planes.
+    fn scatter_preds(&mut self, lane: usize, byte: u8) {
+        let bit = Self::bit(lane);
+        for (p, plane) in self.pred_planes.iter_mut().enumerate() {
+            *plane = (*plane & !bit) | (u64::from((byte >> p) & 1) << lane);
+        }
+    }
+
+    /// Evaluates an operand against lane `lane`.
+    pub fn operand(&self, lane: usize, o: Operand) -> u32 {
+        match o {
+            Operand::Reg(r) => self.reg(lane, r),
+            Operand::Imm(v) => v,
+        }
+    }
+
+    /// Evaluates a special register for lane `lane`.
+    pub fn special(&self, lane: usize, s: Special, warp_id: u32, sm_id: u32, ntid: u32) -> u32 {
+        match s {
+            Special::Tid => self.tid[lane],
+            Special::LaneId => lane as u32,
+            Special::WarpId => warp_id,
+            Special::SmId => sm_id,
+            Special::NTid => ntid,
+            Special::SpawnMem => self.spawn_mem_addr[lane],
+        }
+    }
+
+    #[inline]
+    fn resolve(&self, o: Operand) -> Src {
+        match o {
+            Operand::Imm(v) => Src::Imm(v),
+            Operand::Reg(r) if (r.0 as u32) < self.regs_stride => {
+                // Base of the operand's register plane.
+                Src::Idx(r.0 as usize * self.warp_size as usize)
+            }
+            Operand::Reg(_) => Src::Zero,
+        }
+    }
+
+    #[inline]
+    fn load(&self, lane: usize, s: Src) -> u32 {
+        match s {
+            Src::Idx(plane) => self.regs[plane + lane],
+            Src::Imm(v) => v,
+            Src::Zero => 0,
+        }
+    }
+
+    /// Brings destination register `d` inside the file, growing the
+    /// stride up-front so a per-lane loop can write unchecked. Growing
+    /// before the loop (rather than at the first lane's `set_reg`, as
+    /// the scalar path does) is equivalent: lanes only read their own
+    /// registers, and a read beyond the old stride returned 0 exactly
+    /// as the grown block's fresh zeros do. Returns the base of `d`'s
+    /// register plane.
+    #[inline]
+    fn ensure_dst(&mut self, d: Reg) -> usize {
+        let i = d.0 as u32;
+        if i >= self.regs_stride {
+            self.grow_stride(i + 1);
+        }
+        i as usize * self.warp_size as usize
+    }
+
+    /// Whether `bits` covers every lane of the warp (full-warp issue, the
+    /// common case) so a warp op can run one contiguous pass over each
+    /// register plane instead of iterating mask bits.
+    #[inline]
+    fn is_full(&self, bits: u64) -> bool {
+        bits.count_ones() == self.warp_size
+    }
+
+    /// Executes `mov d, a` on every populated lane in `mask`.
+    pub fn mov_warp(&mut self, mask: u64, d: Reg, a: Operand) {
+        let mut bits = mask & self.populated;
+        if bits == 0 {
+            return;
+        }
+        let db = self.ensure_dst(d);
+        let src = self.resolve(a);
+        if self.is_full(bits) {
+            for lane in 0..self.warp_size as usize {
+                self.regs[db + lane] = self.load(lane, src);
+            }
+            return;
+        }
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.regs[db + lane] = self.load(lane, src);
+        }
+    }
+
+    /// Executes `op d, a, b, c` on every populated lane in `mask`.
+    pub fn alu_warp(&mut self, mask: u64, op: AluOp, d: Reg, a: Operand, b: Operand, c: Operand) {
+        let mut bits = mask & self.populated;
+        if bits == 0 {
+            return;
+        }
+        let db = self.ensure_dst(d);
+        let (sa, sb, sc) = (self.resolve(a), self.resolve(b), self.resolve(c));
+        if self.is_full(bits) {
+            for lane in 0..self.warp_size as usize {
+                let r = eval_alu(
+                    op,
+                    self.load(lane, sa),
+                    self.load(lane, sb),
+                    self.load(lane, sc),
+                );
+                self.regs[db + lane] = r;
+            }
+            return;
+        }
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let r = eval_alu(
+                op,
+                self.load(lane, sa),
+                self.load(lane, sb),
+                self.load(lane, sc),
+            );
+            self.regs[db + lane] = r;
+        }
+    }
+
+    /// Executes `setp.cmp p, a, b` on every populated lane in `mask`.
+    pub fn setp_warp(&mut self, mask: u64, cmp: CmpOp, p: Pred, a: Operand, b: Operand) {
+        let mut bits = mask & self.populated;
+        if bits == 0 {
+            return;
+        }
+        let (sa, sb) = (self.resolve(a), self.resolve(b));
+        let pi = p.0 as usize;
+        let mut plane = self.pred_planes[pi];
+        if self.is_full(bits) {
+            // Full warp: rebuild the whole bit-plane from contiguous
+            // operand reads (no per-lane masking of the old plane needed).
+            plane = 0;
+            for lane in 0..self.warp_size as usize {
+                let r = eval_cmp(cmp, self.load(lane, sa), self.load(lane, sb));
+                plane |= u64::from(r) << lane;
+            }
+            self.pred_planes[pi] = plane;
+            return;
+        }
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let r = eval_cmp(cmp, self.load(lane, sa), self.load(lane, sb));
+            let bit = Self::bit(lane);
+            plane = (plane & !bit) | (u64::from(r) << lane);
+        }
+        self.pred_planes[pi] = plane;
+    }
+
+    /// Executes `selp d, a, b, p` on every populated lane in `mask`.
+    pub fn selp_warp(&mut self, mask: u64, d: Reg, a: Operand, b: Operand, p: Pred) {
+        let mut bits = mask & self.populated;
+        if bits == 0 {
+            return;
+        }
+        let db = self.ensure_dst(d);
+        let (sa, sb) = (self.resolve(a), self.resolve(b));
+        let plane = self.pred_planes[p.0 as usize];
+        if self.is_full(bits) {
+            // Full warp: contiguous branchless select over the operand
+            // planes (the dominant instruction in the renderer's
+            // min/max-style inner loops).
+            for lane in 0..self.warp_size as usize {
+                let t = self.load(lane, sa);
+                let f = self.load(lane, sb);
+                let m = ((plane >> lane) & 1).wrapping_neg() as u32;
+                self.regs[db + lane] = (t & m) | (f & !m);
+            }
+            return;
+        }
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let v = if (plane >> lane) & 1 == 1 {
+                self.load(lane, sa)
+            } else {
+                self.load(lane, sb)
+            };
+            self.regs[db + lane] = v;
+        }
+    }
+
+    /// Executes `mov d, %special` on every populated lane in `mask`.
+    pub fn special_warp(
+        &mut self,
+        mask: u64,
+        d: Reg,
+        s: Special,
+        warp_id: u32,
+        sm_id: u32,
+        ntid: u32,
+    ) {
+        let mut bits = mask & self.populated;
+        if bits == 0 {
+            return;
+        }
+        let db = self.ensure_dst(d);
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let v = match s {
+                Special::Tid => self.tid[lane],
+                Special::LaneId => lane as u32,
+                Special::WarpId => warp_id,
+                Special::SmId => sm_id,
+                Special::NTid => ntid,
+                Special::SpawnMem => self.spawn_mem_addr[lane],
+            };
+            self.regs[db + lane] = v;
+        }
+    }
+
+    /// Serializes the lane arrays for a simulator checkpoint (snapshot
+    /// format v3: one SoA block per warp instead of per-lane
+    /// `Option<ThreadCtx>` records).
+    pub(crate) fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_u32(self.warp_size);
+        enc.put_u32(self.regs_stride);
+        enc.put_u64(self.populated);
+        enc.put_u64(self.exited);
+        enc.put_u64(self.spawned);
+        enc.put_u64(self.has_slot);
+        enc.put_u32_slice(&self.tid);
+        for lane in 0..self.warp_size as usize {
+            enc.put_u8(self.gather_preds(lane));
+        }
+        enc.put_u32_slice(&self.spawn_mem_addr);
+        enc.put_u32_slice(&self.state_slot);
+        for &i in &self.instructions {
+            enc.put_u64(i);
+        }
+        // Snapshot bytes stay lane-major (format v3) regardless of the
+        // in-memory register-major layout.
+        let n = self.warp_size as usize;
+        let st = self.regs_stride as usize;
+        let mut lane_major = Vec::with_capacity(n * st);
+        for lane in 0..n {
+            for r in 0..st {
+                lane_major.push(self.regs[r * n + lane]);
+            }
+        }
+        enc.put_u32_slice(&lane_major);
+    }
+
+    /// Rebuilds lane state written by [`LaneState::encode_state`].
+    pub(crate) fn restore_state(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let warp_size = dec.take_u32()?;
+        if warp_size == 0 || warp_size > 64 {
+            return Err(CodecError::BadTag {
+                what: "lane-state warp size",
+                tag: u64::from(warp_size),
+            });
+        }
+        let regs_stride = dec.take_u32()?;
+        let populated = dec.take_u64()?;
+        let exited = dec.take_u64()?;
+        let spawned = dec.take_u64()?;
+        let has_slot = dec.take_u64()?;
+        let n = warp_size as usize;
+        let tid = dec.take_u32_vec()?;
+        let mut pred_bytes = Vec::with_capacity(n);
+        for _ in 0..n {
+            pred_bytes.push(dec.take_u8()?);
+        }
+        let spawn_mem_addr = dec.take_u32_vec()?;
+        let state_slot = dec.take_u32_vec()?;
+        let mut instructions = Vec::with_capacity(n);
+        for _ in 0..n {
+            instructions.push(dec.take_u64()?);
+        }
+        let regs = dec.take_u32_vec()?;
+        for (what, len) in [
+            ("lane-state tids", tid.len()),
+            ("lane-state spawn addrs", spawn_mem_addr.len()),
+            ("lane-state slots", state_slot.len()),
+        ] {
+            if len != n {
+                return Err(CodecError::BadTag {
+                    what,
+                    tag: len as u64,
+                });
+            }
+        }
+        if regs.len() != n * regs_stride as usize {
+            return Err(CodecError::BadTag {
+                what: "lane-state register block",
+                tag: regs.len() as u64,
+            });
+        }
+        // Snapshot bytes are lane-major; scatter into the in-memory
+        // register-major layout.
+        let st = regs_stride as usize;
+        let mut reg_major = vec![0u32; regs.len()];
+        for lane in 0..n {
+            for r in 0..st {
+                reg_major[r * n + lane] = regs[lane * st + r];
+            }
+        }
+        let regs = reg_major;
+        let mut s = LaneState {
+            warp_size,
+            regs_stride,
+            populated,
+            exited,
+            spawned,
+            has_slot,
             tid,
-            regs,
-            preds,
+            pred_planes: [0; 8],
             spawn_mem_addr,
             state_slot,
-            spawned_child: dec.take_bool()?,
-            exited: dec.take_bool()?,
-            instructions: dec.take_u64()?,
-        })
+            instructions,
+            regs,
+        };
+        for (lane, &byte) in pred_bytes.iter().enumerate() {
+            s.scatter_preds(lane, byte);
+        }
+        Ok(s)
     }
 }
 
@@ -183,5 +735,92 @@ mod tests {
         t.set_reg(Reg(2), 77);
         assert_eq!(t.operand(Operand::Reg(Reg(2))), 77);
         assert_eq!(t.operand(Operand::Imm(5)), 5);
+    }
+
+    fn partial_warp() -> LaneState {
+        // 3 threads in a 4-lane warp; lane 3 unpopulated.
+        let mut threads = Vec::new();
+        for tid in 0..3u32 {
+            let mut t = ThreadCtx::new(tid, 2);
+            t.set_reg(Reg(1), tid * 10);
+            threads.push(t);
+        }
+        LaneState::from_threads(4, threads)
+    }
+
+    #[test]
+    fn lane_masks_track_population_and_exits() {
+        let mut l = partial_warp();
+        assert_eq!(l.populated_mask(), 0b0111);
+        assert_eq!(l.live_mask(), 0b0111);
+        l.exit_lanes(0b1010); // lane 3 unpopulated: must not leak in
+        assert_eq!(l.live_mask(), 0b0101);
+        assert!(l.is_exited(1));
+        assert!(!l.is_exited(0));
+        assert!(l.is_populated(1), "exited lanes stay populated");
+    }
+
+    #[test]
+    fn lane_registers_grow_stride_per_warp() {
+        let mut l = partial_warp();
+        assert_eq!(l.reg(0, Reg(1)), 0);
+        assert_eq!(l.reg(2, Reg(1)), 20);
+        assert_eq!(l.reg(2, Reg(7)), 0, "beyond the file reads zero");
+        l.set_reg(1, Reg(7), 99); // forces a stride re-pack
+        assert_eq!(l.reg(1, Reg(7)), 99);
+        assert_eq!(l.reg(2, Reg(1)), 20, "re-pack preserved other lanes");
+        assert_eq!(l.reg(0, Reg(7)), 0);
+    }
+
+    #[test]
+    fn lane_state_slots_and_instruction_counts() {
+        let mut threads = vec![ThreadCtx::new(0, 1), ThreadCtx::new(1, 1)];
+        threads[1].state_slot = Some(0x40);
+        let mut l = LaneState::from_threads(4, threads);
+        assert_eq!(l.state_slot(0), None);
+        assert_eq!(l.take_state_slot(1), Some(0x40));
+        assert_eq!(l.take_state_slot(1), None, "slot taken once");
+        l.add_instruction(0b1111); // only populated lanes are charged
+        l.add_instruction(0b0001);
+        assert_eq!(l.instructions(0), 2);
+        assert_eq!(l.instructions(1), 1);
+    }
+
+    #[test]
+    fn lane_state_codec_round_trips() {
+        let mut l = partial_warp();
+        l.exit_lanes(0b0010);
+        l.set_spawned_child(0);
+        l.set_spawn_mem_addr(2, 0x80);
+        l.set_pred(0, Pred(2), true);
+        l.add_instruction(0b0101);
+        let mut enc = Encoder::new();
+        l.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let r = LaneState::restore_state(&mut dec).expect("round-trips");
+        assert!(dec.is_finished());
+        assert_eq!(r.populated_mask(), l.populated_mask());
+        assert_eq!(r.live_mask(), l.live_mask());
+        assert!(r.spawned_child(0));
+        assert_eq!(r.spawn_mem_addr(2), 0x80);
+        assert!(r.pred(0, Pred(2)));
+        assert_eq!(r.instructions(0), 1);
+        assert_eq!(r.reg(2, Reg(1)), 20);
+    }
+
+    #[test]
+    fn lane_state_codec_rejects_bad_shapes() {
+        let mut enc = Encoder::new();
+        partial_warp().encode_state(&mut enc);
+        let good = enc.into_bytes();
+        // Corrupt the warp size (first u32) to something out of range.
+        let mut bad = good.clone();
+        bad[0] = 0xFF;
+        let mut dec = Decoder::new(&bad);
+        assert!(LaneState::restore_state(&mut dec).is_err());
+        // Truncation is also an error, not a partial decode.
+        let mut dec = Decoder::new(&good[..good.len() - 3]);
+        assert!(LaneState::restore_state(&mut dec).is_err());
     }
 }

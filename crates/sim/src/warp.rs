@@ -1,6 +1,6 @@
 //! Warps and the PDOM reconvergence stack.
 
-use crate::thread::ThreadCtx;
+use crate::thread::{LaneState, ThreadCtx};
 use simt_isa::codec::{CodecError, Decoder, Encoder};
 use simt_isa::RECONVERGE_AT_EXIT;
 
@@ -33,9 +33,9 @@ pub struct Warp {
     pub id: usize,
     /// Machine warp width.
     pub warp_size: u32,
-    /// Per-lane thread contexts (`None` for unpopulated lanes of partial
-    /// warps).
-    pub lanes: Vec<Option<ThreadCtx>>,
+    /// Per-lane thread state, struct-of-arrays (unpopulated lanes of
+    /// partial warps are absent from the populated mask).
+    pub lanes: LaneState,
     stack: Vec<StackEntry>,
     /// Earliest cycle at which this warp may issue again.
     pub ready_at: u64,
@@ -65,17 +65,8 @@ impl Warp {
             "warp of {} exceeds width {warp_size}",
             threads.len()
         );
-        let mut lanes: Vec<Option<ThreadCtx>> = threads.into_iter().map(Some).collect();
-        lanes.resize_with(warp_size as usize, || None);
-        let mask = if lanes.iter().filter(|l| l.is_some()).count() == 64 {
-            u64::MAX
-        } else {
-            lanes
-                .iter()
-                .enumerate()
-                .filter(|(_, l)| l.is_some())
-                .fold(0u64, |m, (i, _)| m | (1 << i))
-        };
+        let lanes = LaneState::from_threads(warp_size, threads);
+        let mask = lanes.populated_mask();
         Warp {
             id,
             warp_size,
@@ -95,7 +86,7 @@ impl Warp {
 
     /// Number of populated lanes (exited or not).
     pub fn population(&self) -> u32 {
-        self.lanes.iter().filter(|l| l.is_some()).count() as u32
+        self.lanes.populated_mask().count_ones()
     }
 
     /// Pops exhausted/reconverged stack entries; returns the live top.
@@ -208,13 +199,7 @@ impl Warp {
     /// Retires the lanes in `mask`: marks their threads exited and removes
     /// them from every stack entry.
     pub fn exit_lanes(&mut self, mask: u64) {
-        for (i, lane) in self.lanes.iter_mut().enumerate() {
-            if mask & (1 << i) != 0 {
-                if let Some(t) = lane {
-                    t.exited = true;
-                }
-            }
-        }
+        self.lanes.exit_lanes(mask);
         for e in &mut self.stack {
             e.mask &= !mask;
         }
@@ -225,26 +210,12 @@ impl Warp {
         self.stack.len()
     }
 
-    /// Iterates over populated, not-yet-exited threads.
-    pub fn live_threads(&self) -> impl Iterator<Item = &ThreadCtx> {
-        self.lanes
-            .iter()
-            .filter_map(|l| l.as_ref())
-            .filter(|t| !t.exited)
-    }
-
     /// Serializes the warp — lanes, reconvergence stack, timing, and
     /// book-keeping — for a simulator checkpoint.
     pub(crate) fn encode_state(&self, enc: &mut Encoder) {
         enc.put_usize(self.id);
         enc.put_u32(self.warp_size);
-        enc.put_usize(self.lanes.len());
-        for lane in &self.lanes {
-            enc.put_bool(lane.is_some());
-            if let Some(t) = lane {
-                t.encode_state(enc);
-            }
-        }
+        self.lanes.encode_state(enc);
         enc.put_usize(self.stack.len());
         for e in &self.stack {
             enc.put_usize(e.pc);
@@ -271,15 +242,7 @@ impl Warp {
     pub(crate) fn restore_state(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         let id = dec.take_usize()?;
         let warp_size = dec.take_u32()?;
-        let n_lanes = dec.take_len(1)?;
-        let mut lanes = Vec::with_capacity(n_lanes);
-        for _ in 0..n_lanes {
-            lanes.push(if dec.take_bool()? {
-                Some(ThreadCtx::restore_state(dec)?)
-            } else {
-                None
-            });
-        }
+        let lanes = LaneState::restore_state(dec)?;
         let depth = dec.take_len(24)?;
         let stack = (0..depth)
             .map(|_| {
@@ -441,12 +404,7 @@ mod tests {
                 for a in actions {
                     let Some(top) = w.current() else { break };
                     // Invariant: active lanes are populated and alive.
-                    let alive: u64 = w
-                        .lanes
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, l)| l.as_ref().is_some_and(|t| !t.exited))
-                        .fold(0, |m, (i, _)| m | (1 << i));
+                    let alive: u64 = w.lanes.live_mask();
                     prop_assert_eq!(top.mask & !populated, 0);
                     prop_assert_eq!(top.mask & !alive, 0, "active lane already exited");
                     match a {
