@@ -21,6 +21,12 @@
 //! cache overheads are recorded numbers. Skipped (recorded as `null`)
 //! when the `repro` binary is not next to `bench_sim`.
 //!
+//! Also measures `repro serve` front-door overhead (`DESIGN.md` §14):
+//! cold request throughput through admission + journal + coordinator,
+//! then warm-cache hit latency (p50/p99 of the full submit → status →
+//! fetch round trip) at 1 client and at N concurrent clients. Skipped
+//! (recorded as `null`) under the same condition as the campaign bench.
+//!
 //! ```text
 //! bench_sim [--scale paper|quick|test] [--out PATH]
 //! ```
@@ -178,6 +184,123 @@ fn bench_campaign(host_cpus: usize) -> Option<CampaignBench> {
     })
 }
 
+struct ServeBench {
+    clients: usize,
+    cold_jobs: usize,
+    cold_seconds: f64,
+    warm_requests: usize,
+    warm_p50_ms: f64,
+    warm_p99_ms: f64,
+    warm_one_client_seconds: f64,
+    warm_n_client_seconds: f64,
+}
+
+/// Nearest-rank percentile of an already-sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Kills the served process if the bench bails out early.
+struct ServerGuard(std::process::Child);
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Times the `repro serve` front door (always at test scale — the point
+/// is request overhead, not simulation time): the 12-artifact matrix
+/// cold through admission + journal + workers, then warm-cache hit
+/// round trips at 1 client and at N concurrent clients. Returns `None`
+/// when the `repro` binary is not installed next to `bench_sim`.
+fn bench_serve(host_cpus: usize) -> Option<ServeBench> {
+    use experiments::serve::client::{self, ClientOpts};
+    let repro = std::env::current_exe().ok()?.with_file_name("repro");
+    if !repro.exists() {
+        eprintln!(
+            "bench_sim: skipping serve bench ({} not found)",
+            repro.display()
+        );
+        return None;
+    }
+    let root = std::env::temp_dir().join(format!("bench-sim-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let clients = host_cpus.clamp(1, 4);
+    let mut server = ServerGuard(
+        std::process::Command::new(&repro)
+            .args(["serve", "--scale", "test", "--workers"])
+            .arg(clients.to_string())
+            .arg("--serve-dir")
+            .arg(&root)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .ok()?,
+    );
+    let endpoint = root.join("endpoint");
+    let artifacts = experiments::campaign::ARTIFACTS;
+    let mut opts = ClientOpts {
+        server: client::read_endpoint(&endpoint, std::time::Duration::from_secs(30)).ok()?,
+        endpoint_file: Some(endpoint),
+        artifacts: artifacts.iter().map(|a| a.to_string()).collect(),
+        scale_name: "test".to_string(),
+        json: false,
+        deadline_ms: None,
+        concurrency: clients,
+        out_dir: None,
+        timeout: std::time::Duration::from_secs(600),
+    };
+
+    // Cold: every artifact computed fresh, N concurrent submitters.
+    let start = Instant::now();
+    client::run_workload(&opts).ok()?;
+    let cold_seconds = start.elapsed().as_secs_f64();
+
+    // Warm, 1 client: per-request submit → status → fetch latency on
+    // cache hits; the sample feeds the percentiles.
+    let warm_requests = 48;
+    let mut latencies_ms = Vec::with_capacity(warm_requests);
+    let start = Instant::now();
+    for i in 0..warm_requests {
+        let artifact = artifacts[i % artifacts.len()];
+        let t = Instant::now();
+        client::run_job(&opts, artifact).ok()?;
+        latencies_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+    }
+    let warm_one_client_seconds = start.elapsed().as_secs_f64();
+    latencies_ms.sort_by(f64::total_cmp);
+
+    // Warm, N clients: same request count spread across submitter
+    // threads.
+    opts.artifacts = (0..warm_requests)
+        .map(|i| artifacts[i % artifacts.len()].to_string())
+        .collect();
+    let start = Instant::now();
+    client::run_workload(&opts).ok()?;
+    let warm_n_client_seconds = start.elapsed().as_secs_f64();
+
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    client::request_retry(&opts, "POST", "/drain", "", deadline).ok()?;
+    let _ = server.0.wait();
+    let _ = std::fs::remove_dir_all(&root);
+    Some(ServeBench {
+        clients,
+        cold_jobs: artifacts.len(),
+        cold_seconds,
+        warm_requests,
+        warm_p50_ms: percentile(&latencies_ms, 0.50),
+        warm_p99_ms: percentile(&latencies_ms, 0.99),
+        warm_one_client_seconds,
+        warm_n_client_seconds,
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale_name = "paper".to_string();
@@ -277,6 +400,23 @@ fn main() -> ExitCode {
         );
     }
 
+    eprintln!("bench_sim: serve front-door overhead (12-job matrix + warm hits, test scale) ...");
+    let serve = bench_serve(host_cpus);
+    if let Some(s) = &serve {
+        eprintln!(
+            "  cold {:.3} s ({:.2} jobs/s, {} clients); warm hit p50 {:.1} ms / p99 {:.1} ms, \
+             1 client {:.2} req/s, {} clients {:.2} req/s",
+            s.cold_seconds,
+            s.cold_jobs as f64 / s.cold_seconds,
+            s.clients,
+            s.warm_p50_ms,
+            s.warm_p99_ms,
+            s.warm_requests as f64 / s.warm_one_client_seconds,
+            s.clients,
+            s.warm_requests as f64 / s.warm_n_client_seconds
+        );
+    }
+
     // Where the event-driven speedup comes from: how much of the run was
     // fully idle (skipped in bulk) vs occupied, from the parallel-1 run
     // (the simulated numbers are bit-identical across parallelism).
@@ -360,7 +500,7 @@ fn main() -> ExitCode {
             "  \"campaign\": {{\"scale\": \"test\", \"jobs\": {}, \"workers\": {}, \
              \"one_worker_seconds\": {:.6}, \"one_worker_jobs_per_second\": {:.3}, \
              \"n_worker_seconds\": {:.6}, \"n_worker_jobs_per_second\": {:.3}, \
-             \"cache_hit_seconds\": {:.6}, \"cache_hit_jobs_per_second\": {:.3}}}\n",
+             \"cache_hit_seconds\": {:.6}, \"cache_hit_jobs_per_second\": {:.3}}},\n",
             c.jobs,
             c.workers,
             c.one_worker_seconds,
@@ -370,7 +510,26 @@ fn main() -> ExitCode {
             c.cache_hit_seconds,
             c.jobs as f64 / c.cache_hit_seconds
         )),
-        None => json.push_str("  \"campaign\": null\n"),
+        None => json.push_str("  \"campaign\": null,\n"),
+    }
+    match &serve {
+        Some(s) => json.push_str(&format!(
+            "  \"serve\": {{\"scale\": \"test\", \"clients\": {}, \
+             \"cold_jobs\": {}, \"cold_seconds\": {:.6}, \"cold_jobs_per_second\": {:.3}, \
+             \"warm_requests\": {}, \"warm_hit_p50_ms\": {:.3}, \"warm_hit_p99_ms\": {:.3}, \
+             \"warm_one_client_requests_per_second\": {:.3}, \
+             \"warm_n_client_requests_per_second\": {:.3}}}\n",
+            s.clients,
+            s.cold_jobs,
+            s.cold_seconds,
+            s.cold_jobs as f64 / s.cold_seconds,
+            s.warm_requests,
+            s.warm_p50_ms,
+            s.warm_p99_ms,
+            s.warm_requests as f64 / s.warm_one_client_seconds,
+            s.warm_requests as f64 / s.warm_n_client_seconds
+        )),
+        None => json.push_str("  \"serve\": null\n"),
     }
     json.push_str("}\n");
     if let Err(e) = std::fs::write(&out, &json) {

@@ -11,8 +11,18 @@
 //!                  [--job-timeout-secs N] [--heartbeat-timeout-secs N]
 //!                  [--chaos-kill-every K] [--seed S]
 //!
+//! repro serve      [shared + campaign flags] [--bind H:P] [--serve-dir D]
+//!                  [--queue-capacity N] [--rate N] [--burst N]
+//!                  [--chaos-crash-every K]
+//!
+//! repro client     [--server H:P | --endpoint-file F] [--artifacts a,b|all]
+//!                  [--scale S] [--json] [--deadline-ms N]
+//!                  [--concurrency N] [--client-out-dir D]
+//!                  [--client-timeout-secs N] [--flood N]
+//!                  [--healthz] [--drain]
+//!
 //! artifacts: table1 table2 table3 table4 fig2 fig3 fig7 fig8 fig9 fig10
-//!            ablation shadow all campaign
+//!            ablation shadow all campaign serve client
 //! ```
 //!
 //! `--parallel` sets the simulator's phase-A worker-thread count (`ncpu`
@@ -46,6 +56,7 @@
 
 use experiments::campaign::{self, worker, CampaignConfig};
 use experiments::runner::Scale;
+use experiments::serve::{self, client};
 use experiments::supervisor::{self, Policy};
 use std::io::Write;
 use std::path::PathBuf;
@@ -62,7 +73,12 @@ fn usage() -> ExitCode {
          [--max-retries N] [--kill-after-checkpoints N]\n\
          campaign flags: [--workers N] [--campaign-dir D] [--cache-dir D] \
          [--retries N] [--only a,b,c] [--job-timeout-secs N] \
-         [--heartbeat-timeout-secs N] [--chaos-kill-every K] [--seed S]"
+         [--heartbeat-timeout-secs N] [--chaos-kill-every K] [--seed S]\n\
+         serve flags: [--bind H:P] [--serve-dir D] [--queue-capacity N] \
+         [--rate N] [--burst N] [--chaos-crash-every K]\n\
+         client flags: [--server H:P | --endpoint-file F] [--artifacts a,b|all] \
+         [--deadline-ms N] [--concurrency N] [--client-out-dir D] \
+         [--client-timeout-secs N] [--flood N] [--healthz] [--drain]"
     );
     ExitCode::from(2)
 }
@@ -107,6 +123,24 @@ fn main() -> ExitCode {
     let mut worker_fingerprint: u64 = 0;
     let mut worker_test_fail = false;
     let mut worker_test_hang = false;
+    // Serve flags.
+    let mut bind = "127.0.0.1:0".to_string();
+    let mut serve_dir = PathBuf::from("serve");
+    let mut queue_capacity: usize = 32;
+    let mut rate_per_sec: u64 = 0;
+    let mut burst: u64 = 8;
+    let mut chaos_crash_every: u64 = 0;
+    // Client flags.
+    let mut server: Option<String> = None;
+    let mut endpoint_file: Option<PathBuf> = None;
+    let mut client_artifacts: Vec<String> = Vec::new();
+    let mut deadline_ms: Option<u64> = None;
+    let mut concurrency: usize = 1;
+    let mut client_out_dir: Option<PathBuf> = None;
+    let mut client_timeout_secs: u64 = 600;
+    let mut flood_n: Option<u64> = None;
+    let mut do_healthz = false;
+    let mut do_drain = false;
 
     let mut i = flag_start;
     while i < args.len() {
@@ -290,6 +324,112 @@ fn main() -> ExitCode {
             }
             "--worker-test-fail" => worker_test_fail = true,
             "--worker-test-hang" => worker_test_hang = true,
+            "--bind" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => bind = a.clone(),
+                    None => return usage(),
+                }
+            }
+            "--serve-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => serve_dir = d.into(),
+                    None => return usage(),
+                }
+            }
+            "--queue-capacity" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => queue_capacity = n,
+                    _ => return usage(),
+                }
+            }
+            "--rate" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) => rate_per_sec = n,
+                    None => return usage(),
+                }
+            }
+            "--burst" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n >= 1 => burst = n,
+                    _ => return usage(),
+                }
+            }
+            "--chaos-crash-every" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n >= 1 => chaos_crash_every = n,
+                    _ => return usage(),
+                }
+            }
+            "--server" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => server = Some(a.clone()),
+                    None => return usage(),
+                }
+            }
+            "--endpoint-file" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => endpoint_file = Some(p.into()),
+                    None => return usage(),
+                }
+            }
+            "--artifacts" => {
+                i += 1;
+                match args.get(i) {
+                    Some(list) if list == "all" => {
+                        client_artifacts =
+                            campaign::ARTIFACTS.iter().map(|s| s.to_string()).collect();
+                    }
+                    Some(list) => {
+                        client_artifacts = list.split(',').map(|s| s.trim().to_string()).collect();
+                    }
+                    None => return usage(),
+                }
+            }
+            "--deadline-ms" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n >= 1 => deadline_ms = Some(n),
+                    _ => return usage(),
+                }
+            }
+            "--concurrency" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => concurrency = n,
+                    _ => return usage(),
+                }
+            }
+            "--client-out-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => client_out_dir = Some(d.into()),
+                    None => return usage(),
+                }
+            }
+            "--client-timeout-secs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n >= 1 => client_timeout_secs = n,
+                    _ => return usage(),
+                }
+            }
+            "--flood" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n >= 1 => flood_n = Some(n),
+                    _ => return usage(),
+                }
+            }
+            "--healthz" => do_healthz = true,
+            "--drain" => do_drain = true,
             _ => return usage(),
         }
         i += 1;
@@ -381,6 +521,139 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
+        };
+    }
+
+    if mode == "serve" {
+        // Reuse the campaign's execution defaults; the same flags tune
+        // worker supervision under serve.
+        let mut base = CampaignConfig::new(scale, &scale_name);
+        base.workers = workers;
+        base.max_retries = retries;
+        base.work_dir = serve_dir.join("work");
+        base.cache_dir = cache_dir.unwrap_or_else(|| serve_dir.join("cache"));
+        if let Some(n) = checkpoint_every_flag {
+            base.checkpoint_every = n;
+        }
+        if let Some(s) = job_timeout_secs {
+            base.job_timeout = Duration::from_secs(s);
+        }
+        if let Some(s) = heartbeat_timeout_secs {
+            base.heartbeat_timeout = Duration::from_secs(s);
+        }
+        if chaos_kill_every > 0 {
+            base.chaos = Some(campaign::chaos::Chaos {
+                kill_every: chaos_kill_every,
+                seed: chaos_seed,
+            });
+        }
+        base.passthrough = passthrough;
+        base.test_fail_job = test_fail_job;
+        base.test_hang_job = test_hang_job;
+        let cfg = serve::ServeConfig {
+            bind,
+            serve_dir,
+            exec: base.exec(),
+            default_scale: scale,
+            default_scale_name: scale_name,
+            queue_capacity,
+            rate_per_sec,
+            burst,
+            server_chaos: (chaos_crash_every > 0).then_some(campaign::chaos::Chaos {
+                kill_every: chaos_crash_every,
+                seed: chaos_seed,
+            }),
+        };
+        return match serve::run(cfg) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: serve: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    if mode == "client" {
+        let timeout = Duration::from_secs(client_timeout_secs);
+        let addr = match (server, &endpoint_file) {
+            (Some(a), _) => a,
+            (None, Some(f)) => match client::read_endpoint(f, Duration::from_secs(30)) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: client: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            (None, None) => {
+                eprintln!("error: client needs --server or --endpoint-file");
+                return usage();
+            }
+        };
+        if do_healthz {
+            return match client::request(&addr, "GET", "/healthz", "") {
+                Ok(resp) => {
+                    print!("{}", String::from_utf8_lossy(&resp.body));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: client: healthz: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        if do_drain {
+            return match client::request(&addr, "POST", "/drain", "") {
+                Ok(resp) if resp.status == 200 => ExitCode::SUCCESS,
+                Ok(resp) => {
+                    eprintln!("error: client: drain: HTTP {}", resp.status);
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("error: client: drain: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        let opts = client::ClientOpts {
+            server: addr,
+            endpoint_file,
+            artifacts: if client_artifacts.is_empty() {
+                campaign::ARTIFACTS.iter().map(|s| s.to_string()).collect()
+            } else {
+                client_artifacts
+            },
+            scale_name,
+            json,
+            deadline_ms,
+            concurrency,
+            out_dir: client_out_dir,
+            timeout,
+        };
+        if let Some(n) = flood_n {
+            let artifact = opts.artifacts.first().cloned().unwrap_or_default();
+            return match client::flood(&opts, &artifact, n) {
+                Ok((accepted, shed)) => {
+                    println!("{{\"flood\": {n}, \"accepted\": {accepted}, \"shed\": {shed}}}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: client: flood: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        return match client::run_workload(&opts) {
+            Ok(results) => {
+                let degraded = results.iter().filter(|r| r.output.is_none()).count();
+                if degraded > 0 {
+                    eprintln!("client: {degraded} job(s) finished degraded");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: client: {e}");
+                ExitCode::FAILURE
+            }
         };
     }
 

@@ -10,6 +10,15 @@
 //! `--chaos-abort`, a generalization of the PR-3 exit-42 hook that dies
 //! by `std::process::abort` instead), so the death point is a
 //! deterministic simulated-cycle boundary, not a timing race.
+//!
+//! `repro serve --chaos-crash-every K --seed S` extends the same idea to
+//! the *coordinator* process: [`Chaos::server_crash_plan`] decides, per
+//! server incarnation, whether that incarnation aborts and after how many
+//! freshly computed (non-cache) job completions. Because only fresh
+//! completions count, every crashing incarnation is guaranteed to have
+//! banked at least one new result in the content-addressed cache before
+//! dying, so a restart loop always makes forward progress and the request
+//! stream converges to the same artifact bytes.
 
 use simt_isa::codec::{fnv1a64, Encoder};
 
@@ -47,6 +56,28 @@ impl Chaos {
             // has made real progress past its phase-entry snapshot, early
             // enough that short jobs still get killed mid-flight.
             Some(2 + (h >> 32) % 3)
+        } else {
+            None
+        }
+    }
+
+    /// Decides whether server incarnation `incarnation` (0-based boot
+    /// count, persisted by `repro serve` across restarts) crashes, and if
+    /// so after how many *freshly computed* job completions (cache hits
+    /// never count, so a crashing incarnation always banks new progress
+    /// first — the restart loop can never livelock). Returns `None` for
+    /// an incarnation that runs clean.
+    pub fn server_crash_plan(&self, incarnation: u64) -> Option<u64> {
+        if self.kill_every == 0 {
+            return None;
+        }
+        let mut enc = Encoder::new();
+        enc.put_str("usimt-serve-chaos-v1");
+        enc.put_u64(self.seed);
+        enc.put_u64(incarnation);
+        let h = fnv1a64(&enc.into_bytes());
+        if h.is_multiple_of(self.kill_every) {
+            Some(1 + (h >> 32) % 3)
         } else {
             None
         }

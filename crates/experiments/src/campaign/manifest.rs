@@ -26,6 +26,11 @@ pub enum JobOutcome {
     /// The job itself reported a deterministic error (retries would not
     /// help); the campaign carried on.
     Failed,
+    /// The job's per-request deadline expired before it finished; its
+    /// worker (if any) was SIGKILLed and the job was not retried. Only
+    /// `repro serve` attaches deadlines; plain campaigns never produce
+    /// this outcome.
+    DeadlineExceeded,
 }
 
 impl JobOutcome {
@@ -37,7 +42,16 @@ impl JobOutcome {
             JobOutcome::Resumed(_) => "resumed",
             JobOutcome::GaveUp => "gave-up",
             JobOutcome::Failed => "failed",
+            JobOutcome::DeadlineExceeded => "deadline-exceeded",
         }
+    }
+
+    /// True for the terminal states that carry no output bytes.
+    pub fn is_degraded(&self) -> bool {
+        matches!(
+            self,
+            JobOutcome::GaveUp | JobOutcome::Failed | JobOutcome::DeadlineExceeded
+        )
     }
 }
 
@@ -49,6 +63,7 @@ impl fmt::Display for JobOutcome {
             JobOutcome::Resumed(n) => write!(f, "completed after {n} worker intervention(s)"),
             JobOutcome::GaveUp => f.write_str("gave up (retry budget exhausted)"),
             JobOutcome::Failed => f.write_str("failed (job-level error)"),
+            JobOutcome::DeadlineExceeded => f.write_str("deadline exceeded (request cancelled)"),
         }
     }
 }
@@ -132,6 +147,30 @@ impl Manifest {
             .count()
     }
 
+    /// Jobs cancelled because their deadline expired.
+    pub fn deadline_exceeded(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.outcome == JobOutcome::DeadlineExceeded)
+            .count()
+    }
+
+    /// Corrupt cache entries quarantined during the campaign.
+    pub fn quarantined(&self) -> usize {
+        self.jobs.iter().filter(|j| j.quarantined).count()
+    }
+
+    /// Worker attempts consumed by retries across all jobs.
+    pub fn retries_total(&self) -> u32 {
+        self.jobs.iter().map(|j| j.attempts).sum()
+    }
+
+    /// Coordinator-delivered SIGKILLs (wall-clock timeouts and stale
+    /// heartbeats) across all jobs.
+    pub fn timeouts_total(&self) -> u32 {
+        self.jobs.iter().map(|j| j.timeouts).sum()
+    }
+
     /// Deterministic JSON rendering (hand-rolled: the offline serde shim
     /// has no serializer).
     pub fn to_json(&self) -> String {
@@ -170,12 +209,17 @@ impl Manifest {
         s.push_str("  ],\n");
         s.push_str(&format!(
             "  \"kills_total\": {}, \"resumes\": {}, \"cache_hits\": {}, \
-             \"gave_up\": {}, \"failed\": {}\n",
+             \"gave_up\": {}, \"failed\": {}, \"deadline_exceeded\": {}, \
+             \"quarantined\": {}, \"retries_total\": {}, \"timeouts_total\": {}\n",
             self.kills_total(),
             self.resumes(),
             self.cache_hits(),
             self.gave_up(),
-            self.failed()
+            self.failed(),
+            self.deadline_exceeded(),
+            self.quarantined(),
+            self.retries_total(),
+            self.timeouts_total()
         ));
         s.push_str("}\n");
         s
@@ -223,12 +267,18 @@ impl fmt::Display for Manifest {
         write!(
             f,
             "campaign: {} kill(s) observed, {} resume(s), {} cache hit(s), \
-             {} gave up, {} failed",
+             {} gave up, {} failed, {} deadline-exceeded; degradation: \
+             {} cache entr(y/ies) quarantined, {} attempt(s) retried, \
+             {} coordinator SIGKILL(s)",
             self.kills_total(),
             self.resumes(),
             self.cache_hits(),
             self.gave_up(),
-            self.failed()
+            self.failed(),
+            self.deadline_exceeded(),
+            self.quarantined(),
+            self.retries_total(),
+            self.timeouts_total()
         )
     }
 }

@@ -4,7 +4,7 @@
 //! simulation jobs. `repro all` runs that matrix sequentially in one
 //! process; this module fans it across N **worker processes** (the
 //! `repro` binary re-invoked in a single-job `__worker` mode, see
-//! [`worker`]), supervised by a coordinator that:
+//! [`worker`]), supervised by a [`Coordinator`] that:
 //!
 //! - tracks per-worker liveness via heartbeat files and imposes per-job
 //!   wall-clock timeouts, SIGKILLing wedged workers;
@@ -15,9 +15,18 @@
 //! - serves repeated jobs from a content-addressed result [`cache`]
 //!   keyed by an FNV hash of (program bytes, scene, `GpuConfig`, scale,
 //!   telemetry spec), detecting and quarantining corrupt entries;
+//! - enforces optional per-job deadlines (SIGKILLing and reporting
+//!   [`JobOutcome::DeadlineExceeded`] without retry — the `repro serve`
+//!   front-end attaches these);
 //! - reports every job in a campaign [`manifest`] — a job that exhausts
 //!   its retries is `GaveUp` there while the rest of the matrix
 //!   completes.
+//!
+//! The [`Coordinator`] is deliberately a *pumped* engine: [`Coordinator::poll`]
+//! performs one non-blocking supervision pass (reap, liveness, deadline,
+//! spawn), so the batch [`run`] loop and the long-running `repro serve`
+//! front-end (`crate::serve`) drive the identical scheduling code —
+//! serve just keeps submitting while it pumps.
 //!
 //! Because each job's simulation is deterministic and checkpoint resume
 //! is bit-identical, a completed campaign's artifact bytes are the same
@@ -187,6 +196,88 @@ impl CampaignConfig {
             test_hang_job: None,
         }
     }
+
+    /// The execution-engine half of this configuration (everything the
+    /// [`Coordinator`] needs; the artifact list and per-job scale live in
+    /// the [`JobSpec`]s submitted to it).
+    pub fn exec(&self) -> ExecConfig {
+        ExecConfig {
+            workers: self.workers,
+            work_dir: self.work_dir.clone(),
+            cache_dir: self.cache_dir.clone(),
+            worker_exe: self.worker_exe.clone(),
+            checkpoint_every: self.checkpoint_every,
+            max_retries: self.max_retries,
+            job_timeout: self.job_timeout,
+            heartbeat_timeout: self.heartbeat_timeout,
+            backoff_base: self.backoff_base,
+            backoff_cap: self.backoff_cap,
+            chaos: self.chaos,
+            passthrough: self.passthrough.clone(),
+            test_fail_job: self.test_fail_job.clone(),
+            test_hang_job: self.test_hang_job.clone(),
+        }
+    }
+}
+
+/// Configuration of the job-execution engine itself, shared by batch
+/// campaigns and the `repro serve` front-end. Field meanings match
+/// [`CampaignConfig`].
+#[derive(Debug, Clone)]
+#[allow(missing_docs)]
+pub struct ExecConfig {
+    pub workers: usize,
+    pub work_dir: PathBuf,
+    pub cache_dir: PathBuf,
+    pub worker_exe: PathBuf,
+    pub checkpoint_every: u64,
+    pub max_retries: u32,
+    pub job_timeout: Duration,
+    pub heartbeat_timeout: Duration,
+    pub backoff_base: Duration,
+    pub backoff_cap: Duration,
+    pub chaos: Option<Chaos>,
+    pub passthrough: Vec<String>,
+    pub test_fail_job: Option<String>,
+    pub test_hang_job: Option<String>,
+}
+
+/// One job submission: which artifact, at what scale, in which output
+/// mode, and under what (optional) completion deadline.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Artifact name (must be one of [`ARTIFACTS`]).
+    pub artifact: String,
+    /// Experiment scale for this job.
+    pub scale: Scale,
+    /// Scale name forwarded to the worker (`--scale <name>`).
+    pub scale_name: String,
+    /// Render in `--json` mode.
+    pub json: bool,
+    /// Wall-clock budget from submission; on expiry the job's worker is
+    /// SIGKILLed and the job finishes [`JobOutcome::DeadlineExceeded`]
+    /// without retry.
+    pub deadline: Option<Duration>,
+}
+
+impl JobSpec {
+    /// A no-deadline spec for `artifact` at `scale`.
+    pub fn new(artifact: &str, scale: Scale, scale_name: &str, json: bool) -> Self {
+        JobSpec {
+            artifact: artifact.to_string(),
+            scale,
+            scale_name: scale_name.to_string(),
+            json,
+            deadline: None,
+        }
+    }
+
+    /// Identity fingerprint of the work this spec names (deadlines do not
+    /// re-key: the same render under a different deadline is the same
+    /// bytes).
+    pub fn fingerprint(&self) -> u64 {
+        job_fingerprint(&self.artifact, self.scale, self.json)
+    }
 }
 
 /// A finished campaign: the manifest plus, parallel to
@@ -203,13 +294,20 @@ pub struct CampaignOutcome {
 impl CampaignOutcome {
     /// True when every job produced output (nothing gave up or failed).
     pub fn complete(&self) -> bool {
-        self.manifest.gave_up() == 0 && self.manifest.failed() == 0
+        self.manifest.gave_up() == 0
+            && self.manifest.failed() == 0
+            && self.manifest.deadline_exceeded() == 0
     }
 }
 
 /// Coordinator-side record of one job.
-struct Job {
-    name: String,
+#[derive(Debug)]
+pub struct Job {
+    spec: JobSpec,
+    /// Unique file-system key: `<artifact>-<fingerprint>` — two jobs for
+    /// the same artifact at different scales must not share result-shard,
+    /// heartbeat, or checkpoint paths.
+    key: String,
     fingerprint: u64,
     attempts: u32,
     kills: u32,
@@ -217,10 +315,120 @@ struct Job {
     resumed: bool,
     quarantined: bool,
     cache_hit: bool,
+    deadline_at: Option<Instant>,
     ready_at: Instant,
     in_flight: bool,
+    /// Latest worker progress pulse (cycle + machine vitals), parsed from
+    /// the heartbeat file.
+    progress: Option<String>,
     last_failure: Option<String>,
     done: Option<(JobOutcome, Option<Vec<u8>>, Option<String>)>,
+}
+
+impl Job {
+    /// Artifact name this job renders.
+    pub fn artifact(&self) -> &str {
+        &self.spec.artifact
+    }
+
+    /// The submitted spec.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// Job identity fingerprint (cache key, public job id).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// True once the job reached a terminal state.
+    pub fn is_done(&self) -> bool {
+        self.done.is_some()
+    }
+
+    /// True while a worker process is executing this job.
+    pub fn is_running(&self) -> bool {
+        self.in_flight
+    }
+
+    /// Terminal outcome, when reached.
+    pub fn outcome(&self) -> Option<&JobOutcome> {
+        self.done.as_ref().map(|(o, _, _)| o)
+    }
+
+    /// Rendered output bytes, when the job completed with output.
+    pub fn output(&self) -> Option<&[u8]> {
+        self.done.as_ref().and_then(|(_, out, _)| out.as_deref())
+    }
+
+    /// Terminal error message, when the job degraded.
+    pub fn error(&self) -> Option<&str> {
+        self.done.as_ref().and_then(|(_, _, e)| e.as_deref())
+    }
+
+    /// Latest worker progress pulse ("cycle N: issues ...").
+    pub fn progress(&self) -> Option<&str> {
+        self.progress.as_deref()
+    }
+
+    /// Worker attempts consumed by deaths/timeouts so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Manifest record for this job. A job the scheduling loop somehow
+    /// abandoned without a terminal state is *degraded to `Failed`* with
+    /// a typed internal error — never a panic: one confused job must not
+    /// take down the whole campaign's reporting (or the serve process).
+    pub fn record(&self) -> JobRecord {
+        let (outcome, error) = match &self.done {
+            Some((outcome, _, error)) => (outcome.clone(), error.clone()),
+            None => (
+                JobOutcome::Failed,
+                Some(
+                    "internal: coordinator finished with this job in a non-terminal state"
+                        .to_string(),
+                ),
+            ),
+        };
+        JobRecord {
+            name: self.spec.artifact.clone(),
+            fingerprint: self.fingerprint,
+            outcome,
+            attempts: self.attempts,
+            kills: self.kills,
+            timeouts: self.timeouts,
+            resumed_from_checkpoint: self.resumed,
+            cache_hit: self.cache_hit,
+            quarantined: self.quarantined,
+            error,
+        }
+    }
+
+    /// Consumes the job, yielding its output bytes (if any).
+    fn into_output(self) -> Option<Vec<u8>> {
+        self.done.and_then(|(_, out, _)| out)
+    }
+}
+
+/// Aggregate degradation counters across everything a [`Coordinator`]
+/// has supervised, for end-of-run summaries and the serve `/healthz`
+/// endpoint — degradation must be visible, never silent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Worker attempts consumed by retries (deaths, hangs, timeouts).
+    pub retried_attempts: u32,
+    /// SIGKILLs delivered by the coordinator (wall-clock timeout, stale
+    /// heartbeat, or deadline expiry).
+    pub sigkills: u32,
+    /// Subset of `sigkills` delivered for per-job deadline expiry.
+    pub deadline_kills: u32,
+    /// Corrupt cache entries quarantined.
+    pub quarantined: u32,
+    /// Jobs served from the content-addressed cache.
+    pub cache_hits: u32,
+    /// Jobs completed by a worker this coordinator ran (not cached).
+    pub fresh_completions: u32,
 }
 
 /// One live worker process.
@@ -245,6 +453,314 @@ fn describe_exit(status: ExitStatus) -> String {
     }
 }
 
+/// The pumped job-execution engine: accepts [`JobSpec`]s, fans them over
+/// worker processes under crash supervision, and reaches a terminal
+/// [`JobOutcome`] for every one. [`run`] pumps it to completion for
+/// batch campaigns; `repro serve` pumps it continuously while admitting
+/// new work.
+pub struct Coordinator {
+    cfg: ExecConfig,
+    out_dir: PathBuf,
+    hb_dir: PathBuf,
+    ckpt_root: PathBuf,
+    jobs: Vec<Job>,
+    running: Vec<Running>,
+    counters: ExecCounters,
+}
+
+impl Coordinator {
+    /// Creates the engine and its working directories.
+    ///
+    /// # Errors
+    ///
+    /// Misconfiguration only: zero workers or unusable directories.
+    pub fn new(cfg: ExecConfig) -> Result<Self, String> {
+        if cfg.workers == 0 {
+            return Err("campaign needs at least one worker".to_string());
+        }
+        let out_dir = cfg.work_dir.join("out");
+        let hb_dir = cfg.work_dir.join("hb");
+        let ckpt_root = cfg.work_dir.join("ckpt");
+        for d in [&cfg.work_dir, &out_dir, &hb_dir, &ckpt_root, &cfg.cache_dir] {
+            std::fs::create_dir_all(d)
+                .map_err(|e| format!("cannot create {}: {e}", d.display()))?;
+        }
+        Ok(Coordinator {
+            cfg,
+            out_dir,
+            hb_dir,
+            ckpt_root,
+            jobs: Vec::new(),
+            running: Vec::new(),
+            counters: ExecCounters::default(),
+        })
+    }
+
+    /// Submits a job. Probes the result cache first: a warm hit
+    /// completes the job immediately ([`JobOutcome::Cached`]); a corrupt
+    /// entry is quarantined and the job recomputes. A resubmission whose
+    /// fingerprint matches a job that is still queued or running attaches
+    /// to that job instead of double-scheduling the same work. Returns
+    /// the job's index (stable for this coordinator's lifetime).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown artifact names.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<usize, String> {
+        if !ARTIFACTS.contains(&spec.artifact.as_str()) {
+            return Err(format!("unknown artifact: {}", spec.artifact));
+        }
+        let fingerprint = spec.fingerprint();
+        if let Some(idx) = self
+            .jobs
+            .iter()
+            .position(|j| j.fingerprint == fingerprint && !j.is_done())
+        {
+            return Ok(idx);
+        }
+        let now = Instant::now();
+        let mut job = Job {
+            key: format!("{}-{fingerprint:016x}", spec.artifact),
+            fingerprint,
+            attempts: 0,
+            kills: 0,
+            timeouts: 0,
+            resumed: false,
+            quarantined: false,
+            cache_hit: false,
+            deadline_at: spec.deadline.map(|d| now + d),
+            ready_at: now,
+            in_flight: false,
+            progress: None,
+            last_failure: None,
+            done: None,
+            spec,
+        };
+        match cache::probe(&self.cfg.cache_dir, &job.spec.artifact, fingerprint) {
+            cache::Probe::Hit(output) => {
+                eprintln!("campaign: {}: cache hit", job.spec.artifact);
+                job.cache_hit = true;
+                job.done = Some((JobOutcome::Cached, Some(output), None));
+                self.counters.cache_hits += 1;
+            }
+            cache::Probe::Quarantined(_) => {
+                eprintln!(
+                    "campaign: {}: corrupt cache entry quarantined; recomputing",
+                    job.spec.artifact
+                );
+                job.quarantined = true;
+                self.counters.quarantined += 1;
+            }
+            cache::Probe::Miss => {}
+        }
+        self.jobs.push(job);
+        Ok(self.jobs.len() - 1)
+    }
+
+    /// All jobs, in submission order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// One job by index.
+    pub fn job(&self, idx: usize) -> Option<&Job> {
+        self.jobs.get(idx)
+    }
+
+    /// Aggregate degradation counters.
+    pub fn counters(&self) -> ExecCounters {
+        self.counters
+    }
+
+    /// True when every submitted job reached a terminal state.
+    pub fn all_done(&self) -> bool {
+        self.jobs.iter().all(Job::is_done)
+    }
+
+    /// Jobs currently executing in a worker process.
+    pub fn in_flight(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Jobs accepted but not yet terminal (queued + running).
+    pub fn backlog(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.is_done()).count()
+    }
+
+    /// One non-blocking supervision pass: reap exited workers, police
+    /// heartbeat liveness, wall-clock timeouts, and per-job deadlines,
+    /// then fill free worker slots with ready jobs in submission order.
+    /// Returns how many jobs reached a terminal state during the pass.
+    ///
+    /// # Errors
+    ///
+    /// Only an unspawnable worker binary is an engine-level error;
+    /// everything job-level degrades into the job's record.
+    pub fn poll(&mut self) -> Result<usize, String> {
+        let mut finished = 0usize;
+        // Reap finished workers and police liveness + deadlines.
+        let mut i = 0;
+        while i < self.running.len() {
+            let now = Instant::now();
+            let r = &mut self.running[i];
+            match r.child.try_wait() {
+                Ok(Some(status)) => {
+                    let r = self.running.swap_remove(i);
+                    let job = &mut self.jobs[r.job];
+                    job.in_flight = false;
+                    if status.success() {
+                        complete_from_frame(
+                            &self.cfg,
+                            &mut self.counters,
+                            job,
+                            &r.out_path,
+                            &self.ckpt_root,
+                        );
+                    } else {
+                        worker_died(
+                            &self.cfg,
+                            &mut self.counters,
+                            job,
+                            &describe_exit(status),
+                            false,
+                        );
+                    }
+                    if job.is_done() {
+                        finished += 1;
+                    }
+                }
+                Ok(None) => {
+                    if let Ok(hb) = std::fs::read(&r.hb_path) {
+                        if !hb.is_empty() && hb != r.last_hb {
+                            r.last_hb = hb;
+                            r.last_hb_change = now;
+                            // Heartbeat line 2 (when present) is the
+                            // worker's latest progress pulse.
+                            if let Some(pulse) = std::str::from_utf8(&r.last_hb)
+                                .ok()
+                                .and_then(|s| s.lines().nth(1))
+                            {
+                                self.jobs[r.job].progress = Some(pulse.to_string());
+                            }
+                        }
+                    }
+                    let deadline_hit = self.jobs[r.job].deadline_at.is_some_and(|d| now >= d);
+                    let reason = if deadline_hit {
+                        Some("deadline expired")
+                    } else if now.duration_since(r.started) > self.cfg.job_timeout {
+                        Some("wall-clock timeout")
+                    } else if now.duration_since(r.last_hb_change) > self.cfg.heartbeat_timeout {
+                        Some("stale heartbeat")
+                    } else {
+                        None
+                    };
+                    if let Some(why) = reason {
+                        let mut r = self.running.swap_remove(i);
+                        let _ = r.child.kill();
+                        let _ = r.child.wait();
+                        let job = &mut self.jobs[r.job];
+                        job.in_flight = false;
+                        self.counters.sigkills += 1;
+                        if deadline_hit {
+                            expire_deadline(&mut self.counters, job);
+                        } else {
+                            worker_died(
+                                &self.cfg,
+                                &mut self.counters,
+                                job,
+                                &format!("SIGKILL after {why}"),
+                                true,
+                            );
+                        }
+                        if job.is_done() {
+                            finished += 1;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                Err(e) => {
+                    let mut r = self.running.swap_remove(i);
+                    let _ = r.child.kill();
+                    let _ = r.child.wait();
+                    let job = &mut self.jobs[r.job];
+                    job.in_flight = false;
+                    worker_died(
+                        &self.cfg,
+                        &mut self.counters,
+                        job,
+                        &format!("wait failed: {e}"),
+                        false,
+                    );
+                    if job.is_done() {
+                        finished += 1;
+                    }
+                }
+            }
+        }
+        // Queued jobs whose deadline already expired never get a worker.
+        let now = Instant::now();
+        for job in &mut self.jobs {
+            if job.done.is_none() && !job.in_flight && job.deadline_at.is_some_and(|d| now >= d) {
+                expire_deadline(&mut self.counters, job);
+                finished += 1;
+            }
+        }
+        // Fill free worker slots with ready jobs, submission order first.
+        while self.running.len() < self.cfg.workers {
+            let now = Instant::now();
+            let Some(idx) = self
+                .jobs
+                .iter()
+                .position(|j| j.done.is_none() && !j.in_flight && j.ready_at <= now)
+            else {
+                break;
+            };
+            let r = spawn_attempt(
+                &self.cfg,
+                &mut self.jobs[idx],
+                idx,
+                &self.out_dir,
+                &self.hb_dir,
+                &self.ckpt_root,
+            )?;
+            self.jobs[idx].in_flight = true;
+            self.running.push(r);
+        }
+        Ok(finished)
+    }
+
+    /// SIGKILLs every live worker, leaving their checkpoints on disk (a
+    /// later attempt resumes from them). Used by `repro serve` on
+    /// graceful drain when in-flight work cannot finish in time, and by
+    /// `Drop` so an abandoned coordinator never leaks worker processes.
+    pub fn kill_workers(&mut self) {
+        for r in &mut self.running {
+            let _ = r.child.kill();
+            let _ = r.child.wait();
+            let job = &mut self.jobs[r.job];
+            job.in_flight = false;
+            job.kills += 1;
+        }
+        self.running.clear();
+    }
+
+    /// Consumes the coordinator into its jobs.
+    pub fn into_jobs(self) -> Vec<Job> {
+        // `self` is moved; Drop must not double-kill. Take the running
+        // set out first.
+        let mut me = self;
+        me.kill_workers();
+        std::mem::take(&mut me.jobs)
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.kill_workers();
+    }
+}
+
 /// Runs a campaign to completion. Every scheduling decision is logged to
 /// stderr; the returned outcome carries the manifest and the per-job
 /// output bytes in canonical order.
@@ -262,143 +778,21 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignOutcome, String> {
             return Err(format!("unknown artifact: {name}"));
         }
     }
-    if cfg.workers == 0 {
-        return Err("campaign needs at least one worker".to_string());
-    }
-    let out_dir = cfg.work_dir.join("out");
-    let hb_dir = cfg.work_dir.join("hb");
-    let ckpt_root = cfg.work_dir.join("ckpt");
-    for d in [&cfg.work_dir, &out_dir, &hb_dir, &ckpt_root, &cfg.cache_dir] {
-        std::fs::create_dir_all(d).map_err(|e| format!("cannot create {}: {e}", d.display()))?;
-    }
-
+    let mut coord = Coordinator::new(cfg.exec())?;
     // Canonical order; duplicates collapse.
-    let mut jobs: Vec<Job> = ARTIFACTS
+    for artifact in ARTIFACTS
         .iter()
         .filter(|a| cfg.artifacts.iter().any(|r| r == *a))
-        .map(|a| Job {
-            name: a.to_string(),
-            fingerprint: job_fingerprint(a, cfg.scale, cfg.json),
-            attempts: 0,
-            kills: 0,
-            timeouts: 0,
-            resumed: false,
-            quarantined: false,
-            cache_hit: false,
-            ready_at: Instant::now(),
-            in_flight: false,
-            last_failure: None,
-            done: None,
-        })
-        .collect();
-
-    // Cache pass: hits complete immediately; corrupt entries are
-    // quarantined and fall through to recomputation.
-    for job in &mut jobs {
-        match cache::probe(&cfg.cache_dir, &job.name, job.fingerprint) {
-            cache::Probe::Hit(output) => {
-                eprintln!("campaign: {}: cache hit", job.name);
-                job.cache_hit = true;
-                job.done = Some((JobOutcome::Cached, Some(output), None));
-            }
-            cache::Probe::Quarantined(_) => {
-                eprintln!(
-                    "campaign: {}: corrupt cache entry quarantined; recomputing",
-                    job.name
-                );
-                job.quarantined = true;
-            }
-            cache::Probe::Miss => {}
-        }
+    {
+        coord.submit(JobSpec::new(artifact, cfg.scale, &cfg.scale_name, cfg.json))?;
     }
-
-    let mut running: Vec<Running> = Vec::new();
-    while jobs.iter().any(|j| j.done.is_none()) {
-        // Reap finished workers and police liveness.
-        let mut i = 0;
-        while i < running.len() {
-            let now = Instant::now();
-            let r = &mut running[i];
-            match r.child.try_wait() {
-                Ok(Some(status)) => {
-                    let r = running.swap_remove(i);
-                    let job = &mut jobs[r.job];
-                    job.in_flight = false;
-                    if status.success() {
-                        complete_from_frame(cfg, job, &r.out_path, &ckpt_root);
-                    } else {
-                        worker_died(cfg, job, &describe_exit(status), false);
-                    }
-                }
-                Ok(None) => {
-                    if let Ok(hb) = std::fs::read(&r.hb_path) {
-                        if !hb.is_empty() && hb != r.last_hb {
-                            r.last_hb = hb;
-                            r.last_hb_change = now;
-                        }
-                    }
-                    let reason = if now.duration_since(r.started) > cfg.job_timeout {
-                        Some("wall-clock timeout")
-                    } else if now.duration_since(r.last_hb_change) > cfg.heartbeat_timeout {
-                        Some("stale heartbeat")
-                    } else {
-                        None
-                    };
-                    if let Some(why) = reason {
-                        let mut r = running.swap_remove(i);
-                        let _ = r.child.kill();
-                        let _ = r.child.wait();
-                        let job = &mut jobs[r.job];
-                        job.in_flight = false;
-                        worker_died(cfg, job, &format!("SIGKILL after {why}"), true);
-                    } else {
-                        i += 1;
-                    }
-                }
-                Err(e) => {
-                    let mut r = running.swap_remove(i);
-                    let _ = r.child.kill();
-                    let _ = r.child.wait();
-                    let job = &mut jobs[r.job];
-                    job.in_flight = false;
-                    worker_died(cfg, job, &format!("wait failed: {e}"), false);
-                }
-            }
-        }
-        // Fill free worker slots with ready jobs, canonical order first.
-        while running.len() < cfg.workers {
-            let now = Instant::now();
-            let Some(idx) = jobs
-                .iter()
-                .position(|j| j.done.is_none() && !j.in_flight && j.ready_at <= now)
-            else {
-                break;
-            };
-            let r = spawn_attempt(cfg, &mut jobs[idx], idx, &out_dir, &hb_dir, &ckpt_root)?;
-            jobs[idx].in_flight = true;
-            running.push(r);
-        }
+    while !coord.all_done() {
+        coord.poll()?;
         std::thread::sleep(Duration::from_millis(10));
     }
 
-    let records: Vec<JobRecord> = jobs
-        .iter()
-        .map(|j| {
-            let (outcome, _, error) = j.done.as_ref().expect("loop ran every job to done");
-            JobRecord {
-                name: j.name.clone(),
-                fingerprint: j.fingerprint,
-                outcome: outcome.clone(),
-                attempts: j.attempts,
-                kills: j.kills,
-                timeouts: j.timeouts,
-                resumed_from_checkpoint: j.resumed,
-                cache_hit: j.cache_hit,
-                quarantined: j.quarantined,
-                error: error.clone(),
-            }
-        })
-        .collect();
+    let jobs = coord.into_jobs();
+    let records: Vec<JobRecord> = jobs.iter().map(Job::record).collect();
     let manifest = Manifest {
         scale: cfg.scale_name.clone(),
         workers: cfg.workers,
@@ -415,10 +809,7 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignOutcome, String> {
     } else {
         eprintln!("campaign: manifest written to {}", manifest_path.display());
     }
-    let outputs = jobs
-        .into_iter()
-        .map(|j| j.done.expect("loop ran every job to done").1)
-        .collect();
+    let outputs = jobs.into_iter().map(Job::into_output).collect();
     Ok(CampaignOutcome { manifest, outputs })
 }
 
@@ -428,7 +819,8 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignOutcome, String> {
 /// carrying a job-level error finishes the job as `Failed` without
 /// burning retries — the error is deterministic.
 fn complete_from_frame(
-    cfg: &CampaignConfig,
+    cfg: &ExecConfig,
+    counters: &mut ExecCounters,
     job: &mut Job,
     out_path: &std::path::Path,
     ckpt_root: &std::path::Path,
@@ -437,53 +829,86 @@ fn complete_from_frame(
         .map_err(|e| format!("result frame unreadable: {e}"))
         .and_then(|bytes| cache::open_result(&bytes));
     match verdict {
-        Ok((meta, output)) if meta.artifact == job.name && meta.fingerprint == job.fingerprint => {
+        Ok((meta, output))
+            if meta.artifact == job.spec.artifact && meta.fingerprint == job.fingerprint =>
+        {
             if meta.ok {
-                if let Err(e) = cache::store(&cfg.cache_dir, &job.name, job.fingerprint, &output) {
-                    eprintln!("warning: campaign: {}: cache store failed: {e}", job.name);
+                if let Err(e) =
+                    cache::store(&cfg.cache_dir, &job.spec.artifact, job.fingerprint, &output)
+                {
+                    eprintln!(
+                        "warning: campaign: {}: cache store failed: {e}",
+                        job.spec.artifact
+                    );
                 }
                 let outcome = if job.attempts > 0 {
                     JobOutcome::Resumed(job.attempts)
                 } else {
                     JobOutcome::Completed
                 };
-                eprintln!("campaign: {}: {}", job.name, outcome);
+                eprintln!("campaign: {}: {}", job.spec.artifact, outcome);
                 job.done = Some((outcome, Some(output), None));
+                counters.fresh_completions += 1;
             } else {
-                eprintln!("campaign: {}: job-level error: {}", job.name, meta.error);
+                eprintln!(
+                    "campaign: {}: job-level error: {}",
+                    job.spec.artifact, meta.error
+                );
                 job.done = Some((JobOutcome::Failed, None, Some(meta.error)));
             }
-            let _ = std::fs::remove_dir_all(ckpt_root.join(&job.name));
+            let _ = std::fs::remove_dir_all(ckpt_root.join(&job.key));
         }
         Ok((meta, _)) => worker_died(
             cfg,
+            counters,
             job,
             &format!(
                 "result frame stamped {}/{:#018x}, expected {}/{:#018x}",
-                meta.artifact, meta.fingerprint, job.name, job.fingerprint
+                meta.artifact, meta.fingerprint, job.spec.artifact, job.fingerprint
             ),
             false,
         ),
-        Err(e) => worker_died(cfg, job, &format!("exited 0 but {e}"), false),
+        Err(e) => worker_died(cfg, counters, job, &format!("exited 0 but {e}"), false),
     }
+}
+
+/// Finishes a job whose deadline expired: no retry, typed outcome, the
+/// checkpoint (if any) stays on disk so an idempotent resubmission with a
+/// longer budget resumes instead of restarting.
+fn expire_deadline(counters: &mut ExecCounters, job: &mut Job) {
+    counters.deadline_kills += 1;
+    job.kills += 1;
+    let error = format!(
+        "deadline expired after {} attempt(s); partial progress checkpointed",
+        job.attempts + u32::from(job.in_flight)
+    );
+    eprintln!("campaign: {}: {error}", job.spec.artifact);
+    job.done = Some((JobOutcome::DeadlineExceeded, None, Some(error)));
 }
 
 /// Consumes one attempt after a worker death/hang: reschedules with
 /// exponential backoff under the retry budget, or finishes the job as
 /// `GaveUp` — the campaign itself keeps going either way.
-fn worker_died(cfg: &CampaignConfig, job: &mut Job, reason: &str, timeout: bool) {
+fn worker_died(
+    cfg: &ExecConfig,
+    counters: &mut ExecCounters,
+    job: &mut Job,
+    reason: &str,
+    timeout: bool,
+) {
     job.kills += 1;
     if timeout {
         job.timeouts += 1;
     }
     job.attempts += 1;
+    counters.retried_attempts += 1;
     job.last_failure = Some(reason.to_string());
     if job.attempts > cfg.max_retries {
         let error = format!(
             "gave up after {} attempt(s); last failure: {reason}",
             job.attempts
         );
-        eprintln!("campaign: {}: {error}", job.name);
+        eprintln!("campaign: {}: {error}", job.spec.artifact);
         job.done = Some((JobOutcome::GaveUp, None, Some(error)));
         return;
     }
@@ -495,23 +920,23 @@ fn worker_died(cfg: &CampaignConfig, job: &mut Job, reason: &str, timeout: bool)
     job.ready_at = Instant::now() + backoff;
     eprintln!(
         "campaign: {}: worker died ({reason}); retry {}/{} in {:?}",
-        job.name, job.attempts, cfg.max_retries, backoff
+        job.spec.artifact, job.attempts, cfg.max_retries, backoff
     );
 }
 
 /// Spawns one worker attempt for `job`, wiring its heartbeat, result
 /// shard, checkpoint directory, chaos plan, and test hooks.
 fn spawn_attempt(
-    cfg: &CampaignConfig,
+    cfg: &ExecConfig,
     job: &mut Job,
     idx: usize,
     out_dir: &std::path::Path,
     hb_dir: &std::path::Path,
     ckpt_root: &std::path::Path,
 ) -> Result<Running, String> {
-    let out_path = out_dir.join(format!("{}.result", job.name));
-    let hb_path = hb_dir.join(format!("{}.hb", job.name));
-    let ckpt_dir = ckpt_root.join(&job.name);
+    let out_path = out_dir.join(format!("{}.result", job.key));
+    let hb_path = hb_dir.join(format!("{}.hb", job.key));
+    let ckpt_dir = ckpt_root.join(&job.key);
     let _ = std::fs::remove_file(&out_path);
     let _ = std::fs::remove_file(&hb_path);
     if job.attempts > 0 {
@@ -524,14 +949,14 @@ fn spawn_attempt(
             job.resumed = true;
             eprintln!(
                 "campaign: {}: attempt {} will resume from checkpoint",
-                job.name,
+                job.spec.artifact,
                 job.attempts + 1
             );
         }
     }
     let mut cmd = Command::new(&cfg.worker_exe);
     cmd.arg("__worker")
-        .arg(&job.name)
+        .arg(&job.spec.artifact)
         .arg("--worker-out")
         .arg(&out_path)
         .arg("--worker-heartbeat")
@@ -544,15 +969,18 @@ fn spawn_attempt(
         .arg(&ckpt_dir)
         .arg("--resume")
         .arg("--scale")
-        .arg(&cfg.scale_name)
+        .arg(&job.spec.scale_name)
         .args(&cfg.passthrough)
         .stdin(Stdio::null())
         .stdout(Stdio::null());
+    if job.spec.json && !cfg.passthrough.iter().any(|f| f == "--json") {
+        cmd.arg("--json");
+    }
     if let Some(chaos) = cfg.chaos {
-        if let Some(after) = chaos.kill_plan(&job.name, job.attempts, cfg.max_retries) {
+        if let Some(after) = chaos.kill_plan(&job.spec.artifact, job.attempts, cfg.max_retries) {
             eprintln!(
                 "campaign: {}: chaos will abort attempt {} after {after} checkpoint write(s)",
-                job.name,
+                job.spec.artifact,
                 job.attempts + 1
             );
             cmd.arg("--kill-after-checkpoints")
@@ -560,22 +988,22 @@ fn spawn_attempt(
                 .arg("--chaos-abort");
         }
     }
-    if cfg.test_fail_job.as_deref() == Some(job.name.as_str()) {
+    if cfg.test_fail_job.as_deref() == Some(job.spec.artifact.as_str()) {
         cmd.arg("--worker-test-fail");
     }
-    if cfg.test_hang_job.as_deref() == Some(job.name.as_str()) && job.attempts == 0 {
+    if cfg.test_hang_job.as_deref() == Some(job.spec.artifact.as_str()) && job.attempts == 0 {
         cmd.arg("--worker-test-hang");
     }
     let child = cmd.spawn().map_err(|e| {
         format!(
             "cannot spawn worker {} for {}: {e}",
             cfg.worker_exe.display(),
-            job.name
+            job.spec.artifact
         )
     })?;
     eprintln!(
         "campaign: {}: attempt {} started (worker pid {}, slot {idx})",
-        job.name,
+        job.spec.artifact,
         job.attempts + 1,
         child.id()
     );
@@ -624,5 +1052,49 @@ mod tests {
         let mut cfg = CampaignConfig::new(Scale::test(), "test");
         cfg.artifacts = vec!["bogus".to_string()];
         assert!(run(&cfg).is_err());
+        let mut coord = Coordinator::new(cfg.exec()).expect("engine builds");
+        assert!(coord
+            .submit(JobSpec::new("bogus", Scale::test(), "test", false))
+            .is_err());
+    }
+
+    #[test]
+    fn abandoned_job_degrades_to_failed_record_instead_of_panicking() {
+        // Satellite of PR 8: a job that never reaches a terminal state
+        // must produce a typed Failed record, not an expect() abort.
+        let dir = std::env::temp_dir().join(format!("coord-test-{}", std::process::id()));
+        let mut cfg = CampaignConfig::new(Scale::test(), "test");
+        cfg.cache_dir = dir.join("cache");
+        cfg.work_dir = dir.clone();
+        let mut coord = Coordinator::new(cfg.exec()).expect("engine builds");
+        let idx = coord
+            .submit(JobSpec::new("table3", Scale::test(), "test", false))
+            .expect("submits");
+        // Never polled: the job is still queued.
+        let rec = coord.job(idx).expect("job exists").record();
+        assert_eq!(rec.outcome, JobOutcome::Failed);
+        assert!(rec.error.as_deref().unwrap_or("").contains("non-terminal"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resubmitting_an_unfinished_fingerprint_attaches() {
+        let dir = std::env::temp_dir().join(format!("coord-dedup-{}", std::process::id()));
+        let mut cfg = CampaignConfig::new(Scale::test(), "test");
+        cfg.cache_dir = dir.join("cache");
+        cfg.work_dir = dir.clone();
+        let mut coord = Coordinator::new(cfg.exec()).expect("engine builds");
+        let a = coord
+            .submit(JobSpec::new("table3", Scale::test(), "test", false))
+            .expect("submits");
+        let b = coord
+            .submit(JobSpec::new("table3", Scale::test(), "test", false))
+            .expect("submits");
+        assert_eq!(a, b, "identical in-flight work is deduplicated");
+        let c = coord
+            .submit(JobSpec::new("fig3", Scale::test(), "test", false))
+            .expect("submits");
+        assert_ne!(a, c);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -54,12 +54,22 @@ pub const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(100);
 /// Spawns the detached heartbeat thread. The thread dies with the
 /// process; failures to write are ignored (a missing heartbeat reads as
 /// a wedged worker, which kills this attempt — the safe direction).
+///
+/// Heartbeat format: line 1 is `<pid> <beat>`, line 2 (once the
+/// supervisor has reached a slice boundary) is the latest
+/// [`crate::supervisor::last_progress_pulse`] — the coordinator relays
+/// it so status endpoints can show live per-job progress.
 fn start_heartbeat(path: PathBuf) {
     std::thread::spawn(move || {
         let mut beat: u64 = 0;
         loop {
             beat += 1;
-            let _ = std::fs::write(&path, format!("{} {beat}\n", std::process::id()));
+            let mut body = format!("{} {beat}\n", std::process::id());
+            if let Some(pulse) = crate::supervisor::last_progress_pulse() {
+                body.push_str(&pulse);
+                body.push('\n');
+            }
+            let _ = std::fs::write(&path, body);
             std::thread::sleep(HEARTBEAT_INTERVAL);
         }
     });

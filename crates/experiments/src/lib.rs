@@ -37,6 +37,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod runner;
+pub mod serve;
 pub mod shadow;
 pub mod supervisor;
 pub mod table1;

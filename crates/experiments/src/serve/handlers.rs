@@ -1,0 +1,261 @@
+//! HTTP route handlers for `repro serve`.
+//!
+//! | route | behavior |
+//! |---|---|
+//! | `POST /jobs` | admission control → 202 (accepted, body carries the job id) / 429 (typed shed + `Retry-After-Ms`) / 400 / 503 (draining) |
+//! | `GET /jobs/<id>` | job status; `?wait_ms=N` long-polls until terminal or the wait expires |
+//! | `GET /jobs/<id>/output` | the rendered artifact bytes |
+//! | `GET /healthz` | queue depth, shed counts, worker liveness, journal lag, degradation counters |
+//! | `GET /readyz` | 200 while admitting, 503 once draining |
+//! | `POST /drain` | begin graceful drain |
+//!
+//! Job ids are job fingerprints (16 hex digits): idempotent across
+//! restarts, resubmission-safe, and directly addressable in the result
+//! cache.
+
+use super::admission::ShedReason;
+use super::{admit, http, json, spec_from_request, Admission, JobState, Shared};
+use crate::campaign::manifest::escape;
+use crate::campaign::Job;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Longest allowed long-poll parking time.
+const MAX_WAIT: Duration = Duration::from_secs(30);
+
+/// Handles one connection: parse, route, respond, close.
+pub fn handle(shared: &Shared, stream: &mut TcpStream) {
+    let request = match http::read_request(stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let body = format!("{{\"error\": \"{}\"}}\n", escape(&e));
+            let _ = http::write_response(stream, 400, "application/json", body.as_bytes(), None);
+            return;
+        }
+    };
+    let (status, body, retry_after) = route(shared, &request);
+    let _ = http::write_response(
+        stream,
+        status,
+        "application/json",
+        body.as_bytes(),
+        retry_after,
+    );
+}
+
+/// Dispatches one parsed request to `(status, body, retry_after_ms)`.
+fn route(shared: &Shared, req: &http::Request) -> (u16, String, Option<u64>) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/jobs") => submit(shared, req),
+        ("GET", "/healthz") => (200, healthz(shared), None),
+        ("GET", "/readyz") => {
+            if shared.lock().draining {
+                (
+                    503,
+                    "{\"ready\": false, \"reason\": \"draining\"}\n".to_string(),
+                    None,
+                )
+            } else {
+                (200, "{\"ready\": true}\n".to_string(), None)
+            }
+        }
+        ("POST", "/drain") => {
+            shared.lock().draining = true;
+            shared.cv.notify_all();
+            eprintln!("serve: drain requested");
+            (200, "{\"draining\": true}\n".to_string(), None)
+        }
+        ("GET", path) => {
+            if let Some(rest) = path.strip_prefix("/jobs/") {
+                match rest.strip_suffix("/output") {
+                    Some(id) => job_output(shared, id),
+                    None => job_status(shared, rest, req),
+                }
+            } else {
+                (404, "{\"error\": \"no such route\"}\n".to_string(), None)
+            }
+        }
+        _ => (
+            405,
+            "{\"error\": \"method not allowed\"}\n".to_string(),
+            None,
+        ),
+    }
+}
+
+/// `POST /jobs`.
+fn submit(shared: &Shared, req: &http::Request) -> (u16, String, Option<u64>) {
+    let parsed = std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(json::parse_flat)
+        .and_then(|map| spec_from_request(&shared.cfg, &map));
+    let spec = match parsed {
+        Ok(spec) => spec,
+        Err(e) => {
+            return (400, format!("{{\"error\": \"{}\"}}\n", escape(&e)), None);
+        }
+    };
+    match admit(shared, spec, Instant::now()) {
+        Admission::Accepted { fingerprint, warm } => (
+            202,
+            format!(
+                "{{\"job\": \"{fingerprint:016x}\", \"warm\": {warm}, \
+                 \"status_url\": \"/jobs/{fingerprint:016x}\"}}\n"
+            ),
+            None,
+        ),
+        Admission::Shed {
+            reason,
+            retry_after_ms,
+        } => {
+            let status = if reason == ShedReason::Draining {
+                503
+            } else {
+                429
+            };
+            (
+                status,
+                format!(
+                    "{{\"shed\": \"{}\", \"retry_after_ms\": {retry_after_ms}}}\n",
+                    reason.tag()
+                ),
+                Some(retry_after_ms),
+            )
+        }
+        Admission::Rejected(e) => (400, format!("{{\"error\": \"{}\"}}\n", escape(&e)), None),
+    }
+}
+
+/// Parses a 16-hex-digit job id.
+fn parse_id(id: &str) -> Option<u64> {
+    (id.len() == 16)
+        .then(|| u64::from_str_radix(id, 16).ok())
+        .flatten()
+}
+
+/// One job's status JSON.
+fn status_json(job: &Job) -> String {
+    let state = JobState::of(job);
+    let mut s = format!(
+        "{{\"job\": \"{:016x}\", \"artifact\": \"{}\", \"state\": \"{}\", \"attempts\": {}",
+        job.fingerprint(),
+        escape(job.artifact()),
+        state.tag(),
+        job.attempts()
+    );
+    if let Some(outcome) = job.outcome() {
+        s.push_str(&format!(", \"outcome\": \"{}\"", outcome.tag()));
+        s.push_str(&format!(
+            ", \"output_available\": {}",
+            job.output().is_some()
+        ));
+    }
+    if let Some(progress) = job.progress() {
+        s.push_str(&format!(", \"progress\": \"{}\"", escape(progress)));
+    }
+    if let Some(error) = job.error() {
+        s.push_str(&format!(", \"error\": \"{}\"", escape(error)));
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// `GET /jobs/<id>` with optional `wait_ms` long-poll.
+fn job_status(shared: &Shared, id: &str, req: &http::Request) -> (u16, String, Option<u64>) {
+    let Some(fingerprint) = parse_id(id) else {
+        return (400, "{\"error\": \"bad job id\"}\n".to_string(), None);
+    };
+    let wait = req
+        .query_param("wait_ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::ZERO)
+        .min(MAX_WAIT);
+    let deadline = Instant::now() + wait;
+    let mut inner = shared.lock();
+    loop {
+        match inner.jobs_by_fingerprint(fingerprint) {
+            None => {
+                // Unknown here — possibly completed and retired before a
+                // restart. The client contract: resubmit (idempotent; a
+                // banked result is a free warm hit).
+                return (
+                    404,
+                    "{\"error\": \"unknown job (resubmit; accepted work is idempotent by fingerprint)\"}\n"
+                        .to_string(),
+                    None,
+                );
+            }
+            Some(job) if job.is_done() => return (200, status_json(job), None),
+            Some(job) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    return (200, status_json(job), None);
+                }
+                let (next, _) = shared
+                    .cv
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                inner = next;
+            }
+        }
+    }
+}
+
+/// `GET /jobs/<id>/output`.
+fn job_output(shared: &Shared, id: &str) -> (u16, String, Option<u64>) {
+    let Some(fingerprint) = parse_id(id) else {
+        return (400, "{\"error\": \"bad job id\"}\n".to_string(), None);
+    };
+    let inner = shared.lock();
+    match inner.jobs_by_fingerprint(fingerprint) {
+        Some(job) => match job.output() {
+            Some(bytes) => match std::str::from_utf8(bytes) {
+                Ok(text) => (200, text.to_string(), None),
+                Err(_) => (500, "{\"error\": \"non-UTF-8 output\"}\n".to_string(), None),
+            },
+            None => {
+                let (status, msg) = if job.is_done() {
+                    (404, "job finished without output (degraded)")
+                } else {
+                    (404, "job not finished")
+                };
+                (status, format!("{{\"error\": \"{msg}\"}}\n"), None)
+            }
+        },
+        None => (404, "{\"error\": \"unknown job\"}\n".to_string(), None),
+    }
+}
+
+/// `GET /healthz`.
+fn healthz(shared: &Shared) -> String {
+    let inner = shared.lock();
+    let counters = inner.coord.counters();
+    format!(
+        "{{\"incarnation\": {}, \"draining\": {}, \
+         \"queue_depth\": {}, \"queue_capacity\": {}, \"in_flight\": {}, \
+         \"admitted\": {}, \
+         \"shed_queue_full\": {}, \"shed_rate_limited\": {}, \"shed_draining\": {}, \"shed_total\": {}, \
+         \"journal_lag\": {}, \"journal_quarantined\": {}, \
+         \"cache_hits\": {}, \"fresh_completions\": {}, \
+         \"quarantined\": {}, \"retried_attempts\": {}, \"sigkills\": {}, \"deadline_kills\": {}}}\n",
+        inner.incarnation,
+        inner.draining,
+        inner.coord.backlog(),
+        shared.cfg.queue_capacity,
+        inner.coord.in_flight(),
+        inner.admitted,
+        inner.sheds.queue_full,
+        inner.sheds.rate_limited,
+        inner.sheds.draining,
+        inner.sheds.total(),
+        inner.journal.lag(),
+        inner.journal.quarantined,
+        counters.cache_hits,
+        counters.fresh_completions,
+        counters.quarantined,
+        counters.retried_attempts,
+        counters.sigkills,
+        counters.deadline_kills,
+    )
+}

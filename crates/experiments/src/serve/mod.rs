@@ -1,0 +1,571 @@
+//! `repro serve` — a crash-tolerant job-queue front door for the
+//! campaign execution engine (`DESIGN.md` §14).
+//!
+//! The service accepts render/experiment requests over a hand-rolled
+//! HTTP/1.1 layer ([`http`], loopback `TcpListener`, no new deps) and —
+//! for headless use — a filesystem job-drop directory
+//! (`<serve_dir>/drop/*.json`, same JSON body as `POST /jobs`). A
+//! request names an artifact, scale, output mode, and optional deadline;
+//! it passes through [`admission`] control (bounded queue +
+//! token-bucket rate limit, typed 429 sheds with retry-after hints), is
+//! made durable in the write-ahead [`journal`] *before* the 202
+//! acknowledgment, and is then submitted to the shared
+//! [`campaign::Coordinator`] — which dedups it against the
+//! content-addressed result cache by job fingerprint (a warm hit
+//! completes instantly), fans cold work across supervised worker
+//! processes, and enforces the deadline by SIGKILL.
+//!
+//! Robustness model:
+//!
+//! - **Crash**: `kill -9` (or the seeded chaos abort) loses nothing
+//!   acknowledged — on restart the journal replays every
+//!   accepted-but-unfinished request in admission order, warm results
+//!   come straight from the cache, and interrupted jobs resume from
+//!   their checkpoints. Workers orphaned by the crash are harmless:
+//!   result frames and checkpoints are written atomically and the
+//!   simulation is deterministic, so an orphan and its replacement can
+//!   only ever write identical bytes.
+//! - **Drain**: `POST /drain` (or a `drain` sentinel file in the drop
+//!   directory) stops admission — new submissions shed typed
+//!   `draining` responses — finishes or checkpoints in-flight work,
+//!   writes a final manifest, and exits 0. This is the graceful-stop
+//!   path; the experiments crate forbids `unsafe` and links no libc, so
+//!   a SIGTERM handler is deliberately out of reach — and unnecessary,
+//!   because the crash path above already covers abrupt termination.
+//! - **Chaos**: `--chaos-crash-every K --seed S` arms
+//!   [`Chaos::server_crash_plan`] — a deterministic schedule that
+//!   aborts whole server incarnations after 1–3 *freshly computed*
+//!   completions. Cache hits never count toward the crash point, so a
+//!   crashing incarnation always banks new work first and a restart
+//!   loop provably converges to byte-identical artifacts.
+//!
+//! `/healthz` reports queue depth, shed counts by reason, worker
+//! liveness, journal lag, and the engine's degradation counters
+//! (quarantines, retries, SIGKILLs); `/readyz` flips unready the moment
+//! draining starts. Long-poll job status (`GET /jobs/<id>?wait_ms=N`)
+//! carries the worker's latest `SnapshotSink`-style progress pulse.
+
+pub mod admission;
+pub mod client;
+pub mod handlers;
+pub mod http;
+pub mod journal;
+pub mod json;
+
+use crate::campaign::chaos::Chaos;
+use crate::campaign::manifest::Manifest;
+use crate::campaign::{Coordinator, ExecConfig, Job, JobSpec};
+use crate::runner::Scale;
+use admission::{ShedCounters, ShedReason, TokenBucket};
+use journal::{Journal, JournalEntry};
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Serve configuration, built by the `repro serve` argument parser.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` = loopback, ephemeral port; the
+    /// resolved address is written to `<serve_dir>/endpoint`).
+    pub bind: String,
+    /// Service state directory: journal, drop-dir ingress, endpoint
+    /// file, incarnation counter, final manifest.
+    pub serve_dir: PathBuf,
+    /// Worker-supervision configuration for the backing coordinator.
+    pub exec: ExecConfig,
+    /// Default scale for requests that don't name one.
+    pub default_scale: Scale,
+    /// Name of the default scale.
+    pub default_scale_name: String,
+    /// Bounded-queue capacity: accepted-but-not-terminal jobs never
+    /// exceed this; excess submissions shed `queue-full`.
+    pub queue_capacity: usize,
+    /// Token-bucket refill rate (requests/second; 0 disables).
+    pub rate_per_sec: u64,
+    /// Token-bucket burst capacity.
+    pub burst: u64,
+    /// Service-level chaos: seeded schedule of whole-incarnation
+    /// crashes.
+    pub server_chaos: Option<Chaos>,
+}
+
+/// Status of one submitted job as the API reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker slot.
+    Queued,
+    /// Executing in a worker process.
+    Running,
+    /// Terminal (completed, cached, failed, gave up, or
+    /// deadline-exceeded).
+    Done,
+}
+
+impl JobState {
+    /// Stable tag for status JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+        }
+    }
+
+    /// Classifies a coordinator job.
+    pub fn of(job: &Job) -> JobState {
+        if job.is_done() {
+            JobState::Done
+        } else if job.is_running() {
+            JobState::Running
+        } else {
+            JobState::Queued
+        }
+    }
+}
+
+/// Mutable server state behind the lock.
+pub struct Inner {
+    /// The job-execution engine.
+    pub coord: Coordinator,
+    /// Write-ahead journal.
+    pub journal: Journal,
+    /// Journal entries not yet retired, by fingerprint.
+    pub pending: HashMap<u64, JournalEntry>,
+    /// Admission rate limiter.
+    pub bucket: TokenBucket,
+    /// Shed counters by reason.
+    pub sheds: ShedCounters,
+    /// True once draining started (no new admissions).
+    pub draining: bool,
+    /// True once the accept loop should exit.
+    pub stop: bool,
+    /// This server incarnation (0-based boot count).
+    pub incarnation: u64,
+    /// Requests admitted (journaled + acked) this incarnation.
+    pub admitted: u64,
+}
+
+/// State shared between the pump loop, the accept loop, and connection
+/// handler threads.
+pub struct Shared {
+    /// Immutable configuration.
+    pub cfg: ServeConfig,
+    /// Lock-protected state.
+    pub inner: Mutex<Inner>,
+    /// Signaled whenever a job reaches a terminal state (long-poll
+    /// wake-up) and on drain.
+    pub cv: Condvar,
+}
+
+impl Shared {
+    /// Locks the state, recovering from poison (a panicking handler
+    /// thread must not wedge the server; the state has no cross-call
+    /// invariants a panic could tear).
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Outcome of one admission attempt.
+pub enum Admission {
+    /// Journaled and submitted; the job id is the fingerprint.
+    Accepted {
+        /// Public job id (fingerprint).
+        fingerprint: u64,
+        /// True when the result was already cached (done immediately).
+        warm: bool,
+    },
+    /// Shed with a typed reason and a retry hint.
+    Shed {
+        /// Why.
+        reason: ShedReason,
+        /// Hint for the client's next attempt.
+        retry_after_ms: u64,
+    },
+    /// Malformed or unknown-artifact request.
+    Rejected(String),
+}
+
+/// Runs full admission control for one parsed request. Order matters:
+/// validation first (a garbage request never consumes a token), then
+/// draining, rate limit, queue bound, then the durable journal append,
+/// then coordinator submission — the 202 is only earned once the entry
+/// is journaled.
+pub fn admit(shared: &Shared, spec: JobSpec, now: Instant) -> Admission {
+    if !crate::campaign::ARTIFACTS.contains(&spec.artifact.as_str()) {
+        return Admission::Rejected(format!("unknown artifact: {}", spec.artifact));
+    }
+    let mut inner = shared.lock();
+    if inner.draining {
+        inner.sheds.count(ShedReason::Draining);
+        return Admission::Shed {
+            reason: ShedReason::Draining,
+            retry_after_ms: 0,
+        };
+    }
+    if let Err(wait) = inner.bucket.take(now) {
+        inner.sheds.count(ShedReason::RateLimited);
+        return Admission::Shed {
+            reason: ShedReason::RateLimited,
+            retry_after_ms: (wait.as_millis() as u64).max(1),
+        };
+    }
+    let fingerprint = spec.fingerprint();
+    // An identical job already admitted (or already terminal) is free:
+    // idempotent by fingerprint, no new queue slot, no new journal entry.
+    let attached = inner
+        .jobs_by_fingerprint(fingerprint)
+        .map(|job| job.is_done());
+    if let Some(done) = attached {
+        return Admission::Accepted {
+            fingerprint,
+            warm: done,
+        };
+    }
+    if inner.coord.backlog() >= shared.cfg.queue_capacity {
+        inner.sheds.count(ShedReason::QueueFull);
+        return Admission::Shed {
+            reason: ShedReason::QueueFull,
+            retry_after_ms: 250,
+        };
+    }
+    let deadline_ms = spec.deadline.map(|d| d.as_millis() as u64).unwrap_or(0);
+    let entry = match inner.journal.append(
+        &spec.artifact,
+        &spec.scale_name,
+        spec.json,
+        deadline_ms,
+        fingerprint,
+    ) {
+        Ok(entry) => entry,
+        Err(e) => return Admission::Rejected(format!("journal unavailable: {e}")),
+    };
+    inner.pending.insert(fingerprint, entry);
+    match inner.coord.submit(spec) {
+        Ok(idx) => {
+            inner.admitted += 1;
+            let warm = inner.coord.jobs()[idx].is_done();
+            if warm {
+                shared.cv.notify_all();
+            }
+            Admission::Accepted { fingerprint, warm }
+        }
+        Err(e) => {
+            // Unreachable after the ARTIFACTS check above, but never
+            // leave a journaled ghost behind.
+            if let Some(entry) = inner.pending.remove(&fingerprint) {
+                inner.journal.retire(&entry);
+            }
+            Admission::Rejected(e)
+        }
+    }
+}
+
+impl Inner {
+    /// Finds the job for a public id.
+    pub fn jobs_by_fingerprint(&self, fingerprint: u64) -> Option<&Job> {
+        self.coord
+            .jobs()
+            .iter()
+            .find(|j| j.fingerprint() == fingerprint)
+    }
+}
+
+/// Builds a [`JobSpec`] from a parsed request body, applying server
+/// defaults.
+///
+/// # Errors
+///
+/// Unknown fields are ignored; a missing artifact, an unknown scale
+/// name, or a non-positive deadline is an error string for a 400.
+pub fn spec_from_request(
+    cfg: &ServeConfig,
+    body: &std::collections::BTreeMap<String, json::Value>,
+) -> Result<JobSpec, String> {
+    let artifact = json::get_str(body, "artifact").ok_or("missing \"artifact\"")?;
+    let (scale, scale_name) = match json::get_str(body, "scale") {
+        None => (cfg.default_scale, cfg.default_scale_name.clone()),
+        Some(name) => (
+            Scale::parse(name).ok_or_else(|| format!("unknown scale: {name}"))?,
+            name.to_string(),
+        ),
+    };
+    let deadline = match json::get_num(body, "deadline_ms") {
+        None | Some(0) => None,
+        Some(ms) if ms > 0 => Some(Duration::from_millis(ms as u64)),
+        Some(ms) => return Err(format!("bad deadline_ms: {ms}")),
+    };
+    let mut spec = JobSpec::new(
+        artifact,
+        scale,
+        &scale_name,
+        json::get_bool(body, "json").unwrap_or(false),
+    );
+    spec.deadline = deadline;
+    Ok(spec)
+}
+
+/// Reads, bumps, and persists the incarnation counter. Returns the
+/// 0-based incarnation this boot runs as.
+fn bump_incarnation(dir: &std::path::Path) -> u64 {
+    let path = dir.join("incarnation");
+    let current = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    let _ = simt_sim::write_atomic(&path, format!("{}\n", current + 1).as_bytes());
+    current
+}
+
+/// Runs the server until drain completes. Binds, replays the journal,
+/// starts the accept loop, and pumps the coordinator; on `--chaos-crash-every`
+/// schedules the process may abort mid-stream (the restart loop around
+/// it is the test harness's job).
+///
+/// # Errors
+///
+/// Bind/journal/work-dir misconfiguration only; everything job-level is
+/// supervised and reported per job.
+pub fn run(cfg: ServeConfig) -> Result<(), String> {
+    std::fs::create_dir_all(&cfg.serve_dir)
+        .map_err(|e| format!("cannot create {}: {e}", cfg.serve_dir.display()))?;
+    let drop_dir = cfg.serve_dir.join("drop");
+    std::fs::create_dir_all(&drop_dir)
+        .map_err(|e| format!("cannot create {}: {e}", drop_dir.display()))?;
+    let incarnation = bump_incarnation(&cfg.serve_dir);
+    let crash_plan = cfg
+        .server_chaos
+        .and_then(|c| c.server_crash_plan(incarnation));
+    if let Some(after) = crash_plan {
+        eprintln!(
+            "serve: chaos: incarnation {incarnation} will abort after {after} fresh completion(s)"
+        );
+    }
+
+    let coord = Coordinator::new(cfg.exec.clone())?;
+    let (journal, replay) = Journal::open(&cfg.serve_dir.join("journal"))?;
+    let listener = TcpListener::bind(&cfg.bind).map_err(|e| format!("bind {}: {e}", cfg.bind))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    simt_sim::write_atomic(
+        &cfg.serve_dir.join("endpoint"),
+        format!("{addr}\n").as_bytes(),
+    )
+    .map_err(|e| format!("cannot write endpoint file: {e}"))?;
+    eprintln!(
+        "serve: incarnation {incarnation} listening on {addr} (queue capacity {}, rate {}/s burst {}, {} journaled job(s) to replay)",
+        cfg.queue_capacity,
+        cfg.rate_per_sec,
+        cfg.burst,
+        replay.len()
+    );
+
+    let now = Instant::now();
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            coord,
+            journal,
+            pending: HashMap::new(),
+            bucket: TokenBucket::new(cfg.rate_per_sec, cfg.burst, now),
+            sheds: ShedCounters::default(),
+            draining: false,
+            stop: false,
+            incarnation,
+            admitted: 0,
+        }),
+        cv: Condvar::new(),
+        cfg,
+    });
+
+    // Replay journaled requests in admission order. Replay bypasses
+    // admission control (they were already admitted — shedding them now
+    // would break the "202 survives a crash" contract) and restarts any
+    // deadline budget from now.
+    {
+        let mut inner = shared.lock();
+        for entry in replay {
+            let Some(scale) = Scale::parse(&entry.scale_name) else {
+                eprintln!(
+                    "serve: journal: entry {} names unknown scale {}; quarantining",
+                    entry.seq, entry.scale_name
+                );
+                inner.journal.retire(&entry);
+                continue;
+            };
+            let mut spec = JobSpec::new(&entry.artifact, scale, &entry.scale_name, entry.json);
+            if entry.deadline_ms > 0 {
+                spec.deadline = Some(Duration::from_millis(entry.deadline_ms));
+            }
+            match inner.coord.submit(spec) {
+                Ok(_) => {
+                    inner.pending.insert(entry.fingerprint, entry);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "serve: journal: entry {} ({}) rejected on replay ({e}); retiring",
+                        entry.seq, entry.artifact
+                    );
+                    inner.journal.retire(&entry);
+                }
+            }
+        }
+    }
+
+    // Accept loop: non-blocking accept, one handler thread per
+    // connection (requests are small and short-lived except long-polls,
+    // which park on the condvar).
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::spawn(move || loop {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let shared = Arc::clone(&accept_shared);
+                std::thread::spawn(move || {
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
+                    handlers::handle(&shared, &mut stream);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if accept_shared.lock().stop {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                eprintln!("serve: accept: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    });
+
+    // Pump loop: drive the coordinator, retire journal entries for
+    // terminal jobs, honor the chaos crash plan, ingest the drop
+    // directory, and complete drains.
+    loop {
+        {
+            let mut inner = shared.lock();
+            let finished = inner.coord.poll()?;
+            // Retire journal entries whose jobs reached a terminal state
+            // (their results are banked in the cache or recorded as typed
+            // failures).
+            let terminal: Vec<u64> = inner
+                .pending
+                .keys()
+                .copied()
+                .filter(|fp| inner.jobs_by_fingerprint(*fp).is_some_and(|j| j.is_done()))
+                .collect();
+            for fp in terminal {
+                if let Some(entry) = inner.pending.remove(&fp) {
+                    inner.journal.retire(&entry);
+                }
+            }
+            if finished > 0 {
+                shared.cv.notify_all();
+            }
+            if let Some(after) = crash_plan {
+                if u64::from(inner.coord.counters().fresh_completions) >= after {
+                    eprintln!(
+                        "serve: chaos: aborting incarnation {} after {} fresh completion(s)",
+                        inner.incarnation,
+                        inner.coord.counters().fresh_completions
+                    );
+                    // A real crash: no drain, no worker cleanup, no
+                    // destructors — the journal and cache are the only
+                    // survivors, which is the point.
+                    std::process::abort();
+                }
+            }
+            if inner.draining && inner.coord.all_done() {
+                inner.stop = true;
+                shared.cv.notify_all();
+                write_final_manifest(&shared.cfg, &inner);
+                break;
+            }
+        }
+        ingest_drop_dir(&shared, &drop_dir);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    accept_thread
+        .join()
+        .map_err(|_| "accept thread panicked".to_string())?;
+    eprintln!("serve: drained; exiting");
+    Ok(())
+}
+
+/// Writes the end-of-drain manifest (same format as a batch campaign's).
+fn write_final_manifest(cfg: &ServeConfig, inner: &Inner) {
+    let manifest = Manifest {
+        scale: "serve".to_string(),
+        workers: cfg.exec.workers,
+        chaos_kill_every: cfg.exec.chaos.map(|c| c.kill_every),
+        seed: cfg.exec.chaos.map(|c| c.seed).unwrap_or(0),
+        jobs: inner.coord.jobs().iter().map(Job::record).collect(),
+    };
+    let path = cfg.serve_dir.join("manifest.json");
+    match simt_sim::write_atomic(&path, manifest.to_json().as_bytes()) {
+        Ok(()) => eprintln!("serve: final manifest written to {}", path.display()),
+        Err(e) => eprintln!("warning: serve: cannot write {}: {e}", path.display()),
+    }
+    eprintln!("{manifest}");
+}
+
+/// Scans the drop directory once: `<name>.json` files are admitted like
+/// `POST /jobs` bodies (the response JSON is written to `<name>.resp`
+/// and the request file removed); a file named `drain` triggers
+/// graceful drain.
+fn ingest_drop_dir(shared: &Shared, drop_dir: &std::path::Path) {
+    let Ok(listing) = std::fs::read_dir(drop_dir) else {
+        return;
+    };
+    for item in listing.flatten() {
+        let path = item.path();
+        if path.file_name().and_then(|n| n.to_str()) == Some("drain") {
+            let _ = std::fs::remove_file(&path);
+            eprintln!("serve: drain requested via drop directory");
+            shared.lock().draining = true;
+            shared.cv.notify_all();
+            continue;
+        }
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let body = match std::fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(_) => continue, // racing a partial write; next scan gets it
+        };
+        let response = match json::parse_flat(&body)
+            .and_then(|map| spec_from_request(&shared.cfg, &map))
+        {
+            Ok(spec) => match admit(shared, spec, Instant::now()) {
+                Admission::Accepted { fingerprint, warm } => format!(
+                    "{{\"accepted\": true, \"job\": \"{fingerprint:016x}\", \"warm\": {warm}}}\n"
+                ),
+                Admission::Shed {
+                    reason,
+                    retry_after_ms,
+                } => format!(
+                    "{{\"accepted\": false, \"shed\": \"{}\", \"retry_after_ms\": {retry_after_ms}}}\n",
+                    reason.tag()
+                ),
+                Admission::Rejected(e) => format!(
+                    "{{\"accepted\": false, \"error\": \"{}\"}}\n",
+                    crate::campaign::manifest::escape(&e)
+                ),
+            },
+            Err(e) => format!(
+                "{{\"accepted\": false, \"error\": \"{}\"}}\n",
+                crate::campaign::manifest::escape(&e)
+            ),
+        };
+        let _ = simt_sim::write_atomic(&path.with_extension("resp"), response.as_bytes());
+        let _ = std::fs::remove_file(&path);
+    }
+}

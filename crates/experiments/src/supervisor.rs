@@ -23,7 +23,7 @@
 //! to an uninterrupted run (see `DESIGN.md` §9).
 
 use crate::configs::parallelism;
-use simt_sim::{Gpu, RunOutcome, RunSummary, Snapshot, SnapshotSink, TraceSink};
+use simt_sim::{Gpu, ProgressPulse, RunOutcome, RunSummary, Snapshot};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -84,6 +84,27 @@ static POLICY: Mutex<Option<Policy>> = Mutex::new(None);
 
 /// Count of on-disk snapshot writes, for the kill test hook.
 static DISK_WRITES: AtomicU64 = AtomicU64::new(0);
+
+/// Latest progress pulse published by `run_to_target`, rendered to its
+/// one-line form. Campaign workers poll this to relay live progress in
+/// their heartbeat files.
+static LAST_PULSE: Mutex<Option<String>> = Mutex::new(None);
+
+/// Publishes a slice-boundary progress pulse for heartbeat relaying.
+fn publish_pulse(pulse: &ProgressPulse) {
+    *LAST_PULSE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(pulse.to_string());
+}
+
+/// The latest slice-boundary progress pulse ("cycle N" or
+/// "cycle N: issues ..."), if any run has reached a boundary yet.
+pub fn last_progress_pulse() -> Option<String> {
+    LAST_PULSE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
 
 /// Locks the policy slot, recovering from poison. The policy is plain
 /// data with no invariants spanning the critical section, so a campaign
@@ -341,16 +362,19 @@ pub fn run_to_target(gpu: &mut Gpu, target: u64, job: &str, meta: &[u8]) -> Supe
                         };
                     }
                     // Healthy slice boundary: record the new good state
-                    // and, when telemetry is recording, a one-line pulse
-                    // of the machine's vitals.
+                    // and publish a one-line pulse of the machine's
+                    // vitals (campaign workers relay it to their
+                    // heartbeat for live status reporting).
                     take_snapshot(gpu, job, meta, &pol, &mut last_good);
-                    if gpu.telemetry_enabled() {
-                        eprintln!(
-                            "supervisor: {job}: cycle {}: {}",
-                            gpu.now(),
-                            SnapshotSink.render(&gpu.telemetry_report())
-                        );
+                    let pulse = if gpu.telemetry_enabled() {
+                        ProgressPulse::collect(gpu.now(), &gpu.telemetry_report())
+                    } else {
+                        ProgressPulse::at_cycle(gpu.now())
+                    };
+                    if pulse.telemetry {
+                        eprintln!("supervisor: {job}: {pulse}");
                     }
+                    publish_pulse(&pulse);
                     continue;
                 }
                 RunOutcome::Deadlock { .. } => "watchdog deadlock".to_string(),

@@ -1,0 +1,409 @@
+//! End-to-end tests of `repro serve`: crash recovery via journal
+//! replay, idempotent resubmission across restarts, provably bounded
+//! admission control, per-request deadlines, and byte-identity of
+//! served artifacts with serial renders.
+
+use experiments::serve::client::{self, ClientOpts};
+use experiments::serve::json;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const REPRO: &str = env!("CARGO_BIN_EXE_repro");
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("temp dir");
+    d
+}
+
+/// Serial reference bytes for one artifact at test scale.
+fn serial_bytes(artifact: &str) -> Vec<u8> {
+    let out = Command::new(REPRO)
+        .args([artifact, "--scale", "test"])
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success(), "serial {artifact} run succeeds");
+    out.stdout
+}
+
+/// A running server incarnation; killed on drop so a panicking test
+/// never leaks the process.
+struct Server {
+    child: Child,
+    serve_dir: PathBuf,
+}
+
+impl Server {
+    fn start(serve_dir: &Path, extra: &[&str]) -> Server {
+        let log = std::fs::File::create(serve_dir.join(format!(
+            "serve-{}.log",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis())
+                .unwrap_or(0)
+        )))
+        .expect("server log file");
+        let child = Command::new(REPRO)
+            .args([
+                "serve",
+                "--serve-dir",
+                serve_dir.to_str().expect("utf-8 path"),
+                "--scale",
+                "test",
+                "--workers",
+                "2",
+            ])
+            .args(extra)
+            .stdout(Stdio::null())
+            .stderr(log)
+            .spawn()
+            .expect("server spawns");
+        Server {
+            child,
+            serve_dir: serve_dir.to_path_buf(),
+        }
+    }
+
+    fn endpoint_file(&self) -> PathBuf {
+        self.serve_dir.join("endpoint")
+    }
+
+    fn opts(&self, artifacts: &[&str]) -> ClientOpts {
+        ClientOpts {
+            server: client::read_endpoint(&self.endpoint_file(), Duration::from_secs(30))
+                .expect("server advertises its endpoint"),
+            endpoint_file: Some(self.endpoint_file()),
+            artifacts: artifacts.iter().map(|s| s.to_string()).collect(),
+            scale_name: "test".to_string(),
+            json: false,
+            deadline_ms: None,
+            concurrency: 2,
+            out_dir: None,
+            timeout: Duration::from_secs(240),
+        }
+    }
+
+    /// `kill -9`: no drain, no cleanup — the crash the journal exists
+    /// for.
+    fn kill9(&mut self) {
+        self.child.kill().expect("SIGKILL delivered");
+        let _ = self.child.wait();
+    }
+
+    /// Requests graceful drain and waits for a clean exit.
+    fn drain(mut self) {
+        let opts = self.opts(&[]);
+        let deadline = Instant::now() + Duration::from_secs(120);
+        client::request_retry(&opts, "POST", "/drain", "", deadline).expect("drain accepted");
+        let status = self.child.wait().expect("server exits");
+        assert!(status.success(), "drained server exits 0, got {status}");
+        // Disarm the Drop kill (already reaped).
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn healthz(opts: &ClientOpts) -> std::collections::BTreeMap<String, json::Value> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let resp = client::request_retry(opts, "GET", "/healthz", "", deadline).expect("healthz");
+    assert_eq!(resp.status, 200);
+    json::parse_flat(&String::from_utf8_lossy(&resp.body)).expect("healthz is flat JSON")
+}
+
+/// The satellite-3 e2e: a request mix of cold, warm-cache, and
+/// deadline-exceeding jobs; `kill -9` mid-flight; restart; journal
+/// replay finishes accepted work with bytes identical to serial
+/// renders — without the client resubmitting.
+#[test]
+fn kill9_recovery_replays_journal_and_matches_serial_bytes() {
+    let dir = temp_dir("kill9");
+    // The first incarnation hangs fig7's worker (test hook), pinning
+    // that job in-flight so the kill below is deterministic, not a race
+    // against a fast render.
+    let mut server = Server::start(&dir, &["--chaos-hang-job", "fig7"]);
+    let opts = server.opts(&[]);
+
+    // Cold request runs to completion before any crash.
+    let table3 = client::run_job(&opts, "table3").expect("cold table3");
+    assert_eq!(table3.outcome, "completed");
+    assert_eq!(
+        table3.output.as_deref(),
+        Some(serial_bytes("table3").as_slice()),
+        "served bytes == serial bytes"
+    );
+
+    // Accept a longer job, then kill -9 the server mid-flight. The 202
+    // has been issued, so this request must survive the crash.
+    let fig7_body = "{\"artifact\": \"fig7\", \"scale\": \"test\"}";
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let accept =
+        client::request_retry(&opts, "POST", "/jobs", fig7_body, deadline).expect("fig7 submitted");
+    assert_eq!(accept.status, 202, "fig7 accepted and journaled");
+    let accept_map =
+        json::parse_flat(&String::from_utf8_lossy(&accept.body)).expect("202 body parses");
+    let fig7_id = json::get_str(&accept_map, "job")
+        .expect("job id")
+        .to_string();
+    std::thread::sleep(Duration::from_millis(500));
+    server.kill9();
+
+    // Restart on the same serve dir — WITHOUT the hang hook, so the
+    // replayed job can actually run. Journal replay must resubmit fig7
+    // with no client action; we only poll the same job id.
+    let server = Server::start(&dir, &[]);
+    let opts = server.opts(&[]);
+    let wait_deadline = Instant::now() + Duration::from_secs(180);
+    let fig7_done = loop {
+        let resp = client::request_retry(
+            &opts,
+            "GET",
+            &format!("/jobs/{fig7_id}?wait_ms=2000"),
+            "",
+            wait_deadline,
+        )
+        .expect("status reachable after restart");
+        assert_ne!(
+            resp.status, 404,
+            "journaled-but-unfinished job must be replayed, not lost"
+        );
+        let map = json::parse_flat(&String::from_utf8_lossy(&resp.body)).expect("status JSON");
+        if json::get_str(&map, "state") == Some("done") {
+            break map;
+        }
+        assert!(
+            Instant::now() < wait_deadline,
+            "fig7 must finish after replay"
+        );
+    };
+    let outcome = json::get_str(&fig7_done, "outcome").expect("outcome");
+    assert!(
+        outcome == "completed" || outcome == "resumed" || outcome == "cached",
+        "replayed job converges, got {outcome}"
+    );
+    let out = client::request_retry(
+        &opts,
+        "GET",
+        &format!("/jobs/{fig7_id}/output"),
+        "",
+        Instant::now() + Duration::from_secs(30),
+    )
+    .expect("output fetch");
+    assert_eq!(out.status, 200);
+    assert_eq!(
+        out.body,
+        serial_bytes("fig7"),
+        "post-crash bytes == serial bytes"
+    );
+
+    // Warm resubmission of the pre-crash artifact: the cache survived
+    // the kill, so this is instant and still byte-identical.
+    let warm = client::run_job(&opts, "table3").expect("warm table3");
+    assert_eq!(warm.outcome, "cached");
+    assert_eq!(
+        warm.output.as_deref(),
+        Some(serial_bytes("table3").as_slice())
+    );
+
+    // Deadline-exceeding request: a 1ms budget expires before any worker
+    // finishes; typed outcome, no output, counted in /healthz.
+    let mut dl_opts = opts.clone();
+    dl_opts.deadline_ms = Some(1);
+    let expired = client::run_job(&dl_opts, "fig9").expect("deadline job terminal");
+    assert_eq!(expired.outcome, "deadline-exceeded");
+    assert!(expired.output.is_none());
+
+    let health = healthz(&opts);
+    assert!(
+        json::get_num(&health, "deadline_kills").unwrap_or(0) >= 1,
+        "deadline kill surfaced in /healthz: {health:?}"
+    );
+    assert_eq!(
+        json::get_num(&health, "queue_depth"),
+        Some(0),
+        "everything terminal"
+    );
+
+    server.drain();
+    // After drain: journal empty (nothing accepted was lost or left
+    // behind) and the final manifest records the degraded deadline job.
+    let journal_left = std::fs::read_dir(dir.join("journal"))
+        .map(|d| {
+            d.flatten()
+                .filter(|i| i.path().extension().and_then(|e| e.to_str()) == Some("job"))
+                .count()
+        })
+        .unwrap_or(0);
+    assert_eq!(journal_left, 0, "journal fully retired after drain");
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).expect("final manifest");
+    assert!(
+        manifest.contains("\"outcome\": \"deadline-exceeded\""),
+        "manifest records the deadline job: {manifest}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The admission-bound acceptance criterion: under a flood the queue
+/// never exceeds its configured capacity, excess requests get typed
+/// shed responses with retry hints, the sheds are counted in
+/// `/healthz`, and nothing accepted is lost.
+#[test]
+fn flood_sheds_typed_and_queue_stays_bounded() {
+    let dir = temp_dir("flood");
+    // Capacity 1: the first cold job occupies the whole queue.
+    let server = Server::start(&dir, &["--queue-capacity", "1"]);
+    let opts = server.opts(&[]);
+    let deadline = Instant::now() + Duration::from_secs(60);
+
+    let first = client::request_retry(
+        &opts,
+        "POST",
+        "/jobs",
+        "{\"artifact\": \"fig7\", \"scale\": \"test\"}",
+        deadline,
+    )
+    .expect("first submit");
+    assert_eq!(first.status, 202, "first job fills the queue");
+
+    // Distinct artifacts (distinct fingerprints) must shed queue-full;
+    // resubmitting the SAME artifact attaches idempotently instead.
+    let mut sheds = 0;
+    for artifact in ["fig3", "fig9", "table4"] {
+        let body = format!("{{\"artifact\": \"{artifact}\", \"scale\": \"test\"}}");
+        let resp =
+            client::request_retry(&opts, "POST", "/jobs", &body, deadline).expect("flood submit");
+        if resp.status == 429 {
+            let map =
+                json::parse_flat(&String::from_utf8_lossy(&resp.body)).expect("shed body JSON");
+            assert_eq!(json::get_str(&map, "shed"), Some("queue-full"));
+            assert!(resp.retry_after_ms.is_some(), "shed carries a retry hint");
+            sheds += 1;
+        } else {
+            // fig7 may complete mid-flood and free the slot; anything
+            // accepted must have been journaled, which drain verifies.
+            assert_eq!(resp.status, 202);
+        }
+    }
+    let dup = client::request_retry(
+        &opts,
+        "POST",
+        "/jobs",
+        "{\"artifact\": \"fig7\", \"scale\": \"test\"}",
+        deadline,
+    )
+    .expect("duplicate submit");
+    assert_eq!(
+        dup.status, 202,
+        "identical in-flight work attaches, never sheds"
+    );
+
+    let health = healthz(&opts);
+    let depth = json::get_num(&health, "queue_depth").expect("queue_depth");
+    assert!(depth <= 1, "queue depth {depth} exceeds capacity 1");
+    assert!(
+        json::get_num(&health, "shed_queue_full").unwrap_or(0) >= i64::from(sheds),
+        "sheds counted in /healthz: {health:?}"
+    );
+    assert!(sheds >= 1, "flood produced at least one typed shed");
+
+    // Everything accepted (202) must converge; drain proves it.
+    server.drain();
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).expect("final manifest");
+    assert!(
+        !manifest.contains("\"gave_up\": 1"),
+        "accepted jobs all converge: {manifest}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Rate limiting: with a 1-token bucket and no refill to speak of, the
+/// second immediate submission sheds `rate-limited`.
+#[test]
+fn token_bucket_sheds_rate_limited() {
+    let dir = temp_dir("rate");
+    let server = Server::start(&dir, &["--rate", "1", "--burst", "1"]);
+    let opts = server.opts(&[]);
+    let deadline = Instant::now() + Duration::from_secs(30);
+
+    let first = client::request_retry(
+        &opts,
+        "POST",
+        "/jobs",
+        "{\"artifact\": \"table3\", \"scale\": \"test\"}",
+        deadline,
+    )
+    .expect("first submit");
+    assert_eq!(first.status, 202);
+    let second = client::request_retry(
+        &opts,
+        "POST",
+        "/jobs",
+        "{\"artifact\": \"fig3\", \"scale\": \"test\"}",
+        deadline,
+    )
+    .expect("second submit");
+    assert_eq!(second.status, 429, "bucket empty: typed shed");
+    let map = json::parse_flat(&String::from_utf8_lossy(&second.body)).expect("shed body");
+    assert_eq!(json::get_str(&map, "shed"), Some("rate-limited"));
+    let hint = second.retry_after_ms.expect("retry hint present");
+    assert!(hint >= 1, "hint must be a real wait, got {hint}");
+
+    let health = healthz(&opts);
+    assert!(json::get_num(&health, "shed_rate_limited").unwrap_or(0) >= 1);
+    server.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The drop-directory ingress accepts the same JSON bodies as `POST
+/// /jobs` and answers through `.resp` files.
+#[test]
+fn drop_directory_ingress_accepts_and_responds() {
+    let dir = temp_dir("drop");
+    let server = Server::start(&dir, &[]);
+    let opts = server.opts(&[]);
+    // Wait for boot (endpoint visible), then drop a request file in.
+    let drop_dir = dir.join("drop");
+    std::fs::write(
+        drop_dir.join("req1.json"),
+        "{\"artifact\": \"table3\", \"scale\": \"test\"}",
+    )
+    .expect("drop request");
+    let resp_path = drop_dir.join("req1.resp");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let body = loop {
+        if let Ok(text) = std::fs::read_to_string(&resp_path) {
+            break text;
+        }
+        assert!(Instant::now() < deadline, "drop response appears");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let map = json::parse_flat(&body).expect("drop response is flat JSON");
+    assert_eq!(json::get_bool(&map, "accepted"), Some(true), "{body}");
+    let job = json::get_str(&map, "job").expect("job id").to_string();
+
+    // The dropped job is a normal job: poll it over HTTP to done.
+    let wait_deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = client::request_retry(
+            &opts,
+            "GET",
+            &format!("/jobs/{job}?wait_ms=2000"),
+            "",
+            wait_deadline,
+        )
+        .expect("status");
+        let map = json::parse_flat(&String::from_utf8_lossy(&resp.body)).expect("status JSON");
+        if json::get_str(&map, "state") == Some("done") {
+            break;
+        }
+        assert!(Instant::now() < wait_deadline, "dropped job finishes");
+    }
+    server.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}

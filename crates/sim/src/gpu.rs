@@ -909,7 +909,10 @@ impl Gpu {
                     if gate && !self.sms[i].dispatch_dirty() && dispatch_seen[i] == blocks_gen {
                         continue;
                     }
-                    let before = (launch.blocks.len(), launch.blocks.front().map(|b| b.next_tid));
+                    let before = (
+                        launch.blocks.len(),
+                        launch.blocks.front().map(|b| b.next_tid),
+                    );
                     dispatched |= Self::dispatch_for_sm(
                         &mut self.sms[i],
                         launch,
@@ -919,7 +922,10 @@ impl Gpu {
                         self.now,
                         ctx,
                     );
-                    let after = (launch.blocks.len(), launch.blocks.front().map(|b| b.next_tid));
+                    let after = (
+                        launch.blocks.len(),
+                        launch.blocks.front().map(|b| b.next_tid),
+                    );
                     if after != before {
                         blocks_gen = blocks_gen.wrapping_add(1);
                     }

@@ -110,8 +110,8 @@ pub use oracle::{run_case, shrink, CaseReport, Mismatch};
 pub use sm::Sm;
 pub use stats::{DivergenceTimeline, SimStats, OCCUPANCY_BUCKETS};
 pub use telemetry::{
-    ChromeTraceSink, CsvMetricsSink, SnapshotSink, TelemetryReport, TelemetrySpec, TraceEvent,
-    TraceEventKind, TraceSink, WindowCounters,
+    ChromeTraceSink, CsvMetricsSink, ProgressPulse, SnapshotSink, TelemetryReport, TelemetrySpec,
+    TraceEvent, TraceEventKind, TraceSink, WindowCounters,
 };
 pub use thread::{LaneState, ThreadCtx};
 pub use warp::{StackEntry, Warp, WarpState};

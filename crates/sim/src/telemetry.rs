@@ -34,6 +34,7 @@
 use crate::stats::DivergenceTimeline;
 use simt_isa::codec::{CodecError, Decoder, Encoder};
 use std::collections::VecDeque;
+use std::fmt;
 use std::fmt::Write as _;
 
 /// Default per-SM trace ring capacity (events kept per SM).
@@ -853,6 +854,42 @@ pub struct SnapshotSink;
 
 impl TraceSink for SnapshotSink {
     fn render(&self, report: &TelemetryReport) -> String {
+        ProgressPulse::collect(0, report).vitals()
+    }
+}
+
+/// A point-in-time machine-vitals snapshot of a running simulation: the
+/// cycle counter plus the `SnapshotSink` aggregates. The supervisor
+/// publishes one at every healthy slice boundary; campaign workers relay
+/// the latest pulse in their heartbeat files so the coordinator — and
+/// the `repro serve` status endpoint above it — can report live per-job
+/// progress without touching the simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressPulse {
+    /// Simulated cycle the pulse was taken at.
+    pub cycle: u64,
+    /// Total instructions issued so far.
+    pub issues: u64,
+    /// Mean active lanes per issue (SIMT efficiency proxy).
+    pub mean_active_lanes: f64,
+    /// Warps born across all windows.
+    pub warps_born: u64,
+    /// Warps retired across all windows.
+    pub warps_retired: u64,
+    /// μ-kernel threads spawned.
+    pub threads_spawned: u64,
+    /// Spawn-unit stall events.
+    pub spawn_stalls: u64,
+    /// Telemetry events dropped under backpressure.
+    pub dropped_events: u64,
+    /// False when the run had telemetry off and only the cycle counter
+    /// is meaningful.
+    pub telemetry: bool,
+}
+
+impl ProgressPulse {
+    /// Builds a pulse from a full telemetry report at `cycle`.
+    pub fn collect(cycle: u64, report: &TelemetryReport) -> Self {
         let (born, retired, spawned, stalls) =
             report
                 .windows
@@ -865,13 +902,58 @@ impl TraceSink for SnapshotSink {
                         st + w.spawn_stalls,
                     )
                 });
+        ProgressPulse {
+            cycle,
+            issues: report.total_issues(),
+            mean_active_lanes: report.divergence.mean_active_lanes(),
+            warps_born: born,
+            warps_retired: retired,
+            threads_spawned: spawned,
+            spawn_stalls: stalls,
+            dropped_events: report.dropped,
+            telemetry: true,
+        }
+    }
+
+    /// A cycle-only pulse for runs with telemetry disabled.
+    pub fn at_cycle(cycle: u64) -> Self {
+        ProgressPulse {
+            cycle,
+            issues: 0,
+            mean_active_lanes: 0.0,
+            warps_born: 0,
+            warps_retired: 0,
+            threads_spawned: 0,
+            spawn_stalls: 0,
+            dropped_events: 0,
+            telemetry: false,
+        }
+    }
+
+    /// The vitals tail — exactly the bytes `SnapshotSink` has always
+    /// rendered (downstream log parsers depend on this format).
+    pub fn vitals(&self) -> String {
         format!(
-            "issues {}, mean active lanes {:.1}, warps born {born} / retired {retired}, \
-             threads spawned {spawned}, spawn stalls {stalls}, dropped events {}",
-            report.total_issues(),
-            report.divergence.mean_active_lanes(),
-            report.dropped
+            "issues {}, mean active lanes {:.1}, warps born {} / retired {}, \
+             threads spawned {}, spawn stalls {}, dropped events {}",
+            self.issues,
+            self.mean_active_lanes,
+            self.warps_born,
+            self.warps_retired,
+            self.threads_spawned,
+            self.spawn_stalls,
+            self.dropped_events
         )
+    }
+}
+
+impl fmt::Display for ProgressPulse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.telemetry {
+            write!(f, "cycle {}: {}", self.cycle, self.vitals())
+        } else {
+            write!(f, "cycle {}", self.cycle)
+        }
     }
 }
 
