@@ -21,6 +21,12 @@
 //! cache overheads are recorded numbers. Skipped (recorded as `null`)
 //! when the `repro` binary is not next to `bench_sim`.
 //!
+//! Also records per-workload SIMD efficiency (DESIGN.md §15): every
+//! registry workload that reports `simd_efficiency` (the extended `bvh`
+//! and `microdiv` scenarios) contributes a scenario → efficiency map at
+//! test scale, so efficiency regressions show up in the recorded
+//! numbers next to the wall-clock ones.
+//!
 //! Also measures `repro serve` front-door overhead (`DESIGN.md` §14):
 //! cold request throughput through admission + journal + coordinator,
 //! then warm-cache hit latency (p50/p99 of the full submit → status →
@@ -176,7 +182,7 @@ fn bench_campaign(host_cpus: usize) -> Option<CampaignBench> {
     let cache_hit_seconds = timed(workers, warm_dir)?;
     let _ = std::fs::remove_dir_all(&root);
     Some(CampaignBench {
-        jobs: 12,
+        jobs: experiments::campaign::artifacts().len(),
         workers,
         one_worker_seconds,
         n_worker_seconds,
@@ -244,7 +250,7 @@ fn bench_serve(host_cpus: usize) -> Option<ServeBench> {
             .ok()?,
     );
     let endpoint = root.join("endpoint");
-    let artifacts = experiments::campaign::ARTIFACTS;
+    let artifacts = experiments::campaign::artifacts();
     let mut opts = ClientOpts {
         server: client::read_endpoint(&endpoint, std::time::Duration::from_secs(30)).ok()?,
         endpoint_file: Some(endpoint),
@@ -417,6 +423,17 @@ fn main() -> ExitCode {
         );
     }
 
+    eprintln!("bench_sim: per-workload SIMD efficiency (test scale) ...");
+    let mut simd_sections: Vec<(&str, Vec<(String, f64)>)> = Vec::new();
+    for w in experiments::workload::all() {
+        if let Some(rows) = w.simd_efficiency(Scale::test()) {
+            for (scenario, eff) in &rows {
+                eprintln!("  {}/{scenario}: {:.1}%", w.id(), eff * 100.0);
+            }
+            simd_sections.push((w.id(), rows));
+        }
+    }
+
     // Where the event-driven speedup comes from: how much of the run was
     // fully idle (skipped in bulk) vs occupied, from the parallel-1 run
     // (the simulated numbers are bit-identical across parallelism).
@@ -495,6 +512,21 @@ fn main() -> ExitCode {
          \"write_seconds\": {:.6}, \"restore_seconds\": {:.6}}},\n",
         ckpt.snapshot_bytes, ckpt.encode_seconds, ckpt.write_seconds, ckpt.restore_seconds
     ));
+    json.push_str("  \"workload_simd_efficiency\": {\n");
+    for (i, (id, rows)) in simd_sections.iter().enumerate() {
+        json.push_str(&format!("    \"{id}\": {{"));
+        for (j, (scenario, eff)) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "\"{scenario}\": {eff:.4}{}",
+                if j + 1 < rows.len() { ", " } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "}}{}\n",
+            if i + 1 < simd_sections.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
     match &campaign {
         Some(c) => json.push_str(&format!(
             "  \"campaign\": {{\"scale\": \"test\", \"jobs\": {}, \"workers\": {}, \

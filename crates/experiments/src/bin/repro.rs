@@ -21,9 +21,18 @@
 //!                  [--client-timeout-secs N] [--flood N]
 //!                  [--healthz] [--drain]
 //!
+//! repro list       # print the workload catalog
+//!
 //! artifacts: table1 table2 table3 table4 fig2 fig3 fig7 fig8 fig9 fig10
-//!            ablation shadow all campaign serve client
+//!            ablation shadow bvh microdiv all campaign serve client
 //! ```
+//!
+//! Every runnable workload lives in the `experiments::workload`
+//! registry; `repro list` prints the catalog. Extended workloads (`bvh`,
+//! `microdiv`) also run narrowed to one machine variant via
+//! `workload@variant` job names (e.g. `repro bvh@dynamic`); `repro all`
+//! remains exactly the twelve paper artifacts, byte-identical to every
+//! release before the registry existed.
 //!
 //! `--parallel` sets the simulator's phase-A worker-thread count (`ncpu`
 //! = all host cores). Results are bit-identical at every setting; it
@@ -65,8 +74,8 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|fig2|fig3|fig7|fig8|fig9|fig10|\
-         ablation|shadow|all|campaign> \
+        "usage: repro <workload[@variant]|all|list|campaign|serve|client> \
+         (`repro list` prints the workload catalog) \
          [--scale paper|quick|test] [--json] [--parallel N|ncpu] \
          [--trace] [--metrics-every N] \
          [--checkpoint-every N] [--checkpoint-dir D] [--resume] \
@@ -96,6 +105,23 @@ fn main() -> ExitCode {
     } else {
         (args[0].as_str(), 1)
     };
+    if mode == "list" {
+        for w in experiments::workload::all() {
+            let variants = if w.variants().is_empty() {
+                String::new()
+            } else {
+                let names: Vec<&str> = w.variants().iter().map(|v| v.wire_name()).collect();
+                format!("  [variants: {}]", names.join(", "))
+            };
+            println!(
+                "{:<10} {:<9} {}{variants}",
+                w.id(),
+                w.group().to_string(),
+                w.description()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
     let mut scale = Scale::quick();
     let mut scale_name = "quick".to_string();
     let mut json = false;
@@ -384,8 +410,10 @@ fn main() -> ExitCode {
                 i += 1;
                 match args.get(i) {
                     Some(list) if list == "all" => {
-                        client_artifacts =
-                            campaign::ARTIFACTS.iter().map(|s| s.to_string()).collect();
+                        client_artifacts = campaign::artifacts()
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect();
                     }
                     Some(list) => {
                         client_artifacts = list.split(',').map(|s| s.trim().to_string()).collect();
@@ -618,7 +646,10 @@ fn main() -> ExitCode {
             server: addr,
             endpoint_file,
             artifacts: if client_artifacts.is_empty() {
-                campaign::ARTIFACTS.iter().map(|s| s.to_string()).collect()
+                campaign::artifacts()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect()
             } else {
                 client_artifacts
             },
@@ -673,7 +704,7 @@ fn main() -> ExitCode {
 
     if mode == "all" {
         let mut failed = 0u32;
-        for name in campaign::ARTIFACTS {
+        for name in campaign::artifacts() {
             eprintln!("== {name} ==");
             if let Some(Err(e)) = run_one(name) {
                 eprintln!("error: {name}: {e}");
@@ -693,7 +724,16 @@ fn main() -> ExitCode {
                 eprintln!("error: {mode}: {e}");
                 ExitCode::FAILURE
             }
-            None => usage(),
+            None => {
+                // The typed registry error: echo exactly what was asked
+                // for and point at the catalog.
+                let spec = experiments::workload::ScenarioSpec::new(mode, scale, &scale_name);
+                match spec.resolve() {
+                    Err(e) => eprintln!("error: {e}"),
+                    Ok(_) => unreachable!("render_artifact returned None for a known workload"),
+                }
+                ExitCode::from(2)
+            }
         }
     }
 }

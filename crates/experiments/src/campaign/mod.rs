@@ -41,84 +41,71 @@ pub mod manifest;
 pub mod worker;
 
 use crate::runner::{run_fingerprint, Scale};
-use crate::{
-    ablation, fig10, fig2, fig3, fig7, fig8, fig9, shadow, table1, table2, table3, table4,
-};
+use crate::workload::{RenderError, ScenarioSpec};
 use chaos::Chaos;
 use manifest::{JobOutcome, JobRecord, Manifest};
 use simt_isa::codec::{fnv1a64, Encoder};
-use std::fmt;
 use std::path::PathBuf;
 use std::process::{Child, Command, ExitStatus, Stdio};
 use std::time::{Duration, Instant};
 
-/// Every artifact of a full campaign, in canonical presentation order
-/// (the order `repro all` runs them).
-pub const ARTIFACTS: [&str; 12] = [
-    "table1", "table2", "table3", "table4", "fig2", "fig3", "fig7", "fig8", "fig9", "fig10",
-    "ablation", "shadow",
-];
+/// The paper-group artifacts of a full campaign, in canonical
+/// presentation order (the order `repro all` runs them). Delegates to
+/// the [`crate::workload`] registry — the single source of truth for
+/// what is runnable.
+pub fn artifacts() -> Vec<&'static str> {
+    crate::workload::paper_ids()
+}
 
-/// Renders one artifact to the exact bytes `repro` prints on stdout for
+/// Renders one job to the exact bytes `repro` prints on stdout for
 /// it — `Display` text plus the trailing blank line, or the one-line
 /// JSON envelope under `--json`. Campaign workers, the serial `repro`
-/// path, and the result cache all share this definition, which is what
-/// makes "byte-identical however computed" checkable.
+/// path, and the result cache all share this definition (via the
+/// [`crate::workload`] registry), which is what makes "byte-identical
+/// however computed" checkable.
 ///
-/// Returns `None` for an unknown artifact, `Some(Err)` when the job
-/// itself failed (a deterministic job-level error the campaign reports
-/// without retrying).
+/// Returns `None` for a name no registered workload covers, `Some(Err)`
+/// when the job itself failed (a deterministic job-level error the
+/// campaign reports without retrying).
 pub fn render_artifact(name: &str, scale: Scale, json: bool) -> Option<Result<String, String>> {
-    fn page<T: fmt::Display>(artifact: &str, value: &T, json: bool) -> String {
-        if json {
-            format!(
-                "{{\"artifact\":\"{}\",\"data\":\"{}\"}}\n",
-                manifest::escape(artifact),
-                manifest::escape(&value.to_string())
-            )
-        } else {
-            format!("{value}\n\n")
-        }
+    match ScenarioSpec::new(name, scale, "").render(json) {
+        Ok(rendered) => Some(Ok(rendered)),
+        Err(RenderError::Unknown(_)) => None,
+        Err(RenderError::Job(e)) => Some(Err(e)),
     }
-    let rendered = match name {
-        "table1" => page("table1", &table1::run(), json),
-        "table2" => page("table2", &table2::run(), json),
-        "table3" => page("table3", &table3::run(scale), json),
-        "table4" => page("table4", &table4::run(scale), json),
-        "fig2" => match fig2::run() {
-            Ok(f) => page("fig2", &f, json),
-            Err(e) => return Some(Err(format!("kernel assembly failed: {e}"))),
-        },
-        "fig3" => page("fig3", &fig3::run(scale), json),
-        "fig7" => page("fig7", &fig7::run(scale), json),
-        "fig8" => page("fig8", &fig8::run(scale), json),
-        "fig9" => page("fig9", &fig9::run(scale), json),
-        "fig10" => page("fig10", &fig10::run(scale), json),
-        "ablation" => page("ablation", &ablation::run(scale), json),
-        "shadow" => page("shadow", &shadow::run(scale), json),
-        _ => return None,
-    };
-    Some(Ok(rendered))
 }
 
 /// Identity fingerprint of one campaign job: FNV-1a-64 over the
-/// artifact name, output mode, and the [`run_fingerprint`] of every
-/// (scene × variant) render the matrix can touch at this scale — which
-/// folds in the kernel program bytes, the full `GpuConfig` per variant,
-/// the scene identities, the [`Scale`], and the telemetry spec. Any
-/// change to any of those re-keys every job; the content-addressed
-/// cache can therefore never serve a stale result for them.
-pub fn job_fingerprint(artifact: &str, scale: Scale, json: bool) -> u64 {
+/// scenario's canonical job name, output mode, and the
+/// [`run_fingerprint`] of every (scene × variant) render the matrix can
+/// touch at this scale — which folds in the kernel program bytes, the
+/// full `GpuConfig` per variant, the scene identities, the [`Scale`],
+/// and the telemetry spec. Workloads with private inputs (extra kernel
+/// programs, their own configuration) extend the encoding through
+/// [`crate::workload::Workload::extend_fingerprint`]; the hook appends
+/// *after* the historical encoding and is a no-op for the paper
+/// artifacts, so their fingerprints — and every existing cache entry and
+/// journal id — are unchanged. Any change to any input re-keys the job;
+/// the content-addressed cache can therefore never serve a stale result.
+pub fn scenario_fingerprint(spec: &ScenarioSpec, json: bool) -> u64 {
     let mut enc = Encoder::new();
     enc.put_str("usimt-campaign-fp-v1");
-    enc.put_str(artifact);
+    enc.put_str(spec.name());
     enc.put_bool(json);
-    for scene in raytrace::scenes::all(scale.scene) {
+    for scene in raytrace::scenes::all(spec.scale.scene) {
         for variant in crate::configs::Variant::ALL {
-            enc.put_u64(run_fingerprint(&scene, variant, scale));
+            enc.put_u64(run_fingerprint(&scene, variant, spec.scale));
         }
     }
+    if let Ok(w) = spec.resolve() {
+        w.extend_fingerprint(&mut enc, spec.scale);
+    }
     fnv1a64(&enc.into_bytes())
+}
+
+/// [`scenario_fingerprint`] for a bare job name (see there).
+pub fn job_fingerprint(artifact: &str, scale: Scale, json: bool) -> u64 {
+    scenario_fingerprint(&ScenarioSpec::new(artifact, scale, ""), json)
 }
 
 /// Campaign configuration, built by the `repro campaign` argument
@@ -131,8 +118,8 @@ pub struct CampaignConfig {
     pub scale_name: String,
     /// Render jobs in `--json` mode.
     pub json: bool,
-    /// Artifacts to run (validated against [`ARTIFACTS`], executed in
-    /// canonical order).
+    /// Job names to run (validated against the [`crate::workload`]
+    /// registry, executed in canonical registry order).
     pub artifacts: Vec<String>,
     /// Worker process count.
     pub workers: usize,
@@ -179,7 +166,7 @@ impl CampaignConfig {
             scale,
             scale_name: scale_name.to_string(),
             json: false,
-            artifacts: ARTIFACTS.iter().map(|s| s.to_string()).collect(),
+            artifacts: artifacts().iter().map(|s| s.to_string()).collect(),
             workers: 2,
             cache_dir: work_dir.join("cache"),
             work_dir,
@@ -242,16 +229,13 @@ pub struct ExecConfig {
     pub test_hang_job: Option<String>,
 }
 
-/// One job submission: which artifact, at what scale, in which output
-/// mode, and under what (optional) completion deadline.
+/// One job submission: which scenario, in which output mode, and under
+/// what (optional) completion deadline.
 #[derive(Debug, Clone)]
 pub struct JobSpec {
-    /// Artifact name (must be one of [`ARTIFACTS`]).
-    pub artifact: String,
-    /// Experiment scale for this job.
-    pub scale: Scale,
-    /// Scale name forwarded to the worker (`--scale <name>`).
-    pub scale_name: String,
+    /// The typed scenario this job renders (workload, optional variant
+    /// narrowing, scale).
+    pub scenario: ScenarioSpec,
     /// Render in `--json` mode.
     pub json: bool,
     /// Wall-clock budget from submission; on expiry the job's worker is
@@ -261,22 +245,27 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
-    /// A no-deadline spec for `artifact` at `scale`.
-    pub fn new(artifact: &str, scale: Scale, scale_name: &str, json: bool) -> Self {
+    /// A no-deadline spec for the job name `name` (`workload` or
+    /// `workload@variant`) at `scale`.
+    pub fn new(name: &str, scale: Scale, scale_name: &str, json: bool) -> Self {
         JobSpec {
-            artifact: artifact.to_string(),
-            scale,
-            scale_name: scale_name.to_string(),
+            scenario: ScenarioSpec::new(name, scale, scale_name),
             json,
             deadline: None,
         }
+    }
+
+    /// Canonical job name (wire format, worker argv, manifest entry;
+    /// byte-identical to the bare artifact name for paper jobs).
+    pub fn name(&self) -> &str {
+        self.scenario.name()
     }
 
     /// Identity fingerprint of the work this spec names (deadlines do not
     /// re-key: the same render under a different deadline is the same
     /// bytes).
     pub fn fingerprint(&self) -> u64 {
-        job_fingerprint(&self.artifact, self.scale, self.json)
+        scenario_fingerprint(&self.scenario, self.json)
     }
 }
 
@@ -326,9 +315,9 @@ pub struct Job {
 }
 
 impl Job {
-    /// Artifact name this job renders.
+    /// Canonical job name (the artifact name, for paper jobs).
     pub fn artifact(&self) -> &str {
-        &self.spec.artifact
+        self.spec.name()
     }
 
     /// The submitted spec.
@@ -392,7 +381,7 @@ impl Job {
             ),
         };
         JobRecord {
-            name: self.spec.artifact.clone(),
+            name: self.spec.name().to_string(),
             fingerprint: self.fingerprint,
             outcome,
             attempts: self.attempts,
@@ -505,11 +494,10 @@ impl Coordinator {
     ///
     /// # Errors
     ///
-    /// Rejects unknown artifact names.
+    /// Rejects scenarios no registered workload covers (the typed
+    /// [`crate::workload::UnknownWorkload`] error, stringified).
     pub fn submit(&mut self, spec: JobSpec) -> Result<usize, String> {
-        if !ARTIFACTS.contains(&spec.artifact.as_str()) {
-            return Err(format!("unknown artifact: {}", spec.artifact));
-        }
+        spec.scenario.resolve().map_err(|e| e.to_string())?;
         let fingerprint = spec.fingerprint();
         if let Some(idx) = self
             .jobs
@@ -520,7 +508,7 @@ impl Coordinator {
         }
         let now = Instant::now();
         let mut job = Job {
-            key: format!("{}-{fingerprint:016x}", spec.artifact),
+            key: format!("{}-{fingerprint:016x}", spec.name()),
             fingerprint,
             attempts: 0,
             kills: 0,
@@ -536,9 +524,9 @@ impl Coordinator {
             done: None,
             spec,
         };
-        match cache::probe(&self.cfg.cache_dir, &job.spec.artifact, fingerprint) {
+        match cache::probe(&self.cfg.cache_dir, job.spec.name(), fingerprint) {
             cache::Probe::Hit(output) => {
-                eprintln!("campaign: {}: cache hit", job.spec.artifact);
+                eprintln!("campaign: {}: cache hit", job.spec.name());
                 job.cache_hit = true;
                 job.done = Some((JobOutcome::Cached, Some(output), None));
                 self.counters.cache_hits += 1;
@@ -546,7 +534,7 @@ impl Coordinator {
             cache::Probe::Quarantined(_) => {
                 eprintln!(
                     "campaign: {}: corrupt cache entry quarantined; recomputing",
-                    job.spec.artifact
+                    job.spec.name()
                 );
                 job.quarantined = true;
                 self.counters.quarantined += 1;
@@ -773,18 +761,24 @@ impl Drop for Coordinator {
 /// deterministic job errors — is supervised and reported per job in the
 /// manifest instead.
 pub fn run(cfg: &CampaignConfig) -> Result<CampaignOutcome, String> {
+    let mut requested = Vec::new();
     for name in &cfg.artifacts {
-        if !ARTIFACTS.contains(&name.as_str()) {
-            return Err(format!("unknown artifact: {name}"));
-        }
+        let spec = ScenarioSpec::new(name, cfg.scale, &cfg.scale_name);
+        spec.resolve().map_err(|e| e.to_string())?;
+        requested.push(spec);
     }
     let mut coord = Coordinator::new(cfg.exec())?;
-    // Canonical order; duplicates collapse.
-    for artifact in ARTIFACTS
-        .iter()
-        .filter(|a| cfg.artifacts.iter().any(|r| r == *a))
-    {
-        coord.submit(JobSpec::new(artifact, cfg.scale, &cfg.scale_name, cfg.json))?;
+    // Canonical registry order; duplicates collapse (requests for the
+    // same workload keep their relative request order, so a narrowed
+    // `id@variant` job sorts with its workload).
+    for w in crate::workload::all() {
+        for spec in requested.iter().filter(|s| s.workload_id == w.id()) {
+            coord.submit(JobSpec {
+                scenario: spec.clone(),
+                json: cfg.json,
+                deadline: None,
+            })?;
+        }
     }
     while !coord.all_done() {
         coord.poll()?;
@@ -830,15 +824,15 @@ fn complete_from_frame(
         .and_then(|bytes| cache::open_result(&bytes));
     match verdict {
         Ok((meta, output))
-            if meta.artifact == job.spec.artifact && meta.fingerprint == job.fingerprint =>
+            if meta.artifact == job.spec.name() && meta.fingerprint == job.fingerprint =>
         {
             if meta.ok {
                 if let Err(e) =
-                    cache::store(&cfg.cache_dir, &job.spec.artifact, job.fingerprint, &output)
+                    cache::store(&cfg.cache_dir, job.spec.name(), job.fingerprint, &output)
                 {
                     eprintln!(
                         "warning: campaign: {}: cache store failed: {e}",
-                        job.spec.artifact
+                        job.spec.name()
                     );
                 }
                 let outcome = if job.attempts > 0 {
@@ -846,13 +840,14 @@ fn complete_from_frame(
                 } else {
                     JobOutcome::Completed
                 };
-                eprintln!("campaign: {}: {}", job.spec.artifact, outcome);
+                eprintln!("campaign: {}: {}", job.spec.name(), outcome);
                 job.done = Some((outcome, Some(output), None));
                 counters.fresh_completions += 1;
             } else {
                 eprintln!(
                     "campaign: {}: job-level error: {}",
-                    job.spec.artifact, meta.error
+                    job.spec.name(),
+                    meta.error
                 );
                 job.done = Some((JobOutcome::Failed, None, Some(meta.error)));
             }
@@ -864,7 +859,10 @@ fn complete_from_frame(
             job,
             &format!(
                 "result frame stamped {}/{:#018x}, expected {}/{:#018x}",
-                meta.artifact, meta.fingerprint, job.spec.artifact, job.fingerprint
+                meta.artifact,
+                meta.fingerprint,
+                job.spec.name(),
+                job.fingerprint
             ),
             false,
         ),
@@ -882,7 +880,7 @@ fn expire_deadline(counters: &mut ExecCounters, job: &mut Job) {
         "deadline expired after {} attempt(s); partial progress checkpointed",
         job.attempts + u32::from(job.in_flight)
     );
-    eprintln!("campaign: {}: {error}", job.spec.artifact);
+    eprintln!("campaign: {}: {error}", job.spec.name());
     job.done = Some((JobOutcome::DeadlineExceeded, None, Some(error)));
 }
 
@@ -908,7 +906,7 @@ fn worker_died(
             "gave up after {} attempt(s); last failure: {reason}",
             job.attempts
         );
-        eprintln!("campaign: {}: {error}", job.spec.artifact);
+        eprintln!("campaign: {}: {error}", job.spec.name());
         job.done = Some((JobOutcome::GaveUp, None, Some(error)));
         return;
     }
@@ -920,7 +918,10 @@ fn worker_died(
     job.ready_at = Instant::now() + backoff;
     eprintln!(
         "campaign: {}: worker died ({reason}); retry {}/{} in {:?}",
-        job.spec.artifact, job.attempts, cfg.max_retries, backoff
+        job.spec.name(),
+        job.attempts,
+        cfg.max_retries,
+        backoff
     );
 }
 
@@ -949,14 +950,14 @@ fn spawn_attempt(
             job.resumed = true;
             eprintln!(
                 "campaign: {}: attempt {} will resume from checkpoint",
-                job.spec.artifact,
+                job.spec.name(),
                 job.attempts + 1
             );
         }
     }
     let mut cmd = Command::new(&cfg.worker_exe);
     cmd.arg("__worker")
-        .arg(&job.spec.artifact)
+        .arg(job.spec.name())
         .arg("--worker-out")
         .arg(&out_path)
         .arg("--worker-heartbeat")
@@ -969,7 +970,7 @@ fn spawn_attempt(
         .arg(&ckpt_dir)
         .arg("--resume")
         .arg("--scale")
-        .arg(&job.spec.scale_name)
+        .arg(&job.spec.scenario.scale_name)
         .args(&cfg.passthrough)
         .stdin(Stdio::null())
         .stdout(Stdio::null());
@@ -977,10 +978,10 @@ fn spawn_attempt(
         cmd.arg("--json");
     }
     if let Some(chaos) = cfg.chaos {
-        if let Some(after) = chaos.kill_plan(&job.spec.artifact, job.attempts, cfg.max_retries) {
+        if let Some(after) = chaos.kill_plan(job.spec.name(), job.attempts, cfg.max_retries) {
             eprintln!(
                 "campaign: {}: chaos will abort attempt {} after {after} checkpoint write(s)",
-                job.spec.artifact,
+                job.spec.name(),
                 job.attempts + 1
             );
             cmd.arg("--kill-after-checkpoints")
@@ -988,22 +989,22 @@ fn spawn_attempt(
                 .arg("--chaos-abort");
         }
     }
-    if cfg.test_fail_job.as_deref() == Some(job.spec.artifact.as_str()) {
+    if cfg.test_fail_job.as_deref() == Some(job.spec.name()) {
         cmd.arg("--worker-test-fail");
     }
-    if cfg.test_hang_job.as_deref() == Some(job.spec.artifact.as_str()) && job.attempts == 0 {
+    if cfg.test_hang_job.as_deref() == Some(job.spec.name()) && job.attempts == 0 {
         cmd.arg("--worker-test-hang");
     }
     let child = cmd.spawn().map_err(|e| {
         format!(
             "cannot spawn worker {} for {}: {e}",
             cfg.worker_exe.display(),
-            job.spec.artifact
+            job.spec.name()
         )
     })?;
     eprintln!(
         "campaign: {}: attempt {} started (worker pid {}, slot {idx})",
-        job.spec.artifact,
+        job.spec.name(),
         job.attempts + 1,
         child.id()
     );

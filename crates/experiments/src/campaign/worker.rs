@@ -99,7 +99,7 @@ pub fn run_worker(args: &WorkerArgs, scale: Scale) -> ExitCode {
     }
     let meta = match render_artifact(&args.artifact, scale, args.json) {
         None => {
-            eprintln!("worker[{}]: unknown artifact", args.artifact);
+            eprintln!("worker[{}]: unknown workload", args.artifact);
             return ExitCode::from(2);
         }
         Some(Ok(rendered)) => {

@@ -98,6 +98,25 @@ impl Variant {
             Variant::Dynamic | Variant::DynamicConflicts | Variant::DynamicIdeal
         )
     }
+
+    /// Stable machine-readable name, used in scenario job names
+    /// (`workload@variant`), the serve wire format, and fingerprints.
+    /// Never rename these: journals and cached results key on them.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Variant::PdomBlock => "pdom-block",
+            Variant::PdomWarp => "pdom-warp",
+            Variant::PdomWarpIdeal => "pdom-warp-ideal",
+            Variant::Dynamic => "dynamic",
+            Variant::DynamicConflicts => "dynamic-conflicts",
+            Variant::DynamicIdeal => "dynamic-ideal",
+        }
+    }
+
+    /// Parses a [`Self::wire_name`] back into a variant.
+    pub fn from_wire(name: &str) -> Option<Variant> {
+        Variant::ALL.into_iter().find(|v| v.wire_name() == name)
+    }
 }
 
 impl fmt::Display for Variant {

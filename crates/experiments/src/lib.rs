@@ -23,6 +23,13 @@
 //!
 //! All runners take a [`Scale`] so tests can run them at toy sizes while
 //! the recorded numbers use [`Scale::paper`].
+//!
+//! Artifact dispatch goes through the [`workload`] registry: every
+//! runnable scenario — the twelve paper artifacts above plus the
+//! extended [`workload::bvh`] path tracer and [`workload::microdiv`]
+//! divergence microbenchmarks — registers a typed [`workload::Workload`]
+//! there, and `repro`, the campaign engine, and the serve front-end all
+//! enumerate it instead of keeping their own name lists.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +51,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod workload;
 
 pub use configs::{
     config_for, gpu_for, gpu_for_with, metrics_every, parallelism, set_metrics_every,
@@ -51,3 +59,4 @@ pub use configs::{
 };
 pub use runner::{run_fingerprint, RenderRun, Scale};
 pub use supervisor::{JobStatus, Policy};
+pub use workload::{ScenarioSpec, UnknownWorkload, Workload};

@@ -196,8 +196,8 @@ pub enum Admission {
 /// then coordinator submission — the 202 is only earned once the entry
 /// is journaled.
 pub fn admit(shared: &Shared, spec: JobSpec, now: Instant) -> Admission {
-    if !crate::campaign::ARTIFACTS.contains(&spec.artifact.as_str()) {
-        return Admission::Rejected(format!("unknown artifact: {}", spec.artifact));
+    if let Err(e) = spec.scenario.resolve() {
+        return Admission::Rejected(e.to_string());
     }
     let mut inner = shared.lock();
     if inner.draining {
@@ -235,8 +235,8 @@ pub fn admit(shared: &Shared, spec: JobSpec, now: Instant) -> Admission {
     }
     let deadline_ms = spec.deadline.map(|d| d.as_millis() as u64).unwrap_or(0);
     let entry = match inner.journal.append(
-        &spec.artifact,
-        &spec.scale_name,
+        spec.name(),
+        &spec.scenario.scale_name,
         spec.json,
         deadline_ms,
         fingerprint,
@@ -255,7 +255,7 @@ pub fn admit(shared: &Shared, spec: JobSpec, now: Instant) -> Admission {
             Admission::Accepted { fingerprint, warm }
         }
         Err(e) => {
-            // Unreachable after the ARTIFACTS check above, but never
+            // Unreachable after the registry check above, but never
             // leave a journaled ghost behind.
             if let Some(entry) = inner.pending.remove(&fingerprint) {
                 inner.journal.retire(&entry);

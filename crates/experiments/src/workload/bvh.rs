@@ -1,0 +1,282 @@
+//! # `bvh` — the BVH path-tracer workload
+//!
+//! A multi-bounce diffuse path tracer over a bounding-volume hierarchy
+//! (`raytrace::Bvh`), run under both the traditional looped kernel and
+//! the hand-split μ-kernel decomposition from `rt-kernels`
+//! (`pt_traditional` / `pt_ukernel`). Per path the μ-kernel form spawns
+//! a chain of `p_node` → `p_isect` → `p_pop` threads across up to four
+//! bounce segments — markedly deeper spawn chains than the kd tracer's
+//! single traversal, which is what makes it a useful second data point
+//! for the architecture.
+//!
+//! Ground truth: both kernels share their float-op fragments
+//! instruction-for-instruction with a host mirror
+//! (`rt_kernels::pt_render::host_path_trace`), so the rendered image is
+//! validated **bit-exactly** — any mismatch is a job-level error, not a
+//! tolerance warning. The reported image hash is the FNV-1a-64 of the
+//! per-pixel radiance bits, the value CI pins.
+
+use super::{page, Group, Workload};
+use crate::configs::{gpu_for, Variant};
+use crate::runner::Scale;
+use rt_kernels::pt_render::{image_hash, PtSetup};
+use rt_kernels::{pt_traditional, pt_ukernel};
+use simt_isa::codec::Encoder;
+use simt_sim::RunOutcome;
+use std::fmt;
+
+/// Machine variants the workload runs standalone.
+pub const VARIANTS: [Variant; 2] = [Variant::PdomWarp, Variant::Dynamic];
+
+/// Cycle budget per render; generous — both kernels run to completion
+/// (a budget hit is a job-level error, never a silent truncation).
+const CYCLE_BUDGET: u64 = 4_000_000_000;
+
+/// Square image edge at `scale`: a quarter of the kd workloads'
+/// resolution (path tracing traces up to four segments per pixel), with
+/// a floor that keeps at least two warps of rays alive.
+pub fn resolution(scale: Scale) -> u32 {
+    (scale.resolution / 4).max(8)
+}
+
+/// One variant's measured render.
+#[derive(Debug, Clone)]
+pub struct PtVariantRun {
+    /// Machine variant.
+    pub variant: Variant,
+    /// Cycles to completion.
+    pub cycles: u64,
+    /// Whole-run SIMT efficiency.
+    pub efficiency: f64,
+    /// Dynamically spawned threads (0 under PDOM).
+    pub threads_spawned: u64,
+    /// FNV-1a-64 of the device image.
+    pub image_hash: u64,
+    /// Exact per-pixel mismatches against the host mirror (must be 0).
+    pub mismatches: usize,
+    /// Aggregate occupancy-bucket totals (idle bucket first) over the
+    /// run's divergence windows, Figs. 3/7/9 style.
+    pub buckets: Vec<u64>,
+}
+
+/// The rendered figure.
+#[derive(Debug, Clone)]
+pub struct PtFigure {
+    /// Scene name.
+    pub scene: String,
+    /// Image edge (square).
+    pub resolution: u32,
+    /// Host-reference image hash.
+    pub host_hash: u64,
+    /// Occupancy bucket labels.
+    pub labels: Vec<String>,
+    /// One entry per rendered variant.
+    pub runs: Vec<PtVariantRun>,
+}
+
+/// Renders one variant and validates it against the host mirror.
+fn run_variant(scale: Scale, variant: Variant) -> Result<PtVariantRun, String> {
+    let scene = raytrace::scenes::conference(scale.scene);
+    let edge = resolution(scale);
+    let mut gpu = gpu_for(variant);
+    let setup = PtSetup::upload(&mut gpu, &scene, edge, edge);
+    if variant.is_dynamic() {
+        setup.launch_ukernel(&mut gpu, scale.threads_per_block);
+    } else {
+        setup.launch_traditional(&mut gpu, scale.threads_per_block);
+    }
+    let summary = gpu
+        .run(CYCLE_BUDGET)
+        .map_err(|e| format!("bvh under {variant} faulted: {e:?}"))?;
+    if summary.outcome != RunOutcome::Completed {
+        return Err(format!(
+            "bvh under {variant} did not complete within {CYCLE_BUDGET} cycles: {:?}",
+            summary.outcome
+        ));
+    }
+    let host = setup.host_reference();
+    let device = setup.device_results(&gpu);
+    let mismatches = rt_kernels::pt_render::exact_mismatches(&host, &device);
+    let report = gpu.telemetry_report();
+    let mut buckets = Vec::new();
+    for window in report.divergence.windows() {
+        if buckets.len() < window.len() {
+            buckets.resize(window.len(), 0u64);
+        }
+        for (b, n) in window.iter().enumerate() {
+            buckets[b] += n;
+        }
+    }
+    Ok(PtVariantRun {
+        variant,
+        cycles: summary.stats.cycles,
+        efficiency: summary.stats.simt_efficiency(32),
+        threads_spawned: summary.stats.threads_spawned,
+        image_hash: image_hash(&device),
+        mismatches,
+        buckets,
+    })
+}
+
+/// Runs the workload at `scale`, optionally narrowed to one variant.
+///
+/// # Errors
+///
+/// Simulator faults, a blown cycle budget, or any bit-level deviation
+/// from the host reference image.
+pub fn run(scale: Scale, only: Option<Variant>) -> Result<PtFigure, String> {
+    let scene = raytrace::scenes::conference(scale.scene);
+    let edge = resolution(scale);
+    let variants: Vec<Variant> = match only {
+        Some(v) => vec![v],
+        None => VARIANTS.to_vec(),
+    };
+    // The host reference is variant-independent; compute it once.
+    let setup = {
+        let mut probe = gpu_for(Variant::PdomWarp);
+        PtSetup::upload(&mut probe, &scene, edge, edge)
+    };
+    let host = setup.host_reference();
+    let host_hash = image_hash(&host);
+    let mut labels = Vec::new();
+    let mut runs = Vec::new();
+    for &variant in &variants {
+        let r = run_variant(scale, variant)?;
+        if r.mismatches > 0 || r.image_hash != host_hash {
+            return Err(format!(
+                "bvh under {variant}: device image diverged from the host \
+                 reference ({} exact mismatches, hash {:016x} vs {:016x})",
+                r.mismatches, r.image_hash, host_hash
+            ));
+        }
+        runs.push(r);
+    }
+    if labels.is_empty() {
+        let gpu = gpu_for(Variant::PdomWarp);
+        labels = gpu.telemetry_report().divergence.labels();
+    }
+    Ok(PtFigure {
+        scene: scene.name.to_string(),
+        resolution: edge,
+        host_hash,
+        labels,
+        runs,
+    })
+}
+
+impl fmt::Display for PtFigure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "BVH path tracer — {scene} at {res}x{res}, {bounces}-segment diffuse GI",
+            scene = self.scene,
+            res = self.resolution,
+            bounces = rt_kernels::PT_MAX_BOUNCES,
+        )?;
+        writeln!(f, "  host reference image hash: {:016x}", self.host_hash)?;
+        for r in &self.runs {
+            writeln!(
+                f,
+                "  {:<24} cycles {:>12}  efficiency {:>5.1}%  spawned {:>8}  \
+                 image {:016x} (matches host)",
+                r.variant.to_string(),
+                r.cycles,
+                r.efficiency * 100.0,
+                r.threads_spawned,
+                r.image_hash
+            )?;
+        }
+        writeln!(f, "  occupancy buckets ({}):", self.labels.join(", "))?;
+        for r in &self.runs {
+            let total: u64 = r.buckets.iter().sum();
+            write!(f, "    {:<18}", r.variant.wire_name())?;
+            for b in &r.buckets {
+                let pct = if total > 0 {
+                    *b as f64 * 100.0 / total as f64
+                } else {
+                    0.0
+                };
+                write!(f, " {pct:>5.1}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The registry entry.
+pub struct BvhPathTracer;
+
+impl Workload for BvhPathTracer {
+    fn id(&self) -> &'static str {
+        "bvh"
+    }
+
+    fn description(&self) -> &'static str {
+        "BVH path tracer — multi-bounce diffuse GI, bit-exact against the host mirror"
+    }
+
+    fn group(&self) -> Group {
+        Group::Extended
+    }
+
+    fn variants(&self) -> &'static [Variant] {
+        &VARIANTS
+    }
+
+    fn render(&self, scale: Scale, variant: Option<Variant>, json: bool) -> Result<String, String> {
+        let name = match variant {
+            Some(v) => format!("{}@{}", self.id(), v.wire_name()),
+            None => self.id().to_string(),
+        };
+        Ok(page(&name, &run(scale, variant)?, json))
+    }
+
+    fn extend_fingerprint(&self, enc: &mut Encoder, scale: Scale) {
+        enc.put_str("bvh-pt-v1");
+        enc.put_u32(resolution(scale));
+        for program in [pt_traditional::program(), pt_ukernel::program()] {
+            enc.put_u64(
+                simt_sim::program_digest(&program).expect("embedded kernels encode losslessly"),
+            );
+        }
+    }
+
+    fn simd_efficiency(&self, scale: Scale) -> Option<Vec<(String, f64)>> {
+        let fig = run(scale, None).ok()?;
+        Some(
+            fig.runs
+                .iter()
+                .map(|r| (r.variant.wire_name().to_string(), r.efficiency))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_match_the_host_image_at_test_scale() {
+        let fig = run(Scale::test(), None).expect("bvh workload runs");
+        assert_eq!(fig.runs.len(), 2);
+        for r in &fig.runs {
+            assert_eq!(r.mismatches, 0, "{} diverged", r.variant);
+            assert_eq!(r.image_hash, fig.host_hash);
+            assert!(!r.buckets.is_empty(), "divergence buckets missing");
+        }
+        // The μ-kernel run actually spawns; the looped run never does.
+        assert_eq!(fig.runs[0].threads_spawned, 0);
+        assert!(fig.runs[1].threads_spawned > 0);
+        let text = fig.to_string();
+        assert!(text.contains("matches host"), "{text}");
+    }
+
+    #[test]
+    fn variant_narrowing_runs_a_single_column() {
+        let fig = run(Scale::test(), Some(Variant::Dynamic)).expect("narrowed run");
+        assert_eq!(fig.runs.len(), 1);
+        assert_eq!(fig.runs[0].variant, Variant::Dynamic);
+    }
+}

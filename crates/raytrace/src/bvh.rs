@@ -1,0 +1,327 @@
+//! A bounding-volume hierarchy over triangles.
+//!
+//! The BVH is the acceleration structure of the path-traced workload
+//! (registry id `bvh`): unlike the kd-tree, every triangle lives in
+//! exactly one leaf, so the flattened layout needs no triangle-reference
+//! indirection — each leaf names a contiguous run of Wald records.
+//!
+//! The builder is a deterministic median split on the longest centroid
+//! axis (no SAH): identical input always yields an identical tree, which
+//! the workload fingerprints rely on. Host traversal
+//! ([`Bvh::intersect`]) is the sanity oracle for the tree itself; the
+//! bit-exact device mirror lives in `rt-kernels` next to the kernels it
+//! mirrors.
+
+use crate::aabb::Aabb;
+use crate::tri::{Hit, Triangle, WaldTriangle};
+use crate::Ray;
+
+/// One flattened BVH node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BvhNode {
+    /// Interior node with two children.
+    Inner {
+        /// Bounds of everything below.
+        bounds: Aabb,
+        /// Index of the left child (visited first).
+        left: u32,
+        /// Index of the right child (pushed on the stack).
+        right: u32,
+    },
+    /// Leaf owning `count` consecutive Wald records starting at `first`.
+    Leaf {
+        /// Bounds of the leaf's triangles.
+        bounds: Aabb,
+        /// First Wald-record slot.
+        first: u32,
+        /// Number of records.
+        count: u32,
+    },
+}
+
+impl BvhNode {
+    /// The node's bounds.
+    pub fn bounds(&self) -> Aabb {
+        match *self {
+            BvhNode::Inner { bounds, .. } | BvhNode::Leaf { bounds, .. } => bounds,
+        }
+    }
+}
+
+/// Shape statistics, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BvhStats {
+    /// Total nodes.
+    pub nodes: usize,
+    /// Leaf nodes.
+    pub leaves: usize,
+    /// Deepest leaf (root = depth 0).
+    pub max_depth: usize,
+    /// Wald records (== referenced triangles).
+    pub tris: usize,
+}
+
+/// A flattened BVH plus its leaf-ordered Wald records.
+#[derive(Debug, Clone)]
+pub struct Bvh {
+    nodes: Vec<BvhNode>,
+    /// Wald records in leaf order; slot `i` came from triangle
+    /// `original[i]` of the build input.
+    wald: Vec<WaldTriangle>,
+    /// Original triangle index of each Wald slot.
+    original: Vec<u32>,
+    bounds: Aabb,
+}
+
+/// Largest leaf the builder emits. Kept under 256 so a leaf's
+/// `(count, first)` pair packs into one 32-bit traversal cursor
+/// (`count << 24 | slot`), same packing the kd μ-kernels use.
+pub const BVH_MAX_LEAF: usize = 4;
+
+impl Bvh {
+    /// Builds the hierarchy. Degenerate triangles are dropped (they have
+    /// no Wald record), matching the kd-tree builder's behaviour.
+    pub fn build(triangles: &[Triangle]) -> Self {
+        // Items: (original index, wald record, centroid, bounds).
+        let mut items: Vec<(u32, WaldTriangle, crate::Vec3, Aabb)> = triangles
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| {
+                let w = WaldTriangle::new(t)?;
+                Some((i as u32, w, t.centroid(), t.bounds()))
+            })
+            .collect();
+        let mut nodes = Vec::new();
+        let mut wald = Vec::new();
+        let mut original = Vec::new();
+        if items.is_empty() {
+            nodes.push(BvhNode::Leaf {
+                bounds: Aabb::EMPTY,
+                first: 0,
+                count: 0,
+            });
+            return Bvh {
+                nodes,
+                wald,
+                original,
+                bounds: Aabb::EMPTY,
+            };
+        }
+        let n = items.len();
+        build_node(&mut items[..n], &mut nodes, &mut wald, &mut original);
+        let bounds = nodes[0].bounds();
+        Bvh {
+            nodes,
+            wald,
+            original,
+            bounds,
+        }
+    }
+
+    /// Bounds of the whole hierarchy.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Flattened nodes; index 0 is the root.
+    pub fn nodes(&self) -> &[BvhNode] {
+        &self.nodes
+    }
+
+    /// Wald records in leaf order.
+    pub fn wald_triangles(&self) -> &[WaldTriangle] {
+        &self.wald
+    }
+
+    /// Original triangle index of Wald slot `slot`.
+    pub fn original_index(&self, slot: u32) -> u32 {
+        self.original[slot as usize]
+    }
+
+    /// Shape statistics.
+    pub fn stats(&self) -> BvhStats {
+        let mut stats = BvhStats {
+            nodes: self.nodes.len(),
+            leaves: 0,
+            max_depth: 0,
+            tris: self.wald.len(),
+        };
+        // Depth-first with explicit (node, depth) stack.
+        let mut stack = vec![(0u32, 0usize)];
+        while let Some((idx, depth)) = stack.pop() {
+            stats.max_depth = stats.max_depth.max(depth);
+            match self.nodes[idx as usize] {
+                BvhNode::Leaf { .. } => stats.leaves += 1,
+                BvhNode::Inner { left, right, .. } => {
+                    stack.push((left, depth + 1));
+                    stack.push((right, depth + 1));
+                }
+            }
+        }
+        stats
+    }
+
+    /// Closest hit along `ray`, or `None`. `Hit::tri` is the *original*
+    /// triangle index, like [`crate::KdTree::intersect`].
+    pub fn intersect(&self, ray: &Ray) -> Option<Hit> {
+        let mut best_t = ray.tmax;
+        let mut best_slot = None;
+        let mut stack: Vec<u32> = Vec::with_capacity(64);
+        stack.push(0);
+        while let Some(idx) = stack.pop() {
+            let node = self.nodes[idx as usize];
+            let mut clipped = *ray;
+            clipped.tmax = best_t;
+            if node.bounds().intersect(&clipped).is_none() {
+                continue;
+            }
+            match node {
+                BvhNode::Leaf { first, count, .. } => {
+                    for slot in first..first + count {
+                        if let Some(t) = self.wald[slot as usize].intersect(ray) {
+                            if t <= best_t {
+                                best_t = t;
+                                best_slot = Some(slot);
+                            }
+                        }
+                    }
+                }
+                BvhNode::Inner { left, right, .. } => {
+                    stack.push(right);
+                    stack.push(left);
+                }
+            }
+        }
+        best_slot.map(|slot| Hit {
+            t: best_t,
+            tri: self.original[slot as usize],
+        })
+    }
+}
+
+/// Recursively builds the subtree for `items`, returning its node index.
+fn build_node(
+    items: &mut [(u32, WaldTriangle, crate::Vec3, Aabb)],
+    nodes: &mut Vec<BvhNode>,
+    wald: &mut Vec<WaldTriangle>,
+    original: &mut Vec<u32>,
+) -> u32 {
+    let mut bounds = Aabb::EMPTY;
+    let mut cbounds = Aabb::EMPTY;
+    for (_, _, c, b) in items.iter() {
+        bounds = bounds.union(*b);
+        cbounds.grow(*c);
+    }
+    let idx = nodes.len() as u32;
+    // Flat centroid cloud (or tiny leaf): stop splitting.
+    if items.len() <= BVH_MAX_LEAF || cbounds.extent()[cbounds.longest_axis()] <= 0.0 {
+        let first = wald.len() as u32;
+        for (orig, w, _, _) in items.iter() {
+            wald.push(*w);
+            original.push(*orig);
+        }
+        nodes.push(BvhNode::Leaf {
+            bounds,
+            first,
+            count: items.len() as u32,
+        });
+        return idx;
+    }
+    let axis = cbounds.longest_axis();
+    // Deterministic median split: order by centroid, ties by original
+    // index so equal centroids never depend on sort stability.
+    let mid = items.len() / 2;
+    items.sort_by(|a, b| {
+        a.2[axis]
+            .partial_cmp(&b.2[axis])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    nodes.push(BvhNode::Leaf {
+        // Placeholder; patched below once the children exist.
+        bounds,
+        first: 0,
+        count: 0,
+    });
+    let (lo, hi) = items.split_at_mut(mid);
+    let left = build_node(lo, nodes, wald, original);
+    let right = build_node(hi, nodes, wald, original);
+    nodes[idx as usize] = BvhNode::Inner {
+        bounds,
+        left,
+        right,
+    };
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenes::{self, SceneScale};
+
+    #[test]
+    fn empty_input_builds_an_empty_leaf() {
+        let bvh = Bvh::build(&[]);
+        assert_eq!(bvh.nodes().len(), 1);
+        assert!(bvh.wald_triangles().is_empty());
+        let ray = Ray::new(crate::Vec3::ZERO, crate::Vec3::new(1.0, 0.0, 0.0));
+        assert!(bvh.intersect(&ray).is_none());
+    }
+
+    #[test]
+    fn leaves_partition_the_triangles() {
+        let scene = scenes::conference(SceneScale::Tiny);
+        let bvh = Bvh::build(&scene.triangles);
+        let stats = bvh.stats();
+        assert!(stats.tris > 0 && stats.tris <= scene.triangles.len());
+        // Every Wald slot is covered by exactly one leaf.
+        let mut covered = vec![false; stats.tris];
+        for node in bvh.nodes() {
+            if let BvhNode::Leaf { first, count, .. } = *node {
+                for slot in first..first + count {
+                    assert!(!covered[slot as usize], "slot {slot} in two leaves");
+                    covered[slot as usize] = true;
+                    assert!((count as usize) <= BVH_MAX_LEAF);
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "every slot owned by a leaf");
+    }
+
+    #[test]
+    fn matches_kdtree_on_scene_rays() {
+        let scene = scenes::conference(SceneScale::Tiny);
+        let bvh = Bvh::build(&scene.triangles);
+        let tree = crate::KdTree::build(&scene.triangles);
+        let cam = crate::Camera::looking_at(scene.bounds(), 16, 16);
+        let mut hits = 0;
+        for p in 0..256 {
+            let ray = cam.primary_ray(p % 16, p / 16);
+            let a = bvh.intersect(&ray);
+            let b = tree.intersect(&ray);
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    hits += 1;
+                    assert!(
+                        (x.t - y.t).abs() / x.t.abs().max(1.0) < 1e-3,
+                        "t {} vs {}",
+                        x.t,
+                        y.t
+                    );
+                }
+                (None, None) => {}
+                (x, y) => panic!("ray {p}: bvh {x:?} kd {y:?}"),
+            }
+        }
+        assert!(hits > 10, "camera should see geometry, hits={hits}");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let scene = scenes::fairyforest(SceneScale::Tiny);
+        let a = Bvh::build(&scene.triangles);
+        let b = Bvh::build(&scene.triangles);
+        assert_eq!(a.nodes(), b.nodes());
+        assert_eq!(a.original, b.original);
+    }
+}

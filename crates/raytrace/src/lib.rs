@@ -7,6 +7,9 @@
 //! * [`Triangle`] and [`WaldTriangle`] — Wald's projection-based
 //!   ray-triangle intersection with its 48-byte precomputed record
 //!   (paper §VI-A cites Wald's PhD algorithm);
+//! * [`Bvh`] — a deterministic median-split bounding-volume hierarchy
+//!   (the acceleration structure of the path-traced workload), with
+//!   leaf-contiguous Wald records and a host-side traversal oracle;
 //! * [`KdTree`] — a surface-area-heuristic kd-tree builder with host-side
 //!   traversal ([`KdTree::intersect`]) used as the correctness oracle and
 //!   by the Table IV bandwidth analytics ([`KdTree::intersect_counted`]);
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod aabb;
+mod bvh;
 mod camera;
 mod kdtree;
 pub mod scenes;
@@ -40,6 +44,7 @@ mod tri;
 mod vec3;
 
 pub use aabb::Aabb;
+pub use bvh::{Bvh, BvhNode, BvhStats, BVH_MAX_LEAF};
 pub use camera::Camera;
 pub use kdtree::{KdNode, KdTree, TraversalCounts, TreeStats};
 pub use scenes::Scene;

@@ -17,15 +17,28 @@
 //! into the simulator's device memory and reads results back;
 //! [`render`] wires everything together (build scene → upload → launch →
 //! verify against the host tracer).
+//!
+//! The **BVH path tracer** (registry workload `bvh`) lives alongside:
+//! [`pt_traditional`] and [`pt_ukernel`] are the looped and μ-kernel
+//! forms of a multi-bounce diffuse path tracer over a
+//! [`raytrace::Bvh`], with deeper spawn chains than the kd tracer (each
+//! bounce restarts traversal inside the same lineage); [`pt_layout`]
+//! serializes the BVH scene and [`pt_render`] hosts the bit-exact host
+//! mirror both kernels are validated against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod layout;
+pub mod pt_layout;
+pub mod pt_render;
+pub mod pt_traditional;
+pub mod pt_ukernel;
 pub mod render;
 pub mod traditional;
 pub mod ukernel;
 
+mod pt_common;
 mod tri_test;
 
 /// Bytes of per-thread global memory reserved for the traversal stack
@@ -47,3 +60,43 @@ pub const MISS: u32 = 0xffff_ffff;
 /// Bytes of the μ-kernel state record (paper §VI-A: 48 bytes, three
 /// 4-wide vector accesses).
 pub const STATE_BYTES: u32 = 48;
+
+// ---- BVH path tracer (the `bvh` registry workload) ----
+
+/// Bytes of per-ray global memory reserved for the BVH traversal stack
+/// (64 one-word node entries — BVH stacks hold bare node indices, not
+/// the kd tracer's 16-byte segment records).
+pub const PT_STACK_BYTES_PER_RAY: u32 = 256;
+
+/// Bytes of one per-ray path-state record (throughput, radiance,
+/// segments, pad).
+pub const PT_PATH_RECORD_BYTES: u32 = 16;
+
+/// Maximum traversal segments per path (primary ray + diffuse bounces).
+pub const PT_MAX_BOUNCES: u32 = 4;
+
+/// Surface albedo multiplied into the throughput at every bounce.
+pub const PT_ALBEDO: f32 = 0.7;
+
+/// Radiance emitted toward the path at every surface hit.
+pub const PT_EMIT: f32 = 0.1;
+
+/// Sky radiance collected when a path escapes the scene.
+pub const PT_SKY: f32 = 1.0;
+
+/// Segment tmin after the first bounce.
+pub const PT_TMIN: f32 = 1e-3;
+
+/// Distance the bounce origin is nudged along the new direction to
+/// escape the surface it just hit.
+pub const PT_OFFSET: f32 = 1e-2;
+
+/// Far sentinel for secondary segments (`best_t` until a closer hit).
+pub const PT_TFAR: f32 = 1e30;
+
+/// Scale mapping a 23-bit RNG draw onto `[0, 2)` (2⁻²²); the sampled
+/// direction component is this minus one.
+pub const PT_DIR_SCALE: f32 = 2.3841858e-7;
+
+/// Per-thread RNG seed multiplier (`rng = (tid + 1) * PT_SEED_MUL`).
+pub const PT_SEED_MUL: u32 = 0x9e37_79b9;

@@ -1,0 +1,137 @@
+//! Shared assembly fragments of the two BVH path-tracing kernels.
+//!
+//! Both the traditional (looped) and the μ-kernel path tracers embed
+//! exactly these snippets with exactly these registers, so the float-op
+//! sequence of a path — slab tests, Wald tests (via
+//! [`crate::tri_test`]), bounce sampling — is instruction-identical
+//! across variants, and the host mirror in [`crate::pt_render`] can
+//! reproduce both bit-for-bit.
+//!
+//! ## Fixed register conventions (both kernels)
+//!
+//! | regs | contents |
+//! |------|----------|
+//! | r4–r6 | ray origin x/y/z |
+//! | r7–r9 | ray direction x/y/z |
+//! | r10/r11 | best hit t / Wald slot id |
+//! | r14 | current segment tmin |
+//! | r15 | xorshift RNG state |
+//! | r16–r19 | node words 0–3 (bounds min + meta0) |
+//! | r20–r23 | node words 4–7 (bounds max + meta1) |
+//! | r24–r30 | fragment scratch |
+
+use crate::{PT_ALBEDO, PT_DIR_SCALE, PT_EMIT, PT_OFFSET, PT_SEED_MUL};
+
+/// Emits the AABB slab test against the node bounds in r16–r18/r20–r22.
+///
+/// Expects `r24 = tnear` (segment tmin) and `r25 = tfar` (current best
+/// t) preloaded; leaves the clipped interval in the same registers. The
+/// caller tests `r24 <= r25` (NaN from a zero direction component
+/// rejects, like the host slab test).
+pub(crate) fn emit_slab_test() -> String {
+    let mut s = String::from("    ; ---- AABB slab test (r24=tnear, r25=tfar) ----\n");
+    for (bmin, bmax, o, d) in [(16, 20, 4, 7), (17, 21, 5, 8), (18, 22, 6, 9)] {
+        s.push_str(&format!(
+            r#"    rcp.f32 r26, r{d}
+    sub.f32 r27, r{bmin}, r{o}
+    mul.f32 r27, r27, r26
+    sub.f32 r28, r{bmax}, r{o}
+    mul.f32 r28, r28, r26
+    min.f32 r29, r27, r28
+    max.f32 r30, r27, r28
+    max.f32 r24, r24, r29
+    min.f32 r25, r25, r30
+"#
+        ));
+    }
+    s
+}
+
+/// Emits the per-thread RNG seed: `r15 = (tid + 1) * PT_SEED_MUL`, with
+/// the thread id expected in `rtid`.
+pub(crate) fn emit_seed(rtid: u8) -> String {
+    format!(
+        r#"    add.s32 r15, r{rtid}, 1
+    mul.lo.s32 r15, r15, 0x{mul:08x}
+"#,
+        mul = PT_SEED_MUL
+    )
+}
+
+/// Emits the diffuse bounce: advance the origin to the hit point, draw
+/// a fresh direction (three xorshift32 draws mapped to `[-1, 1)`),
+/// flip it into the hemisphere facing back along the incoming
+/// direction, normalize, and nudge the origin off the surface.
+///
+/// Uses r4–r10 (origin/direction/best t), r15 (RNG), scratch r24–r28,
+/// and predicate p0.
+pub(crate) fn emit_bounce_sample() -> String {
+    let mut s = String::from(
+        r#"    ; ---- diffuse bounce: o += t*d, redraw d ----
+    fma.f32 r4, r7, r10, r4
+    fma.f32 r5, r8, r10, r5
+    fma.f32 r6, r9, r10, r6
+"#,
+    );
+    for c in [24, 25, 26] {
+        s.push_str(&format!(
+            r#"    shl.b32 r27, r15, 13
+    xor.b32 r15, r15, r27
+    shr.u32 r27, r15, 17
+    xor.b32 r15, r15, r27
+    shl.b32 r27, r15, 5
+    xor.b32 r15, r15, r27
+    shr.u32 r27, r15, 9
+    cvt.f32.u32 r{c}, r27
+    mov.u32 r27, 0x{scale:08x}
+    mul.f32 r{c}, r{c}, r27
+    mov.u32 r27, 0x{one:08x}
+    sub.f32 r{c}, r{c}, r27
+"#,
+            scale = PT_DIR_SCALE.to_bits(),
+            one = 1.0f32.to_bits(),
+        ));
+    }
+    s.push_str(&format!(
+        r#"    mul.f32 r27, r24, r7
+    fma.f32 r27, r25, r8, r27
+    fma.f32 r27, r26, r9, r27
+    setp.gt.f32 p0, r27, 0.0
+    neg.f32 r28, r24
+    selp.b32 r24, r28, r24, p0
+    neg.f32 r28, r25
+    selp.b32 r25, r28, r25, p0
+    neg.f32 r28, r26
+    selp.b32 r26, r28, r26, p0
+    mul.f32 r27, r24, r24
+    fma.f32 r27, r25, r25, r27
+    fma.f32 r27, r26, r26, r27
+    sqrt.f32 r27, r27
+    rcp.f32 r27, r27
+    mul.f32 r7, r24, r27
+    mul.f32 r8, r25, r27
+    mul.f32 r9, r26, r27
+    mov.u32 r27, 0x{offset:08x}
+    fma.f32 r4, r7, r27, r4
+    fma.f32 r5, r8, r27, r5
+    fma.f32 r6, r9, r27, r6
+"#,
+        offset = PT_OFFSET.to_bits(),
+    ));
+    s
+}
+
+/// Emits the hit-side accounting: `rad = fma(thr, EMIT, rad)`,
+/// `thr *= ALBEDO`, with throughput in `rthr` and radiance in `rrad`
+/// (scratch r24).
+pub(crate) fn emit_hit_accounting(rthr: u8, rrad: u8) -> String {
+    format!(
+        r#"    mov.u32 r24, 0x{emit:08x}
+    fma.f32 r{rrad}, r{rthr}, r24, r{rrad}
+    mov.u32 r24, 0x{albedo:08x}
+    mul.f32 r{rthr}, r{rthr}, r24
+"#,
+        emit = PT_EMIT.to_bits(),
+        albedo = PT_ALBEDO.to_bits(),
+    )
+}

@@ -1,0 +1,226 @@
+//! The traditional (looped) BVH path-tracing kernel.
+//!
+//! One thread per pixel, four nested data-dependent loops under PDOM:
+//!
+//! 1. the outer *segment* loop (primary ray plus up to
+//!    [`crate::PT_MAX_BOUNCES`]` - 1` diffuse bounces);
+//! 2. the *restart* loop popping the traversal stack;
+//! 3. the *descent* loop walking inner BVH nodes;
+//! 4. the *object-test* loop intersecting a leaf's triangles.
+//!
+//! Trip counts of every level are data dependent (scene depth, leaf
+//! occupancy, and — for the segment loop — whether the path escapes or
+//! exhausts its bounces), so the divergence is strictly worse than the
+//! kd tracer's three loops: exactly the "deeper irregular loop nest"
+//! workload the registry adds.
+//!
+//! ## Register map
+//!
+//! r0 zero · r1 ray id · r3 address scratch ·
+//! r4–r6 origin · r7–r9 direction · r10/r11 best t / Wald slot ·
+//! r12 node · r13 sp · r14 segment tmin · r15 RNG ·
+//! r16–r23 node words (r16/r17 reused as leaf cursor/remaining) ·
+//! r24–r30 fragment scratch · r31–r33 throughput/radiance/segments.
+
+use crate::pt_common::{emit_bounce_sample, emit_hit_accounting, emit_seed, emit_slab_test};
+use crate::tri_test::{emit_tri_test, TriTestRegs};
+use crate::{PT_MAX_BOUNCES, PT_TFAR, PT_TMIN};
+use simt_isa::{assemble_named, Program};
+
+/// Assembles the traditional path-tracing kernel.
+///
+/// # Panics
+///
+/// Panics only if the embedded assembly fails to assemble (a build-time
+/// invariant covered by tests).
+pub fn program() -> Program {
+    assemble_named("pt-traditional", &source()).expect("pt traditional kernel assembles")
+}
+
+/// The kernel's assembly source (exposed for inspection/disassembly).
+pub fn source() -> String {
+    let tri = emit_tri_test(
+        &TriTestRegs {
+            ox: 4,
+            oy: 5,
+            oz: 6,
+            dx: 7,
+            dy: 8,
+            dz: 9,
+            best_t: 10,
+            best_id: 11,
+            tri_ref: 29,
+            wald_addr: 3,
+            w: 20,
+            t: 24,
+            hu: 25,
+            hv: 26,
+            x: 27,
+            y: 28,
+        },
+        "tri_next",
+    );
+    format!(
+        r#"
+.kernel main
+.global 312          ; per-ray stack (256) + ray (32) + result (8) + path (16)
+.const 28
+
+main:
+    mov.u32 r0, 0
+    mov.u32 r1, %tid
+    ld.const.u32 r3, [r0+24]          ; number of rays
+    setp.ge.u32 p0, r1, r3
+    @p0 exit
+    ld.const.u32 r3, [r0+8]           ; ray base
+    mad.lo.s32 r3, r1, 32, r3
+    ld.global.v4 r4, [r3+0]           ; ox oy oz tmin
+    ld.global.v4 r8, [r3+16]          ; dx dy dz tmax
+    mov.b32 r14, r7                   ; segment tmin = ray tmin
+    mov.b32 r7, r8                    ; dx
+    mov.b32 r8, r9                    ; dy
+    mov.b32 r9, r10                   ; dz
+    mov.b32 r10, r11                  ; best_t = ray tmax
+    mov.s32 r11, -1                   ; best_id = miss
+    mov.u32 r12, 0                    ; node = root
+    mov.u32 r13, 0                    ; sp = 0
+{seed}
+    mov.u32 r31, 0x{one:08x}          ; throughput = 1.0
+    mov.u32 r32, 0                    ; radiance = 0.0
+    mov.u32 r33, 0                    ; segments = 0
+
+node_loop:                            ; -- one BVH node --
+    ld.const.u32 r3, [r0+0]           ; node base
+    mad.lo.s32 r3, r12, 32, r3
+    ld.global.v4 r16, [r3+0]          ; min.x min.y min.z meta0
+    ld.global.v4 r20, [r3+16]         ; max.x max.y max.z meta1
+    mov.b32 r24, r14                  ; tnear = segment tmin
+    mov.b32 r25, r10                  ; tfar = best_t
+{slab}
+    setp.le.f32 p2, r24, r25
+    @!p2 bra pop                      ; box missed (or NaN)
+    shr.u32 r26, r19, 31
+    setp.ne.s32 p2, r26, 0
+    @p2 bra leaf
+    ; inner: push the right child, descend left
+    ; entry address = base + (sp*nrays + rayid)*4 (ray-interleaved)
+    ld.const.u32 r3, [r0+24]
+    mul.lo.s32 r3, r3, r13
+    add.s32 r3, r3, r1
+    shl.b32 r3, r3, 2
+    ld.const.u32 r26, [r0+16]         ; stack base
+    add.s32 r3, r3, r26
+    st.global.u32 [r3+0], r23
+    add.s32 r13, r13, 1
+    mov.b32 r12, r19
+    bra node_loop
+
+leaf:                                 ; -- test the leaf's Wald records --
+    and.b32 r16, r19, 0x7fffffff      ; cursor = first slot
+    mov.b32 r17, r23                  ; remaining = count
+tri_loop:
+    setp.le.s32 p2, r17, 0
+    @p2 bra pop
+    ld.const.u32 r3, [r0+4]           ; Wald base
+    mad.lo.s32 r3, r16, 48, r3
+    mov.b32 r29, r16                  ; slot doubles as triangle id
+{tri}
+tri_next:
+    add.s32 r16, r16, 1
+    sub.s32 r17, r17, 1
+    bra tri_loop
+
+pop:                                  ; -- restart loop --
+    setp.eq.s32 p2, r13, 0
+    @p2 bra bounce
+    sub.s32 r13, r13, 1
+    ld.const.u32 r3, [r0+24]
+    mul.lo.s32 r3, r3, r13
+    add.s32 r3, r3, r1
+    shl.b32 r3, r3, 2
+    ld.const.u32 r26, [r0+16]
+    add.s32 r3, r3, r26
+    ld.global.u32 r12, [r3+0]
+    bra node_loop
+
+bounce:                               ; -- segment loop --
+    setp.eq.s32 p0, r11, -1
+    @p0 bra escape
+{hit}
+    add.s32 r33, r33, 1
+    setp.ge.s32 p0, r33, {max_bounces}
+    @p0 bra finish
+{sample}
+    mov.u32 r10, 0x{tfar:08x}         ; best_t = far sentinel
+    mov.s32 r11, -1
+    mov.u32 r12, 0
+    mov.u32 r13, 0
+    mov.u32 r14, 0x{tmin:08x}
+    bra node_loop
+
+escape:
+    add.f32 r32, r32, r31             ; radiance += throughput (sky = 1)
+    add.s32 r33, r33, 1
+finish:
+    ld.const.u32 r3, [r0+12]          ; result base
+    mad.lo.s32 r3, r1, 8, r3
+    st.global.u32 [r3+0], r32
+    st.global.u32 [r3+4], r33
+    exit
+"#,
+        seed = emit_seed(1),
+        slab = emit_slab_test(),
+        tri = tri,
+        hit = emit_hit_accounting(31, 32),
+        sample = emit_bounce_sample(),
+        one = 1.0f32.to_bits(),
+        tfar = PT_TFAR.to_bits(),
+        tmin = PT_TMIN.to_bits(),
+        max_bounces = PT_MAX_BOUNCES,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_with_expected_shape() {
+        let p = program();
+        assert_eq!(p.entry("main").unwrap().pc, 0);
+        assert!(p.spawn_sites().is_empty(), "looped kernel never spawns");
+        let r = p.resource_usage();
+        assert!(r.registers <= 40, "registers {}", r.registers);
+        assert_eq!(r.const_bytes, 28);
+        assert_eq!(r.spawn_state_bytes, 0);
+    }
+
+    #[test]
+    fn has_four_loop_back_edges() {
+        // node_loop (descent, restart, segment) + tri_loop.
+        let p = program();
+        let node = p.label("node_loop").unwrap();
+        let tri = p.label("tri_loop").unwrap();
+        let back_edges = p
+            .instrs()
+            .iter()
+            .enumerate()
+            .filter(|(pc, i)| match i.op {
+                simt_isa::Instr::Bra { target } => {
+                    target <= *pc && (target == node || target == tri)
+                }
+                _ => false,
+            })
+            .count();
+        assert!(
+            back_edges >= 4,
+            "expected >= 4 loop back-edges, got {back_edges}"
+        );
+    }
+
+    #[test]
+    fn reconvergence_analysis_covers_all_branches() {
+        let p = program();
+        let _ = simt_isa::ReconvergenceTable::build(&p);
+    }
+}
