@@ -13,7 +13,14 @@
 //! Also measures telemetry overhead (`DESIGN.md` §10): the same run with
 //! telemetry disabled at runtime against one with windowed metrics on,
 //! so the probe cost the experiment drivers pay is a recorded number
-//! (the budget is < 5%).
+//! (the budget is < 5%). The arms are interleaved behind a warm-up pass
+//! and reported min-of-3, so host drift cannot make telemetry-on appear
+//! faster than off.
+//!
+//! Also measures the L1/L2 cache hierarchy (`DESIGN.md` §16): the same
+//! fig-7 run through a 16 KiB L1 + 512 KiB L2 machine, recording
+//! per-level hit rates, MSHR merges/stalls, interconnect bank
+//! conflicts, and the telemetry overhead on the cache-enabled path.
 //!
 //! Also measures campaign-mode throughput (`DESIGN.md` §12): the full
 //! 12-artifact `repro campaign` matrix at test scale with 1 worker
@@ -70,8 +77,18 @@ impl BenchRun {
 
 /// One timed fig-7 render. Returns simulated cycles and wall seconds for
 /// the `Gpu::run` call only (scene build and upload are untimed).
-fn run_once(parallel: usize, scale: Scale, telemetry: TelemetrySpec) -> BenchRun {
-    let mut gpu = gpu_for_with(Variant::Dynamic, telemetry).with_parallelism(parallel);
+/// `cached` swaps the flat fabric for the L1+L2 hierarchy
+/// (`MemConfig::fx5800_cached` knobs: 16 KiB L1, 512 KiB L2).
+fn run_once(parallel: usize, scale: Scale, telemetry: TelemetrySpec, cached: bool) -> BenchRun {
+    let mut gpu = if cached {
+        let mut cfg = experiments::config_for(Variant::Dynamic);
+        cfg.mem.l1_bytes = 16 * 1024;
+        cfg.mem.l2_bytes = 512 * 1024;
+        Gpu::builder(cfg).telemetry(telemetry).build()
+    } else {
+        gpu_for_with(Variant::Dynamic, telemetry)
+    }
+    .with_parallelism(parallel);
     let scene = scenes::conference(scale.scene);
     let setup = RenderSetup::upload(&mut gpu, &scene, scale.resolution, scale.resolution);
     setup.launch_ukernel(&mut gpu, scale.threads_per_block);
@@ -85,6 +102,116 @@ fn run_once(parallel: usize, scale: Scale, telemetry: TelemetrySpec) -> BenchRun
         skip_events: gpu.skip_events(),
         idle_sm_cycles: summary.stats.idle_sm_cycles,
         sm_cycles: summary.stats.cycles * gpu.config().num_sms as u64,
+    }
+}
+
+/// Interleaved A/B telemetry-overhead measurement: one untimed warm-up
+/// pass (page cache, allocator, branch predictors), then alternating
+/// off/on runs so host drift lands on both arms equally, taking the
+/// min-of-3 per arm so the noise floor — not the scheduler — decides.
+/// The old sequential best-of-3 (all off runs, then all on runs, no
+/// warm-up) routinely measured telemetry-on *faster* than off.
+fn telemetry_ab(scale: Scale, cached: bool) -> (f64, f64) {
+    let _warmup = run_once(1, scale, TelemetrySpec::metrics(), cached);
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        off = off.min(run_once(1, scale, TelemetrySpec::off(), cached).wall_seconds);
+        on = on.min(run_once(1, scale, TelemetrySpec::metrics(), cached).wall_seconds);
+    }
+    (off, on)
+}
+
+/// Relative overhead of the `on` arm, floored at 0: telemetry cannot
+/// make the simulator faster, so a negative ratio is residual noise by
+/// construction, not a result.
+fn overhead_pct(off: f64, on: f64) -> f64 {
+    if off > 0.0 {
+        ((on / off - 1.0) * 100.0).max(0.0)
+    } else {
+        0.0
+    }
+}
+
+struct CacheHierarchyBench {
+    cycles: u64,
+    l1_hits: u64,
+    l1_misses: u64,
+    mshr_merges: u64,
+    mshr_stalls: u64,
+    l2_hits: u64,
+    l2_misses: u64,
+    icnt_conflicts: u64,
+    tel_off_seconds: f64,
+    tel_on_seconds: f64,
+    tel_overhead_pct: f64,
+}
+
+impl CacheHierarchyBench {
+    /// Simulation throughput on the cache-enabled path, from the
+    /// fastest telemetry-off arm (the same machine the counted run
+    /// used) — what the CI perf floor pins.
+    fn cycles_per_second(&self) -> f64 {
+        if self.tel_off_seconds > 0.0 {
+            self.cycles as f64 / self.tel_off_seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total > 0 {
+            self.l1_hits as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn l2_hit_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total > 0 {
+            self.l2_hits as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The fig-7 run again, through the full L1/L2 hierarchy: per-level hit
+/// rates and interconnect conflicts from one counted run, plus the same
+/// interleaved telemetry A/B as the flat machine so the probe cost on
+/// the cache-enabled path is a recorded number too.
+fn bench_cache_hierarchy(scale: Scale) -> CacheHierarchyBench {
+    let mut gpu = {
+        let mut cfg = experiments::config_for(Variant::Dynamic);
+        cfg.mem.l1_bytes = 16 * 1024;
+        cfg.mem.l2_bytes = 512 * 1024;
+        Gpu::builder(cfg).build()
+    };
+    let scene = scenes::conference(scale.scene);
+    let setup = RenderSetup::upload(&mut gpu, &scene, scale.resolution, scale.resolution);
+    setup.launch_ukernel(&mut gpu, scale.threads_per_block);
+    let summary = gpu.run(scale.cycles).expect("fault-free benchmark run");
+    let (l1_hits, l1_misses, mshr_merges, mshr_stalls) =
+        gpu.l1_stats().expect("L1 configured for the cache bench");
+    let (l2_hits, l2_misses) = gpu
+        .mem()
+        .l2_stats()
+        .expect("L2 configured for the cache bench");
+    let icnt_conflicts = gpu.mem().icnt_conflicts();
+    let (tel_off_seconds, tel_on_seconds) = telemetry_ab(scale, true);
+    CacheHierarchyBench {
+        cycles: summary.stats.cycles,
+        l1_hits,
+        l1_misses,
+        mshr_merges,
+        mshr_stalls,
+        l2_hits,
+        l2_misses,
+        icnt_conflicts,
+        tel_off_seconds,
+        tel_on_seconds,
+        tel_overhead_pct: overhead_pct(tel_off_seconds, tel_on_seconds),
     }
 }
 
@@ -348,7 +475,7 @@ fn main() -> ExitCode {
     let mut runs = Vec::new();
     for &p in &parallelisms {
         eprintln!("bench_sim: fig7 conference/dynamic, scale {scale_name}, parallel {p} ...");
-        let r = run_once(p, scale, TelemetrySpec::metrics());
+        let r = run_once(p, scale, TelemetrySpec::metrics(), false);
         eprintln!(
             "  {} simulated cycles in {:.3} s  ({:.0} cycles/s)",
             r.cycles,
@@ -357,30 +484,35 @@ fn main() -> ExitCode {
         );
         runs.push(r);
     }
+    // A 1-core host runs only the serial configuration: there is no
+    // parallel measurement to compare, so the speedup is *unknown*, not
+    // 1.000 — report `null` plus the reason instead of a fake ratio.
     let speedup = match (runs.first(), runs.last()) {
         (Some(base), Some(top)) if base.wall_seconds > 0.0 && runs.len() > 1 => {
-            base.wall_seconds / top.wall_seconds
+            Some(base.wall_seconds / top.wall_seconds)
         }
-        _ => 1.0,
+        _ => None,
     };
 
     eprintln!("bench_sim: telemetry overhead (runtime-off vs windowed metrics) ...");
-    // Best-of-3 per configuration: single wall-clock shots on a loaded
-    // host swing by more than the effect being measured.
-    let best = |telemetry: fn() -> TelemetrySpec| {
-        (0..3)
-            .map(|_| run_once(1, scale, telemetry()).wall_seconds)
-            .fold(f64::INFINITY, f64::min)
-    };
-    let tel_off = best(TelemetrySpec::off);
-    let tel_on = best(TelemetrySpec::metrics);
-    let tel_overhead_pct = if tel_off > 0.0 {
-        (tel_on / tel_off - 1.0) * 100.0
-    } else {
-        0.0
-    };
+    let (tel_off, tel_on) = telemetry_ab(scale, false);
+    let tel_overhead_pct = overhead_pct(tel_off, tel_on);
     eprintln!(
         "  off {tel_off:.3} s, metrics {tel_on:.3} s  ({tel_overhead_pct:+.1}% when enabled)"
+    );
+
+    eprintln!("bench_sim: cache-hierarchy run (16 KiB L1 + 512 KiB L2) ...");
+    let cache = bench_cache_hierarchy(scale);
+    eprintln!(
+        "  {} cycles; L1 {:.1}% hit ({} merges, {} stalls), L2 {:.1}% hit, \
+         {} icnt conflicts; telemetry {:+.1}% when enabled",
+        cache.cycles,
+        cache.l1_hit_rate() * 100.0,
+        cache.mshr_merges,
+        cache.mshr_stalls,
+        cache.l2_hit_rate() * 100.0,
+        cache.icnt_conflicts,
+        cache.tel_overhead_pct
     );
 
     eprintln!("bench_sim: checkpoint write/restore overhead ...");
@@ -478,7 +610,17 @@ fn main() -> ExitCode {
         ));
     }
     json.push_str("  ],\n");
-    json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    match speedup {
+        Some(s) => json.push_str(&format!("  \"speedup\": {s:.3},\n")),
+        None => {
+            json.push_str("  \"speedup\": null,\n");
+            json.push_str(&format!(
+                "  \"skipped_reason\": \"host has {host_cpus} cpu(s); \
+                 only the serial configuration ran, so there is no parallel \
+                 run to compare\",\n"
+            ));
+        }
+    }
     if let Some(r) = runs.first() {
         let skip_fraction = if r.cycles > 0 {
             r.skipped_cycles as f64 / r.cycles as f64
@@ -506,6 +648,31 @@ fn main() -> ExitCode {
     json.push_str(&format!(
         "  \"telemetry\": {{\"off_seconds\": {tel_off:.6}, \"on_seconds\": {tel_on:.6}, \
          \"enabled_overhead_pct\": {tel_overhead_pct:.2}}},\n",
+    ));
+    json.push_str(&format!(
+        "  \"cache_hierarchy\": {{\"l1_bytes\": {}, \"l2_bytes\": {}, \"cycles\": {}, \
+         \"l1_hits\": {}, \"l1_misses\": {}, \"l1_hit_rate\": {:.4}, \
+         \"mshr_merges\": {}, \"mshr_stalls\": {}, \
+         \"l2_hits\": {}, \"l2_misses\": {}, \"l2_hit_rate\": {:.4}, \
+         \"icnt_conflicts\": {}, \"sim_cycles_per_second\": {:.1}, \
+         \"telemetry\": {{\"off_seconds\": {:.6}, \"on_seconds\": {:.6}, \
+         \"enabled_overhead_pct\": {:.2}}}}},\n",
+        16 * 1024,
+        512 * 1024,
+        cache.cycles,
+        cache.l1_hits,
+        cache.l1_misses,
+        cache.l1_hit_rate(),
+        cache.mshr_merges,
+        cache.mshr_stalls,
+        cache.l2_hits,
+        cache.l2_misses,
+        cache.l2_hit_rate(),
+        cache.icnt_conflicts,
+        cache.cycles_per_second(),
+        cache.tel_off_seconds,
+        cache.tel_on_seconds,
+        cache.tel_overhead_pct
     ));
     json.push_str(&format!(
         "  \"checkpoint\": {{\"snapshot_bytes\": {}, \"encode_seconds\": {:.6}, \

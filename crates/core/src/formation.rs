@@ -86,6 +86,10 @@ pub struct DmkStats {
     pub max_blocks_in_use: u32,
     /// Spawn stalls due to formation/FIFO back-pressure.
     pub spawn_stalls: u64,
+    /// Spawn-memory words the admission stage read back (one state
+    /// pointer per admitted lane). Only accounted on machines that model
+    /// the cache hierarchy; zero otherwise.
+    pub admission_reads: u64,
 }
 
 /// One SM's warp-formation unit.
@@ -141,6 +145,12 @@ impl WarpFormation {
     /// Read-only view of the LUT.
     pub fn lut(&self) -> &SpawnLut {
         &self.lut
+    }
+
+    /// Counts `words` spawn-memory state-pointer reads made by warp
+    /// admission (the formation unit handing a completed warp to the SM).
+    pub fn note_admission_reads(&mut self, words: u32) {
+        self.stats.admission_reads += u64::from(words);
     }
 
     fn alloc_block(free: &mut Vec<u32>, layout: &SpawnMemoryLayout) -> Option<u32> {
@@ -337,6 +347,7 @@ impl WarpFormation {
         enc.put_usize(self.stats.max_fifo_depth);
         enc.put_u32(self.stats.max_blocks_in_use);
         enc.put_u64(self.stats.spawn_stalls);
+        enc.put_u64(self.stats.admission_reads);
     }
 
     /// Restores state previously written by
@@ -383,6 +394,7 @@ impl WarpFormation {
         self.stats.max_fifo_depth = dec.take_usize()?;
         self.stats.max_blocks_in_use = dec.take_u32()?;
         self.stats.spawn_stalls = dec.take_u64()?;
+        self.stats.admission_reads = dec.take_u64()?;
         Ok(())
     }
 }

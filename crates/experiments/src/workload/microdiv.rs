@@ -45,7 +45,7 @@ pub const VARIANTS: [Variant; 2] = [Variant::PdomWarp, Variant::Dynamic];
 
 /// Thread count at a scene scale (whole warps, several per block so
 /// compaction across warps has something to pack).
-fn threads(scene: SceneScale) -> u32 {
+pub(crate) fn threads(scene: SceneScale) -> u32 {
     match scene {
         SceneScale::Tiny => 64,
         SceneScale::Small => 128,
@@ -54,7 +54,7 @@ fn threads(scene: SceneScale) -> u32 {
 }
 
 /// Trip-count cap at a scene scale (power of two ≤ warp width).
-fn trip_cap(scene: SceneScale) -> u32 {
+pub(crate) fn trip_cap(scene: SceneScale) -> u32 {
     match scene {
         SceneScale::Tiny => 8,
         SceneScale::Small => 16,
@@ -173,7 +173,7 @@ k_more:
 
 /// Expected accumulator of `tid` after its trips (bit-exact: `mul.lo`
 /// and `add.s32` are wrapping 32-bit ops).
-fn host_acc(pattern: &str, tid: u32, cap: u32) -> u32 {
+pub(crate) fn host_acc(pattern: &str, tid: u32, cap: u32) -> u32 {
     let mut acc: i32 = 0;
     for _ in 0..trips(pattern, tid, cap) {
         acc = acc.wrapping_mul(LCG_MUL).wrapping_add(tid as i32 + 1);

@@ -18,11 +18,13 @@
 //!   `repro all` output and cached campaign results must stay
 //!   byte-identical across this refactor.
 //! * [`Group::Extended`] — workloads added beyond the paper's matrix:
-//!   the BVH path tracer ([`bvh`]) and the divergence microbenchmark
-//!   family ([`microdiv`]). These support per-variant standalone runs
+//!   the BVH path tracer ([`bvh`]), the divergence microbenchmark
+//!   family ([`microdiv`]), and the cache-ablation figure
+//!   ([`cacheabl`]). The first two support per-variant standalone runs
 //!   via `workload@variant` job names (see [`ScenarioSpec`]).
 
 pub mod bvh;
+pub mod cacheabl;
 pub mod microdiv;
 mod paper;
 
@@ -110,7 +112,7 @@ impl fmt::Display for Group {
 /// The registry, in canonical presentation order: the twelve paper
 /// artifacts first (the exact order `repro all` has always used), then
 /// the extended workloads.
-static REGISTRY: [&dyn Workload; 14] = [
+static REGISTRY: [&dyn Workload; 15] = [
     &paper::Table1,
     &paper::Table2,
     &paper::Table3,
@@ -125,6 +127,7 @@ static REGISTRY: [&dyn Workload; 14] = [
     &paper::Shadow,
     &bvh::BvhPathTracer,
     &microdiv::Microdiv,
+    &cacheabl::CacheAblation,
 ];
 
 /// Every registered workload, in canonical order.

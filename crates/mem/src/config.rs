@@ -46,6 +46,77 @@ pub struct MemConfig {
     pub tex_ways: usize,
     /// Texture-cache hit latency in cycles.
     pub tex_hit_latency: u32,
+    /// Per-SM L1 data-cache capacity in bytes; 0 disables the L1 and
+    /// keeps the legacy flat fabric (the paper's Table I machine).
+    ///
+    /// The L1 is a timing-only model: functional values always flow
+    /// through the fabric backing stores in phase B, so the cache is
+    /// non-coherent exactly like a real GPU L1 (stores write through
+    /// without allocating and never invalidate remote SMs' tags).
+    #[serde(default)]
+    pub l1_bytes: u32,
+    /// L1 line size in bytes (power of two).
+    #[serde(default = "default_l1_line_bytes")]
+    pub l1_line_bytes: u32,
+    /// L1 associativity.
+    #[serde(default = "default_l1_ways")]
+    pub l1_ways: usize,
+    /// L1 hit latency in cycles.
+    #[serde(default = "default_l1_hit_latency")]
+    pub l1_hit_latency: u32,
+    /// MSHR entries per SM: same-line misses merge into an outstanding
+    /// entry; when the table is full further misses bypass merging
+    /// (counted as `mshr_stalls`) but still issue their request.
+    #[serde(default = "default_l1_mshr_entries")]
+    pub l1_mshr_entries: usize,
+    /// Shared L2 capacity in bytes, sliced evenly across the memory
+    /// partitions (one slice per DRAM module); 0 disables the L2 and
+    /// the banked SM↔partition interconnect.
+    #[serde(default)]
+    pub l2_bytes: u32,
+    /// L2 line size in bytes (power of two).
+    #[serde(default = "default_l2_line_bytes")]
+    pub l2_line_bytes: u32,
+    /// L2 associativity.
+    #[serde(default = "default_l2_ways")]
+    pub l2_ways: usize,
+    /// L2 hit latency in cycles (from interconnect arrival).
+    #[serde(default = "default_l2_hit_latency")]
+    pub l2_hit_latency: u32,
+    /// SM↔partition interconnect traversal latency in cycles.
+    #[serde(default = "default_icnt_latency")]
+    pub icnt_latency: u32,
+    /// Cycles one coalesced segment occupies its interconnect bank.
+    #[serde(default = "default_icnt_flit_cycles")]
+    pub icnt_flit_cycles: u32,
+}
+
+fn default_l1_line_bytes() -> u32 {
+    64
+}
+fn default_l1_ways() -> usize {
+    4
+}
+fn default_l1_hit_latency() -> u32 {
+    12
+}
+fn default_l1_mshr_entries() -> usize {
+    8
+}
+fn default_l2_line_bytes() -> u32 {
+    64
+}
+fn default_l2_ways() -> usize {
+    8
+}
+fn default_l2_hit_latency() -> u32 {
+    60
+}
+fn default_icnt_latency() -> u32 {
+    8
+}
+fn default_icnt_flit_cycles() -> u32 {
+    2
 }
 
 impl MemConfig {
@@ -70,13 +141,74 @@ impl MemConfig {
             tex_line_bytes: 32,
             tex_ways: 4,
             tex_hit_latency: 12,
+            l1_bytes: 0,
+            l1_line_bytes: default_l1_line_bytes(),
+            l1_ways: default_l1_ways(),
+            l1_hit_latency: default_l1_hit_latency(),
+            l1_mshr_entries: default_l1_mshr_entries(),
+            l2_bytes: 0,
+            l2_line_bytes: default_l2_line_bytes(),
+            l2_ways: default_l2_ways(),
+            l2_hit_latency: default_l2_hit_latency(),
+            icnt_latency: default_icnt_latency(),
+            icnt_flit_cycles: default_icnt_flit_cycles(),
         }
+    }
+
+    /// A GT200-class cached variant of [`MemConfig::fx5800`]: 16 KiB
+    /// per-SM L1 (64 B lines, 4-way, 8 MSHRs) and a 512 KiB shared L2
+    /// sliced across the 8 partitions behind the banked interconnect.
+    /// This is the configuration the cache-ablation figure, CI matrix,
+    /// and benchmark harness enable; the default stays flat.
+    pub fn fx5800_cached() -> Self {
+        let mut c = MemConfig::fx5800();
+        c.l1_bytes = 16 * 1024;
+        c.l2_bytes = 512 * 1024;
+        c
     }
 
     /// Ideal-memory variant of this configuration.
     pub fn with_ideal(mut self, ideal: bool) -> Self {
         self.ideal = ideal;
         self
+    }
+
+    /// Enables a per-SM L1 of `bytes` capacity (0 disables), keeping the
+    /// configured line size, associativity, and MSHR count.
+    pub fn with_l1(mut self, bytes: u32) -> Self {
+        self.l1_bytes = bytes;
+        self
+    }
+
+    /// Enables a shared L2 of `bytes` capacity (0 disables), keeping the
+    /// configured line size and associativity.
+    pub fn with_l2(mut self, bytes: u32) -> Self {
+        self.l2_bytes = bytes;
+        self
+    }
+
+    /// Whether the per-SM L1 data cache is modeled (ideal memory
+    /// short-circuits every cache level).
+    pub fn l1_enabled(&self) -> bool {
+        self.l1_bytes > 0 && !self.ideal
+    }
+
+    /// Whether the shared L2 (and with it the banked SM↔partition
+    /// interconnect) is modeled.
+    pub fn l2_enabled(&self) -> bool {
+        self.l2_bytes > 0 && !self.ideal
+    }
+
+    /// Whether phase B must run the batched interconnect-arbitration
+    /// drain instead of the legacy per-request path.
+    pub fn hierarchy_enabled(&self) -> bool {
+        self.l2_enabled()
+    }
+
+    /// Number of memory partitions (one L2 slice + interconnect bank in
+    /// front of each DRAM module).
+    pub fn partitions(&self) -> usize {
+        self.num_modules
     }
 
     /// Enables/disables spawn-memory bank-conflict modeling.
@@ -130,5 +262,30 @@ mod tests {
             .with_spawn_bank_conflicts(true);
         assert!(c.ideal);
         assert!(c.spawn_bank_conflicts);
+    }
+
+    #[test]
+    fn caches_default_off_and_toggle_on() {
+        let c = MemConfig::fx5800();
+        assert!(!c.l1_enabled() && !c.l2_enabled() && !c.hierarchy_enabled());
+        let c = MemConfig::fx5800().with_l1(16 * 1024);
+        assert!(c.l1_enabled() && !c.hierarchy_enabled());
+        let c = MemConfig::fx5800_cached();
+        assert!(c.l1_enabled() && c.l2_enabled() && c.hierarchy_enabled());
+        // Ideal memory short-circuits every level.
+        assert!(!MemConfig::fx5800_cached().with_ideal(true).l1_enabled());
+    }
+
+    #[test]
+    fn cached_preset_only_adds_capacity() {
+        // The cached preset differs from the flat Table I machine only in
+        // the two capacity knobs: geometry/latency defaults are shared, so
+        // ablations compare capacity, not incidental parameter drift.
+        let cached = MemConfig::fx5800_cached();
+        let flat = MemConfig::fx5800()
+            .with_l1(cached.l1_bytes)
+            .with_l2(cached.l2_bytes);
+        assert_eq!(cached, flat);
+        assert_eq!(cached.partitions(), cached.num_modules);
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::backing::{LocalStore, WordStore};
 use crate::banks::conflict_degree_span;
+use crate::cache::ReadOnlyCache;
 use crate::coalesce::coalesce_segments;
 use crate::config::MemConfig;
 use crate::frontend::FabricView;
@@ -115,6 +116,20 @@ pub struct FabricRequest {
     pub segments: Vec<u32>,
 }
 
+/// One request of a hierarchy phase-B batch: a [`FabricRequest`] tagged
+/// with its issuing SM (for round-robin arbitration) and the index of the
+/// pending access it belongs to within that SM (so the GPU can scatter
+/// per-request ready times back onto warp wake-ups).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRequest {
+    /// Issuing SM id.
+    pub sm: usize,
+    /// Index of the owning access in the SM's staged queue this cycle.
+    pub access: usize,
+    /// The coalesced request.
+    pub request: FabricRequest,
+}
+
 /// One deferred functional word transfer, applied by the fabric in phase B.
 ///
 /// Loads carry their destination (`lane`, `reg`) so the owning SM can write
@@ -209,6 +224,18 @@ pub struct MemoryFabric {
     /// Global-memory regions marked cacheable by per-SM read-only caches
     /// ("texture bindings").
     read_only_regions: Vec<(u32, u32)>,
+    /// Shared L2, one slice per memory partition (in front of the DRAM
+    /// module with the same index). Empty on the legacy flat fabric.
+    /// Timing-only, like the L1: loads probe, stores write through.
+    l2: Vec<ReadOnlyCache>,
+    /// Cycle at which each SM↔partition interconnect bank becomes free.
+    icnt_free: Vec<u64>,
+    /// Cumulative cycles each bank spent moving flits (telemetry).
+    icnt_busy: Vec<u64>,
+    /// Per-bank round-robin pointer: the SM id granted first next cycle.
+    icnt_rr: Vec<u32>,
+    /// Grants that queued behind another SM's flit in the same cycle.
+    icnt_conflicts: u64,
 }
 
 /// Compatibility alias: the pre-split name of [`MemoryFabric`].
@@ -226,6 +253,20 @@ impl MemoryFabric {
     /// Creates a memory fabric with empty contents.
     pub fn new(config: MemConfig) -> Self {
         let modules = config.num_modules;
+        let partitions = config.partitions();
+        let l2 = if config.l2_enabled() {
+            // Capacity splits evenly across the partitions; each slice is
+            // clamped up to one full set so degenerate configurations
+            // still build.
+            let min_slice = config.l2_line_bytes * config.l2_ways as u32;
+            let raw = config.l2_bytes / partitions as u32;
+            let slice = (raw / min_slice).max(1) * min_slice;
+            (0..partitions)
+                .map(|_| ReadOnlyCache::new(slice, config.l2_line_bytes, config.l2_ways))
+                .collect()
+        } else {
+            Vec::new()
+        };
         MemoryFabric {
             config,
             global: WordStore::new(),
@@ -235,6 +276,11 @@ impl MemoryFabric {
             module_busy: vec![0.0; modules],
             traffic: TrafficStats::new(),
             read_only_regions: Vec::new(),
+            l2,
+            icnt_free: vec![0; partitions],
+            icnt_busy: vec![0; partitions],
+            icnt_rr: vec![0; partitions],
+            icnt_conflicts: 0,
         }
     }
 
@@ -476,6 +522,120 @@ impl MemoryFabric {
         ready
     }
 
+    /// Queues one segment on its DRAM module starting no earlier than
+    /// `arrival`; returns the cycle its data is available.
+    fn queue_module(&mut self, arrival: u64, module: usize) -> u64 {
+        let service = self.config.segment_service_cycles();
+        let start = (arrival as f64).max(self.module_free[module]);
+        self.module_free[module] = start + service;
+        self.module_busy[module] += service;
+        (start + service).ceil() as u64 + u64::from(self.config.dram_latency)
+    }
+
+    /// Services one cycle's worth of requests through the cache/
+    /// interconnect hierarchy: every segment traverses the banked
+    /// SM↔partition interconnect (one bank per partition, round-robin
+    /// arbitration across SMs, per-bank busy accounting), probes its
+    /// partition's L2 slice, and on an L2 miss queues on the DRAM module
+    /// behind it. Returns one ready cycle per batch request.
+    ///
+    /// `batch` must be ordered by SM id (within an SM, by issue order) —
+    /// the order the GPU's phase B stages requests in — so arbitration is
+    /// deterministic at any phase-A parallelism.
+    ///
+    /// Round-robin fairness: each bank remembers the SM after the last
+    /// one it granted in the previous cycle and starts this cycle's grant
+    /// sweep there, so a low-numbered SM cannot starve the others the way
+    /// fixed-priority (SM-id-ordered) servicing would.
+    pub fn service_batch(&mut self, now: u64, batch: &[BatchRequest]) -> Vec<u64> {
+        let mut ready = vec![now + 1; batch.len()];
+        if batch.is_empty() {
+            return ready;
+        }
+        let partitions = self.config.partitions();
+        let flit = u64::from(self.config.icnt_flit_cycles.max(1));
+        let latency = u64::from(self.config.icnt_latency);
+        let l2_hit = u64::from(self.config.l2_hit_latency);
+        // Split the batch into per-bank grant queues (batch order = SM-id
+        // order is preserved within each queue).
+        let mut queues: Vec<Vec<(usize, u32)>> = vec![Vec::new(); partitions];
+        for (i, b) in batch.iter().enumerate() {
+            for &seg in &b.request.segments {
+                queues[self.config.module_of(seg)].push((i, seg));
+            }
+        }
+        for (bank, queue) in queues.into_iter().enumerate() {
+            if queue.is_empty() {
+                continue;
+            }
+            // Rotate the grant sweep to the round-robin start SM.
+            let rr = self.icnt_rr[bank];
+            let start = queue
+                .iter()
+                .position(|&(i, _)| batch[i].sm as u32 >= rr)
+                .unwrap_or(0);
+            let distinct_sms = {
+                let mut n = 0u64;
+                let mut last = usize::MAX;
+                for &(i, _) in &queue {
+                    if batch[i].sm != last {
+                        n += 1;
+                        last = batch[i].sm;
+                    }
+                }
+                n
+            };
+            if distinct_sms > 1 {
+                self.icnt_conflicts += distinct_sms - 1;
+            }
+            let mut t = now.max(self.icnt_free[bank]);
+            for k in 0..queue.len() {
+                let (i, seg) = queue[(start + k) % queue.len()];
+                t += flit;
+                self.icnt_busy[bank] += flit;
+                let arrival = t + latency;
+                let is_store = batch[i].request.is_store;
+                // Stores write through (no L2 allocate); loads probe the
+                // partition's slice and only misses reach DRAM.
+                let done = if !is_store && self.l2[bank].access(seg) {
+                    arrival + l2_hit
+                } else {
+                    self.queue_module(arrival, bank)
+                };
+                ready[i] = ready[i].max(done);
+            }
+            let last_sm = batch[queue[(start + queue.len() - 1) % queue.len()].0].sm;
+            self.icnt_free[bank] = t;
+            self.icnt_rr[bank] = last_sm as u32 + 1;
+        }
+        ready
+    }
+
+    /// Aggregate `(hits, misses)` over the L2 slices, if the L2 is
+    /// modeled. Stores bypass the L2 and are counted in neither.
+    pub fn l2_stats(&self) -> Option<(u64, u64)> {
+        if self.l2.is_empty() {
+            return None;
+        }
+        Some(
+            self.l2
+                .iter()
+                .fold((0, 0), |(h, m), c| (h + c.hits, m + c.misses)),
+        )
+    }
+
+    /// Cumulative cycles each interconnect bank spent moving flits,
+    /// indexed by partition. All zeros on the legacy flat fabric.
+    pub fn icnt_busy(&self) -> &[u64] {
+        &self.icnt_busy
+    }
+
+    /// Interconnect grants that queued behind another SM's flit within a
+    /// single arbitration cycle.
+    pub fn icnt_conflicts(&self) -> u64 {
+        self.icnt_conflicts
+    }
+
     /// Cumulative (fractional) DRAM cycles each module has spent servicing
     /// segments, indexed by module id. Telemetry's view of per-module
     /// pressure; reset together with the timing state.
@@ -568,6 +728,11 @@ impl MemoryFabric {
         self.module_free.iter_mut().for_each(|m| *m = 0.0);
         self.module_busy.iter_mut().for_each(|m| *m = 0.0);
         self.traffic = TrafficStats::new();
+        self.l2.iter_mut().for_each(ReadOnlyCache::reset);
+        self.icnt_free.iter_mut().for_each(|b| *b = 0);
+        self.icnt_busy.iter_mut().for_each(|b| *b = 0);
+        self.icnt_rr.iter_mut().for_each(|b| *b = 0);
+        self.icnt_conflicts = 0;
     }
 
     /// Bytes of global memory allocated so far.
@@ -597,6 +762,20 @@ impl MemoryFabric {
             enc.put_u32(base);
             enc.put_u32(bytes);
         }
+        enc.put_usize(self.l2.len());
+        for slice in &self.l2 {
+            slice.encode_state(enc);
+        }
+        for &b in &self.icnt_free {
+            enc.put_u64(b);
+        }
+        for &b in &self.icnt_busy {
+            enc.put_u64(b);
+        }
+        for &b in &self.icnt_rr {
+            enc.put_u32(b);
+        }
+        enc.put_u64(self.icnt_conflicts);
     }
 
     /// Restores state previously written by
@@ -629,6 +808,28 @@ impl MemoryFabric {
         self.read_only_regions = (0..regions)
             .map(|_| Ok((dec.take_u32()?, dec.take_u32()?)))
             .collect::<Result<_, CodecError>>()?;
+        let slices = dec.take_len(1)?;
+        if slices != self.l2.len() {
+            // Snapshot from a different cache configuration (e.g. flat
+            // fabric restoring a cached run's state).
+            return Err(CodecError::BadLength {
+                len: slices as u64,
+                remaining: self.l2.len(),
+            });
+        }
+        for slice in &mut self.l2 {
+            slice.restore_state(dec)?;
+        }
+        for b in &mut self.icnt_free {
+            *b = dec.take_u64()?;
+        }
+        for b in &mut self.icnt_busy {
+            *b = dec.take_u64()?;
+        }
+        for b in &mut self.icnt_rr {
+            *b = dec.take_u32()?;
+        }
+        self.icnt_conflicts = dec.take_u64()?;
         Ok(())
     }
 }
@@ -842,6 +1043,109 @@ mod tests {
             value: 9,
         });
         assert_eq!(m.read_local(3, 4), 9);
+    }
+
+    fn batch(sm: usize, access: usize, is_store: bool, segments: Vec<u32>) -> BatchRequest {
+        BatchRequest {
+            sm,
+            access,
+            request: FabricRequest {
+                space: Space::Global,
+                is_store,
+                segments,
+            },
+        }
+    }
+
+    #[test]
+    fn l2_hit_is_faster_than_miss_and_counted() {
+        let mut m = MemoryFabric::new(MemConfig::fx5800_cached());
+        let cold = m.service_batch(0, &[batch(0, 0, false, vec![0])]);
+        // Far enough ahead that the bank and module are idle again.
+        let warm = m.service_batch(10_000, &[batch(0, 0, false, vec![0])]);
+        assert!(
+            warm[0] - 10_000 < cold[0],
+            "L2 hit ({}) not faster than DRAM miss ({})",
+            warm[0] - 10_000,
+            cold[0]
+        );
+        assert_eq!(m.l2_stats(), Some((1, 1)));
+        let flit = u64::from(m.config().icnt_flit_cycles);
+        let hit = flit + u64::from(m.config().icnt_latency) + u64::from(m.config().l2_hit_latency);
+        assert_eq!(warm[0], 10_000 + hit);
+    }
+
+    #[test]
+    fn stores_bypass_l2() {
+        let mut m = MemoryFabric::new(MemConfig::fx5800_cached());
+        m.service_batch(0, &[batch(0, 0, true, vec![0])]);
+        assert_eq!(m.l2_stats(), Some((0, 0)));
+        // The store did not allocate: a later load to the same line misses.
+        m.service_batch(10_000, &[batch(0, 0, false, vec![0])]);
+        assert_eq!(m.l2_stats(), Some((0, 1)));
+    }
+
+    #[test]
+    fn round_robin_rotates_grant_order_across_sms() {
+        // Segments 0 and 256 both interleave onto module 0 (256/32 % 8 == 0)
+        // but live on different L2 lines, so both miss and queue on DRAM —
+        // grant order is visible in the ready times.
+        let mut m = MemoryFabric::new(MemConfig::fx5800_cached());
+        let r = m.service_batch(
+            0,
+            &[batch(0, 0, false, vec![0]), batch(1, 0, false, vec![256])],
+        );
+        assert!(r[0] < r[1], "fresh pointer grants SM 0 first");
+        assert_eq!(m.icnt_conflicts(), 1);
+        // SM 1 was granted last, so the pointer now favors... SM 2+; with
+        // none present it wraps to SM 0 again. Park the pointer after SM 0
+        // instead, then re-contend: SM 1 must go first this time.
+        let mut m = MemoryFabric::new(MemConfig::fx5800_cached());
+        m.service_batch(0, &[batch(0, 0, false, vec![0])]);
+        let r = m.service_batch(
+            10_000,
+            &[batch(0, 0, false, vec![512]), batch(1, 0, false, vec![768])],
+        );
+        assert!(r[1] < r[0], "pointer past SM 0 grants SM 1 first");
+        assert!(m.icnt_busy().iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn flat_fabric_has_no_l2_and_batch_still_services() {
+        let m = MemoryFabric::new(MemConfig::fx5800());
+        assert_eq!(m.l2_stats(), None);
+        assert!(m.icnt_busy().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn hierarchy_state_round_trips_and_flat_rejects_it() {
+        let mut m = MemoryFabric::new(MemConfig::fx5800_cached());
+        m.alloc_global(1024, "t");
+        m.service_batch(
+            0,
+            &[batch(0, 0, false, vec![0]), batch(1, 0, false, vec![32])],
+        );
+        let mut enc = Encoder::new();
+        m.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut restored = MemoryFabric::new(MemConfig::fx5800_cached());
+        restored
+            .restore_state(&mut Decoder::new(&bytes))
+            .expect("round trip");
+        assert_eq!(restored.l2_stats(), m.l2_stats());
+        assert_eq!(restored.icnt_busy(), m.icnt_busy());
+        assert_eq!(restored.icnt_conflicts(), m.icnt_conflicts());
+        // Restored arbitration state replays identically.
+        let a = m.service_batch(10_000, &[batch(0, 0, false, vec![0])]);
+        let b = restored.service_batch(10_000, &[batch(0, 0, false, vec![0])]);
+        assert_eq!(a, b);
+
+        let mut flat = MemoryFabric::new(MemConfig::fx5800());
+        assert!(
+            flat.restore_state(&mut Decoder::new(&bytes)).is_err(),
+            "flat fabric must reject a cached snapshot"
+        );
     }
 
     #[test]

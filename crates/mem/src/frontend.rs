@@ -12,9 +12,55 @@ use crate::cache::ReadOnlyCache;
 use crate::coalesce::coalesce_segments;
 use crate::config::MemConfig;
 use crate::fabric::{time_onchip, FabricRequest, FunctionalOp, MemFault, WarpAccess};
+use crate::mshr::MshrTable;
 use crate::traffic::TrafficStats;
 use simt_isa::codec::{CodecError, Decoder, Encoder};
 use simt_isa::Space;
+
+/// An order-preserving line-address set: lines come out in first-push
+/// order (what timing emission needs, bit-identical to the historical
+/// `Vec::contains` dedup) while membership runs off a parallel sorted
+/// index instead of an O(n) scan per probe.
+#[derive(Debug, Default, Clone)]
+struct LineSet {
+    /// Lines in first-push order.
+    order: Vec<u32>,
+    /// The same lines, sorted, for binary-search membership.
+    sorted: Vec<u32>,
+}
+
+impl LineSet {
+    fn clear(&mut self) {
+        self.order.clear();
+        self.sorted.clear();
+    }
+
+    /// Inserts `line` unless present; returns whether it was inserted.
+    fn insert(&mut self, line: u32) -> bool {
+        match self.sorted.binary_search(&line) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.sorted.insert(pos, line);
+                self.order.push(line);
+                true
+            }
+        }
+    }
+
+    fn contains(&self, line: u32) -> bool {
+        self.sorted.binary_search(&line).is_ok()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Drains the lines in first-push order into `out`.
+    fn drain_into(&mut self, out: &mut Vec<u32>) {
+        out.extend_from_slice(&self.order);
+        self.clear();
+    }
+}
 
 /// An immutable snapshot of the fabric metadata phase-A validation needs.
 ///
@@ -136,6 +182,27 @@ pub struct PendingAccess {
     pub ops: Vec<FunctionalOp>,
     /// Coalesced off-chip requests for the modules.
     pub requests: Vec<FabricRequest>,
+    /// L1 lines whose MSHR fill completes when this access's requests are
+    /// serviced (empty unless the L1 is enabled and this access missed).
+    pub fill_lines: Vec<u32>,
+    /// L1 lines this access merged into (outstanding MSHR fills it must
+    /// wait for on top of its own requests).
+    pub merge_lines: Vec<u32>,
+}
+
+/// Per-probe summary of one warp access routed through the L1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L1Probe {
+    /// L1 lines probed (hits + misses).
+    pub lines: u32,
+    /// Lines resident with no outstanding fill.
+    pub hits: u32,
+    /// Lines that missed (merges and stalls included).
+    pub misses: u32,
+    /// Misses merged into an outstanding MSHR entry (no request issued).
+    pub merges: u32,
+    /// Misses that bypassed a full MSHR table (request still issued).
+    pub mshr_stalls: u32,
 }
 
 /// The per-SM memory frontend: coalescer, read-only (texture) cache,
@@ -147,11 +214,27 @@ pub struct SmMemFrontend {
     /// Cycle at which this SM's on-chip load-store port becomes free.
     lsu_free: u64,
     tex: Option<ReadOnlyCache>,
+    /// Per-SM L1 data cache (global loads only; timing-only, see
+    /// [`MemConfig::l1_bytes`]). `None` on the legacy flat fabric.
+    l1: Option<ReadOnlyCache>,
+    /// Outstanding-fill table of the L1.
+    mshr: MshrTable,
+    /// L1 line-probes satisfied without a new fetch (tag hits plus lanes
+    /// piggybacking on a line this same access already misses on).
+    l1_hits: u64,
+    /// Unique line-misses per access: each either rides the access's own
+    /// fabric request or merges into an outstanding MSHR fill, so
+    /// `misses - merges` is exactly the line count handed to the L2.
+    l1_misses: u64,
+    /// Scratch dedup set reused across probes.
+    line_scratch: LineSet,
+    /// Scratch dedup set for merge lines.
+    merge_scratch: LineSet,
 }
 
 impl SmMemFrontend {
-    /// Creates a frontend for one SM, building the read-only cache from the
-    /// configuration (capacity 0 disables it).
+    /// Creates a frontend for one SM, building the read-only cache and the
+    /// L1 from the configuration (capacity 0 disables either).
     pub fn new(config: MemConfig) -> Self {
         let tex = if config.tex_cache_bytes > 0 {
             Some(ReadOnlyCache::new(
@@ -162,11 +245,27 @@ impl SmMemFrontend {
         } else {
             None
         };
+        let l1 = if config.l1_enabled() {
+            Some(ReadOnlyCache::new(
+                config.l1_bytes,
+                config.l1_line_bytes,
+                config.l1_ways,
+            ))
+        } else {
+            None
+        };
+        let mshr = MshrTable::new(config.l1_mshr_entries);
         SmMemFrontend {
             config,
             traffic: TrafficStats::new(),
             lsu_free: 0,
             tex,
+            l1,
+            mshr,
+            l1_hits: 0,
+            l1_misses: 0,
+            line_scratch: LineSet::default(),
+            merge_scratch: LineSet::default(),
         }
     }
 
@@ -188,6 +287,53 @@ impl SmMemFrontend {
     /// `(hits, misses)` of the read-only cache, if present.
     pub fn tex_stats(&self) -> Option<(u64, u64)> {
         self.tex.as_ref().map(|t| (t.hits, t.misses))
+    }
+
+    /// Whether this SM models an L1 data cache.
+    pub fn has_l1(&self) -> bool {
+        self.l1.is_some()
+    }
+
+    /// `(hits, misses, mshr_merges, mshr_stalls)` of the L1, if present.
+    /// Misses count unique lines per access and include merges and
+    /// stalls, so `hits + misses` equals the probed-line count and
+    /// `misses - merges` equals the line count fetched from below.
+    pub fn l1_stats(&self) -> Option<(u64, u64, u64, u64)> {
+        self.l1.as_ref().map(|_| {
+            (
+                self.l1_hits,
+                self.l1_misses,
+                self.mshr.merges,
+                self.mshr.stalls,
+            )
+        })
+    }
+
+    /// L1 line-probes so far (hits + misses).
+    pub fn l1_lines_probed(&self) -> u64 {
+        self.l1_hits + self.l1_misses
+    }
+
+    /// Outstanding MSHR fills (mid-flight lines a snapshot must carry).
+    pub fn mshr_in_flight(&self) -> usize {
+        self.mshr.in_flight()
+    }
+
+    /// Stamps the fill-completion cycle of the MSHR entries behind
+    /// `lines` (phase B, once the carrying request has been serviced).
+    pub fn mshr_set_fill(&mut self, lines: &[u32], ready: u64) {
+        self.mshr.set_fill(lines, ready);
+    }
+
+    /// The wake-up floor an access that merged into `lines` must respect.
+    pub fn mshr_wait_floor(&self, lines: &[u32]) -> u64 {
+        self.mshr.wait_floor(lines)
+    }
+
+    /// Drops MSHR entries whose fill was never stamped (abort path: the
+    /// owning accesses were discarded).
+    pub fn mshr_discard_unresolved(&mut self) {
+        self.mshr.discard_unresolved();
     }
 
     /// Times one on-chip (shared/spawn) warp access against this SM's
@@ -252,20 +398,27 @@ impl SmMemFrontend {
     /// the base addresses of the missing lines (deduplicated in probe
     /// order); hits cost nothing beyond the hit latency the caller models.
     ///
+    /// The cache fills at probe, so within one probe a line can only miss
+    /// again after an intra-probe eviction; the dedup set keeps such a
+    /// re-miss from emitting twice. Membership runs off a sorted index
+    /// (binary search) instead of the historical `Vec::contains` scan —
+    /// O(n log n) over the probe instead of O(n²) — while the emitted
+    /// order stays first-miss probe order, bit-identical to before.
+    ///
     /// # Panics
     ///
     /// Panics if this SM has no read-only cache.
     pub fn tex_probe(&mut self, addresses: &[u32], width_bytes: u32) -> Vec<u32> {
         let tex = self.tex.as_mut().expect("tex_probe without a cache");
         let line = tex.line_bytes();
-        let mut miss_lines = Vec::new();
+        self.line_scratch.clear();
         for &a in addresses {
             let first = a & !(line - 1);
             let last = (a + width_bytes - 1) & !(line - 1);
             let mut l = first;
             loop {
-                if !tex.access(l) && !miss_lines.contains(&l) {
-                    miss_lines.push(l);
+                if !tex.access(l) {
+                    self.line_scratch.insert(l);
                 }
                 if l >= last {
                     break;
@@ -273,16 +426,108 @@ impl SmMemFrontend {
                 l += line;
             }
         }
+        let mut miss_lines = Vec::new();
+        self.line_scratch.drain_into(&mut miss_lines);
         miss_lines
     }
 
-    /// Resets timing state (port, cache contents) and the traffic shard.
+    /// Routes one off-chip **global load** through the L1: probes every
+    /// touched line, merges misses that hit an outstanding MSHR entry, and
+    /// emits a single line-granular fabric request for the rest. Returns
+    /// the phase-A completion floor, the request (if any line must be
+    /// fetched), the fill lines (MSHR entries this access's request will
+    /// complete), the merge lines (outstanding fills to wait for), and the
+    /// probe summary for telemetry.
+    ///
+    /// Stores bypass the L1 entirely (write-through, no-allocate): callers
+    /// route them through [`SmMemFrontend::request_offchip`] unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this SM has no L1.
+    #[allow(clippy::type_complexity)]
+    pub fn l1_request(
+        &mut self,
+        now: u64,
+        width_bytes: u32,
+        addresses: &[u32],
+    ) -> (u64, Option<FabricRequest>, Vec<u32>, Vec<u32>, L1Probe) {
+        let l1 = self.l1.as_mut().expect("l1_request without an L1");
+        let line = l1.line_bytes();
+        self.mshr.purge(now);
+        self.line_scratch.clear();
+        self.merge_scratch.clear();
+        let mut probe = L1Probe::default();
+        for &a in addresses {
+            let first = a & !(line - 1);
+            let last = (a + width_bytes - 1) & !(line - 1);
+            let mut l = first;
+            loop {
+                probe.lines += 1;
+                if self.line_scratch.contains(l) || self.merge_scratch.contains(l) {
+                    // A lane piggybacking on a line this access already
+                    // misses (or merges) on: one fetch serves them all.
+                    // The tag was installed at the first probe, so this
+                    // refreshes LRU like the tex cache's install-at-miss.
+                    let _ = l1.access(l);
+                    probe.hits += 1;
+                } else if self.mshr.lookup(l).is_some() {
+                    // In flight from an *earlier* access: merge into the
+                    // outstanding fill instead of fetching again. The MSHR
+                    // is consulted before the tag array — the tag is
+                    // already installed, but the data has not landed.
+                    probe.misses += 1;
+                    probe.merges += 1;
+                    self.mshr.note_merge();
+                    self.merge_scratch.insert(l);
+                } else if l1.access(l) {
+                    probe.hits += 1;
+                } else {
+                    probe.misses += 1;
+                    self.line_scratch.insert(l);
+                    if self.mshr.has_room() {
+                        self.mshr.alloc(l);
+                    } else {
+                        self.mshr.note_stall();
+                        probe.mshr_stalls += 1;
+                    }
+                }
+                if l >= last {
+                    break;
+                }
+                l += line;
+            }
+        }
+        self.l1_hits += u64::from(probe.hits);
+        self.l1_misses += u64::from(probe.misses);
+        let mut merge_lines = Vec::new();
+        self.merge_scratch.drain_into(&mut merge_lines);
+        let ready = now + u64::from(self.config.l1_hit_latency.max(1));
+        if self.line_scratch.is_empty() {
+            return (ready, None, Vec::new(), merge_lines, probe);
+        }
+        let mut miss_lines = Vec::new();
+        self.line_scratch.drain_into(&mut miss_lines);
+        // Stalled lines have no MSHR entry: they still travel with the
+        // request, but `mshr_set_fill` will find nothing to stamp.
+        let (floor, req) = self.request_offchip(now, Space::Global, false, line, &miss_lines);
+        (ready.max(floor), req, miss_lines, merge_lines, probe)
+    }
+
+    /// Resets timing state (port, cache contents, MSHR) and the traffic
+    /// shard.
     pub fn reset_timing(&mut self) {
         self.lsu_free = 0;
         self.traffic = TrafficStats::new();
         if let Some(t) = self.tex.as_mut() {
             t.reset();
         }
+        if let Some(c) = self.l1.as_mut() {
+            c.reset();
+        }
+        self.mshr.reset();
+        self.l1_hits = 0;
+        self.l1_misses = 0;
     }
 
     /// Serializes the frontend's mutable state — traffic shard, load-store
@@ -295,6 +540,13 @@ impl SmMemFrontend {
         enc.put_bool(self.tex.is_some());
         if let Some(t) = &self.tex {
             t.encode_state(enc);
+        }
+        enc.put_bool(self.l1.is_some());
+        if let Some(c) = &self.l1 {
+            c.encode_state(enc);
+            self.mshr.encode_state(enc);
+            enc.put_u64(self.l1_hits);
+            enc.put_u64(self.l1_misses);
         }
     }
 
@@ -317,6 +569,22 @@ impl SmMemFrontend {
                 return Err(CodecError::BadTag {
                     what: "tex cache presence",
                     tag: u64::from(has_tex),
+                })
+            }
+        }
+        let has_l1 = dec.take_bool()?;
+        match (&mut self.l1, has_l1) {
+            (Some(c), true) => {
+                c.restore_state(dec)?;
+                self.mshr.restore_state(dec)?;
+                self.l1_hits = dec.take_u64()?;
+                self.l1_misses = dec.take_u64()?;
+            }
+            (None, false) => {}
+            _ => {
+                return Err(CodecError::BadTag {
+                    what: "l1 cache presence",
+                    tag: u64::from(has_l1),
                 })
             }
         }
@@ -406,6 +674,114 @@ mod tests {
             v.check_load(Space::Local, 16),
             fab.try_read_local(0, 16).map(|_| ()),
         );
+    }
+
+    #[test]
+    fn tex_probe_order_matches_historical_contains_dedup() {
+        // Regression for the O(n²) dedup fix: emitted miss lines must stay
+        // in first-miss probe order, exactly what the old `Vec::contains`
+        // guard produced — including re-misses after intra-probe eviction.
+        let mut cfg = MemConfig::fx5800();
+        // 2 lines total (1 set × 2 ways of 32 B): big probes evict.
+        cfg.tex_cache_bytes = 64;
+        cfg.tex_ways = 2;
+        let mut fe = SmMemFrontend::new(cfg.clone());
+        // Deliberately unsorted, with revisits forcing eviction re-misses.
+        let addrs: Vec<u32> = vec![256, 0, 128, 64, 0, 192, 256, 32];
+        let got = fe.tex_probe(&addrs, 4);
+        // Reference: the historical algorithm, verbatim.
+        let mut tex = ReadOnlyCache::new(cfg.tex_cache_bytes, cfg.tex_line_bytes, cfg.tex_ways);
+        let line = cfg.tex_line_bytes;
+        let mut want: Vec<u32> = Vec::new();
+        for &a in &addrs {
+            let l = a & !(line - 1);
+            if !tex.access(l) && !want.contains(&l) {
+                want.push(l);
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn l1_hits_after_fill_and_stats_conserve() {
+        let mut fe = SmMemFrontend::new(MemConfig::fx5800_cached());
+        let addrs: Vec<u32> = (0..32).map(|i| i * 4).collect(); // 2 lines of 64 B
+        let (_, req, fills, merges, p) = fe.l1_request(0, 4, &addrs);
+        assert_eq!(p.lines, 32);
+        assert_eq!(p.hits, 30, "lines fill at first probe");
+        assert_eq!(p.misses, 2);
+        assert_eq!(fills, vec![0, 64]);
+        assert!(merges.is_empty());
+        let r = req.expect("cold misses emit a request");
+        assert_eq!(r.space, Space::Global);
+        // Stamp the fills; once complete, the same lines hit cleanly.
+        fe.mshr_set_fill(&fills, 10);
+        let (_, req, fills, merges, p) = fe.l1_request(10, 4, &addrs);
+        assert!(req.is_none() && fills.is_empty() && merges.is_empty());
+        assert_eq!(p.hits, 32);
+        // Conservation: hits + misses == probed lines.
+        let (h, m, mg, st) = fe.l1_stats().expect("l1 on");
+        assert_eq!(h + m, fe.l1_lines_probed());
+        assert_eq!(mg, 0);
+        assert_eq!(st, 0);
+    }
+
+    #[test]
+    fn l1_merges_while_fill_in_flight() {
+        let mut fe = SmMemFrontend::new(MemConfig::fx5800_cached());
+        let (_, req, fills, _, _) = fe.l1_request(0, 4, &[0]);
+        assert!(req.is_some());
+        assert_eq!(fills, vec![0]);
+        // Same line, same cycle, before the fill resolves: pure merge.
+        let (_, req, fills2, merges, p) = fe.l1_request(0, 4, &[4]);
+        assert!(req.is_none(), "merged access issues no request");
+        assert!(fills2.is_empty());
+        assert_eq!(merges, vec![0]);
+        assert_eq!(p.merges, 1);
+        assert_eq!(fe.mshr_in_flight(), 1);
+        // Resolve the fill late; the merged access waits for it.
+        fe.mshr_set_fill(&fills, 500);
+        assert_eq!(fe.mshr_wait_floor(&merges), 500);
+        // After the fill lands, the entry purges and the line plain-hits.
+        let (_, _, _, merges, p) = fe.l1_request(500, 4, &[0]);
+        assert!(merges.is_empty());
+        assert_eq!(p.hits, 1);
+    }
+
+    #[test]
+    fn l1_mshr_full_bypasses_but_still_requests() {
+        let mut cfg = MemConfig::fx5800_cached();
+        cfg.l1_mshr_entries = 1;
+        let mut fe = SmMemFrontend::new(cfg);
+        // Two distinct lines: the second miss finds the table full.
+        let (_, req, fills, _, p) = fe.l1_request(0, 4, &[0, 64]);
+        let r = req.expect("both lines still fetched");
+        assert_eq!(r.segments.len(), 4, "two 64 B lines over 32 B segments");
+        assert_eq!(fills, vec![0, 64]);
+        assert_eq!(p.mshr_stalls, 1);
+        let (_, _, mg, st) = fe.l1_stats().expect("l1 on");
+        assert_eq!((mg, st), (0, 1));
+    }
+
+    #[test]
+    fn l1_state_round_trips_with_mid_flight_mshr() {
+        let mut fe = SmMemFrontend::new(MemConfig::fx5800_cached());
+        let (_, _, fills, _, _) = fe.l1_request(3, 4, &[0, 256]);
+        fe.mshr_set_fill(&fills, 77);
+        let (_, _, _, _, _) = fe.l1_request(4, 4, &[512]); // unresolved entry
+        let mut enc = Encoder::new();
+        fe.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut restored = SmMemFrontend::new(MemConfig::fx5800_cached());
+        restored
+            .restore_state(&mut Decoder::new(&bytes))
+            .expect("round trip");
+        assert_eq!(restored.l1_stats(), fe.l1_stats());
+        assert_eq!(restored.mshr_in_flight(), fe.mshr_in_flight());
+        assert_eq!(restored.l1_lines_probed(), fe.l1_lines_probed());
+        // A frontend without an L1 rejects the snapshot.
+        let mut flat = SmMemFrontend::new(MemConfig::fx5800());
+        assert!(flat.restore_state(&mut Decoder::new(&bytes)).is_err());
     }
 
     #[test]

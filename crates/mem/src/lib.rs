@@ -41,6 +41,7 @@ mod coalesce;
 mod config;
 mod fabric;
 mod frontend;
+mod mshr;
 mod traffic;
 
 pub use backing::{LocalStore, WordStore};
@@ -50,6 +51,7 @@ pub use coalesce::{coalesce_segments, CoalesceResult};
 pub use config::MemConfig;
 #[allow(deprecated)]
 pub use fabric::MemorySystem;
-pub use fabric::{FabricRequest, FunctionalOp, MemFault, MemoryFabric, WarpAccess};
-pub use frontend::{FabricView, PendingAccess, SmMemFrontend};
+pub use fabric::{BatchRequest, FabricRequest, FunctionalOp, MemFault, MemoryFabric, WarpAccess};
+pub use frontend::{FabricView, L1Probe, PendingAccess, SmMemFrontend};
+pub use mshr::{MshrTable, FILL_UNRESOLVED};
 pub use traffic::{SpaceTraffic, TrafficStats};

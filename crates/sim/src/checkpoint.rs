@@ -64,8 +64,11 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DMKSNAP\0";
 /// Version history: 1 — initial format; 2 — per-SM telemetry shards and
 /// per-DRAM-module busy accounting joined the payload; 3 — per-lane
 /// thread state stored as one struct-of-arrays block per warp
-/// ([`crate::LaneState`]) instead of per-lane option+context records.
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// ([`crate::LaneState`]) instead of per-lane option+context records;
+/// 4 — the L1/L2 cache hierarchy joined the payload (cache-geometry
+/// config knobs, per-SM L1 tags + MSHR tables, L2 slices, interconnect
+/// arbiter state, and the L1 columns of the telemetry counters).
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Why a snapshot could not be restored.
 ///
@@ -345,6 +348,17 @@ fn put_mem_config(enc: &mut Encoder, m: &MemConfig) {
     enc.put_u32(m.tex_line_bytes);
     enc.put_usize(m.tex_ways);
     enc.put_u32(m.tex_hit_latency);
+    enc.put_u32(m.l1_bytes);
+    enc.put_u32(m.l1_line_bytes);
+    enc.put_usize(m.l1_ways);
+    enc.put_u32(m.l1_hit_latency);
+    enc.put_usize(m.l1_mshr_entries);
+    enc.put_u32(m.l2_bytes);
+    enc.put_u32(m.l2_line_bytes);
+    enc.put_usize(m.l2_ways);
+    enc.put_u32(m.l2_hit_latency);
+    enc.put_u32(m.icnt_latency);
+    enc.put_u32(m.icnt_flit_cycles);
 }
 
 fn take_mem_config(dec: &mut Decoder<'_>) -> Result<MemConfig, CodecError> {
@@ -362,6 +376,17 @@ fn take_mem_config(dec: &mut Decoder<'_>) -> Result<MemConfig, CodecError> {
         tex_line_bytes: dec.take_u32()?,
         tex_ways: dec.take_usize()?,
         tex_hit_latency: dec.take_u32()?,
+        l1_bytes: dec.take_u32()?,
+        l1_line_bytes: dec.take_u32()?,
+        l1_ways: dec.take_usize()?,
+        l1_hit_latency: dec.take_u32()?,
+        l1_mshr_entries: dec.take_usize()?,
+        l2_bytes: dec.take_u32()?,
+        l2_line_bytes: dec.take_u32()?,
+        l2_ways: dec.take_usize()?,
+        l2_hit_latency: dec.take_u32()?,
+        icnt_latency: dec.take_u32()?,
+        icnt_flit_cycles: dec.take_u32()?,
     })
 }
 

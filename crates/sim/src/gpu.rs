@@ -131,6 +131,9 @@ pub struct Gpu {
     skipped_cycles: u64,
     /// Number of skip jumps taken (diagnostic).
     skip_events: u64,
+    /// Reusable request buffer for the hierarchy's batched phase B
+    /// (always empty between cycles; not serialized).
+    batch_buf: Vec<simt_mem::BatchRequest>,
 }
 
 /// A pool of phase-A worker threads, alive for the duration of one
@@ -328,6 +331,7 @@ impl Gpu {
             force_tick: false,
             skipped_cycles: 0,
             skip_events: 0,
+            batch_buf: Vec::new(),
         }
     }
 
@@ -383,11 +387,30 @@ impl Gpu {
             events: Vec::new(),
             dropped: 0,
             module_busy: self.mem.module_busy().to_vec(),
+            l2: self.mem.l2_stats(),
+            icnt_busy: self.mem.icnt_busy().to_vec(),
+            icnt_conflicts: self.mem.icnt_conflicts(),
         };
         for sm in &self.sms {
             sm.telemetry().merge_into(&mut report);
         }
         report
+    }
+
+    /// Aggregate L1 `(hits, misses, mshr_merges, mshr_stalls)` summed
+    /// over the SMs, if the machine models an L1.
+    pub fn l1_stats(&self) -> Option<(u64, u64, u64, u64)> {
+        if !self.cfg.mem.l1_enabled() {
+            return None;
+        }
+        Some(
+            self.sms
+                .iter()
+                .filter_map(Sm::l1_stats)
+                .fold((0, 0, 0, 0), |(h, m, mg, st), (h2, m2, mg2, st2)| {
+                    (h + h2, m + m2, mg + mg2, st + st2)
+                }),
+        )
     }
 
     /// Every warp trap recorded so far.
@@ -986,9 +1009,30 @@ impl Gpu {
                 return Err(SimError::Fault(fault));
             }
             let now = self.now;
-            for sm in &mut self.sms {
-                sm.drain_pending(now, &mut self.mem);
-                sm.reap_finished(now, ctx);
+            if self.cfg.mem.hierarchy_enabled() {
+                // Hierarchy machine: stage every SM's requests (applying
+                // functional ops in SM-id order, like the legacy drain),
+                // arbitrate the whole batch through the banked
+                // interconnect + L2, then scatter ready times back.
+                let mut batch = std::mem::take(&mut self.batch_buf);
+                for sm in &mut self.sms {
+                    sm.stage_pending(now, &mut self.mem, &mut batch);
+                }
+                let ready = self.mem.service_batch(now, &batch);
+                for (b, &r) in batch.iter().zip(&ready) {
+                    self.sms[b.sm].note_access_ready(b.access, r);
+                }
+                for sm in &mut self.sms {
+                    sm.commit_staged();
+                    sm.reap_finished(now, ctx);
+                }
+                batch.clear();
+                self.batch_buf = batch;
+            } else {
+                for sm in &mut self.sms {
+                    sm.drain_pending(now, &mut self.mem);
+                    sm.reap_finished(now, ctx);
+                }
             }
             self.rr_sm = (self.rr_sm + 1) % n.max(1);
             self.now += 1;

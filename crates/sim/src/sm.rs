@@ -12,10 +12,31 @@ use dmk_core::{CompletedWarp, SpawnError, SpawnMemoryLayout, WarpFormation};
 use simt_isa::codec::{CodecError, Decoder, Encoder};
 use simt_isa::{Instr, Program, ReconvergenceTable, Space, Width};
 use simt_mem::{
-    FabricView, FunctionalOp, MemFault, MemoryFabric, OnChipMemory, PendingAccess, SmMemFrontend,
-    TrafficStats, WarpAccess,
+    BatchRequest, FabricView, FunctionalOp, MemFault, MemoryFabric, OnChipMemory, PendingAccess,
+    SmMemFrontend, TrafficStats, WarpAccess,
 };
 use std::collections::HashMap;
+
+/// One access mid-flight through the hierarchy's batched phase B: its
+/// functional ops were applied at staging, its fabric requests were tagged
+/// into the interconnect batch, and its wake-up waits for the arbitrated
+/// ready times to scatter back (see [`Sm::stage_pending`]).
+#[derive(Debug)]
+struct StagedAccess {
+    /// Warp slot validated at staging (`None` if the warp died).
+    slot: Option<usize>,
+    /// Whether the warp waits for the ready time (loads).
+    wait: bool,
+    /// Whether the access contributed requests to the batch.
+    had_requests: bool,
+    /// L1 lines whose MSHR fill this access's requests complete.
+    fill_lines: Vec<u32>,
+    /// Outstanding fills this access merged into.
+    merge_lines: Vec<u32>,
+    /// Latest arbitrated ready time among this access's requests.
+    ready: u64,
+}
+
 /// Execution context shared by all SMs for the current launch.
 #[derive(Debug)]
 pub(crate) struct ExecCtx<'a> {
@@ -64,6 +85,11 @@ pub struct Sm {
     /// Off-chip work emitted during phase A, drained by the GPU against
     /// the shared fabric in SM-id order during phase B.
     pending: Vec<PendingAccess>,
+    /// Accesses staged for the hierarchy's batched phase B: functional ops
+    /// already applied, requests handed to the interconnect batch, wake-up
+    /// held until [`Sm::commit_staged`] scatters the ready times back.
+    /// Always empty between cycles.
+    staged: Vec<StagedAccess>,
     /// This SM's telemetry shard, written like `stats` during phase A and
     /// merged by the GPU in SM-id order (see [`crate::telemetry`]).
     telemetry: SmTelemetry,
@@ -137,6 +163,7 @@ impl Sm {
             issue_blocked_until: 0,
             stats: SimStats::new(cfg.divergence_window, cfg.warp_size),
             pending: Vec::new(),
+            staged: Vec::new(),
             telemetry: SmTelemetry::new(
                 id,
                 &TelemetrySpec::off(),
@@ -173,6 +200,12 @@ impl Sm {
     /// Texture-cache (hits, misses) so far, if a cache is configured.
     pub fn tex_stats(&self) -> Option<(u64, u64)> {
         self.frontend.tex_stats()
+    }
+
+    /// L1 data-cache `(hits, misses, mshr_merges, mshr_stalls)` so far,
+    /// if an L1 is configured (see [`simt_mem::SmMemFrontend::l1_stats`]).
+    pub fn l1_stats(&self) -> Option<(u64, u64, u64, u64)> {
+        self.frontend.l1_stats()
     }
 
     /// This SM's statistics shard (counters since the last merge).
@@ -331,6 +364,23 @@ impl Sm {
             t.spawn_mem_addr = slot_addr;
             t.state_slot = Some(state_ptr);
             threads.push(t);
+        }
+        // On the hierarchy machine the admission stage's state-pointer
+        // read-back is charged like any other spawn-space access (one word
+        // per admitted lane, occupying the load-store port). The flat
+        // machine keeps the legacy free admission so its runs stay
+        // byte-identical to the paper's Table I configuration.
+        if self.frontend.config().hierarchy_enabled() {
+            let req = WarpAccess {
+                space: Space::Spawn,
+                is_store: false,
+                bytes_per_lane: 4,
+                addresses: (0..cw.count).map(|l| cw.base_addr + 4 * l).collect(),
+            };
+            self.frontend.access_onchip(now, &req);
+            if let Some(f) = self.formation.as_mut() {
+                f.note_admission_reads(cw.count);
+            }
         }
         let n = cw.count;
         let wid = self.next_warp_id;
@@ -620,7 +670,19 @@ impl Sm {
             for req in &pa.requests {
                 ready = ready.max(fabric.service(now, req));
             }
-            if pa.wait && !pa.requests.is_empty() {
+            // L1 bookkeeping (no-ops on the flat machine): this access's
+            // serviced requests complete the fills it allocated, and
+            // accesses that merged instead wait for the earlier access's
+            // fill — which is already stamped, because the allocating
+            // access drained earlier in this same issue-ordered queue (or
+            // in a previous cycle).
+            if !pa.fill_lines.is_empty() {
+                self.frontend.mshr_set_fill(&pa.fill_lines, ready);
+            }
+            if !pa.merge_lines.is_empty() {
+                ready = ready.max(self.frontend.mshr_wait_floor(&pa.merge_lines));
+            }
+            if pa.wait && (!pa.requests.is_empty() || !pa.merge_lines.is_empty()) {
                 if let Some(i) = slot {
                     // Push the wake cycle out; the ready-set entry
                     // (bitset or heap) is revalidated lazily.
@@ -644,9 +706,105 @@ impl Sm {
     }
 
     /// Drops queued phase-A work without applying it (abort path: SMs past
-    /// the faulting one never reached memory in the serial model).
+    /// the faulting one never reached memory in the serial model). MSHR
+    /// entries the discarded accesses allocated this cycle would never be
+    /// stamped, so they are dropped with the work.
     pub(crate) fn discard_pending(&mut self) {
         self.pending.clear();
+        self.frontend.mshr_discard_unresolved();
+    }
+
+    /// Phase B, hierarchy machine, pass 1: applies this SM's deferred
+    /// functional transfers (exactly like [`Sm::drain_pending`]) and moves
+    /// its requests into the chip-wide interconnect `batch`, tagged with
+    /// this SM's id and a per-SM access index. The GPU calls this in SM-id
+    /// order, so functional application order matches the legacy path and
+    /// the batch arrives at [`simt_mem::MemoryFabric::service_batch`]
+    /// already sorted by SM.
+    pub(crate) fn stage_pending(
+        &mut self,
+        now: u64,
+        fabric: &mut MemoryFabric,
+        batch: &mut Vec<BatchRequest>,
+    ) {
+        debug_assert!(self.staged.is_empty(), "staged accesses left uncommitted");
+        for mut pa in self.pending.drain(..) {
+            let slot = match self.warps.get(pa.slot) {
+                Some(w) if w.id == pa.warp_id => Some(pa.slot),
+                _ => None,
+            };
+            let live = slot.map_or(0u64, |i| self.warps[i].lanes.live_mask());
+            for op in &pa.ops {
+                if let Some(v) = fabric.apply(op) {
+                    let FunctionalOp::Load { lane, reg, .. } = op else {
+                        continue;
+                    };
+                    match slot {
+                        Some(i) if (live >> *lane) & 1 == 1 => {
+                            self.warps[i].lanes.set_reg(*lane, *reg, v);
+                        }
+                        _ => self.late_write_drops += 1,
+                    }
+                }
+            }
+            pa.ops.clear();
+            if self.op_pool.len() < 16 {
+                self.op_pool.push(std::mem::take(&mut pa.ops));
+            }
+            let access = self.staged.len();
+            let had_requests = !pa.requests.is_empty();
+            for request in pa.requests.drain(..) {
+                batch.push(BatchRequest {
+                    sm: self.id,
+                    access,
+                    request,
+                });
+            }
+            self.staged.push(StagedAccess {
+                slot,
+                wait: pa.wait,
+                had_requests,
+                fill_lines: std::mem::take(&mut pa.fill_lines),
+                merge_lines: std::mem::take(&mut pa.merge_lines),
+                ready: now + 1,
+            });
+        }
+    }
+
+    /// Phase B, hierarchy machine, pass 2 (scatter): raises staged access
+    /// `access`'s ready floor to one of its requests' arbitrated service
+    /// times.
+    pub(crate) fn note_access_ready(&mut self, access: usize, ready: u64) {
+        let s = &mut self.staged[access];
+        s.ready = s.ready.max(ready);
+    }
+
+    /// Phase B, hierarchy machine, pass 3: stamps MSHR fills and applies
+    /// warp wake-ups from the arbitrated ready times. Fills resolve for
+    /// *all* staged accesses before any merge floor is read — a merge
+    /// always references an entry allocated by an earlier access, which on
+    /// this path may sit later in the same staged queue's fill loop, but
+    /// never in a later cycle.
+    pub(crate) fn commit_staged(&mut self) {
+        for s in &self.staged {
+            if !s.fill_lines.is_empty() {
+                self.frontend.mshr_set_fill(&s.fill_lines, s.ready);
+            }
+        }
+        for s in &self.staged {
+            if !s.wait || (!s.had_requests && s.merge_lines.is_empty()) {
+                continue;
+            }
+            let mut wake = s.ready;
+            if !s.merge_lines.is_empty() {
+                wake = wake.max(self.frontend.mshr_wait_floor(&s.merge_lines));
+            }
+            if let Some(i) = s.slot {
+                let w = &mut self.warps[i];
+                w.ready_at = w.ready_at.max(wake);
+            }
+        }
+        self.staged.clear();
     }
 
     /// Builds a trap record for warp slot `widx`.
@@ -1139,6 +1297,8 @@ impl Sm {
                             wait: false,
                             ops,
                             requests: Vec::new(),
+                            fill_lines: Vec::new(),
+                            merge_lines: Vec::new(),
                         });
                     }
                     return Err(fault);
@@ -1186,7 +1346,11 @@ impl Sm {
             let line = view.config().tex_line_bytes;
             let mut ready = now + u64::from(view.config().tex_hit_latency);
             let mut requests = Vec::new();
+            let mut fill_lines = Vec::new();
+            let mut merge_lines = Vec::new();
             if !miss_lines.is_empty() {
+                // Texture fills skip the L1 (separate tag array on the real
+                // chip); they still cross the interconnect/L2 in phase B.
                 let (floor, req) =
                     self.frontend
                         .request_offchip(now, Space::Global, false, line, &miss_lines);
@@ -1194,15 +1358,27 @@ impl Sm {
                 requests.extend(req);
             }
             if !uncached.is_empty() {
-                let (floor, req) = self.frontend.request_offchip(
-                    now,
-                    Space::Global,
-                    false,
-                    width.bytes(),
-                    &uncached,
-                );
-                ready = ready.max(floor);
-                requests.extend(req);
+                if view.config().l1_enabled() {
+                    let (floor, req, fills, merges, probe) =
+                        self.frontend.l1_request(now, width.bytes(), &uncached);
+                    ready = ready.max(floor);
+                    requests.extend(req);
+                    fill_lines = fills;
+                    merge_lines = merges;
+                    if self.telemetry.is_on() {
+                        self.telemetry.on_l1(now, warp_id, &probe);
+                    }
+                } else {
+                    let (floor, req) = self.frontend.request_offchip(
+                        now,
+                        Space::Global,
+                        false,
+                        width.bytes(),
+                        &uncached,
+                    );
+                    ready = ready.max(floor);
+                    requests.extend(req);
+                }
             }
             if self.telemetry.is_on() {
                 if !cached.is_empty() {
@@ -1219,13 +1395,15 @@ impl Sm {
                         .on_offchip(now, warp_id, addresses.len() as u32, segments);
                 }
             }
-            if !ops.is_empty() || !requests.is_empty() {
+            if !ops.is_empty() || !requests.is_empty() || !merge_lines.is_empty() {
                 self.pending.push(PendingAccess {
                     warp_id,
                     slot: widx,
                     wait: true,
                     ops,
                     requests,
+                    fill_lines,
+                    merge_lines,
                 });
             } else {
                 self.op_pool.push(ops);
@@ -1236,22 +1414,43 @@ impl Sm {
             return Ok(ready);
         }
 
-        let (ready, request) =
-            self.frontend
-                .request_offchip(now, space, is_store, width.bytes(), &addresses);
-        let requests: Vec<_> = request.into_iter().collect();
+        // Global loads go through the L1 when modeled; stores write
+        // through without allocating, and local/const keep the flat path
+        // (one tag array cannot alias local-physical and global
+        // addresses).
+        let (ready, requests, fill_lines, merge_lines) =
+            if !is_store && space == Space::Global && view.config().l1_enabled() {
+                let (ready, req, fills, merges, probe) =
+                    self.frontend.l1_request(now, width.bytes(), &addresses);
+                if self.telemetry.is_on() {
+                    self.telemetry.on_l1(now, warp_id, &probe);
+                }
+                (ready, req.into_iter().collect::<Vec<_>>(), fills, merges)
+            } else {
+                let (ready, req) =
+                    self.frontend
+                        .request_offchip(now, space, is_store, width.bytes(), &addresses);
+                (
+                    ready,
+                    req.into_iter().collect::<Vec<_>>(),
+                    Vec::new(),
+                    Vec::new(),
+                )
+            };
         if self.telemetry.is_on() && !requests.is_empty() {
             let segments = requests.iter().map(|r| r.segments.len() as u32).sum();
             self.telemetry
                 .on_offchip(now, warp_id, addresses.len() as u32, segments);
         }
-        if !ops.is_empty() || !requests.is_empty() {
+        if !ops.is_empty() || !requests.is_empty() || !merge_lines.is_empty() {
             self.pending.push(PendingAccess {
                 warp_id,
                 slot: widx,
                 wait: !is_store,
                 ops,
                 requests,
+                fill_lines,
+                merge_lines,
             });
         } else {
             self.op_pool.push(ops);
@@ -1298,7 +1497,7 @@ impl Sm {
     /// the phase-A pending queue is drained (it is every cycle).
     pub(crate) fn encode_state(&self, enc: &mut Encoder) {
         debug_assert!(
-            self.pending.is_empty(),
+            self.pending.is_empty() && self.staged.is_empty(),
             "checkpoint only at the cycle barrier"
         );
         enc.put_usize(self.warps.len());
@@ -1374,6 +1573,7 @@ impl Sm {
         self.stats.restore_state(dec)?;
         self.telemetry.restore_state(dec)?;
         self.pending.clear();
+        self.staged.clear();
         // Derived issue-stage structures are rebuilt, not stored: a warp
         // parked at cycle 0 wakes on the first post-restore step anyway.
         let warps = &self.warps;

@@ -186,6 +186,18 @@ pub enum TraceEventKind {
         /// Cache lines that missed.
         miss_lines: u32,
     },
+    /// An L1 data-cache access: `lines` lines probed, `misses` missed
+    /// (of which `merges` rode an outstanding MSHR fill).
+    L1Access {
+        /// Warp id within the SM.
+        warp: usize,
+        /// L1 lines probed.
+        lines: u32,
+        /// Lines that missed.
+        misses: u32,
+        /// Misses merged into an outstanding MSHR entry.
+        merges: u32,
+    },
 }
 
 /// One timestamped telemetry event, recorded by the SM that observed it.
@@ -213,6 +225,7 @@ impl TraceEventKind {
             TraceEventKind::SpawnElided { .. } => "spawn_elided",
             TraceEventKind::CoalescerSplit { .. } => "coalescer_split",
             TraceEventKind::TexAccess { .. } => "tex_access",
+            TraceEventKind::L1Access { .. } => "l1_access",
         }
     }
 }
@@ -248,6 +261,14 @@ pub struct WindowCounters {
     pub tex_accesses: u64,
     /// Read-only-cache lines missed.
     pub tex_miss_lines: u64,
+    /// L1 data-cache warp accesses (zero on the flat machine).
+    pub l1_accesses: u64,
+    /// L1 line-probes that hit.
+    pub l1_hits: u64,
+    /// L1 line-probes that missed (merges included).
+    pub l1_misses: u64,
+    /// L1 misses merged into an outstanding MSHR fill.
+    pub l1_mshr_merges: u64,
 }
 
 impl WindowCounters {
@@ -255,13 +276,14 @@ impl WindowCounters {
     pub fn csv_header() -> &'static str {
         "issues,thread_instructions,warps_born,warps_retired,spawn_instructions,\
          threads_spawned,spawn_stalls,spawn_elisions,pdom_pushes,pdom_pops,\
-         offchip_requests,offchip_segments,tex_accesses,tex_miss_lines"
+         offchip_requests,offchip_segments,tex_accesses,tex_miss_lines,\
+         l1_accesses,l1_hits,l1_misses,l1_mshr_merges"
     }
 
     /// One CSV row (no trailing newline).
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.issues,
             self.thread_instructions,
             self.warps_born,
@@ -275,7 +297,11 @@ impl WindowCounters {
             self.offchip_requests,
             self.offchip_segments,
             self.tex_accesses,
-            self.tex_miss_lines
+            self.tex_miss_lines,
+            self.l1_accesses,
+            self.l1_hits,
+            self.l1_misses,
+            self.l1_mshr_merges
         )
     }
 
@@ -294,6 +320,10 @@ impl WindowCounters {
         self.offchip_segments += other.offchip_segments;
         self.tex_accesses += other.tex_accesses;
         self.tex_miss_lines += other.tex_miss_lines;
+        self.l1_accesses += other.l1_accesses;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.l1_mshr_merges += other.l1_mshr_merges;
     }
 
     fn encode(&self, enc: &mut Encoder) {
@@ -311,6 +341,10 @@ impl WindowCounters {
         enc.put_u64(self.offchip_segments);
         enc.put_u64(self.tex_accesses);
         enc.put_u64(self.tex_miss_lines);
+        enc.put_u64(self.l1_accesses);
+        enc.put_u64(self.l1_hits);
+        enc.put_u64(self.l1_misses);
+        enc.put_u64(self.l1_mshr_merges);
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<WindowCounters, CodecError> {
@@ -329,6 +363,10 @@ impl WindowCounters {
             offchip_segments: dec.take_u64()?,
             tex_accesses: dec.take_u64()?,
             tex_miss_lines: dec.take_u64()?,
+            l1_accesses: dec.take_u64()?,
+            l1_hits: dec.take_u64()?,
+            l1_misses: dec.take_u64()?,
+            l1_mshr_merges: dec.take_u64()?,
         })
     }
 }
@@ -592,6 +630,27 @@ impl SmTelemetry {
         );
     }
 
+    /// An L1 data-cache probe (see [`simt_mem::L1Probe`]).
+    pub(crate) fn on_l1(&mut self, now: u64, warp: usize, probe: &simt_mem::L1Probe) {
+        if !self.is_on() {
+            return;
+        }
+        let w = self.slot(now);
+        w.l1_accesses += 1;
+        w.l1_hits += u64::from(probe.hits);
+        w.l1_misses += u64::from(probe.misses);
+        w.l1_mshr_merges += u64::from(probe.merges);
+        self.push_event(
+            now,
+            TraceEventKind::L1Access {
+                warp,
+                lines: probe.lines,
+                misses: probe.misses,
+                merges: probe.merges,
+            },
+        );
+    }
+
     pub(crate) fn metrics_window(&self) -> u64 {
         self.window
     }
@@ -684,6 +743,14 @@ pub struct TelemetryReport {
     pub dropped: u64,
     /// Per-DRAM-module busy time in (fractional) DRAM-clock cycles.
     pub module_busy: Vec<f64>,
+    /// Aggregate `(hits, misses)` of the shared L2 slices; `None` on the
+    /// flat (uncached) machine.
+    pub l2: Option<(u64, u64)>,
+    /// Per-partition interconnect-bank busy cycles (empty on the flat
+    /// machine).
+    pub icnt_busy: Vec<u64>,
+    /// Interconnect grants that queued behind another SM's flit.
+    pub icnt_conflicts: u64,
 }
 
 impl TelemetryReport {
@@ -738,6 +805,17 @@ impl ChromeTraceSink {
             } => {
                 let _ = write!(out, "{{\"lanes\":{lanes},\"miss_lines\":{miss_lines}}}");
             }
+            TraceEventKind::L1Access {
+                lines,
+                misses,
+                merges,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"lines\":{lines},\"misses\":{misses},\"merges\":{merges}}}"
+                );
+            }
         }
     }
 
@@ -752,7 +830,8 @@ impl ChromeTraceSink {
             | TraceEventKind::SpawnStall { warp }
             | TraceEventKind::SpawnElided { warp }
             | TraceEventKind::CoalescerSplit { warp, .. }
-            | TraceEventKind::TexAccess { warp, .. } => *warp,
+            | TraceEventKind::TexAccess { warp, .. }
+            | TraceEventKind::L1Access { warp, .. } => *warp,
         }
     }
 }
@@ -799,9 +878,17 @@ impl TraceSink for ChromeTraceSink {
         }
         let _ = write!(
             out,
-            "],\"displayTimeUnit\":\"ns\",\"otherData\":{{\"dropped_events\":{}}}}}",
+            "],\"displayTimeUnit\":\"ns\",\"otherData\":{{\"dropped_events\":{}",
             report.dropped
         );
+        if let Some((hits, misses)) = report.l2 {
+            let _ = write!(
+                out,
+                ",\"l2_hits\":{hits},\"l2_misses\":{misses},\"icnt_conflicts\":{}",
+                report.icnt_conflicts
+            );
+        }
+        out.push_str("}}");
         out
     }
 }
@@ -831,6 +918,16 @@ impl TraceSink for CsvMetricsSink {
         out.push_str("# dram module busy (fractional dram cycles)\nmodule,busy\n");
         for (m, busy) in report.module_busy.iter().enumerate() {
             let _ = writeln!(out, "{m},{busy:.3}");
+        }
+        // Hierarchy sections only exist on a cached machine, so flat-run
+        // CSVs stay byte-identical to the pre-hierarchy format.
+        if let Some((hits, misses)) = report.l2 {
+            out.push_str("# l2\nl2_hits,l2_misses,icnt_conflicts\n");
+            let _ = writeln!(out, "{hits},{misses},{}", report.icnt_conflicts);
+            out.push_str("# interconnect bank busy (cycles)\nbank,busy\n");
+            for (b, busy) in report.icnt_busy.iter().enumerate() {
+                let _ = writeln!(out, "{b},{busy}");
+            }
         }
         out
     }
@@ -977,6 +1074,9 @@ mod tests {
             events: Vec::new(),
             dropped: 0,
             module_busy: Vec::new(),
+            l2: None,
+            icnt_busy: Vec::new(),
+            icnt_conflicts: 0,
         };
         for s in shards {
             s.merge_into(&mut report);

@@ -1,0 +1,248 @@
+//! Pipeline-level behaviour of the L1/L2 cache hierarchy: determinism
+//! across phase-A parallelism, end-to-end stats conservation between the
+//! cache levels, and snapshot-v4 kill/resume with caches enabled.
+
+use simt_isa::assemble_named;
+use simt_sim::{Gpu, GpuConfig, Launch, RunOutcome, Snapshot};
+
+/// A mixed kernel: a per-thread strided load (cold misses), a re-read of
+/// a warp-shared line inside a loop (hits + MSHR merges while the first
+/// fill is still in flight), and a final store.
+const MIX_SRC: &str = r#"
+    .kernel main
+    main:
+        mov.u32 r1, %tid
+        mul.lo.s32 r2, r1, 4
+        and.b32 r5, r1, 7
+        mul.lo.s32 r5, r5, 4
+        mov.u32 r6, 12
+        mov.u32 r7, 0
+    loop:
+        ld.global.u32 r3, [r2+0]
+        ld.global.u32 r4, [r5+0]
+        add.s32 r7, r7, r3
+        add.s32 r7, r7, r4
+        sub.s32 r6, r6, 1
+        setp.gt.s32 p0, r6, 0
+        @p0 bra loop
+        st.global.u32 [r2+0], r7
+        exit
+"#;
+
+const N_THREADS: u32 = 128;
+
+/// `GpuConfig::tiny` with a 4 KiB L1 and a 16 KiB L2 — small enough that
+/// the mixed kernel exercises every path (hit, miss, merge, fill).
+fn cached_config() -> GpuConfig {
+    let mut cfg = GpuConfig::tiny();
+    cfg.mem = cfg.mem.with_l1(4 * 1024).with_l2(16 * 1024);
+    cfg
+}
+
+fn build(cfg: GpuConfig, parallelism: usize) -> Gpu {
+    let program = assemble_named("mix", MIX_SRC).unwrap();
+    let mut gpu = Gpu::builder(cfg).parallelism(parallelism).build();
+    gpu.mem_mut().alloc_global(N_THREADS * 4, "buf");
+    gpu.launch(Launch {
+        program,
+        entry: "main".into(),
+        num_threads: N_THREADS,
+        threads_per_block: 8,
+    })
+    .expect("launch accepted");
+    gpu
+}
+
+fn words(gpu: &Gpu) -> Vec<u32> {
+    (0..N_THREADS)
+        .map(|t| gpu.mem().read_u32(simt_isa::Space::Global, t * 4))
+        .collect()
+}
+
+/// With the hierarchy enabled, the batched phase-B path must stay
+/// bit-identical at every phase-A parallelism level — stats, cache
+/// counters, interconnect accounting, and memory contents.
+#[test]
+fn cached_execution_is_bit_identical_across_parallelism() {
+    let run = |parallelism: usize| {
+        let mut gpu = build(cached_config(), parallelism);
+        let summary = gpu.run(50_000_000).expect("fault-free");
+        assert_eq!(summary.outcome, RunOutcome::Completed);
+        (
+            summary.stats,
+            summary.traffic,
+            gpu.l1_stats(),
+            gpu.mem().l2_stats(),
+            gpu.mem().icnt_conflicts(),
+            gpu.mem().icnt_busy().to_vec(),
+            words(&gpu),
+        )
+    };
+    let serial = run(1);
+    for parallelism in [2usize, 4] {
+        let parallel = run(parallelism);
+        assert_eq!(serial.0, parallel.0, "stats at parallelism {parallelism}");
+        assert_eq!(serial.1, parallel.1, "traffic at parallelism {parallelism}");
+        assert_eq!(serial.2, parallel.2, "L1 at parallelism {parallelism}");
+        assert_eq!(serial.3, parallel.3, "L2 at parallelism {parallelism}");
+        assert_eq!(
+            serial.4, parallel.4,
+            "icnt conflicts at parallelism {parallelism}"
+        );
+        assert_eq!(
+            serial.5, parallel.5,
+            "icnt busy at parallelism {parallelism}"
+        );
+        assert_eq!(serial.6, parallel.6, "memory at parallelism {parallelism}");
+    }
+}
+
+/// The kernel was built to exercise every L1 path — make sure it does,
+/// and that the per-level counters conserve: every probed line is a hit
+/// or a miss, and the L2 sees exactly the fetches the L1 could not merge
+/// (the line size is pinned to the DRAM segment size so one missed line
+/// is one L2 probe).
+#[test]
+fn cache_level_stats_conserve() {
+    let mut cfg = cached_config();
+    cfg.mem.l1_line_bytes = cfg.mem.segment_bytes;
+    let mut gpu = build(cfg, 1);
+    let summary = gpu.run(50_000_000).expect("fault-free");
+    assert_eq!(summary.outcome, RunOutcome::Completed);
+
+    let (hits, misses, merges, _stalls) = gpu.l1_stats().expect("L1 enabled");
+    let (l2_hits, l2_misses) = gpu.mem().l2_stats().expect("L2 enabled");
+    assert!(hits > 0, "kernel should produce L1 hits");
+    assert!(misses > 0, "kernel should produce L1 misses");
+    assert!(merges > 0, "kernel should produce MSHR merges");
+    assert!(
+        merges <= misses,
+        "every merge is also a miss: {merges} !<= {misses}"
+    );
+    // The kernel's only off-chip load traffic is L1 miss fetches (no
+    // read-only regions, so no texture fills), and stores bypass the L2.
+    assert_eq!(
+        l2_hits + l2_misses,
+        misses - merges,
+        "L2 must see exactly the unmerged L1 misses"
+    );
+    assert!(l2_hits > 0, "re-read lines should hit in the L2");
+}
+
+/// Flat default machines must report no cache-hierarchy telemetry at
+/// all — the knobs are off, not zeroed.
+#[test]
+fn flat_machine_reports_no_hierarchy_stats() {
+    let mut gpu = build(GpuConfig::tiny(), 1);
+    let summary = gpu.run(50_000_000).expect("fault-free");
+    assert_eq!(summary.outcome, RunOutcome::Completed);
+    assert_eq!(gpu.l1_stats(), None);
+    assert_eq!(gpu.mem().l2_stats(), None);
+    assert_eq!(gpu.mem().icnt_conflicts(), 0);
+}
+
+/// Kill/resume with the hierarchy enabled: a machine restored from a v4
+/// snapshot — including L1 tag state and mid-flight MSHR entries taken
+/// while fills were outstanding — must continue bit-identically.
+#[test]
+fn cached_checkpoint_resume_is_bit_identical() {
+    let mut reference = build(cached_config(), 1);
+    let ref_summary = reference.run(50_000_000).expect("fault-free");
+    assert_eq!(ref_summary.outcome, RunOutcome::Completed);
+    let (ref_hits, ref_misses, ref_merges, ref_stalls) = reference.l1_stats().expect("L1 enabled");
+
+    // Interrupt points straddle the first DRAM round trip so at least one
+    // snapshot is taken while MSHR fills are outstanding.
+    for interrupt_at in [1u64, 30, 150, 700] {
+        let mut gpu = build(cached_config(), 1);
+        gpu.run(interrupt_at).expect("fault-free prefix");
+        let bytes = gpu.checkpoint().expect("encodable").to_bytes();
+        let snapshot = Snapshot::from_bytes(&bytes).expect("frame intact");
+        let mut resumed = Gpu::restore(&snapshot).expect("restores");
+        assert_eq!(resumed.now(), gpu.now());
+        let summary = resumed.run(50_000_000).expect("fault-free tail");
+        assert_eq!(
+            summary.stats, ref_summary.stats,
+            "stats diverged after resume at cycle {interrupt_at}"
+        );
+        assert_eq!(
+            summary.traffic, ref_summary.traffic,
+            "traffic diverged after resume at cycle {interrupt_at}"
+        );
+        assert_eq!(
+            resumed.l1_stats(),
+            Some((ref_hits, ref_misses, ref_merges, ref_stalls)),
+            "L1 counters diverged after resume at cycle {interrupt_at}"
+        );
+        assert_eq!(
+            resumed.mem().l2_stats(),
+            reference.mem().l2_stats(),
+            "L2 counters diverged after resume at cycle {interrupt_at}"
+        );
+        assert_eq!(
+            words(&resumed),
+            words(&reference),
+            "memory diverged after resume at cycle {interrupt_at}"
+        );
+    }
+}
+
+/// Resuming at a different phase-A parallelism than the killed run is
+/// also bit-identical — the snapshot carries machine state only.
+#[test]
+fn cached_resume_commutes_with_parallelism() {
+    let mut reference = build(cached_config(), 1);
+    let ref_summary = reference.run(50_000_000).expect("fault-free");
+
+    let mut gpu = build(cached_config(), 4);
+    gpu.run(300).expect("fault-free prefix");
+    let snapshot = gpu.checkpoint().expect("encodable");
+    let mut resumed = Gpu::restore(&snapshot)
+        .expect("restores")
+        .with_parallelism(2);
+    let summary = resumed.run(50_000_000).expect("fault-free tail");
+    assert_eq!(summary.stats, ref_summary.stats);
+    assert_eq!(resumed.l1_stats(), reference.l1_stats());
+    assert_eq!(words(&resumed), words(&reference));
+}
+
+/// Corrupt and truncated snapshot files must be rejected by the frame
+/// parser — never silently restored into a half-initialised machine.
+#[test]
+fn corrupt_and_truncated_snapshots_are_rejected() {
+    let mut gpu = build(cached_config(), 1);
+    gpu.run(200).expect("fault-free prefix");
+    let bytes = gpu.checkpoint().expect("encodable").to_bytes();
+    assert!(Snapshot::from_bytes(&bytes).is_ok());
+
+    // Flip one payload byte: the checksum must catch it.
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    assert!(
+        Snapshot::from_bytes(&corrupt).is_err(),
+        "bit-flipped snapshot accepted"
+    );
+
+    // Truncate at several points, including inside the header.
+    for keep in [0usize, 4, 8, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            Snapshot::from_bytes(&bytes[..keep]).is_err(),
+            "snapshot truncated to {keep} bytes accepted"
+        );
+    }
+}
+
+/// A flat machine must refuse a snapshot taken on a cached machine (and
+/// vice versa is covered by the config being part of the payload): the
+/// config travels with the snapshot, so the restored machine always has
+/// the hierarchy the snapshot was taken with.
+#[test]
+fn restored_machine_keeps_the_snapshot_config() {
+    let mut gpu = build(cached_config(), 1);
+    gpu.run(100).expect("fault-free prefix");
+    let snapshot = gpu.checkpoint().expect("encodable");
+    let resumed = Gpu::restore(&snapshot).expect("restores");
+    assert!(resumed.config().mem.l1_enabled());
+    assert!(resumed.config().mem.l2_enabled());
+}
