@@ -87,8 +87,8 @@ pub struct DmkStats {
     /// Spawn stalls due to formation/FIFO back-pressure.
     pub spawn_stalls: u64,
     /// Spawn-memory words the admission stage read back (one state
-    /// pointer per admitted lane). Only accounted on machines that model
-    /// the cache hierarchy; zero otherwise.
+    /// pointer per admitted lane). Only accounted when the
+    /// `spawn_admission_reads` memory knob is enabled; zero otherwise.
     pub admission_reads: u64,
 }
 

@@ -62,25 +62,81 @@ impl ReadOnlyCache {
         self.line_bytes
     }
 
+    /// The tag-array key of the line containing `addr` under space tag
+    /// `tag`. Line numbers occupy the low 32 bits (a u32 byte address
+    /// over a >1-byte line always fits), so the tag bits can never
+    /// collide with another space's line number — and tag 0 keys are
+    /// numerically identical to the historical untagged keys, keeping
+    /// snapshot payloads stable.
+    fn line_key(&self, tag: u8, addr: u32) -> u64 {
+        u64::from(addr / self.line_bytes) | (u64::from(tag) << 32)
+    }
+
     /// Looks up the line containing `addr`, filling it on a miss.
     /// Returns `true` on a hit.
     pub fn access(&mut self, addr: u32) -> bool {
-        let line = u64::from(addr / self.line_bytes);
-        let set = (line as usize) % self.sets;
-        let ways = self.ways;
-        let entries = &mut self.tags[set];
-        if let Some(pos) = entries.iter().position(|&t| t == line) {
-            let t = entries.remove(pos);
-            entries.insert(0, t);
+        self.access_tagged(0, addr)
+    }
+
+    /// Like [`ReadOnlyCache::access`], but disambiguates the line with a
+    /// small address-space tag. Callers that serve more than one address
+    /// space through one tag array (the shared L2) use this so
+    /// numerically equal addresses from different spaces cannot alias.
+    pub fn access_tagged(&mut self, tag: u8, addr: u32) -> bool {
+        let key = self.line_key(tag, addr);
+        if self.lookup(key) {
             self.hits += 1;
             return true;
         }
-        entries.insert(0, line);
-        if entries.len() > ways {
-            entries.pop();
+        self.misses += 1;
+        self.install(key);
+        false
+    }
+
+    /// Looks up the line containing `addr` *without* filling on a miss.
+    /// A hit refreshes LRU and counts like [`ReadOnlyCache::access`]; a
+    /// miss counts but installs nothing. Callers that may not be able to
+    /// track the fill (a full MSHR table) use this so a tag never claims
+    /// residency for data that has not arrived.
+    pub fn probe(&mut self, addr: u32) -> bool {
+        let key = self.line_key(0, addr);
+        if self.lookup(key) {
+            self.hits += 1;
+            return true;
         }
         self.misses += 1;
         false
+    }
+
+    /// Installs the line containing `addr` as MRU without touching the
+    /// hit/miss counters — the second half of a
+    /// [`ReadOnlyCache::probe`]-then-fill pair ([`ReadOnlyCache::access`]
+    /// ≡ `probe` + `fill` on a miss).
+    pub fn fill(&mut self, addr: u32) {
+        let key = self.line_key(0, addr);
+        self.install(key);
+    }
+
+    /// MRU-refreshing lookup of `key`; `true` on a hit.
+    fn lookup(&mut self, key: u64) -> bool {
+        let set = (key as u32 as usize) % self.sets;
+        let entries = &mut self.tags[set];
+        if let Some(pos) = entries.iter().position(|&t| t == key) {
+            let t = entries.remove(pos);
+            entries.insert(0, t);
+            return true;
+        }
+        false
+    }
+
+    /// Installs `key` as MRU, evicting the set's LRU line if full.
+    fn install(&mut self, key: u64) {
+        let set = (key as u32 as usize) % self.sets;
+        let entries = &mut self.tags[set];
+        entries.insert(0, key);
+        if entries.len() > self.ways {
+            entries.pop();
+        }
     }
 
     /// Hit rate so far.
@@ -182,6 +238,36 @@ mod tests {
         c.reset();
         assert_eq!(c.hits + c.misses, 0);
         assert!(!c.access(0));
+    }
+
+    #[test]
+    fn space_tags_do_not_alias() {
+        let mut c = ReadOnlyCache::new(1024, 64, 4);
+        assert!(!c.access_tagged(0, 128));
+        // Same numeric address under another space tag: distinct line.
+        assert!(!c.access_tagged(1, 128));
+        assert!(c.access_tagged(0, 128));
+        assert!(c.access_tagged(1, 128));
+        // Tag 0 is the plain untagged key.
+        assert!(c.access(128));
+        assert_eq!((c.hits, c.misses), (3, 2));
+    }
+
+    #[test]
+    fn probe_counts_but_never_installs() {
+        let mut c = ReadOnlyCache::new(1024, 64, 4);
+        assert!(!c.probe(0));
+        assert!(!c.probe(0), "a probe miss must not install the tag");
+        assert_eq!((c.hits, c.misses), (0, 2));
+        c.fill(0);
+        assert!(c.probe(0));
+        assert_eq!((c.hits, c.misses), (1, 2), "fill leaves counters alone");
+        // probe + fill on a miss is exactly one `access`.
+        let mut via_access = ReadOnlyCache::new(1024, 64, 4);
+        assert!(!via_access.access(0));
+        assert!(via_access.access(0));
+        assert_eq!(via_access.hits, 1);
+        assert_eq!(via_access.misses, 1);
     }
 
     #[test]

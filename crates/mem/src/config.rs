@@ -34,6 +34,14 @@ pub struct MemConfig {
     /// Ideal memory: every access completes next cycle and consumes no
     /// bandwidth (paper Fig. 10 "theoretical" configurations).
     pub ideal: bool,
+    /// Charge warp admission one spawn-space read per admitted lane (the
+    /// admission stage's state-pointer read-back, occupying the SM's
+    /// load-store port). Off by default on *every* preset so that the
+    /// paper's Table I machine keeps its legacy free admission and the
+    /// cache-ablation machines differ only in cache capacity; enable it
+    /// explicitly to study admission-stage pressure on its own.
+    #[serde(default)]
+    pub spawn_admission_reads: bool,
     /// Per-SM read-only (texture) cache capacity in bytes; 0 disables.
     ///
     /// The benchmark binds scene data to textures; GT200-class texture
@@ -137,6 +145,7 @@ impl MemConfig {
             shared_latency: 10,
             spawn_bank_conflicts: false,
             ideal: false,
+            spawn_admission_reads: false,
             tex_cache_bytes: 32 * 1024,
             tex_line_bytes: 32,
             tex_ways: 4,
@@ -217,6 +226,12 @@ impl MemConfig {
         self
     }
 
+    /// Enables/disables the admission-stage spawn-space read charge.
+    pub fn with_spawn_admission_reads(mut self, enabled: bool) -> Self {
+        self.spawn_admission_reads = enabled;
+        self
+    }
+
     /// Shader cycles a module needs to transfer one coalesced segment
     /// (fractional: the modules run at the DRAM clock).
     pub fn segment_service_cycles(&self) -> f64 {
@@ -287,5 +302,13 @@ mod tests {
             .with_l2(cached.l2_bytes);
         assert_eq!(cached, flat);
         assert_eq!(cached.partitions(), cached.num_modules);
+        // In particular the admission-read charge must not ride along with
+        // the cache knobs: it has its own toggle.
+        assert!(!cached.spawn_admission_reads);
+        assert!(
+            MemConfig::fx5800()
+                .with_spawn_admission_reads(true)
+                .spawn_admission_reads
+        );
     }
 }

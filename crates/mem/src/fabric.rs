@@ -163,6 +163,17 @@ pub enum FunctionalOp {
     },
 }
 
+/// The L2 tag-array space tag of an off-chip request: global (and the
+/// global-addressed texture fills) share tag 0, local-physical addresses
+/// get their own tag so they cannot alias global lines at the same
+/// numeric address.
+fn l2_space_tag(space: Space) -> u8 {
+    match space {
+        Space::Local => 1,
+        _ => 0,
+    }
+}
+
 /// Times one on-chip access against a caller-owned port; shared by the
 /// per-SM frontend and the fabric's compatibility path so both report the
 /// exact same latencies and conflict counts.
@@ -596,8 +607,15 @@ impl MemoryFabric {
                 let arrival = t + latency;
                 let is_store = batch[i].request.is_store;
                 // Stores write through (no L2 allocate); loads probe the
-                // partition's slice and only misses reach DRAM.
-                let done = if !is_store && self.l2[bank].access(seg) {
+                // partition's slice and only misses reach DRAM. The probe
+                // is tagged with the request's address space: local
+                // requests arrive under the tid-strided physical mapping,
+                // whose numeric addresses overlap the global heap, and one
+                // shared tag array must not let the two spaces alias (the
+                // L1 side-steps this by excluding local entirely).
+                let done = if !is_store
+                    && self.l2[bank].access_tagged(l2_space_tag(batch[i].request.space), seg)
+                {
                     arrival + l2_hit
                 } else {
                     self.queue_module(arrival, bank)
@@ -1073,6 +1091,33 @@ mod tests {
         let flit = u64::from(m.config().icnt_flit_cycles);
         let hit = flit + u64::from(m.config().icnt_latency) + u64::from(m.config().l2_hit_latency);
         assert_eq!(warm[0], 10_000 + hit);
+    }
+
+    #[test]
+    fn l2_keeps_local_and_global_spaces_apart() {
+        // Local-physical addresses (tid*stride + offset) overlap the
+        // global heap numerically; the same segment address in the two
+        // spaces must occupy distinct L2 lines — a warm global line is
+        // not a hit for a local load, and vice versa.
+        let mut m = MemoryFabric::new(MemConfig::fx5800_cached());
+        let local = |sm, access, segments| BatchRequest {
+            sm,
+            access,
+            request: FabricRequest {
+                space: Space::Local,
+                is_store: false,
+                segments,
+            },
+        };
+        m.service_batch(0, &[batch(0, 0, false, vec![0])]);
+        assert_eq!(m.l2_stats(), Some((0, 1)));
+        // Same numeric segment, local space: must miss, not falsely hit.
+        m.service_batch(10_000, &[local(0, 0, vec![0])]);
+        assert_eq!(m.l2_stats(), Some((0, 2)));
+        // Each space then hits its own line.
+        m.service_batch(20_000, &[batch(0, 0, false, vec![0])]);
+        m.service_batch(30_000, &[local(0, 0, vec![0])]);
+        assert_eq!(m.l2_stats(), Some((2, 2)));
     }
 
     #[test]

@@ -230,6 +230,12 @@ pub struct SmMemFrontend {
     line_scratch: LineSet,
     /// Scratch dedup set for merge lines.
     merge_scratch: LineSet,
+    /// Scratch subset of `line_scratch`: missed lines that found the MSHR
+    /// table full. Their tags were *not* installed (no entry tracks the
+    /// fill, so a resident tag would let a later access hit before the
+    /// data could have arrived), which the intra-access piggyback path
+    /// must know so it skips the LRU refresh.
+    stall_scratch: LineSet,
 }
 
 impl SmMemFrontend {
@@ -266,6 +272,7 @@ impl SmMemFrontend {
             l1_misses: 0,
             line_scratch: LineSet::default(),
             merge_scratch: LineSet::default(),
+            stall_scratch: LineSet::default(),
         }
     }
 
@@ -457,6 +464,7 @@ impl SmMemFrontend {
         self.mshr.purge(now);
         self.line_scratch.clear();
         self.merge_scratch.clear();
+        self.stall_scratch.clear();
         let mut probe = L1Probe::default();
         for &a in addresses {
             let first = a & !(line - 1);
@@ -467,9 +475,13 @@ impl SmMemFrontend {
                 if self.line_scratch.contains(l) || self.merge_scratch.contains(l) {
                     // A lane piggybacking on a line this access already
                     // misses (or merges) on: one fetch serves them all.
-                    // The tag was installed at the first probe, so this
-                    // refreshes LRU like the tex cache's install-at-miss.
-                    let _ = l1.access(l);
+                    // Tracked lines were installed at the first probe, so
+                    // this refreshes LRU like the tex cache's
+                    // install-at-miss; stalled lines have no tag to
+                    // refresh (and must not grow one here).
+                    if !self.stall_scratch.contains(l) {
+                        let _ = l1.access(l);
+                    }
                     probe.hits += 1;
                 } else if self.mshr.lookup(l).is_some() {
                     // In flight from an *earlier* access: merge into the
@@ -480,17 +492,26 @@ impl SmMemFrontend {
                     probe.merges += 1;
                     self.mshr.note_merge();
                     self.merge_scratch.insert(l);
-                } else if l1.access(l) {
+                } else if l1.probe(l) {
                     probe.hits += 1;
-                } else {
+                } else if self.mshr.has_room() {
+                    // Tracked miss: install the tag and let the MSHR entry
+                    // stand in for the data until the fill lands.
+                    l1.fill(l);
                     probe.misses += 1;
                     self.line_scratch.insert(l);
-                    if self.mshr.has_room() {
-                        self.mshr.alloc(l);
-                    } else {
-                        self.mshr.note_stall();
-                        probe.mshr_stalls += 1;
-                    }
+                    self.mshr.alloc(l);
+                } else {
+                    // Table full: the fetch still issues (no protocol
+                    // deadlock to model) but nothing tracks its fill, so
+                    // the tag is *not* installed — a later access to this
+                    // line misses again instead of optimistically hitting
+                    // at L1 latency while the data is still in flight.
+                    probe.misses += 1;
+                    probe.mshr_stalls += 1;
+                    self.mshr.note_stall();
+                    self.line_scratch.insert(l);
+                    self.stall_scratch.insert(l);
                 }
                 if l >= last {
                     break;
@@ -761,6 +782,35 @@ mod tests {
         assert_eq!(p.mshr_stalls, 1);
         let (_, _, mg, st) = fe.l1_stats().expect("l1 on");
         assert_eq!((mg, st), (0, 1));
+    }
+
+    #[test]
+    fn l1_mshr_stall_does_not_install_the_tag() {
+        let mut cfg = MemConfig::fx5800_cached();
+        cfg.l1_mshr_entries = 1;
+        let mut fe = SmMemFrontend::new(cfg);
+        // Line 0 allocates the only entry; line 64 stalls (no entry, and
+        // therefore no tag — nothing will ever stamp its fill).
+        let (_, _, fills, _, p) = fe.l1_request(0, 4, &[0, 64, 68]);
+        assert_eq!(p.mshr_stalls, 1);
+        assert_eq!(p.hits, 1, "same-access lane still piggybacks the fetch");
+        assert_eq!(fills, vec![0, 64]);
+        fe.mshr_set_fill(&fills, 500);
+        // Before the data could have arrived, the stalled line must NOT
+        // plain-hit at L1 latency: it misses again and re-fetches.
+        let (_, req, _, merges, p) = fe.l1_request(1, 4, &[64]);
+        assert_eq!(p.hits, 0, "untracked in-flight line fake-hit the L1");
+        assert_eq!(p.misses, 1);
+        assert!(merges.is_empty(), "no MSHR entry exists to merge into");
+        assert!(req.is_some(), "the re-miss fetches again");
+        // Once the tracked line's fill lands and frees the table, the
+        // stalled line's next miss allocates normally and fills the tag.
+        let (_, _, fills, _, _) = fe.l1_request(500, 4, &[64]);
+        assert_eq!(fills, vec![64]);
+        fe.mshr_set_fill(&fills, 600);
+        let (_, req, _, _, p) = fe.l1_request(600, 4, &[64]);
+        assert!(req.is_none());
+        assert_eq!(p.hits, 1);
     }
 
     #[test]

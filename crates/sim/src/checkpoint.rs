@@ -344,6 +344,7 @@ fn put_mem_config(enc: &mut Encoder, m: &MemConfig) {
     enc.put_u32(m.shared_latency);
     enc.put_bool(m.spawn_bank_conflicts);
     enc.put_bool(m.ideal);
+    enc.put_bool(m.spawn_admission_reads);
     enc.put_u32(m.tex_cache_bytes);
     enc.put_u32(m.tex_line_bytes);
     enc.put_usize(m.tex_ways);
@@ -372,6 +373,7 @@ fn take_mem_config(dec: &mut Decoder<'_>) -> Result<MemConfig, CodecError> {
         shared_latency: dec.take_u32()?,
         spawn_bank_conflicts: dec.take_bool()?,
         ideal: dec.take_bool()?,
+        spawn_admission_reads: dec.take_bool()?,
         tex_cache_bytes: dec.take_u32()?,
         tex_line_bytes: dec.take_u32()?,
         tex_ways: dec.take_usize()?,

@@ -878,6 +878,30 @@ impl Gpu {
         })
     }
 
+    /// Phase B on a hierarchy machine: stage the first `commit` SMs'
+    /// requests (applying functional ops in SM-id order, like the legacy
+    /// drain), arbitrate the whole batch through the banked interconnect
+    /// and L2, then scatter ready times back and commit. Both the
+    /// fault-free path (`commit == num_sms`) and the abort path
+    /// (`commit == fault.sm + 1`) share this, so a faulting cycle can
+    /// never leak committed traffic past the interconnect accounting.
+    fn hierarchy_drain(&mut self, now: u64, ctx: &ExecCtx<'_>, commit: usize) {
+        let mut batch = std::mem::take(&mut self.batch_buf);
+        for sm in &mut self.sms[..commit] {
+            sm.stage_pending(now, &mut self.mem, &mut batch);
+        }
+        let ready = self.mem.service_batch(now, &batch);
+        for (b, &r) in batch.iter().zip(&ready) {
+            self.sms[b.sm].note_access_ready(b.access, r);
+        }
+        for sm in &mut self.sms[..commit] {
+            sm.commit_staged();
+            sm.reap_finished(now, ctx);
+        }
+        batch.clear();
+        self.batch_buf = batch;
+    }
+
     /// The cycle loop: dispatch, phase A (possibly across the worker
     /// pool), fault handling, phase B, watchdog — and, after a fully idle
     /// cycle, a jump straight to the next cycle where anything can happen.
@@ -998,36 +1022,26 @@ impl Gpu {
             if let Some(fault) = abort {
                 // Commit only SMs at or before the faulting one; under the
                 // serial model the rest never reached memory this cycle.
-                for i in 0..n {
-                    if i <= fault.sm {
+                // The committed SMs go through the same phase-B machinery
+                // as a fault-free cycle (batched interconnect/L2 on the
+                // hierarchy machine), so post-fault fabric state never
+                // diverges from what the normal drain would have produced.
+                for i in (fault.sm + 1)..n {
+                    self.sms[i].discard_pending();
+                }
+                if self.cfg.mem.hierarchy_enabled() {
+                    self.hierarchy_drain(self.now, ctx, fault.sm + 1);
+                } else {
+                    for i in 0..=fault.sm {
                         self.sms[i].drain_pending(self.now, &mut self.mem);
                         self.sms[i].reap_finished(self.now, ctx);
-                    } else {
-                        self.sms[i].discard_pending();
                     }
                 }
                 return Err(SimError::Fault(fault));
             }
             let now = self.now;
             if self.cfg.mem.hierarchy_enabled() {
-                // Hierarchy machine: stage every SM's requests (applying
-                // functional ops in SM-id order, like the legacy drain),
-                // arbitrate the whole batch through the banked
-                // interconnect + L2, then scatter ready times back.
-                let mut batch = std::mem::take(&mut self.batch_buf);
-                for sm in &mut self.sms {
-                    sm.stage_pending(now, &mut self.mem, &mut batch);
-                }
-                let ready = self.mem.service_batch(now, &batch);
-                for (b, &r) in batch.iter().zip(&ready) {
-                    self.sms[b.sm].note_access_ready(b.access, r);
-                }
-                for sm in &mut self.sms {
-                    sm.commit_staged();
-                    sm.reap_finished(now, ctx);
-                }
-                batch.clear();
-                self.batch_buf = batch;
+                self.hierarchy_drain(now, ctx, n);
             } else {
                 for sm in &mut self.sms {
                     sm.drain_pending(now, &mut self.mem);

@@ -365,12 +365,12 @@ impl Sm {
             t.state_slot = Some(state_ptr);
             threads.push(t);
         }
-        // On the hierarchy machine the admission stage's state-pointer
-        // read-back is charged like any other spawn-space access (one word
-        // per admitted lane, occupying the load-store port). The flat
-        // machine keeps the legacy free admission so its runs stay
-        // byte-identical to the paper's Table I configuration.
-        if self.frontend.config().hierarchy_enabled() {
+        // Optionally charge the admission stage's state-pointer read-back
+        // like any other spawn-space access (one word per admitted lane,
+        // occupying the load-store port). Gated on its own knob — never on
+        // the cache configuration — so cache ablations compare caches only
+        // and the default machines keep the legacy free admission.
+        if self.frontend.config().spawn_admission_reads {
             let req = WarpAccess {
                 space: Space::Spawn,
                 is_store: false,
